@@ -1,0 +1,254 @@
+//! Connected components of unsafe nodes.
+//!
+//! Each connected component of the unsafe set is one fault region — under
+//! the MCC labelling it is exactly one Minimal Connected Component.
+//!
+//! Connectivity is **8-connectivity** in 2-D and **18-connectivity** (face
+//! plus planar-diagonal) in 3-D. Diagonally adjacent unsafe nodes share edge
+//! nodes, so the paper's identification process walks them as one region;
+//! the Figure 5 example fixes the 3-D flavor: its large MCC holds cells like
+//! `(5,6,5)` and `(6,7,5)` (an XY-diagonal pair) while the space-diagonal
+//! neighbor `(7,8,4)` forms its own MCC — exactly 18-connectivity.
+
+use mesh_topo::{Grid2, Grid3, C2, C3};
+
+use crate::labelling2::Labelling2;
+use crate::labelling3::Labelling3;
+
+/// Sentinel for "not part of any component".
+pub const NO_COMPONENT: u32 = u32::MAX;
+
+/// The 8-neighborhood (face + diagonal) used for 2-D region connectivity.
+pub const NEIGHBORS_8: [(i32, i32); 8] = [
+    (1, 0),
+    (-1, 0),
+    (0, 1),
+    (0, -1),
+    (1, 1),
+    (1, -1),
+    (-1, 1),
+    (-1, -1),
+];
+
+/// The 18-neighborhood (face + planar-diagonal) used for 3-D region
+/// connectivity. Space diagonals (all three coordinates differing) are
+/// excluded, matching the paper's Figure 5 decomposition.
+pub const NEIGHBORS_18: [(i32, i32, i32); 18] = [
+    (1, 0, 0),
+    (-1, 0, 0),
+    (0, 1, 0),
+    (0, -1, 0),
+    (0, 0, 1),
+    (0, 0, -1),
+    (1, 1, 0),
+    (1, -1, 0),
+    (-1, 1, 0),
+    (-1, -1, 0),
+    (1, 0, 1),
+    (1, 0, -1),
+    (-1, 0, 1),
+    (-1, 0, -1),
+    (0, 1, 1),
+    (0, 1, -1),
+    (0, -1, 1),
+    (0, -1, -1),
+];
+
+/// Component decomposition of the unsafe set of a 2-D labelling.
+#[derive(Clone, Debug)]
+pub struct Components2 {
+    /// Per-node component id (canonical coords); `NO_COMPONENT` for safe nodes.
+    pub id: Grid2<u32>,
+    /// Cells of each component, in discovery (BFS) order.
+    pub cells: Vec<Vec<C2>>,
+}
+
+/// Component decomposition of the unsafe set of a 3-D labelling.
+#[derive(Clone, Debug)]
+pub struct Components3 {
+    /// Per-node component id (canonical coords); `NO_COMPONENT` for safe nodes.
+    pub id: Grid3<u32>,
+    /// Cells of each component, in discovery (BFS) order.
+    pub cells: Vec<Vec<C3>>,
+}
+
+impl Components2 {
+    /// Decompose the unsafe set of `lab` into connected components.
+    pub fn compute(lab: &Labelling2) -> Components2 {
+        let mut id = Grid2::new(lab.width(), lab.height(), NO_COMPONENT);
+        let mut cells: Vec<Vec<C2>> = Vec::new();
+        let mut queue: Vec<C2> = Vec::new();
+        for (start, st) in lab.iter() {
+            if !st.is_unsafe() || id[start] != NO_COMPONENT {
+                continue;
+            }
+            let comp = cells.len() as u32;
+            let mut comp_cells = Vec::new();
+            queue.clear();
+            queue.push(start);
+            id[start] = comp;
+            while let Some(u) = queue.pop() {
+                comp_cells.push(u);
+                for (dx, dy) in NEIGHBORS_8 {
+                    let v = C2 { x: u.x + dx, y: u.y + dy };
+                    if lab.is_unsafe(v) && id[v] == NO_COMPONENT {
+                        id[v] = comp;
+                        queue.push(v);
+                    }
+                }
+            }
+            cells.push(comp_cells);
+        }
+        Components2 { id, cells }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the unsafe set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Component id of canonical `c`, if it is unsafe.
+    pub fn component_of(&self, c: C2) -> Option<u32> {
+        match self.id.get(c) {
+            Some(&i) if i != NO_COMPONENT => Some(i),
+            _ => None,
+        }
+    }
+}
+
+impl Components3 {
+    /// Decompose the unsafe set of `lab` into connected components.
+    pub fn compute(lab: &Labelling3) -> Components3 {
+        let mut id = Grid3::new(lab.nx(), lab.ny(), lab.nz(), NO_COMPONENT);
+        let mut cells: Vec<Vec<C3>> = Vec::new();
+        let mut queue: Vec<C3> = Vec::new();
+        for (start, st) in lab.iter() {
+            if !st.is_unsafe() || id[start] != NO_COMPONENT {
+                continue;
+            }
+            let comp = cells.len() as u32;
+            let mut comp_cells = Vec::new();
+            queue.clear();
+            queue.push(start);
+            id[start] = comp;
+            while let Some(u) = queue.pop() {
+                comp_cells.push(u);
+                for (dx, dy, dz) in NEIGHBORS_18 {
+                    let v = C3 { x: u.x + dx, y: u.y + dy, z: u.z + dz };
+                    if lab.is_unsafe(v) && id[v] == NO_COMPONENT {
+                        id[v] = comp;
+                        queue.push(v);
+                    }
+                }
+            }
+            cells.push(comp_cells);
+        }
+        Components3 { id, cells }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the unsafe set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Component id of canonical `c`, if it is unsafe.
+    pub fn component_of(&self, c: C3) -> Option<u32> {
+        match self.id.get(c) {
+            Some(&i) if i != NO_COMPONENT => Some(i),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::status::BorderPolicy;
+    use mesh_topo::coord::{c2, c3};
+    use mesh_topo::{Frame2, Frame3, Mesh2D, Mesh3D};
+
+    #[test]
+    fn two_isolated_faults_two_components() {
+        let mut mesh = Mesh2D::new(10, 10);
+        mesh.inject_fault(c2(2, 2));
+        mesh.inject_fault(c2(7, 7));
+        let lab = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+        let comps = Components2::compute(&lab);
+        assert_eq!(comps.len(), 2);
+        assert_ne!(comps.component_of(c2(2, 2)), comps.component_of(c2(7, 7)));
+        assert_eq!(comps.component_of(c2(5, 5)), None);
+    }
+
+    #[test]
+    fn closure_merges_antidiagonal_faults() {
+        let mut mesh = Mesh2D::new(10, 10);
+        mesh.inject_fault(c2(5, 6));
+        mesh.inject_fault(c2(6, 5));
+        let lab = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+        let comps = Components2::compute(&lab);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps.cells[0].len(), 4);
+    }
+
+    #[test]
+    fn figure5_has_two_components() {
+        let mut mesh = Mesh3D::kary(10);
+        for c in [
+            c3(5, 5, 6),
+            c3(6, 5, 5),
+            c3(5, 6, 5),
+            c3(6, 7, 5),
+            c3(7, 6, 5),
+            c3(5, 4, 7),
+            c3(4, 5, 7),
+            c3(7, 8, 4),
+        ] {
+            mesh.inject_fault(c);
+        }
+        let lab = Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
+        let comps = Components3::compute(&lab);
+        // Paper: "One MCC contains only one faulty node (7,8,4) and the other
+        // MCC contains all the other unsafe nodes."
+        assert_eq!(comps.len(), 2);
+        let big = comps.component_of(c3(5, 5, 5)).unwrap();
+        let small = comps.component_of(c3(7, 8, 4)).unwrap();
+        assert_ne!(big, small);
+        let big_cells = &comps.cells[big as usize];
+        assert_eq!(big_cells.len(), 9); // 7 faults + useless + can't-reach
+        assert_eq!(comps.cells[small as usize].len(), 1);
+    }
+
+    #[test]
+    fn all_cells_have_consistent_ids() {
+        let mut mesh = Mesh2D::new(12, 12);
+        for c in [c2(3, 4), c2(4, 3), c2(4, 4), c2(8, 8), c2(8, 9)] {
+            mesh.inject_fault(c);
+        }
+        let lab = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+        let comps = Components2::compute(&lab);
+        for (i, cells) in comps.cells.iter().enumerate() {
+            for &c in cells {
+                assert_eq!(comps.component_of(c), Some(i as u32));
+            }
+        }
+        let total: usize = comps.cells.iter().map(|c| c.len()).sum();
+        assert_eq!(total, lab.unsafe_count());
+    }
+
+    #[test]
+    fn empty_mesh_no_components() {
+        let mesh = Mesh3D::kary(4);
+        let lab = Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
+        assert!(Components3::compute(&lab).is_empty());
+    }
+}

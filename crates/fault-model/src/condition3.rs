@@ -1,0 +1,219 @@
+//! Theorem 2 — existence of a minimal path in 3-D meshes.
+//!
+//! The paper's Theorem 2 states the condition in terms of boundary
+//! intersections, whose operational (detection-message) form lives in the
+//! routing crate. This module provides the *semantic evaluation* of the
+//! theorem: with both endpoints safe, a minimal path exists iff the
+//! destination is monotonically reachable while avoiding the **unsafe
+//! closure** — by the MCC minimality theorem this is equivalent to avoiding
+//! only the faults (the crate's property tests verify that equivalence, and
+//! the detection-walk implementation is tested against this function).
+//!
+//! Endpoint triage mirrors the 2-D case: faulty endpoints are invalid, a
+//! can't-reach destination (safe source) is unreachable, a useless source
+//! (safe destination) is stuck, and queries with labelled endpoints fall
+//! back to the exact fault-avoiding oracle.
+
+use mesh_topo::C3;
+use serde::{Deserialize, Serialize};
+
+use crate::labelling3::Labelling3;
+use crate::oracle;
+
+/// Outcome of the 3-D existence condition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Existence3 {
+    /// A minimal path exists (both endpoints safe).
+    Exists,
+    /// No minimal path: the fault regions separate `s` from `d` inside the
+    /// Region of Minimal Paths.
+    Blocked,
+    /// No minimal path: the destination is can't-reach.
+    DestinationCantReach,
+    /// No minimal path: the source is useless.
+    SourceUseless,
+    /// An endpoint is faulty — invalid query.
+    EndpointFaulty,
+    /// Labelled endpoint(s): decided by the exact fault-avoiding oracle.
+    OracleExists,
+    /// Same, negative.
+    OracleBlocked,
+}
+
+impl Existence3 {
+    /// True when a minimal path exists.
+    pub fn exists(self) -> bool {
+        matches!(self, Existence3::Exists | Existence3::OracleExists)
+    }
+}
+
+/// Evaluate the existence condition for canonical `s ≤ d` under `lab`.
+///
+/// # Panics
+/// If `s` does not precede `d` componentwise.
+pub fn minimal_path_exists_3d(lab: &Labelling3, s: C3, d: C3) -> Existence3 {
+    assert!(
+        s.dominated_by(d),
+        "condition requires canonical coordinates with s <= d, got {s:?} {d:?}"
+    );
+    let ss = lab.status(s);
+    let sd = lab.status(d);
+    if ss.is_faulty() || sd.is_faulty() {
+        return Existence3::EndpointFaulty;
+    }
+    if s == d {
+        return Existence3::Exists;
+    }
+    match (ss.is_unsafe(), sd.is_unsafe()) {
+        (false, false) => {
+            // Avoiding the closure loses nothing for safe endpoints
+            // (property-tested); this is the semantic content of Theorem 2.
+            let ok = oracle::reachable_3d(s, d, |c| {
+                lab.status_get(c).map(|st| st.is_unsafe()).unwrap_or(true)
+            });
+            if ok {
+                Existence3::Exists
+            } else {
+                Existence3::Blocked
+            }
+        }
+        (false, true) if sd.is_cant_reach() => Existence3::DestinationCantReach,
+        (true, false) if ss.is_useless() => Existence3::SourceUseless,
+        _ => {
+            let ok = oracle::reachable_3d(s, d, |c| {
+                lab.status_get(c).map(|st| st.is_faulty()).unwrap_or(true)
+            });
+            if ok {
+                Existence3::OracleExists
+            } else {
+                Existence3::OracleBlocked
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::status::BorderPolicy;
+    use mesh_topo::coord::c3;
+    use mesh_topo::{Frame3, Mesh3D};
+
+    fn setup(faults: &[C3], k: i32) -> Labelling3 {
+        let mut mesh = Mesh3D::kary(k);
+        for &f in faults {
+            mesh.inject_fault(f);
+        }
+        Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe)
+    }
+
+    #[test]
+    fn open_mesh_exists() {
+        let lab = setup(&[], 6);
+        assert_eq!(minimal_path_exists_3d(&lab, c3(0, 0, 0), c3(5, 5, 5)), Existence3::Exists);
+    }
+
+    #[test]
+    fn single_fault_never_blocks_wide_rmp() {
+        let lab = setup(&[c3(2, 2, 2)], 6);
+        assert!(minimal_path_exists_3d(&lab, c3(0, 0, 0), c3(5, 5, 5)).exists());
+    }
+
+    #[test]
+    fn fault_blocks_degenerate_line_rmp() {
+        let lab = setup(&[c3(0, 0, 3)], 8);
+        // RMP is the single line x=0,y=0: the fault on it blocks.
+        let r = minimal_path_exists_3d(&lab, c3(0, 0, 0), c3(0, 0, 6));
+        assert_eq!(r, Existence3::Blocked);
+    }
+
+    #[test]
+    fn plane_wall_blocks() {
+        // Block the full antidiagonal plane x+y+z = 5 inside [0..4]^3... a
+        // simpler barrier: the full plane z=2 within the RMP cross-section.
+        let mut faults = Vec::new();
+        for x in 0..4 {
+            for y in 0..4 {
+                faults.push(c3(x, y, 2));
+            }
+        }
+        let lab = setup(&faults, 8);
+        assert_eq!(minimal_path_exists_3d(&lab, c3(0, 0, 0), c3(3, 3, 4)), Existence3::Blocked);
+        // Going around the wall (d.x beyond the wall) restores the path.
+        assert!(minimal_path_exists_3d(&lab, c3(0, 0, 0), c3(4, 3, 4)).exists());
+    }
+
+    #[test]
+    fn endpoint_faulty() {
+        let lab = setup(&[c3(1, 1, 1)], 4);
+        assert_eq!(
+            minimal_path_exists_3d(&lab, c3(0, 0, 0), c3(1, 1, 1)),
+            Existence3::EndpointFaulty
+        );
+        assert_eq!(
+            minimal_path_exists_3d(&lab, c3(1, 1, 1), c3(3, 3, 3)),
+            Existence3::EndpointFaulty
+        );
+    }
+
+    #[test]
+    fn cant_reach_destination() {
+        // Seal (4,4,4) from below in all three dimensions, and extend the
+        // walls so the closure survives: a full 3x3 wall on each negative
+        // face of the 2x2x2 cube rooted at (4,4,4).
+        let mut faults = Vec::new();
+        for a in 4..=5 {
+            for b in 4..=5 {
+                faults.push(c3(3, a, b));
+                faults.push(c3(a, 3, b));
+                faults.push(c3(a, b, 3));
+            }
+        }
+        let lab = setup(&faults, 9);
+        assert!(lab.status(c3(4, 4, 4)).is_cant_reach());
+        assert_eq!(
+            minimal_path_exists_3d(&lab, c3(0, 0, 0), c3(4, 4, 4)),
+            Existence3::DestinationCantReach
+        );
+    }
+
+    #[test]
+    fn useless_source() {
+        let mut faults = Vec::new();
+        for a in 3..=4 {
+            for b in 3..=4 {
+                faults.push(c3(5, a, b));
+                faults.push(c3(a, 5, b));
+                faults.push(c3(a, b, 5));
+            }
+        }
+        let lab = setup(&faults, 9);
+        assert!(lab.status(c3(4, 4, 4)).is_useless());
+        assert_eq!(
+            minimal_path_exists_3d(&lab, c3(4, 4, 4), c3(8, 8, 8)),
+            Existence3::SourceUseless
+        );
+    }
+
+    #[test]
+    fn useless_destination_reachable_via_oracle() {
+        let mut faults = Vec::new();
+        for a in 3..=4 {
+            for b in 3..=4 {
+                faults.push(c3(5, a, b));
+                faults.push(c3(a, 5, b));
+                faults.push(c3(a, b, 5));
+            }
+        }
+        let lab = setup(&faults, 9);
+        assert!(lab.status(c3(4, 4, 4)).is_useless());
+        let r = minimal_path_exists_3d(&lab, c3(0, 0, 0), c3(4, 4, 4));
+        assert_eq!(r, Existence3::OracleExists);
+    }
+
+    #[test]
+    fn same_node_trivial() {
+        let lab = setup(&[c3(1, 1, 1)], 4);
+        assert!(minimal_path_exists_3d(&lab, c3(2, 2, 2), c3(2, 2, 2)).exists());
+    }
+}

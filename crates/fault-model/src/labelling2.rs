@@ -1,0 +1,324 @@
+//! Algorithm 1 — the MCC labelling closure in 2-D meshes.
+//!
+//! For a routing from `(0,0)` toward a destination in the all-positive
+//! quadrant (after [`Frame2`] canonicalization):
+//!
+//! 1. faulty nodes are labelled *faulty*, all others *safe*;
+//! 2. a safe node whose `+X` **and** `+Y` neighbors are faulty-or-useless
+//!    becomes *useless*;
+//! 3. a safe node whose `-X` **and** `-Y` neighbors are faulty-or-can't-reach
+//!    becomes *can't-reach*;
+//! 4. repeat until no new label.
+//!
+//! The closure runs as a worklist fixpoint in O(V) — each node enters each
+//! of the two worklists at most once.
+
+use mesh_topo::{Frame2, Grid2, Mesh2D, C2};
+
+use crate::status::{BorderPolicy, NodeStatus};
+
+/// The fixpoint of Algorithm 1 for one quadrant orientation of a mesh.
+///
+/// All coordinates exposed by this type are **canonical** (post-reflection);
+/// use [`Labelling2::frame`] to translate to and from mesh coordinates.
+#[derive(Clone, Debug)]
+pub struct Labelling2 {
+    frame: Frame2,
+    policy: BorderPolicy,
+    status: Grid2<NodeStatus>,
+    unsafe_count: usize,
+}
+
+impl Labelling2 {
+    /// Run the labelling closure for `mesh` under `frame`.
+    pub fn compute(mesh: &Mesh2D, frame: Frame2, policy: BorderPolicy) -> Labelling2 {
+        let mut status = Grid2::new(mesh.width(), mesh.height(), NodeStatus::SAFE);
+        for &f in mesh.faults() {
+            status[frame.to_canon(f)] = NodeStatus::FAULT;
+        }
+        let mut lab = Labelling2 { frame, policy, status, unsafe_count: mesh.fault_count() };
+        lab.close();
+        lab
+    }
+
+    /// Run the labelling for the canonical pair `(s, d)` in mesh coordinates:
+    /// picks the quadrant frame for the pair and computes the closure.
+    pub fn for_pair(mesh: &Mesh2D, s: C2, d: C2, policy: BorderPolicy) -> Labelling2 {
+        Labelling2::compute(mesh, Frame2::for_pair(mesh, s, d), policy)
+    }
+
+    fn blocks_forward(&self, c: C2) -> bool {
+        match self.status.get(c) {
+            Some(s) => s.blocks_forward(),
+            None => matches!(self.policy, BorderPolicy::BorderBlocked),
+        }
+    }
+
+    fn blocks_backward(&self, c: C2) -> bool {
+        match self.status.get(c) {
+            Some(s) => s.blocks_backward(),
+            None => matches!(self.policy, BorderPolicy::BorderBlocked),
+        }
+    }
+
+    /// Worklist fixpoint of rules 2 and 3.
+    fn close(&mut self) {
+        use mesh_topo::dir::Dir2::{Xm, Xp, Ym, Yp};
+        // Seed: every node must be examined once; afterwards only nodes whose
+        // relevant neighbors changed are revisited.
+        let mut fwd: Vec<C2> = self.status.coords().collect();
+        while let Some(u) = fwd.pop() {
+            let Some(&st) = self.status.get(u) else { continue };
+            if st.blocks_forward() {
+                continue;
+            }
+            if self.blocks_forward(u.step(Xp)) && self.blocks_forward(u.step(Yp)) {
+                self.status[u].mark_useless();
+                if !st.is_unsafe() {
+                    self.unsafe_count += 1;
+                }
+                // u newly blocks the forward closure: its -X / -Y neighbors
+                // may now satisfy the rule.
+                for v in [u.step(Xm), u.step(Ym)] {
+                    if self.status.contains(v) {
+                        fwd.push(v);
+                    }
+                }
+            }
+        }
+        let mut bwd: Vec<C2> = self.status.coords().collect();
+        while let Some(u) = bwd.pop() {
+            let Some(&st) = self.status.get(u) else { continue };
+            if st.blocks_backward() {
+                continue;
+            }
+            if self.blocks_backward(u.step(Xm)) && self.blocks_backward(u.step(Ym)) {
+                let already_unsafe = st.is_unsafe();
+                self.status[u].mark_cant_reach();
+                if !already_unsafe {
+                    self.unsafe_count += 1;
+                }
+                for v in [u.step(Xp), u.step(Yp)] {
+                    if self.status.contains(v) {
+                        bwd.push(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The quadrant frame this labelling was computed under.
+    #[inline]
+    pub fn frame(&self) -> Frame2 {
+        self.frame
+    }
+
+    /// The border policy used.
+    #[inline]
+    pub fn policy(&self) -> BorderPolicy {
+        self.policy
+    }
+
+    /// Status of the node at **canonical** coordinate `c`.
+    ///
+    /// # Panics
+    /// If `c` is outside the mesh.
+    #[inline]
+    pub fn status(&self, c: C2) -> NodeStatus {
+        self.status[c]
+    }
+
+    /// Status at canonical `c`, or `None` if outside the mesh.
+    #[inline]
+    pub fn status_get(&self, c: C2) -> Option<NodeStatus> {
+        self.status.get(c).copied()
+    }
+
+    /// True if canonical `c` is inside the mesh and unsafe.
+    #[inline]
+    pub fn is_unsafe(&self, c: C2) -> bool {
+        self.status.get(c).map(|s| s.is_unsafe()).unwrap_or(false)
+    }
+
+    /// True if canonical `c` is inside the mesh and safe.
+    #[inline]
+    pub fn is_safe(&self, c: C2) -> bool {
+        self.status.get(c).map(|s| s.is_safe()).unwrap_or(false)
+    }
+
+    /// Status of the node at **mesh** coordinate `c`.
+    #[inline]
+    pub fn status_mesh(&self, c: C2) -> NodeStatus {
+        self.status[self.frame.to_canon(c)]
+    }
+
+    /// Total number of unsafe nodes (faulty + labelled).
+    #[inline]
+    pub fn unsafe_count(&self) -> usize {
+        self.unsafe_count
+    }
+
+    /// Number of healthy nodes labelled unsafe (useless and/or can't-reach):
+    /// the "sacrificed" nodes the evaluation counts.
+    pub fn sacrificed_count(&self) -> usize {
+        self.status.iter().filter(|(_, s)| s.is_unsafe() && !s.is_faulty()).count()
+    }
+
+    /// Grid width.
+    #[inline]
+    pub fn width(&self) -> i32 {
+        self.status.width()
+    }
+
+    /// Grid height.
+    #[inline]
+    pub fn height(&self) -> i32 {
+        self.status.height()
+    }
+
+    /// Iterate `(canonical coordinate, status)` for all nodes.
+    pub fn iter(&self) -> impl Iterator<Item = (C2, NodeStatus)> + '_ {
+        self.status.iter().map(|(c, &s)| (c, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_topo::coord::c2;
+
+    fn lab(mesh: &Mesh2D) -> Labelling2 {
+        Labelling2::compute(mesh, Frame2::identity(mesh), BorderPolicy::BorderSafe)
+    }
+
+    #[test]
+    fn fault_free_mesh_is_all_safe() {
+        let mesh = Mesh2D::new(8, 8);
+        let l = lab(&mesh);
+        assert_eq!(l.unsafe_count(), 0);
+        assert!(l.iter().all(|(_, s)| s.is_safe()));
+    }
+
+    #[test]
+    fn single_fault_labels_nothing_else() {
+        let mut mesh = Mesh2D::new(8, 8);
+        mesh.inject_fault(c2(4, 4));
+        let l = lab(&mesh);
+        assert_eq!(l.unsafe_count(), 1);
+        assert_eq!(l.sacrificed_count(), 0);
+        assert!(l.status(c2(4, 4)).is_faulty());
+    }
+
+    #[test]
+    fn antidiagonal_pair_fills_corners() {
+        // Faults at (5,6) and (6,5): (5,5) gets useless (+X and +Y faulty),
+        // (6,6) gets can't-reach (-X and -Y faulty).
+        let mut mesh = Mesh2D::new(10, 10);
+        mesh.inject_fault(c2(5, 6));
+        mesh.inject_fault(c2(6, 5));
+        let l = lab(&mesh);
+        assert!(l.status(c2(5, 5)).is_useless());
+        assert!(l.status(c2(6, 6)).is_cant_reach());
+        assert_eq!(l.unsafe_count(), 4);
+        assert_eq!(l.sacrificed_count(), 2);
+    }
+
+    #[test]
+    fn main_diagonal_pair_stays_separate() {
+        // Faults at (5,5) and (6,6) do not interact (the "/" orientation).
+        let mut mesh = Mesh2D::new(10, 10);
+        mesh.inject_fault(c2(5, 5));
+        mesh.inject_fault(c2(6, 6));
+        let l = lab(&mesh);
+        assert_eq!(l.unsafe_count(), 2);
+        assert_eq!(l.sacrificed_count(), 0);
+    }
+
+    #[test]
+    fn useless_cascade() {
+        // A column of faults at x=6 and a row of faults at y=6 with a safe
+        // pocket in the corner: the pocket cell (5,5) is useless, and the
+        // cascade continues to (4,4)? No — only if both its +X and +Y are
+        // unsafe. Construct an L that forces a 2-step cascade.
+        let mut mesh = Mesh2D::new(10, 10);
+        for c in [c2(6, 5), c2(6, 4), c2(5, 6), c2(4, 6)] {
+            mesh.inject_fault(c);
+        }
+        let l = lab(&mesh);
+        // (5,5): +X=(6,5) faulty, +Y=(5,6) faulty -> useless.
+        assert!(l.status(c2(5, 5)).is_useless());
+        // (4,5): +X=(5,5) useless, +Y=(4,6) faulty -> useless.
+        assert!(l.status(c2(4, 5)).is_useless());
+        // (5,4): +X=(6,4) faulty, +Y=(5,5) useless -> useless.
+        assert!(l.status(c2(5, 4)).is_useless());
+        // (4,4): +X=(5,4) useless, +Y=(4,5) useless -> useless.
+        assert!(l.status(c2(4, 4)).is_useless());
+        // (3,3) is not: +X=(4,3) safe.
+        assert!(l.status(c2(3, 3)).is_safe());
+    }
+
+    #[test]
+    fn cant_reach_pocket() {
+        // Wall on -X and -Y of a pocket: (6,6) with faults at (5,6) and (6,5).
+        let mut mesh = Mesh2D::new(10, 10);
+        for c in [c2(5, 6), c2(6, 5), c2(5, 7), c2(7, 5)] {
+            mesh.inject_fault(c);
+        }
+        let l = lab(&mesh);
+        assert!(l.status(c2(6, 6)).is_cant_reach());
+        // (6,7): -X=(5,7) faulty, -Y=(6,6) cant-reach -> cant-reach.
+        assert!(l.status(c2(6, 7)).is_cant_reach());
+        assert!(l.status(c2(7, 6)).is_cant_reach());
+        assert!(l.status(c2(7, 7)).is_cant_reach());
+    }
+
+    #[test]
+    fn border_safe_policy_keeps_far_corner_safe() {
+        let mut mesh = Mesh2D::new(8, 8);
+        mesh.inject_fault(c2(3, 3));
+        let l = lab(&mesh);
+        // With BorderSafe the mesh corner (7,7) must stay safe.
+        assert!(l.status(c2(7, 7)).is_safe());
+    }
+
+    #[test]
+    fn border_blocked_policy_cascades_from_corner() {
+        let mesh = {
+            let mut m = Mesh2D::new(4, 4);
+            // no faults needed; the border itself blocks
+            m.inject_fault(c2(0, 0)); // keep one fault so closure has work
+            m
+        };
+        let l = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderBlocked);
+        // (3,3): +X and +Y out of mesh -> useless under BorderBlocked.
+        assert!(l.status(c2(3, 3)).is_useless());
+    }
+
+    #[test]
+    fn frame_reflection_relabels() {
+        // A fault pattern that is "/"-oriented for the identity frame is
+        // "\"-oriented after an X flip, so the labelling differs.
+        let mut mesh = Mesh2D::new(10, 10);
+        mesh.inject_fault(c2(5, 5));
+        mesh.inject_fault(c2(6, 6));
+        let id = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+        assert_eq!(id.sacrificed_count(), 0);
+        let flipped = Frame2::for_pair(&mesh, c2(9, 0), c2(0, 9)); // flip_x
+        let lf = Labelling2::compute(&mesh, flipped, BorderPolicy::BorderSafe);
+        assert_eq!(lf.sacrificed_count(), 2);
+        // In mesh coordinates the filled cells are (6,5) and (5,6).
+        assert!(lf.status_mesh(c2(6, 5)).is_unsafe());
+        assert!(lf.status_mesh(c2(5, 6)).is_unsafe());
+    }
+
+    #[test]
+    fn status_mesh_matches_canonical() {
+        let mut mesh = Mesh2D::new(6, 6);
+        mesh.inject_fault(c2(2, 3));
+        let f = Frame2::for_pair(&mesh, c2(5, 5), c2(0, 0));
+        let l = Labelling2::compute(&mesh, f, BorderPolicy::BorderSafe);
+        for c in mesh.nodes() {
+            assert_eq!(l.status_mesh(c), l.status(f.to_canon(c)));
+        }
+    }
+}

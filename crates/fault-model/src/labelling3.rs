@@ -1,0 +1,297 @@
+//! Algorithm 4 — the MCC labelling closure in 3-D meshes.
+//!
+//! The 3-D rules strengthen the 2-D ones: a safe node is *useless* only if
+//! **all three** of its `+X`, `+Y`, `+Z` neighbors are faulty-or-useless
+//! (with only two blocked the message can still escape along the third
+//! positive dimension), and *can't-reach* only if all three negative
+//! neighbors are faulty-or-can't-reach.
+
+use mesh_topo::{Frame3, Grid3, Mesh3D, C3};
+
+use crate::status::{BorderPolicy, NodeStatus};
+
+/// The fixpoint of Algorithm 4 for one octant orientation of a 3-D mesh.
+///
+/// Coordinates exposed by this type are **canonical** (post-reflection).
+#[derive(Clone, Debug)]
+pub struct Labelling3 {
+    frame: Frame3,
+    policy: BorderPolicy,
+    status: Grid3<NodeStatus>,
+    unsafe_count: usize,
+}
+
+impl Labelling3 {
+    /// Run the labelling closure for `mesh` under `frame`.
+    pub fn compute(mesh: &Mesh3D, frame: Frame3, policy: BorderPolicy) -> Labelling3 {
+        let mut status = Grid3::new(mesh.nx(), mesh.ny(), mesh.nz(), NodeStatus::SAFE);
+        for &f in mesh.faults() {
+            status[frame.to_canon(f)] = NodeStatus::FAULT;
+        }
+        let mut lab = Labelling3 { frame, policy, status, unsafe_count: mesh.fault_count() };
+        lab.close();
+        lab
+    }
+
+    /// Run the labelling for the pair `(s, d)` in mesh coordinates.
+    pub fn for_pair(mesh: &Mesh3D, s: C3, d: C3, policy: BorderPolicy) -> Labelling3 {
+        Labelling3::compute(mesh, Frame3::for_pair(mesh, s, d), policy)
+    }
+
+    fn blocks_forward(&self, c: C3) -> bool {
+        match self.status.get(c) {
+            Some(s) => s.blocks_forward(),
+            None => matches!(self.policy, BorderPolicy::BorderBlocked),
+        }
+    }
+
+    fn blocks_backward(&self, c: C3) -> bool {
+        match self.status.get(c) {
+            Some(s) => s.blocks_backward(),
+            None => matches!(self.policy, BorderPolicy::BorderBlocked),
+        }
+    }
+
+    fn close(&mut self) {
+        use mesh_topo::dir::Dir3::{Xm, Xp, Ym, Yp, Zm, Zp};
+        let mut fwd: Vec<C3> = self.status.coords().collect();
+        while let Some(u) = fwd.pop() {
+            let Some(&st) = self.status.get(u) else { continue };
+            if st.blocks_forward() {
+                continue;
+            }
+            if self.blocks_forward(u.step(Xp))
+                && self.blocks_forward(u.step(Yp))
+                && self.blocks_forward(u.step(Zp))
+            {
+                self.status[u].mark_useless();
+                if !st.is_unsafe() {
+                    self.unsafe_count += 1;
+                }
+                for v in [u.step(Xm), u.step(Ym), u.step(Zm)] {
+                    if self.status.contains(v) {
+                        fwd.push(v);
+                    }
+                }
+            }
+        }
+        let mut bwd: Vec<C3> = self.status.coords().collect();
+        while let Some(u) = bwd.pop() {
+            let Some(&st) = self.status.get(u) else { continue };
+            if st.blocks_backward() {
+                continue;
+            }
+            if self.blocks_backward(u.step(Xm))
+                && self.blocks_backward(u.step(Ym))
+                && self.blocks_backward(u.step(Zm))
+            {
+                let already_unsafe = st.is_unsafe();
+                self.status[u].mark_cant_reach();
+                if !already_unsafe {
+                    self.unsafe_count += 1;
+                }
+                for v in [u.step(Xp), u.step(Yp), u.step(Zp)] {
+                    if self.status.contains(v) {
+                        bwd.push(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The octant frame this labelling was computed under.
+    #[inline]
+    pub fn frame(&self) -> Frame3 {
+        self.frame
+    }
+
+    /// The border policy used.
+    #[inline]
+    pub fn policy(&self) -> BorderPolicy {
+        self.policy
+    }
+
+    /// Status of the node at **canonical** coordinate `c`.
+    ///
+    /// # Panics
+    /// If `c` is outside the mesh.
+    #[inline]
+    pub fn status(&self, c: C3) -> NodeStatus {
+        self.status[c]
+    }
+
+    /// Status at canonical `c`, or `None` if outside the mesh.
+    #[inline]
+    pub fn status_get(&self, c: C3) -> Option<NodeStatus> {
+        self.status.get(c).copied()
+    }
+
+    /// True if canonical `c` is inside the mesh and unsafe.
+    #[inline]
+    pub fn is_unsafe(&self, c: C3) -> bool {
+        self.status.get(c).map(|s| s.is_unsafe()).unwrap_or(false)
+    }
+
+    /// True if canonical `c` is inside the mesh and safe.
+    #[inline]
+    pub fn is_safe(&self, c: C3) -> bool {
+        self.status.get(c).map(|s| s.is_safe()).unwrap_or(false)
+    }
+
+    /// Status of the node at **mesh** coordinate `c`.
+    #[inline]
+    pub fn status_mesh(&self, c: C3) -> NodeStatus {
+        self.status[self.frame.to_canon(c)]
+    }
+
+    /// Total number of unsafe nodes (faulty + labelled).
+    #[inline]
+    pub fn unsafe_count(&self) -> usize {
+        self.unsafe_count
+    }
+
+    /// Number of healthy nodes labelled unsafe.
+    pub fn sacrificed_count(&self) -> usize {
+        self.status.iter().filter(|(_, s)| s.is_unsafe() && !s.is_faulty()).count()
+    }
+
+    /// Extent along X.
+    #[inline]
+    pub fn nx(&self) -> i32 {
+        self.status.nx()
+    }
+
+    /// Extent along Y.
+    #[inline]
+    pub fn ny(&self) -> i32 {
+        self.status.ny()
+    }
+
+    /// Extent along Z.
+    #[inline]
+    pub fn nz(&self) -> i32 {
+        self.status.nz()
+    }
+
+    /// Iterate `(canonical coordinate, status)` for all nodes.
+    pub fn iter(&self) -> impl Iterator<Item = (C3, NodeStatus)> + '_ {
+        self.status.iter().map(|(c, &s)| (c, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_topo::coord::c3;
+
+    fn lab(mesh: &Mesh3D) -> Labelling3 {
+        Labelling3::compute(mesh, Frame3::identity(mesh), BorderPolicy::BorderSafe)
+    }
+
+    /// The exact fault set of Figure 5 of the paper.
+    fn figure5_mesh() -> Mesh3D {
+        let mut mesh = Mesh3D::kary(10);
+        for c in [
+            c3(5, 5, 6),
+            c3(6, 5, 5),
+            c3(5, 6, 5),
+            c3(6, 7, 5),
+            c3(7, 6, 5),
+            c3(5, 4, 7),
+            c3(4, 5, 7),
+            c3(7, 8, 4),
+        ] {
+            mesh.inject_fault(c);
+        }
+        mesh
+    }
+
+    #[test]
+    fn figure5_labelling_matches_paper() {
+        // The paper states: "(5,5,5) becomes useless and (5,5,7) becomes
+        // can't-reach in our labelling process."
+        let l = lab(&figure5_mesh());
+        assert!(l.status(c3(5, 5, 5)).is_useless(), "(5,5,5) must be useless");
+        assert!(l.status(c3(5, 5, 7)).is_cant_reach(), "(5,5,7) must be can't-reach");
+        // And exactly those two healthy nodes are sacrificed.
+        assert_eq!(l.sacrificed_count(), 2);
+        assert_eq!(l.unsafe_count(), 10);
+    }
+
+    #[test]
+    fn figure5_other_neighbors_stay_safe() {
+        let l = lab(&figure5_mesh());
+        // The isolated fault (7,8,4) labels nothing around it.
+        for c in [c3(6, 8, 4), c3(7, 7, 4), c3(7, 8, 3), c3(7, 8, 5), c3(8, 8, 4)] {
+            assert!(l.status(c).is_safe(), "{c} should stay safe");
+        }
+        // The hole (6,6,5) of the section z=5 stays safe (non-convex section).
+        assert!(l.status(c3(6, 6, 5)).is_safe());
+    }
+
+    #[test]
+    fn two_blocked_dims_are_not_enough_in_3d() {
+        // +X and +Y blocked, +Z open -> still safe (escape along +Z).
+        let mut mesh = Mesh3D::kary(8);
+        mesh.inject_fault(c3(5, 4, 4));
+        mesh.inject_fault(c3(4, 5, 4));
+        let l = lab(&mesh);
+        assert!(l.status(c3(4, 4, 4)).is_safe());
+        assert_eq!(l.sacrificed_count(), 0);
+    }
+
+    #[test]
+    fn three_blocked_dims_label_useless() {
+        let mut mesh = Mesh3D::kary(8);
+        mesh.inject_fault(c3(5, 4, 4));
+        mesh.inject_fault(c3(4, 5, 4));
+        mesh.inject_fault(c3(4, 4, 5));
+        let l = lab(&mesh);
+        assert!(l.status(c3(4, 4, 4)).is_useless());
+        // and the symmetric pocket on the other side stays safe
+        assert!(l.status(c3(5, 5, 5)).is_safe());
+    }
+
+    #[test]
+    fn cant_reach_in_3d() {
+        let mut mesh = Mesh3D::kary(8);
+        mesh.inject_fault(c3(3, 4, 4));
+        mesh.inject_fault(c3(4, 3, 4));
+        mesh.inject_fault(c3(4, 4, 3));
+        let l = lab(&mesh);
+        assert!(l.status(c3(4, 4, 4)).is_cant_reach());
+        assert_eq!(l.sacrificed_count(), 1);
+    }
+
+    #[test]
+    fn fault_free_all_safe() {
+        let mesh = Mesh3D::kary(6);
+        let l = lab(&mesh);
+        assert_eq!(l.unsafe_count(), 0);
+    }
+
+    #[test]
+    fn octant_reflection_changes_labelling() {
+        // A useless pocket for the identity octant is a can't-reach pocket
+        // for the fully flipped octant.
+        let mut mesh = Mesh3D::kary(8);
+        mesh.inject_fault(c3(5, 4, 4));
+        mesh.inject_fault(c3(4, 5, 4));
+        mesh.inject_fault(c3(4, 4, 5));
+        let f = Frame3::for_pair(&mesh, c3(7, 7, 7), c3(0, 0, 0));
+        let l = Labelling3::compute(&mesh, f, BorderPolicy::BorderSafe);
+        assert!(l.status_mesh(c3(4, 4, 4)).is_cant_reach());
+    }
+
+    #[test]
+    fn status_mesh_roundtrip() {
+        let mut mesh = Mesh3D::kary(5);
+        mesh.inject_fault(c3(2, 2, 2));
+        for f in Frame3::all(&mesh) {
+            let l = Labelling3::compute(&mesh, f, BorderPolicy::BorderSafe);
+            for c in mesh.nodes() {
+                assert_eq!(l.status_mesh(c), l.status(f.to_canon(c)));
+            }
+        }
+    }
+}

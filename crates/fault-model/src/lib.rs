@@ -1,0 +1,51 @@
+//! # fault-model — the MCC fault information model (2-D and 3-D)
+//!
+//! This crate implements the *semantic layer* of the reproduction of
+//! Jiang, Wu & Wang, "A New Fault Information Model for Fault-Tolerant
+//! Adaptive and Minimal Routing in 3-D Meshes" (ICPP 2005):
+//!
+//! * [`status`] — node status lattice (safe / faulty / useless / can't-reach)
+//!   and the mesh-border policy,
+//! * [`labelling2`] / [`labelling3`] — the recursive labelling closures
+//!   (Algorithm 1 and Algorithm 4 of the paper),
+//! * [`components`] — connected components of unsafe nodes,
+//! * [`mcc2`] / [`mcc3`] — Minimal Connected Components: shape extraction,
+//!   profiles, corners and sections,
+//! * [`condition2`] / [`condition3`] — the sufficient & necessary conditions
+//!   for existence of a minimal path (Lemma 1 / Theorem 1 / Theorem 2),
+//! * [`rfb2`] / [`rfb3`] — the rectangular / cuboid faulty-block baseline
+//!   models the paper compares against,
+//! * [`oracle`] — exact monotone-reachability ground truth used to validate
+//!   everything above,
+//! * [`stats`] — fault-region statistics for the evaluation.
+//!
+//! All labelling-level computation happens in *canonical coordinates*: the
+//! source/destination pair is first reflected by a
+//! [`mesh_topo::Frame2`]/[`mesh_topo::Frame3`] so that the destination
+//! dominates the source and the preferred directions are the positive ones.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod condition2;
+pub mod condition3;
+pub mod labelling2;
+pub mod labelling3;
+pub mod mcc2;
+pub mod mcc3;
+pub mod oracle;
+pub mod rfb2;
+pub mod rfb3;
+pub mod stats;
+pub mod status;
+
+pub use condition2::{minimal_path_exists_2d, Existence2};
+pub use condition3::{minimal_path_exists_3d, Existence3};
+pub use labelling2::Labelling2;
+pub use labelling3::Labelling3;
+pub use mcc2::Mcc2;
+pub use mcc3::Mcc3;
+pub use rfb2::FaultBlocks2;
+pub use rfb3::FaultBlocks3;
+pub use status::{BorderPolicy, NodeStatus};

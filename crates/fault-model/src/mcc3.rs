@@ -1,0 +1,296 @@
+//! Minimal Connected Components in 3-D meshes.
+//!
+//! A 3-D MCC is a 6-connected component of the unsafe set of a 3-D
+//! labelling. Unlike the 2-D case its plane sections need not be convex —
+//! the paper's Figure 5 component has a hole at `(6,6,5)` in its `z = 5`
+//! section — so shapes are kept as explicit cell sets plus derived
+//! *line-extent* tables:
+//!
+//! * for every axis line through the component (e.g. the X-line at fixed
+//!   `(y, z)`) the minimum and maximum occupied coordinate,
+//! * per-plane 2-D *sections*, which the identification protocol walks.
+//!
+//! From the line extents come the 3-D forbidden/critical regions: `Q_Y(M)`
+//! is everything strictly below the whole Y-extent of its `(x, z)` line,
+//! `Q'_Y(M)` everything strictly above, and analogously for X and Z.
+
+use std::collections::{BTreeMap, HashSet};
+
+use mesh_topo::{Axis3, Box3, C2, C3};
+use serde::{Deserialize, Serialize};
+
+use crate::components::Components3;
+use crate::labelling3::Labelling3;
+
+/// One Minimal Connected Component of a 3-D labelling (canonical coords).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Mcc3 {
+    /// Component id (index into the owning [`MccSet3`]).
+    pub id: u32,
+    /// All member cells.
+    pub cells: Vec<C3>,
+    /// Bounding box.
+    pub bounds: Box3,
+    /// Number of faulty cells.
+    pub fault_count: usize,
+    /// Number of healthy (labelled) cells.
+    pub sacrificed_count: usize,
+    cell_set: HashSet<C3>,
+    /// Per-X-line extents keyed by `(y, z)`.
+    line_x: BTreeMap<(i32, i32), (i32, i32)>,
+    /// Per-Y-line extents keyed by `(x, z)`.
+    line_y: BTreeMap<(i32, i32), (i32, i32)>,
+    /// Per-Z-line extents keyed by `(x, y)`.
+    line_z: BTreeMap<(i32, i32), (i32, i32)>,
+}
+
+/// All MCCs of one 3-D labelling.
+#[derive(Clone, Debug, Default)]
+pub struct MccSet3 {
+    /// The components, indexed by id.
+    pub mccs: Vec<Mcc3>,
+}
+
+impl Mcc3 {
+    fn from_cells(id: u32, cells: Vec<C3>, lab: &Labelling3) -> Mcc3 {
+        debug_assert!(!cells.is_empty());
+        let mut bounds = Box3::point(cells[0]);
+        let mut line_x: BTreeMap<(i32, i32), (i32, i32)> = BTreeMap::new();
+        let mut line_y: BTreeMap<(i32, i32), (i32, i32)> = BTreeMap::new();
+        let mut line_z: BTreeMap<(i32, i32), (i32, i32)> = BTreeMap::new();
+        let mut fault_count = 0;
+        for &c in &cells {
+            bounds.include(c);
+            let ex = line_x.entry((c.y, c.z)).or_insert((c.x, c.x));
+            ex.0 = ex.0.min(c.x);
+            ex.1 = ex.1.max(c.x);
+            let ey = line_y.entry((c.x, c.z)).or_insert((c.y, c.y));
+            ey.0 = ey.0.min(c.y);
+            ey.1 = ey.1.max(c.y);
+            let ez = line_z.entry((c.x, c.y)).or_insert((c.z, c.z));
+            ez.0 = ez.0.min(c.z);
+            ez.1 = ez.1.max(c.z);
+            if lab.status(c).is_faulty() {
+                fault_count += 1;
+            }
+        }
+        let sacrificed_count = cells.len() - fault_count;
+        let cell_set = cells.iter().copied().collect();
+        Mcc3 {
+            id,
+            cells,
+            bounds,
+            fault_count,
+            sacrificed_count,
+            cell_set,
+            line_x,
+            line_y,
+            line_z,
+        }
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// MCCs are never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// True if the component occupies cell `c`.
+    #[inline]
+    pub fn contains(&self, c: C3) -> bool {
+        self.cell_set.contains(&c)
+    }
+
+    /// The occupied extent `[lo, hi]` of the axis line through `c`, if the
+    /// component touches that line. For `axis = Y` the line is
+    /// `{(c.x, *, c.z)}`, etc.
+    pub fn line_extent(&self, axis: Axis3, c: C3) -> Option<(i32, i32)> {
+        match axis {
+            Axis3::X => self.line_x.get(&(c.y, c.z)).copied(),
+            Axis3::Y => self.line_y.get(&(c.x, c.z)).copied(),
+            Axis3::Z => self.line_z.get(&(c.x, c.y)).copied(),
+        }
+    }
+
+    /// `c ∈ Q_axis(M)`: strictly on the negative side of the component's
+    /// whole extent on `c`'s axis line.
+    pub fn in_forbidden(&self, axis: Axis3, c: C3) -> bool {
+        matches!(self.line_extent(axis, c), Some((lo, _)) if c.get(axis) < lo)
+    }
+
+    /// `c ∈ Q'_axis(M)`: strictly on the positive side of the component's
+    /// whole extent on `c`'s axis line.
+    pub fn in_critical(&self, axis: Axis3, c: C3) -> bool {
+        matches!(self.line_extent(axis, c), Some((_, hi)) if c.get(axis) > hi)
+    }
+
+    /// The 2-D section of the component on the plane `axis = plane`
+    /// (projected coordinates, see [`C3::project`]). Sections are what the
+    /// distributed identification process walks; they may be empty.
+    pub fn section(&self, axis: Axis3, plane: i32) -> Vec<C2> {
+        self.cells
+            .iter()
+            .filter(|c| c.get(axis) == plane)
+            .map(|c| c.project(axis))
+            .collect()
+    }
+
+    /// All plane coordinates along `axis` where the component has cells.
+    pub fn section_planes(&self, axis: Axis3) -> Vec<i32> {
+        let (lo, hi) = match axis {
+            Axis3::X => (self.bounds.lo.x, self.bounds.hi.x),
+            Axis3::Y => (self.bounds.lo.y, self.bounds.hi.y),
+            Axis3::Z => (self.bounds.lo.z, self.bounds.hi.z),
+        };
+        (lo..=hi).filter(|&p| self.cells.iter().any(|c| c.get(axis) == p)).collect()
+    }
+}
+
+impl MccSet3 {
+    /// Extract all MCCs of a labelling.
+    pub fn compute(lab: &Labelling3) -> MccSet3 {
+        let comps = Components3::compute(lab);
+        MccSet3 {
+            mccs: comps
+                .cells
+                .into_iter()
+                .enumerate()
+                .map(|(i, cells)| Mcc3::from_cells(i as u32, cells, lab))
+                .collect(),
+        }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.mccs.len()
+    }
+
+    /// True if there are no unsafe nodes.
+    pub fn is_empty(&self) -> bool {
+        self.mccs.is_empty()
+    }
+
+    /// Iterate the components.
+    pub fn iter(&self) -> impl Iterator<Item = &Mcc3> {
+        self.mccs.iter()
+    }
+
+    /// Total healthy nodes captured by fault regions.
+    pub fn total_sacrificed(&self) -> usize {
+        self.mccs.iter().map(|m| m.sacrificed_count).sum()
+    }
+
+    /// The component containing canonical `c`, if any.
+    pub fn component_containing(&self, c: C3) -> Option<&Mcc3> {
+        self.mccs.iter().find(|m| m.contains(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::status::BorderPolicy;
+    use mesh_topo::coord::{c2, c3};
+    use mesh_topo::{Frame3, Mesh3D};
+
+    fn figure5() -> (Labelling3, MccSet3) {
+        let mut mesh = Mesh3D::kary(10);
+        for c in [
+            c3(5, 5, 6),
+            c3(6, 5, 5),
+            c3(5, 6, 5),
+            c3(6, 7, 5),
+            c3(7, 6, 5),
+            c3(5, 4, 7),
+            c3(4, 5, 7),
+            c3(7, 8, 4),
+        ] {
+            mesh.inject_fault(c);
+        }
+        let lab = Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
+        let set = MccSet3::compute(&lab);
+        (lab, set)
+    }
+
+    #[test]
+    fn figure5_sections() {
+        let (_, set) = figure5();
+        assert_eq!(set.len(), 2);
+        let big = set.component_containing(c3(5, 5, 5)).unwrap();
+        // Section z=5 per the paper: (6,5),(5,6),(6,7),(7,6) faults plus the
+        // useless (5,5); the hole (6,6) is NOT part of the region.
+        let mut sec: Vec<C2> = big.section(Axis3::Z, 5);
+        sec.sort();
+        let mut expect = vec![c2(5, 5), c2(6, 5), c2(5, 6), c2(7, 6), c2(6, 7)];
+        expect.sort();
+        assert_eq!(sec, expect);
+        assert!(!big.contains(c3(6, 6, 5)), "hole must stay outside the MCC");
+    }
+
+    #[test]
+    fn figure5_section_planes() {
+        let (_, set) = figure5();
+        let big = set.component_containing(c3(5, 5, 5)).unwrap();
+        assert_eq!(big.section_planes(Axis3::Z), vec![5, 6, 7]);
+        let small = set.component_containing(c3(7, 8, 4)).unwrap();
+        assert_eq!(small.section_planes(Axis3::Z), vec![4]);
+        assert_eq!(small.section_planes(Axis3::X), vec![7]);
+    }
+
+    #[test]
+    fn line_extents_and_regions() {
+        let (_, set) = figure5();
+        let big = set.component_containing(c3(5, 5, 5)).unwrap();
+        // Z-line through (5,5): cells (5,5,5),(5,5,6),(5,5,7) -> extent 5..7.
+        assert_eq!(big.line_extent(Axis3::Z, c3(5, 5, 0)), Some((5, 7)));
+        assert!(big.in_forbidden(Axis3::Z, c3(5, 5, 3)));
+        assert!(big.in_critical(Axis3::Z, c3(5, 5, 9)));
+        assert!(!big.in_forbidden(Axis3::Z, c3(5, 5, 6))); // inside, not below
+        // Lines the component does not touch yield no regions.
+        assert_eq!(big.line_extent(Axis3::Z, c3(0, 0, 0)), None);
+        assert!(!big.in_forbidden(Axis3::Z, c3(0, 0, 0)));
+    }
+
+    #[test]
+    fn hole_is_not_in_forbidden_or_critical() {
+        let (_, set) = figure5();
+        let big = set.component_containing(c3(5, 5, 5)).unwrap();
+        let hole = c3(6, 6, 5);
+        // The hole sits between cells on its X-line ((5,6,5) and (7,6,5)):
+        // neither strictly below nor strictly above the extent.
+        assert!(!big.in_forbidden(Axis3::X, hole));
+        assert!(!big.in_critical(Axis3::X, hole));
+    }
+
+    #[test]
+    fn counts() {
+        let (lab, set) = figure5();
+        let big = set.component_containing(c3(5, 5, 5)).unwrap();
+        assert_eq!(big.fault_count, 7);
+        assert_eq!(big.sacrificed_count, 2);
+        assert_eq!(set.total_sacrificed(), lab.sacrificed_count());
+    }
+
+    #[test]
+    fn bounds_cover_cells() {
+        let (_, set) = figure5();
+        for m in set.iter() {
+            for &c in &m.cells {
+                assert!(m.bounds.contains(c));
+            }
+        }
+    }
+
+    #[test]
+    fn component_containing_lookup() {
+        let (_, set) = figure5();
+        assert!(set.component_containing(c3(0, 0, 0)).is_none());
+        assert_eq!(set.component_containing(c3(7, 8, 4)).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! Exact monotone-reachability ground truth.
+//!
+//! A minimal route from a canonical `s` to `d` (`s ≤ d` componentwise) uses
+//! only positive moves and never leaves the Region of Minimal Paths
+//! `[s, d]`. Whether such a route exists around a blocked set is a simple
+//! dynamic program over that box. This module is the *oracle* the whole
+//! reproduction is validated against:
+//!
+//! * the MCC existence conditions (Lemma 1 / Theorems 1–2) must agree with
+//!   [`reachable_2d`] / [`reachable_3d`] on the fault set,
+//! * Wang's minimality theorem — avoiding the unsafe *closure* blocks no more
+//!   destinations than avoiding the faults — is property-tested by comparing
+//!   the oracle on the two blocked sets,
+//! * per-hop routing decisions use the backward variant ([`Useful2`] /
+//!   [`Useful3`]): the set of nodes from which the destination is still
+//!   monotonically reachable.
+
+use mesh_topo::{C2, C3};
+
+/// True if a monotone (`+X`/`+Y`) path from `s` to `d` exists that avoids
+/// every node for which `blocked` returns true. Requires `s ≤ d`
+/// componentwise; endpoints themselves must not be blocked.
+///
+/// # Panics
+/// If `s` does not precede `d` componentwise.
+pub fn reachable_2d(s: C2, d: C2, blocked: impl Fn(C2) -> bool) -> bool {
+    Useful2::compute(s, d, blocked).contains(s)
+}
+
+/// True if a monotone (`+X`/`+Y`/`+Z`) path from `s` to `d` exists avoiding
+/// `blocked` nodes. Requires `s ≤ d` componentwise.
+///
+/// # Panics
+/// If `s` does not precede `d` componentwise.
+pub fn reachable_3d(s: C3, d: C3, blocked: impl Fn(C3) -> bool) -> bool {
+    Useful3::compute(s, d, blocked).contains(s)
+}
+
+/// The backward reachability set in 2-D: all nodes `u` in `[s, d]` from which
+/// `d` is monotonically reachable avoiding blocked nodes.
+///
+/// A fully-adaptive minimal router that only ever steps onto *useful*
+/// neighbors can never get stuck and always produces a minimal path.
+#[derive(Clone, Debug)]
+pub struct Useful2 {
+    s: C2,
+    d: C2,
+    w: i32,
+    useful: Vec<bool>,
+}
+
+impl Useful2 {
+    /// Compute the useful set for the box `[s, d]`.
+    ///
+    /// # Panics
+    /// If `s` does not precede `d` componentwise.
+    pub fn compute(s: C2, d: C2, blocked: impl Fn(C2) -> bool) -> Useful2 {
+        assert!(s.dominated_by(d), "oracle requires canonical s <= d, got {s:?} {d:?}");
+        let w = d.x - s.x + 1;
+        let h = d.y - s.y + 1;
+        let mut useful = vec![false; (w as usize) * (h as usize)];
+        let idx = |c: C2| ((c.y - s.y) as usize) * (w as usize) + ((c.x - s.x) as usize);
+        // Sweep from d down to s; at c, usefulness depends on c+X / c+Y which
+        // are later in the sweep order reversed, i.e. already computed.
+        for y in (s.y..=d.y).rev() {
+            for x in (s.x..=d.x).rev() {
+                let c = C2 { x, y };
+                if blocked(c) {
+                    continue;
+                }
+                let ok = (c == d)
+                    || (x < d.x && useful[idx(C2 { x: x + 1, y })])
+                    || (y < d.y && useful[idx(C2 { x, y: y + 1 })]);
+                useful[idx(c)] = ok;
+            }
+        }
+        Useful2 { s, d, w, useful }
+    }
+
+    /// True if `c` lies in `[s, d]` and `d` is monotonically reachable from it.
+    #[inline]
+    pub fn contains(&self, c: C2) -> bool {
+        if !(self.s.dominated_by(c) && c.dominated_by(self.d)) {
+            return false;
+        }
+        self.useful[((c.y - self.s.y) as usize) * (self.w as usize) + ((c.x - self.s.x) as usize)]
+    }
+
+    /// Number of useful nodes in the box.
+    pub fn count(&self) -> usize {
+        self.useful.iter().filter(|&&b| b).count()
+    }
+}
+
+/// The backward reachability set in 3-D (see [`Useful2`]).
+#[derive(Clone, Debug)]
+pub struct Useful3 {
+    s: C3,
+    d: C3,
+    wx: i32,
+    wy: i32,
+    useful: Vec<bool>,
+}
+
+impl Useful3 {
+    /// Compute the useful set for the box `[s, d]`.
+    ///
+    /// # Panics
+    /// If `s` does not precede `d` componentwise.
+    pub fn compute(s: C3, d: C3, blocked: impl Fn(C3) -> bool) -> Useful3 {
+        assert!(s.dominated_by(d), "oracle requires canonical s <= d, got {s:?} {d:?}");
+        let wx = d.x - s.x + 1;
+        let wy = d.y - s.y + 1;
+        let wz = d.z - s.z + 1;
+        let mut useful = vec![false; (wx as usize) * (wy as usize) * (wz as usize)];
+        let idx = |c: C3| {
+            (((c.z - s.z) as usize) * (wy as usize) + ((c.y - s.y) as usize)) * (wx as usize)
+                + ((c.x - s.x) as usize)
+        };
+        for z in (s.z..=d.z).rev() {
+            for y in (s.y..=d.y).rev() {
+                for x in (s.x..=d.x).rev() {
+                    let c = C3 { x, y, z };
+                    if blocked(c) {
+                        continue;
+                    }
+                    let ok = (c == d)
+                        || (x < d.x && useful[idx(C3 { x: x + 1, y, z })])
+                        || (y < d.y && useful[idx(C3 { x, y: y + 1, z })])
+                        || (z < d.z && useful[idx(C3 { x, y, z: z + 1 })]);
+                    useful[idx(c)] = ok;
+                }
+            }
+        }
+        Useful3 { s, d, wx, wy, useful }
+    }
+
+    /// True if `c` lies in `[s, d]` and `d` is monotonically reachable from it.
+    #[inline]
+    pub fn contains(&self, c: C3) -> bool {
+        if !(self.s.dominated_by(c) && c.dominated_by(self.d)) {
+            return false;
+        }
+        let i = (((c.z - self.s.z) as usize) * (self.wy as usize) + ((c.y - self.s.y) as usize))
+            * (self.wx as usize)
+            + ((c.x - self.s.x) as usize);
+        self.useful[i]
+    }
+
+    /// Number of useful nodes in the box.
+    pub fn count(&self) -> usize {
+        self.useful.iter().filter(|&&b| b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_topo::coord::{c2, c3};
+    use std::collections::HashSet;
+
+    #[test]
+    fn open_box_everything_reachable() {
+        assert!(reachable_2d(c2(0, 0), c2(5, 5), |_| false));
+        let u = Useful2::compute(c2(0, 0), c2(3, 2), |_| false);
+        assert_eq!(u.count(), 12);
+        assert!(reachable_3d(c3(0, 0, 0), c3(3, 3, 3), |_| false));
+    }
+
+    #[test]
+    fn single_node_path() {
+        assert!(reachable_2d(c2(2, 2), c2(2, 2), |_| false));
+        assert!(!reachable_2d(c2(2, 2), c2(2, 2), |c| c == c2(2, 2)));
+    }
+
+    #[test]
+    fn column_wall_blocks_2d() {
+        // Wall across the full height of the box at x=3.
+        let wall: HashSet<_> = (0..=5).map(|y| c2(3, y)).collect();
+        assert!(!reachable_2d(c2(0, 0), c2(5, 5), |c| wall.contains(&c)));
+        // Gap at the top lets it through.
+        let mut gapped = wall.clone();
+        gapped.remove(&c2(3, 5));
+        assert!(reachable_2d(c2(0, 0), c2(5, 5), |c| gapped.contains(&c)));
+    }
+
+    #[test]
+    fn antidiagonal_wall_blocks_2d() {
+        // Cells with x+y == 4 block every monotone path in [0,0]..[4,4]
+        // only if every lattice point on that antidiagonal is blocked.
+        let diag: HashSet<_> = (0..=4).map(|x| c2(x, 4 - x)).collect();
+        assert!(!reachable_2d(c2(0, 0), c2(4, 4), |c| diag.contains(&c)));
+        let mut gapped = diag.clone();
+        gapped.remove(&c2(2, 2));
+        assert!(reachable_2d(c2(0, 0), c2(4, 4), |c| gapped.contains(&c)));
+    }
+
+    #[test]
+    fn wall_outside_box_is_ignored() {
+        let wall: HashSet<_> = (0..=9).map(|y| c2(6, y)).collect();
+        // d.x = 5 < 6: the wall lies outside the RMP.
+        assert!(reachable_2d(c2(0, 0), c2(5, 9), |c| wall.contains(&c)));
+    }
+
+    #[test]
+    fn plane_wall_blocks_3d() {
+        // Full plane x=2 inside [0,0,0]..[4,4,4].
+        let blocked = |c: C3| c.x == 2;
+        assert!(!reachable_3d(c3(0, 0, 0), c3(4, 4, 4), blocked));
+        // One hole in the plane suffices.
+        let holey = |c: C3| c.x == 2 && c != c3(2, 1, 3);
+        assert!(reachable_3d(c3(0, 0, 0), c3(4, 4, 4), holey));
+    }
+
+    #[test]
+    fn useful_set_is_monotone_closed() {
+        // Every useful node other than d has a useful positive neighbor.
+        let blocked: HashSet<_> =
+            [c2(2, 2), c2(3, 1), c2(1, 3), c2(4, 0)].into_iter().collect();
+        let s = c2(0, 0);
+        let d = c2(5, 5);
+        let u = Useful2::compute(s, d, |c| blocked.contains(&c));
+        for x in 0..=5 {
+            for y in 0..=5 {
+                let c = c2(x, y);
+                if u.contains(c) && c != d {
+                    assert!(
+                        u.contains(c2(x + 1, y)) || u.contains(c2(x, y + 1)),
+                        "{c} useful but stuck"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn useful3_set_is_monotone_closed() {
+        let blocked: HashSet<_> = [c3(1, 1, 1), c3(2, 0, 1), c3(0, 2, 2)].into_iter().collect();
+        let s = c3(0, 0, 0);
+        let d = c3(3, 3, 3);
+        let u = Useful3::compute(s, d, |c| blocked.contains(&c));
+        assert!(u.contains(s));
+        for x in 0..=3 {
+            for y in 0..=3 {
+                for z in 0..=3 {
+                    let c = c3(x, y, z);
+                    if u.contains(c) && c != d {
+                        assert!(
+                            u.contains(c3(x + 1, y, z))
+                                || u.contains(c3(x, y + 1, z))
+                                || u.contains(c3(x, y, z + 1)),
+                            "{c} useful but stuck"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_destination_unreachable() {
+        assert!(!reachable_2d(c2(0, 0), c2(3, 3), |c| c == c2(3, 3)));
+        assert!(!reachable_3d(c3(0, 0, 0), c3(2, 2, 2), |c| c == c3(2, 2, 2)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_canonical_pair_panics() {
+        reachable_2d(c2(3, 0), c2(0, 3), |_| false);
+    }
+}

@@ -1,0 +1,248 @@
+//! Cuboid faulty blocks — the classical 3-D baseline model.
+//!
+//! The 3-D generalization of the rectangular block model (Boppana–Chalasani
+//! style, as used by the routing literature the paper compares against): a
+//! healthy node is *disabled* if it has **two or more** faulty-or-disabled
+//! neighbors. The closure is iterated together with cuboid completion
+//! (components widen to bounding boxes, intersecting boxes merge, boxes are
+//! filled) until the disabled set is a disjoint union of full cuboids.
+
+use mesh_topo::{Box3, Grid3, Mesh3D, C3};
+
+use crate::oracle;
+
+/// The cuboid-faulty-block decomposition of a 3-D mesh.
+#[derive(Clone, Debug)]
+pub struct FaultBlocks3 {
+    disabled: Grid3<bool>,
+    /// The fault cuboids (bounding boxes of the disabled components).
+    pub blocks: Vec<Box3>,
+    fault_count: usize,
+    disabled_count: usize,
+}
+
+impl FaultBlocks3 {
+    /// Compute the cuboid-block closure of the mesh's fault set.
+    pub fn compute(mesh: &Mesh3D) -> FaultBlocks3 {
+        let mut disabled = Grid3::new(mesh.nx(), mesh.ny(), mesh.nz(), false);
+        for &f in mesh.faults() {
+            disabled[f] = true;
+        }
+        let mut blocks;
+        loop {
+            let grew = Self::close_rule(&mut disabled);
+            blocks = Self::boxes_of_components(&disabled);
+            let filled = Self::fill_boxes(&mut disabled, &blocks);
+            if !grew && !filled {
+                break;
+            }
+        }
+        let disabled_count = disabled.iter().filter(|(_, &b)| b).count();
+        FaultBlocks3 { disabled, blocks, fault_count: mesh.fault_count(), disabled_count }
+    }
+
+    /// "Two or more faulty/disabled neighbors" rule, to a fixpoint.
+    /// Returns true if any node was newly disabled.
+    fn close_rule(disabled: &mut Grid3<bool>) -> bool {
+        let blocked = |g: &Grid3<bool>, c: C3| g.get(c).copied().unwrap_or(false);
+        let rule = |g: &Grid3<bool>, c: C3| {
+            mesh_topo::Dir3::ALL.iter().filter(|&&d| blocked(g, c.step(d))).count() >= 2
+        };
+        let mut grew = false;
+        let mut work: Vec<C3> = disabled.coords().collect();
+        while let Some(u) = work.pop() {
+            if disabled[u] || !rule(disabled, u) {
+                continue;
+            }
+            disabled[u] = true;
+            grew = true;
+            for d in mesh_topo::Dir3::ALL {
+                let v = u.step(d);
+                if disabled.contains(v) && !disabled[v] {
+                    work.push(v);
+                }
+            }
+        }
+        grew
+    }
+
+    /// Bounding boxes of the connected disabled components, merged until
+    /// pairwise disjoint.
+    fn boxes_of_components(disabled: &Grid3<bool>) -> Vec<Box3> {
+        let mut seen = Grid3::new(disabled.nx(), disabled.ny(), disabled.nz(), false);
+        let mut blocks: Vec<Box3> = Vec::new();
+        let mut queue = Vec::new();
+        for start in disabled.coords() {
+            if !disabled[start] || seen[start] {
+                continue;
+            }
+            let mut bb = Box3::point(start);
+            queue.clear();
+            queue.push(start);
+            seen[start] = true;
+            while let Some(u) = queue.pop() {
+                bb.include(u);
+                for d in mesh_topo::Dir3::ALL {
+                    let v = u.step(d);
+                    if disabled.contains(v) && disabled[v] && !seen[v] {
+                        seen[v] = true;
+                        queue.push(v);
+                    }
+                }
+            }
+            blocks.push(bb);
+        }
+        loop {
+            let mut merged = false;
+            'outer: for i in 0..blocks.len() {
+                for j in (i + 1)..blocks.len() {
+                    if blocks[i].intersects(&blocks[j]) {
+                        blocks[i] = blocks[i].union(&blocks[j]);
+                        blocks.swap_remove(j);
+                        merged = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if !merged {
+                return blocks;
+            }
+        }
+    }
+
+    /// Disable every cell of every block. Returns true if anything changed.
+    fn fill_boxes(disabled: &mut Grid3<bool>, blocks: &[Box3]) -> bool {
+        let mut changed = false;
+        for b in blocks {
+            for c in b.iter() {
+                if disabled.contains(c) && !disabled[c] {
+                    disabled[c] = true;
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// True if `c` is inside some fault cuboid.
+    #[inline]
+    pub fn is_disabled(&self, c: C3) -> bool {
+        self.disabled.get(c).copied().unwrap_or(false)
+    }
+
+    /// Healthy nodes sacrificed by the model.
+    pub fn sacrificed_count(&self) -> usize {
+        self.disabled_count - self.fault_count
+    }
+
+    /// Total disabled nodes (faulty + sacrificed).
+    pub fn disabled_count(&self) -> usize {
+        self.disabled_count
+    }
+
+    /// Existence of a minimal path from `s` to `d` under the cuboid model:
+    /// a monotone path (after canonicalization) avoiding every disabled
+    /// node. `s`, `d` are mesh coordinates.
+    pub fn minimal_path_exists(&self, mesh: &Mesh3D, s: C3, d: C3) -> bool {
+        if self.is_disabled(s) || self.is_disabled(d) {
+            return false;
+        }
+        let frame = mesh_topo::Frame3::for_pair(mesh, s, d);
+        let (cs, cd) = (frame.to_canon(s), frame.to_canon(d));
+        oracle::reachable_3d(cs, cd, |c| self.is_disabled(frame.from_canon(c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_topo::coord::c3;
+
+    fn blocks_of(faults: &[C3], k: i32) -> (Mesh3D, FaultBlocks3) {
+        let mut mesh = Mesh3D::kary(k);
+        for &f in faults {
+            mesh.inject_fault(f);
+        }
+        let b = FaultBlocks3::compute(&mesh);
+        (mesh, b)
+    }
+
+    #[test]
+    fn single_fault_single_cell() {
+        let (_, b) = blocks_of(&[c3(3, 3, 3)], 8);
+        assert_eq!(b.blocks.len(), 1);
+        assert_eq!(b.blocks[0].volume(), 1);
+        assert_eq!(b.sacrificed_count(), 0);
+    }
+
+    #[test]
+    fn diagonal_pair_merges_in_3d_blocks() {
+        // Planar diagonal: the two nodes between them each see two faulty
+        // neighbors -> disabled -> one 2x2x1 block.
+        let (_, b) = blocks_of(&[c3(3, 3, 3), c3(4, 4, 3)], 8);
+        assert_eq!(b.blocks.len(), 1);
+        assert_eq!(b.blocks[0], Box3::spanning(c3(3, 3, 3), c3(4, 4, 3)));
+        assert_eq!(b.sacrificed_count(), 2);
+    }
+
+    #[test]
+    fn space_diagonal_stays_separate() {
+        // Space diagonal (differs in all 3 coords): no node has two
+        // faulty neighbors, and the two singleton boxes do not intersect.
+        let (_, b) = blocks_of(&[c3(4, 4, 4), c3(5, 5, 5)], 8);
+        assert_eq!(b.blocks.len(), 2);
+    }
+
+    #[test]
+    fn blocks_are_filled_cuboids() {
+        let (_, b) = blocks_of(&[c3(2, 2, 2), c3(3, 3, 2), c3(2, 3, 3)], 8);
+        for blk in &b.blocks {
+            for c in blk.iter() {
+                assert!(b.is_disabled(c), "{c} in block {blk:?} not disabled");
+            }
+        }
+        let total: u64 = b.blocks.iter().map(|bb| bb.volume()).sum();
+        assert_eq!(total as usize, b.disabled_count());
+    }
+
+    #[test]
+    fn rfb3_coarser_than_mcc3() {
+        use crate::labelling3::Labelling3;
+        use crate::status::BorderPolicy;
+        use mesh_topo::Frame3;
+        let (mesh, b) = blocks_of(&[c3(3, 3, 3), c3(4, 4, 3)], 8);
+        let lab = Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
+        // MCC: two blocked dims are not enough in 3-D -> nothing sacrificed.
+        assert_eq!(lab.sacrificed_count(), 0);
+        assert_eq!(b.sacrificed_count(), 2);
+    }
+
+    #[test]
+    fn minimal_path_under_cuboids() {
+        // A cuboid spanning the full RMP cross-section blocks.
+        let mut faults = Vec::new();
+        for x in 0..4 {
+            for y in 0..4 {
+                faults.push(c3(x, y, 2));
+            }
+        }
+        let (mesh, b) = blocks_of(&faults, 8);
+        assert!(!b.minimal_path_exists(&mesh, c3(0, 0, 0), c3(3, 3, 4)));
+        assert!(b.minimal_path_exists(&mesh, c3(0, 0, 0), c3(4, 3, 4)));
+    }
+
+    #[test]
+    fn endpoint_in_block_fails() {
+        let (mesh, b) = blocks_of(&[c3(3, 3, 3), c3(4, 4, 3)], 8);
+        assert!(b.is_disabled(c3(3, 4, 3)));
+        assert!(mesh.is_healthy(c3(3, 4, 3)));
+        assert!(!b.minimal_path_exists(&mesh, c3(0, 0, 0), c3(3, 4, 3)));
+    }
+
+    #[test]
+    fn disjoint_blocks_stay_disjoint() {
+        let (_, b) = blocks_of(&[c3(1, 1, 1), c3(6, 6, 6)], 8);
+        assert_eq!(b.blocks.len(), 2);
+        assert!(!b.blocks[0].intersects(&b.blocks[1]));
+    }
+}

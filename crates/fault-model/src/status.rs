@@ -1,0 +1,163 @@
+//! Node status lattice for the labelling procedures.
+//!
+//! A node is **faulty**, or healthy with zero or more of the labels
+//! **useless** (entering it forces a `-X`/`-Y`(`/-Z`) move next, w.r.t. the
+//! canonical routing direction) and **can't-reach** (entering it requires a
+//! `-X`/`-Y`(`/-Z`) move). The two labels propagate through *separate*
+//! closures — useless spreads over `faulty ∪ useless`, can't-reach over
+//! `faulty ∪ can't-reach` — so a node may carry both. Any labelled or faulty
+//! node is **unsafe**; the rest are **safe**.
+
+use serde::{Deserialize, Serialize};
+
+/// Status of a single node under the MCC labelling.
+///
+/// Internally a small bitmask so the closure can treat "faulty or useless"
+/// and "faulty or can't-reach" as cheap mask tests.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct NodeStatus(u8);
+
+impl NodeStatus {
+    const FAULTY: u8 = 0b001;
+    const USELESS: u8 = 0b010;
+    const CANT_REACH: u8 = 0b100;
+
+    /// A healthy, unlabelled (safe) node.
+    pub const SAFE: NodeStatus = NodeStatus(0);
+
+    /// A faulty node.
+    pub const FAULT: NodeStatus = NodeStatus(Self::FAULTY);
+
+    /// True for faulty nodes.
+    #[inline]
+    pub fn is_faulty(self) -> bool {
+        self.0 & Self::FAULTY != 0
+    }
+
+    /// True for healthy nodes labelled useless (possibly also can't-reach).
+    #[inline]
+    pub fn is_useless(self) -> bool {
+        self.0 & Self::USELESS != 0
+    }
+
+    /// True for healthy nodes labelled can't-reach (possibly also useless).
+    #[inline]
+    pub fn is_cant_reach(self) -> bool {
+        self.0 & Self::CANT_REACH != 0
+    }
+
+    /// True if the node blocks the **useless** closure: faulty or useless.
+    #[inline]
+    pub fn blocks_forward(self) -> bool {
+        self.0 & (Self::FAULTY | Self::USELESS) != 0
+    }
+
+    /// True if the node blocks the **can't-reach** closure: faulty or
+    /// can't-reach.
+    #[inline]
+    pub fn blocks_backward(self) -> bool {
+        self.0 & (Self::FAULTY | Self::CANT_REACH) != 0
+    }
+
+    /// True for any faulty or labelled node — the nodes that form MCCs.
+    #[inline]
+    pub fn is_unsafe(self) -> bool {
+        self.0 != 0
+    }
+
+    /// True for healthy, unlabelled nodes.
+    #[inline]
+    pub fn is_safe(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Add the useless label. No effect on faulty nodes' faulty bit.
+    #[inline]
+    pub fn mark_useless(&mut self) {
+        self.0 |= Self::USELESS;
+    }
+
+    /// Add the can't-reach label.
+    #[inline]
+    pub fn mark_cant_reach(&mut self) {
+        self.0 |= Self::CANT_REACH;
+    }
+}
+
+impl core::fmt::Debug for NodeStatus {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.is_safe() {
+            return f.write_str("safe");
+        }
+        let mut parts = Vec::new();
+        if self.is_faulty() {
+            parts.push("faulty");
+        }
+        if self.is_useless() {
+            parts.push("useless");
+        }
+        if self.is_cant_reach() {
+            parts.push("cant-reach");
+        }
+        f.write_str(&parts.join("+"))
+    }
+}
+
+/// How the labelling closure treats neighbors that fall outside the mesh.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum BorderPolicy {
+    /// Out-of-mesh neighbors count as **safe** (default).
+    ///
+    /// This is the reading consistent with the model: a minimal route only
+    /// sits on the mesh border when the destination shares that border
+    /// coordinate, in which case the missing direction is never *needed*.
+    /// Treating the border as blocking would label the far corner of a
+    /// fault-free mesh useless and cascade along the border.
+    #[default]
+    BorderSafe,
+    /// Out-of-mesh neighbors count as **unsafe** (blocking). Provided for
+    /// ablation studies; not used by the paper-faithful pipeline.
+    BorderBlocked,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_safe() {
+        let s = NodeStatus::default();
+        assert!(s.is_safe());
+        assert!(!s.is_unsafe());
+        assert!(!s.blocks_forward());
+        assert!(!s.blocks_backward());
+    }
+
+    #[test]
+    fn faulty_blocks_both_closures() {
+        let s = NodeStatus::FAULT;
+        assert!(s.is_faulty() && s.is_unsafe());
+        assert!(s.blocks_forward() && s.blocks_backward());
+        assert!(!s.is_useless() && !s.is_cant_reach());
+    }
+
+    #[test]
+    fn labels_are_independent() {
+        let mut s = NodeStatus::SAFE;
+        s.mark_useless();
+        assert!(s.is_useless() && !s.is_cant_reach());
+        assert!(s.blocks_forward() && !s.blocks_backward());
+        s.mark_cant_reach();
+        assert!(s.is_useless() && s.is_cant_reach());
+        assert!(s.blocks_forward() && s.blocks_backward());
+        assert!(!s.is_faulty());
+    }
+
+    #[test]
+    fn debug_formatting() {
+        let mut s = NodeStatus::FAULT;
+        s.mark_useless();
+        assert_eq!(format!("{s:?}"), "faulty+useless");
+        assert_eq!(format!("{:?}", NodeStatus::SAFE), "safe");
+    }
+}

@@ -1,0 +1,201 @@
+//! Property-based validation of the MCC model's central theorems.
+//!
+//! * **Closure minimality** (Wang 2-D, Jiang–Wu–Wang 3-D): for safe
+//!   endpoints, a monotone path avoiding the *faults* exists iff one
+//!   avoiding the whole *unsafe closure* exists — no healthy node an MCC
+//!   captures could ever have helped a minimal routing.
+//! * **Shape**: every 2-D MCC is HV-convex (contiguous rows/columns).
+//! * **Condition exactness**: `minimal_path_exists_2d/3d` agrees with the
+//!   fault-avoiding oracle for every endpoint combination.
+//! * **Model ordering**: MCC sacrifices ≤ RFB sacrifices; RFB success
+//!   implies MCC success.
+
+use fault_model::components::{Components2, Components3};
+use fault_model::mcc2::MccSet2;
+use fault_model::mcc3::MccSet3;
+use fault_model::oracle;
+use fault_model::{
+    minimal_path_exists_2d, minimal_path_exists_3d, BorderPolicy, FaultBlocks2, FaultBlocks3,
+    Labelling2, Labelling3,
+};
+use mesh_topo::coord::{c2, c3};
+use mesh_topo::{Frame2, Frame3, Mesh2D, Mesh3D, C2, C3};
+use proptest::prelude::*;
+
+const W: i32 = 12;
+const K: i32 = 8;
+
+fn arb_mesh2() -> impl Strategy<Value = Mesh2D> {
+    proptest::collection::vec((0..W, 0..W), 0..20).prop_map(|faults| {
+        let mut mesh = Mesh2D::new(W, W);
+        for (x, y) in faults {
+            let c = c2(x, y);
+            if mesh.is_healthy(c) {
+                mesh.inject_fault(c);
+            }
+        }
+        mesh
+    })
+}
+
+fn arb_mesh3() -> impl Strategy<Value = Mesh3D> {
+    proptest::collection::vec((0..K, 0..K, 0..K), 0..32).prop_map(|faults| {
+        let mut mesh = Mesh3D::kary(K);
+        for (x, y, z) in faults {
+            let c = c3(x, y, z);
+            if mesh.is_healthy(c) {
+                mesh.inject_fault(c);
+            }
+        }
+        mesh
+    })
+}
+
+fn canon_pair2(s: C2, d: C2) -> (C2, C2) {
+    (c2(s.x.min(d.x), s.y.min(d.y)), c2(s.x.max(d.x), s.y.max(d.y)))
+}
+
+fn canon_pair3(s: C3, d: C3) -> (C3, C3) {
+    (
+        c3(s.x.min(d.x), s.y.min(d.y), s.z.min(d.z)),
+        c3(s.x.max(d.x), s.y.max(d.y), s.z.max(d.z)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Wang's minimality theorem in 2-D: the closure blocks no reachable
+    /// safe destination.
+    #[test]
+    fn closure_minimality_2d(mesh in arb_mesh2(), sx in 0..W, sy in 0..W, dx in 0..W, dy in 0..W) {
+        let (s, d) = canon_pair2(c2(sx, sy), c2(dx, dy));
+        let lab = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+        prop_assume!(lab.status(s).is_safe() && lab.status(d).is_safe());
+        let via_faults = oracle::reachable_2d(s, d, |c| mesh.is_faulty(c) || !mesh.contains(c));
+        let via_closure = oracle::reachable_2d(s, d, |c| lab.status_get(c).map(|t| t.is_unsafe()).unwrap_or(true));
+        prop_assert_eq!(via_faults, via_closure,
+            "closure changed reachability: s={} d={} faults={:?}", s, d, mesh.faults());
+    }
+
+    /// Jiang–Wu–Wang minimality in 3-D.
+    #[test]
+    fn closure_minimality_3d(mesh in arb_mesh3(),
+                             sx in 0..K, sy in 0..K, sz in 0..K,
+                             dx in 0..K, dy in 0..K, dz in 0..K) {
+        let (s, d) = canon_pair3(c3(sx, sy, sz), c3(dx, dy, dz));
+        let lab = Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
+        prop_assume!(lab.status(s).is_safe() && lab.status(d).is_safe());
+        let via_faults = oracle::reachable_3d(s, d, |c| mesh.is_faulty(c) || !mesh.contains(c));
+        let via_closure = oracle::reachable_3d(s, d, |c| lab.status_get(c).map(|t| t.is_unsafe()).unwrap_or(true));
+        prop_assert_eq!(via_faults, via_closure,
+            "closure changed reachability: s={} d={} faults={:?}", s, d, mesh.faults());
+    }
+
+    /// Every 2-D MCC is HV-convex, for every quadrant orientation.
+    #[test]
+    fn mcc2_shape_hv_convex(mesh in arb_mesh2()) {
+        for frame in Frame2::all(&mesh) {
+            let lab = Labelling2::compute(&mesh, frame, BorderPolicy::BorderSafe);
+            let set = MccSet2::compute(&lab);
+            for m in set.iter() {
+                prop_assert!(m.is_hv_convex(),
+                    "non-HV-convex MCC (frame {:?}): cells {:?}", frame, m.cells);
+                // contains() (profile-based) must agree with the cell list.
+                for &c in &m.cells {
+                    prop_assert!(m.contains(c));
+                }
+            }
+        }
+    }
+
+    /// The 2-D existence condition equals ground truth for all endpoint
+    /// statuses (safe, useless, can't-reach) of healthy endpoints.
+    #[test]
+    fn condition2_exact(mesh in arb_mesh2(), sx in 0..W, sy in 0..W, dx in 0..W, dy in 0..W) {
+        let (s, d) = canon_pair2(c2(sx, sy), c2(dx, dy));
+        prop_assume!(mesh.is_healthy(s) && mesh.is_healthy(d));
+        let lab = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+        let set = MccSet2::compute(&lab);
+        let claim = minimal_path_exists_2d(&lab, &set, s, d).exists();
+        let truth = oracle::reachable_2d(s, d, |c| mesh.is_faulty(c) || !mesh.contains(c));
+        prop_assert_eq!(claim, truth,
+            "condition mismatch: s={} d={} s_status={:?} d_status={:?} faults={:?}",
+            s, d, lab.status(s), lab.status(d), mesh.faults());
+    }
+
+    /// The 3-D existence condition equals ground truth.
+    #[test]
+    fn condition3_exact(mesh in arb_mesh3(),
+                        sx in 0..K, sy in 0..K, sz in 0..K,
+                        dx in 0..K, dy in 0..K, dz in 0..K) {
+        let (s, d) = canon_pair3(c3(sx, sy, sz), c3(dx, dy, dz));
+        prop_assume!(mesh.is_healthy(s) && mesh.is_healthy(d));
+        let lab = Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
+        let claim = minimal_path_exists_3d(&lab, s, d).exists();
+        let truth = oracle::reachable_3d(s, d, |c| mesh.is_faulty(c) || !mesh.contains(c));
+        prop_assert_eq!(claim, truth,
+            "condition mismatch: s={} d={} faults={:?}", s, d, mesh.faults());
+    }
+
+    /// MCC is the finer model: it never sacrifices more healthy nodes than
+    /// rectangular blocks, in any orientation (2-D).
+    #[test]
+    fn mcc2_finer_than_rfb2(mesh in arb_mesh2()) {
+        let blocks = FaultBlocks2::compute(&mesh);
+        for frame in Frame2::all(&mesh) {
+            let lab = Labelling2::compute(&mesh, frame, BorderPolicy::BorderSafe);
+            prop_assert!(lab.sacrificed_count() <= blocks.sacrificed_count());
+            // Stronger: every node an MCC captures, RFB captures too.
+            for c in mesh.nodes() {
+                if lab.status_mesh(c).is_unsafe() {
+                    prop_assert!(blocks.is_disabled(c),
+                        "MCC captured {} but RFB did not", c);
+                }
+            }
+        }
+    }
+
+    /// Same in 3-D.
+    #[test]
+    fn mcc3_finer_than_rfb3(mesh in arb_mesh3()) {
+        let blocks = FaultBlocks3::compute(&mesh);
+        let lab = Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
+        prop_assert!(lab.sacrificed_count() <= blocks.sacrificed_count());
+        for c in mesh.nodes() {
+            if lab.status_mesh(c).is_unsafe() {
+                prop_assert!(blocks.is_disabled(c));
+            }
+        }
+    }
+
+    /// RFB success implies MCC success (the success-rate ordering of the
+    /// paper's evaluation): if a monotone path avoids all block nodes it
+    /// certainly avoids all faults.
+    #[test]
+    fn rfb2_success_implies_mcc_success(mesh in arb_mesh2(),
+                                        sx in 0..W, sy in 0..W, dx in 0..W, dy in 0..W) {
+        let (s, d) = canon_pair2(c2(sx, sy), c2(dx, dy));
+        prop_assume!(mesh.is_healthy(s) && mesh.is_healthy(d));
+        let blocks = FaultBlocks2::compute(&mesh);
+        if blocks.minimal_path_exists(&mesh, s, d) {
+            let truth = oracle::reachable_2d(s, d, |c| mesh.is_faulty(c) || !mesh.contains(c));
+            prop_assert!(truth);
+        }
+    }
+
+    /// Components partition the unsafe set (2-D and 3-D).
+    #[test]
+    fn components_partition_unsafe(mesh in arb_mesh2(), mesh3 in arb_mesh3()) {
+        let lab = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+        let comps = Components2::compute(&lab);
+        let total: usize = comps.cells.iter().map(|v| v.len()).sum();
+        prop_assert_eq!(total, lab.unsafe_count());
+        let lab3 = Labelling3::compute(&mesh3, Frame3::identity(&mesh3), BorderPolicy::BorderSafe);
+        let comps3 = Components3::compute(&lab3);
+        let total3: usize = comps3.cells.iter().map(|v| v.len()).sum();
+        prop_assert_eq!(total3, lab3.unsafe_count());
+        let set3 = MccSet3::compute(&lab3);
+        prop_assert_eq!(set3.len(), comps3.len());
+    }
+}

@@ -1,0 +1,59 @@
+//! Benchmarks for the fault-region kernels behind tables E1/E2:
+//! labelling closures, MCC extraction and the block baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fault_model::mcc2::MccSet2;
+use fault_model::mcc3::MccSet3;
+use fault_model::{BorderPolicy, FaultBlocks2, FaultBlocks3, Labelling2, Labelling3};
+use mesh_topo::{FaultSpec, Frame2, Frame3, Mesh2D, Mesh3D};
+
+fn mesh2(width: i32, faults: usize) -> Mesh2D {
+    let mut mesh = Mesh2D::new(width, width);
+    FaultSpec::uniform(faults, 42).inject_2d(&mut mesh, &[]);
+    mesh
+}
+
+fn mesh3(k: i32, faults: usize) -> Mesh3D {
+    let mut mesh = Mesh3D::kary(k);
+    FaultSpec::uniform(faults, 42).inject_3d(&mut mesh, &[]);
+    mesh
+}
+
+fn bench_fault_regions_2d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_fault_regions_2d_32x32");
+    g.sample_size(20);
+    for faults in [10usize, 30, 50] {
+        let mesh = mesh2(32, faults);
+        g.bench_with_input(BenchmarkId::new("mcc_labelling", faults), &mesh, |b, m| {
+            b.iter(|| {
+                let lab = Labelling2::compute(m, Frame2::identity(m), BorderPolicy::BorderSafe);
+                MccSet2::compute(&lab).total_sacrificed()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rfb_blocks", faults), &mesh, |b, m| {
+            b.iter(|| FaultBlocks2::compute(m).sacrificed_count())
+        });
+    }
+    g.finish();
+}
+
+fn bench_fault_regions_3d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_fault_regions_3d_16cubed");
+    g.sample_size(10);
+    for faults in [20usize, 60, 120] {
+        let mesh = mesh3(16, faults);
+        g.bench_with_input(BenchmarkId::new("mcc_labelling", faults), &mesh, |b, m| {
+            b.iter(|| {
+                let lab = Labelling3::compute(m, Frame3::identity(m), BorderPolicy::BorderSafe);
+                MccSet3::compute(&lab).total_sacrificed()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rfb_blocks", faults), &mesh, |b, m| {
+            b.iter(|| FaultBlocks3::compute(m).sacrificed_count())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fault_regions_2d, bench_fault_regions_3d);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Benchmarks for the distributed protocols behind tables E5/E7:
+//! labelling convergence, the full 2-D construction pipeline, detection
+//! floods and distributed routing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcc_protocols::boundary2::build_pipeline_2d;
+use mcc_protocols::labelling::{DistLabelling2, DistLabelling3};
+use mcc_protocols::route2::route_distributed_2d;
+use mesh_topo::coord::{c2, c3};
+use mesh_topo::{FaultSpec, Frame2, Frame3, Mesh2D, Mesh3D};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn interior_mesh2(width: i32, faults: usize, seed: u64) -> Mesh2D {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut mesh = Mesh2D::new(width, width);
+    let mut placed = 0;
+    while placed < faults {
+        let c = c2(rng.gen_range(1..width - 1), rng.gen_range(1..width - 1));
+        if mesh.is_healthy(c) {
+            mesh.inject_fault(c);
+            placed += 1;
+        }
+    }
+    mesh
+}
+
+fn bench_labelling_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_distributed_labelling");
+    g.sample_size(10);
+    for faults in [10usize, 30] {
+        let mesh = interior_mesh2(24, faults, 5);
+        g.bench_with_input(BenchmarkId::new("2d_24x24", faults), &mesh, |b, m| {
+            b.iter(|| DistLabelling2::run(m, Frame2::identity(m)).stats.messages)
+        });
+    }
+    let mut mesh3 = Mesh3D::kary(10);
+    FaultSpec::uniform(40, 5).inject_3d(&mut mesh3, &[]);
+    g.bench_function("3d_10cubed_40faults", |b| {
+        b.iter(|| DistLabelling3::run(&mesh3, Frame3::identity(&mesh3)).stats.messages)
+    });
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_construction_pipeline_2d");
+    g.sample_size(10);
+    for faults in [5usize, 15] {
+        let mesh = interior_mesh2(20, faults, 6);
+        g.bench_with_input(BenchmarkId::new("20x20", faults), &mesh, |b, m| {
+            b.iter(|| build_pipeline_2d(m, Frame2::identity(m)).1.total_messages())
+        });
+    }
+    g.finish();
+}
+
+fn bench_distributed_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distributed_routing_2d");
+    g.sample_size(10);
+    let mesh = interior_mesh2(20, 10, 8);
+    let (bound, _) = build_pipeline_2d(&mesh, Frame2::identity(&mesh));
+    let lab = fault_model::Labelling2::compute(
+        &mesh,
+        Frame2::identity(&mesh),
+        fault_model::BorderPolicy::BorderSafe,
+    );
+    if lab.is_safe(c2(0, 0)) && lab.is_safe(c2(19, 19)) {
+        g.bench_function("detect_plus_data_20x20", |b| {
+            b.iter(|| route_distributed_2d(&mesh, &bound, c2(0, 0), c2(19, 19)).feasible)
+        });
+    }
+    let _ = c3(0, 0, 0);
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_labelling_protocol,
+    bench_pipeline,
+    bench_distributed_routing
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Benchmarks for the routing kernels behind tables E3/E4/E6: detection
+//! walks/floods, the two-phase routers, and whole trials.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fault_model::mcc2::MccSet2;
+use fault_model::mcc3::MccSet3;
+use fault_model::{BorderPolicy, Labelling2, Labelling3};
+use mcc_routing::policy::Policy;
+use mcc_routing::trial::{run_trial_2d, run_trial_3d};
+use mcc_routing::{detect_2d, detect_3d, Router2, Router3};
+use mesh_topo::coord::{c2, c3};
+use mesh_topo::{FaultSpec, Frame2, Frame3, Mesh2D, Mesh3D};
+
+fn bench_detection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detection");
+    g.sample_size(30);
+    let mut mesh = Mesh2D::new(32, 32);
+    FaultSpec::uniform(20, 7).inject_2d(&mut mesh, &[c2(0, 0), c2(31, 31)]);
+    let lab = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+    if lab.is_safe(c2(0, 0)) && lab.is_safe(c2(31, 31)) {
+        g.bench_function("walks_2d_32x32", |b| {
+            b.iter(|| detect_2d(&lab, c2(0, 0), c2(31, 31)).feasible())
+        });
+    }
+    let mut mesh3 = Mesh3D::kary(16);
+    FaultSpec::uniform(60, 7).inject_3d(&mut mesh3, &[c3(0, 0, 0), c3(15, 15, 15)]);
+    let lab3 = Labelling3::compute(&mesh3, Frame3::identity(&mesh3), BorderPolicy::BorderSafe);
+    if lab3.is_safe(c3(0, 0, 0)) && lab3.is_safe(c3(15, 15, 15)) {
+        g.bench_function("floods_3d_16cubed", |b| {
+            b.iter(|| detect_3d(&lab3, c3(0, 0, 0), c3(15, 15, 15)).feasible())
+        });
+    }
+    g.finish();
+}
+
+fn bench_routers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("router");
+    g.sample_size(30);
+    let mut mesh = Mesh2D::new(32, 32);
+    FaultSpec::uniform(20, 9).inject_2d(&mut mesh, &[c2(0, 0), c2(31, 31)]);
+    let lab = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+    let set = MccSet2::compute(&lab);
+    let router = Router2::new(&lab, &set);
+    g.bench_function("route_2d_32x32_corner_to_corner", |b| {
+        b.iter(|| {
+            let mut p = Policy::balanced();
+            router.route(c2(0, 0), c2(31, 31), &mut p).delivered()
+        })
+    });
+    let mut mesh3 = Mesh3D::kary(16);
+    FaultSpec::uniform(60, 9).inject_3d(&mut mesh3, &[c3(0, 0, 0), c3(15, 15, 15)]);
+    let lab3 = Labelling3::compute(&mesh3, Frame3::identity(&mesh3), BorderPolicy::BorderSafe);
+    let set3 = MccSet3::compute(&lab3);
+    let router3 = Router3::new(&lab3, &set3);
+    g.bench_function("route_3d_16cubed_corner_to_corner", |b| {
+        b.iter(|| {
+            let mut p = Policy::balanced();
+            router3.route(c3(0, 0, 0), c3(15, 15, 15), &mut p).delivered()
+        })
+    });
+    g.finish();
+}
+
+fn bench_trials(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_trial");
+    g.sample_size(10);
+    for faults in [10usize, 30] {
+        g.bench_with_input(BenchmarkId::new("trial_2d_32x32", faults), &faults, |b, &n| {
+            b.iter(|| {
+                let mut mesh = Mesh2D::new(32, 32);
+                FaultSpec::uniform(n, 11).inject_2d(&mut mesh, &[c2(1, 2), c2(30, 29)]);
+                run_trial_2d(&mesh, c2(1, 2), c2(30, 29), 3)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("trial_3d_12cubed", faults), &faults, |b, &n| {
+            b.iter(|| {
+                let mut mesh = Mesh3D::kary(12);
+                FaultSpec::uniform(n, 11).inject_3d(&mut mesh, &[c3(0, 1, 2), c3(11, 10, 9)]);
+                run_trial_3d(&mesh, c3(0, 1, 2), c3(11, 10, 9), 3)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_detection, bench_routers, bench_trials);
+criterion_main!(benches);

@@ -1,0 +1,445 @@
+//! # mcc-bench — experiment harness for the ICPP 2005 reproduction
+//!
+//! Workload generators, parameter sweeps and aggregation for every table
+//! and figure of the evaluation (see `EXPERIMENTS.md` at the workspace
+//! root). The `tables` binary prints the rows; the criterion benches under
+//! `benches/` time the kernels that regenerate them.
+//!
+//! Sweeps parallelize over seeds with crossbeam scoped threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fault_model::stats::{region_stats_2d, region_stats_3d};
+use fault_model::BorderPolicy;
+use mcc_protocols::boundary2::build_pipeline_2d;
+use mcc_protocols::labelling::{DistLabelling2, DistLabelling3};
+use mcc_routing::trial::{run_trial_2d, run_trial_3d};
+use mesh_topo::coord::{c2, c3};
+use mesh_topo::{FaultSpec, Frame2, Frame3, Mesh2D, Mesh3D, C2, C3};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One row of the fault-region size tables (E1/E2).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct RegionRow {
+    /// Injected fault count.
+    pub faults: usize,
+    /// Mean healthy nodes captured by MCCs (canonical orientation).
+    pub mcc: f64,
+    /// Mean healthy nodes captured in the worst orientation.
+    pub mcc_worst: f64,
+    /// Mean healthy nodes captured in some orientation (union).
+    pub mcc_union: f64,
+    /// Mean healthy nodes captured by rectangular/cuboid blocks.
+    pub rfb: f64,
+    /// Mean number of MCCs.
+    pub mcc_regions: f64,
+    /// Mean number of blocks.
+    pub rfb_regions: f64,
+}
+
+/// One row of the routing success-rate tables (E3/E4/E6).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct RoutingRow {
+    /// Injected fault count.
+    pub faults: usize,
+    /// Fraction of trials with a true minimal path (ground truth).
+    pub oracle: f64,
+    /// Fraction admitted by the MCC condition (== oracle by Theorems 1–2).
+    pub mcc: f64,
+    /// Fraction admitted by the rectangular/cuboid block model.
+    pub rfb: f64,
+    /// Fraction delivered by the information-free greedy router.
+    pub greedy: f64,
+    /// Mean adaptivity (allowed directions per hop) of delivered MCC routes.
+    pub mcc_adaptivity: f64,
+    /// Mean adaptivity of delivered block-model routes.
+    pub rfb_adaptivity: f64,
+    /// Mean source-detection cost of MCC routing.
+    pub detection_cost: f64,
+    /// Fraction of trials with both endpoints safe.
+    pub endpoints_safe: f64,
+}
+
+/// One row of the protocol-overhead tables (E5/E7).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct OverheadRow {
+    /// Injected fault count.
+    pub faults: usize,
+    /// Mean messages of the distributed labelling phase.
+    pub labelling_msgs: f64,
+    /// Mean rounds to labelling convergence.
+    pub labelling_rounds: f64,
+    /// Mean messages of component identification.
+    pub compid_msgs: f64,
+    /// Mean messages of the identification walks.
+    pub ident_msgs: f64,
+    /// Mean messages of boundary construction.
+    pub boundary_msgs: f64,
+    /// Mean total construction messages.
+    pub total_msgs: f64,
+}
+
+fn parallel_seeds<T: Send, F>(seeds: std::ops::Range<u64>, f: F) -> Vec<T>
+where
+    F: Fn(u64) -> T + Sync,
+{
+    let out: Mutex<Vec<(u64, T)>> = Mutex::new(Vec::new());
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let seeds: Vec<u64> = seeds.collect();
+    crossbeam::thread::scope(|scope| {
+        for chunk in seeds.chunks(seeds.len().div_ceil(threads).max(1)) {
+            let out = &out;
+            let f = &f;
+            scope.spawn(move |_| {
+                for &seed in chunk {
+                    let v = f(seed);
+                    out.lock().push((seed, v));
+                }
+            });
+        }
+    })
+    .expect("sweep thread panicked");
+    let mut results = out.into_inner();
+    results.sort_by_key(|(s, _)| *s);
+    results.into_iter().map(|(_, v)| v).collect()
+}
+
+/// E1 — fault-region sizes in a 2-D mesh, per fault count.
+pub fn region_sweep_2d(width: i32, fault_counts: &[usize], seeds: u64) -> Vec<RegionRow> {
+    fault_counts
+        .iter()
+        .map(|&n| {
+            let stats = parallel_seeds(0..seeds, |seed| {
+                let mut mesh = Mesh2D::new(width, width);
+                FaultSpec::uniform(n, seed ^ ((n as u64) << 32)).inject_2d(&mut mesh, &[]);
+                region_stats_2d(&mesh, BorderPolicy::BorderSafe)
+            });
+            let k = stats.len() as f64;
+            RegionRow {
+                faults: n,
+                mcc: stats.iter().map(|s| s.mcc_sacrificed as f64).sum::<f64>() / k,
+                mcc_worst: stats.iter().map(|s| s.mcc_sacrificed_worst as f64).sum::<f64>() / k,
+                mcc_union: stats.iter().map(|s| s.mcc_sacrificed_union as f64).sum::<f64>() / k,
+                rfb: stats.iter().map(|s| s.rfb_sacrificed as f64).sum::<f64>() / k,
+                mcc_regions: stats.iter().map(|s| s.mcc_count as f64).sum::<f64>() / k,
+                rfb_regions: stats.iter().map(|s| s.rfb_count as f64).sum::<f64>() / k,
+            }
+        })
+        .collect()
+}
+
+/// E2 — fault-region sizes in a 3-D mesh, per fault count.
+pub fn region_sweep_3d(k: i32, fault_counts: &[usize], seeds: u64) -> Vec<RegionRow> {
+    fault_counts
+        .iter()
+        .map(|&n| {
+            let stats = parallel_seeds(0..seeds, |seed| {
+                let mut mesh = Mesh3D::kary(k);
+                FaultSpec::uniform(n, seed ^ ((n as u64) << 32)).inject_3d(&mut mesh, &[]);
+                region_stats_3d(&mesh, BorderPolicy::BorderSafe)
+            });
+            let kk = stats.len() as f64;
+            RegionRow {
+                faults: n,
+                mcc: stats.iter().map(|s| s.mcc_sacrificed as f64).sum::<f64>() / kk,
+                mcc_worst: stats.iter().map(|s| s.mcc_sacrificed_worst as f64).sum::<f64>() / kk,
+                mcc_union: stats.iter().map(|s| s.mcc_sacrificed_union as f64).sum::<f64>() / kk,
+                rfb: stats.iter().map(|s| s.rfb_sacrificed as f64).sum::<f64>() / kk,
+                mcc_regions: stats.iter().map(|s| s.mcc_count as f64).sum::<f64>() / kk,
+                rfb_regions: stats.iter().map(|s| s.rfb_count as f64).sum::<f64>() / kk,
+            }
+        })
+        .collect()
+}
+
+fn random_pair_2d(rng: &mut SmallRng, w: i32, min_dist: u32) -> (C2, C2) {
+    loop {
+        let s = c2(rng.gen_range(0..w), rng.gen_range(0..w));
+        let d = c2(rng.gen_range(0..w), rng.gen_range(0..w));
+        if s.dist(d) >= min_dist {
+            return (s, d);
+        }
+    }
+}
+
+fn random_pair_3d(rng: &mut SmallRng, k: i32, min_dist: u32) -> (C3, C3) {
+    loop {
+        let s = c3(rng.gen_range(0..k), rng.gen_range(0..k), rng.gen_range(0..k));
+        let d = c3(rng.gen_range(0..k), rng.gen_range(0..k), rng.gen_range(0..k));
+        if s.dist(d) >= min_dist {
+            return (s, d);
+        }
+    }
+}
+
+/// E3/E6 — routing success rates and path metrics in a 2-D mesh.
+pub fn routing_sweep_2d(width: i32, fault_counts: &[usize], trials: u64) -> Vec<RoutingRow> {
+    fault_counts
+        .iter()
+        .map(|&n| {
+            let results = parallel_seeds(0..trials, |seed| {
+                let mut rng =
+                    SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9) ^ n as u64);
+                let (s, d) = random_pair_2d(&mut rng, width, width as u32 / 2);
+                let mut mesh = Mesh2D::new(width, width);
+                FaultSpec::uniform(n, rng.gen()).inject_2d(&mut mesh, &[s, d]);
+                run_trial_2d(&mesh, s, d, rng.gen())
+            });
+            aggregate_routing(n, &results)
+        })
+        .collect()
+}
+
+/// E4/E6 — routing success rates and path metrics in a 3-D mesh.
+pub fn routing_sweep_3d(k: i32, fault_counts: &[usize], trials: u64) -> Vec<RoutingRow> {
+    fault_counts
+        .iter()
+        .map(|&n| {
+            let results = parallel_seeds(0..trials, |seed| {
+                let mut rng =
+                    SmallRng::seed_from_u64(seed.wrapping_mul(0x51ed_270b) ^ n as u64);
+                let (s, d) = random_pair_3d(&mut rng, k, k as u32);
+                let mut mesh = Mesh3D::kary(k);
+                FaultSpec::uniform(n, rng.gen()).inject_3d(&mut mesh, &[s, d]);
+                run_trial_3d(&mesh, s, d, rng.gen())
+            });
+            aggregate_routing(n, &results)
+        })
+        .collect()
+}
+
+fn aggregate_routing(n: usize, results: &[mcc_routing::trial::TrialResult]) -> RoutingRow {
+    let k = results.len() as f64;
+    let frac = |f: &dyn Fn(&mcc_routing::trial::TrialResult) -> bool| {
+        results.iter().filter(|t| f(t)).count() as f64 / k
+    };
+    let delivered: Vec<_> = results.iter().filter(|t| t.mcc_delivered).collect();
+    let rfb_delivered: Vec<_> = results.iter().filter(|t| t.rfb_adaptivity > 0.0).collect();
+    RoutingRow {
+        faults: n,
+        oracle: frac(&|t| t.oracle_ok),
+        mcc: frac(&|t| t.mcc_ok),
+        rfb: frac(&|t| t.rfb_ok),
+        greedy: frac(&|t| t.greedy_ok),
+        mcc_adaptivity: if delivered.is_empty() {
+            0.0
+        } else {
+            delivered.iter().map(|t| t.mcc_adaptivity).sum::<f64>() / delivered.len() as f64
+        },
+        rfb_adaptivity: if rfb_delivered.is_empty() {
+            0.0
+        } else {
+            rfb_delivered.iter().map(|t| t.rfb_adaptivity).sum::<f64>()
+                / rfb_delivered.len() as f64
+        },
+        detection_cost: if delivered.is_empty() {
+            0.0
+        } else {
+            delivered.iter().map(|t| t.detection_cost as f64).sum::<f64>()
+                / delivered.len() as f64
+        },
+        endpoints_safe: frac(&|t| t.endpoints_safe),
+    }
+}
+
+/// E5/E7 — distributed-construction overhead in a 2-D mesh.
+pub fn overhead_sweep_2d(width: i32, fault_counts: &[usize], seeds: u64) -> Vec<OverheadRow> {
+    fault_counts
+        .iter()
+        .map(|&n| {
+            let stats = parallel_seeds(0..seeds, |seed| {
+                let mut mesh = Mesh2D::new(width, width);
+                // Interior faults: the identification walks assume regions
+                // do not touch the mesh border (see DESIGN.md).
+                let mut rng = SmallRng::seed_from_u64(seed ^ ((n as u64) << 24));
+                let mut placed = 0;
+                while placed < n {
+                    let c = c2(rng.gen_range(1..width - 1), rng.gen_range(1..width - 1));
+                    if mesh.is_healthy(c) {
+                        mesh.inject_fault(c);
+                        placed += 1;
+                    }
+                }
+                let (_, stats) = build_pipeline_2d(&mesh, Frame2::identity(&mesh));
+                stats
+            });
+            let k = stats.len() as f64;
+            OverheadRow {
+                faults: n,
+                labelling_msgs: stats.iter().map(|s| s.labelling.messages as f64).sum::<f64>()
+                    / k,
+                labelling_rounds: stats.iter().map(|s| s.labelling.rounds as f64).sum::<f64>()
+                    / k,
+                compid_msgs: stats.iter().map(|s| s.components.messages as f64).sum::<f64>() / k,
+                ident_msgs: stats
+                    .iter()
+                    .map(|s| s.identification.messages as f64)
+                    .sum::<f64>()
+                    / k,
+                boundary_msgs: stats.iter().map(|s| s.boundary.messages as f64).sum::<f64>() / k,
+                total_msgs: stats.iter().map(|s| s.total_messages() as f64).sum::<f64>() / k,
+            }
+        })
+        .collect()
+}
+
+/// E7 (3-D) — distributed labelling convergence in a 3-D mesh, plus the
+/// detection-flood cost of one routing request (reported in the
+/// `boundary_msgs` column).
+pub fn overhead_sweep_3d(k: i32, fault_counts: &[usize], seeds: u64) -> Vec<OverheadRow> {
+    fault_counts
+        .iter()
+        .map(|&n| {
+            let stats = parallel_seeds(0..seeds, |seed| {
+                let mut mesh = Mesh3D::kary(k);
+                FaultSpec::uniform(n, seed ^ ((n as u64) << 24))
+                    .inject_3d(&mut mesh, &[c3(0, 0, 0), c3(k - 1, k - 1, k - 1)]);
+                let lab = DistLabelling3::run(&mesh, Frame3::identity(&mesh));
+                let lab_stats = lab.stats;
+                let detect = if lab.status(c3(0, 0, 0)).is_safe()
+                    && lab.status(c3(k - 1, k - 1, k - 1)).is_safe()
+                {
+                    let (_, st) = mcc_protocols::detect3::detect_distributed_3d(
+                        &mesh,
+                        &lab,
+                        c3(0, 0, 0),
+                        c3(k - 1, k - 1, k - 1),
+                    );
+                    st.messages
+                } else {
+                    0
+                };
+                (lab_stats, detect)
+            });
+            let kk = stats.len() as f64;
+            OverheadRow {
+                faults: n,
+                labelling_msgs: stats.iter().map(|(s, _)| s.messages as f64).sum::<f64>() / kk,
+                labelling_rounds: stats.iter().map(|(s, _)| s.rounds as f64).sum::<f64>() / kk,
+                compid_msgs: 0.0,
+                ident_msgs: 0.0,
+                boundary_msgs: stats.iter().map(|(_, d)| *d as f64).sum::<f64>() / kk,
+                total_msgs: stats.iter().map(|(s, d)| (s.messages + d) as f64).sum::<f64>() / kk,
+            }
+        })
+        .collect()
+}
+
+/// E8 — clustered-fault ablation: region sizes under clustered instead of
+/// uniform fault placement (stressing the models with large connected
+/// regions).
+pub fn region_sweep_2d_clustered(
+    width: i32,
+    fault_counts: &[usize],
+    clusters: usize,
+    seeds: u64,
+) -> Vec<RegionRow> {
+    fault_counts
+        .iter()
+        .map(|&n| {
+            let stats = parallel_seeds(0..seeds, |seed| {
+                let mut mesh = Mesh2D::new(width, width);
+                FaultSpec::clustered(n, clusters, seed ^ ((n as u64) << 32))
+                    .inject_2d(&mut mesh, &[]);
+                region_stats_2d(&mesh, BorderPolicy::BorderSafe)
+            });
+            let k = stats.len() as f64;
+            RegionRow {
+                faults: n,
+                mcc: stats.iter().map(|s| s.mcc_sacrificed as f64).sum::<f64>() / k,
+                mcc_worst: stats.iter().map(|s| s.mcc_sacrificed_worst as f64).sum::<f64>() / k,
+                mcc_union: stats.iter().map(|s| s.mcc_sacrificed_union as f64).sum::<f64>() / k,
+                rfb: stats.iter().map(|s| s.rfb_sacrificed as f64).sum::<f64>() / k,
+                mcc_regions: stats.iter().map(|s| s.mcc_count as f64).sum::<f64>() / k,
+                rfb_regions: stats.iter().map(|s| s.rfb_count as f64).sum::<f64>() / k,
+            }
+        })
+        .collect()
+}
+
+/// E8 (routing) — success rates under clustered faults in 3-D.
+pub fn routing_sweep_3d_clustered(
+    k: i32,
+    fault_counts: &[usize],
+    clusters: usize,
+    trials: u64,
+) -> Vec<RoutingRow> {
+    fault_counts
+        .iter()
+        .map(|&n| {
+            let results = parallel_seeds(0..trials, |seed| {
+                let mut rng =
+                    SmallRng::seed_from_u64(seed.wrapping_mul(0xa511_e9b3) ^ n as u64);
+                let (s, d) = random_pair_3d(&mut rng, k, k as u32);
+                let mut mesh = Mesh3D::kary(k);
+                FaultSpec::clustered(n, clusters, rng.gen()).inject_3d(&mut mesh, &[s, d]);
+                run_trial_3d(&mesh, s, d, rng.gen())
+            });
+            aggregate_routing(n, &results)
+        })
+        .collect()
+}
+
+/// Distributed labelling overhead for 2-D: `(mean rounds, mean messages)`.
+pub fn labelling_rounds_2d(width: i32, n: usize, seeds: u64) -> (f64, f64) {
+    let stats = parallel_seeds(0..seeds, |seed| {
+        let mut mesh = Mesh2D::new(width, width);
+        FaultSpec::uniform(n, seed).inject_2d(&mut mesh, &[]);
+        DistLabelling2::run(&mesh, Frame2::identity(&mesh)).stats
+    });
+    let k = stats.len() as f64;
+    (
+        stats.iter().map(|s| s.rounds as f64).sum::<f64>() / k,
+        stats.iter().map(|s| s.messages as f64).sum::<f64>() / k,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_sweep_2d_monotone_models() {
+        let rows = region_sweep_2d(16, &[4, 16], 8);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.mcc <= r.rfb, "MCC must capture fewer: {r:?}");
+            assert!(r.mcc <= r.mcc_worst && r.mcc_worst <= r.mcc_union);
+        }
+        assert!(rows[1].rfb >= rows[0].rfb);
+    }
+
+    #[test]
+    fn routing_sweep_2d_orderings() {
+        let rows = routing_sweep_2d(12, &[8], 24);
+        let r = rows[0];
+        assert!((r.mcc - r.oracle).abs() < 1e-12, "MCC condition is exact");
+        assert!(r.rfb <= r.mcc + 1e-12);
+        assert!(r.greedy <= r.oracle + 1e-12);
+    }
+
+    #[test]
+    fn routing_sweep_3d_orderings() {
+        let rows = routing_sweep_3d(6, &[10], 12);
+        let r = rows[0];
+        assert!((r.mcc - r.oracle).abs() < 1e-12);
+        assert!(r.rfb <= r.mcc + 1e-12);
+    }
+
+    #[test]
+    fn overhead_rows_scale() {
+        let rows = overhead_sweep_2d(12, &[2, 10], 4);
+        assert!(rows[1].total_msgs > rows[0].total_msgs * 0.8);
+        assert!(rows[0].labelling_msgs > 0.0);
+    }
+
+    #[test]
+    fn overhead_3d_runs() {
+        let rows = overhead_sweep_3d(6, &[5], 3);
+        assert!(rows[0].labelling_msgs > 0.0);
+    }
+}

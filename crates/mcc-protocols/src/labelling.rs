@@ -1,0 +1,289 @@
+//! Distributed labelling — Algorithms 1 and 4 as message protocols.
+//!
+//! Initially a node knows only whether it itself is faulty. In round 0
+//! every node announces its status to its neighbors; from then on a node
+//! re-evaluates the useless / can't-reach rules whenever a neighbor's
+//! announcement changes its view, announcing its own new labels in turn.
+//! The protocol reaches the same fixpoint as the centralized closure
+//! (validated by tests) in a number of rounds proportional to the longest
+//! label-propagation chain.
+//!
+//! The network runs in **canonical coordinates** (one instance per
+//! quadrant/octant orientation), so the rules always look at the `+`/`-`
+//! neighbors.
+
+use fault_model::{BorderPolicy, Labelling2, Labelling3, NodeStatus};
+use mesh_topo::{C2, C3, Frame2, Frame3, Mesh2D, Mesh3D};
+use sim_net::{RunStats, SimNet};
+
+/// Per-node protocol state (2-D and 3-D share the shape).
+#[derive(Clone, Debug, Default)]
+pub struct LabelState {
+    /// The node's own current status.
+    pub status: NodeStatus,
+    /// What the node believes about each neighbor, keyed by direction
+    /// index: `(blocks_forward, blocks_backward)`.
+    pub nbr_blocks: [(bool, bool); 6],
+    /// Whether the node has announced its current status.
+    announced: (bool, bool),
+}
+
+/// Announcement message: the sender's `(blocks_forward, blocks_backward)`.
+pub type LabelMsg = (bool, bool);
+
+/// Result of running the distributed labelling on one 2-D orientation.
+pub struct DistLabelling2 {
+    /// The converged network (canonical coordinates).
+    pub net: SimNet<C2, LabelState, LabelMsg>,
+    /// Rounds/messages of the labelling run.
+    pub stats: RunStats,
+    frame: Frame2,
+}
+
+/// Result of running the distributed labelling on one 3-D orientation.
+pub struct DistLabelling3 {
+    /// The converged network (canonical coordinates).
+    pub net: SimNet<C3, LabelState, LabelMsg>,
+    /// Rounds/messages of the labelling run.
+    pub stats: RunStats,
+    frame: Frame3,
+}
+
+impl DistLabelling2 {
+    /// Run the protocol for `mesh` under `frame`.
+    pub fn run(mesh: &Mesh2D, frame: Frame2) -> DistLabelling2 {
+        let (w, h) = (mesh.width(), mesh.height());
+        let mut net: SimNet<C2, LabelState, LabelMsg> = SimNet::new(
+            mesh.nodes(), // canonical coords = same set
+            |_| LabelState::default(),
+            move |a: C2, b: C2| {
+                a.dist(b) == 1
+                    && a.x >= 0
+                    && a.y >= 0
+                    && b.x >= 0
+                    && b.y >= 0
+                    && a.x < w
+                    && a.y < h
+                    && b.x < w
+                    && b.y < h
+            },
+        );
+        for &f in mesh.faults() {
+            net.state_mut(frame.to_canon(f)).status = NodeStatus::FAULT;
+        }
+        let max_rounds = (w + h) as usize * 4 + 8;
+        let stats = net.run(max_rounds, |state, inbox, ctx| {
+            let me = ctx.me();
+            // Absorb announcements.
+            for &(from, blocks) in inbox {
+                if let Some(dir) = me.dir_to(from) {
+                    state.nbr_blocks[dir.index()] = blocks;
+                }
+            }
+            // Re-evaluate rules (out-of-mesh counts as safe: BorderSafe).
+            use mesh_topo::Dir2::{Xm, Xp, Ym, Yp};
+            let fwd_blocked = |s: &LabelState, d: mesh_topo::Dir2| s.nbr_blocks[d.index()].0;
+            let bwd_blocked = |s: &LabelState, d: mesh_topo::Dir2| s.nbr_blocks[d.index()].1;
+            if !state.status.blocks_forward()
+                && !state.status.is_faulty()
+                && fwd_blocked(state, Xp)
+                && fwd_blocked(state, Yp)
+            {
+                state.status.mark_useless();
+            }
+            if !state.status.blocks_backward()
+                && !state.status.is_faulty()
+                && bwd_blocked(state, Xm)
+                && bwd_blocked(state, Ym)
+            {
+                state.status.mark_cant_reach();
+            }
+            // Announce changes (round 0 announces the initial status).
+            let now = (state.status.blocks_forward(), state.status.blocks_backward());
+            if state.announced != (now.0, now.1) || ctx.round == 0 {
+                state.announced = now;
+                for dir in mesh_topo::Dir2::ALL {
+                    let n = me.step(dir);
+                    if n.x >= 0 && n.y >= 0 && n.x < w && n.y < h {
+                        ctx.send(n, now);
+                    }
+                }
+            }
+        });
+        DistLabelling2 { net, stats, frame }
+    }
+
+    /// Status of the node at canonical `c`.
+    pub fn status(&self, c: C2) -> NodeStatus {
+        self.net.state(c).status
+    }
+
+    /// The frame the protocol ran under.
+    pub fn frame(&self) -> Frame2 {
+        self.frame
+    }
+
+    /// True if the converged labels equal the centralized closure.
+    pub fn matches(&self, reference: &Labelling2) -> bool {
+        self.net.iter().all(|(c, s)| s.status == reference.status(c))
+    }
+}
+
+impl DistLabelling3 {
+    /// Run the protocol for `mesh` under `frame`.
+    pub fn run(mesh: &Mesh3D, frame: Frame3) -> DistLabelling3 {
+        let (nx, ny, nz) = (mesh.nx(), mesh.ny(), mesh.nz());
+        let inside = move |c: C3| {
+            c.x >= 0 && c.y >= 0 && c.z >= 0 && c.x < nx && c.y < ny && c.z < nz
+        };
+        let mut net: SimNet<C3, LabelState, LabelMsg> = SimNet::new(
+            mesh.nodes(),
+            |_| LabelState::default(),
+            move |a: C3, b: C3| a.dist(b) == 1 && inside(a) && inside(b),
+        );
+        for &f in mesh.faults() {
+            net.state_mut(frame.to_canon(f)).status = NodeStatus::FAULT;
+        }
+        let max_rounds = (nx + ny + nz) as usize * 4 + 8;
+        let stats = net.run(max_rounds, move |state, inbox, ctx| {
+            let me = ctx.me();
+            for &(from, blocks) in inbox {
+                if let Some(dir) = me.dir_to(from) {
+                    state.nbr_blocks[dir.index()] = blocks;
+                }
+            }
+            use mesh_topo::Dir3::{Xm, Xp, Ym, Yp, Zm, Zp};
+            let fwd = |s: &LabelState, d: mesh_topo::Dir3| s.nbr_blocks[d.index()].0;
+            let bwd = |s: &LabelState, d: mesh_topo::Dir3| s.nbr_blocks[d.index()].1;
+            if !state.status.blocks_forward()
+                && !state.status.is_faulty()
+                && fwd(state, Xp)
+                && fwd(state, Yp)
+                && fwd(state, Zp)
+            {
+                state.status.mark_useless();
+            }
+            if !state.status.blocks_backward()
+                && !state.status.is_faulty()
+                && bwd(state, Xm)
+                && bwd(state, Ym)
+                && bwd(state, Zm)
+            {
+                state.status.mark_cant_reach();
+            }
+            let now = (state.status.blocks_forward(), state.status.blocks_backward());
+            if state.announced != (now.0, now.1) || ctx.round == 0 {
+                state.announced = now;
+                for dir in mesh_topo::Dir3::ALL {
+                    let n = me.step(dir);
+                    if inside(n) {
+                        ctx.send(n, now);
+                    }
+                }
+            }
+        });
+        DistLabelling3 { net, stats, frame }
+    }
+
+    /// Status of the node at canonical `c`.
+    pub fn status(&self, c: C3) -> NodeStatus {
+        self.net.state(c).status
+    }
+
+    /// The frame the protocol ran under.
+    pub fn frame(&self) -> Frame3 {
+        self.frame
+    }
+
+    /// True if the converged labels equal the centralized closure.
+    pub fn matches(&self, reference: &Labelling3) -> bool {
+        self.net.iter().all(|(c, s)| s.status == reference.status(c))
+    }
+}
+
+/// Convenience: run and validate against the centralized 2-D closure.
+pub fn labelled_net_2d(mesh: &Mesh2D, frame: Frame2) -> DistLabelling2 {
+    let dist = DistLabelling2::run(mesh, frame);
+    debug_assert!(dist.matches(&Labelling2::compute(mesh, frame, BorderPolicy::BorderSafe)));
+    dist
+}
+
+/// Convenience: run and validate against the centralized 3-D closure.
+pub fn labelled_net_3d(mesh: &Mesh3D, frame: Frame3) -> DistLabelling3 {
+    let dist = DistLabelling3::run(mesh, frame);
+    debug_assert!(dist.matches(&Labelling3::compute(mesh, frame, BorderPolicy::BorderSafe)));
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_topo::coord::{c2, c3};
+    use mesh_topo::FaultSpec;
+
+    #[test]
+    fn converges_to_centralized_fixpoint_2d() {
+        for seed in 0..12u64 {
+            let mut mesh = Mesh2D::new(14, 14);
+            FaultSpec::uniform(16, seed).inject_2d(&mut mesh, &[]);
+            for frame in Frame2::all(&mesh) {
+                let reference =
+                    Labelling2::compute(&mesh, frame, BorderPolicy::BorderSafe);
+                let dist = DistLabelling2::run(&mesh, frame);
+                assert!(dist.stats.quiescent, "seed {seed}: did not converge");
+                assert!(dist.matches(&reference), "seed {seed} frame {frame:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn converges_to_centralized_fixpoint_3d() {
+        for seed in 0..6u64 {
+            let mut mesh = Mesh3D::kary(8);
+            FaultSpec::uniform(30, seed).inject_3d(&mut mesh, &[]);
+            let frame = Frame3::identity(&mesh);
+            let reference = Labelling3::compute(&mesh, frame, BorderPolicy::BorderSafe);
+            let dist = DistLabelling3::run(&mesh, frame);
+            assert!(dist.stats.quiescent);
+            assert!(dist.matches(&reference), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cascade_takes_proportional_rounds() {
+        // A long antidiagonal cascade: labels must propagate step by step.
+        let mut mesh = Mesh2D::new(20, 20);
+        for x in 2..=17 {
+            mesh.inject_fault(c2(x, 19 - x));
+        }
+        let dist = DistLabelling2::run(&mesh, Frame2::identity(&mesh));
+        let reference =
+            Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+        assert!(dist.matches(&reference));
+        // The useless cascade is long; convergence needs several rounds.
+        assert!(dist.stats.rounds > 4, "rounds = {}", dist.stats.rounds);
+    }
+
+    #[test]
+    fn fault_free_converges_fast() {
+        let mesh = Mesh3D::kary(6);
+        let dist = DistLabelling3::run(&mesh, Frame3::identity(&mesh));
+        assert!(dist.stats.quiescent);
+        // One announce round + one silent round.
+        assert!(dist.stats.rounds <= 3, "rounds = {}", dist.stats.rounds);
+        assert!(dist.status(c3(3, 3, 3)).is_safe());
+    }
+
+    #[test]
+    fn message_count_scales_with_faults() {
+        let mut sparse = Mesh2D::new(16, 16);
+        FaultSpec::uniform(4, 1).inject_2d(&mut sparse, &[]);
+        let mut dense = Mesh2D::new(16, 16);
+        FaultSpec::uniform(60, 1).inject_2d(&mut dense, &[]);
+        let a = DistLabelling2::run(&sparse, Frame2::identity(&sparse));
+        let b = DistLabelling2::run(&dense, Frame2::identity(&dense));
+        // Denser faults mean more label changes and hence more messages
+        // beyond the fixed initial announcement.
+        assert!(b.stats.messages >= a.stats.messages);
+    }
+}

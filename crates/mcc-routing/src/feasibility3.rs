@@ -1,0 +1,207 @@
+//! Algorithm 6 step 1 — feasibility detection in 3-D meshes.
+//!
+//! Three detection floods are sent from the source along the three surfaces
+//! of the Region of Minimal Paths (RMP):
+//!
+//! * the `(-X)`-surface flood propagates along `+Y` and `+Z`, makes `+X`
+//!   turns around fault regions, and succeeds when it reaches the
+//!   `y = yd` face of the RMP,
+//! * the `(-Y)`-surface flood propagates along `+X`/`+Z` with `+Y` turns,
+//!   targeting the `z = zd` face,
+//! * the `(-Z)`-surface flood propagates along `+X`/`+Y` with `+Z` turns,
+//!   targeting the `x = xd` face.
+//!
+//! A minimal path exists iff all three floods succeed — the operational form
+//! of Theorem 2, property-tested against the semantic condition.
+
+use fault_model::Labelling3;
+use mesh_topo::{Axis3, C3};
+use serde::{Deserialize, Serialize};
+
+/// Result of the source feasibility check in 3-D.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Detection3 {
+    /// The `(-X)`-surface flood reached the `y = yd` face.
+    pub x_surface_ok: bool,
+    /// The `(-Y)`-surface flood reached the `z = zd` face.
+    pub y_surface_ok: bool,
+    /// The `(-Z)`-surface flood reached the `x = xd` face.
+    pub z_surface_ok: bool,
+    /// Total nodes visited by the three floods (detection message cost).
+    pub visited: usize,
+}
+
+impl Detection3 {
+    /// True iff routing may be activated (all three floods succeeded).
+    pub fn feasible(self) -> bool {
+        self.x_surface_ok && self.y_surface_ok && self.z_surface_ok
+    }
+}
+
+/// Run the three surface floods for canonical safe `s ≤ d`.
+///
+/// # Panics
+/// If `s` does not precede `d` componentwise, or an endpoint is unsafe.
+pub fn detect_3d(lab: &Labelling3, s: C3, d: C3) -> Detection3 {
+    assert!(s.dominated_by(d), "detection requires canonical s <= d");
+    assert!(
+        lab.is_safe(s) && lab.is_safe(d),
+        "detection requires safe endpoints; triage labelled endpoints first"
+    );
+    let mut visited = 0;
+    // Flood main axes / detour axis / target face, per the paper's pairing.
+    let x_surface_ok = flood(lab, s, d, [Axis3::Y, Axis3::Z], Axis3::X, Axis3::Y, &mut visited);
+    let y_surface_ok = flood(lab, s, d, [Axis3::X, Axis3::Z], Axis3::Y, Axis3::Z, &mut visited);
+    let z_surface_ok = flood(lab, s, d, [Axis3::X, Axis3::Y], Axis3::Z, Axis3::X, &mut visited);
+    Detection3 { x_surface_ok, y_surface_ok, z_surface_ok, visited }
+}
+
+/// Surface flood: breadth-first propagation from `s` over safe nodes of the
+/// RMP. Moves along the two `main` axes are always allowed; a move along
+/// the `detour` axis is taken only by a node with a blocked `main` move
+/// (the "+turn" of the paper). Succeeds upon reaching the face where the
+/// `target` coordinate equals the destination's.
+fn flood(
+    lab: &Labelling3,
+    s: C3,
+    d: C3,
+    main: [Axis3; 2],
+    detour: Axis3,
+    target: Axis3,
+    visited_count: &mut usize,
+) -> bool {
+    use std::collections::{HashSet, VecDeque};
+    if s.get(target) == d.get(target) {
+        return true;
+    }
+    let mut seen: HashSet<C3> = HashSet::new();
+    let mut queue: VecDeque<C3> = VecDeque::new();
+    seen.insert(s);
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        *visited_count += 1;
+        let mut any_main_blocked = false;
+        for axis in main {
+            if u.get(axis) >= d.get(axis) {
+                continue; // face of the RMP along this axis
+            }
+            let v = u.step(axis.pos());
+            if lab.is_safe(v) {
+                if v.get(target) == d.get(target) {
+                    return true;
+                }
+                if seen.insert(v) {
+                    queue.push_back(v);
+                }
+            } else {
+                any_main_blocked = true;
+            }
+        }
+        if any_main_blocked && u.get(detour) < d.get(detour) {
+            let v = u.step(detour.pos());
+            if lab.is_safe(v) {
+                if v.get(target) == d.get(target) {
+                    return true;
+                }
+                if seen.insert(v) {
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault_model::BorderPolicy;
+    use mesh_topo::coord::c3;
+    use mesh_topo::{Frame3, Mesh3D};
+
+    fn lab_of(faults: &[C3], k: i32) -> Labelling3 {
+        let mut mesh = Mesh3D::kary(k);
+        for &f in faults {
+            mesh.inject_fault(f);
+        }
+        Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe)
+    }
+
+    #[test]
+    fn open_mesh_feasible() {
+        let lab = lab_of(&[], 6);
+        let det = detect_3d(&lab, c3(0, 0, 0), c3(5, 5, 5));
+        assert!(det.feasible());
+        assert!(det.visited > 0);
+    }
+
+    #[test]
+    fn line_rmp_block_detected() {
+        let lab = lab_of(&[c3(0, 0, 3)], 8);
+        let det = detect_3d(&lab, c3(0, 0, 0), c3(0, 0, 6));
+        assert!(!det.feasible());
+    }
+
+    #[test]
+    fn plane_wall_detected() {
+        let mut faults = Vec::new();
+        for x in 0..4 {
+            for y in 0..4 {
+                faults.push(c3(x, y, 2));
+            }
+        }
+        let lab = lab_of(&faults, 8);
+        assert!(!detect_3d(&lab, c3(0, 0, 0), c3(3, 3, 4)).feasible());
+        assert!(detect_3d(&lab, c3(0, 0, 0), c3(4, 3, 4)).feasible());
+    }
+
+    #[test]
+    fn floods_agree_with_semantic_condition_randomized() {
+        use fault_model::{minimal_path_exists_3d, Existence3};
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(23);
+        let mut checked = 0;
+        for trial in 0..400 {
+            let mut mesh = Mesh3D::kary(7);
+            for _ in 0..rng.gen_range(0..24) {
+                let c = c3(rng.gen_range(0..7), rng.gen_range(0..7), rng.gen_range(0..7));
+                if mesh.is_healthy(c) {
+                    mesh.inject_fault(c);
+                }
+            }
+            let lab =
+                Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
+            let a = c3(rng.gen_range(0..7), rng.gen_range(0..7), rng.gen_range(0..7));
+            let b = c3(rng.gen_range(0..7), rng.gen_range(0..7), rng.gen_range(0..7));
+            let s = c3(a.x.min(b.x), a.y.min(b.y), a.z.min(b.z));
+            let d = c3(a.x.max(b.x), a.y.max(b.y), a.z.max(b.z));
+            if !lab.is_safe(s) || !lab.is_safe(d) {
+                continue;
+            }
+            checked += 1;
+            let semantic = minimal_path_exists_3d(&lab, s, d) == Existence3::Exists;
+            let operational = detect_3d(&lab, s, d).feasible();
+            assert_eq!(
+                semantic, operational,
+                "trial {trial}: flood/condition mismatch s={s} d={d} faults={:?}",
+                mesh.faults()
+            );
+        }
+        assert!(checked > 150, "too few safe-endpoint trials: {checked}");
+    }
+
+    #[test]
+    fn degenerate_pairs() {
+        let lab = lab_of(&[c3(4, 4, 4)], 6);
+        assert!(detect_3d(&lab, c3(1, 1, 1), c3(1, 1, 1)).feasible());
+        assert!(detect_3d(&lab, c3(0, 0, 0), c3(5, 0, 0)).feasible());
+    }
+
+    #[test]
+    #[should_panic]
+    fn unsafe_endpoint_panics() {
+        let lab = lab_of(&[c3(3, 3, 3)], 8);
+        detect_3d(&lab, c3(0, 0, 0), c3(3, 3, 3));
+    }
+}

@@ -1,0 +1,38 @@
+//! # mcc-routing — fault-tolerant adaptive and minimal routing
+//!
+//! The routing layer of the Jiang–Wu–Wang (ICPP 2005) reproduction:
+//!
+//! * [`feasibility2`] / [`feasibility3`] — the *detection message* walks of
+//!   Algorithm 3 step 1 and Algorithm 6 step 1: operational evaluation of
+//!   Theorems 1 and 2 using only node-local status, hugging fault regions
+//!   with positive-direction turns,
+//! * [`policy`] — pluggable fully-adaptive selection policies (the paper
+//!   lets "any fully adaptive and minimal routing process" pick among the
+//!   surviving preferred directions),
+//! * [`router2`] / [`router3`] — the two-phase routing processes
+//!   (Algorithms 3 and 6): feasibility check at the source, then per-hop
+//!   forwarding that never enters a detour area,
+//! * [`baseline`] — comparison routers: greedy (no fault information) and
+//!   rectangular/cuboid-block routing,
+//! * [`trace`] — route outcomes, adaptivity and path-quality metrics,
+//! * [`trial`] — single-trial experiment runners shared by the benchmark
+//!   harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod feasibility2;
+pub mod feasibility3;
+pub mod policy;
+pub mod router2;
+pub mod router3;
+pub mod trace;
+pub mod trial;
+
+pub use feasibility2::{detect_2d, Detection2};
+pub use feasibility3::{detect_3d, Detection3};
+pub use policy::Policy;
+pub use router2::Router2;
+pub use router3::Router3;
+pub use trace::{RouteOutcome2, RouteOutcome3};

@@ -1,0 +1,170 @@
+//! Fully-adaptive selection policies.
+//!
+//! Step 2(c) of Algorithm 3/6: "apply any fully adaptive and minimal routing
+//! process to pick up a forwarding direction from set F". The router
+//! computes the surviving set `F`; a [`Policy`] picks one member. Policies
+//! only ever see directions the router already proved harmless, so the
+//! minimality guarantee is policy-independent — which these types make easy
+//! to demonstrate experimentally.
+
+use mesh_topo::{C2, C3, Dir2, Dir3};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A fully-adaptive forwarding-direction selection policy.
+#[derive(Clone, Debug)]
+pub enum Policy {
+    /// Always the first allowed direction in `X < Y < Z` order
+    /// (dimension-ordered, e-cube-like within the adaptive envelope).
+    XFirst,
+    /// The allowed direction with the largest remaining offset to the
+    /// destination (keeps the RMP "fat", maximizing future adaptivity).
+    Balanced,
+    /// Alternate dimensions whenever possible (zig-zag; diagonal-ish paths).
+    ZigZag {
+        /// Index of the previously chosen axis, if any.
+        last_axis: Option<usize>,
+    },
+    /// Uniformly random among the allowed directions (seeded).
+    Random(SmallRng),
+}
+
+impl Policy {
+    /// Dimension-ordered policy.
+    pub fn x_first() -> Policy {
+        Policy::XFirst
+    }
+
+    /// Largest-remaining-offset policy.
+    pub fn balanced() -> Policy {
+        Policy::Balanced
+    }
+
+    /// Dimension-alternating policy.
+    pub fn zigzag() -> Policy {
+        Policy::ZigZag { last_axis: None }
+    }
+
+    /// Seeded random policy.
+    pub fn random(seed: u64) -> Policy {
+        Policy::Random(SmallRng::seed_from_u64(seed))
+    }
+
+    /// Pick a forwarding direction among `allowed` (2-D).
+    ///
+    /// # Panics
+    /// If `allowed` is empty — the router must not consult a policy with an
+    /// empty candidate set.
+    pub fn choose2(&mut self, u: C2, d: C2, allowed: &[Dir2]) -> Dir2 {
+        assert!(!allowed.is_empty(), "policy consulted with empty direction set");
+        match self {
+            Policy::XFirst => allowed[0],
+            Policy::Balanced => *allowed
+                .iter()
+                .max_by_key(|dir| match dir {
+                    Dir2::Xp => d.x - u.x,
+                    Dir2::Yp => d.y - u.y,
+                    _ => i32::MIN,
+                })
+                .expect("non-empty"),
+            Policy::ZigZag { last_axis } => {
+                let pick = allowed
+                    .iter()
+                    .find(|dir| Some(dir.axis().index()) != *last_axis)
+                    .copied()
+                    .unwrap_or(allowed[0]);
+                *last_axis = Some(pick.axis().index());
+                pick
+            }
+            Policy::Random(rng) => allowed[rng.gen_range(0..allowed.len())],
+        }
+    }
+
+    /// Pick a forwarding direction among `allowed` (3-D).
+    ///
+    /// # Panics
+    /// If `allowed` is empty.
+    pub fn choose3(&mut self, u: C3, d: C3, allowed: &[Dir3]) -> Dir3 {
+        assert!(!allowed.is_empty(), "policy consulted with empty direction set");
+        match self {
+            Policy::XFirst => allowed[0],
+            Policy::Balanced => *allowed
+                .iter()
+                .max_by_key(|dir| match dir {
+                    Dir3::Xp => d.x - u.x,
+                    Dir3::Yp => d.y - u.y,
+                    Dir3::Zp => d.z - u.z,
+                    _ => i32::MIN,
+                })
+                .expect("non-empty"),
+            Policy::ZigZag { last_axis } => {
+                let pick = allowed
+                    .iter()
+                    .find(|dir| Some(dir.axis().index()) != *last_axis)
+                    .copied()
+                    .unwrap_or(allowed[0]);
+                *last_axis = Some(pick.axis().index());
+                pick
+            }
+            Policy::Random(rng) => allowed[rng.gen_range(0..allowed.len())],
+        }
+    }
+
+    /// All deterministic policies plus one random instance — convenient for
+    /// "every policy stays minimal" sweeps.
+    pub fn suite(seed: u64) -> Vec<Policy> {
+        vec![Policy::x_first(), Policy::balanced(), Policy::zigzag(), Policy::random(seed)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_topo::coord::{c2, c3};
+
+    #[test]
+    fn x_first_is_deterministic() {
+        let mut p = Policy::x_first();
+        assert_eq!(p.choose2(c2(0, 0), c2(5, 5), &[Dir2::Xp, Dir2::Yp]), Dir2::Xp);
+        assert_eq!(p.choose2(c2(0, 0), c2(5, 5), &[Dir2::Yp]), Dir2::Yp);
+    }
+
+    #[test]
+    fn balanced_prefers_long_axis() {
+        let mut p = Policy::balanced();
+        assert_eq!(p.choose2(c2(0, 0), c2(1, 7), &[Dir2::Xp, Dir2::Yp]), Dir2::Yp);
+        assert_eq!(
+            p.choose3(c3(0, 0, 0), c3(2, 9, 4), &[Dir3::Xp, Dir3::Yp, Dir3::Zp]),
+            Dir3::Yp
+        );
+    }
+
+    #[test]
+    fn zigzag_alternates() {
+        let mut p = Policy::zigzag();
+        let first = p.choose2(c2(0, 0), c2(5, 5), &[Dir2::Xp, Dir2::Yp]);
+        let second = p.choose2(c2(1, 0), c2(5, 5), &[Dir2::Xp, Dir2::Yp]);
+        assert_ne!(first.axis(), second.axis());
+        // Falls back when only the same axis remains.
+        let third = p.choose2(c2(1, 1), c2(5, 5), &[second]);
+        assert_eq!(third, second);
+    }
+
+    #[test]
+    fn random_is_seeded_and_in_set() {
+        let mut p1 = Policy::random(9);
+        let mut p2 = Policy::random(9);
+        for _ in 0..20 {
+            let a = p1.choose3(c3(0, 0, 0), c3(9, 9, 9), &[Dir3::Xp, Dir3::Yp, Dir3::Zp]);
+            let b = p2.choose3(c3(0, 0, 0), c3(9, 9, 9), &[Dir3::Xp, Dir3::Yp, Dir3::Zp]);
+            assert_eq!(a, b);
+            assert!([Dir3::Xp, Dir3::Yp, Dir3::Zp].contains(&a));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_set_panics() {
+        Policy::x_first().choose2(c2(0, 0), c2(1, 1), &[]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Algorithm 3 — boundary-information-based routing in 2-D meshes.
+//!
+//! Phase one: the feasibility check of [`crate::feasibility2`] runs at the
+//! source; routing is activated only when a minimal path is guaranteed.
+//! Phase two: at every node (source included) the candidate set `F` holds
+//! the preferred (positive) directions; a direction is excluded when the
+//! neighbor behind it lies in a detour area for the current destination.
+//! Any [`Policy`] then picks the forwarding direction.
+//!
+//! Two exclusion rules are provided:
+//!
+//! * [`DecisionRule::BoundaryExact`] — the merged-region semantics of the
+//!   boundary construction: a neighbor is excluded iff the destination is
+//!   not monotonically reachable from it while avoiding the unsafe closure
+//!   (the precomputed [`Useful2`] set). With this rule the router is
+//!   provably stuck-free and minimal whenever feasibility held.
+//! * [`DecisionRule::PairRecords`] — the *unmerged* per-MCC records: a
+//!   neighbor is excluded iff some single MCC has the destination in its
+//!   critical region and the neighbor in the matching forbidden region.
+//!   This is what a node could decide from one MCC's boundary record alone,
+//!   without the merge step; the router can then strand in multi-region
+//!   compositions, and the delta is an ablation the benchmark measures.
+
+use fault_model::mcc2::MccSet2;
+use fault_model::oracle::Useful2;
+use fault_model::Labelling2;
+use mesh_topo::{C2, Dir2, Path2};
+use serde::{Deserialize, Serialize};
+
+use crate::feasibility2::detect_2d;
+use crate::policy::Policy;
+use crate::trace::{RouteOutcome2, RouteResult};
+
+/// Per-hop direction-exclusion rule (see module docs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum DecisionRule {
+    /// Merged-region (exact) boundary information.
+    #[default]
+    BoundaryExact,
+    /// Unmerged per-MCC records (ablation).
+    PairRecords,
+}
+
+/// The two-phase 2-D router over one labelled quadrant.
+#[derive(Clone, Debug)]
+pub struct Router2<'a> {
+    lab: &'a Labelling2,
+    mccs: &'a MccSet2,
+}
+
+impl<'a> Router2<'a> {
+    /// A router using the labelling and MCC decomposition of the
+    /// destination quadrant. All coordinates are canonical.
+    pub fn new(lab: &'a Labelling2, mccs: &'a MccSet2) -> Router2<'a> {
+        Router2 { lab, mccs }
+    }
+
+    /// Route from `s` to `d` (canonical, `s ≤ d`) with the exact rule.
+    pub fn route(&self, s: C2, d: C2, policy: &mut Policy) -> RouteOutcome2 {
+        self.route_with_rule(s, d, policy, DecisionRule::BoundaryExact)
+    }
+
+    /// Route with an explicit decision rule.
+    ///
+    /// # Panics
+    /// If `s` does not precede `d` componentwise.
+    pub fn route_with_rule(
+        &self,
+        s: C2,
+        d: C2,
+        policy: &mut Policy,
+        rule: DecisionRule,
+    ) -> RouteOutcome2 {
+        assert!(s.dominated_by(d), "router requires canonical s <= d");
+        // The model routes between safe nodes; labelled endpoints are
+        // refused at the source (cf. the endpoint triage of condition2).
+        if !self.lab.is_safe(s) || !self.lab.is_safe(d) {
+            return RouteOutcome2 {
+                result: RouteResult::Infeasible,
+                path: Path2::start(s),
+                adaptivity_sum: 0,
+                detection_hops: 0,
+            };
+        }
+        let det = detect_2d(self.lab, s, d);
+        if !det.feasible() {
+            return RouteOutcome2 {
+                result: RouteResult::Infeasible,
+                path: Path2::start(s),
+                adaptivity_sum: 0,
+                detection_hops: det.hops,
+            };
+        }
+        let useful = Useful2::compute(s, d, |c| {
+            self.lab.status_get(c).map(|t| t.is_unsafe()).unwrap_or(true)
+        });
+        let mut path = Path2::start(s);
+        let mut adaptivity_sum = 0usize;
+        let mut u = s;
+        let mut allowed: Vec<Dir2> = Vec::with_capacity(2);
+        while u != d {
+            allowed.clear();
+            for dir in Dir2::POSITIVE {
+                if u.get(dir.axis()) >= d.get(dir.axis()) {
+                    continue; // not a preferred direction here
+                }
+                let v = u.step(dir);
+                if !self.lab.is_safe(v) {
+                    continue; // never forward into a fault region
+                }
+                let ok = match rule {
+                    DecisionRule::BoundaryExact => useful.contains(v),
+                    DecisionRule::PairRecords => !self.pair_forbidden(v, d),
+                };
+                if ok {
+                    allowed.push(dir);
+                }
+            }
+            if allowed.is_empty() {
+                debug_assert!(
+                    rule == DecisionRule::PairRecords,
+                    "exact rule can never strand a feasible route (at {u:?})"
+                );
+                return RouteOutcome2 {
+                    result: RouteResult::Stuck,
+                    path,
+                    adaptivity_sum,
+                    detection_hops: det.hops,
+                };
+            }
+            adaptivity_sum += allowed.len();
+            let dir = policy.choose2(u, d, &allowed);
+            u = u.step(dir);
+            path.push(u);
+        }
+        RouteOutcome2 {
+            result: RouteResult::Delivered,
+            path,
+            adaptivity_sum,
+            detection_hops: det.hops,
+        }
+    }
+
+    /// The unmerged-record exclusion: some single MCC has `d` critical and
+    /// `v` forbidden on the same axis.
+    fn pair_forbidden(&self, v: C2, d: C2) -> bool {
+        self.mccs.iter().any(|m| {
+            (m.in_critical_x(d) && m.in_forbidden_x(v))
+                || (m.in_critical_y(d) && m.in_forbidden_y(v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault_model::mcc2::MccSet2;
+    use fault_model::BorderPolicy;
+    use mesh_topo::coord::c2;
+    use mesh_topo::{Frame2, Mesh2D};
+
+    fn setup(faults: &[C2], w: i32, h: i32) -> (Mesh2D, Labelling2, MccSet2) {
+        let mut mesh = Mesh2D::new(w, h);
+        for &f in faults {
+            mesh.inject_fault(f);
+        }
+        let lab = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+        let set = MccSet2::compute(&lab);
+        (mesh, lab, set)
+    }
+
+    #[test]
+    fn routes_fault_free_minimally_under_every_policy() {
+        let (mesh, lab, set) = setup(&[], 10, 10);
+        let router = Router2::new(&lab, &set);
+        for mut policy in Policy::suite(1) {
+            let out = router.route(c2(0, 0), c2(7, 5), &mut policy);
+            assert!(out.delivered());
+            assert!(out.path.is_minimal(&mesh, c2(0, 0), c2(7, 5)));
+            assert_eq!(out.path.hops() as u32, 12);
+        }
+    }
+
+    #[test]
+    fn routes_around_single_region() {
+        let faults = [c2(3, 3), c2(4, 3), c2(3, 4)];
+        let (mesh, lab, set) = setup(&faults, 10, 10);
+        let router = Router2::new(&lab, &set);
+        for mut policy in Policy::suite(2) {
+            let out = router.route(c2(0, 0), c2(8, 8), &mut policy);
+            assert!(out.delivered());
+            assert!(out.path.is_minimal(&mesh, c2(0, 0), c2(8, 8)));
+            for &n in out.path.nodes() {
+                assert!(lab.is_safe(n), "route stepped on unsafe node {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn refuses_infeasible_routes() {
+        let (_, lab, set) = setup(&[c2(3, 4)], 8, 8);
+        let router = Router2::new(&lab, &set);
+        let out = router.route(c2(3, 0), c2(3, 7), &mut Policy::x_first());
+        assert_eq!(out.result, RouteResult::Infeasible);
+        assert_eq!(out.path.hops(), 0);
+    }
+
+    #[test]
+    fn refuses_labelled_endpoints() {
+        // d useless: the model does not activate routing.
+        let (_, lab, set) = setup(&[c2(6, 5), c2(5, 6)], 9, 9);
+        assert!(lab.status(c2(5, 5)).is_useless());
+        let router = Router2::new(&lab, &set);
+        let out = router.route(c2(0, 0), c2(5, 5), &mut Policy::balanced());
+        assert_eq!(out.result, RouteResult::Infeasible);
+    }
+
+    #[test]
+    fn adaptivity_shrinks_near_regions() {
+        let (_, lab, set) = setup(&[], 10, 10);
+        let router = Router2::new(&lab, &set);
+        let open = router.route(c2(0, 0), c2(8, 8), &mut Policy::balanced());
+        // In an open mesh almost every hop has both directions allowed.
+        assert!(open.adaptivity() > 1.5, "open-mesh adaptivity {}", open.adaptivity());
+        let line = router.route(c2(0, 3), c2(9, 3), &mut Policy::balanced());
+        assert!((line.adaptivity() - 1.0).abs() < 1e-12, "line RMP is fully forced");
+    }
+
+    #[test]
+    fn exact_rule_never_sticks_randomized() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut delivered = 0;
+        for _ in 0..300 {
+            let mut mesh = Mesh2D::new(12, 12);
+            for _ in 0..rng.gen_range(0..18) {
+                let c = c2(rng.gen_range(0..12), rng.gen_range(0..12));
+                if mesh.is_healthy(c) {
+                    mesh.inject_fault(c);
+                }
+            }
+            let lab =
+                Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+            let set = MccSet2::compute(&lab);
+            let router = Router2::new(&lab, &set);
+            let (ax, ay) = (rng.gen_range(0..12), rng.gen_range(0..12));
+            let (bx, by) = (rng.gen_range(0..12), rng.gen_range(0..12));
+            let s = c2(ax.min(bx), ay.min(by));
+            let d = c2(ax.max(bx), ay.max(by));
+            let mut policy = Policy::random(rng.gen());
+            let out = router.route(s, d, &mut policy);
+            match out.result {
+                RouteResult::Delivered => {
+                    delivered += 1;
+                    assert!(out.path.is_minimal(&mesh, s, d));
+                }
+                RouteResult::Infeasible => {}
+                RouteResult::Stuck => panic!(
+                    "exact rule stranded: s={s} d={d} faults={:?}",
+                    mesh.faults()
+                ),
+            }
+        }
+        assert!(delivered > 100, "too few delivered routes: {delivered}");
+    }
+
+    #[test]
+    fn pair_records_rule_can_strand_but_never_misroutes() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(37);
+        for _ in 0..300 {
+            let mut mesh = Mesh2D::new(12, 12);
+            for _ in 0..rng.gen_range(0..18) {
+                let c = c2(rng.gen_range(0..12), rng.gen_range(0..12));
+                if mesh.is_healthy(c) {
+                    mesh.inject_fault(c);
+                }
+            }
+            let lab =
+                Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+            let set = MccSet2::compute(&lab);
+            let router = Router2::new(&lab, &set);
+            let (ax, ay) = (rng.gen_range(0..12), rng.gen_range(0..12));
+            let (bx, by) = (rng.gen_range(0..12), rng.gen_range(0..12));
+            let s = c2(ax.min(bx), ay.min(by));
+            let d = c2(ax.max(bx), ay.max(by));
+            let mut policy = Policy::random(rng.gen());
+            let out = router.route_with_rule(s, d, &mut policy, DecisionRule::PairRecords);
+            if out.result == RouteResult::Delivered {
+                assert!(out.path.is_minimal(&mesh, s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_route() {
+        let (_, lab, set) = setup(&[], 4, 4);
+        let router = Router2::new(&lab, &set);
+        let out = router.route(c2(2, 2), c2(2, 2), &mut Policy::x_first());
+        assert!(out.delivered());
+        assert_eq!(out.path.hops(), 0);
+    }
+}

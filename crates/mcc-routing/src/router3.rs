@@ -1,0 +1,264 @@
+//! Algorithm 6 — boundary-information-based routing in 3-D meshes.
+//!
+//! Same two-phase structure as the 2-D router ([`crate::router2`]): the
+//! feasibility floods of [`crate::feasibility3`] run at the source, then
+//! per-hop forwarding picks among the preferred directions that do not lead
+//! into a detour area. The exact rule uses the merged-region semantics
+//! (precomputed [`Useful3`] over the unsafe closure); the ablation rule uses
+//! unmerged per-MCC line-shadow records.
+
+use fault_model::mcc3::MccSet3;
+use fault_model::oracle::Useful3;
+use fault_model::Labelling3;
+use mesh_topo::{Axis3, C3, Dir3, Path3};
+
+use crate::feasibility3::detect_3d;
+use crate::policy::Policy;
+use crate::router2::DecisionRule;
+use crate::trace::{RouteOutcome3, RouteResult};
+
+/// The two-phase 3-D router over one labelled octant.
+#[derive(Clone, Debug)]
+pub struct Router3<'a> {
+    lab: &'a Labelling3,
+    mccs: &'a MccSet3,
+}
+
+impl<'a> Router3<'a> {
+    /// A router using the labelling and MCC decomposition of the
+    /// destination octant. All coordinates are canonical.
+    pub fn new(lab: &'a Labelling3, mccs: &'a MccSet3) -> Router3<'a> {
+        Router3 { lab, mccs }
+    }
+
+    /// Route from `s` to `d` (canonical, `s ≤ d`) with the exact rule.
+    pub fn route(&self, s: C3, d: C3, policy: &mut Policy) -> RouteOutcome3 {
+        self.route_with_rule(s, d, policy, DecisionRule::BoundaryExact)
+    }
+
+    /// Route with an explicit decision rule.
+    ///
+    /// # Panics
+    /// If `s` does not precede `d` componentwise.
+    pub fn route_with_rule(
+        &self,
+        s: C3,
+        d: C3,
+        policy: &mut Policy,
+        rule: DecisionRule,
+    ) -> RouteOutcome3 {
+        assert!(s.dominated_by(d), "router requires canonical s <= d");
+        if !self.lab.is_safe(s) || !self.lab.is_safe(d) {
+            return RouteOutcome3 {
+                result: RouteResult::Infeasible,
+                path: Path3::start(s),
+                adaptivity_sum: 0,
+                detection_cost: 0,
+            };
+        }
+        let det = detect_3d(self.lab, s, d);
+        if !det.feasible() {
+            return RouteOutcome3 {
+                result: RouteResult::Infeasible,
+                path: Path3::start(s),
+                adaptivity_sum: 0,
+                detection_cost: det.visited,
+            };
+        }
+        let useful = Useful3::compute(s, d, |c| {
+            self.lab.status_get(c).map(|t| t.is_unsafe()).unwrap_or(true)
+        });
+        let mut path = Path3::start(s);
+        let mut adaptivity_sum = 0usize;
+        let mut u = s;
+        let mut allowed: Vec<Dir3> = Vec::with_capacity(3);
+        while u != d {
+            allowed.clear();
+            for dir in Dir3::POSITIVE {
+                if u.get(dir.axis()) >= d.get(dir.axis()) {
+                    continue;
+                }
+                let v = u.step(dir);
+                if !self.lab.is_safe(v) {
+                    continue;
+                }
+                let ok = match rule {
+                    DecisionRule::BoundaryExact => useful.contains(v),
+                    DecisionRule::PairRecords => !self.pair_forbidden(v, d),
+                };
+                if ok {
+                    allowed.push(dir);
+                }
+            }
+            if allowed.is_empty() {
+                debug_assert!(
+                    rule == DecisionRule::PairRecords,
+                    "exact rule can never strand a feasible route (at {u:?})"
+                );
+                return RouteOutcome3 {
+                    result: RouteResult::Stuck,
+                    path,
+                    adaptivity_sum,
+                    detection_cost: det.visited,
+                };
+            }
+            adaptivity_sum += allowed.len();
+            let dir = policy.choose3(u, d, &allowed);
+            u = u.step(dir);
+            path.push(u);
+        }
+        RouteOutcome3 {
+            result: RouteResult::Delivered,
+            path,
+            adaptivity_sum,
+            detection_cost: det.visited,
+        }
+    }
+
+    /// The unmerged-record exclusion via 3-D line shadows.
+    fn pair_forbidden(&self, v: C3, d: C3) -> bool {
+        self.mccs.iter().any(|m| {
+            Axis3::ALL
+                .into_iter()
+                .any(|axis| m.in_critical(axis, d) && m.in_forbidden(axis, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault_model::mcc3::MccSet3;
+    use fault_model::BorderPolicy;
+    use mesh_topo::coord::c3;
+    use mesh_topo::{Frame3, Mesh3D};
+
+    fn setup(faults: &[C3], k: i32) -> (Mesh3D, Labelling3, MccSet3) {
+        let mut mesh = Mesh3D::kary(k);
+        for &f in faults {
+            mesh.inject_fault(f);
+        }
+        let lab = Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
+        let set = MccSet3::compute(&lab);
+        (mesh, lab, set)
+    }
+
+    #[test]
+    fn routes_fault_free_minimally() {
+        let (mesh, lab, set) = setup(&[], 8);
+        let router = Router3::new(&lab, &set);
+        for mut policy in Policy::suite(4) {
+            let out = router.route(c3(0, 0, 0), c3(6, 5, 4), &mut policy);
+            assert!(out.delivered());
+            assert!(out.path.is_minimal(&mesh, c3(0, 0, 0), c3(6, 5, 4)));
+            assert_eq!(out.path.hops() as u32, 15);
+        }
+    }
+
+    #[test]
+    fn routes_around_figure5_regions() {
+        let faults = [
+            c3(5, 5, 6),
+            c3(6, 5, 5),
+            c3(5, 6, 5),
+            c3(6, 7, 5),
+            c3(7, 6, 5),
+            c3(5, 4, 7),
+            c3(4, 5, 7),
+            c3(7, 8, 4),
+        ];
+        let (mesh, lab, set) = setup(&faults, 10);
+        let router = Router3::new(&lab, &set);
+        for mut policy in Policy::suite(5) {
+            let out = router.route(c3(0, 0, 0), c3(9, 9, 9), &mut policy);
+            assert!(out.delivered());
+            assert!(out.path.is_minimal(&mesh, c3(0, 0, 0), c3(9, 9, 9)));
+            for &n in out.path.nodes() {
+                assert!(lab.is_safe(n));
+            }
+        }
+    }
+
+    #[test]
+    fn refuses_infeasible() {
+        let (_, lab, set) = setup(&[c3(0, 0, 3)], 8);
+        let router = Router3::new(&lab, &set);
+        let out = router.route(c3(0, 0, 0), c3(0, 0, 6), &mut Policy::x_first());
+        assert_eq!(out.result, RouteResult::Infeasible);
+    }
+
+    #[test]
+    fn adaptivity_in_open_mesh() {
+        let (_, lab, set) = setup(&[], 8);
+        let router = Router3::new(&lab, &set);
+        let out = router.route(c3(0, 0, 0), c3(7, 7, 7), &mut Policy::balanced());
+        assert!(out.adaptivity() > 2.0, "3-D open-mesh adaptivity {}", out.adaptivity());
+    }
+
+    #[test]
+    fn exact_rule_never_sticks_randomized() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(41);
+        let mut delivered = 0;
+        for _ in 0..200 {
+            let mut mesh = Mesh3D::kary(8);
+            for _ in 0..rng.gen_range(0..30) {
+                let c = c3(rng.gen_range(0..8), rng.gen_range(0..8), rng.gen_range(0..8));
+                if mesh.is_healthy(c) {
+                    mesh.inject_fault(c);
+                }
+            }
+            let lab =
+                Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
+            let set = MccSet3::compute(&lab);
+            let router = Router3::new(&lab, &set);
+            let a = c3(rng.gen_range(0..8), rng.gen_range(0..8), rng.gen_range(0..8));
+            let b = c3(rng.gen_range(0..8), rng.gen_range(0..8), rng.gen_range(0..8));
+            let s = c3(a.x.min(b.x), a.y.min(b.y), a.z.min(b.z));
+            let d = c3(a.x.max(b.x), a.y.max(b.y), a.z.max(b.z));
+            let mut policy = Policy::random(rng.gen());
+            let out = router.route(s, d, &mut policy);
+            match out.result {
+                RouteResult::Delivered => {
+                    delivered += 1;
+                    assert!(out.path.is_minimal(&mesh, s, d));
+                }
+                RouteResult::Infeasible => {}
+                RouteResult::Stuck => {
+                    panic!("exact rule stranded: s={s} d={d} faults={:?}", mesh.faults())
+                }
+            }
+        }
+        assert!(delivered > 100, "too few delivered routes: {delivered}");
+    }
+
+    #[test]
+    fn pair_records_rule_never_misroutes() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(43);
+        for _ in 0..150 {
+            let mut mesh = Mesh3D::kary(7);
+            for _ in 0..rng.gen_range(0..25) {
+                let c = c3(rng.gen_range(0..7), rng.gen_range(0..7), rng.gen_range(0..7));
+                if mesh.is_healthy(c) {
+                    mesh.inject_fault(c);
+                }
+            }
+            let lab =
+                Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
+            let set = MccSet3::compute(&lab);
+            let router = Router3::new(&lab, &set);
+            let a = c3(rng.gen_range(0..7), rng.gen_range(0..7), rng.gen_range(0..7));
+            let b = c3(rng.gen_range(0..7), rng.gen_range(0..7), rng.gen_range(0..7));
+            let s = c3(a.x.min(b.x), a.y.min(b.y), a.z.min(b.z));
+            let d = c3(a.x.max(b.x), a.y.max(b.y), a.z.max(b.z));
+            let mut policy = Policy::random(rng.gen());
+            let out = router.route_with_rule(s, d, &mut policy, DecisionRule::PairRecords);
+            if out.result == RouteResult::Delivered {
+                assert!(out.path.is_minimal(&mesh, s, d));
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Route outcomes and path-quality metrics.
+
+use mesh_topo::{Path2, Path3};
+use serde::{Deserialize, Serialize};
+
+/// Why a routing attempt ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RouteResult {
+    /// The message reached the destination over a minimal path.
+    Delivered,
+    /// The source-side check refused to activate routing (no minimal path,
+    /// or an endpoint inside a fault region).
+    Infeasible,
+    /// The router entered a node with no allowed forwarding direction.
+    /// Cannot happen with exact boundary information; measures the cost of
+    /// weaker information models.
+    Stuck,
+}
+
+/// Full record of one 2-D routing attempt.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RouteOutcome2 {
+    /// How the attempt ended.
+    pub result: RouteResult,
+    /// The nodes visited (source only, if routing was not activated).
+    pub path: Path2,
+    /// Sum over hops of the number of allowed forwarding directions —
+    /// `adaptivity()` gives the per-hop average.
+    pub adaptivity_sum: usize,
+    /// Hops spent by source-side detection messages.
+    pub detection_hops: usize,
+}
+
+/// Full record of one 3-D routing attempt.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RouteOutcome3 {
+    /// How the attempt ended.
+    pub result: RouteResult,
+    /// The nodes visited (source only, if routing was not activated).
+    pub path: Path3,
+    /// Sum over hops of the number of allowed forwarding directions.
+    pub adaptivity_sum: usize,
+    /// Nodes visited by source-side detection floods.
+    pub detection_cost: usize,
+}
+
+impl RouteOutcome2 {
+    /// True when the message was delivered.
+    pub fn delivered(&self) -> bool {
+        self.result == RouteResult::Delivered
+    }
+
+    /// Average number of allowed forwarding directions per hop (1.0 means
+    /// the route was fully forced; 2.0 means every hop was free in 2-D).
+    pub fn adaptivity(&self) -> f64 {
+        if self.path.hops() == 0 {
+            return 0.0;
+        }
+        self.adaptivity_sum as f64 / self.path.hops() as f64
+    }
+}
+
+impl RouteOutcome3 {
+    /// True when the message was delivered.
+    pub fn delivered(&self) -> bool {
+        self.result == RouteResult::Delivered
+    }
+
+    /// Average number of allowed forwarding directions per hop.
+    pub fn adaptivity(&self) -> f64 {
+        if self.path.hops() == 0 {
+            return 0.0;
+        }
+        self.adaptivity_sum as f64 / self.path.hops() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_topo::coord::c2;
+
+    #[test]
+    fn adaptivity_math() {
+        let o = RouteOutcome2 {
+            result: RouteResult::Delivered,
+            path: Path2::from_nodes(vec![c2(0, 0), c2(1, 0), c2(1, 1)]),
+            adaptivity_sum: 3,
+            detection_hops: 5,
+        };
+        assert!(o.delivered());
+        assert!((o.adaptivity() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_hop_adaptivity_is_zero() {
+        let o = RouteOutcome2 {
+            result: RouteResult::Infeasible,
+            path: Path2::start(c2(0, 0)),
+            adaptivity_sum: 0,
+            detection_hops: 0,
+        };
+        assert_eq!(o.adaptivity(), 0.0);
+        assert!(!o.delivered());
+    }
+}

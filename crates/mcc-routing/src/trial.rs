@@ -1,0 +1,221 @@
+//! Single-trial experiment runners.
+//!
+//! One *trial* = one mesh with injected faults plus one healthy
+//! source/destination pair, evaluated under every model at once:
+//!
+//! * **oracle** — does a minimal path exist among the physical faults?
+//! * **MCC** — the paper's condition (exact; equals the oracle),
+//! * **RFB** — the rectangular/cuboid block model's condition,
+//! * **greedy** — did an information-free adaptive walk deliver?
+//!
+//! plus routing metrics (hops, adaptivity, detection cost) for the models
+//! that actually routed. The benchmark harness aggregates trials into the
+//! tables of `EXPERIMENTS.md`.
+
+use fault_model::mcc2::MccSet2;
+use fault_model::mcc3::MccSet3;
+use fault_model::{
+    minimal_path_exists_2d, minimal_path_exists_3d, oracle, BorderPolicy, FaultBlocks2,
+    FaultBlocks3, Labelling2, Labelling3,
+};
+use mesh_topo::{C2, C3, Frame2, Frame3, Mesh2D, Mesh3D};
+use serde::{Deserialize, Serialize};
+
+use crate::baseline;
+use crate::policy::Policy;
+use crate::router2::Router2;
+use crate::router3::Router3;
+use crate::trace::RouteResult;
+
+/// Aggregatable result of one routing trial.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct TrialResult {
+    /// Ground truth: a minimal path exists among the faults.
+    pub oracle_ok: bool,
+    /// The MCC condition admitted the routing.
+    pub mcc_ok: bool,
+    /// The block-model condition admitted the routing.
+    pub rfb_ok: bool,
+    /// The greedy information-free router delivered.
+    pub greedy_ok: bool,
+    /// The MCC router delivered (only attempted when `mcc_ok` and both
+    /// endpoints safe).
+    pub mcc_delivered: bool,
+    /// Hops of the MCC route (= `D(s,d)` when delivered).
+    pub mcc_hops: usize,
+    /// Mean allowed directions per hop of the MCC route.
+    pub mcc_adaptivity: f64,
+    /// Mean allowed directions per hop of the RFB route (when delivered).
+    pub rfb_adaptivity: f64,
+    /// Cost of the source detection (hops in 2-D, visited nodes in 3-D).
+    pub detection_cost: usize,
+    /// Both endpoints were safe under the MCC labelling.
+    pub endpoints_safe: bool,
+}
+
+/// Run one 2-D trial for arbitrary (healthy) mesh-coordinate endpoints.
+///
+/// # Panics
+/// If either endpoint is faulty.
+pub fn run_trial_2d(mesh: &Mesh2D, s: C2, d: C2, policy_seed: u64) -> TrialResult {
+    assert!(mesh.is_healthy(s) && mesh.is_healthy(d), "trial endpoints must be healthy");
+    let frame = Frame2::for_pair(mesh, s, d);
+    let (cs, cd) = (frame.to_canon(s), frame.to_canon(d));
+    let lab = Labelling2::compute(mesh, frame, BorderPolicy::BorderSafe);
+    let mccs = MccSet2::compute(&lab);
+    let blocks = FaultBlocks2::compute(mesh);
+
+    let oracle_ok = oracle::reachable_2d(cs, cd, |c| {
+        let m = frame.from_canon(c);
+        !mesh.contains(m) || mesh.is_faulty(m)
+    });
+    let mcc_ok = minimal_path_exists_2d(&lab, &mccs, cs, cd).exists();
+    let rfb_ok = blocks.minimal_path_exists(mesh, s, d);
+    let endpoints_safe = lab.is_safe(cs) && lab.is_safe(cd);
+
+    let mut result = TrialResult {
+        oracle_ok,
+        mcc_ok,
+        rfb_ok,
+        endpoints_safe,
+        ..TrialResult::default()
+    };
+
+    let greedy = baseline::route_greedy_2d(&lab, cs, cd, &mut Policy::random(policy_seed));
+    result.greedy_ok = greedy.result == RouteResult::Delivered;
+
+    if endpoints_safe {
+        let router = Router2::new(&lab, &mccs);
+        let out = router.route(cs, cd, &mut Policy::random(policy_seed ^ 0x9e37_79b9));
+        result.detection_cost = out.detection_hops;
+        if out.delivered() {
+            result.mcc_delivered = true;
+            result.mcc_hops = out.path.hops();
+            result.mcc_adaptivity = out.adaptivity();
+        }
+    }
+    if rfb_ok {
+        let out =
+            baseline::route_rfb_2d(&blocks, mesh, s, d, &mut Policy::random(policy_seed ^ 0x51));
+        if out.delivered() {
+            result.rfb_adaptivity = out.adaptivity();
+        }
+    }
+    result
+}
+
+/// Run one 3-D trial for arbitrary (healthy) mesh-coordinate endpoints.
+///
+/// # Panics
+/// If either endpoint is faulty.
+pub fn run_trial_3d(mesh: &Mesh3D, s: C3, d: C3, policy_seed: u64) -> TrialResult {
+    assert!(mesh.is_healthy(s) && mesh.is_healthy(d), "trial endpoints must be healthy");
+    let frame = Frame3::for_pair(mesh, s, d);
+    let (cs, cd) = (frame.to_canon(s), frame.to_canon(d));
+    let lab = Labelling3::compute(mesh, frame, BorderPolicy::BorderSafe);
+    let mccs = MccSet3::compute(&lab);
+    let blocks = FaultBlocks3::compute(mesh);
+
+    let oracle_ok = oracle::reachable_3d(cs, cd, |c| {
+        let m = frame.from_canon(c);
+        !mesh.contains(m) || mesh.is_faulty(m)
+    });
+    let mcc_ok = minimal_path_exists_3d(&lab, cs, cd).exists();
+    let rfb_ok = blocks.minimal_path_exists(mesh, s, d);
+    let endpoints_safe = lab.is_safe(cs) && lab.is_safe(cd);
+
+    let mut result = TrialResult {
+        oracle_ok,
+        mcc_ok,
+        rfb_ok,
+        endpoints_safe,
+        ..TrialResult::default()
+    };
+
+    let greedy = baseline::route_greedy_3d(&lab, cs, cd, &mut Policy::random(policy_seed));
+    result.greedy_ok = greedy.result == RouteResult::Delivered;
+
+    if endpoints_safe {
+        let router = Router3::new(&lab, &mccs);
+        let out = router.route(cs, cd, &mut Policy::random(policy_seed ^ 0x9e37_79b9));
+        result.detection_cost = out.detection_cost;
+        if out.delivered() {
+            result.mcc_delivered = true;
+            result.mcc_hops = out.path.hops();
+            result.mcc_adaptivity = out.adaptivity();
+        }
+    }
+    if rfb_ok {
+        let out =
+            baseline::route_rfb_3d(&blocks, mesh, s, d, &mut Policy::random(policy_seed ^ 0x51));
+        if out.delivered() {
+            result.rfb_adaptivity = out.adaptivity();
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_topo::coord::{c2, c3};
+    use mesh_topo::FaultSpec;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn trial_orderings_hold_2d() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for seed in 0..60u64 {
+            let mut mesh = Mesh2D::new(16, 16);
+            let s = c2(rng.gen_range(0..16), rng.gen_range(0..16));
+            let mut d = c2(rng.gen_range(0..16), rng.gen_range(0..16));
+            if d == s {
+                d = c2((s.x + 1) % 16, s.y);
+            }
+            FaultSpec::uniform(14, seed).inject_2d(&mut mesh, &[s, d]);
+            let t = run_trial_2d(&mesh, s, d, seed);
+            // MCC condition is exact.
+            assert_eq!(t.mcc_ok, t.oracle_ok, "seed {seed}");
+            // The block model is conservative.
+            assert!(!t.rfb_ok || t.oracle_ok, "seed {seed}");
+            // Greedy delivery implies a minimal path existed.
+            assert!(!t.greedy_ok || t.oracle_ok, "seed {seed}");
+            // The router delivers whenever endpoints are safe and a path
+            // exists.
+            if t.endpoints_safe && t.oracle_ok {
+                assert!(t.mcc_delivered, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn trial_orderings_hold_3d() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for seed in 0..30u64 {
+            let mut mesh = Mesh3D::kary(8);
+            let s = c3(rng.gen_range(0..8), rng.gen_range(0..8), rng.gen_range(0..8));
+            let mut d = c3(rng.gen_range(0..8), rng.gen_range(0..8), rng.gen_range(0..8));
+            if d == s {
+                d = c3((s.x + 1) % 8, s.y, s.z);
+            }
+            FaultSpec::uniform(25, seed).inject_3d(&mut mesh, &[s, d]);
+            let t = run_trial_3d(&mesh, s, d, seed);
+            assert_eq!(t.mcc_ok, t.oracle_ok, "seed {seed}");
+            assert!(!t.rfb_ok || t.oracle_ok, "seed {seed}");
+            assert!(!t.greedy_ok || t.oracle_ok, "seed {seed}");
+            if t.endpoints_safe && t.oracle_ok {
+                assert!(t.mcc_delivered, "seed {seed}");
+                assert_eq!(t.mcc_hops as u32, s.dist(d), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_trial() {
+        let mesh = Mesh2D::new(8, 8);
+        let t = run_trial_2d(&mesh, c2(7, 7), c2(0, 0), 1);
+        assert!(t.oracle_ok && t.mcc_ok && t.rfb_ok && t.greedy_ok && t.mcc_delivered);
+        assert_eq!(t.mcc_hops, 14);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based validation of the routing layer's guarantees.
+//!
+//! * detection walks/floods ⇔ the semantic existence condition,
+//! * the router delivers iff the condition admits (safe endpoints),
+//! * every delivered path is minimal and fault-free,
+//! * the guarantee is policy-independent (the adaptive choice never
+//!   affects success, only the concrete path).
+
+use fault_model::mcc2::MccSet2;
+use fault_model::mcc3::MccSet3;
+use fault_model::{
+    minimal_path_exists_2d, minimal_path_exists_3d, BorderPolicy, Existence2, Existence3,
+    Labelling2, Labelling3,
+};
+use mcc_routing::policy::Policy;
+use mcc_routing::{detect_2d, detect_3d, Router2, Router3};
+use mesh_topo::coord::{c2, c3};
+use mesh_topo::{Frame2, Frame3, Mesh2D, Mesh3D};
+use proptest::prelude::*;
+
+const W: i32 = 12;
+const K: i32 = 7;
+
+fn arb_mesh2() -> impl Strategy<Value = Mesh2D> {
+    proptest::collection::vec((0..W, 0..W), 0..18).prop_map(|faults| {
+        let mut mesh = Mesh2D::new(W, W);
+        for (x, y) in faults {
+            let c = c2(x, y);
+            if mesh.is_healthy(c) {
+                mesh.inject_fault(c);
+            }
+        }
+        mesh
+    })
+}
+
+fn arb_mesh3() -> impl Strategy<Value = Mesh3D> {
+    proptest::collection::vec((0..K, 0..K, 0..K), 0..26).prop_map(|faults| {
+        let mut mesh = Mesh3D::kary(K);
+        for (x, y, z) in faults {
+            let c = c3(x, y, z);
+            if mesh.is_healthy(c) {
+                mesh.inject_fault(c);
+            }
+        }
+        mesh
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Detection walks equal the semantic condition (2-D).
+    #[test]
+    fn detection2_equals_condition(mesh in arb_mesh2(),
+                                   ax in 0..W, ay in 0..W, bx in 0..W, by in 0..W) {
+        let s = c2(ax.min(bx), ay.min(by));
+        let d = c2(ax.max(bx), ay.max(by));
+        let lab = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+        prop_assume!(lab.is_safe(s) && lab.is_safe(d));
+        let set = MccSet2::compute(&lab);
+        let semantic = minimal_path_exists_2d(&lab, &set, s, d) == Existence2::Exists;
+        prop_assert_eq!(detect_2d(&lab, s, d).feasible(), semantic);
+    }
+
+    /// Detection floods equal the semantic condition (3-D).
+    #[test]
+    fn detection3_equals_condition(mesh in arb_mesh3(),
+                                   ax in 0..K, ay in 0..K, az in 0..K,
+                                   bx in 0..K, by in 0..K, bz in 0..K) {
+        let s = c3(ax.min(bx), ay.min(by), az.min(bz));
+        let d = c3(ax.max(bx), ay.max(by), az.max(bz));
+        let lab = Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
+        prop_assume!(lab.is_safe(s) && lab.is_safe(d));
+        let semantic = minimal_path_exists_3d(&lab, s, d) == Existence3::Exists;
+        prop_assert_eq!(detect_3d(&lab, s, d).feasible(), semantic);
+    }
+
+    /// The 2-D router delivers iff feasible, minimally, under every policy.
+    #[test]
+    fn router2_guarantee_policy_independent(mesh in arb_mesh2(),
+                                            ax in 0..W, ay in 0..W,
+                                            bx in 0..W, by in 0..W,
+                                            seed in 0u64..1000) {
+        let s = c2(ax.min(bx), ay.min(by));
+        let d = c2(ax.max(bx), ay.max(by));
+        let lab = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+        prop_assume!(lab.is_safe(s) && lab.is_safe(d));
+        let set = MccSet2::compute(&lab);
+        let feasible = minimal_path_exists_2d(&lab, &set, s, d) == Existence2::Exists;
+        let router = Router2::new(&lab, &set);
+        for mut policy in Policy::suite(seed) {
+            let out = router.route(s, d, &mut policy);
+            prop_assert_eq!(out.delivered(), feasible);
+            if out.delivered() {
+                prop_assert!(out.path.is_minimal(&mesh, s, d));
+                for &n in out.path.nodes() {
+                    prop_assert!(lab.is_safe(n), "route used unsafe node {}", n);
+                }
+            }
+        }
+    }
+
+    /// The 3-D router delivers iff feasible, minimally, under every policy.
+    #[test]
+    fn router3_guarantee_policy_independent(mesh in arb_mesh3(),
+                                            ax in 0..K, ay in 0..K, az in 0..K,
+                                            bx in 0..K, by in 0..K, bz in 0..K,
+                                            seed in 0u64..1000) {
+        let s = c3(ax.min(bx), ay.min(by), az.min(bz));
+        let d = c3(ax.max(bx), ay.max(by), az.max(bz));
+        let lab = Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
+        prop_assume!(lab.is_safe(s) && lab.is_safe(d));
+        let set = MccSet3::compute(&lab);
+        let feasible = minimal_path_exists_3d(&lab, s, d) == Existence3::Exists;
+        let router = Router3::new(&lab, &set);
+        for mut policy in Policy::suite(seed) {
+            let out = router.route(s, d, &mut policy);
+            prop_assert_eq!(out.delivered(), feasible);
+            if out.delivered() {
+                prop_assert!(out.path.is_minimal(&mesh, s, d));
+            }
+        }
+    }
+
+    /// Baseline sanity under random instances: the greedy router's
+    /// delivered paths are always minimal (it fails by stranding, never by
+    /// detouring), and the block router never outperforms the oracle.
+    #[test]
+    fn baselines_never_cheat(mesh in arb_mesh2(),
+                             ax in 0..W, ay in 0..W, bx in 0..W, by in 0..W,
+                             seed in 0u64..1000) {
+        let s = c2(ax.min(bx), ay.min(by));
+        let d = c2(ax.max(bx), ay.max(by));
+        prop_assume!(mesh.is_healthy(s) && mesh.is_healthy(d));
+        let lab = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+        let g = mcc_routing::baseline::route_greedy_2d(&lab, s, d, &mut Policy::random(seed));
+        if g.delivered() {
+            prop_assert!(g.path.is_minimal(&mesh, s, d));
+        }
+        let blocks = fault_model::FaultBlocks2::compute(&mesh);
+        if blocks.minimal_path_exists(&mesh, s, d) {
+            let truth = fault_model::oracle::reachable_2d(s, d, |c| !mesh.is_healthy(c));
+            prop_assert!(truth);
+        }
+    }
+}

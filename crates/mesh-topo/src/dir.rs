@@ -1,0 +1,321 @@
+//! Axes and signed unit directions.
+//!
+//! The paper's routing algorithms reason in terms of *preferred* directions
+//! (the positive directions toward a canonicalized destination) and *spare*
+//! directions. This module provides the enums and the small amount of
+//! direction algebra everything else builds on.
+
+use serde::{Deserialize, Serialize};
+
+/// A dimension of a 2-D mesh.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Axis2 {
+    /// Dimension 0.
+    X,
+    /// Dimension 1.
+    Y,
+}
+
+/// A dimension of a 3-D mesh.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Axis3 {
+    /// Dimension 0.
+    X,
+    /// Dimension 1.
+    Y,
+    /// Dimension 2.
+    Z,
+}
+
+/// A signed unit direction in a 2-D mesh (`+X`, `-X`, `+Y`, `-Y`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Dir2 {
+    /// `+X`: toward larger x.
+    Xp,
+    /// `-X`: toward smaller x.
+    Xm,
+    /// `+Y`: toward larger y.
+    Yp,
+    /// `-Y`: toward smaller y.
+    Ym,
+}
+
+/// A signed unit direction in a 3-D mesh.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Dir3 {
+    /// `+X`.
+    Xp,
+    /// `-X`.
+    Xm,
+    /// `+Y`.
+    Yp,
+    /// `-Y`.
+    Ym,
+    /// `+Z`.
+    Zp,
+    /// `-Z`.
+    Zm,
+}
+
+impl Axis2 {
+    /// Both axes, in dimension order.
+    pub const ALL: [Axis2; 2] = [Axis2::X, Axis2::Y];
+
+    /// The other axis.
+    #[inline]
+    pub fn other(self) -> Axis2 {
+        match self {
+            Axis2::X => Axis2::Y,
+            Axis2::Y => Axis2::X,
+        }
+    }
+
+    /// The positive direction along this axis.
+    #[inline]
+    pub fn pos(self) -> Dir2 {
+        match self {
+            Axis2::X => Dir2::Xp,
+            Axis2::Y => Dir2::Yp,
+        }
+    }
+
+    /// The negative direction along this axis.
+    #[inline]
+    pub fn neg(self) -> Dir2 {
+        match self {
+            Axis2::X => Dir2::Xm,
+            Axis2::Y => Dir2::Ym,
+        }
+    }
+
+    /// Stable small index (X=0, Y=1).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl Axis3 {
+    /// All three axes, in dimension order.
+    pub const ALL: [Axis3; 3] = [Axis3::X, Axis3::Y, Axis3::Z];
+
+    /// The two axes other than `self`, in dimension order.
+    #[inline]
+    pub fn others(self) -> [Axis3; 2] {
+        match self {
+            Axis3::X => [Axis3::Y, Axis3::Z],
+            Axis3::Y => [Axis3::X, Axis3::Z],
+            Axis3::Z => [Axis3::X, Axis3::Y],
+        }
+    }
+
+    /// The positive direction along this axis.
+    #[inline]
+    pub fn pos(self) -> Dir3 {
+        match self {
+            Axis3::X => Dir3::Xp,
+            Axis3::Y => Dir3::Yp,
+            Axis3::Z => Dir3::Zp,
+        }
+    }
+
+    /// The negative direction along this axis.
+    #[inline]
+    pub fn neg(self) -> Dir3 {
+        match self {
+            Axis3::X => Dir3::Xm,
+            Axis3::Y => Dir3::Ym,
+            Axis3::Z => Dir3::Zm,
+        }
+    }
+
+    /// Stable small index (X=0, Y=1, Z=2).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl Dir2 {
+    /// All four directions: `+X, -X, +Y, -Y`.
+    pub const ALL: [Dir2; 4] = [Dir2::Xp, Dir2::Xm, Dir2::Yp, Dir2::Ym];
+
+    /// The two positive (canonical *preferred*) directions.
+    pub const POSITIVE: [Dir2; 2] = [Dir2::Xp, Dir2::Yp];
+
+    /// Coordinate delta of one step.
+    #[inline]
+    pub fn delta(self) -> (i32, i32) {
+        match self {
+            Dir2::Xp => (1, 0),
+            Dir2::Xm => (-1, 0),
+            Dir2::Yp => (0, 1),
+            Dir2::Ym => (0, -1),
+        }
+    }
+
+    /// The axis this direction moves along.
+    #[inline]
+    pub fn axis(self) -> Axis2 {
+        match self {
+            Dir2::Xp | Dir2::Xm => Axis2::X,
+            Dir2::Yp | Dir2::Ym => Axis2::Y,
+        }
+    }
+
+    /// True for `+X` / `+Y`.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        matches!(self, Dir2::Xp | Dir2::Yp)
+    }
+
+    /// The opposite direction.
+    #[inline]
+    pub fn opposite(self) -> Dir2 {
+        match self {
+            Dir2::Xp => Dir2::Xm,
+            Dir2::Xm => Dir2::Xp,
+            Dir2::Yp => Dir2::Ym,
+            Dir2::Ym => Dir2::Yp,
+        }
+    }
+
+    /// Stable small index usable for per-direction tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl Dir3 {
+    /// All six directions: `+X, -X, +Y, -Y, +Z, -Z`.
+    pub const ALL: [Dir3; 6] = [Dir3::Xp, Dir3::Xm, Dir3::Yp, Dir3::Ym, Dir3::Zp, Dir3::Zm];
+
+    /// The three positive (canonical *preferred*) directions.
+    pub const POSITIVE: [Dir3; 3] = [Dir3::Xp, Dir3::Yp, Dir3::Zp];
+
+    /// Coordinate delta of one step.
+    #[inline]
+    pub fn delta(self) -> (i32, i32, i32) {
+        match self {
+            Dir3::Xp => (1, 0, 0),
+            Dir3::Xm => (-1, 0, 0),
+            Dir3::Yp => (0, 1, 0),
+            Dir3::Ym => (0, -1, 0),
+            Dir3::Zp => (0, 0, 1),
+            Dir3::Zm => (0, 0, -1),
+        }
+    }
+
+    /// The axis this direction moves along.
+    #[inline]
+    pub fn axis(self) -> Axis3 {
+        match self {
+            Dir3::Xp | Dir3::Xm => Axis3::X,
+            Dir3::Yp | Dir3::Ym => Axis3::Y,
+            Dir3::Zp | Dir3::Zm => Axis3::Z,
+        }
+    }
+
+    /// True for `+X` / `+Y` / `+Z`.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        matches!(self, Dir3::Xp | Dir3::Yp | Dir3::Zp)
+    }
+
+    /// The opposite direction.
+    #[inline]
+    pub fn opposite(self) -> Dir3 {
+        match self {
+            Dir3::Xp => Dir3::Xm,
+            Dir3::Xm => Dir3::Xp,
+            Dir3::Yp => Dir3::Ym,
+            Dir3::Ym => Dir3::Yp,
+            Dir3::Zp => Dir3::Zm,
+            Dir3::Zm => Dir3::Zp,
+        }
+    }
+
+    /// Stable small index usable for per-direction tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl core::fmt::Display for Dir2 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Dir2::Xp => "+X",
+            Dir2::Xm => "-X",
+            Dir2::Yp => "+Y",
+            Dir2::Ym => "-Y",
+        };
+        f.write_str(s)
+    }
+}
+
+impl core::fmt::Display for Dir3 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Dir3::Xp => "+X",
+            Dir3::Xm => "-X",
+            Dir3::Yp => "+Y",
+            Dir3::Ym => "-Y",
+            Dir3::Zp => "+Z",
+            Dir3::Zm => "-Z",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposites_are_involutions() {
+        for d in Dir2::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_eq!(d.axis(), d.opposite().axis());
+            assert_ne!(d.is_positive(), d.opposite().is_positive());
+        }
+        for d in Dir3::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_eq!(d.axis(), d.opposite().axis());
+            assert_ne!(d.is_positive(), d.opposite().is_positive());
+        }
+    }
+
+    #[test]
+    fn axis_pos_neg() {
+        for a in Axis2::ALL {
+            assert_eq!(a.pos().axis(), a);
+            assert_eq!(a.neg().axis(), a);
+            assert!(a.pos().is_positive());
+            assert!(!a.neg().is_positive());
+        }
+        for a in Axis3::ALL {
+            assert_eq!(a.pos().axis(), a);
+            assert_eq!(a.neg().axis(), a);
+        }
+    }
+
+    #[test]
+    fn deltas_sum_to_zero_with_opposite() {
+        for d in Dir3::ALL {
+            let (a, b, c) = d.delta();
+            let (x, y, z) = d.opposite().delta();
+            assert_eq!((a + x, b + y, c + z), (0, 0, 0));
+        }
+    }
+
+    #[test]
+    fn indices_are_distinct() {
+        let mut seen = [false; 6];
+        for d in Dir3::ALL {
+            assert!(!seen[d.index()]);
+            seen[d.index()] = true;
+        }
+    }
+}

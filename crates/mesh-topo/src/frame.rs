@@ -1,0 +1,267 @@
+//! Quadrant / octant canonicalization frames.
+//!
+//! The paper develops its labelling and routing for the canonical case
+//! `s = (0,0[,0])`, `d ≥ 0` componentwise: the preferred directions are the
+//! positive ones. For an arbitrary source/destination pair the model is
+//! applied after reflecting each axis on which the destination lies on the
+//! negative side of the source. A [`Frame2`] / [`Frame3`] is such a
+//! reflection: an involutive mesh automorphism that maps the pair into the
+//! canonical orientation.
+//!
+//! Labelling (and therefore the MCC decomposition) depends only on the frame,
+//! not on the concrete `s`/`d`, so per-mesh results can be cached per frame
+//! (4 frames in 2-D, 8 in 3-D).
+
+use serde::{Deserialize, Serialize};
+
+use crate::coord::{C2, C3};
+use crate::dir::{Dir2, Dir3};
+use crate::mesh::{Mesh2D, Mesh3D};
+
+/// A per-axis reflection of a 2-D mesh (one of the 4 quadrant orientations).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Frame2 {
+    /// Reflect the X axis (`x ↦ width-1-x`).
+    pub flip_x: bool,
+    /// Reflect the Y axis (`y ↦ height-1-y`).
+    pub flip_y: bool,
+    width: i32,
+    height: i32,
+}
+
+/// A per-axis reflection of a 3-D mesh (one of the 8 octant orientations).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Frame3 {
+    /// Reflect the X axis.
+    pub flip_x: bool,
+    /// Reflect the Y axis.
+    pub flip_y: bool,
+    /// Reflect the Z axis.
+    pub flip_z: bool,
+    nx: i32,
+    ny: i32,
+    nz: i32,
+}
+
+impl Frame2 {
+    /// The identity frame for `mesh` (no reflection).
+    pub fn identity(mesh: &Mesh2D) -> Frame2 {
+        Frame2 { flip_x: false, flip_y: false, width: mesh.width(), height: mesh.height() }
+    }
+
+    /// The frame that maps `(s, d)` into canonical orientation
+    /// (`to_canon(s) ≤ to_canon(d)` componentwise).
+    pub fn for_pair(mesh: &Mesh2D, s: C2, d: C2) -> Frame2 {
+        Frame2 {
+            flip_x: d.x < s.x,
+            flip_y: d.y < s.y,
+            width: mesh.width(),
+            height: mesh.height(),
+        }
+    }
+
+    /// All four quadrant frames for `mesh`.
+    pub fn all(mesh: &Mesh2D) -> [Frame2; 4] {
+        let (width, height) = (mesh.width(), mesh.height());
+        [(false, false), (true, false), (false, true), (true, true)]
+            .map(|(flip_x, flip_y)| Frame2 { flip_x, flip_y, width, height })
+    }
+
+    /// A compact index in `0..4` identifying the frame orientation.
+    pub fn index(&self) -> usize {
+        (self.flip_x as usize) | ((self.flip_y as usize) << 1)
+    }
+
+    /// Map a mesh coordinate into the canonical frame. Involutive:
+    /// `to_canon(to_canon(c)) == c`.
+    #[inline]
+    pub fn to_canon(&self, c: C2) -> C2 {
+        C2 {
+            x: if self.flip_x { self.width - 1 - c.x } else { c.x },
+            y: if self.flip_y { self.height - 1 - c.y } else { c.y },
+        }
+    }
+
+    /// Map a canonical-frame coordinate back to mesh coordinates.
+    #[inline]
+    pub fn from_canon(&self, c: C2) -> C2 {
+        self.to_canon(c) // reflections are involutions
+    }
+
+    /// Map a direction into the canonical frame.
+    #[inline]
+    pub fn dir_to_canon(&self, d: Dir2) -> Dir2 {
+        match (d, self.flip_x, self.flip_y) {
+            (Dir2::Xp | Dir2::Xm, true, _) => d.opposite(),
+            (Dir2::Yp | Dir2::Ym, _, true) => d.opposite(),
+            _ => d,
+        }
+    }
+
+    /// Map a canonical-frame direction back to mesh coordinates.
+    #[inline]
+    pub fn dir_from_canon(&self, d: Dir2) -> Dir2 {
+        self.dir_to_canon(d)
+    }
+}
+
+impl Frame3 {
+    /// The identity frame for `mesh` (no reflection).
+    pub fn identity(mesh: &Mesh3D) -> Frame3 {
+        Frame3 {
+            flip_x: false,
+            flip_y: false,
+            flip_z: false,
+            nx: mesh.nx(),
+            ny: mesh.ny(),
+            nz: mesh.nz(),
+        }
+    }
+
+    /// The frame that maps `(s, d)` into canonical orientation.
+    pub fn for_pair(mesh: &Mesh3D, s: C3, d: C3) -> Frame3 {
+        Frame3 {
+            flip_x: d.x < s.x,
+            flip_y: d.y < s.y,
+            flip_z: d.z < s.z,
+            nx: mesh.nx(),
+            ny: mesh.ny(),
+            nz: mesh.nz(),
+        }
+    }
+
+    /// All eight octant frames for `mesh`.
+    pub fn all(mesh: &Mesh3D) -> [Frame3; 8] {
+        let (nx, ny, nz) = (mesh.nx(), mesh.ny(), mesh.nz());
+        core::array::from_fn(|i| Frame3 {
+            flip_x: i & 1 != 0,
+            flip_y: i & 2 != 0,
+            flip_z: i & 4 != 0,
+            nx,
+            ny,
+            nz,
+        })
+    }
+
+    /// A compact index in `0..8` identifying the frame orientation.
+    pub fn index(&self) -> usize {
+        (self.flip_x as usize) | ((self.flip_y as usize) << 1) | ((self.flip_z as usize) << 2)
+    }
+
+    /// Map a mesh coordinate into the canonical frame. Involutive.
+    #[inline]
+    pub fn to_canon(&self, c: C3) -> C3 {
+        C3 {
+            x: if self.flip_x { self.nx - 1 - c.x } else { c.x },
+            y: if self.flip_y { self.ny - 1 - c.y } else { c.y },
+            z: if self.flip_z { self.nz - 1 - c.z } else { c.z },
+        }
+    }
+
+    /// Map a canonical-frame coordinate back to mesh coordinates.
+    #[inline]
+    pub fn from_canon(&self, c: C3) -> C3 {
+        self.to_canon(c)
+    }
+
+    /// Map a direction into the canonical frame.
+    #[inline]
+    pub fn dir_to_canon(&self, d: Dir3) -> Dir3 {
+        let flip = match d.axis() {
+            crate::dir::Axis3::X => self.flip_x,
+            crate::dir::Axis3::Y => self.flip_y,
+            crate::dir::Axis3::Z => self.flip_z,
+        };
+        if flip {
+            d.opposite()
+        } else {
+            d
+        }
+    }
+
+    /// Map a canonical-frame direction back to mesh coordinates.
+    #[inline]
+    pub fn dir_from_canon(&self, d: Dir3) -> Dir3 {
+        self.dir_to_canon(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::{c2, c3};
+
+    #[test]
+    fn frame2_canonicalizes_every_pair() {
+        let mesh = Mesh2D::new(7, 5);
+        let pairs = [
+            (c2(3, 3), c2(6, 4)),
+            (c2(3, 3), c2(0, 4)),
+            (c2(3, 3), c2(6, 0)),
+            (c2(3, 3), c2(0, 0)),
+            (c2(2, 2), c2(2, 2)),
+        ];
+        for (s, d) in pairs {
+            let f = Frame2::for_pair(&mesh, s, d);
+            let (cs, cd) = (f.to_canon(s), f.to_canon(d));
+            assert!(cs.dominated_by(cd), "{s:?}->{d:?} not canonical: {cs:?} {cd:?}");
+            assert_eq!(f.from_canon(cs), s);
+            assert_eq!(f.from_canon(cd), d);
+            assert_eq!(cs.dist(cd), s.dist(d), "reflection must preserve distance");
+        }
+    }
+
+    #[test]
+    fn frame3_canonicalizes_every_pair() {
+        let mesh = Mesh3D::new(5, 6, 7);
+        let s = c3(2, 3, 4);
+        for d in [c3(4, 5, 6), c3(0, 0, 0), c3(4, 0, 6), c3(0, 5, 0), c3(2, 3, 4)] {
+            let f = Frame3::for_pair(&mesh, s, d);
+            let (cs, cd) = (f.to_canon(s), f.to_canon(d));
+            assert!(cs.dominated_by(cd));
+            assert_eq!(f.from_canon(cs), s);
+            assert_eq!(cs.dist(cd), s.dist(d));
+        }
+    }
+
+    #[test]
+    fn frame_maps_steps_consistently() {
+        // Stepping then mapping == mapping then stepping the mapped direction.
+        let mesh = Mesh3D::new(5, 5, 5);
+        for f in Frame3::all(&mesh) {
+            let u = c3(2, 3, 1);
+            for d in Dir3::ALL {
+                assert_eq!(f.to_canon(u.step(d)), f.to_canon(u).step(f.dir_to_canon(d)));
+            }
+        }
+        let mesh2 = Mesh2D::new(5, 4);
+        for f in Frame2::all(&mesh2) {
+            let u = c2(2, 3);
+            for d in Dir2::ALL {
+                assert_eq!(f.to_canon(u.step(d)), f.to_canon(u).step(f.dir_to_canon(d)));
+            }
+        }
+    }
+
+    #[test]
+    fn frame_indices_unique() {
+        let mesh = Mesh3D::new(4, 4, 4);
+        let mut seen = [false; 8];
+        for f in Frame3::all(&mesh) {
+            assert!(!seen[f.index()]);
+            seen[f.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn bounds_stay_in_mesh() {
+        let mesh = Mesh2D::new(9, 3);
+        for f in Frame2::all(&mesh) {
+            for c in mesh.nodes() {
+                let m = f.to_canon(c);
+                assert!(mesh.contains(m), "{c:?} mapped outside: {m:?}");
+            }
+        }
+    }
+}

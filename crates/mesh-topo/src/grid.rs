@@ -1,0 +1,308 @@
+//! Dense per-node storage, indexed by coordinates.
+//!
+//! `Grid2<T>` / `Grid3<T>` are flat row-major `Vec`s with stride arithmetic —
+//! the workhorse containers for node status, labels, distances and per-node
+//! protocol state. Indexing with an out-of-bounds coordinate panics (it is a
+//! logic error); use [`Grid2::get`] / [`Grid3::get`] for boundary probing.
+
+use crate::coord::{C2, C3};
+
+/// Dense `width × height` storage indexed by [`C2`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Grid2<T> {
+    width: i32,
+    height: i32,
+    data: Vec<T>,
+}
+
+/// Dense `nx × ny × nz` storage indexed by [`C3`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Grid3<T> {
+    nx: i32,
+    ny: i32,
+    nz: i32,
+    data: Vec<T>,
+}
+
+impl<T: Clone> Grid2<T> {
+    /// Create a grid with every cell set to `fill`.
+    ///
+    /// # Panics
+    /// If `width` or `height` is not positive.
+    pub fn new(width: i32, height: i32, fill: T) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be positive");
+        Grid2 { width, height, data: vec![fill; (width as usize) * (height as usize)] }
+    }
+
+    /// Reset every cell to `fill` without reallocating.
+    pub fn fill(&mut self, fill: T) {
+        self.data.iter_mut().for_each(|c| *c = fill.clone());
+    }
+}
+
+impl<T> Grid2<T> {
+    /// Grid width (extent along X).
+    #[inline]
+    pub fn width(&self) -> i32 {
+        self.width
+    }
+
+    /// Grid height (extent along Y).
+    #[inline]
+    pub fn height(&self) -> i32 {
+        self.height
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the grid has zero cells (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// True if `c` addresses a cell of this grid.
+    #[inline]
+    pub fn contains(&self, c: C2) -> bool {
+        c.x >= 0 && c.y >= 0 && c.x < self.width && c.y < self.height
+    }
+
+    #[inline]
+    fn idx(&self, c: C2) -> usize {
+        debug_assert!(self.contains(c), "coordinate {c:?} outside {}x{} grid", self.width, self.height);
+        (c.y as usize) * (self.width as usize) + (c.x as usize)
+    }
+
+    /// Borrow the cell at `c`, or `None` if out of bounds.
+    #[inline]
+    pub fn get(&self, c: C2) -> Option<&T> {
+        if self.contains(c) {
+            Some(&self.data[self.idx(c)])
+        } else {
+            None
+        }
+    }
+
+    /// Mutably borrow the cell at `c`, or `None` if out of bounds.
+    #[inline]
+    pub fn get_mut(&mut self, c: C2) -> Option<&mut T> {
+        if self.contains(c) {
+            let i = self.idx(c);
+            Some(&mut self.data[i])
+        } else {
+            None
+        }
+    }
+
+    /// Iterate over all coordinates in row-major (y-outer) order.
+    pub fn coords(&self) -> impl Iterator<Item = C2> + '_ {
+        let (w, h) = (self.width, self.height);
+        (0..h).flat_map(move |y| (0..w).map(move |x| C2 { x, y }))
+    }
+
+    /// Iterate `(coordinate, &value)` pairs in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (C2, &T)> + '_ {
+        self.coords().zip(self.data.iter())
+    }
+
+    /// The raw backing slice in row-major order.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T> core::ops::Index<C2> for Grid2<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, c: C2) -> &T {
+        assert!(self.contains(c), "coordinate {c:?} outside {}x{} grid", self.width, self.height);
+        &self.data[self.idx(c)]
+    }
+}
+
+impl<T> core::ops::IndexMut<C2> for Grid2<T> {
+    #[inline]
+    fn index_mut(&mut self, c: C2) -> &mut T {
+        assert!(self.contains(c), "coordinate {c:?} outside {}x{} grid", self.width, self.height);
+        let i = self.idx(c);
+        &mut self.data[i]
+    }
+}
+
+impl<T: Clone> Grid3<T> {
+    /// Create a grid with every cell set to `fill`.
+    ///
+    /// # Panics
+    /// If any dimension is not positive.
+    pub fn new(nx: i32, ny: i32, nz: i32, fill: T) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+        Grid3 { nx, ny, nz, data: vec![fill; (nx as usize) * (ny as usize) * (nz as usize)] }
+    }
+
+    /// Reset every cell to `fill` without reallocating.
+    pub fn fill(&mut self, fill: T) {
+        self.data.iter_mut().for_each(|c| *c = fill.clone());
+    }
+}
+
+impl<T> Grid3<T> {
+    /// Extent along X.
+    #[inline]
+    pub fn nx(&self) -> i32 {
+        self.nx
+    }
+
+    /// Extent along Y.
+    #[inline]
+    pub fn ny(&self) -> i32 {
+        self.ny
+    }
+
+    /// Extent along Z.
+    #[inline]
+    pub fn nz(&self) -> i32 {
+        self.nz
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the grid has zero cells (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// True if `c` addresses a cell of this grid.
+    #[inline]
+    pub fn contains(&self, c: C3) -> bool {
+        c.x >= 0 && c.y >= 0 && c.z >= 0 && c.x < self.nx && c.y < self.ny && c.z < self.nz
+    }
+
+    #[inline]
+    fn idx(&self, c: C3) -> usize {
+        debug_assert!(self.contains(c));
+        ((c.z as usize) * (self.ny as usize) + (c.y as usize)) * (self.nx as usize) + (c.x as usize)
+    }
+
+    /// Borrow the cell at `c`, or `None` if out of bounds.
+    #[inline]
+    pub fn get(&self, c: C3) -> Option<&T> {
+        if self.contains(c) {
+            Some(&self.data[self.idx(c)])
+        } else {
+            None
+        }
+    }
+
+    /// Mutably borrow the cell at `c`, or `None` if out of bounds.
+    #[inline]
+    pub fn get_mut(&mut self, c: C3) -> Option<&mut T> {
+        if self.contains(c) {
+            let i = self.idx(c);
+            Some(&mut self.data[i])
+        } else {
+            None
+        }
+    }
+
+    /// Iterate over all coordinates (x fastest, then y, then z).
+    pub fn coords(&self) -> impl Iterator<Item = C3> + '_ {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        (0..nz).flat_map(move |z| (0..ny).flat_map(move |y| (0..nx).map(move |x| C3 { x, y, z })))
+    }
+
+    /// Iterate `(coordinate, &value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (C3, &T)> + '_ {
+        self.coords().zip(self.data.iter())
+    }
+
+    /// The raw backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T> core::ops::Index<C3> for Grid3<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, c: C3) -> &T {
+        assert!(self.contains(c), "coordinate {c:?} outside {}x{}x{} grid", self.nx, self.ny, self.nz);
+        &self.data[self.idx(c)]
+    }
+}
+
+impl<T> core::ops::IndexMut<C3> for Grid3<T> {
+    #[inline]
+    fn index_mut(&mut self, c: C3) -> &mut T {
+        assert!(self.contains(c), "coordinate {c:?} outside {}x{}x{} grid", self.nx, self.ny, self.nz);
+        let i = self.idx(c);
+        &mut self.data[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::{c2, c3};
+
+    #[test]
+    fn grid2_roundtrip() {
+        let mut g = Grid2::new(4, 3, 0u32);
+        assert_eq!(g.len(), 12);
+        g[c2(3, 2)] = 7;
+        g[c2(0, 0)] = 1;
+        assert_eq!(g[c2(3, 2)], 7);
+        assert_eq!(g.get(c2(4, 2)), None);
+        assert_eq!(g.get(c2(-1, 0)), None);
+        assert_eq!(g.iter().filter(|&(_, &v)| v != 0).count(), 2);
+    }
+
+    #[test]
+    fn grid3_roundtrip() {
+        let mut g = Grid3::new(3, 4, 5, 0u32);
+        assert_eq!(g.len(), 60);
+        g[c3(2, 3, 4)] = 9;
+        assert_eq!(g[c3(2, 3, 4)], 9);
+        assert_eq!(g.get(c3(3, 0, 0)), None);
+        assert_eq!(g.coords().count(), 60);
+        // coords and data iterate in the same order
+        for (c, &v) in g.iter() {
+            assert_eq!(v, g[c]);
+        }
+    }
+
+    #[test]
+    fn distinct_cells_have_distinct_indices() {
+        let g = Grid3::new(5, 6, 7, ());
+        let mut seen = std::collections::HashSet::new();
+        for c in g.coords() {
+            assert!(seen.insert(g.idx(c)));
+        }
+        assert_eq!(seen.len(), g.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn grid2_oob_panics() {
+        let g = Grid2::new(2, 2, 0);
+        let _ = g[c2(2, 0)];
+    }
+
+    #[test]
+    fn fill_resets() {
+        let mut g = Grid2::new(2, 2, 1);
+        g[c2(1, 1)] = 5;
+        g.fill(2);
+        assert!(g.as_slice().iter().all(|&v| v == 2));
+    }
+}

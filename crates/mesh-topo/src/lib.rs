@@ -1,0 +1,42 @@
+//! # mesh-topo — k-ary 2-D / 3-D mesh topology substrate
+//!
+//! This crate provides the network-topology substrate used by the MCC
+//! fault-information-model reproduction (Jiang, Wu, Wang; ICPP 2005):
+//!
+//! * [`coord`] — integer lattice coordinates [`C2`] / [`C3`] with Manhattan
+//!   distance and dominance orders,
+//! * [`dir`] — axes and signed unit directions ([`Dir2`], [`Dir3`]),
+//! * [`grid`] — dense row-major storage ([`Grid2`], [`Grid3`]) indexed by
+//!   coordinates,
+//! * [`mesh`] — the mesh networks themselves ([`Mesh2D`], [`Mesh3D`]): bounds,
+//!   neighborhoods and fault sets,
+//! * [`region`] — axis-aligned rectangles and boxes,
+//! * [`frame`] — quadrant/octant reflection frames that canonicalize a
+//!   source/destination pair so the destination dominates the source,
+//! * [`faults`] — seeded random fault injection (uniform and clustered),
+//! * [`path`] — routing paths and minimality/validity checks.
+//!
+//! Everything here is deterministic and allocation-conscious: grids are flat
+//! `Vec`s, neighbor iteration never allocates, and all random workloads are
+//! reproducible from a `u64` seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coord;
+pub mod dir;
+pub mod faults;
+pub mod frame;
+pub mod grid;
+pub mod mesh;
+pub mod path;
+pub mod region;
+
+pub use coord::{C2, C3};
+pub use dir::{Axis2, Axis3, Dir2, Dir3};
+pub use faults::{FaultPattern, FaultSpec};
+pub use frame::{Frame2, Frame3};
+pub use grid::{Grid2, Grid3};
+pub use mesh::{Mesh2D, Mesh3D};
+pub use path::{Path2, Path3};
+pub use region::{Box3, Rect};

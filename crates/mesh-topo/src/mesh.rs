@@ -1,0 +1,294 @@
+//! The mesh networks themselves: bounds, links and fault sets.
+//!
+//! A k-ary n-dimensional mesh connects nodes along each dimension as a linear
+//! array (no wrap-around). Node faults are the unit of failure; link faults
+//! are modelled, as in the paper, by disabling the adjacent nodes.
+
+use crate::coord::{C2, C3};
+use crate::dir::{Dir2, Dir3};
+use crate::grid::{Grid2, Grid3};
+use crate::region::{Box3, Rect};
+
+/// A `width × height` 2-D mesh with a set of faulty nodes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Mesh2D {
+    faulty: Grid2<bool>,
+    fault_list: Vec<C2>,
+}
+
+/// An `nx × ny × nz` 3-D mesh with a set of faulty nodes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Mesh3D {
+    faulty: Grid3<bool>,
+    fault_list: Vec<C3>,
+}
+
+impl Mesh2D {
+    /// A fault-free `width × height` mesh.
+    ///
+    /// # Panics
+    /// If either dimension is not positive.
+    pub fn new(width: i32, height: i32) -> Self {
+        Mesh2D { faulty: Grid2::new(width, height, false), fault_list: Vec::new() }
+    }
+
+    /// A `k × k` mesh (the paper's "k-ary 2-dimensional mesh").
+    pub fn kary(k: i32) -> Self {
+        Mesh2D::new(k, k)
+    }
+
+    /// Width (extent along X).
+    #[inline]
+    pub fn width(&self) -> i32 {
+        self.faulty.width()
+    }
+
+    /// Height (extent along Y).
+    #[inline]
+    pub fn height(&self) -> i32 {
+        self.faulty.height()
+    }
+
+    /// Total number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.faulty.len()
+    }
+
+    /// True if `c` addresses a node of this mesh.
+    #[inline]
+    pub fn contains(&self, c: C2) -> bool {
+        self.faulty.contains(c)
+    }
+
+    /// The full extent of the mesh as an inclusive rectangle.
+    pub fn bounds(&self) -> Rect {
+        Rect { x0: 0, y0: 0, x1: self.width() - 1, y1: self.height() - 1 }
+    }
+
+    /// Mark `c` faulty. Returns `true` if the node was previously healthy.
+    ///
+    /// # Panics
+    /// If `c` is outside the mesh.
+    pub fn inject_fault(&mut self, c: C2) -> bool {
+        assert!(self.contains(c), "fault injected outside mesh: {c:?}");
+        let cell = &mut self.faulty[c];
+        if *cell {
+            false
+        } else {
+            *cell = true;
+            self.fault_list.push(c);
+            true
+        }
+    }
+
+    /// True if the node exists and is faulty.
+    #[inline]
+    pub fn is_faulty(&self, c: C2) -> bool {
+        self.faulty.get(c).copied().unwrap_or(false)
+    }
+
+    /// True if the node exists and is healthy.
+    #[inline]
+    pub fn is_healthy(&self, c: C2) -> bool {
+        self.faulty.get(c).map(|f| !f).unwrap_or(false)
+    }
+
+    /// All injected faults, in injection order.
+    #[inline]
+    pub fn faults(&self) -> &[C2] {
+        &self.fault_list
+    }
+
+    /// Number of faulty nodes.
+    #[inline]
+    pub fn fault_count(&self) -> usize {
+        self.fault_list.len()
+    }
+
+    /// In-mesh neighbors of `c` (2, 3 or 4 of them), in [`Dir2::ALL`] order.
+    pub fn neighbors(&self, c: C2) -> impl Iterator<Item = C2> + '_ {
+        Dir2::ALL.into_iter().map(move |d| c.step(d)).filter(|&n| self.contains(n))
+    }
+
+    /// Iterate all node coordinates in row-major order.
+    pub fn nodes(&self) -> impl Iterator<Item = C2> + '_ {
+        self.faulty.coords()
+    }
+
+    /// Remove all faults.
+    pub fn clear_faults(&mut self) {
+        self.faulty.fill(false);
+        self.fault_list.clear();
+    }
+}
+
+impl Mesh3D {
+    /// A fault-free `nx × ny × nz` mesh.
+    ///
+    /// # Panics
+    /// If any dimension is not positive.
+    pub fn new(nx: i32, ny: i32, nz: i32) -> Self {
+        Mesh3D { faulty: Grid3::new(nx, ny, nz, false), fault_list: Vec::new() }
+    }
+
+    /// A `k × k × k` mesh (the paper's "k-ary 3-dimensional mesh").
+    pub fn kary(k: i32) -> Self {
+        Mesh3D::new(k, k, k)
+    }
+
+    /// Extent along X.
+    #[inline]
+    pub fn nx(&self) -> i32 {
+        self.faulty.nx()
+    }
+
+    /// Extent along Y.
+    #[inline]
+    pub fn ny(&self) -> i32 {
+        self.faulty.ny()
+    }
+
+    /// Extent along Z.
+    #[inline]
+    pub fn nz(&self) -> i32 {
+        self.faulty.nz()
+    }
+
+    /// Total number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.faulty.len()
+    }
+
+    /// True if `c` addresses a node of this mesh.
+    #[inline]
+    pub fn contains(&self, c: C3) -> bool {
+        self.faulty.contains(c)
+    }
+
+    /// The full extent of the mesh as an inclusive box.
+    pub fn bounds(&self) -> Box3 {
+        Box3 {
+            lo: C3::ORIGIN,
+            hi: C3 { x: self.nx() - 1, y: self.ny() - 1, z: self.nz() - 1 },
+        }
+    }
+
+    /// Mark `c` faulty. Returns `true` if the node was previously healthy.
+    ///
+    /// # Panics
+    /// If `c` is outside the mesh.
+    pub fn inject_fault(&mut self, c: C3) -> bool {
+        assert!(self.contains(c), "fault injected outside mesh: {c:?}");
+        let cell = &mut self.faulty[c];
+        if *cell {
+            false
+        } else {
+            *cell = true;
+            self.fault_list.push(c);
+            true
+        }
+    }
+
+    /// True if the node exists and is faulty.
+    #[inline]
+    pub fn is_faulty(&self, c: C3) -> bool {
+        self.faulty.get(c).copied().unwrap_or(false)
+    }
+
+    /// True if the node exists and is healthy.
+    #[inline]
+    pub fn is_healthy(&self, c: C3) -> bool {
+        self.faulty.get(c).map(|f| !f).unwrap_or(false)
+    }
+
+    /// All injected faults, in injection order.
+    #[inline]
+    pub fn faults(&self) -> &[C3] {
+        &self.fault_list
+    }
+
+    /// Number of faulty nodes.
+    #[inline]
+    pub fn fault_count(&self) -> usize {
+        self.fault_list.len()
+    }
+
+    /// In-mesh neighbors of `c` (3 to 6 of them), in [`Dir3::ALL`] order.
+    pub fn neighbors(&self, c: C3) -> impl Iterator<Item = C3> + '_ {
+        Dir3::ALL.into_iter().map(move |d| c.step(d)).filter(|&n| self.contains(n))
+    }
+
+    /// Iterate all node coordinates (x fastest).
+    pub fn nodes(&self) -> impl Iterator<Item = C3> + '_ {
+        self.faulty.coords()
+    }
+
+    /// Remove all faults.
+    pub fn clear_faults(&mut self) {
+        self.faulty.fill(false);
+        self.fault_list.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::{c2, c3};
+
+    #[test]
+    fn mesh2_bounds_and_neighbors() {
+        let m = Mesh2D::new(4, 3);
+        assert_eq!(m.node_count(), 12);
+        // interior degree 4, corner degree 2, edge degree 3
+        assert_eq!(m.neighbors(c2(1, 1)).count(), 4);
+        assert_eq!(m.neighbors(c2(0, 0)).count(), 2);
+        assert_eq!(m.neighbors(c2(1, 0)).count(), 3);
+        assert!(m.contains(c2(3, 2)));
+        assert!(!m.contains(c2(4, 0)));
+        assert!(!m.contains(c2(0, -1)));
+    }
+
+    #[test]
+    fn mesh3_degrees() {
+        let m = Mesh3D::new(3, 3, 3);
+        assert_eq!(m.node_count(), 27);
+        assert_eq!(m.neighbors(c3(1, 1, 1)).count(), 6); // interior degree 2n = 6
+        assert_eq!(m.neighbors(c3(0, 0, 0)).count(), 3);
+        assert_eq!(m.neighbors(c3(1, 0, 0)).count(), 4);
+    }
+
+    #[test]
+    fn fault_injection() {
+        let mut m = Mesh2D::new(5, 5);
+        assert!(m.inject_fault(c2(2, 2)));
+        assert!(!m.inject_fault(c2(2, 2))); // idempotent
+        assert!(m.is_faulty(c2(2, 2)));
+        assert!(m.is_healthy(c2(2, 3)));
+        assert!(!m.is_healthy(c2(9, 9))); // off-mesh is neither healthy...
+        assert!(!m.is_faulty(c2(9, 9))); // ...nor faulty
+        assert_eq!(m.fault_count(), 1);
+        m.clear_faults();
+        assert_eq!(m.fault_count(), 0);
+        assert!(m.is_healthy(c2(2, 2)));
+    }
+
+    #[test]
+    fn mesh3_fault_roundtrip() {
+        let mut m = Mesh3D::kary(4);
+        for c in [c3(0, 0, 0), c3(3, 3, 3), c3(1, 2, 3)] {
+            assert!(m.inject_fault(c));
+        }
+        assert_eq!(m.faults().len(), 3);
+        assert_eq!(m.nodes().filter(|&c| m.is_faulty(c)).count(), 3);
+    }
+
+    #[test]
+    fn diameter_is_k_minus_1_times_n() {
+        let m = Mesh3D::kary(5);
+        let far = c3(4, 4, 4);
+        assert_eq!(C3::ORIGIN.dist(far), (5 - 1) * 3);
+        assert_eq!(m.bounds().hi, far);
+    }
+}

@@ -1,0 +1,197 @@
+//! Routing paths and their validity / minimality checks.
+//!
+//! A routing process is *minimal* if the length of the path from source `s`
+//! to destination `d` equals the Manhattan distance `D(s, d)`. [`Path2`] and
+//! [`Path3`] record the visited nodes and provide the checks the test-suite
+//! and the experiment harness rely on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::coord::{C2, C3};
+use crate::mesh::{Mesh2D, Mesh3D};
+
+/// A (possibly partial) route through a 2-D mesh: the sequence of visited
+/// nodes, starting at the source.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Path2 {
+    nodes: Vec<C2>,
+}
+
+/// A (possibly partial) route through a 3-D mesh.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Path3 {
+    nodes: Vec<C3>,
+}
+
+impl Path2 {
+    /// A path consisting of only the source node.
+    pub fn start(s: C2) -> Path2 {
+        Path2 { nodes: vec![s] }
+    }
+
+    /// Construct from a complete node sequence.
+    pub fn from_nodes(nodes: Vec<C2>) -> Path2 {
+        Path2 { nodes }
+    }
+
+    /// Append the next visited node.
+    pub fn push(&mut self, c: C2) {
+        self.nodes.push(c);
+    }
+
+    /// Visited nodes, source first.
+    pub fn nodes(&self) -> &[C2] {
+        &self.nodes
+    }
+
+    /// Number of hops (edges) taken.
+    pub fn hops(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+
+    /// The node the route currently sits on.
+    pub fn head(&self) -> Option<C2> {
+        self.nodes.last().copied()
+    }
+
+    /// True if consecutive nodes are mesh neighbors and all nodes lie in
+    /// `mesh` and are healthy.
+    pub fn is_valid(&self, mesh: &Mesh2D) -> bool {
+        if self.nodes.is_empty() {
+            return false;
+        }
+        if !self.nodes.iter().all(|&c| mesh.is_healthy(c)) {
+            return false;
+        }
+        self.nodes.windows(2).all(|w| w[0].is_neighbor(w[1]))
+    }
+
+    /// True if this is a complete **minimal** route from `s` to `d`: valid,
+    /// starts at `s`, ends at `d`, and takes exactly `D(s, d)` hops.
+    pub fn is_minimal(&self, mesh: &Mesh2D, s: C2, d: C2) -> bool {
+        self.is_valid(mesh)
+            && self.nodes.first() == Some(&s)
+            && self.nodes.last() == Some(&d)
+            && self.hops() as u32 == s.dist(d)
+    }
+}
+
+impl Path3 {
+    /// A path consisting of only the source node.
+    pub fn start(s: C3) -> Path3 {
+        Path3 { nodes: vec![s] }
+    }
+
+    /// Construct from a complete node sequence.
+    pub fn from_nodes(nodes: Vec<C3>) -> Path3 {
+        Path3 { nodes }
+    }
+
+    /// Append the next visited node.
+    pub fn push(&mut self, c: C3) {
+        self.nodes.push(c);
+    }
+
+    /// Visited nodes, source first.
+    pub fn nodes(&self) -> &[C3] {
+        &self.nodes
+    }
+
+    /// Number of hops (edges) taken.
+    pub fn hops(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+
+    /// The node the route currently sits on.
+    pub fn head(&self) -> Option<C3> {
+        self.nodes.last().copied()
+    }
+
+    /// True if consecutive nodes are mesh neighbors and all nodes lie in
+    /// `mesh` and are healthy.
+    pub fn is_valid(&self, mesh: &Mesh3D) -> bool {
+        if self.nodes.is_empty() {
+            return false;
+        }
+        if !self.nodes.iter().all(|&c| mesh.is_healthy(c)) {
+            return false;
+        }
+        self.nodes.windows(2).all(|w| w[0].is_neighbor(w[1]))
+    }
+
+    /// True if this is a complete **minimal** route from `s` to `d`.
+    pub fn is_minimal(&self, mesh: &Mesh3D, s: C3, d: C3) -> bool {
+        self.is_valid(mesh)
+            && self.nodes.first() == Some(&s)
+            && self.nodes.last() == Some(&d)
+            && self.hops() as u32 == s.dist(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::{c2, c3};
+
+    #[test]
+    fn minimal_path_2d() {
+        let mesh = Mesh2D::new(5, 5);
+        let p = Path2::from_nodes(vec![c2(0, 0), c2(1, 0), c2(1, 1), c2(2, 1)]);
+        assert!(p.is_valid(&mesh));
+        assert!(p.is_minimal(&mesh, c2(0, 0), c2(2, 1)));
+        assert_eq!(p.hops(), 3);
+    }
+
+    #[test]
+    fn non_minimal_detour_detected() {
+        let mesh = Mesh2D::new(5, 5);
+        // Detour: goes up then back down.
+        let p = Path2::from_nodes(vec![c2(0, 0), c2(0, 1), c2(0, 0), c2(1, 0)]);
+        assert!(p.is_valid(&mesh));
+        assert!(!p.is_minimal(&mesh, c2(0, 0), c2(1, 0)));
+    }
+
+    #[test]
+    fn path_through_fault_invalid() {
+        let mut mesh = Mesh2D::new(5, 5);
+        mesh.inject_fault(c2(1, 0));
+        let p = Path2::from_nodes(vec![c2(0, 0), c2(1, 0), c2(2, 0)]);
+        assert!(!p.is_valid(&mesh));
+    }
+
+    #[test]
+    fn teleporting_path_invalid() {
+        let mesh = Mesh3D::kary(4);
+        let p = Path3::from_nodes(vec![c3(0, 0, 0), c3(1, 1, 0)]);
+        assert!(!p.is_valid(&mesh));
+    }
+
+    #[test]
+    fn minimal_path_3d() {
+        let mesh = Mesh3D::kary(4);
+        let p = Path3::from_nodes(vec![
+            c3(0, 0, 0),
+            c3(0, 0, 1),
+            c3(0, 1, 1),
+            c3(1, 1, 1),
+            c3(2, 1, 1),
+        ]);
+        assert!(p.is_minimal(&mesh, c3(0, 0, 0), c3(2, 1, 1)));
+    }
+
+    #[test]
+    fn incremental_building() {
+        let mut p = Path3::start(c3(0, 0, 0));
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.head(), Some(c3(0, 0, 0)));
+        p.push(c3(1, 0, 0));
+        assert_eq!(p.hops(), 1);
+        assert_eq!(p.head(), Some(c3(1, 0, 0)));
+    }
+
+    #[test]
+    fn empty_path_is_invalid() {
+        let mesh = Mesh2D::new(3, 3);
+        assert!(!Path2::default().is_valid(&mesh));
+    }
+}

@@ -1,0 +1,27 @@
+//! # sim-net — deterministic synchronous message-passing simulator
+//!
+//! The distributed protocols of the MCC reproduction (labelling,
+//! identification, boundary construction, detection and routing messages)
+//! run on this substrate. It models exactly what the paper assumes of the
+//! hardware:
+//!
+//! * every node runs the same handler and owns private state,
+//! * messages travel one mesh link per round (neighbor-to-neighbor along
+//!   one dimension),
+//! * delivery is reliable and FIFO per link; rounds are globally
+//!   synchronous,
+//! * execution is fully deterministic: nodes step in coordinate order and
+//!   inboxes are sorted by sender.
+//!
+//! [`SimNet::run`] drives rounds until quiescence (no messages in flight)
+//! or a round limit, returning message/round statistics — the protocol
+//! overhead numbers of the evaluation (experiments E5/E7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod stats;
+
+pub use engine::{Ctx, SimNet};
+pub use stats::RunStats;

@@ -1,0 +1,39 @@
+//! Run statistics: the protocol-overhead metrics of the evaluation.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one [`crate::SimNet::run`] (or the accumulated totals).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total messages sent (each one neighbor-link traversal).
+    pub messages: usize,
+    /// Largest number of messages sent in a single round.
+    pub max_inflight: usize,
+    /// True if the run ended because the network went quiet (rather than
+    /// hitting the round limit).
+    pub quiescent: bool,
+}
+
+impl RunStats {
+    /// Fold another run's statistics into an accumulated total.
+    pub fn absorb(&mut self, other: RunStats) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.max_inflight = self.max_inflight.max(other.max_inflight);
+        self.quiescent = other.quiescent;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = RunStats { rounds: 2, messages: 10, max_inflight: 6, quiescent: false };
+        a.absorb(RunStats { rounds: 3, messages: 5, max_inflight: 9, quiescent: true });
+        assert_eq!(a, RunStats { rounds: 5, messages: 15, max_inflight: 9, quiescent: true });
+    }
+}

@@ -1,0 +1,19 @@
+//! # mcc-mesh — facade crate
+//!
+//! Re-exports the whole workspace: the MCC fault-information model and
+//! fault-tolerant adaptive minimal routing for 2-D and 3-D meshes
+//! (reproduction of Jiang, Wu & Wang, ICPP 2005), together with the
+//! substrates it is built on.
+//!
+//! Start with the [`mesh_topo`] substrate to build a mesh and inject faults,
+//! use [`fault_model`] to compute MCC fault regions and existence conditions,
+//! and [`mcc_routing`] to actually route. [`mcc_protocols`] contains the
+//! distributed (message-passing) implementations running on [`sim_net`].
+
+#![forbid(unsafe_code)]
+
+pub use fault_model;
+pub use mcc_protocols;
+pub use mcc_routing;
+pub use mesh_topo;
+pub use sim_net;
