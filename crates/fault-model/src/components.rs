@@ -90,7 +90,10 @@ impl Components2 {
             while let Some(u) = queue.pop() {
                 comp_cells.push(u);
                 for (dx, dy) in NEIGHBORS_8 {
-                    let v = C2 { x: u.x + dx, y: u.y + dy };
+                    let v = C2 {
+                        x: u.x + dx,
+                        y: u.y + dy,
+                    };
                     if lab.is_unsafe(v) && id[v] == NO_COMPONENT {
                         id[v] = comp;
                         queue.push(v);
@@ -139,7 +142,11 @@ impl Components3 {
             while let Some(u) = queue.pop() {
                 comp_cells.push(u);
                 for (dx, dy, dz) in NEIGHBORS_18 {
-                    let v = C3 { x: u.x + dx, y: u.y + dy, z: u.z + dz };
+                    let v = C3 {
+                        x: u.x + dx,
+                        y: u.y + dy,
+                        z: u.z + dz,
+                    };
                     if lab.is_unsafe(v) && id[v] == NO_COMPONENT {
                         id[v] = comp;
                         queue.push(v);

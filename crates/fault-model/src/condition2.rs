@@ -65,12 +65,7 @@ impl Existence2 {
 ///
 /// # Panics
 /// If `s` does not precede `d` componentwise.
-pub fn minimal_path_exists_2d(
-    lab: &Labelling2,
-    _mccs: &MccSet2,
-    s: C2,
-    d: C2,
-) -> Existence2 {
+pub fn minimal_path_exists_2d(lab: &Labelling2, _mccs: &MccSet2, s: C2, d: C2) -> Existence2 {
     assert!(
         s.dominated_by(d),
         "condition requires canonical coordinates with s <= d, got {s:?} {d:?}"
@@ -119,11 +114,7 @@ pub fn minimal_path_exists_2d(
 /// necessary: compositions of several MCCs (or an MCC and the mesh border)
 /// can block even though no single component's pair fires. The boundary
 /// construction exists precisely to merge those regions.
-pub fn pair_blocking_mcc<'a>(
-    mccs: &'a MccSet2,
-    s: C2,
-    d: C2,
-) -> Option<(&'a Mcc2, RegionAxis2)> {
+pub fn pair_blocking_mcc(mccs: &MccSet2, s: C2, d: C2) -> Option<(&Mcc2, RegionAxis2)> {
     for m in mccs.iter() {
         if m.in_forbidden_x(s) && m.in_critical_x(d) {
             return Some((m, RegionAxis2::X));
@@ -155,7 +146,10 @@ mod tests {
     #[test]
     fn open_mesh_exists() {
         let (lab, set) = setup(&[], 8, 8);
-        assert_eq!(minimal_path_exists_2d(&lab, &set, c2(0, 0), c2(7, 7)), Existence2::Exists);
+        assert_eq!(
+            minimal_path_exists_2d(&lab, &set, c2(0, 0), c2(7, 7)),
+            Existence2::Exists
+        );
     }
 
     #[test]
@@ -203,7 +197,10 @@ mod tests {
         let (s, d) = (c2(2, 0), c2(4, 8));
         assert!(lab.status(s).is_safe(), "{:?}", lab.status(s));
         assert!(lab.status(d).is_safe(), "{:?}", lab.status(d));
-        assert_eq!(minimal_path_exists_2d(&lab, &set, s, d), Existence2::Blocked);
+        assert_eq!(
+            minimal_path_exists_2d(&lab, &set, s, d),
+            Existence2::Blocked
+        );
         let (m, axis) = pair_blocking_mcc(&set, s, d).unwrap();
         assert_eq!(axis, RegionAxis2::Y);
         assert!(m.fault_count == 5);
@@ -216,8 +213,14 @@ mod tests {
         let (lab, set) = setup(&[c2(2, 1), c2(3, 8)], 12, 12);
         let (s, d) = (c2(2, 0), c2(3, 10));
         assert!(lab.status(s).is_safe() && lab.status(d).is_safe());
-        assert_eq!(minimal_path_exists_2d(&lab, &set, s, d), Existence2::Blocked);
-        assert!(pair_blocking_mcc(&set, s, d).is_none(), "unmerged pair must miss this");
+        assert_eq!(
+            minimal_path_exists_2d(&lab, &set, s, d),
+            Existence2::Blocked
+        );
+        assert!(
+            pair_blocking_mcc(&set, s, d).is_none(),
+            "unmerged pair must miss this"
+        );
     }
 
     #[test]
@@ -235,8 +238,7 @@ mod tests {
                     mesh.inject_fault(c);
                 }
             }
-            let lab =
-                Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+            let lab = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
             let set = MccSet2::compute(&lab);
             let s = c2(rng.gen_range(0..6), rng.gen_range(0..6));
             let d = c2(rng.gen_range(6..12), rng.gen_range(6..12));

@@ -110,7 +110,10 @@ mod tests {
     #[test]
     fn open_mesh_exists() {
         let lab = setup(&[], 6);
-        assert_eq!(minimal_path_exists_3d(&lab, c3(0, 0, 0), c3(5, 5, 5)), Existence3::Exists);
+        assert_eq!(
+            minimal_path_exists_3d(&lab, c3(0, 0, 0), c3(5, 5, 5)),
+            Existence3::Exists
+        );
     }
 
     #[test]
@@ -138,7 +141,10 @@ mod tests {
             }
         }
         let lab = setup(&faults, 8);
-        assert_eq!(minimal_path_exists_3d(&lab, c3(0, 0, 0), c3(3, 3, 4)), Existence3::Blocked);
+        assert_eq!(
+            minimal_path_exists_3d(&lab, c3(0, 0, 0), c3(3, 3, 4)),
+            Existence3::Blocked
+        );
         // Going around the wall (d.x beyond the wall) restores the path.
         assert!(minimal_path_exists_3d(&lab, c3(0, 0, 0), c3(4, 3, 4)).exists());
     }

@@ -36,7 +36,12 @@ impl Labelling2 {
         for &f in mesh.faults() {
             status[frame.to_canon(f)] = NodeStatus::FAULT;
         }
-        let mut lab = Labelling2 { frame, policy, status, unsafe_count: mesh.fault_count() };
+        let mut lab = Labelling2 {
+            frame,
+            policy,
+            status,
+            unsafe_count: mesh.fault_count(),
+        };
         lab.close();
         lab
     }
@@ -68,7 +73,9 @@ impl Labelling2 {
         // relevant neighbors changed are revisited.
         let mut fwd: Vec<C2> = self.status.coords().collect();
         while let Some(u) = fwd.pop() {
-            let Some(&st) = self.status.get(u) else { continue };
+            let Some(&st) = self.status.get(u) else {
+                continue;
+            };
             if st.blocks_forward() {
                 continue;
             }
@@ -88,7 +95,9 @@ impl Labelling2 {
         }
         let mut bwd: Vec<C2> = self.status.coords().collect();
         while let Some(u) = bwd.pop() {
-            let Some(&st) = self.status.get(u) else { continue };
+            let Some(&st) = self.status.get(u) else {
+                continue;
+            };
             if st.blocks_backward() {
                 continue;
             }
@@ -161,7 +170,10 @@ impl Labelling2 {
     /// Number of healthy nodes labelled unsafe (useless and/or can't-reach):
     /// the "sacrificed" nodes the evaluation counts.
     pub fn sacrificed_count(&self) -> usize {
-        self.status.iter().filter(|(_, s)| s.is_unsafe() && !s.is_faulty()).count()
+        self.status
+            .iter()
+            .filter(|(_, s)| s.is_unsafe() && !s.is_faulty())
+            .count()
     }
 
     /// Grid width.

@@ -28,7 +28,12 @@ impl Labelling3 {
         for &f in mesh.faults() {
             status[frame.to_canon(f)] = NodeStatus::FAULT;
         }
-        let mut lab = Labelling3 { frame, policy, status, unsafe_count: mesh.fault_count() };
+        let mut lab = Labelling3 {
+            frame,
+            policy,
+            status,
+            unsafe_count: mesh.fault_count(),
+        };
         lab.close();
         lab
     }
@@ -56,7 +61,9 @@ impl Labelling3 {
         use mesh_topo::dir::Dir3::{Xm, Xp, Ym, Yp, Zm, Zp};
         let mut fwd: Vec<C3> = self.status.coords().collect();
         while let Some(u) = fwd.pop() {
-            let Some(&st) = self.status.get(u) else { continue };
+            let Some(&st) = self.status.get(u) else {
+                continue;
+            };
             if st.blocks_forward() {
                 continue;
             }
@@ -77,7 +84,9 @@ impl Labelling3 {
         }
         let mut bwd: Vec<C3> = self.status.coords().collect();
         while let Some(u) = bwd.pop() {
-            let Some(&st) = self.status.get(u) else { continue };
+            let Some(&st) = self.status.get(u) else {
+                continue;
+            };
             if st.blocks_backward() {
                 continue;
             }
@@ -152,7 +161,10 @@ impl Labelling3 {
 
     /// Number of healthy nodes labelled unsafe.
     pub fn sacrificed_count(&self) -> usize {
-        self.status.iter().filter(|(_, s)| s.is_unsafe() && !s.is_faulty()).count()
+        self.status
+            .iter()
+            .filter(|(_, s)| s.is_unsafe() && !s.is_faulty())
+            .count()
     }
 
     /// Extent along X.
@@ -211,8 +223,14 @@ mod tests {
         // The paper states: "(5,5,5) becomes useless and (5,5,7) becomes
         // can't-reach in our labelling process."
         let l = lab(&figure5_mesh());
-        assert!(l.status(c3(5, 5, 5)).is_useless(), "(5,5,5) must be useless");
-        assert!(l.status(c3(5, 5, 7)).is_cant_reach(), "(5,5,7) must be can't-reach");
+        assert!(
+            l.status(c3(5, 5, 5)).is_useless(),
+            "(5,5,5) must be useless"
+        );
+        assert!(
+            l.status(c3(5, 5, 7)).is_cant_reach(),
+            "(5,5,7) must be can't-reach"
+        );
         // And exactly those two healthy nodes are sacrificed.
         assert_eq!(l.sacrificed_count(), 2);
         assert_eq!(l.unsafe_count(), 10);
@@ -222,7 +240,13 @@ mod tests {
     fn figure5_other_neighbors_stay_safe() {
         let l = lab(&figure5_mesh());
         // The isolated fault (7,8,4) labels nothing around it.
-        for c in [c3(6, 8, 4), c3(7, 7, 4), c3(7, 8, 3), c3(7, 8, 5), c3(8, 8, 4)] {
+        for c in [
+            c3(6, 8, 4),
+            c3(7, 7, 4),
+            c3(7, 8, 3),
+            c3(7, 8, 5),
+            c3(8, 8, 4),
+        ] {
             assert!(l.status(c).is_safe(), "{c} should stay safe");
         }
         // The hole (6,6,5) of the section z=5 stays safe (non-convex section).

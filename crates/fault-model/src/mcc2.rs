@@ -258,7 +258,10 @@ impl Mcc2 {
     /// `+Y` neighbors are edge nodes of the MCC.
     pub fn init_corner(&self) -> C2 {
         let t = self.corner_cell_yx();
-        C2 { x: t.x - 1, y: t.y + 1 }
+        C2 {
+            x: t.x - 1,
+            y: t.y + 1,
+        }
     }
 
     /// The *opposite corner*: the safe node diagonally down-right of the
@@ -269,7 +272,10 @@ impl Mcc2 {
             .iter()
             .min_by_key(|c| (c.y, -c.x))
             .expect("MCC is never empty");
-        C2 { x: b.x + 1, y: b.y - 1 }
+        C2 {
+            x: b.x + 1,
+            y: b.y - 1,
+        }
     }
 }
 

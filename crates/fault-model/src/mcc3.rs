@@ -148,7 +148,9 @@ impl Mcc3 {
             Axis3::Y => (self.bounds.lo.y, self.bounds.hi.y),
             Axis3::Z => (self.bounds.lo.z, self.bounds.hi.z),
         };
-        (lo..=hi).filter(|&p| self.cells.iter().any(|c| c.get(axis) == p)).collect()
+        (lo..=hi)
+            .filter(|&p| self.cells.iter().any(|c| c.get(axis) == p))
+            .collect()
     }
 }
 
@@ -252,7 +254,7 @@ mod tests {
         assert!(big.in_forbidden(Axis3::Z, c3(5, 5, 3)));
         assert!(big.in_critical(Axis3::Z, c3(5, 5, 9)));
         assert!(!big.in_forbidden(Axis3::Z, c3(5, 5, 6))); // inside, not below
-        // Lines the component does not touch yield no regions.
+                                                           // Lines the component does not touch yield no regions.
         assert_eq!(big.line_extent(Axis3::Z, c3(0, 0, 0)), None);
         assert!(!big.in_forbidden(Axis3::Z, c3(0, 0, 0)));
     }

@@ -55,7 +55,10 @@ impl Useful2 {
     /// # Panics
     /// If `s` does not precede `d` componentwise.
     pub fn compute(s: C2, d: C2, blocked: impl Fn(C2) -> bool) -> Useful2 {
-        assert!(s.dominated_by(d), "oracle requires canonical s <= d, got {s:?} {d:?}");
+        assert!(
+            s.dominated_by(d),
+            "oracle requires canonical s <= d, got {s:?} {d:?}"
+        );
         let w = d.x - s.x + 1;
         let h = d.y - s.y + 1;
         let mut useful = vec![false; (w as usize) * (h as usize)];
@@ -108,7 +111,10 @@ impl Useful3 {
     /// # Panics
     /// If `s` does not precede `d` componentwise.
     pub fn compute(s: C3, d: C3, blocked: impl Fn(C3) -> bool) -> Useful3 {
-        assert!(s.dominated_by(d), "oracle requires canonical s <= d, got {s:?} {d:?}");
+        assert!(
+            s.dominated_by(d),
+            "oracle requires canonical s <= d, got {s:?} {d:?}"
+        );
         let wx = d.x - s.x + 1;
         let wy = d.y - s.y + 1;
         let wz = d.z - s.z + 1;
@@ -132,7 +138,13 @@ impl Useful3 {
                 }
             }
         }
-        Useful3 { s, d, wx, wy, useful }
+        Useful3 {
+            s,
+            d,
+            wx,
+            wy,
+            useful,
+        }
     }
 
     /// True if `c` lies in `[s, d]` and `d` is monotonically reachable from it.
@@ -215,8 +227,9 @@ mod tests {
     #[test]
     fn useful_set_is_monotone_closed() {
         // Every useful node other than d has a useful positive neighbor.
-        let blocked: HashSet<_> =
-            [c2(2, 2), c2(3, 1), c2(1, 3), c2(4, 0)].into_iter().collect();
+        let blocked: HashSet<_> = [c2(2, 2), c2(3, 1), c2(1, 3), c2(4, 0)]
+            .into_iter()
+            .collect();
         let s = c2(0, 0);
         let d = c2(5, 5);
         let u = Useful2::compute(s, d, |c| blocked.contains(&c));
@@ -235,7 +248,9 @@ mod tests {
 
     #[test]
     fn useful3_set_is_monotone_closed() {
-        let blocked: HashSet<_> = [c3(1, 1, 1), c3(2, 0, 1), c3(0, 2, 2)].into_iter().collect();
+        let blocked: HashSet<_> = [c3(1, 1, 1), c3(2, 0, 1), c3(0, 2, 2)]
+            .into_iter()
+            .collect();
         let s = c3(0, 0, 0);
         let d = c3(3, 3, 3);
         let u = Useful3::compute(s, d, |c| blocked.contains(&c));

@@ -45,7 +45,12 @@ impl FaultBlocks2 {
             }
         }
         let disabled_count = disabled.iter().filter(|(_, &b)| b).count();
-        FaultBlocks2 { disabled, blocks, fault_count: mesh.fault_count(), disabled_count }
+        FaultBlocks2 {
+            disabled,
+            blocks,
+            fault_count: mesh.fault_count(),
+            disabled_count,
+        }
     }
 
     /// One pass of the "two or more faulty/disabled neighbors" rule to a
@@ -53,7 +58,11 @@ impl FaultBlocks2 {
     fn close_rule(disabled: &mut Grid2<bool>) -> bool {
         let blocked = |g: &Grid2<bool>, c: C2| g.get(c).copied().unwrap_or(false);
         let rule = |g: &Grid2<bool>, c: C2| {
-            mesh_topo::Dir2::ALL.iter().filter(|&&d| blocked(g, c.step(d))).count() >= 2
+            mesh_topo::Dir2::ALL
+                .iter()
+                .filter(|&&d| blocked(g, c.step(d)))
+                .count()
+                >= 2
         };
         let mut grew = false;
         let mut work: Vec<C2> = disabled.coords().collect();
@@ -284,10 +293,13 @@ mod tests {
             }
             if b.minimal_path_exists(&mesh, s, d) {
                 let frame = mesh_topo::Frame2::for_pair(&mesh, s, d);
-                assert!(oracle::reachable_2d(frame.to_canon(s), frame.to_canon(d), |c| {
-                    mesh.is_faulty(frame.from_canon(c))
-                        || !mesh.contains(frame.from_canon(c))
-                }));
+                assert!(oracle::reachable_2d(
+                    frame.to_canon(s),
+                    frame.to_canon(d),
+                    |c| {
+                        mesh.is_faulty(frame.from_canon(c)) || !mesh.contains(frame.from_canon(c))
+                    }
+                ));
             }
         }
     }

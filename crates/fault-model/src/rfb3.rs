@@ -38,7 +38,12 @@ impl FaultBlocks3 {
             }
         }
         let disabled_count = disabled.iter().filter(|(_, &b)| b).count();
-        FaultBlocks3 { disabled, blocks, fault_count: mesh.fault_count(), disabled_count }
+        FaultBlocks3 {
+            disabled,
+            blocks,
+            fault_count: mesh.fault_count(),
+            disabled_count,
+        }
     }
 
     /// "Two or more faulty/disabled neighbors" rule, to a fixpoint.
@@ -46,7 +51,11 @@ impl FaultBlocks3 {
     fn close_rule(disabled: &mut Grid3<bool>) -> bool {
         let blocked = |g: &Grid3<bool>, c: C3| g.get(c).copied().unwrap_or(false);
         let rule = |g: &Grid3<bool>, c: C3| {
-            mesh_topo::Dir3::ALL.iter().filter(|&&d| blocked(g, c.step(d))).count() >= 2
+            mesh_topo::Dir3::ALL
+                .iter()
+                .filter(|&&d| blocked(g, c.step(d)))
+                .count()
+                >= 2
         };
         let mut grew = false;
         let mut work: Vec<C3> = disabled.coords().collect();

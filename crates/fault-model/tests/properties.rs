@@ -52,7 +52,10 @@ fn arb_mesh3() -> impl Strategy<Value = Mesh3D> {
 }
 
 fn canon_pair2(s: C2, d: C2) -> (C2, C2) {
-    (c2(s.x.min(d.x), s.y.min(d.y)), c2(s.x.max(d.x), s.y.max(d.y)))
+    (
+        c2(s.x.min(d.x), s.y.min(d.y)),
+        c2(s.x.max(d.x), s.y.max(d.y)),
+    )
 }
 
 fn canon_pair3(s: C3, d: C3) -> (C3, C3) {

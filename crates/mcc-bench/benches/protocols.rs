@@ -37,7 +37,11 @@ fn bench_labelling_protocol(c: &mut Criterion) {
     let mut mesh3 = Mesh3D::kary(10);
     FaultSpec::uniform(40, 5).inject_3d(&mut mesh3, &[]);
     g.bench_function("3d_10cubed_40faults", |b| {
-        b.iter(|| DistLabelling3::run(&mesh3, Frame3::identity(&mesh3)).stats.messages)
+        b.iter(|| {
+            DistLabelling3::run(&mesh3, Frame3::identity(&mesh3))
+                .stats
+                .messages
+        })
     });
     g.finish();
 }

@@ -55,7 +55,9 @@ fn bench_routers(c: &mut Criterion) {
     g.bench_function("route_3d_16cubed_corner_to_corner", |b| {
         b.iter(|| {
             let mut p = Policy::balanced();
-            router3.route(c3(0, 0, 0), c3(15, 15, 15), &mut p).delivered()
+            router3
+                .route(c3(0, 0, 0), c3(15, 15, 15), &mut p)
+                .delivered()
         })
     });
     g.finish();
@@ -65,20 +67,28 @@ fn bench_trials(c: &mut Criterion) {
     let mut g = c.benchmark_group("full_trial");
     g.sample_size(10);
     for faults in [10usize, 30] {
-        g.bench_with_input(BenchmarkId::new("trial_2d_32x32", faults), &faults, |b, &n| {
-            b.iter(|| {
-                let mut mesh = Mesh2D::new(32, 32);
-                FaultSpec::uniform(n, 11).inject_2d(&mut mesh, &[c2(1, 2), c2(30, 29)]);
-                run_trial_2d(&mesh, c2(1, 2), c2(30, 29), 3)
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("trial_3d_12cubed", faults), &faults, |b, &n| {
-            b.iter(|| {
-                let mut mesh = Mesh3D::kary(12);
-                FaultSpec::uniform(n, 11).inject_3d(&mut mesh, &[c3(0, 1, 2), c3(11, 10, 9)]);
-                run_trial_3d(&mesh, c3(0, 1, 2), c3(11, 10, 9), 3)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("trial_2d_32x32", faults),
+            &faults,
+            |b, &n| {
+                b.iter(|| {
+                    let mut mesh = Mesh2D::new(32, 32);
+                    FaultSpec::uniform(n, 11).inject_2d(&mut mesh, &[c2(1, 2), c2(30, 29)]);
+                    run_trial_2d(&mesh, c2(1, 2), c2(30, 29), 3)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("trial_3d_12cubed", faults),
+            &faults,
+            |b, &n| {
+                b.iter(|| {
+                    let mut mesh = Mesh3D::kary(12);
+                    FaultSpec::uniform(n, 11).inject_3d(&mut mesh, &[c3(0, 1, 2), c3(11, 10, 9)]);
+                    run_trial_3d(&mesh, c3(0, 1, 2), c3(11, 10, 9), 3)
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -1,169 +1,89 @@
-//! Regenerate the evaluation tables of `EXPERIMENTS.md`.
+//! Regenerate evaluation tables from declarative scenario files.
 //!
 //! ```text
-//! cargo run -p mcc-bench --release --bin tables -- [e1|e2|e3|e4|e5|e6|e7|all] [--quick]
+//! cargo run -p mcc-bench --release --bin tables -- scenarios/e1_regions_2d.toml [more.toml ...] [--quick]
+//! cargo run -p mcc-bench --release --bin tables -- --all [--quick]
 //! ```
 //!
-//! `--quick` shrinks seed counts for a fast smoke run; the defaults match
-//! the numbers recorded in EXPERIMENTS.md.
+//! Every table is driven entirely by the TOML scenario layer
+//! (`mcc_bench::scenario`): pass one or more scenario files, or `--all` to
+//! run every `*.toml` under `scenarios/`. `--quick` shrinks each scenario's
+//! seed range to a tenth for a fast smoke run. The experiment → scenario
+//! map lives in `EXPERIMENTS.md`.
 
-use mcc_bench::{
-    labelling_rounds_2d, overhead_sweep_2d, overhead_sweep_3d, region_sweep_2d,
-    region_sweep_2d_clustered, region_sweep_3d, routing_sweep_2d, routing_sweep_3d,
-    routing_sweep_3d_clustered,
-};
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn main() {
+use mcc_bench::runner::run_scenario;
+use mcc_bench::scenario::Scenario;
+
+const SCENARIO_DIR: &str = "scenarios";
+
+fn usage() -> &'static str {
+    "usage: tables [--quick] <scenario.toml>... | tables [--quick] --all"
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let which = args
+    if let Some(unknown) = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
-    let seeds: u64 = if quick { 40 } else { 400 };
-    let trials: u64 = if quick { 60 } else { 600 };
-    let proto_seeds: u64 = if quick { 10 } else { 60 };
+        .find(|a| a.starts_with("--") && *a != "--quick" && *a != "--all")
+    {
+        eprintln!("error: unknown option `{unknown}`\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let all = args.iter().any(|a| a == "--all");
+    let mut paths: Vec<PathBuf> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(PathBuf::from)
+        .collect();
 
-    let run = |name: &str| which == "all" || which == name;
+    if all {
+        match scenario_dir_files() {
+            Ok(found) => paths.extend(found),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
 
-    if run("e1") {
-        println!("== E1: healthy nodes captured by fault regions, 2-D 32x32, {seeds} seeds ==");
-        println!(
-            "{:>7} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9}",
-            "faults", "MCC", "MCC-worst", "MCC-union", "RFB", "#MCC", "#RFB"
-        );
-        for r in region_sweep_2d(32, &[5, 10, 15, 20, 25, 30, 40, 50], seeds) {
-            println!(
-                "{:>7} {:>9.2} {:>10.2} {:>10.2} {:>9.2} {:>9.2} {:>9.2}",
-                r.faults, r.mcc, r.mcc_worst, r.mcc_union, r.rfb, r.mcc_regions, r.rfb_regions
-            );
+    for path in &paths {
+        let scenario = match Scenario::load(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let scenario = if quick { scenario.quick() } else { scenario };
+        match run_scenario(&scenario) {
+            Ok(report) => println!("{}", report.render()),
+            Err(e) => {
+                eprintln!("error: {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
         }
-        println!();
     }
-    if run("e2") {
-        println!("== E2: healthy nodes captured by fault regions, 3-D 16^3, {seeds} seeds ==");
-        println!(
-            "{:>7} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9}",
-            "faults", "MCC", "MCC-worst", "MCC-union", "RFB", "#MCC", "#RFB"
-        );
-        for r in region_sweep_3d(16, &[10, 20, 40, 60, 80, 100, 120], seeds) {
-            println!(
-                "{:>7} {:>9.2} {:>10.2} {:>10.2} {:>9.2} {:>9.2} {:>9.2}",
-                r.faults, r.mcc, r.mcc_worst, r.mcc_union, r.rfb, r.mcc_regions, r.rfb_regions
-            );
-        }
-        println!();
+    ExitCode::SUCCESS
+}
+
+fn scenario_dir_files() -> Result<Vec<PathBuf>, String> {
+    let entries =
+        std::fs::read_dir(SCENARIO_DIR).map_err(|e| format!("cannot list {SCENARIO_DIR}/: {e}"))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no .toml scenarios found in {SCENARIO_DIR}/"));
     }
-    if run("e3") || run("e6") {
-        println!("== E3/E6: minimal-routing success and path metrics, 2-D 32x32, {trials} trials ==");
-        println!(
-            "{:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9}",
-            "faults", "oracle", "MCC", "RFB", "greedy", "adaptM", "adaptR", "detect", "safe-ep"
-        );
-        for r in routing_sweep_2d(32, &[5, 10, 15, 20, 25, 30, 40, 50], trials) {
-            println!(
-                "{:>7} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>9.1} {:>9.3}",
-                r.faults,
-                r.oracle,
-                r.mcc,
-                r.rfb,
-                r.greedy,
-                r.mcc_adaptivity,
-                r.rfb_adaptivity,
-                r.detection_cost,
-                r.endpoints_safe
-            );
-        }
-        println!();
-    }
-    if run("e4") || run("e6") {
-        println!("== E4/E6: minimal-routing success and path metrics, 3-D 16^3, {trials} trials ==");
-        println!(
-            "{:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9}",
-            "faults", "oracle", "MCC", "RFB", "greedy", "adaptM", "adaptR", "detect", "safe-ep"
-        );
-        for r in routing_sweep_3d(16, &[10, 20, 40, 60, 80, 100, 120], trials) {
-            println!(
-                "{:>7} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>9.1} {:>9.3}",
-                r.faults,
-                r.oracle,
-                r.mcc,
-                r.rfb,
-                r.greedy,
-                r.mcc_adaptivity,
-                r.rfb_adaptivity,
-                r.detection_cost,
-                r.endpoints_safe
-            );
-        }
-        println!();
-    }
-    if run("e5") {
-        println!("== E5: distributed construction overhead, 2-D 24x24, {proto_seeds} seeds ==");
-        println!(
-            "{:>7} {:>10} {:>8} {:>10} {:>10} {:>10} {:>10}",
-            "faults", "label-msg", "rounds", "compid", "ident", "boundary", "total"
-        );
-        for r in overhead_sweep_2d(24, &[2, 5, 10, 15, 20, 30], proto_seeds) {
-            println!(
-                "{:>7} {:>10.0} {:>8.1} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
-                r.faults,
-                r.labelling_msgs,
-                r.labelling_rounds,
-                r.compid_msgs,
-                r.ident_msgs,
-                r.boundary_msgs,
-                r.total_msgs
-            );
-        }
-        println!();
-    }
-    if run("e8") {
-        println!("== E8a: clustered faults (3 clusters), regions 2-D 32x32, {seeds} seeds ==");
-        println!(
-            "{:>7} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9}",
-            "faults", "MCC", "MCC-worst", "MCC-union", "RFB", "#MCC", "#RFB"
-        );
-        for r in region_sweep_2d_clustered(32, &[10, 20, 30, 40, 50], 3, seeds) {
-            println!(
-                "{:>7} {:>9.2} {:>10.2} {:>10.2} {:>9.2} {:>9.2} {:>9.2}",
-                r.faults, r.mcc, r.mcc_worst, r.mcc_union, r.rfb, r.mcc_regions, r.rfb_regions
-            );
-        }
-        println!();
-        println!("== E8b: clustered faults (3 clusters), routing 3-D 16^3, {trials} trials ==");
-        println!(
-            "{:>7} {:>8} {:>8} {:>8} {:>8}",
-            "faults", "oracle", "MCC", "RFB", "greedy"
-        );
-        for r in routing_sweep_3d_clustered(16, &[20, 60, 120], 3, trials) {
-            println!(
-                "{:>7} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
-                r.faults, r.oracle, r.mcc, r.rfb, r.greedy
-            );
-        }
-        println!();
-    }
-    if run("e7") {
-        println!("== E7: distributed labelling convergence ==");
-        println!("2-D 24x24:");
-        println!("{:>7} {:>8} {:>12}", "faults", "rounds", "messages");
-        for n in [5usize, 15, 30, 60] {
-            let (rounds, msgs) = labelling_rounds_2d(24, n, proto_seeds);
-            println!("{:>7} {:>8.1} {:>12.0}", n, rounds, msgs);
-        }
-        println!("3-D 12^3 (boundary column = detection-flood messages):");
-        println!(
-            "{:>7} {:>10} {:>8} {:>12}",
-            "faults", "label-msg", "rounds", "detect-msg"
-        );
-        for r in overhead_sweep_3d(12, &[10, 30, 60, 100], proto_seeds) {
-            println!(
-                "{:>7} {:>10.0} {:>8.1} {:>12.0}",
-                r.faults, r.labelling_msgs, r.labelling_rounds, r.boundary_msgs
-            );
-        }
-        println!();
-    }
+    Ok(files)
 }

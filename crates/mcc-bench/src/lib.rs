@@ -2,25 +2,34 @@
 //!
 //! Workload generators, parameter sweeps and aggregation for every table
 //! and figure of the evaluation (see `EXPERIMENTS.md` at the workspace
-//! root). The `tables` binary prints the rows; the criterion benches under
-//! `benches/` time the kernels that regenerate them.
+//! root). Experiments are described declaratively: a [`scenario::Scenario`]
+//! (deserialized from the TOML files under `scenarios/`) fixes mesh
+//! dimensions, fault pattern and ramp, border policy, router choice and
+//! seed range, and [`runner::run_scenario`] turns it into table rows. The
+//! `tables` binary prints the rows for the scenario files it is given; the
+//! criterion benches under `benches/` time the kernels that regenerate
+//! them.
 //!
-//! Sweeps parallelize over seeds with crossbeam scoped threads.
+//! Sweeps parallelize over seeds with `std::thread::scope` scoped threads.
+//!
+//! The free functions below (`region_sweep_2d`, `routing_sweep_3d`, …) are
+//! the original programmatic sweep API; each is now a thin wrapper that
+//! builds the equivalent [`scenario::Scenario`] and runs it, so code- and
+//! data-driven callers take exactly the same path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use fault_model::stats::{region_stats_2d, region_stats_3d};
-use fault_model::BorderPolicy;
-use mcc_protocols::boundary2::build_pipeline_2d;
-use mcc_protocols::labelling::{DistLabelling2, DistLabelling3};
-use mcc_routing::trial::{run_trial_2d, run_trial_3d};
-use mesh_topo::coord::{c2, c3};
-use mesh_topo::{FaultSpec, Frame2, Frame3, Mesh2D, Mesh3D, C2, C3};
-use parking_lot::Mutex;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+pub mod runner;
+pub mod scenario;
+pub mod toml_lite;
+
 use serde::{Deserialize, Serialize};
+
+use runner::TableRows;
+use scenario::Scenario;
+
+pub use runner::{run_scenario, ScenarioReport};
 
 /// One row of the fault-region size tables (E1/E2).
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
@@ -83,250 +92,66 @@ pub struct OverheadRow {
     pub total_msgs: f64,
 }
 
-fn parallel_seeds<T: Send, F>(seeds: std::ops::Range<u64>, f: F) -> Vec<T>
-where
-    F: Fn(u64) -> T + Sync,
-{
-    let out: Mutex<Vec<(u64, T)>> = Mutex::new(Vec::new());
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let seeds: Vec<u64> = seeds.collect();
-    crossbeam::thread::scope(|scope| {
-        for chunk in seeds.chunks(seeds.len().div_ceil(threads).max(1)) {
-            let out = &out;
-            let f = &f;
-            scope.spawn(move |_| {
-                for &seed in chunk {
-                    let v = f(seed);
-                    out.lock().push((seed, v));
-                }
-            });
-        }
-    })
-    .expect("sweep thread panicked");
-    let mut results = out.into_inner();
-    results.sort_by_key(|(s, _)| *s);
-    results.into_iter().map(|(_, v)| v).collect()
+fn expect_regions(scenario: Scenario) -> Vec<RegionRow> {
+    match runner::run_scenario(&scenario)
+        .expect("programmatic scenario is valid")
+        .rows
+    {
+        TableRows::Regions(rows) => rows,
+        _ => unreachable!("regions scenario produced a different table"),
+    }
+}
+
+fn expect_routing(scenario: Scenario) -> Vec<RoutingRow> {
+    match runner::run_scenario(&scenario)
+        .expect("programmatic scenario is valid")
+        .rows
+    {
+        TableRows::Routing(rows) => rows,
+        _ => unreachable!("routing scenario produced a different table"),
+    }
+}
+
+fn expect_overhead(scenario: Scenario) -> Vec<OverheadRow> {
+    match runner::run_scenario(&scenario)
+        .expect("programmatic scenario is valid")
+        .rows
+    {
+        TableRows::Overhead(rows) => rows,
+        _ => unreachable!("overhead scenario produced a different table"),
+    }
 }
 
 /// E1 — fault-region sizes in a 2-D mesh, per fault count.
 pub fn region_sweep_2d(width: i32, fault_counts: &[usize], seeds: u64) -> Vec<RegionRow> {
-    fault_counts
-        .iter()
-        .map(|&n| {
-            let stats = parallel_seeds(0..seeds, |seed| {
-                let mut mesh = Mesh2D::new(width, width);
-                FaultSpec::uniform(n, seed ^ ((n as u64) << 32)).inject_2d(&mut mesh, &[]);
-                region_stats_2d(&mesh, BorderPolicy::BorderSafe)
-            });
-            let k = stats.len() as f64;
-            RegionRow {
-                faults: n,
-                mcc: stats.iter().map(|s| s.mcc_sacrificed as f64).sum::<f64>() / k,
-                mcc_worst: stats.iter().map(|s| s.mcc_sacrificed_worst as f64).sum::<f64>() / k,
-                mcc_union: stats.iter().map(|s| s.mcc_sacrificed_union as f64).sum::<f64>() / k,
-                rfb: stats.iter().map(|s| s.rfb_sacrificed as f64).sum::<f64>() / k,
-                mcc_regions: stats.iter().map(|s| s.mcc_count as f64).sum::<f64>() / k,
-                rfb_regions: stats.iter().map(|s| s.rfb_count as f64).sum::<f64>() / k,
-            }
-        })
-        .collect()
+    expect_regions(Scenario::regions_2d(width, fault_counts, seeds))
 }
 
 /// E2 — fault-region sizes in a 3-D mesh, per fault count.
 pub fn region_sweep_3d(k: i32, fault_counts: &[usize], seeds: u64) -> Vec<RegionRow> {
-    fault_counts
-        .iter()
-        .map(|&n| {
-            let stats = parallel_seeds(0..seeds, |seed| {
-                let mut mesh = Mesh3D::kary(k);
-                FaultSpec::uniform(n, seed ^ ((n as u64) << 32)).inject_3d(&mut mesh, &[]);
-                region_stats_3d(&mesh, BorderPolicy::BorderSafe)
-            });
-            let kk = stats.len() as f64;
-            RegionRow {
-                faults: n,
-                mcc: stats.iter().map(|s| s.mcc_sacrificed as f64).sum::<f64>() / kk,
-                mcc_worst: stats.iter().map(|s| s.mcc_sacrificed_worst as f64).sum::<f64>() / kk,
-                mcc_union: stats.iter().map(|s| s.mcc_sacrificed_union as f64).sum::<f64>() / kk,
-                rfb: stats.iter().map(|s| s.rfb_sacrificed as f64).sum::<f64>() / kk,
-                mcc_regions: stats.iter().map(|s| s.mcc_count as f64).sum::<f64>() / kk,
-                rfb_regions: stats.iter().map(|s| s.rfb_count as f64).sum::<f64>() / kk,
-            }
-        })
-        .collect()
-}
-
-fn random_pair_2d(rng: &mut SmallRng, w: i32, min_dist: u32) -> (C2, C2) {
-    loop {
-        let s = c2(rng.gen_range(0..w), rng.gen_range(0..w));
-        let d = c2(rng.gen_range(0..w), rng.gen_range(0..w));
-        if s.dist(d) >= min_dist {
-            return (s, d);
-        }
-    }
-}
-
-fn random_pair_3d(rng: &mut SmallRng, k: i32, min_dist: u32) -> (C3, C3) {
-    loop {
-        let s = c3(rng.gen_range(0..k), rng.gen_range(0..k), rng.gen_range(0..k));
-        let d = c3(rng.gen_range(0..k), rng.gen_range(0..k), rng.gen_range(0..k));
-        if s.dist(d) >= min_dist {
-            return (s, d);
-        }
-    }
+    expect_regions(Scenario::regions_3d(k, fault_counts, seeds))
 }
 
 /// E3/E6 — routing success rates and path metrics in a 2-D mesh.
 pub fn routing_sweep_2d(width: i32, fault_counts: &[usize], trials: u64) -> Vec<RoutingRow> {
-    fault_counts
-        .iter()
-        .map(|&n| {
-            let results = parallel_seeds(0..trials, |seed| {
-                let mut rng =
-                    SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9) ^ n as u64);
-                let (s, d) = random_pair_2d(&mut rng, width, width as u32 / 2);
-                let mut mesh = Mesh2D::new(width, width);
-                FaultSpec::uniform(n, rng.gen()).inject_2d(&mut mesh, &[s, d]);
-                run_trial_2d(&mesh, s, d, rng.gen())
-            });
-            aggregate_routing(n, &results)
-        })
-        .collect()
+    expect_routing(Scenario::routing_2d(width, fault_counts, trials))
 }
 
 /// E4/E6 — routing success rates and path metrics in a 3-D mesh.
 pub fn routing_sweep_3d(k: i32, fault_counts: &[usize], trials: u64) -> Vec<RoutingRow> {
-    fault_counts
-        .iter()
-        .map(|&n| {
-            let results = parallel_seeds(0..trials, |seed| {
-                let mut rng =
-                    SmallRng::seed_from_u64(seed.wrapping_mul(0x51ed_270b) ^ n as u64);
-                let (s, d) = random_pair_3d(&mut rng, k, k as u32);
-                let mut mesh = Mesh3D::kary(k);
-                FaultSpec::uniform(n, rng.gen()).inject_3d(&mut mesh, &[s, d]);
-                run_trial_3d(&mesh, s, d, rng.gen())
-            });
-            aggregate_routing(n, &results)
-        })
-        .collect()
-}
-
-fn aggregate_routing(n: usize, results: &[mcc_routing::trial::TrialResult]) -> RoutingRow {
-    let k = results.len() as f64;
-    let frac = |f: &dyn Fn(&mcc_routing::trial::TrialResult) -> bool| {
-        results.iter().filter(|t| f(t)).count() as f64 / k
-    };
-    let delivered: Vec<_> = results.iter().filter(|t| t.mcc_delivered).collect();
-    let rfb_delivered: Vec<_> = results.iter().filter(|t| t.rfb_adaptivity > 0.0).collect();
-    RoutingRow {
-        faults: n,
-        oracle: frac(&|t| t.oracle_ok),
-        mcc: frac(&|t| t.mcc_ok),
-        rfb: frac(&|t| t.rfb_ok),
-        greedy: frac(&|t| t.greedy_ok),
-        mcc_adaptivity: if delivered.is_empty() {
-            0.0
-        } else {
-            delivered.iter().map(|t| t.mcc_adaptivity).sum::<f64>() / delivered.len() as f64
-        },
-        rfb_adaptivity: if rfb_delivered.is_empty() {
-            0.0
-        } else {
-            rfb_delivered.iter().map(|t| t.rfb_adaptivity).sum::<f64>()
-                / rfb_delivered.len() as f64
-        },
-        detection_cost: if delivered.is_empty() {
-            0.0
-        } else {
-            delivered.iter().map(|t| t.detection_cost as f64).sum::<f64>()
-                / delivered.len() as f64
-        },
-        endpoints_safe: frac(&|t| t.endpoints_safe),
-    }
+    expect_routing(Scenario::routing_3d(k, fault_counts, trials))
 }
 
 /// E5/E7 — distributed-construction overhead in a 2-D mesh.
 pub fn overhead_sweep_2d(width: i32, fault_counts: &[usize], seeds: u64) -> Vec<OverheadRow> {
-    fault_counts
-        .iter()
-        .map(|&n| {
-            let stats = parallel_seeds(0..seeds, |seed| {
-                let mut mesh = Mesh2D::new(width, width);
-                // Interior faults: the identification walks assume regions
-                // do not touch the mesh border (see DESIGN.md).
-                let mut rng = SmallRng::seed_from_u64(seed ^ ((n as u64) << 24));
-                let mut placed = 0;
-                while placed < n {
-                    let c = c2(rng.gen_range(1..width - 1), rng.gen_range(1..width - 1));
-                    if mesh.is_healthy(c) {
-                        mesh.inject_fault(c);
-                        placed += 1;
-                    }
-                }
-                let (_, stats) = build_pipeline_2d(&mesh, Frame2::identity(&mesh));
-                stats
-            });
-            let k = stats.len() as f64;
-            OverheadRow {
-                faults: n,
-                labelling_msgs: stats.iter().map(|s| s.labelling.messages as f64).sum::<f64>()
-                    / k,
-                labelling_rounds: stats.iter().map(|s| s.labelling.rounds as f64).sum::<f64>()
-                    / k,
-                compid_msgs: stats.iter().map(|s| s.components.messages as f64).sum::<f64>() / k,
-                ident_msgs: stats
-                    .iter()
-                    .map(|s| s.identification.messages as f64)
-                    .sum::<f64>()
-                    / k,
-                boundary_msgs: stats.iter().map(|s| s.boundary.messages as f64).sum::<f64>() / k,
-                total_msgs: stats.iter().map(|s| s.total_messages() as f64).sum::<f64>() / k,
-            }
-        })
-        .collect()
+    expect_overhead(Scenario::overhead_2d(width, fault_counts, seeds))
 }
 
 /// E7 (3-D) — distributed labelling convergence in a 3-D mesh, plus the
 /// detection-flood cost of one routing request (reported in the
 /// `boundary_msgs` column).
 pub fn overhead_sweep_3d(k: i32, fault_counts: &[usize], seeds: u64) -> Vec<OverheadRow> {
-    fault_counts
-        .iter()
-        .map(|&n| {
-            let stats = parallel_seeds(0..seeds, |seed| {
-                let mut mesh = Mesh3D::kary(k);
-                FaultSpec::uniform(n, seed ^ ((n as u64) << 24))
-                    .inject_3d(&mut mesh, &[c3(0, 0, 0), c3(k - 1, k - 1, k - 1)]);
-                let lab = DistLabelling3::run(&mesh, Frame3::identity(&mesh));
-                let lab_stats = lab.stats;
-                let detect = if lab.status(c3(0, 0, 0)).is_safe()
-                    && lab.status(c3(k - 1, k - 1, k - 1)).is_safe()
-                {
-                    let (_, st) = mcc_protocols::detect3::detect_distributed_3d(
-                        &mesh,
-                        &lab,
-                        c3(0, 0, 0),
-                        c3(k - 1, k - 1, k - 1),
-                    );
-                    st.messages
-                } else {
-                    0
-                };
-                (lab_stats, detect)
-            });
-            let kk = stats.len() as f64;
-            OverheadRow {
-                faults: n,
-                labelling_msgs: stats.iter().map(|(s, _)| s.messages as f64).sum::<f64>() / kk,
-                labelling_rounds: stats.iter().map(|(s, _)| s.rounds as f64).sum::<f64>() / kk,
-                compid_msgs: 0.0,
-                ident_msgs: 0.0,
-                boundary_msgs: stats.iter().map(|(_, d)| *d as f64).sum::<f64>() / kk,
-                total_msgs: stats.iter().map(|(s, d)| (s.messages + d) as f64).sum::<f64>() / kk,
-            }
-        })
-        .collect()
+    expect_overhead(Scenario::overhead_3d(k, fault_counts, seeds))
 }
 
 /// E8 — clustered-fault ablation: region sizes under clustered instead of
@@ -338,27 +163,9 @@ pub fn region_sweep_2d_clustered(
     clusters: usize,
     seeds: u64,
 ) -> Vec<RegionRow> {
-    fault_counts
-        .iter()
-        .map(|&n| {
-            let stats = parallel_seeds(0..seeds, |seed| {
-                let mut mesh = Mesh2D::new(width, width);
-                FaultSpec::clustered(n, clusters, seed ^ ((n as u64) << 32))
-                    .inject_2d(&mut mesh, &[]);
-                region_stats_2d(&mesh, BorderPolicy::BorderSafe)
-            });
-            let k = stats.len() as f64;
-            RegionRow {
-                faults: n,
-                mcc: stats.iter().map(|s| s.mcc_sacrificed as f64).sum::<f64>() / k,
-                mcc_worst: stats.iter().map(|s| s.mcc_sacrificed_worst as f64).sum::<f64>() / k,
-                mcc_union: stats.iter().map(|s| s.mcc_sacrificed_union as f64).sum::<f64>() / k,
-                rfb: stats.iter().map(|s| s.rfb_sacrificed as f64).sum::<f64>() / k,
-                mcc_regions: stats.iter().map(|s| s.mcc_count as f64).sum::<f64>() / k,
-                rfb_regions: stats.iter().map(|s| s.rfb_count as f64).sum::<f64>() / k,
-            }
-        })
-        .collect()
+    let mut sc = Scenario::regions_2d(width, fault_counts, seeds);
+    sc.pattern = mesh_topo::FaultPattern::Clustered { clusters };
+    expect_regions(sc)
 }
 
 /// E8 (routing) — success rates under clustered faults in 3-D.
@@ -368,34 +175,9 @@ pub fn routing_sweep_3d_clustered(
     clusters: usize,
     trials: u64,
 ) -> Vec<RoutingRow> {
-    fault_counts
-        .iter()
-        .map(|&n| {
-            let results = parallel_seeds(0..trials, |seed| {
-                let mut rng =
-                    SmallRng::seed_from_u64(seed.wrapping_mul(0xa511_e9b3) ^ n as u64);
-                let (s, d) = random_pair_3d(&mut rng, k, k as u32);
-                let mut mesh = Mesh3D::kary(k);
-                FaultSpec::clustered(n, clusters, rng.gen()).inject_3d(&mut mesh, &[s, d]);
-                run_trial_3d(&mesh, s, d, rng.gen())
-            });
-            aggregate_routing(n, &results)
-        })
-        .collect()
-}
-
-/// Distributed labelling overhead for 2-D: `(mean rounds, mean messages)`.
-pub fn labelling_rounds_2d(width: i32, n: usize, seeds: u64) -> (f64, f64) {
-    let stats = parallel_seeds(0..seeds, |seed| {
-        let mut mesh = Mesh2D::new(width, width);
-        FaultSpec::uniform(n, seed).inject_2d(&mut mesh, &[]);
-        DistLabelling2::run(&mesh, Frame2::identity(&mesh)).stats
-    });
-    let k = stats.len() as f64;
-    (
-        stats.iter().map(|s| s.rounds as f64).sum::<f64>() / k,
-        stats.iter().map(|s| s.messages as f64).sum::<f64>() / k,
-    )
+    let mut sc = Scenario::routing_3d(k, fault_counts, trials);
+    sc.pattern = mesh_topo::FaultPattern::Clustered { clusters };
+    expect_routing(sc)
 }
 
 #[cfg(test)]
@@ -441,5 +223,12 @@ mod tests {
     fn overhead_3d_runs() {
         let rows = overhead_sweep_3d(6, &[5], 3);
         assert!(rows[0].labelling_msgs > 0.0);
+    }
+
+    #[test]
+    fn clustered_sweeps_run() {
+        let rows = region_sweep_2d_clustered(12, &[8], 2, 4);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].mcc <= rows[0].rfb + 1e-12);
     }
 }

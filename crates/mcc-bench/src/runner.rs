@@ -1,0 +1,500 @@
+//! Seed-parallel execution of [`Scenario`]s.
+//!
+//! [`run_scenario`] fans the scenario's seed range out over std scoped
+//! threads ([`std::thread::scope`]), one chunk per available core, runs the
+//! per-seed kernel for every fault count, and aggregates into the row types
+//! of the crate root. Results are deterministic: each seed's work depends
+//! only on the seed value, and rows are assembled in seed order regardless
+//! of thread interleaving.
+
+use fault_model::stats::{region_stats_2d, region_stats_3d};
+use mcc_protocols::boundary2::build_pipeline_2d;
+use mcc_protocols::labelling::DistLabelling3;
+use mcc_routing::trial::{run_trial_2d_with, run_trial_3d_with, TrialOptions, TrialResult};
+use mesh_topo::coord::{c2, c3};
+use mesh_topo::{FaultPattern, Frame2, Frame3, Mesh2D, Mesh3D, C2, C3};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::{MeshDims, Scenario, ScenarioError, TableKind};
+use crate::{OverheadRow, RegionRow, RoutingRow};
+
+/// Rows produced by one scenario, tagged by table family.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum TableRows {
+    /// Fault-region capture rows (E1/E2-style).
+    Regions(Vec<RegionRow>),
+    /// Routing success/metric rows (E3/E4/E6-style).
+    Routing(Vec<RoutingRow>),
+    /// Protocol-overhead rows (E5/E7-style).
+    Overhead(Vec<OverheadRow>),
+}
+
+/// The outcome of running one scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// The scenario that was run.
+    pub scenario: Scenario,
+    /// Its table rows, one per fault count.
+    pub rows: TableRows,
+}
+
+/// Map every seed in `[start, end)` through `f` on scoped threads,
+/// returning results in seed order.
+pub(crate) fn parallel_seeds<T: Send>(
+    seeds: std::ops::Range<u64>,
+    f: impl Fn(u64) -> T + Sync,
+) -> Vec<T> {
+    let seeds: Vec<u64> = seeds.collect();
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(seeds.len());
+    let chunk = seeds.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .chunks(chunk)
+            .map(|chunk| {
+                let f = &f;
+                scope.spawn(move || chunk.iter().map(|&seed| f(seed)).collect::<Vec<T>>())
+            })
+            .collect();
+        // Chunks are spawned and joined in seed order, so the flattened
+        // result is ordered no matter how the threads interleave.
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep thread panicked"))
+            .collect()
+    })
+}
+
+/// Run a scenario, parallelizing over its seed range.
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError> {
+    let rows = match scenario.table {
+        TableKind::Regions => TableRows::Regions(run_regions(scenario)),
+        TableKind::Routing => TableRows::Routing(run_routing(scenario)),
+        TableKind::Overhead => TableRows::Overhead(run_overhead(scenario)?),
+    };
+    Ok(ScenarioReport {
+        scenario: scenario.clone(),
+        rows,
+    })
+}
+
+fn run_regions(sc: &Scenario) -> Vec<RegionRow> {
+    sc.fault_counts
+        .iter()
+        .map(|&n| {
+            let stats = parallel_seeds(sc.seed_start..sc.seed_end, |seed| {
+                let spec = sc.fault_spec(n, seed ^ ((n as u64) << 32));
+                match sc.dims {
+                    MeshDims::D2 { width, height } => {
+                        let mut mesh = Mesh2D::new(width, height);
+                        spec.inject_2d(&mut mesh, &[]);
+                        region_stats_2d(&mesh, sc.border)
+                    }
+                    MeshDims::D3 { x, y, z } => {
+                        let mut mesh = Mesh3D::new(x, y, z);
+                        spec.inject_3d(&mut mesh, &[]);
+                        region_stats_3d(&mesh, sc.border)
+                    }
+                }
+            });
+            let k = stats.len() as f64;
+            RegionRow {
+                faults: n,
+                mcc: stats.iter().map(|s| s.mcc_sacrificed as f64).sum::<f64>() / k,
+                mcc_worst: stats
+                    .iter()
+                    .map(|s| s.mcc_sacrificed_worst as f64)
+                    .sum::<f64>()
+                    / k,
+                mcc_union: stats
+                    .iter()
+                    .map(|s| s.mcc_sacrificed_union as f64)
+                    .sum::<f64>()
+                    / k,
+                rfb: stats.iter().map(|s| s.rfb_sacrificed as f64).sum::<f64>() / k,
+                mcc_regions: stats.iter().map(|s| s.mcc_count as f64).sum::<f64>() / k,
+                rfb_regions: stats.iter().map(|s| s.rfb_count as f64).sum::<f64>() / k,
+            }
+        })
+        .collect()
+}
+
+fn random_pair_2d(rng: &mut SmallRng, w: i32, h: i32, min_dist: u32) -> (C2, C2) {
+    loop {
+        let s = c2(rng.gen_range(0..w), rng.gen_range(0..h));
+        let d = c2(rng.gen_range(0..w), rng.gen_range(0..h));
+        if s.dist(d) >= min_dist {
+            return (s, d);
+        }
+    }
+}
+
+fn random_pair_3d(rng: &mut SmallRng, nx: i32, ny: i32, nz: i32, min_dist: u32) -> (C3, C3) {
+    loop {
+        let s = c3(
+            rng.gen_range(0..nx),
+            rng.gen_range(0..ny),
+            rng.gen_range(0..nz),
+        );
+        let d = c3(
+            rng.gen_range(0..nx),
+            rng.gen_range(0..ny),
+            rng.gen_range(0..nz),
+        );
+        if s.dist(d) >= min_dist {
+            return (s, d);
+        }
+    }
+}
+
+fn run_routing(sc: &Scenario) -> Vec<RoutingRow> {
+    let opts = TrialOptions {
+        border: sc.border,
+        eval_mcc: sc.router.wants_mcc(),
+        eval_rfb: sc.router.wants_rfb(),
+        eval_greedy: sc.router.wants_greedy(),
+    };
+    let min_dist = (sc.dims.max_extent() as f64 * sc.min_dist_frac).round() as u32;
+    sc.fault_counts
+        .iter()
+        .map(|&n| {
+            let results = parallel_seeds(sc.seed_start..sc.seed_end, |seed| {
+                let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9) ^ n as u64);
+                match sc.dims {
+                    MeshDims::D2 { width, height } => {
+                        let (s, d) = random_pair_2d(&mut rng, width, height, min_dist);
+                        let mut mesh = Mesh2D::new(width, height);
+                        sc.fault_spec(n, rng.gen()).inject_2d(&mut mesh, &[s, d]);
+                        run_trial_2d_with(&mesh, s, d, rng.gen(), &opts)
+                    }
+                    MeshDims::D3 { x, y, z } => {
+                        let (s, d) = random_pair_3d(&mut rng, x, y, z, min_dist);
+                        let mut mesh = Mesh3D::new(x, y, z);
+                        sc.fault_spec(n, rng.gen()).inject_3d(&mut mesh, &[s, d]);
+                        run_trial_3d_with(&mesh, s, d, rng.gen(), &opts)
+                    }
+                }
+            });
+            aggregate_routing(n, &results)
+        })
+        .collect()
+}
+
+pub(crate) fn aggregate_routing(n: usize, results: &[TrialResult]) -> RoutingRow {
+    let k = results.len() as f64;
+    let frac =
+        |f: &dyn Fn(&TrialResult) -> bool| results.iter().filter(|t| f(t)).count() as f64 / k;
+    let delivered: Vec<_> = results.iter().filter(|t| t.mcc_delivered).collect();
+    let rfb_delivered: Vec<_> = results.iter().filter(|t| t.rfb_adaptivity > 0.0).collect();
+    RoutingRow {
+        faults: n,
+        oracle: frac(&|t| t.oracle_ok),
+        mcc: frac(&|t| t.mcc_ok),
+        rfb: frac(&|t| t.rfb_ok),
+        greedy: frac(&|t| t.greedy_ok),
+        mcc_adaptivity: if delivered.is_empty() {
+            0.0
+        } else {
+            delivered.iter().map(|t| t.mcc_adaptivity).sum::<f64>() / delivered.len() as f64
+        },
+        rfb_adaptivity: if rfb_delivered.is_empty() {
+            0.0
+        } else {
+            rfb_delivered.iter().map(|t| t.rfb_adaptivity).sum::<f64>() / rfb_delivered.len() as f64
+        },
+        detection_cost: if delivered.is_empty() {
+            0.0
+        } else {
+            delivered
+                .iter()
+                .map(|t| t.detection_cost as f64)
+                .sum::<f64>()
+                / delivered.len() as f64
+        },
+        endpoints_safe: frac(&|t| t.endpoints_safe),
+    }
+}
+
+fn run_overhead(sc: &Scenario) -> Result<Vec<OverheadRow>, ScenarioError> {
+    match sc.dims {
+        MeshDims::D2 { width, height } => run_overhead_2d(sc, width, height),
+        MeshDims::D3 { x, y, z } => Ok(run_overhead_3d(sc, x, y, z)),
+    }
+}
+
+fn run_overhead_2d(
+    sc: &Scenario,
+    width: i32,
+    height: i32,
+) -> Result<Vec<OverheadRow>, ScenarioError> {
+    if sc.pattern != FaultPattern::Uniform {
+        // The identification walks assume regions do not touch the mesh
+        // border (see DESIGN.md); clustered growth routinely reaches it.
+        return Err(ScenarioError::new(
+            "2-D overhead scenarios support only the uniform fault pattern",
+        ));
+    }
+    if width < 3 || height < 3 {
+        return Err(ScenarioError::new(
+            "2-D overhead scenarios need at least a 3x3 mesh",
+        ));
+    }
+    // Faults go in the interior only, so the capacity bound is tighter
+    // than the whole-mesh bound the scenario schema checks.
+    let interior = ((width - 2) * (height - 2)) as usize;
+    if let Some(&n) = sc.fault_counts.iter().find(|&&n| n > interior) {
+        return Err(ScenarioError::new(format!(
+            "2-D overhead scenarios place faults in the {width}x{height} mesh's \
+             interior ({interior} nodes); fault count {n} does not fit"
+        )));
+    }
+    Ok(sc
+        .fault_counts
+        .iter()
+        .map(|&n| {
+            let stats = parallel_seeds(sc.seed_start..sc.seed_end, |seed| {
+                let mut mesh = Mesh2D::new(width, height);
+                // Interior faults only: the identification walks assume
+                // regions that stay off the mesh border (see DESIGN.md).
+                let mut rng = SmallRng::seed_from_u64(seed ^ ((n as u64) << 24));
+                let mut placed = 0;
+                while placed < n {
+                    let c = c2(rng.gen_range(1..width - 1), rng.gen_range(1..height - 1));
+                    if mesh.is_healthy(c) {
+                        mesh.inject_fault(c);
+                        placed += 1;
+                    }
+                }
+                let (_, stats) = build_pipeline_2d(&mesh, Frame2::identity(&mesh));
+                stats
+            });
+            let k = stats.len() as f64;
+            OverheadRow {
+                faults: n,
+                labelling_msgs: stats
+                    .iter()
+                    .map(|s| s.labelling.messages as f64)
+                    .sum::<f64>()
+                    / k,
+                labelling_rounds: stats.iter().map(|s| s.labelling.rounds as f64).sum::<f64>() / k,
+                compid_msgs: stats
+                    .iter()
+                    .map(|s| s.components.messages as f64)
+                    .sum::<f64>()
+                    / k,
+                ident_msgs: stats
+                    .iter()
+                    .map(|s| s.identification.messages as f64)
+                    .sum::<f64>()
+                    / k,
+                boundary_msgs: stats
+                    .iter()
+                    .map(|s| s.boundary.messages as f64)
+                    .sum::<f64>()
+                    / k,
+                total_msgs: stats.iter().map(|s| s.total_messages() as f64).sum::<f64>() / k,
+            }
+        })
+        .collect())
+}
+
+fn run_overhead_3d(sc: &Scenario, x: i32, y: i32, z: i32) -> Vec<OverheadRow> {
+    let (near, far) = (c3(0, 0, 0), c3(x - 1, y - 1, z - 1));
+    sc.fault_counts
+        .iter()
+        .map(|&n| {
+            let stats = parallel_seeds(sc.seed_start..sc.seed_end, |seed| {
+                let mut mesh = Mesh3D::new(x, y, z);
+                sc.fault_spec(n, seed ^ ((n as u64) << 24))
+                    .inject_3d(&mut mesh, &[near, far]);
+                let lab = DistLabelling3::run(&mesh, Frame3::identity(&mesh));
+                let lab_stats = lab.stats;
+                let detect = if lab.status(near).is_safe() && lab.status(far).is_safe() {
+                    let (_, st) =
+                        mcc_protocols::detect3::detect_distributed_3d(&mesh, &lab, near, far);
+                    st.messages
+                } else {
+                    0
+                };
+                (lab_stats, detect)
+            });
+            let k = stats.len() as f64;
+            OverheadRow {
+                faults: n,
+                labelling_msgs: stats.iter().map(|(s, _)| s.messages as f64).sum::<f64>() / k,
+                labelling_rounds: stats.iter().map(|(s, _)| s.rounds as f64).sum::<f64>() / k,
+                compid_msgs: 0.0,
+                ident_msgs: 0.0,
+                boundary_msgs: stats.iter().map(|(_, d)| *d as f64).sum::<f64>() / k,
+                total_msgs: stats
+                    .iter()
+                    .map(|(s, d)| (s.messages + d) as f64)
+                    .sum::<f64>()
+                    / k,
+            }
+        })
+        .collect()
+}
+
+impl ScenarioReport {
+    /// Render the report as the aligned text table the `tables` binary
+    /// prints. Column choice honors the scenario's router selection.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let sc = &self.scenario;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== {} [{} seeds {}..{}] ==",
+            sc.name,
+            sc.seed_count(),
+            sc.seed_start,
+            sc.seed_end
+        );
+        match &self.rows {
+            TableRows::Regions(rows) => {
+                let _ = writeln!(
+                    out,
+                    "{:>7} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9}",
+                    "faults", "MCC", "MCC-worst", "MCC-union", "RFB", "#MCC", "#RFB"
+                );
+                for r in rows {
+                    let _ = writeln!(
+                        out,
+                        "{:>7} {:>9.2} {:>10.2} {:>10.2} {:>9.2} {:>9.2} {:>9.2}",
+                        r.faults,
+                        r.mcc,
+                        r.mcc_worst,
+                        r.mcc_union,
+                        r.rfb,
+                        r.mcc_regions,
+                        r.rfb_regions
+                    );
+                }
+            }
+            TableRows::Routing(rows) => {
+                let mut header = format!("{:>7} {:>8}", "faults", "oracle");
+                for (on, name) in [
+                    (sc.router.wants_mcc(), "MCC"),
+                    (sc.router.wants_rfb(), "RFB"),
+                    (sc.router.wants_greedy(), "greedy"),
+                    (sc.router.wants_mcc(), "adaptM"),
+                    (sc.router.wants_rfb(), "adaptR"),
+                    (sc.router.wants_mcc(), "detect"),
+                ] {
+                    if on {
+                        let _ = write!(header, " {name:>8}");
+                    }
+                }
+                let _ = writeln!(out, "{header} {:>8}", "safe-ep");
+                for r in rows {
+                    let mut line = format!("{:>7} {:>8.3}", r.faults, r.oracle);
+                    for (on, value) in [
+                        (sc.router.wants_mcc(), r.mcc),
+                        (sc.router.wants_rfb(), r.rfb),
+                        (sc.router.wants_greedy(), r.greedy),
+                        (sc.router.wants_mcc(), r.mcc_adaptivity),
+                        (sc.router.wants_rfb(), r.rfb_adaptivity),
+                        (sc.router.wants_mcc(), r.detection_cost),
+                    ] {
+                        if on {
+                            let _ = write!(line, " {value:>8.3}");
+                        }
+                    }
+                    let _ = writeln!(out, "{line} {:>8.3}", r.endpoints_safe);
+                }
+            }
+            TableRows::Overhead(rows) => {
+                let _ = writeln!(
+                    out,
+                    "{:>7} {:>10} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                    "faults", "label-msg", "rounds", "compid", "ident", "boundary", "total"
+                );
+                for r in rows {
+                    let _ = writeln!(
+                        out,
+                        "{:>7} {:>10.0} {:>8.1} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+                        r.faults,
+                        r.labelling_msgs,
+                        r.labelling_rounds,
+                        r.compid_msgs,
+                        r.ident_msgs,
+                        r.boundary_msgs,
+                        r.total_msgs
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_seeds_is_ordered_and_complete() {
+        let out = parallel_seeds(5..40, |s| s * 2);
+        assert_eq!(out, (5..40).map(|s| s * 2).collect::<Vec<_>>());
+        assert!(parallel_seeds(3..3, |s| s).is_empty());
+    }
+
+    #[test]
+    fn regions_scenario_runs_on_rectangular_mesh() {
+        let mut sc = Scenario::regions_2d(10, &[3, 6], 4);
+        sc.dims = MeshDims::D2 {
+            width: 10,
+            height: 6,
+        };
+        let report = run_scenario(&sc).unwrap();
+        match report.rows {
+            TableRows::Regions(rows) => {
+                assert_eq!(rows.len(), 2);
+                assert!(rows.iter().all(|r| r.mcc <= r.rfb));
+            }
+            _ => panic!("wrong table kind"),
+        }
+    }
+
+    #[test]
+    fn overhead_2d_rejects_clustered() {
+        let mut sc = Scenario::overhead_2d(10, &[3], 2);
+        sc.pattern = FaultPattern::Clustered { clusters: 2 };
+        assert!(run_scenario(&sc).is_err());
+    }
+
+    #[test]
+    fn overhead_2d_rejects_counts_beyond_interior() {
+        // 90 faults fit in a 10x10 mesh but not in its 8x8 interior; the
+        // runner must refuse rather than emit a mislabelled row.
+        let sc = Scenario::overhead_2d(10, &[90], 2);
+        let err = run_scenario(&sc).unwrap_err();
+        assert!(err.to_string().contains("interior"), "got: {err}");
+    }
+
+    #[test]
+    fn router_choice_skips_baselines() {
+        let mut sc = Scenario::routing_2d(10, &[6], 8);
+        sc.router = crate::scenario::RouterChoice::Mcc;
+        let report = run_scenario(&sc).unwrap();
+        match &report.rows {
+            TableRows::Routing(rows) => {
+                // Baselines were never evaluated, so their columns stay 0.
+                assert!(rows.iter().all(|r| r.rfb == 0.0 && r.greedy == 0.0));
+                assert!(rows.iter().all(|r| r.mcc <= 1.0));
+            }
+            _ => panic!("wrong table kind"),
+        }
+        let rendered = report.render();
+        assert!(!rendered.contains("RFB"));
+        assert!(rendered.contains("MCC"));
+    }
+}

@@ -1,0 +1,639 @@
+//! Declarative experiment descriptions.
+//!
+//! A [`Scenario`] captures everything the paper's tables vary — mesh
+//! dimensions (2-D or 3-D), fault pattern, fault-count ramp, border policy,
+//! router choice and seed range — as *data*, loaded from TOML files under
+//! `scenarios/` (see `EXPERIMENTS.md` for the experiment → file map). The
+//! runner in [`crate::runner`] turns a scenario into table rows; new
+//! workloads are new TOML files, not new code.
+//!
+//! The schema:
+//!
+//! ```toml
+//! name = "E1 — healthy nodes captured by fault regions (2-D)"
+//! table = "regions"            # regions | routing | overhead
+//!
+//! [mesh]
+//! dims = [32, 32]              # two entries for 2-D, three for 3-D
+//!
+//! [faults]
+//! counts = [5, 10, 20, 40]    # the fault-count ramp
+//! pattern = "uniform"          # uniform | clustered
+//! clusters = 3                 # cluster count (clustered pattern only)
+//! border = "safe"              # safe | blocked
+//!
+//! [run]
+//! seeds = [0, 400]             # half-open seed range [start, end)
+//! router = "all"               # all | mcc | rfb | greedy (routing tables)
+//! min_dist_frac = 0.5          # min endpoint separation / largest dim
+//! ```
+
+use std::fmt;
+
+use fault_model::BorderPolicy;
+use mesh_topo::{FaultPattern, FaultSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::toml_lite::{Doc, Table, Value};
+
+/// Which family of tables the scenario produces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TableKind {
+    /// Fault-region capture statistics (tables E1/E2).
+    Regions,
+    /// Routing success rates and path metrics (tables E3/E4/E6).
+    Routing,
+    /// Distributed-construction overhead (tables E5/E7).
+    Overhead,
+}
+
+impl TableKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            TableKind::Regions => "regions",
+            TableKind::Routing => "routing",
+            TableKind::Overhead => "overhead",
+        }
+    }
+}
+
+/// Mesh dimensions: 2-D width×height or 3-D x×y×z.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MeshDims {
+    /// A 2-D mesh.
+    D2 {
+        /// Extent along X.
+        width: i32,
+        /// Extent along Y.
+        height: i32,
+    },
+    /// A 3-D mesh.
+    D3 {
+        /// Extent along X.
+        x: i32,
+        /// Extent along Y.
+        y: i32,
+        /// Extent along Z.
+        z: i32,
+    },
+}
+
+impl MeshDims {
+    /// The largest extent, used to scale endpoint-separation requirements.
+    pub fn max_extent(self) -> i32 {
+        match self {
+            MeshDims::D2 { width, height } => width.max(height),
+            MeshDims::D3 { x, y, z } => x.max(y).max(z),
+        }
+    }
+
+    /// Total node count.
+    pub fn nodes(self) -> usize {
+        match self {
+            MeshDims::D2 { width, height } => width as usize * height as usize,
+            MeshDims::D3 { x, y, z } => x as usize * y as usize * z as usize,
+        }
+    }
+}
+
+/// Which router's columns the report keeps (routing tables).
+///
+/// Every trial still computes the labelling and the oracle (ground
+/// truth); deselecting a model skips the rest of its work — MCC
+/// extraction/detection/routing, the block model, or the greedy walk —
+/// and hides its columns from the rendered table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouterChoice {
+    /// All models: MCC, the block baseline, and greedy.
+    #[default]
+    All,
+    /// The paper's MCC router only.
+    Mcc,
+    /// The rectangular/cuboid fault-block baseline only.
+    Rfb,
+    /// The information-free greedy baseline only.
+    Greedy,
+}
+
+impl RouterChoice {
+    fn as_str(self) -> &'static str {
+        match self {
+            RouterChoice::All => "all",
+            RouterChoice::Mcc => "mcc",
+            RouterChoice::Rfb => "rfb",
+            RouterChoice::Greedy => "greedy",
+        }
+    }
+
+    /// Whether MCC columns are reported.
+    pub fn wants_mcc(self) -> bool {
+        matches!(self, RouterChoice::All | RouterChoice::Mcc)
+    }
+
+    /// Whether block-baseline columns are reported.
+    pub fn wants_rfb(self) -> bool {
+        matches!(self, RouterChoice::All | RouterChoice::Rfb)
+    }
+
+    /// Whether greedy columns are reported.
+    pub fn wants_greedy(self) -> bool {
+        matches!(self, RouterChoice::All | RouterChoice::Greedy)
+    }
+}
+
+/// A fully-validated, runnable experiment description.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable name, shown as the table header.
+    pub name: String,
+    /// Table family to produce.
+    pub table: TableKind,
+    /// Mesh dimensions.
+    pub dims: MeshDims,
+    /// Fault-count ramp (one table row per entry).
+    pub fault_counts: Vec<usize>,
+    /// Spatial fault pattern.
+    pub pattern: FaultPattern,
+    /// Labelling border policy.
+    pub border: BorderPolicy,
+    /// Router/model selection for routing tables.
+    pub router: RouterChoice,
+    /// First seed (inclusive).
+    pub seed_start: u64,
+    /// Last seed (exclusive). `seed_end - seed_start` trials per row.
+    pub seed_end: u64,
+    /// Minimum endpoint separation as a fraction of the largest extent
+    /// (routing tables only).
+    pub min_dist_frac: f64,
+}
+
+/// A scenario-schema violation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioError(String);
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid scenario: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl ScenarioError {
+    /// Build an error with the given description.
+    pub fn new(msg: impl Into<String>) -> ScenarioError {
+        ScenarioError(msg.into())
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> ScenarioError {
+    ScenarioError::new(msg)
+}
+
+fn require<'a>(table: &'a Table, section: &str, key: &str) -> Result<&'a Value, ScenarioError> {
+    table
+        .get(key)
+        .ok_or_else(|| invalid(format!("missing `{key}` in [{section}]")))
+}
+
+fn int_list(value: &Value, what: &str) -> Result<Vec<i64>, ScenarioError> {
+    value
+        .as_array()
+        .ok_or_else(|| invalid(format!("`{what}` must be an array")))?
+        .iter()
+        .map(|v| {
+            v.as_int()
+                .ok_or_else(|| invalid(format!("`{what}` must hold integers")))
+        })
+        .collect()
+}
+
+impl Scenario {
+    /// Number of seeds/trials per fault count.
+    pub fn seed_count(&self) -> u64 {
+        self.seed_end - self.seed_start
+    }
+
+    /// The injection spec for one `(fault count, seed)` cell.
+    pub fn fault_spec(&self, count: usize, seed: u64) -> FaultSpec {
+        FaultSpec {
+            count,
+            pattern: self.pattern,
+            seed,
+        }
+    }
+
+    /// A copy with the seed range shrunk to roughly a tenth (at least one
+    /// seed), for `--quick` smoke runs.
+    pub fn quick(&self) -> Scenario {
+        let mut s = self.clone();
+        s.seed_end = s.seed_start + (self.seed_count() / 10).max(1);
+        s
+    }
+
+    /// Parse and validate a scenario from TOML text.
+    pub fn from_toml(text: &str) -> Result<Scenario, ScenarioError> {
+        let doc = Doc::parse(text).map_err(|e| invalid(e.to_string()))?;
+        Scenario::from_doc(&doc)
+    }
+
+    /// Load a scenario from a TOML file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Scenario, ScenarioError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| invalid(format!("cannot read {}: {e}", path.display())))?;
+        Scenario::from_toml(&text)
+    }
+
+    fn from_doc(doc: &Doc) -> Result<Scenario, ScenarioError> {
+        let name = require(&doc.root, "", "name")?
+            .as_str()
+            .ok_or_else(|| invalid("`name` must be a string"))?
+            .to_string();
+        let table = match require(&doc.root, "", "table")?.as_str() {
+            Some("regions") => TableKind::Regions,
+            Some("routing") => TableKind::Routing,
+            Some("overhead") => TableKind::Overhead,
+            other => {
+                return Err(invalid(format!(
+                    "`table` must be \"regions\", \"routing\" or \"overhead\", got {other:?}"
+                )))
+            }
+        };
+
+        let mesh = doc
+            .sections
+            .get("mesh")
+            .ok_or_else(|| invalid("missing [mesh] section"))?;
+        let dims_raw = int_list(require(mesh, "mesh", "dims")?, "mesh.dims")?;
+        if dims_raw.iter().any(|&d| !(2..=4096).contains(&d)) {
+            return Err(invalid("every mesh dimension must be in 2..=4096"));
+        }
+        let dims = match dims_raw.as_slice() {
+            [w, h] => MeshDims::D2 {
+                width: *w as i32,
+                height: *h as i32,
+            },
+            [x, y, z] => MeshDims::D3 {
+                x: *x as i32,
+                y: *y as i32,
+                z: *z as i32,
+            },
+            other => {
+                return Err(invalid(format!(
+                    "`mesh.dims` needs 2 or 3 entries, got {}",
+                    other.len()
+                )))
+            }
+        };
+
+        let faults = doc
+            .sections
+            .get("faults")
+            .ok_or_else(|| invalid("missing [faults] section"))?;
+        let fault_counts: Vec<usize> =
+            int_list(require(faults, "faults", "counts")?, "faults.counts")?
+                .into_iter()
+                .map(|v| {
+                    usize::try_from(v).map_err(|_| invalid("`faults.counts` must be non-negative"))
+                })
+                .collect::<Result<_, _>>()?;
+        if fault_counts.is_empty() {
+            return Err(invalid("`faults.counts` must not be empty"));
+        }
+        if fault_counts.iter().any(|&n| n >= dims.nodes()) {
+            return Err(invalid("a fault count would exceed the mesh size"));
+        }
+        let pattern = match faults.get("pattern").map(|v| v.as_str()) {
+            None | Some(Some("uniform")) => FaultPattern::Uniform,
+            Some(Some("clustered")) => {
+                let clusters = faults.get("clusters").and_then(Value::as_int).unwrap_or(3);
+                if clusters < 1 {
+                    return Err(invalid("`faults.clusters` must be at least 1"));
+                }
+                FaultPattern::Clustered {
+                    clusters: clusters as usize,
+                }
+            }
+            other => {
+                return Err(invalid(format!(
+                    "`faults.pattern` must be \"uniform\" or \"clustered\", got {other:?}"
+                )))
+            }
+        };
+        let border = match faults.get("border").map(|v| v.as_str()) {
+            None | Some(Some("safe")) => BorderPolicy::BorderSafe,
+            Some(Some("blocked")) => BorderPolicy::BorderBlocked,
+            other => {
+                return Err(invalid(format!(
+                    "`faults.border` must be \"safe\" or \"blocked\", got {other:?}"
+                )))
+            }
+        };
+
+        let run = doc
+            .sections
+            .get("run")
+            .ok_or_else(|| invalid("missing [run] section"))?;
+        let seeds = int_list(require(run, "run", "seeds")?, "run.seeds")?;
+        let (seed_start, seed_end) = match seeds.as_slice() {
+            [start, end] if *start >= 0 && end > start => (*start as u64, *end as u64),
+            _ => {
+                return Err(invalid(
+                    "`run.seeds` must be `[start, end]` with 0 <= start < end",
+                ))
+            }
+        };
+        let router = match run.get("router").map(|v| v.as_str()) {
+            None | Some(Some("all")) => RouterChoice::All,
+            Some(Some("mcc")) => RouterChoice::Mcc,
+            Some(Some("rfb")) => RouterChoice::Rfb,
+            Some(Some("greedy")) => RouterChoice::Greedy,
+            other => {
+                return Err(invalid(format!(
+                    "`run.router` must be \"all\", \"mcc\", \"rfb\" or \"greedy\", got {other:?}"
+                )))
+            }
+        };
+        let min_dist_frac = match run.get("min_dist_frac") {
+            None => 0.5,
+            Some(v) => v
+                .as_float()
+                .filter(|f| (0.0..=1.0).contains(f))
+                .ok_or_else(|| invalid("`run.min_dist_frac` must be in [0, 1]"))?,
+        };
+
+        Ok(Scenario {
+            name,
+            table,
+            dims,
+            fault_counts,
+            pattern,
+            border,
+            router,
+            seed_start,
+            seed_end,
+            min_dist_frac,
+        })
+    }
+
+    /// Serialize back to the TOML schema. Round-trips through
+    /// [`Scenario::from_toml`].
+    pub fn to_toml(&self) -> String {
+        let mut doc = Doc::default();
+        doc.root
+            .insert("name".into(), Value::Str(self.name.clone()));
+        doc.root
+            .insert("table".into(), Value::Str(self.table.as_str().into()));
+
+        let mut mesh = Table::new();
+        let dims = match self.dims {
+            MeshDims::D2 { width, height } => vec![width, height],
+            MeshDims::D3 { x, y, z } => vec![x, y, z],
+        };
+        mesh.insert(
+            "dims".into(),
+            Value::Array(dims.into_iter().map(|d| Value::Int(d as i64)).collect()),
+        );
+        doc.sections.insert("mesh".into(), mesh);
+
+        let mut faults = Table::new();
+        faults.insert(
+            "counts".into(),
+            Value::Array(
+                self.fault_counts
+                    .iter()
+                    .map(|&n| Value::Int(n as i64))
+                    .collect(),
+            ),
+        );
+        match self.pattern {
+            FaultPattern::Uniform => {
+                faults.insert("pattern".into(), Value::Str("uniform".into()));
+            }
+            FaultPattern::Clustered { clusters } => {
+                faults.insert("pattern".into(), Value::Str("clustered".into()));
+                faults.insert("clusters".into(), Value::Int(clusters as i64));
+            }
+        }
+        let border = match self.border {
+            BorderPolicy::BorderSafe => "safe",
+            BorderPolicy::BorderBlocked => "blocked",
+        };
+        faults.insert("border".into(), Value::Str(border.into()));
+        doc.sections.insert("faults".into(), faults);
+
+        let mut run = Table::new();
+        run.insert(
+            "seeds".into(),
+            Value::Array(vec![
+                Value::Int(self.seed_start as i64),
+                Value::Int(self.seed_end as i64),
+            ]),
+        );
+        run.insert("router".into(), Value::Str(self.router.as_str().into()));
+        run.insert("min_dist_frac".into(), Value::Float(self.min_dist_frac));
+        doc.sections.insert("run".into(), run);
+
+        doc.render()
+    }
+
+    // ---- programmatic constructors used by the legacy sweep API ----
+
+    fn base(
+        name: &str,
+        table: TableKind,
+        dims: MeshDims,
+        counts: &[usize],
+        seeds: u64,
+    ) -> Scenario {
+        Scenario {
+            name: name.to_string(),
+            table,
+            dims,
+            fault_counts: counts.to_vec(),
+            pattern: FaultPattern::Uniform,
+            border: BorderPolicy::BorderSafe,
+            router: RouterChoice::All,
+            seed_start: 0,
+            seed_end: seeds,
+            min_dist_frac: 0.5,
+        }
+    }
+
+    /// E1-style region sweep over a square 2-D mesh.
+    pub fn regions_2d(width: i32, counts: &[usize], seeds: u64) -> Scenario {
+        Scenario::base(
+            "regions 2-D",
+            TableKind::Regions,
+            MeshDims::D2 {
+                width,
+                height: width,
+            },
+            counts,
+            seeds,
+        )
+    }
+
+    /// E2-style region sweep over a k-ary 3-D mesh.
+    pub fn regions_3d(k: i32, counts: &[usize], seeds: u64) -> Scenario {
+        Scenario::base(
+            "regions 3-D",
+            TableKind::Regions,
+            MeshDims::D3 { x: k, y: k, z: k },
+            counts,
+            seeds,
+        )
+    }
+
+    /// E3/E6-style routing sweep over a square 2-D mesh.
+    pub fn routing_2d(width: i32, counts: &[usize], trials: u64) -> Scenario {
+        Scenario::base(
+            "routing 2-D",
+            TableKind::Routing,
+            MeshDims::D2 {
+                width,
+                height: width,
+            },
+            counts,
+            trials,
+        )
+    }
+
+    /// E4/E6-style routing sweep over a k-ary 3-D mesh (endpoints at least
+    /// `k` hops apart, matching the paper's setup).
+    pub fn routing_3d(k: i32, counts: &[usize], trials: u64) -> Scenario {
+        let mut s = Scenario::base(
+            "routing 3-D",
+            TableKind::Routing,
+            MeshDims::D3 { x: k, y: k, z: k },
+            counts,
+            trials,
+        );
+        s.min_dist_frac = 1.0;
+        s
+    }
+
+    /// E5/E7-style overhead sweep over a square 2-D mesh.
+    pub fn overhead_2d(width: i32, counts: &[usize], seeds: u64) -> Scenario {
+        Scenario::base(
+            "overhead 2-D",
+            TableKind::Overhead,
+            MeshDims::D2 {
+                width,
+                height: width,
+            },
+            counts,
+            seeds,
+        )
+    }
+
+    /// E7-style overhead sweep over a k-ary 3-D mesh.
+    pub fn overhead_3d(k: i32, counts: &[usize], seeds: u64) -> Scenario {
+        Scenario::base(
+            "overhead 3-D",
+            TableKind::Overhead,
+            MeshDims::D3 { x: k, y: k, z: k },
+            counts,
+            seeds,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r#"
+        name = "demo"
+        table = "routing"
+
+        [mesh]
+        dims = [16, 16, 16]
+
+        [faults]
+        counts = [10, 20]
+        pattern = "clustered"
+        clusters = 4
+        border = "safe"
+
+        [run]
+        seeds = [0, 50]
+        router = "mcc"
+        min_dist_frac = 0.75
+    "#;
+
+    #[test]
+    fn parses_full_schema() {
+        let s = Scenario::from_toml(EXAMPLE).unwrap();
+        assert_eq!(s.table, TableKind::Routing);
+        assert_eq!(
+            s.dims,
+            MeshDims::D3 {
+                x: 16,
+                y: 16,
+                z: 16
+            }
+        );
+        assert_eq!(s.fault_counts, vec![10, 20]);
+        assert_eq!(s.pattern, FaultPattern::Clustered { clusters: 4 });
+        assert_eq!(s.border, BorderPolicy::BorderSafe);
+        assert_eq!(s.router, RouterChoice::Mcc);
+        assert_eq!((s.seed_start, s.seed_end), (0, 50));
+        assert_eq!(s.min_dist_frac, 0.75);
+    }
+
+    #[test]
+    fn optional_fields_default() {
+        let s = Scenario::from_toml(
+            "name = \"d\"\ntable = \"regions\"\n[mesh]\ndims = [8, 8]\n\
+             [faults]\ncounts = [4]\n[run]\nseeds = [0, 2]\n",
+        )
+        .unwrap();
+        assert_eq!(s.pattern, FaultPattern::Uniform);
+        assert_eq!(s.border, BorderPolicy::BorderSafe);
+        assert_eq!(s.router, RouterChoice::All);
+        assert_eq!(s.min_dist_frac, 0.5);
+    }
+
+    #[test]
+    fn rejects_bad_schemas() {
+        for (text, why) in [
+            ("table = \"regions\"", "missing name"),
+            ("name = \"x\"\ntable = \"nope\"", "bad table"),
+            (
+                "name = \"x\"\ntable = \"regions\"\n[mesh]\ndims = [8]\n[faults]\ncounts = [1]\n[run]\nseeds = [0, 1]",
+                "1-D mesh",
+            ),
+            (
+                "name = \"x\"\ntable = \"regions\"\n[mesh]\ndims = [8, 8]\n[faults]\ncounts = []\n[run]\nseeds = [0, 1]",
+                "empty ramp",
+            ),
+            (
+                "name = \"x\"\ntable = \"regions\"\n[mesh]\ndims = [8, 8]\n[faults]\ncounts = [100]\n[run]\nseeds = [0, 1]",
+                "too many faults",
+            ),
+            (
+                "name = \"x\"\ntable = \"regions\"\n[mesh]\ndims = [8, 8]\n[faults]\ncounts = [1]\n[run]\nseeds = [5, 5]",
+                "empty seed range",
+            ),
+        ] {
+            assert!(Scenario::from_toml(text).is_err(), "should reject: {why}");
+        }
+    }
+
+    #[test]
+    fn toml_round_trip() {
+        let s = Scenario::from_toml(EXAMPLE).unwrap();
+        let back = Scenario::from_toml(&s.to_toml()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn quick_shrinks_seed_range() {
+        let mut s = Scenario::regions_2d(8, &[2], 400);
+        assert_eq!(s.quick().seed_count(), 40);
+        s.seed_end = 5;
+        assert_eq!(s.quick().seed_count(), 1);
+    }
+}

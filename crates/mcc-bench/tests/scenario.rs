@@ -1,0 +1,150 @@
+//! Integration tests for the declarative scenario layer: TOML round-trips,
+//! the shipped scenario files, and deterministic table generation.
+
+use mcc_bench::runner::{run_scenario, TableRows};
+use mcc_bench::scenario::{MeshDims, RouterChoice, Scenario, TableKind};
+
+/// Every scenario file shipped under `scenarios/` must parse, validate,
+/// and survive a serialize → parse round-trip unchanged.
+#[test]
+fn shipped_scenarios_parse_and_round_trip() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(dir).expect("scenarios/ exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "toml") {
+            continue;
+        }
+        let scenario = Scenario::load(&path)
+            .unwrap_or_else(|e| panic!("{} must be valid: {e}", path.display()));
+        let back = Scenario::from_toml(&scenario.to_toml())
+            .unwrap_or_else(|e| panic!("{} must round-trip: {e}", path.display()));
+        assert_eq!(
+            scenario,
+            back,
+            "{} round-trip changed the scenario",
+            path.display()
+        );
+        seen += 1;
+    }
+    assert!(seen >= 7, "expected the E1–E8 scenario files, found {seen}");
+}
+
+/// The two scenario files named by the experiment map must describe what
+/// EXPERIMENTS.md says they describe.
+#[test]
+fn named_scenarios_have_expected_shape() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");
+    let e1 = Scenario::load(format!("{root}/e1_regions_2d.toml")).unwrap();
+    assert_eq!(e1.table, TableKind::Regions);
+    assert_eq!(
+        e1.dims,
+        MeshDims::D2 {
+            width: 32,
+            height: 32
+        }
+    );
+
+    let e3 = Scenario::load(format!("{root}/e3_routing_3d.toml")).unwrap();
+    assert_eq!(e3.table, TableKind::Routing);
+    assert_eq!(
+        e3.dims,
+        MeshDims::D3 {
+            x: 16,
+            y: 16,
+            z: 16
+        }
+    );
+    assert_eq!(e3.router, RouterChoice::All);
+    assert_eq!(e3.min_dist_frac, 1.0);
+}
+
+/// A tiny 8×8 scenario produces bit-identical table rows for a fixed seed
+/// range, run after run — the determinism contract of the runner.
+#[test]
+fn tiny_scenario_is_deterministic() {
+    let text = r#"
+        name = "smoke 8x8"
+        table = "routing"
+
+        [mesh]
+        dims = [8, 8]
+
+        [faults]
+        counts = [4, 8]
+        pattern = "uniform"
+        border = "safe"
+
+        [run]
+        seeds = [0, 16]
+        router = "all"
+        min_dist_frac = 0.5
+    "#;
+    let scenario = Scenario::from_toml(text).unwrap();
+    let a = run_scenario(&scenario).unwrap();
+    let b = run_scenario(&scenario).unwrap();
+    let (ra, rb) = match (&a.rows, &b.rows) {
+        (TableRows::Routing(ra), TableRows::Routing(rb)) => (ra, rb),
+        _ => panic!("routing scenario must yield routing rows"),
+    };
+    assert_eq!(ra.len(), 2);
+    for (x, y) in ra.iter().zip(rb.iter()) {
+        assert_eq!(x.faults, y.faults);
+        assert_eq!(
+            x.oracle.to_bits(),
+            y.oracle.to_bits(),
+            "oracle column must be identical"
+        );
+        assert_eq!(x.mcc.to_bits(), y.mcc.to_bits());
+        assert_eq!(x.rfb.to_bits(), y.rfb.to_bits());
+        assert_eq!(x.greedy.to_bits(), y.greedy.to_bits());
+        assert_eq!(x.mcc_adaptivity.to_bits(), y.mcc_adaptivity.to_bits());
+        assert_eq!(x.detection_cost.to_bits(), y.detection_cost.to_bits());
+    }
+    // The rendered table is likewise byte-identical.
+    assert_eq!(a.render(), b.render());
+    // And the MCC condition stays exact on the sampled trials.
+    for r in ra {
+        assert!((r.mcc - r.oracle).abs() < 1e-12);
+    }
+}
+
+/// Determinism also holds for region tables on a 3-D mesh, and rows track
+/// the requested fault ramp.
+#[test]
+fn region_rows_follow_the_ramp() {
+    let text = r#"
+        name = "smoke regions"
+        table = "regions"
+
+        [mesh]
+        dims = [6, 6, 6]
+
+        [faults]
+        counts = [2, 6, 12]
+        pattern = "clustered"
+        clusters = 2
+        border = "safe"
+
+        [run]
+        seeds = [3, 11]
+    "#;
+    let scenario = Scenario::from_toml(text).unwrap();
+    let a = run_scenario(&scenario).unwrap();
+    let b = run_scenario(&scenario).unwrap();
+    let rows = match &a.rows {
+        TableRows::Regions(rows) => rows,
+        _ => panic!("regions scenario must yield region rows"),
+    };
+    assert_eq!(
+        rows.iter().map(|r| r.faults).collect::<Vec<_>>(),
+        vec![2, 6, 12]
+    );
+    for r in rows {
+        assert!(
+            r.mcc <= r.rfb + 1e-12,
+            "MCC must sacrifice no more than RFB"
+        );
+    }
+    assert_eq!(a.render(), b.render());
+}

@@ -21,7 +21,7 @@
 use std::sync::Arc;
 
 use fault_model::NodeStatus;
-use mesh_topo::{C2, Dir2, Mesh2D};
+use mesh_topo::{Dir2, Mesh2D, C2};
 use sim_net::{RunStats, SimNet};
 
 use crate::ident2::Ident2;
@@ -80,8 +80,7 @@ impl Boundary2 {
             for dir in Dir2::ALL {
                 let n = c.step(dir);
                 if inside(w, h, n) {
-                    dst.nbr_status[dir.index()] =
-                        Some(ident.net.state(n).status);
+                    dst.nbr_status[dir.index()] = Some(ident.net.state(n).status);
                 }
             }
         }
@@ -182,10 +181,7 @@ impl Boundary2 {
 /// Run the full distributed construction pipeline for one quadrant:
 /// labelling → components → identification → boundaries. Returns the final
 /// network plus the aggregate statistics of all four phases.
-pub fn build_pipeline_2d(
-    mesh: &Mesh2D,
-    frame: mesh_topo::Frame2,
-) -> (Boundary2, PipelineStats) {
+pub fn build_pipeline_2d(mesh: &Mesh2D, frame: mesh_topo::Frame2) -> (Boundary2, PipelineStats) {
     let lab = crate::labelling::DistLabelling2::run(mesh, frame);
     let comps = crate::compid::DistComponents2::run(mesh, &lab);
     let ident = Ident2::run(mesh, &comps);
@@ -278,7 +274,10 @@ mod tests {
         let merged = recs.iter().find(|r| {
             r.axis == BoundaryAxis::Y && r.root.comp_id == c2(3, 8) && r.merged.len() == 2
         });
-        assert!(merged.is_some(), "expected merged record at (1,0): {recs:?}");
+        assert!(
+            merged.is_some(),
+            "expected merged record at (1,0): {recs:?}"
+        );
     }
 
     #[test]

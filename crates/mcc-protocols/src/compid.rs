@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 
 use fault_model::NodeStatus;
-use mesh_topo::{C2, Frame2, Mesh2D};
+use mesh_topo::{Frame2, Mesh2D, C2};
 use sim_net::{RunStats, SimNet};
 
 use crate::labelling::DistLabelling2;
@@ -204,7 +204,10 @@ mod tests {
     #[test]
     fn corridor_width_one_keeps_regions_apart() {
         // Two walls separated by a single safe column.
-        let faults: Vec<C2> = (2..=5).map(|y| c2(3, y)).chain((2..=5).map(|y| c2(5, y))).collect();
+        let faults: Vec<C2> = (2..=5)
+            .map(|y| c2(3, y))
+            .chain((2..=5).map(|y| c2(5, y)))
+            .collect();
         let (_, comps) = run_for(&faults, 10, 10);
         assert_ne!(comps.comp_id(c2(3, 3)), comps.comp_id(c2(5, 3)));
         assert_eq!(comps.comp_id(c2(4, 3)), None, "corridor stays safe");

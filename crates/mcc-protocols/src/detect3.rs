@@ -15,7 +15,7 @@
 //! instances, and the message counts feed experiment E5.
 
 use fault_model::NodeStatus;
-use mesh_topo::{Axis3, C3, Dir3, Mesh3D};
+use mesh_topo::{Axis3, Dir3, Mesh3D, C3};
 use sim_net::{RunStats, SimNet};
 
 use crate::labelling::DistLabelling3;
@@ -81,8 +81,7 @@ pub fn detect_distributed_3d(
         "detection requires safe endpoints"
     );
     let (nx, ny, nz) = (mesh.nx(), mesh.ny(), mesh.nz());
-    let inside =
-        move |c: C3| c.x >= 0 && c.y >= 0 && c.z >= 0 && c.x < nx && c.y < ny && c.z < nz;
+    let inside = move |c: C3| c.x >= 0 && c.y >= 0 && c.z >= 0 && c.x < nx && c.y < ny && c.z < nz;
     let mut net: SimNet<C3, Detect3State, Detect3Msg> = SimNet::new(
         mesh.nodes(),
         |_| Detect3State::default(),
@@ -99,12 +98,19 @@ pub fn detect_distributed_3d(
         }
     }
     let mut trivially_ok = [false; 3];
-    for kind in 0..3 {
+    for (kind, ok) in trivially_ok.iter_mut().enumerate() {
         let (_, _, target) = surface_axes(kind);
         if s.get(target) == d.get(target) {
-            trivially_ok[kind] = true;
+            *ok = true;
         } else {
-            net.post(s, Detect3Msg::Flood { kind, d, path: vec![] });
+            net.post(
+                s,
+                Detect3Msg::Flood {
+                    kind,
+                    d,
+                    path: vec![],
+                },
+            );
         }
     }
     let max_rounds = 4 * (nx + ny + nz) as usize + 32;
@@ -144,17 +150,18 @@ pub fn detect_distributed_3d(
                         if nbr_safe(axis) {
                             ctx.send(
                                 me.step(axis.pos()),
-                                Detect3Msg::Flood { kind, d, path: path.clone() },
+                                Detect3Msg::Flood {
+                                    kind,
+                                    d,
+                                    path: path.clone(),
+                                },
                             );
                         } else {
                             any_main_blocked = true;
                         }
                     }
                     if any_main_blocked && me.get(detour) < d.get(detour) && nbr_safe(detour) {
-                        ctx.send(
-                            me.step(detour.pos()),
-                            Detect3Msg::Flood { kind, d, path },
-                        );
+                        ctx.send(me.step(detour.pos()), Detect3Msg::Flood { kind, d, path });
                     }
                 }
                 Detect3Msg::Reply { kind, path } => {
@@ -170,8 +177,7 @@ pub fn detect_distributed_3d(
         }
     });
     let verdicts = &net.state(s).verdicts;
-    let ok = (0..3)
-        .all(|kind| trivially_ok[kind] || verdicts.iter().any(|&(k, v)| k == kind && v));
+    let ok = (0..3).all(|kind| trivially_ok[kind] || verdicts.iter().any(|&(k, v)| k == kind && v));
     (ok, stats)
 }
 
@@ -237,7 +243,12 @@ mod tests {
             let dist_lab = DistLabelling3::run(&mesh, frame);
             let (ok, _) = detect_distributed_3d(&mesh, &dist_lab, s, d);
             let semantic = detect_3d(&sem_lab, s, d).feasible();
-            assert_eq!(ok, semantic, "seed {seed}: flood mismatch, faults={:?}", mesh.faults());
+            assert_eq!(
+                ok,
+                semantic,
+                "seed {seed}: flood mismatch, faults={:?}",
+                mesh.faults()
+            );
             checked += 1;
         }
         assert!(checked >= 10);

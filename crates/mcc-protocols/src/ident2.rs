@@ -25,7 +25,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use fault_model::NodeStatus;
-use mesh_topo::{C2, Dir2, Mesh2D};
+use mesh_topo::{Dir2, Mesh2D, C2};
 use sim_net::{RunStats, SimNet};
 
 use crate::compid::DistComponents2;
@@ -77,7 +77,8 @@ pub enum IdentMsg {
         /// Component id traced by the finished walk.
         comp: C2,
         /// All member cells the walk collected.
-        collected: Vec<C2> },
+        collected: Vec<C2>,
+    },
 }
 
 /// Per-node state of the identification phase.
@@ -120,12 +121,15 @@ fn next_dir(
     u: C2,
     heading: Dir2,
 ) -> Option<Dir2> {
-    let safe = |c: C2| {
-        inside(w, h, c) && matches!(view.get(&c), Some((st, _)) if st.is_safe())
-    };
-    [left_of(heading), heading, right_of(heading), heading.opposite()]
-        .into_iter()
-        .find(|&dir| safe(u.step(dir)))
+    let safe = |c: C2| inside(w, h, c) && matches!(view.get(&c), Some((st, _)) if st.is_safe());
+    [
+        left_of(heading),
+        heading,
+        right_of(heading),
+        heading.opposite(),
+    ]
+    .into_iter()
+    .find(|&dir| safe(u.step(dir)))
 }
 
 impl Ident2 {
@@ -153,22 +157,29 @@ impl Ident2 {
             if !st.status.is_safe() {
                 continue;
             }
-            let diag = C2 { x: c.x + 1, y: c.y + 1 };
+            let diag = C2 {
+                x: c.x + 1,
+                y: c.y + 1,
+            };
             let diag_comp = match st.view.get(&diag) {
                 Some((ds, comp)) if ds.is_unsafe() => *comp,
                 _ => continue,
             };
-            let xp_safe =
-                matches!(st.view.get(&c.step(Dir2::Xp)), Some((s, _)) if s.is_safe());
-            let yp_safe =
-                matches!(st.view.get(&c.step(Dir2::Yp)), Some((s, _)) if s.is_safe());
-            if !(xp_safe && yp_safe && inside(w, h, c.step(Dir2::Xp)) && inside(w, h, c.step(Dir2::Yp))) {
+            let xp_safe = matches!(st.view.get(&c.step(Dir2::Xp)), Some((s, _)) if s.is_safe());
+            let yp_safe = matches!(st.view.get(&c.step(Dir2::Yp)), Some((s, _)) if s.is_safe());
+            if !(xp_safe
+                && yp_safe
+                && inside(w, h, c.step(Dir2::Xp))
+                && inside(w, h, c.step(Dir2::Yp)))
+            {
                 continue;
             }
             let Some(comp) = diag_comp else { continue };
             // First move by left-hand priority with a virtual -Y heading:
             // east along the region's southern edge.
-            let Some(dir) = next_dir(w, h, &st.view, c, Dir2::Ym) else { continue };
+            let Some(dir) = next_dir(w, h, &st.view, c, Dir2::Ym) else {
+                continue;
+            };
             let first = (c.step(dir), dir);
             launches.push((
                 c,
@@ -211,11 +222,13 @@ impl Ident2 {
                                 }
                             }
                         } else if let Some(shape) = &walk.shape {
-                            if shape.y_anchor() == me || shape.x_anchor() == me {
-                                if !state.anchor_shapes.iter().any(|s| s.comp_id == shape.comp_id)
-                                {
-                                    state.anchor_shapes.push(shape.clone());
-                                }
+                            if (shape.y_anchor() == me || shape.x_anchor() == me)
+                                && !state
+                                    .anchor_shapes
+                                    .iter()
+                                    .any(|s| s.comp_id == shape.comp_id)
+                            {
+                                state.anchor_shapes.push(shape.clone());
                             }
                         }
                         // Launch self-post: step onto the first node.
@@ -234,7 +247,10 @@ impl Ident2 {
                                 // the origin stepped onto us to launch).
                                 ctx.send(
                                     walk.origin,
-                                    IdentMsg::Done { comp: walk.comp, collected: walk.collected },
+                                    IdentMsg::Done {
+                                        comp: walk.comp,
+                                        collected: walk.collected,
+                                    },
                                 );
                             }
                             continue;
@@ -291,7 +307,12 @@ impl Ident2 {
                 }
             }
         });
-        Ident2 { net, stats, width: w, height: h }
+        Ident2 {
+            net,
+            stats,
+            width: w,
+            height: h,
+        }
     }
 
     /// All owned shapes, by owner coordinate.

@@ -13,7 +13,7 @@
 //! neighbors.
 
 use fault_model::{BorderPolicy, Labelling2, Labelling3, NodeStatus};
-use mesh_topo::{C2, C3, Frame2, Frame3, Mesh2D, Mesh3D};
+use mesh_topo::{Frame2, Frame3, Mesh2D, Mesh3D, C2, C3};
 use sim_net::{RunStats, SimNet};
 
 /// Per-node protocol state (2-D and 3-D share the shape).
@@ -99,7 +99,10 @@ impl DistLabelling2 {
                 state.status.mark_cant_reach();
             }
             // Announce changes (round 0 announces the initial status).
-            let now = (state.status.blocks_forward(), state.status.blocks_backward());
+            let now = (
+                state.status.blocks_forward(),
+                state.status.blocks_backward(),
+            );
             if state.announced != (now.0, now.1) || ctx.round == 0 {
                 state.announced = now;
                 for dir in mesh_topo::Dir2::ALL {
@@ -125,7 +128,9 @@ impl DistLabelling2 {
 
     /// True if the converged labels equal the centralized closure.
     pub fn matches(&self, reference: &Labelling2) -> bool {
-        self.net.iter().all(|(c, s)| s.status == reference.status(c))
+        self.net
+            .iter()
+            .all(|(c, s)| s.status == reference.status(c))
     }
 }
 
@@ -133,9 +138,8 @@ impl DistLabelling3 {
     /// Run the protocol for `mesh` under `frame`.
     pub fn run(mesh: &Mesh3D, frame: Frame3) -> DistLabelling3 {
         let (nx, ny, nz) = (mesh.nx(), mesh.ny(), mesh.nz());
-        let inside = move |c: C3| {
-            c.x >= 0 && c.y >= 0 && c.z >= 0 && c.x < nx && c.y < ny && c.z < nz
-        };
+        let inside =
+            move |c: C3| c.x >= 0 && c.y >= 0 && c.z >= 0 && c.x < nx && c.y < ny && c.z < nz;
         let mut net: SimNet<C3, LabelState, LabelMsg> = SimNet::new(
             mesh.nodes(),
             |_| LabelState::default(),
@@ -171,7 +175,10 @@ impl DistLabelling3 {
             {
                 state.status.mark_cant_reach();
             }
-            let now = (state.status.blocks_forward(), state.status.blocks_backward());
+            let now = (
+                state.status.blocks_forward(),
+                state.status.blocks_backward(),
+            );
             if state.announced != (now.0, now.1) || ctx.round == 0 {
                 state.announced = now;
                 for dir in mesh_topo::Dir3::ALL {
@@ -197,7 +204,9 @@ impl DistLabelling3 {
 
     /// True if the converged labels equal the centralized closure.
     pub fn matches(&self, reference: &Labelling3) -> bool {
-        self.net.iter().all(|(c, s)| s.status == reference.status(c))
+        self.net
+            .iter()
+            .all(|(c, s)| s.status == reference.status(c))
     }
 }
 
@@ -227,8 +236,7 @@ mod tests {
             let mut mesh = Mesh2D::new(14, 14);
             FaultSpec::uniform(16, seed).inject_2d(&mut mesh, &[]);
             for frame in Frame2::all(&mesh) {
-                let reference =
-                    Labelling2::compute(&mesh, frame, BorderPolicy::BorderSafe);
+                let reference = Labelling2::compute(&mesh, frame, BorderPolicy::BorderSafe);
                 let dist = DistLabelling2::run(&mesh, frame);
                 assert!(dist.stats.quiescent, "seed {seed}: did not converge");
                 assert!(dist.matches(&reference), "seed {seed} frame {frame:?}");

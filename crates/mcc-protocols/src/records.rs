@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use mesh_topo::{C2, Rect};
+use mesh_topo::{Rect, C2};
 use serde::{Deserialize, Serialize};
 
 /// The reconstructed shape of one 2-D MCC.
@@ -48,7 +48,13 @@ impl RegionShape {
             e.0 = e.0.min(c.x);
             e.1 = e.1.max(c.x);
         }
-        RegionShape { comp_id, cells, bounds, cols, rows }
+        RegionShape {
+            comp_id,
+            cells,
+            bounds,
+            cols,
+            rows,
+        }
     }
 
     /// The occupied y-interval of column `x`, if spanned.
@@ -87,7 +93,10 @@ impl RegionShape {
     pub fn y_anchor(&self) -> C2 {
         let x0 = self.bounds.x0;
         let top = self.col_interval(x0).expect("bbox column spanned").1;
-        C2 { x: x0 - 1, y: top + 1 }
+        C2 {
+            x: x0 - 1,
+            y: top + 1,
+        }
     }
 
     /// The anchor node of the X boundary: one column east of the region,
@@ -95,22 +104,29 @@ impl RegionShape {
     pub fn x_anchor(&self) -> C2 {
         let x1 = self.bounds.x1;
         let bot = self.col_interval(x1).expect("bbox column spanned").0;
-        C2 { x: x1 + 1, y: bot - 1 }
+        C2 {
+            x: x1 + 1,
+            y: bot - 1,
+        }
     }
 
     /// The initialization-corner candidates derivable from the shape: safe
     /// cells diagonally south-west of a member whose `+X` and `+Y`
     /// neighbors are outside the region.
     pub fn corner_candidates(&self) -> Vec<C2> {
-        let inside = |c: C2| {
-            matches!(self.col_interval(c.x), Some((bot, top)) if c.y >= bot && c.y <= top)
-        };
+        let inside =
+            |c: C2| matches!(self.col_interval(c.x), Some((bot, top)) if c.y >= bot && c.y <= top);
         let mut out: Vec<C2> = self
             .cells
             .iter()
-            .map(|&r| C2 { x: r.x - 1, y: r.y - 1 })
+            .map(|&r| C2 {
+                x: r.x - 1,
+                y: r.y - 1,
+            })
             .filter(|&c| {
-                !inside(c) && !inside(C2 { x: c.x + 1, y: c.y }) && !inside(C2 { x: c.x, y: c.y + 1 })
+                !inside(c)
+                    && !inside(C2 { x: c.x + 1, y: c.y })
+                    && !inside(C2 { x: c.x, y: c.y + 1 })
             })
             .collect();
         out.sort();
@@ -226,7 +242,11 @@ mod tests {
         // v below the *other* region, d critical for the root.
         assert!(rec.excludes(c2(8, 0), c2(5, 9)));
         // Root-only record would not exclude that v.
-        let plain = BoundaryRecord2 { axis: BoundaryAxis::Y, root, merged: vec![] };
+        let plain = BoundaryRecord2 {
+            axis: BoundaryAxis::Y,
+            root,
+            merged: vec![],
+        };
         assert!(!plain.excludes(c2(8, 0), c2(5, 9)));
     }
 

@@ -15,11 +15,10 @@
 //! with `mcc_routing::detect_2d`, and the data message is delivered over a
 //! minimal path whenever the semantic condition admits one.
 
-
-use mesh_topo::{C2, Dir2, Mesh2D, Path2};
+use mesh_topo::{Dir2, Mesh2D, Path2, C2};
 use sim_net::{RunStats, SimNet};
 
-use crate::boundary2::{Boundary2, BoundState};
+use crate::boundary2::{BoundState, Boundary2};
 use crate::records::BoundaryRecord2;
 
 /// Messages of the routing phase.
@@ -86,13 +85,11 @@ fn inside(w: i32, h: i32, c: C2) -> bool {
 ///
 /// # Panics
 /// If `s` does not precede `d`, or either endpoint is unsafe.
-pub fn route_distributed_2d(
-    mesh: &Mesh2D,
-    bound: &Boundary2,
-    s: C2,
-    d: C2,
-) -> DistRouteOutcome {
-    assert!(s.dominated_by(d), "distributed routing requires canonical s <= d");
+pub fn route_distributed_2d(mesh: &Mesh2D, bound: &Boundary2, s: C2, d: C2) -> DistRouteOutcome {
+    assert!(
+        s.dominated_by(d),
+        "distributed routing requires canonical s <= d"
+    );
     let (w, h) = (mesh.width(), mesh.height());
     let mut net: SimNet<C2, RouteState, RouteMsg> = SimNet::new(
         mesh.nodes(),
@@ -107,8 +104,24 @@ pub fn route_distributed_2d(
         "distributed routing requires safe endpoints"
     );
     // Phase one: launch both detection walks.
-    net.post(s, RouteMsg::Detect { main: Dir2::Yp, side: Dir2::Xp, d, path: vec![] });
-    net.post(s, RouteMsg::Detect { main: Dir2::Xp, side: Dir2::Yp, d, path: vec![] });
+    net.post(
+        s,
+        RouteMsg::Detect {
+            main: Dir2::Yp,
+            side: Dir2::Xp,
+            d,
+            path: vec![],
+        },
+    );
+    net.post(
+        s,
+        RouteMsg::Detect {
+            main: Dir2::Xp,
+            side: Dir2::Yp,
+            d,
+            path: vec![],
+        },
+    );
     let max_rounds = (6 * (w + h)) as usize + 32;
     let mut stats = net.run(max_rounds, move |state, inbox, ctx| {
         let me = ctx.me();
@@ -214,21 +227,25 @@ pub fn route_distributed_2d(
     if feasible {
         let mut net2 = net;
         net2.post(s, RouteMsg::Data { d, path: vec![] });
-        let data_stats = net2.run(max_rounds, {
-            let step = make_step(w, h);
-            step
-        });
+        let data_stats = net2.run(max_rounds, make_step(w, h));
         stats.absorb(data_stats);
         path = net2.state(d).delivered.clone().map(Path2::from_nodes);
     }
-    DistRouteOutcome { feasible, path, stats }
+    DistRouteOutcome {
+        feasible,
+        path,
+        stats,
+    }
 }
+
+/// One node's inbox for the data phase.
+type RouteInbox = [(C2, RouteMsg)];
 
 /// The same handler, boxed for the second run (data phase).
 fn make_step(
     w: i32,
     h: i32,
-) -> impl FnMut(&mut RouteState, &[(C2, RouteMsg)], &mut sim_net::Ctx<'_, C2, RouteMsg>) {
+) -> impl FnMut(&mut RouteState, &RouteInbox, &mut sim_net::Ctx<'_, C2, RouteMsg>) {
     move |state, inbox, ctx| {
         let me = ctx.me();
         for (_, msg) in inbox {
@@ -349,18 +366,21 @@ mod tests {
             if !lab.is_safe(s) || !lab.is_safe(d) {
                 continue;
             }
-            let (_, bnd) = (0, Boundary2::run(&mesh, &{
-                let l = crate::labelling::DistLabelling2::run(&mesh, frame);
-                let c = crate::compid::DistComponents2::run(&mesh, &l);
-                crate::ident2::Ident2::run(&mesh, &c)
-            }));
+            let (_, bnd) = (
+                0,
+                Boundary2::run(&mesh, &{
+                    let l = crate::labelling::DistLabelling2::run(&mesh, frame);
+                    let c = crate::compid::DistComponents2::run(&mesh, &l);
+                    crate::ident2::Ident2::run(&mesh, &c)
+                }),
+            );
             let out = route_distributed_2d(&mesh, &bnd, s, d);
             let semantic = minimal_path_exists_2d(&lab, &set, s, d) == Existence2::Exists;
             assert_eq!(out.feasible, semantic, "seed {seed}: detection mismatch");
             if semantic {
-                let path = out.path.unwrap_or_else(|| {
-                    panic!("seed {seed}: feasible but not delivered (stuck)")
-                });
+                let path = out
+                    .path
+                    .unwrap_or_else(|| panic!("seed {seed}: feasible but not delivered (stuck)"));
                 assert!(path.is_minimal(&mesh, s, d), "seed {seed}: non-minimal");
                 delivered += 1;
             } else {
@@ -377,6 +397,10 @@ mod tests {
         let out = route_distributed_2d(&mesh, &b, c2(0, 0), c2(9, 9));
         assert!(out.feasible);
         // Detection (two walks + replies) plus data forwarding.
-        assert!(out.stats.messages > 18 + 18, "messages = {}", out.stats.messages);
+        assert!(
+            out.stats.messages > 18 + 18,
+            "messages = {}",
+            out.stats.messages
+        );
     }
 }

@@ -12,7 +12,7 @@
 //! global state leaks into the data path.
 
 use fault_model::{BorderPolicy, Labelling3};
-use mesh_topo::{C3, Dir3, Mesh3D, Path3};
+use mesh_topo::{Dir3, Mesh3D, Path3, C3};
 use sim_net::RunStats;
 
 use crate::detect3::detect_distributed_3d;
@@ -43,7 +43,10 @@ pub fn route_distributed_3d(
     s: C3,
     d: C3,
 ) -> DistRouteOutcome3 {
-    assert!(s.dominated_by(d), "distributed routing requires canonical s <= d");
+    assert!(
+        s.dominated_by(d),
+        "distributed routing requires canonical s <= d"
+    );
     let (feasible, detection_stats) = detect_distributed_3d(mesh, lab, s, d);
     if !feasible {
         return DistRouteOutcome3 {
@@ -109,7 +112,10 @@ mod tests {
         let (mesh, lab) = setup(&[], 6);
         let out = route_distributed_3d(&mesh, &lab, c3(0, 0, 0), c3(5, 5, 5));
         assert!(out.feasible);
-        assert!(out.path.unwrap().is_minimal(&mesh, c3(0, 0, 0), c3(5, 5, 5)));
+        assert!(out
+            .path
+            .unwrap()
+            .is_minimal(&mesh, c3(0, 0, 0), c3(5, 5, 5)));
     }
 
     #[test]
@@ -152,7 +158,10 @@ mod tests {
             let out = route_distributed_3d(&mesh, &lab, c3(0, 0, 0), c3(6, 6, 6));
             if out.feasible {
                 let path = out.path.expect("feasible must deliver");
-                assert!(path.is_minimal(&mesh, c3(0, 0, 0), c3(6, 6, 6)), "seed {seed}");
+                assert!(
+                    path.is_minimal(&mesh, c3(0, 0, 0), c3(6, 6, 6)),
+                    "seed {seed}"
+                );
             }
         }
     }

@@ -11,7 +11,7 @@
 
 use fault_model::oracle::{Useful2, Useful3};
 use fault_model::{FaultBlocks2, FaultBlocks3, Labelling2, Labelling3};
-use mesh_topo::{C2, C3, Dir2, Dir3, Path2, Path3};
+use mesh_topo::{Dir2, Dir3, Path2, Path3, C2, C3};
 
 use crate::policy::Policy;
 use crate::trace::{RouteOutcome2, RouteOutcome3, RouteResult};
@@ -61,7 +61,12 @@ pub fn route_greedy_2d(lab: &Labelling2, s: C2, d: C2, policy: &mut Policy) -> R
         u = u.step(dir);
         path.push(u);
     }
-    RouteOutcome2 { result: RouteResult::Delivered, path, adaptivity_sum, detection_hops: 0 }
+    RouteOutcome2 {
+        result: RouteResult::Delivered,
+        path,
+        adaptivity_sum,
+        detection_hops: 0,
+    }
 }
 
 /// Greedy fault-information-free routing in 3-D (canonical `s ≤ d`).
@@ -106,7 +111,12 @@ pub fn route_greedy_3d(lab: &Labelling3, s: C3, d: C3, policy: &mut Policy) -> R
         u = u.step(dir);
         path.push(u);
     }
-    RouteOutcome3 { result: RouteResult::Delivered, path, adaptivity_sum, detection_cost: 0 }
+    RouteOutcome3 {
+        result: RouteResult::Delivered,
+        path,
+        adaptivity_sum,
+        detection_cost: 0,
+    }
 }
 
 /// Routing under the 2-D rectangular-block model. `s`, `d` are **mesh**
@@ -162,7 +172,12 @@ pub fn route_rfb_2d(
         u = u.step(dir);
         path.push(frame.from_canon(u));
     }
-    RouteOutcome2 { result: RouteResult::Delivered, path, adaptivity_sum, detection_hops: 0 }
+    RouteOutcome2 {
+        result: RouteResult::Delivered,
+        path,
+        adaptivity_sum,
+        detection_hops: 0,
+    }
 }
 
 /// Routing under the 3-D cuboid-block model (mesh coordinates).
@@ -216,7 +231,12 @@ pub fn route_rfb_3d(
         u = u.step(dir);
         path.push(frame.from_canon(u));
     }
-    RouteOutcome3 { result: RouteResult::Delivered, path, adaptivity_sum, detection_cost: 0 }
+    RouteOutcome3 {
+        result: RouteResult::Delivered,
+        path,
+        adaptivity_sum,
+        detection_cost: 0,
+    }
 }
 
 #[cfg(test)]
@@ -312,7 +332,10 @@ mod tests {
         let set = MccSet2::compute(&lab);
         let router = crate::router2::Router2::new(&lab, &set);
         let mcc_out = router.route(c2(0, 0), d, &mut Policy::x_first());
-        assert!(mcc_out.delivered(), "MCC must deliver to the healthy in-block node");
+        assert!(
+            mcc_out.delivered(),
+            "MCC must deliver to the healthy in-block node"
+        );
     }
 
     #[test]

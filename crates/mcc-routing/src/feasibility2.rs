@@ -17,7 +17,7 @@
 //! makes this local rule complete.
 
 use fault_model::Labelling2;
-use mesh_topo::{C2, Dir2};
+use mesh_topo::{Dir2, C2};
 use serde::{Deserialize, Serialize};
 
 /// Result of the source feasibility check.
@@ -118,7 +118,10 @@ mod tests {
         let lab = lab_of(&[c2(3, 4)], 8, 8);
         let det = detect_2d(&lab, c2(3, 0), c2(3, 7));
         assert!(!det.feasible());
-        assert!(!det.y_ok, "the +Y walk cannot detour in a single-column RMP");
+        assert!(
+            !det.y_ok,
+            "the +Y walk cannot detour in a single-column RMP"
+        );
     }
 
     #[test]
@@ -154,8 +157,7 @@ mod tests {
                     mesh.inject_fault(c);
                 }
             }
-            let lab =
-                Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+            let lab = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
             let set = MccSet2::compute(&lab);
             let (sx, sy) = (rng.gen_range(0..12), rng.gen_range(0..12));
             let (dx, dy) = (rng.gen_range(0..12), rng.gen_range(0..12));

@@ -50,10 +50,39 @@ pub fn detect_3d(lab: &Labelling3, s: C3, d: C3) -> Detection3 {
     );
     let mut visited = 0;
     // Flood main axes / detour axis / target face, per the paper's pairing.
-    let x_surface_ok = flood(lab, s, d, [Axis3::Y, Axis3::Z], Axis3::X, Axis3::Y, &mut visited);
-    let y_surface_ok = flood(lab, s, d, [Axis3::X, Axis3::Z], Axis3::Y, Axis3::Z, &mut visited);
-    let z_surface_ok = flood(lab, s, d, [Axis3::X, Axis3::Y], Axis3::Z, Axis3::X, &mut visited);
-    Detection3 { x_surface_ok, y_surface_ok, z_surface_ok, visited }
+    let x_surface_ok = flood(
+        lab,
+        s,
+        d,
+        [Axis3::Y, Axis3::Z],
+        Axis3::X,
+        Axis3::Y,
+        &mut visited,
+    );
+    let y_surface_ok = flood(
+        lab,
+        s,
+        d,
+        [Axis3::X, Axis3::Z],
+        Axis3::Y,
+        Axis3::Z,
+        &mut visited,
+    );
+    let z_surface_ok = flood(
+        lab,
+        s,
+        d,
+        [Axis3::X, Axis3::Y],
+        Axis3::Z,
+        Axis3::X,
+        &mut visited,
+    );
+    Detection3 {
+        x_surface_ok,
+        y_surface_ok,
+        z_surface_ok,
+        visited,
+    }
 }
 
 /// Surface flood: breadth-first propagation from `s` over safe nodes of the
@@ -165,15 +194,26 @@ mod tests {
         for trial in 0..400 {
             let mut mesh = Mesh3D::kary(7);
             for _ in 0..rng.gen_range(0..24) {
-                let c = c3(rng.gen_range(0..7), rng.gen_range(0..7), rng.gen_range(0..7));
+                let c = c3(
+                    rng.gen_range(0..7),
+                    rng.gen_range(0..7),
+                    rng.gen_range(0..7),
+                );
                 if mesh.is_healthy(c) {
                     mesh.inject_fault(c);
                 }
             }
-            let lab =
-                Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
-            let a = c3(rng.gen_range(0..7), rng.gen_range(0..7), rng.gen_range(0..7));
-            let b = c3(rng.gen_range(0..7), rng.gen_range(0..7), rng.gen_range(0..7));
+            let lab = Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
+            let a = c3(
+                rng.gen_range(0..7),
+                rng.gen_range(0..7),
+                rng.gen_range(0..7),
+            );
+            let b = c3(
+                rng.gen_range(0..7),
+                rng.gen_range(0..7),
+                rng.gen_range(0..7),
+            );
             let s = c3(a.x.min(b.x), a.y.min(b.y), a.z.min(b.z));
             let d = c3(a.x.max(b.x), a.y.max(b.y), a.z.max(b.z));
             if !lab.is_safe(s) || !lab.is_safe(d) {
@@ -183,7 +223,8 @@ mod tests {
             let semantic = minimal_path_exists_3d(&lab, s, d) == Existence3::Exists;
             let operational = detect_3d(&lab, s, d).feasible();
             assert_eq!(
-                semantic, operational,
+                semantic,
+                operational,
                 "trial {trial}: flood/condition mismatch s={s} d={d} faults={:?}",
                 mesh.faults()
             );

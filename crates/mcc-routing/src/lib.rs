@@ -36,3 +36,4 @@ pub use policy::Policy;
 pub use router2::Router2;
 pub use router3::Router3;
 pub use trace::{RouteOutcome2, RouteOutcome3};
+pub use trial::{run_trial_2d, run_trial_3d, TrialOptions, TrialResult};

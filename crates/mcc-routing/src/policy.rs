@@ -7,7 +7,7 @@
 //! minimality guarantee is policy-independent — which these types make easy
 //! to demonstrate experimentally.
 
-use mesh_topo::{C2, C3, Dir2, Dir3};
+use mesh_topo::{Dir2, Dir3, C2, C3};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -56,7 +56,10 @@ impl Policy {
     /// If `allowed` is empty — the router must not consult a policy with an
     /// empty candidate set.
     pub fn choose2(&mut self, u: C2, d: C2, allowed: &[Dir2]) -> Dir2 {
-        assert!(!allowed.is_empty(), "policy consulted with empty direction set");
+        assert!(
+            !allowed.is_empty(),
+            "policy consulted with empty direction set"
+        );
         match self {
             Policy::XFirst => allowed[0],
             Policy::Balanced => *allowed
@@ -85,7 +88,10 @@ impl Policy {
     /// # Panics
     /// If `allowed` is empty.
     pub fn choose3(&mut self, u: C3, d: C3, allowed: &[Dir3]) -> Dir3 {
-        assert!(!allowed.is_empty(), "policy consulted with empty direction set");
+        assert!(
+            !allowed.is_empty(),
+            "policy consulted with empty direction set"
+        );
         match self {
             Policy::XFirst => allowed[0],
             Policy::Balanced => *allowed
@@ -113,7 +119,12 @@ impl Policy {
     /// All deterministic policies plus one random instance — convenient for
     /// "every policy stays minimal" sweeps.
     pub fn suite(seed: u64) -> Vec<Policy> {
-        vec![Policy::x_first(), Policy::balanced(), Policy::zigzag(), Policy::random(seed)]
+        vec![
+            Policy::x_first(),
+            Policy::balanced(),
+            Policy::zigzag(),
+            Policy::random(seed),
+        ]
     }
 }
 
@@ -125,14 +136,20 @@ mod tests {
     #[test]
     fn x_first_is_deterministic() {
         let mut p = Policy::x_first();
-        assert_eq!(p.choose2(c2(0, 0), c2(5, 5), &[Dir2::Xp, Dir2::Yp]), Dir2::Xp);
+        assert_eq!(
+            p.choose2(c2(0, 0), c2(5, 5), &[Dir2::Xp, Dir2::Yp]),
+            Dir2::Xp
+        );
         assert_eq!(p.choose2(c2(0, 0), c2(5, 5), &[Dir2::Yp]), Dir2::Yp);
     }
 
     #[test]
     fn balanced_prefers_long_axis() {
         let mut p = Policy::balanced();
-        assert_eq!(p.choose2(c2(0, 0), c2(1, 7), &[Dir2::Xp, Dir2::Yp]), Dir2::Yp);
+        assert_eq!(
+            p.choose2(c2(0, 0), c2(1, 7), &[Dir2::Xp, Dir2::Yp]),
+            Dir2::Yp
+        );
         assert_eq!(
             p.choose3(c3(0, 0, 0), c3(2, 9, 4), &[Dir3::Xp, Dir3::Yp, Dir3::Zp]),
             Dir3::Yp

@@ -24,7 +24,7 @@
 use fault_model::mcc2::MccSet2;
 use fault_model::oracle::Useful2;
 use fault_model::Labelling2;
-use mesh_topo::{C2, Dir2, Path2};
+use mesh_topo::{Dir2, Path2, C2};
 use serde::{Deserialize, Serialize};
 
 use crate::feasibility2::detect_2d;
@@ -92,7 +92,10 @@ impl<'a> Router2<'a> {
             };
         }
         let useful = Useful2::compute(s, d, |c| {
-            self.lab.status_get(c).map(|t| t.is_unsafe()).unwrap_or(true)
+            self.lab
+                .status_get(c)
+                .map(|t| t.is_unsafe())
+                .unwrap_or(true)
         });
         let mut path = Path2::start(s);
         let mut adaptivity_sum = 0usize;
@@ -221,9 +224,16 @@ mod tests {
         let router = Router2::new(&lab, &set);
         let open = router.route(c2(0, 0), c2(8, 8), &mut Policy::balanced());
         // In an open mesh almost every hop has both directions allowed.
-        assert!(open.adaptivity() > 1.5, "open-mesh adaptivity {}", open.adaptivity());
+        assert!(
+            open.adaptivity() > 1.5,
+            "open-mesh adaptivity {}",
+            open.adaptivity()
+        );
         let line = router.route(c2(0, 3), c2(9, 3), &mut Policy::balanced());
-        assert!((line.adaptivity() - 1.0).abs() < 1e-12, "line RMP is fully forced");
+        assert!(
+            (line.adaptivity() - 1.0).abs() < 1e-12,
+            "line RMP is fully forced"
+        );
     }
 
     #[test]
@@ -240,8 +250,7 @@ mod tests {
                     mesh.inject_fault(c);
                 }
             }
-            let lab =
-                Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+            let lab = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
             let set = MccSet2::compute(&lab);
             let router = Router2::new(&lab, &set);
             let (ax, ay) = (rng.gen_range(0..12), rng.gen_range(0..12));
@@ -278,8 +287,7 @@ mod tests {
                     mesh.inject_fault(c);
                 }
             }
-            let lab =
-                Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+            let lab = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
             let set = MccSet2::compute(&lab);
             let router = Router2::new(&lab, &set);
             let (ax, ay) = (rng.gen_range(0..12), rng.gen_range(0..12));

@@ -10,7 +10,7 @@
 use fault_model::mcc3::MccSet3;
 use fault_model::oracle::Useful3;
 use fault_model::Labelling3;
-use mesh_topo::{Axis3, C3, Dir3, Path3};
+use mesh_topo::{Axis3, Dir3, Path3, C3};
 
 use crate::feasibility3::detect_3d;
 use crate::policy::Policy;
@@ -66,7 +66,10 @@ impl<'a> Router3<'a> {
             };
         }
         let useful = Useful3::compute(s, d, |c| {
-            self.lab.status_get(c).map(|t| t.is_unsafe()).unwrap_or(true)
+            self.lab
+                .status_get(c)
+                .map(|t| t.is_unsafe())
+                .unwrap_or(true)
         });
         let mut path = Path3::start(s);
         let mut adaptivity_sum = 0usize;
@@ -192,7 +195,11 @@ mod tests {
         let (_, lab, set) = setup(&[], 8);
         let router = Router3::new(&lab, &set);
         let out = router.route(c3(0, 0, 0), c3(7, 7, 7), &mut Policy::balanced());
-        assert!(out.adaptivity() > 2.0, "3-D open-mesh adaptivity {}", out.adaptivity());
+        assert!(
+            out.adaptivity() > 2.0,
+            "3-D open-mesh adaptivity {}",
+            out.adaptivity()
+        );
     }
 
     #[test]
@@ -204,17 +211,28 @@ mod tests {
         for _ in 0..200 {
             let mut mesh = Mesh3D::kary(8);
             for _ in 0..rng.gen_range(0..30) {
-                let c = c3(rng.gen_range(0..8), rng.gen_range(0..8), rng.gen_range(0..8));
+                let c = c3(
+                    rng.gen_range(0..8),
+                    rng.gen_range(0..8),
+                    rng.gen_range(0..8),
+                );
                 if mesh.is_healthy(c) {
                     mesh.inject_fault(c);
                 }
             }
-            let lab =
-                Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
+            let lab = Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
             let set = MccSet3::compute(&lab);
             let router = Router3::new(&lab, &set);
-            let a = c3(rng.gen_range(0..8), rng.gen_range(0..8), rng.gen_range(0..8));
-            let b = c3(rng.gen_range(0..8), rng.gen_range(0..8), rng.gen_range(0..8));
+            let a = c3(
+                rng.gen_range(0..8),
+                rng.gen_range(0..8),
+                rng.gen_range(0..8),
+            );
+            let b = c3(
+                rng.gen_range(0..8),
+                rng.gen_range(0..8),
+                rng.gen_range(0..8),
+            );
             let s = c3(a.x.min(b.x), a.y.min(b.y), a.z.min(b.z));
             let d = c3(a.x.max(b.x), a.y.max(b.y), a.z.max(b.z));
             let mut policy = Policy::random(rng.gen());
@@ -226,7 +244,10 @@ mod tests {
                 }
                 RouteResult::Infeasible => {}
                 RouteResult::Stuck => {
-                    panic!("exact rule stranded: s={s} d={d} faults={:?}", mesh.faults())
+                    panic!(
+                        "exact rule stranded: s={s} d={d} faults={:?}",
+                        mesh.faults()
+                    )
                 }
             }
         }
@@ -241,17 +262,28 @@ mod tests {
         for _ in 0..150 {
             let mut mesh = Mesh3D::kary(7);
             for _ in 0..rng.gen_range(0..25) {
-                let c = c3(rng.gen_range(0..7), rng.gen_range(0..7), rng.gen_range(0..7));
+                let c = c3(
+                    rng.gen_range(0..7),
+                    rng.gen_range(0..7),
+                    rng.gen_range(0..7),
+                );
                 if mesh.is_healthy(c) {
                     mesh.inject_fault(c);
                 }
             }
-            let lab =
-                Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
+            let lab = Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
             let set = MccSet3::compute(&lab);
             let router = Router3::new(&lab, &set);
-            let a = c3(rng.gen_range(0..7), rng.gen_range(0..7), rng.gen_range(0..7));
-            let b = c3(rng.gen_range(0..7), rng.gen_range(0..7), rng.gen_range(0..7));
+            let a = c3(
+                rng.gen_range(0..7),
+                rng.gen_range(0..7),
+                rng.gen_range(0..7),
+            );
+            let b = c3(
+                rng.gen_range(0..7),
+                rng.gen_range(0..7),
+                rng.gen_range(0..7),
+            );
             let s = c3(a.x.min(b.x), a.y.min(b.y), a.z.min(b.z));
             let d = c3(a.x.max(b.x), a.y.max(b.y), a.z.max(b.z));
             let mut policy = Policy::random(rng.gen());

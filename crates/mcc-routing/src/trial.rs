@@ -18,7 +18,7 @@ use fault_model::{
     minimal_path_exists_2d, minimal_path_exists_3d, oracle, BorderPolicy, FaultBlocks2,
     FaultBlocks3, Labelling2, Labelling3,
 };
-use mesh_topo::{C2, C3, Frame2, Frame3, Mesh2D, Mesh3D};
+use mesh_topo::{Frame2, Frame3, Mesh2D, Mesh3D, C2, C3};
 use serde::{Deserialize, Serialize};
 
 use crate::baseline;
@@ -53,24 +53,76 @@ pub struct TrialResult {
     pub endpoints_safe: bool,
 }
 
-/// Run one 2-D trial for arbitrary (healthy) mesh-coordinate endpoints.
+/// Knobs shared by the trial runners, threaded down from the scenario
+/// layer: which border policy the labelling uses and which models are
+/// evaluated at all. Skipping a model skips its computation beyond the
+/// parts other columns need — the labelling always runs (the oracle,
+/// greedy baseline and `endpoints_safe` depend on it), but `eval_mcc:
+/// false` skips MCC extraction, the existence condition, detection and
+/// routing, and `eval_rfb: false` skips the block model entirely.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TrialOptions {
+    /// Border policy for the MCC labelling.
+    pub border: BorderPolicy,
+    /// Evaluate the MCC condition and router.
+    pub eval_mcc: bool,
+    /// Evaluate the rectangular/cuboid block baseline.
+    pub eval_rfb: bool,
+    /// Evaluate the information-free greedy baseline.
+    pub eval_greedy: bool,
+}
+
+impl Default for TrialOptions {
+    fn default() -> Self {
+        TrialOptions {
+            border: BorderPolicy::BorderSafe,
+            eval_mcc: true,
+            eval_rfb: true,
+            eval_greedy: true,
+        }
+    }
+}
+
+/// Run one 2-D trial with the paper-faithful defaults (border-safe
+/// labelling, all models evaluated).
 ///
 /// # Panics
 /// If either endpoint is faulty.
 pub fn run_trial_2d(mesh: &Mesh2D, s: C2, d: C2, policy_seed: u64) -> TrialResult {
-    assert!(mesh.is_healthy(s) && mesh.is_healthy(d), "trial endpoints must be healthy");
+    run_trial_2d_with(mesh, s, d, policy_seed, &TrialOptions::default())
+}
+
+/// Run one 2-D trial for arbitrary (healthy) mesh-coordinate endpoints.
+///
+/// # Panics
+/// If either endpoint is faulty.
+pub fn run_trial_2d_with(
+    mesh: &Mesh2D,
+    s: C2,
+    d: C2,
+    policy_seed: u64,
+    opts: &TrialOptions,
+) -> TrialResult {
+    assert!(
+        mesh.is_healthy(s) && mesh.is_healthy(d),
+        "trial endpoints must be healthy"
+    );
     let frame = Frame2::for_pair(mesh, s, d);
     let (cs, cd) = (frame.to_canon(s), frame.to_canon(d));
-    let lab = Labelling2::compute(mesh, frame, BorderPolicy::BorderSafe);
-    let mccs = MccSet2::compute(&lab);
-    let blocks = FaultBlocks2::compute(mesh);
+    let lab = Labelling2::compute(mesh, frame, opts.border);
+    let mccs = opts.eval_mcc.then(|| MccSet2::compute(&lab));
+    let blocks = opts.eval_rfb.then(|| FaultBlocks2::compute(mesh));
 
     let oracle_ok = oracle::reachable_2d(cs, cd, |c| {
         let m = frame.from_canon(c);
         !mesh.contains(m) || mesh.is_faulty(m)
     });
-    let mcc_ok = minimal_path_exists_2d(&lab, &mccs, cs, cd).exists();
-    let rfb_ok = blocks.minimal_path_exists(mesh, s, d);
+    let mcc_ok = mccs
+        .as_ref()
+        .is_some_and(|m| minimal_path_exists_2d(&lab, m, cs, cd).exists());
+    let rfb_ok = blocks
+        .as_ref()
+        .is_some_and(|b| b.minimal_path_exists(mesh, s, d));
     let endpoints_safe = lab.is_safe(cs) && lab.is_safe(cd);
 
     let mut result = TrialResult {
@@ -81,22 +133,27 @@ pub fn run_trial_2d(mesh: &Mesh2D, s: C2, d: C2, policy_seed: u64) -> TrialResul
         ..TrialResult::default()
     };
 
-    let greedy = baseline::route_greedy_2d(&lab, cs, cd, &mut Policy::random(policy_seed));
-    result.greedy_ok = greedy.result == RouteResult::Delivered;
+    if opts.eval_greedy {
+        let greedy = baseline::route_greedy_2d(&lab, cs, cd, &mut Policy::random(policy_seed));
+        result.greedy_ok = greedy.result == RouteResult::Delivered;
+    }
 
     if endpoints_safe {
-        let router = Router2::new(&lab, &mccs);
-        let out = router.route(cs, cd, &mut Policy::random(policy_seed ^ 0x9e37_79b9));
-        result.detection_cost = out.detection_hops;
-        if out.delivered() {
-            result.mcc_delivered = true;
-            result.mcc_hops = out.path.hops();
-            result.mcc_adaptivity = out.adaptivity();
+        if let Some(mccs) = &mccs {
+            let router = Router2::new(&lab, mccs);
+            let out = router.route(cs, cd, &mut Policy::random(policy_seed ^ 0x9e37_79b9));
+            result.detection_cost = out.detection_hops;
+            if out.delivered() {
+                result.mcc_delivered = true;
+                result.mcc_hops = out.path.hops();
+                result.mcc_adaptivity = out.adaptivity();
+            }
         }
     }
     if rfb_ok {
+        let blocks = blocks.as_ref().expect("rfb_ok implies blocks computed");
         let out =
-            baseline::route_rfb_2d(&blocks, mesh, s, d, &mut Policy::random(policy_seed ^ 0x51));
+            baseline::route_rfb_2d(blocks, mesh, s, d, &mut Policy::random(policy_seed ^ 0x51));
         if out.delivered() {
             result.rfb_adaptivity = out.adaptivity();
         }
@@ -104,24 +161,44 @@ pub fn run_trial_2d(mesh: &Mesh2D, s: C2, d: C2, policy_seed: u64) -> TrialResul
     result
 }
 
-/// Run one 3-D trial for arbitrary (healthy) mesh-coordinate endpoints.
+/// Run one 3-D trial with the paper-faithful defaults (border-safe
+/// labelling, all models evaluated).
 ///
 /// # Panics
 /// If either endpoint is faulty.
 pub fn run_trial_3d(mesh: &Mesh3D, s: C3, d: C3, policy_seed: u64) -> TrialResult {
-    assert!(mesh.is_healthy(s) && mesh.is_healthy(d), "trial endpoints must be healthy");
+    run_trial_3d_with(mesh, s, d, policy_seed, &TrialOptions::default())
+}
+
+/// Run one 3-D trial for arbitrary (healthy) mesh-coordinate endpoints.
+///
+/// # Panics
+/// If either endpoint is faulty.
+pub fn run_trial_3d_with(
+    mesh: &Mesh3D,
+    s: C3,
+    d: C3,
+    policy_seed: u64,
+    opts: &TrialOptions,
+) -> TrialResult {
+    assert!(
+        mesh.is_healthy(s) && mesh.is_healthy(d),
+        "trial endpoints must be healthy"
+    );
     let frame = Frame3::for_pair(mesh, s, d);
     let (cs, cd) = (frame.to_canon(s), frame.to_canon(d));
-    let lab = Labelling3::compute(mesh, frame, BorderPolicy::BorderSafe);
-    let mccs = MccSet3::compute(&lab);
-    let blocks = FaultBlocks3::compute(mesh);
+    let lab = Labelling3::compute(mesh, frame, opts.border);
+    let mccs = opts.eval_mcc.then(|| MccSet3::compute(&lab));
+    let blocks = opts.eval_rfb.then(|| FaultBlocks3::compute(mesh));
 
     let oracle_ok = oracle::reachable_3d(cs, cd, |c| {
         let m = frame.from_canon(c);
         !mesh.contains(m) || mesh.is_faulty(m)
     });
-    let mcc_ok = minimal_path_exists_3d(&lab, cs, cd).exists();
-    let rfb_ok = blocks.minimal_path_exists(mesh, s, d);
+    let mcc_ok = opts.eval_mcc && minimal_path_exists_3d(&lab, cs, cd).exists();
+    let rfb_ok = blocks
+        .as_ref()
+        .is_some_and(|b| b.minimal_path_exists(mesh, s, d));
     let endpoints_safe = lab.is_safe(cs) && lab.is_safe(cd);
 
     let mut result = TrialResult {
@@ -132,22 +209,27 @@ pub fn run_trial_3d(mesh: &Mesh3D, s: C3, d: C3, policy_seed: u64) -> TrialResul
         ..TrialResult::default()
     };
 
-    let greedy = baseline::route_greedy_3d(&lab, cs, cd, &mut Policy::random(policy_seed));
-    result.greedy_ok = greedy.result == RouteResult::Delivered;
+    if opts.eval_greedy {
+        let greedy = baseline::route_greedy_3d(&lab, cs, cd, &mut Policy::random(policy_seed));
+        result.greedy_ok = greedy.result == RouteResult::Delivered;
+    }
 
     if endpoints_safe {
-        let router = Router3::new(&lab, &mccs);
-        let out = router.route(cs, cd, &mut Policy::random(policy_seed ^ 0x9e37_79b9));
-        result.detection_cost = out.detection_cost;
-        if out.delivered() {
-            result.mcc_delivered = true;
-            result.mcc_hops = out.path.hops();
-            result.mcc_adaptivity = out.adaptivity();
+        if let Some(mccs) = &mccs {
+            let router = Router3::new(&lab, mccs);
+            let out = router.route(cs, cd, &mut Policy::random(policy_seed ^ 0x9e37_79b9));
+            result.detection_cost = out.detection_cost;
+            if out.delivered() {
+                result.mcc_delivered = true;
+                result.mcc_hops = out.path.hops();
+                result.mcc_adaptivity = out.adaptivity();
+            }
         }
     }
     if rfb_ok {
+        let blocks = blocks.as_ref().expect("rfb_ok implies blocks computed");
         let out =
-            baseline::route_rfb_3d(&blocks, mesh, s, d, &mut Policy::random(policy_seed ^ 0x51));
+            baseline::route_rfb_3d(blocks, mesh, s, d, &mut Policy::random(policy_seed ^ 0x51));
         if out.delivered() {
             result.rfb_adaptivity = out.adaptivity();
         }
@@ -194,8 +276,16 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(11);
         for seed in 0..30u64 {
             let mut mesh = Mesh3D::kary(8);
-            let s = c3(rng.gen_range(0..8), rng.gen_range(0..8), rng.gen_range(0..8));
-            let mut d = c3(rng.gen_range(0..8), rng.gen_range(0..8), rng.gen_range(0..8));
+            let s = c3(
+                rng.gen_range(0..8),
+                rng.gen_range(0..8),
+                rng.gen_range(0..8),
+            );
+            let mut d = c3(
+                rng.gen_range(0..8),
+                rng.gen_range(0..8),
+                rng.gen_range(0..8),
+            );
             if d == s {
                 d = c3((s.x + 1) % 8, s.y, s.z);
             }

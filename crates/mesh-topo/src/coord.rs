@@ -81,7 +81,10 @@ impl C2 {
     #[inline]
     pub fn step(self, dir: Dir2) -> C2 {
         let (dx, dy) = dir.delta();
-        C2 { x: self.x + dx, y: self.y + dy }
+        C2 {
+            x: self.x + dx,
+            y: self.y + dy,
+        }
     }
 
     /// Componentwise dominance: `self.x <= other.x && self.y <= other.y`.
@@ -128,7 +131,11 @@ impl C2 {
     /// 3-D mesh with 2-D machinery).
     #[inline]
     pub fn lift_z(self, z: i32) -> C3 {
-        C3 { x: self.x, y: self.y, z }
+        C3 {
+            x: self.x,
+            y: self.y,
+            z,
+        }
     }
 }
 
@@ -146,7 +153,11 @@ impl C3 {
     #[inline]
     pub fn step(self, dir: Dir3) -> C3 {
         let (dx, dy, dz) = dir.delta();
-        C3 { x: self.x + dx, y: self.y + dy, z: self.z + dz }
+        C3 {
+            x: self.x + dx,
+            y: self.y + dy,
+            z: self.z + dz,
+        }
     }
 
     /// Componentwise dominance (see [`C2::dominated_by`]).
@@ -192,9 +203,18 @@ impl C3 {
     #[inline]
     pub fn project(self, axis: Axis3) -> C2 {
         match axis {
-            Axis3::X => C2 { x: self.y, y: self.z },
-            Axis3::Y => C2 { x: self.x, y: self.z },
-            Axis3::Z => C2 { x: self.x, y: self.y },
+            Axis3::X => C2 {
+                x: self.y,
+                y: self.z,
+            },
+            Axis3::Y => C2 {
+                x: self.x,
+                y: self.z,
+            },
+            Axis3::Z => C2 {
+                x: self.x,
+                y: self.y,
+            },
         }
     }
 
@@ -202,9 +222,21 @@ impl C3 {
     #[inline]
     pub fn unproject(p: C2, axis: Axis3, v: i32) -> C3 {
         match axis {
-            Axis3::X => C3 { x: v, y: p.x, z: p.y },
-            Axis3::Y => C3 { x: p.x, y: v, z: p.y },
-            Axis3::Z => C3 { x: p.x, y: p.y, z: v },
+            Axis3::X => C3 {
+                x: v,
+                y: p.x,
+                z: p.y,
+            },
+            Axis3::Y => C3 {
+                x: p.x,
+                y: v,
+                z: p.y,
+            },
+            Axis3::Z => C3 {
+                x: p.x,
+                y: p.y,
+                z: v,
+            },
         }
     }
 }
@@ -213,7 +245,10 @@ impl core::ops::Add<C2> for C2 {
     type Output = C2;
     #[inline]
     fn add(self, rhs: C2) -> C2 {
-        C2 { x: self.x + rhs.x, y: self.y + rhs.y }
+        C2 {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+        }
     }
 }
 
@@ -221,7 +256,10 @@ impl core::ops::Sub<C2> for C2 {
     type Output = C2;
     #[inline]
     fn sub(self, rhs: C2) -> C2 {
-        C2 { x: self.x - rhs.x, y: self.y - rhs.y }
+        C2 {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+        }
     }
 }
 
@@ -229,7 +267,11 @@ impl core::ops::Add<C3> for C3 {
     type Output = C3;
     #[inline]
     fn add(self, rhs: C3) -> C3 {
-        C3 { x: self.x + rhs.x, y: self.y + rhs.y, z: self.z + rhs.z }
+        C3 {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+            z: self.z + rhs.z,
+        }
     }
 }
 
@@ -237,7 +279,11 @@ impl core::ops::Sub<C3> for C3 {
     type Output = C3;
     #[inline]
     fn sub(self, rhs: C3) -> C3 {
-        C3 { x: self.x - rhs.x, y: self.y - rhs.y, z: self.z - rhs.z }
+        C3 {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+            z: self.z - rhs.z,
+        }
     }
 }
 

@@ -80,7 +80,12 @@ impl Axis2 {
     }
 
     /// The negative direction along this axis.
+    ///
+    /// Deliberately named like `Neg::neg` (the natural pairing with
+    /// [`Axis2::pos`]) but returns a [`Dir2`], so the operator trait does
+    /// not apply.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Dir2 {
         match self {
             Axis2::X => Dir2::Xm,
@@ -120,7 +125,12 @@ impl Axis3 {
     }
 
     /// The negative direction along this axis.
+    ///
+    /// Deliberately named like `Neg::neg` (the natural pairing with
+    /// [`Axis3::pos`]) but returns a [`Dir3`], so the operator trait does
+    /// not apply.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Dir3 {
         match self {
             Axis3::X => Dir3::Xm,

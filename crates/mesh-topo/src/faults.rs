@@ -45,12 +45,20 @@ pub struct FaultSpec {
 impl FaultSpec {
     /// Uniform pattern with the given count and seed.
     pub fn uniform(count: usize, seed: u64) -> FaultSpec {
-        FaultSpec { count, pattern: FaultPattern::Uniform, seed }
+        FaultSpec {
+            count,
+            pattern: FaultPattern::Uniform,
+            seed,
+        }
     }
 
     /// Clustered pattern with the given count, cluster count and seed.
     pub fn clustered(count: usize, clusters: usize, seed: u64) -> FaultSpec {
-        FaultSpec { count, pattern: FaultPattern::Clustered { clusters }, seed }
+        FaultSpec {
+            count,
+            pattern: FaultPattern::Clustered { clusters },
+            seed,
+        }
     }
 
     /// Inject into a 2-D mesh, never marking nodes in `protected` faulty.
@@ -235,7 +243,10 @@ mod tests {
             .iter()
             .filter(|&&c| m.neighbors(c).all(|v| !m.is_faulty(v)))
             .count();
-        assert!(isolated <= 2, "at most the seeds may be isolated, got {isolated}");
+        assert!(
+            isolated <= 2,
+            "at most the seeds may be isolated, got {isolated}"
+        );
     }
 
     #[test]

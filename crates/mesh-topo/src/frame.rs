@@ -46,7 +46,12 @@ pub struct Frame3 {
 impl Frame2 {
     /// The identity frame for `mesh` (no reflection).
     pub fn identity(mesh: &Mesh2D) -> Frame2 {
-        Frame2 { flip_x: false, flip_y: false, width: mesh.width(), height: mesh.height() }
+        Frame2 {
+            flip_x: false,
+            flip_y: false,
+            width: mesh.width(),
+            height: mesh.height(),
+        }
     }
 
     /// The frame that maps `(s, d)` into canonical orientation
@@ -63,8 +68,14 @@ impl Frame2 {
     /// All four quadrant frames for `mesh`.
     pub fn all(mesh: &Mesh2D) -> [Frame2; 4] {
         let (width, height) = (mesh.width(), mesh.height());
-        [(false, false), (true, false), (false, true), (true, true)]
-            .map(|(flip_x, flip_y)| Frame2 { flip_x, flip_y, width, height })
+        [(false, false), (true, false), (false, true), (true, true)].map(|(flip_x, flip_y)| {
+            Frame2 {
+                flip_x,
+                flip_y,
+                width,
+                height,
+            }
+        })
     }
 
     /// A compact index in `0..4` identifying the frame orientation.
@@ -77,8 +88,16 @@ impl Frame2 {
     #[inline]
     pub fn to_canon(&self, c: C2) -> C2 {
         C2 {
-            x: if self.flip_x { self.width - 1 - c.x } else { c.x },
-            y: if self.flip_y { self.height - 1 - c.y } else { c.y },
+            x: if self.flip_x {
+                self.width - 1 - c.x
+            } else {
+                c.x
+            },
+            y: if self.flip_y {
+                self.height - 1 - c.y
+            } else {
+                c.y
+            },
         }
     }
 
@@ -204,7 +223,10 @@ mod tests {
         for (s, d) in pairs {
             let f = Frame2::for_pair(&mesh, s, d);
             let (cs, cd) = (f.to_canon(s), f.to_canon(d));
-            assert!(cs.dominated_by(cd), "{s:?}->{d:?} not canonical: {cs:?} {cd:?}");
+            assert!(
+                cs.dominated_by(cd),
+                "{s:?}->{d:?} not canonical: {cs:?} {cd:?}"
+            );
             assert_eq!(f.from_canon(cs), s);
             assert_eq!(f.from_canon(cd), d);
             assert_eq!(cs.dist(cd), s.dist(d), "reflection must preserve distance");
@@ -215,7 +237,13 @@ mod tests {
     fn frame3_canonicalizes_every_pair() {
         let mesh = Mesh3D::new(5, 6, 7);
         let s = c3(2, 3, 4);
-        for d in [c3(4, 5, 6), c3(0, 0, 0), c3(4, 0, 6), c3(0, 5, 0), c3(2, 3, 4)] {
+        for d in [
+            c3(4, 5, 6),
+            c3(0, 0, 0),
+            c3(4, 0, 6),
+            c3(0, 5, 0),
+            c3(2, 3, 4),
+        ] {
             let f = Frame3::for_pair(&mesh, s, d);
             let (cs, cd) = (f.to_canon(s), f.to_canon(d));
             assert!(cs.dominated_by(cd));

@@ -31,7 +31,11 @@ impl<T: Clone> Grid2<T> {
     /// If `width` or `height` is not positive.
     pub fn new(width: i32, height: i32, fill: T) -> Self {
         assert!(width > 0 && height > 0, "grid dimensions must be positive");
-        Grid2 { width, height, data: vec![fill; (width as usize) * (height as usize)] }
+        Grid2 {
+            width,
+            height,
+            data: vec![fill; (width as usize) * (height as usize)],
+        }
     }
 
     /// Reset every cell to `fill` without reallocating.
@@ -73,7 +77,12 @@ impl<T> Grid2<T> {
 
     #[inline]
     fn idx(&self, c: C2) -> usize {
-        debug_assert!(self.contains(c), "coordinate {c:?} outside {}x{} grid", self.width, self.height);
+        debug_assert!(
+            self.contains(c),
+            "coordinate {c:?} outside {}x{} grid",
+            self.width,
+            self.height
+        );
         (c.y as usize) * (self.width as usize) + (c.x as usize)
     }
 
@@ -120,7 +129,12 @@ impl<T> core::ops::Index<C2> for Grid2<T> {
     type Output = T;
     #[inline]
     fn index(&self, c: C2) -> &T {
-        assert!(self.contains(c), "coordinate {c:?} outside {}x{} grid", self.width, self.height);
+        assert!(
+            self.contains(c),
+            "coordinate {c:?} outside {}x{} grid",
+            self.width,
+            self.height
+        );
         &self.data[self.idx(c)]
     }
 }
@@ -128,7 +142,12 @@ impl<T> core::ops::Index<C2> for Grid2<T> {
 impl<T> core::ops::IndexMut<C2> for Grid2<T> {
     #[inline]
     fn index_mut(&mut self, c: C2) -> &mut T {
-        assert!(self.contains(c), "coordinate {c:?} outside {}x{} grid", self.width, self.height);
+        assert!(
+            self.contains(c),
+            "coordinate {c:?} outside {}x{} grid",
+            self.width,
+            self.height
+        );
         let i = self.idx(c);
         &mut self.data[i]
     }
@@ -140,8 +159,16 @@ impl<T: Clone> Grid3<T> {
     /// # Panics
     /// If any dimension is not positive.
     pub fn new(nx: i32, ny: i32, nz: i32, fill: T) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
-        Grid3 { nx, ny, nz, data: vec![fill; (nx as usize) * (ny as usize) * (nz as usize)] }
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "grid dimensions must be positive"
+        );
+        Grid3 {
+            nx,
+            ny,
+            nz,
+            data: vec![fill; (nx as usize) * (ny as usize) * (nz as usize)],
+        }
     }
 
     /// Reset every cell to `fill` without reallocating.
@@ -236,7 +263,13 @@ impl<T> core::ops::Index<C3> for Grid3<T> {
     type Output = T;
     #[inline]
     fn index(&self, c: C3) -> &T {
-        assert!(self.contains(c), "coordinate {c:?} outside {}x{}x{} grid", self.nx, self.ny, self.nz);
+        assert!(
+            self.contains(c),
+            "coordinate {c:?} outside {}x{}x{} grid",
+            self.nx,
+            self.ny,
+            self.nz
+        );
         &self.data[self.idx(c)]
     }
 }
@@ -244,7 +277,13 @@ impl<T> core::ops::Index<C3> for Grid3<T> {
 impl<T> core::ops::IndexMut<C3> for Grid3<T> {
     #[inline]
     fn index_mut(&mut self, c: C3) -> &mut T {
-        assert!(self.contains(c), "coordinate {c:?} outside {}x{}x{} grid", self.nx, self.ny, self.nz);
+        assert!(
+            self.contains(c),
+            "coordinate {c:?} outside {}x{}x{} grid",
+            self.nx,
+            self.ny,
+            self.nz
+        );
         let i = self.idx(c);
         &mut self.data[i]
     }

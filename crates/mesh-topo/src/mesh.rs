@@ -29,7 +29,10 @@ impl Mesh2D {
     /// # Panics
     /// If either dimension is not positive.
     pub fn new(width: i32, height: i32) -> Self {
-        Mesh2D { faulty: Grid2::new(width, height, false), fault_list: Vec::new() }
+        Mesh2D {
+            faulty: Grid2::new(width, height, false),
+            fault_list: Vec::new(),
+        }
     }
 
     /// A `k × k` mesh (the paper's "k-ary 2-dimensional mesh").
@@ -63,7 +66,12 @@ impl Mesh2D {
 
     /// The full extent of the mesh as an inclusive rectangle.
     pub fn bounds(&self) -> Rect {
-        Rect { x0: 0, y0: 0, x1: self.width() - 1, y1: self.height() - 1 }
+        Rect {
+            x0: 0,
+            y0: 0,
+            x1: self.width() - 1,
+            y1: self.height() - 1,
+        }
     }
 
     /// Mark `c` faulty. Returns `true` if the node was previously healthy.
@@ -108,7 +116,10 @@ impl Mesh2D {
 
     /// In-mesh neighbors of `c` (2, 3 or 4 of them), in [`Dir2::ALL`] order.
     pub fn neighbors(&self, c: C2) -> impl Iterator<Item = C2> + '_ {
-        Dir2::ALL.into_iter().map(move |d| c.step(d)).filter(|&n| self.contains(n))
+        Dir2::ALL
+            .into_iter()
+            .map(move |d| c.step(d))
+            .filter(|&n| self.contains(n))
     }
 
     /// Iterate all node coordinates in row-major order.
@@ -129,7 +140,10 @@ impl Mesh3D {
     /// # Panics
     /// If any dimension is not positive.
     pub fn new(nx: i32, ny: i32, nz: i32) -> Self {
-        Mesh3D { faulty: Grid3::new(nx, ny, nz, false), fault_list: Vec::new() }
+        Mesh3D {
+            faulty: Grid3::new(nx, ny, nz, false),
+            fault_list: Vec::new(),
+        }
     }
 
     /// A `k × k × k` mesh (the paper's "k-ary 3-dimensional mesh").
@@ -171,7 +185,11 @@ impl Mesh3D {
     pub fn bounds(&self) -> Box3 {
         Box3 {
             lo: C3::ORIGIN,
-            hi: C3 { x: self.nx() - 1, y: self.ny() - 1, z: self.nz() - 1 },
+            hi: C3 {
+                x: self.nx() - 1,
+                y: self.ny() - 1,
+                z: self.nz() - 1,
+            },
         }
     }
 
@@ -217,7 +235,10 @@ impl Mesh3D {
 
     /// In-mesh neighbors of `c` (3 to 6 of them), in [`Dir3::ALL`] order.
     pub fn neighbors(&self, c: C3) -> impl Iterator<Item = C3> + '_ {
-        Dir3::ALL.into_iter().map(move |d| c.step(d)).filter(|&n| self.contains(n))
+        Dir3::ALL
+            .into_iter()
+            .map(move |d| c.step(d))
+            .filter(|&n| self.contains(n))
     }
 
     /// Iterate all node coordinates (x fastest).

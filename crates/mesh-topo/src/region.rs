@@ -102,8 +102,16 @@ impl Box3 {
     /// The box spanned by two (unordered) corner points.
     pub fn spanning(a: C3, b: C3) -> Box3 {
         Box3 {
-            lo: C3 { x: a.x.min(b.x), y: a.y.min(b.y), z: a.z.min(b.z) },
-            hi: C3 { x: a.x.max(b.x), y: a.y.max(b.y), z: a.z.max(b.z) },
+            lo: C3 {
+                x: a.x.min(b.x),
+                y: a.y.min(b.y),
+                z: a.z.min(b.z),
+            },
+            hi: C3 {
+                x: a.x.max(b.x),
+                y: a.y.max(b.y),
+                z: a.z.max(b.z),
+            },
         }
     }
 
@@ -190,7 +198,15 @@ mod tests {
     #[test]
     fn rect_spanning_orders_corners() {
         let r = Rect::spanning(c2(5, 1), c2(2, 4));
-        assert_eq!(r, Rect { x0: 2, y0: 1, x1: 5, y1: 4 });
+        assert_eq!(
+            r,
+            Rect {
+                x0: 2,
+                y0: 1,
+                x1: 5,
+                y1: 4
+            }
+        );
         assert!(r.contains(c2(2, 1)));
         assert!(r.contains(c2(5, 4)));
         assert!(!r.contains(c2(6, 4)));
@@ -215,9 +231,25 @@ mod tests {
     fn rect_union_include() {
         let mut r = Rect::point(c2(3, 3));
         r.include(c2(1, 5));
-        assert_eq!(r, Rect { x0: 1, y0: 3, x1: 3, y1: 5 });
+        assert_eq!(
+            r,
+            Rect {
+                x0: 1,
+                y0: 3,
+                x1: 3,
+                y1: 5
+            }
+        );
         let u = r.union(&Rect::point(c2(7, 0)));
-        assert_eq!(u, Rect { x0: 1, y0: 0, x1: 7, y1: 5 });
+        assert_eq!(
+            u,
+            Rect {
+                x0: 1,
+                y0: 0,
+                x1: 7,
+                y1: 5
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — on top of
+//! `std::time::Instant`. Timing is a plain mean over `sample_size`
+//! iterations after one warm-up batch: good enough to compare kernels
+//! locally, with zero dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier of one parameterized benchmark: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    samples: u64,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its return value alive via [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up call to populate caches and lazy statics.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.samples;
+    }
+}
+
+fn run_one(full_name: &str, samples: u64, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    let mean = if b.iters == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / b.iters as u32
+    };
+    println!(
+        "bench: {full_name:<60} {mean:>12.2?}/iter ({} iters)",
+        b.iters
+    );
+}
+
+/// A named group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Benchmark `f` against a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        run_one(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure with no extra input.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Finish the group (drop-equivalent, kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver handed to every target function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{name}"), 10, |b| f(b));
+        self
+    }
+}
+
+/// Declare a group-runner function invoking each benchmark target in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        let mut calls = 0u64;
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        g.finish();
+        // 1 warm-up + 3 timed iterations.
+        assert_eq!(calls, 4);
+    }
+}

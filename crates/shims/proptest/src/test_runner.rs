@@ -1,0 +1,173 @@
+//! Case execution: configuration, RNG, and the reject/fail bookkeeping.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-`proptest!` configuration (subset of the real crate's fields).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to run.
+    pub cases: u32,
+    /// Maximum rejected cases tolerated before giving up on assumptions.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was vetoed by `prop_assume!`; try another input.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// Deterministic RNG handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    pub(crate) rng: SmallRng,
+}
+
+impl TestRng {
+    fn for_case(test_name: &str, case: u64) -> Self {
+        // Stable per-test seed: FNV-1a over the name, mixed with the case
+        // index, so every test sees its own reproducible stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            rng: SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// Raw 64 random bits (used by `any`).
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// Runs cases until the configured count passes, a case fails, or the
+/// reject budget is exhausted.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Create a runner for one `proptest!` block.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Execute `case` repeatedly; `Err(message)` describes the first failure.
+    pub fn run<F>(&mut self, test_name: &str, mut case: F) -> Result<(), String>
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut passed: u32 = 0;
+        let mut rejected: u32 = 0;
+        let mut attempt: u64 = 0;
+        while passed < self.config.cases {
+            let mut rng = TestRng::for_case(test_name, attempt);
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected >= self.config.max_global_rejects {
+                        // Assumptions were too strong; accept what ran.
+                        break;
+                    }
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    return Err(format!(
+                        "proptest case failed (test `{test_name}`, attempt {attempt}, \
+                         {passed} cases passed): {message}"
+                    ));
+                }
+            }
+            attempt += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_counts_cases() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10));
+        let mut calls = 0;
+        runner
+            .run("counts", |_| {
+                calls += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(calls, 10);
+    }
+
+    #[test]
+    fn runner_reports_failure() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10));
+        let err = runner
+            .run("fails", |_| Err(TestCaseError::fail("boom")))
+            .unwrap_err();
+        assert!(err.contains("boom"));
+    }
+
+    #[test]
+    fn rejects_do_not_count_as_cases() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(5));
+        let mut passed = 0;
+        let mut toggle = false;
+        runner
+            .run("rejects", |_| {
+                toggle = !toggle;
+                if toggle {
+                    Err(TestCaseError::Reject)
+                } else {
+                    passed += 1;
+                    Ok(())
+                }
+            })
+            .unwrap();
+        assert_eq!(passed, 5);
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let a = TestRng::for_case("same", 3).next_u64();
+        let b = TestRng::for_case("same", 3).next_u64();
+        let c = TestRng::for_case("other", 3).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes marker [`Serialize`] / [`Deserialize`] traits (blanket-implemented
+//! for every type) and, behind the `derive` feature, no-op derive macros, so
+//! that the workspace's `#[derive(Serialize, Deserialize)]` annotations keep
+//! compiling without registry access. Real (de)serialization in this
+//! repository is the hand-written TOML scenario layer in `mcc-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

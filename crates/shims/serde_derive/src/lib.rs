@@ -1,0 +1,22 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The offline workspace keeps `#[derive(Serialize, Deserialize)]`
+//! annotations compiling (including `#[serde(...)]` helper attributes)
+//! without generating any code; actual persistence in this repository goes
+//! through the hand-written TOML layer in `mcc-bench`.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Accept and discard a `#[derive(Serialize)]` request.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept and discard a `#[derive(Deserialize)]` request.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

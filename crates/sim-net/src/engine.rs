@@ -67,8 +67,12 @@ where
         let mut coords: Vec<C> = coords.into_iter().collect();
         coords.sort();
         coords.dedup();
-        let index: HashMap<C, usize> =
-            coords.iter().copied().enumerate().map(|(i, c)| (c, i)).collect();
+        let index: HashMap<C, usize> = coords
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, c)| (c, i))
+            .collect();
         let states: Vec<S> = coords.iter().map(|&c| init(c)).collect();
         let inboxes = coords.iter().map(|_| Vec::new()).collect();
         SimNet {
@@ -146,7 +150,7 @@ where
             for i in 0..self.coords.len() {
                 let coord = self.coords[i];
                 // Deterministic inbox order.
-                self.inboxes[i].sort_by(|a, b| a.0.cmp(&b.0));
+                self.inboxes[i].sort_by_key(|m| m.0);
                 let inbox = std::mem::take(&mut self.inboxes[i]);
                 let mut ctx = Ctx {
                     round: run_stats.rounds,
@@ -234,10 +238,11 @@ mod tests {
         // Flood from the corner of a 4x4 mesh; every node forwards once.
         let mesh = Mesh2D::new(4, 4);
         let mesh2 = mesh.clone();
-        let mut net: SimNet<C2, bool, ()> =
-            SimNet::new(mesh.nodes(), |_| false, move |a, b| {
-                a.dist(b) == 1 && mesh2.contains(a) && mesh2.contains(b)
-            });
+        let mut net: SimNet<C2, bool, ()> = SimNet::new(
+            mesh.nodes(),
+            |_| false,
+            move |a, b| a.dist(b) == 1 && mesh2.contains(a) && mesh2.contains(b),
+        );
         net.post(c2(0, 0), ());
         let mesh3 = mesh.clone();
         let stats = net.run(100, |seen, inbox, ctx| {

@@ -32,8 +32,26 @@ mod tests {
 
     #[test]
     fn absorb_accumulates() {
-        let mut a = RunStats { rounds: 2, messages: 10, max_inflight: 6, quiescent: false };
-        a.absorb(RunStats { rounds: 3, messages: 5, max_inflight: 9, quiescent: true });
-        assert_eq!(a, RunStats { rounds: 5, messages: 15, max_inflight: 9, quiescent: true });
+        let mut a = RunStats {
+            rounds: 2,
+            messages: 10,
+            max_inflight: 6,
+            quiescent: false,
+        };
+        a.absorb(RunStats {
+            rounds: 3,
+            messages: 5,
+            max_inflight: 9,
+            quiescent: true,
+        });
+        assert_eq!(
+            a,
+            RunStats {
+                rounds: 5,
+                messages: 15,
+                max_inflight: 9,
+                quiescent: true
+            }
+        );
     }
 }

@@ -31,11 +31,27 @@ fn main() {
 
     println!("constructing MCC information on a 20x20 message-passing mesh...");
     let (bound, stats) = build_pipeline_2d(&mesh, Frame2::identity(&mesh));
-    println!("  labelling:      {:>6} messages, {:>3} rounds", stats.labelling.messages, stats.labelling.rounds);
-    println!("  component ids:  {:>6} messages, {:>3} rounds", stats.components.messages, stats.components.rounds);
-    println!("  identification: {:>6} messages, {:>3} rounds", stats.identification.messages, stats.identification.rounds);
-    println!("  boundaries:     {:>6} messages, {:>3} rounds", stats.boundary.messages, stats.boundary.rounds);
-    println!("  total:          {:>6} messages ({} boundary records stored)", stats.total_messages(), bound.total_records());
+    println!(
+        "  labelling:      {:>6} messages, {:>3} rounds",
+        stats.labelling.messages, stats.labelling.rounds
+    );
+    println!(
+        "  component ids:  {:>6} messages, {:>3} rounds",
+        stats.components.messages, stats.components.rounds
+    );
+    println!(
+        "  identification: {:>6} messages, {:>3} rounds",
+        stats.identification.messages, stats.identification.rounds
+    );
+    println!(
+        "  boundaries:     {:>6} messages, {:>3} rounds",
+        stats.boundary.messages, stats.boundary.rounds
+    );
+    println!(
+        "  total:          {:>6} messages ({} boundary records stored)",
+        stats.total_messages(),
+        bound.total_records()
+    );
 
     let (s, d) = (c2(0, 0), c2(19, 19));
     println!("\nrouting {s} -> {d} with node-local information only...");
@@ -48,12 +64,19 @@ fn main() {
         s.dist(d),
         out.stats.messages
     );
-    assert_eq!(path.hops() as u32, s.dist(d), "the distributed route is minimal");
+    assert_eq!(
+        path.hops() as u32,
+        s.dist(d),
+        "the distributed route is minimal"
+    );
 
     // A pair the detection must refuse: straight line through a fault.
     let (s2, d2) = (c2(5, 0), c2(5, 19));
     // Column 5 carries the fault (5,6): a single-column RMP cannot avoid it.
     let out2 = route_distributed_2d(&mesh, &bound, s2, d2);
-    println!("\nrouting {s2} -> {d2}: feasible = {} (expected false)", out2.feasible);
+    println!(
+        "\nrouting {s2} -> {d2}: feasible = {} (expected false)",
+        out2.feasible
+    );
     assert!(!out2.feasible);
 }

@@ -30,15 +30,26 @@ fn main() {
 
     let lab = Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
     println!("labelling (canonical octant):");
-    println!("  (5,5,5): {:?}   <- paper: useless", lab.status(c3(5, 5, 5)));
-    println!("  (5,5,7): {:?} <- paper: can't-reach", lab.status(c3(5, 5, 7)));
+    println!(
+        "  (5,5,5): {:?}   <- paper: useless",
+        lab.status(c3(5, 5, 5))
+    );
+    println!(
+        "  (5,5,7): {:?} <- paper: can't-reach",
+        lab.status(c3(5, 5, 7))
+    );
 
     let mccs = MccSet3::compute(&lab);
     println!("\nMCC decomposition: {} components (paper: 2)", mccs.len());
     for m in mccs.iter() {
         println!(
             "  MCC #{}: {} cells ({} faulty, {} healthy captured), bounds {:?}..{:?}",
-            m.id, m.cells.len(), m.fault_count, m.sacrificed_count, m.bounds.lo, m.bounds.hi
+            m.id,
+            m.cells.len(),
+            m.fault_count,
+            m.sacrificed_count,
+            m.bounds.lo,
+            m.bounds.hi
         );
     }
 
@@ -54,7 +65,10 @@ fn main() {
 
     // Contrast with the rectangular-faulty-block view of Figure 5(a).
     let blocks = FaultBlocks3::compute(&mesh);
-    println!("\ncuboid fault blocks (the conventional model): {}", blocks.blocks.len());
+    println!(
+        "\ncuboid fault blocks (the conventional model): {}",
+        blocks.blocks.len()
+    );
     let mut total = 0u64;
     for b in &blocks.blocks {
         println!("  block {:?}..{:?} ({} cells)", b.lo, b.hi, b.volume());

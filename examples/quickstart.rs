@@ -19,7 +19,10 @@ fn main() {
     let (s, d) = (c3(1, 2, 0), c3(14, 13, 15));
     let mut mesh = Mesh3D::kary(16);
     let injected = FaultSpec::uniform(60, 2024).inject_3d(&mut mesh, &[s, d]);
-    println!("mesh: 16^3 = {} nodes, {injected} faults", mesh.node_count());
+    println!(
+        "mesh: 16^3 = {} nodes, {injected} faults",
+        mesh.node_count()
+    );
 
     // Canonicalize the pair and run the labelling closure for its octant.
     let frame = Frame3::for_pair(&mesh, s, d);
@@ -54,8 +57,12 @@ fn main() {
         out.detection_cost
     );
     // Print the first few hops in mesh coordinates.
-    let mesh_path: Vec<_> =
-        out.path.nodes().iter().map(|&c| frame.from_canon(c)).collect();
+    let mesh_path: Vec<_> = out
+        .path
+        .nodes()
+        .iter()
+        .map(|&c| frame.from_canon(c))
+        .collect();
     println!("route head: {:?} ...", &mesh_path[..mesh_path.len().min(6)]);
     assert_eq!(hops as u32, s.dist(d), "the route is minimal");
 }

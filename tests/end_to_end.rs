@@ -5,8 +5,8 @@
 use mcc_mesh::fault_model::mcc2::MccSet2;
 use mcc_mesh::fault_model::mcc3::MccSet3;
 use mcc_mesh::fault_model::{
-    minimal_path_exists_2d, minimal_path_exists_3d, oracle, BorderPolicy, FaultBlocks2,
-    Labelling2, Labelling3,
+    minimal_path_exists_2d, minimal_path_exists_3d, oracle, BorderPolicy, FaultBlocks2, Labelling2,
+    Labelling3,
 };
 use mcc_mesh::mcc_protocols::boundary2::build_pipeline_2d;
 use mcc_mesh::mcc_protocols::labelling::{DistLabelling2, DistLabelling3};
@@ -81,7 +81,11 @@ fn all_layers_agree_3d() {
             continue;
         }
         let truth = oracle::reachable_3d(s, d, |c| !mesh.is_healthy(c));
-        assert_eq!(minimal_path_exists_3d(&lab, s, d).exists(), truth, "seed {seed}");
+        assert_eq!(
+            minimal_path_exists_3d(&lab, s, d).exists(),
+            truth,
+            "seed {seed}"
+        );
 
         let mccs = MccSet3::compute(&lab);
         let router = Router3::new(&lab, &mccs);
