@@ -9,8 +9,15 @@
 //! the Figure 5 example fixes the 3-D flavor: its large MCC holds cells like
 //! `(5,6,5)` and `(6,7,5)` (an XY-diagonal pair) while the space-diagonal
 //! neighbor `(7,8,4)` forms its own MCC — exactly 18-connectivity.
+//!
+//! Discovery runs on the flat node-state layer: the labelling's
+//! [`mesh_topo::NodeSet`] of unsafe nodes is scanned word-by-word for
+//! unvisited seeds, and the BFS frontier holds linear node indices whose
+//! neighbors come from [`NodeSpace2::for_neighbors8`] /
+//! [`NodeSpace3::for_neighbors18`] — no hashing, no per-node coordinate
+//! arithmetic beyond one decode per visit.
 
-use mesh_topo::{Grid2, Grid3, C2, C3};
+use mesh_topo::{NodeGrid, NodeSpace2, NodeSpace3, C2, C3};
 
 use crate::labelling2::Labelling2;
 use crate::labelling3::Labelling3;
@@ -57,8 +64,8 @@ pub const NEIGHBORS_18: [(i32, i32, i32); 18] = [
 /// Component decomposition of the unsafe set of a 2-D labelling.
 #[derive(Clone, Debug)]
 pub struct Components2 {
-    /// Per-node component id (canonical coords); `NO_COMPONENT` for safe nodes.
-    pub id: Grid2<u32>,
+    space: NodeSpace2,
+    id: NodeGrid<u32>,
     /// Cells of each component, in discovery (BFS) order.
     pub cells: Vec<Vec<C2>>,
 }
@@ -66,8 +73,8 @@ pub struct Components2 {
 /// Component decomposition of the unsafe set of a 3-D labelling.
 #[derive(Clone, Debug)]
 pub struct Components3 {
-    /// Per-node component id (canonical coords); `NO_COMPONENT` for safe nodes.
-    pub id: Grid3<u32>,
+    space: NodeSpace3,
+    id: NodeGrid<u32>,
     /// Cells of each component, in discovery (BFS) order.
     pub cells: Vec<Vec<C3>>,
 }
@@ -75,11 +82,13 @@ pub struct Components3 {
 impl Components2 {
     /// Decompose the unsafe set of `lab` into connected components.
     pub fn compute(lab: &Labelling2) -> Components2 {
-        let mut id = Grid2::new(lab.width(), lab.height(), NO_COMPONENT);
+        let space = lab.space();
+        let unsafe_set = lab.unsafe_set();
+        let mut id = NodeGrid::new(space.len(), NO_COMPONENT);
         let mut cells: Vec<Vec<C2>> = Vec::new();
-        let mut queue: Vec<C2> = Vec::new();
-        for (start, st) in lab.iter() {
-            if !st.is_unsafe() || id[start] != NO_COMPONENT {
+        let mut queue: Vec<usize> = Vec::new();
+        for start in unsafe_set.iter() {
+            if id[start] != NO_COMPONENT {
                 continue;
             }
             let comp = cells.len() as u32;
@@ -88,21 +97,17 @@ impl Components2 {
             queue.push(start);
             id[start] = comp;
             while let Some(u) = queue.pop() {
-                comp_cells.push(u);
-                for (dx, dy) in NEIGHBORS_8 {
-                    let v = C2 {
-                        x: u.x + dx,
-                        y: u.y + dy,
-                    };
-                    if lab.is_unsafe(v) && id[v] == NO_COMPONENT {
+                comp_cells.push(space.coord(u));
+                space.for_neighbors8(u, |v| {
+                    if unsafe_set.contains(v) && id[v] == NO_COMPONENT {
                         id[v] = comp;
                         queue.push(v);
                     }
-                }
+                });
             }
             cells.push(comp_cells);
         }
-        Components2 { id, cells }
+        Components2 { space, id, cells }
     }
 
     /// Number of components.
@@ -117,8 +122,8 @@ impl Components2 {
 
     /// Component id of canonical `c`, if it is unsafe.
     pub fn component_of(&self, c: C2) -> Option<u32> {
-        match self.id.get(c) {
-            Some(&i) if i != NO_COMPONENT => Some(i),
+        match self.space.index_checked(c).map(|i| self.id[i]) {
+            Some(i) if i != NO_COMPONENT => Some(i),
             _ => None,
         }
     }
@@ -127,11 +132,13 @@ impl Components2 {
 impl Components3 {
     /// Decompose the unsafe set of `lab` into connected components.
     pub fn compute(lab: &Labelling3) -> Components3 {
-        let mut id = Grid3::new(lab.nx(), lab.ny(), lab.nz(), NO_COMPONENT);
+        let space = lab.space();
+        let unsafe_set = lab.unsafe_set();
+        let mut id = NodeGrid::new(space.len(), NO_COMPONENT);
         let mut cells: Vec<Vec<C3>> = Vec::new();
-        let mut queue: Vec<C3> = Vec::new();
-        for (start, st) in lab.iter() {
-            if !st.is_unsafe() || id[start] != NO_COMPONENT {
+        let mut queue: Vec<usize> = Vec::new();
+        for start in unsafe_set.iter() {
+            if id[start] != NO_COMPONENT {
                 continue;
             }
             let comp = cells.len() as u32;
@@ -140,22 +147,17 @@ impl Components3 {
             queue.push(start);
             id[start] = comp;
             while let Some(u) = queue.pop() {
-                comp_cells.push(u);
-                for (dx, dy, dz) in NEIGHBORS_18 {
-                    let v = C3 {
-                        x: u.x + dx,
-                        y: u.y + dy,
-                        z: u.z + dz,
-                    };
-                    if lab.is_unsafe(v) && id[v] == NO_COMPONENT {
+                comp_cells.push(space.coord(u));
+                space.for_neighbors18(u, |v| {
+                    if unsafe_set.contains(v) && id[v] == NO_COMPONENT {
                         id[v] = comp;
                         queue.push(v);
                     }
-                }
+                });
             }
             cells.push(comp_cells);
         }
-        Components3 { id, cells }
+        Components3 { space, id, cells }
     }
 
     /// Number of components.
@@ -170,8 +172,8 @@ impl Components3 {
 
     /// Component id of canonical `c`, if it is unsafe.
     pub fn component_of(&self, c: C3) -> Option<u32> {
-        match self.id.get(c) {
-            Some(&i) if i != NO_COMPONENT => Some(i),
+        match self.space.index_checked(c).map(|i| self.id[i]) {
+            Some(i) if i != NO_COMPONENT => Some(i),
             _ => None,
         }
     }

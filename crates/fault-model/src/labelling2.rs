@@ -10,10 +10,18 @@
 //!    becomes *can't-reach*;
 //! 4. repeat until no new label.
 //!
-//! The closure runs as a worklist fixpoint in O(V) — each node enters each
-//! of the two worklists at most once.
+//! The closure runs on the flat node-state layer
+//! ([`mesh_topo::nodeset`]) as **two raster sweeps** over a dense status
+//! array, not as a worklist: rule 2 makes a node's label depend only on its
+//! `+X` and `+Y` neighbors, so one sweep in decreasing `(y, x)` order sees
+//! every dependency already finalized and reaches the fixpoint in a single
+//! pass; rule 3 is the mirror image, one sweep in increasing order. Each
+//! sweep is a linear scan of a flat `u8` array — O(V) with perfect cache
+//! behavior and no per-node hashing or queueing. The hash-based worklist
+//! formulation is preserved in [`crate::reference`] and property-tested
+//! equal.
 
-use mesh_topo::{Frame2, Grid2, Mesh2D, C2};
+use mesh_topo::{Frame2, Mesh2D, NodeGrid, NodeSet, NodeSpace2, C2};
 
 use crate::status::{BorderPolicy, NodeStatus};
 
@@ -25,95 +33,94 @@ use crate::status::{BorderPolicy, NodeStatus};
 pub struct Labelling2 {
     frame: Frame2,
     policy: BorderPolicy,
-    status: Grid2<NodeStatus>,
-    unsafe_count: usize,
+    space: NodeSpace2,
+    status: NodeGrid<NodeStatus>,
+    unsafe_set: NodeSet,
 }
 
 impl Labelling2 {
     /// Run the labelling closure for `mesh` under `frame`.
     pub fn compute(mesh: &Mesh2D, frame: Frame2, policy: BorderPolicy) -> Labelling2 {
-        let mut status = Grid2::new(mesh.width(), mesh.height(), NodeStatus::SAFE);
+        let space = mesh.space();
+        let mut status = NodeGrid::new(space.len(), NodeStatus::SAFE);
         for &f in mesh.faults() {
-            status[frame.to_canon(f)] = NodeStatus::FAULT;
+            status[space.index(frame.to_canon(f))] = NodeStatus::FAULT;
         }
-        let mut lab = Labelling2 {
+
+        let border_blocks = matches!(policy, BorderPolicy::BorderBlocked);
+        let w = space.width() as usize;
+        let h = space.height() as usize;
+        let s = status.as_mut_slice();
+
+        // Rule 2 (useless) depends only on the +X / +Y neighbors, which a
+        // decreasing-(y, x) sweep has already finalized: one pass reaches
+        // the worklist fixpoint.
+        for y in (0..h).rev() {
+            let row = y * w;
+            for x in (0..w).rev() {
+                let i = row + x;
+                if s[i].blocks_forward() {
+                    continue;
+                }
+                let xp = if x + 1 < w {
+                    s[i + 1].blocks_forward()
+                } else {
+                    border_blocks
+                };
+                let yp = if y + 1 < h {
+                    s[i + w].blocks_forward()
+                } else {
+                    border_blocks
+                };
+                if xp && yp {
+                    s[i].mark_useless();
+                }
+            }
+        }
+        // Rule 3 (can't-reach) is the mirror image: -X / -Y dependencies,
+        // increasing-(y, x) sweep.
+        for y in 0..h {
+            let row = y * w;
+            for x in 0..w {
+                let i = row + x;
+                if s[i].blocks_backward() {
+                    continue;
+                }
+                let xm = if x > 0 {
+                    s[i - 1].blocks_backward()
+                } else {
+                    border_blocks
+                };
+                let ym = if y > 0 {
+                    s[i - w].blocks_backward()
+                } else {
+                    border_blocks
+                };
+                if xm && ym {
+                    s[i].mark_cant_reach();
+                }
+            }
+        }
+
+        let mut unsafe_set = NodeSet::new(space.len());
+        for (i, st) in status.iter() {
+            if st.is_unsafe() {
+                unsafe_set.insert(i);
+            }
+        }
+        Labelling2 {
             frame,
             policy,
+            space,
             status,
-            unsafe_count: mesh.fault_count(),
-        };
-        lab.close();
-        lab
+            unsafe_set,
+        }
     }
 
     /// Run the labelling for the canonical pair `(s, d)` in mesh coordinates:
     /// picks the quadrant frame for the pair and computes the closure.
     pub fn for_pair(mesh: &Mesh2D, s: C2, d: C2, policy: BorderPolicy) -> Labelling2 {
         Labelling2::compute(mesh, Frame2::for_pair(mesh, s, d), policy)
-    }
-
-    fn blocks_forward(&self, c: C2) -> bool {
-        match self.status.get(c) {
-            Some(s) => s.blocks_forward(),
-            None => matches!(self.policy, BorderPolicy::BorderBlocked),
-        }
-    }
-
-    fn blocks_backward(&self, c: C2) -> bool {
-        match self.status.get(c) {
-            Some(s) => s.blocks_backward(),
-            None => matches!(self.policy, BorderPolicy::BorderBlocked),
-        }
-    }
-
-    /// Worklist fixpoint of rules 2 and 3.
-    fn close(&mut self) {
-        use mesh_topo::dir::Dir2::{Xm, Xp, Ym, Yp};
-        // Seed: every node must be examined once; afterwards only nodes whose
-        // relevant neighbors changed are revisited.
-        let mut fwd: Vec<C2> = self.status.coords().collect();
-        while let Some(u) = fwd.pop() {
-            let Some(&st) = self.status.get(u) else {
-                continue;
-            };
-            if st.blocks_forward() {
-                continue;
-            }
-            if self.blocks_forward(u.step(Xp)) && self.blocks_forward(u.step(Yp)) {
-                self.status[u].mark_useless();
-                if !st.is_unsafe() {
-                    self.unsafe_count += 1;
-                }
-                // u newly blocks the forward closure: its -X / -Y neighbors
-                // may now satisfy the rule.
-                for v in [u.step(Xm), u.step(Ym)] {
-                    if self.status.contains(v) {
-                        fwd.push(v);
-                    }
-                }
-            }
-        }
-        let mut bwd: Vec<C2> = self.status.coords().collect();
-        while let Some(u) = bwd.pop() {
-            let Some(&st) = self.status.get(u) else {
-                continue;
-            };
-            if st.blocks_backward() {
-                continue;
-            }
-            if self.blocks_backward(u.step(Xm)) && self.blocks_backward(u.step(Ym)) {
-                let already_unsafe = st.is_unsafe();
-                self.status[u].mark_cant_reach();
-                if !already_unsafe {
-                    self.unsafe_count += 1;
-                }
-                for v in [u.step(Xp), u.step(Yp)] {
-                    if self.status.contains(v) {
-                        bwd.push(v);
-                    }
-                }
-            }
-        }
     }
 
     /// The quadrant frame this labelling was computed under.
@@ -128,69 +135,88 @@ impl Labelling2 {
         self.policy
     }
 
+    /// The linear index space of the underlying mesh (canonical coords).
+    #[inline]
+    pub fn space(&self) -> NodeSpace2 {
+        self.space
+    }
+
     /// Status of the node at **canonical** coordinate `c`.
     ///
     /// # Panics
     /// If `c` is outside the mesh.
     #[inline]
     pub fn status(&self, c: C2) -> NodeStatus {
-        self.status[c]
+        self.status[self.space.index(c)]
     }
 
     /// Status at canonical `c`, or `None` if outside the mesh.
     #[inline]
     pub fn status_get(&self, c: C2) -> Option<NodeStatus> {
-        self.status.get(c).copied()
+        self.space.index_checked(c).map(|i| self.status[i])
     }
 
     /// True if canonical `c` is inside the mesh and unsafe.
     #[inline]
     pub fn is_unsafe(&self, c: C2) -> bool {
-        self.status.get(c).map(|s| s.is_unsafe()).unwrap_or(false)
+        self.space
+            .index_checked(c)
+            .is_some_and(|i| self.unsafe_set.contains(i))
     }
 
     /// True if canonical `c` is inside the mesh and safe.
     #[inline]
     pub fn is_safe(&self, c: C2) -> bool {
-        self.status.get(c).map(|s| s.is_safe()).unwrap_or(false)
+        self.space
+            .index_checked(c)
+            .is_some_and(|i| !self.unsafe_set.contains(i))
     }
 
     /// Status of the node at **mesh** coordinate `c`.
     #[inline]
     pub fn status_mesh(&self, c: C2) -> NodeStatus {
-        self.status[self.frame.to_canon(c)]
+        self.status[self.space.index(self.frame.to_canon(c))]
+    }
+
+    /// The unsafe nodes (faulty + labelled) as a bitset over
+    /// [`Labelling2::space`] — the flat input of component discovery.
+    #[inline]
+    pub fn unsafe_set(&self) -> &NodeSet {
+        &self.unsafe_set
     }
 
     /// Total number of unsafe nodes (faulty + labelled).
     #[inline]
     pub fn unsafe_count(&self) -> usize {
-        self.unsafe_count
+        self.unsafe_set.len()
     }
 
     /// Number of healthy nodes labelled unsafe (useless and/or can't-reach):
     /// the "sacrificed" nodes the evaluation counts.
     pub fn sacrificed_count(&self) -> usize {
-        self.status
+        self.unsafe_set
             .iter()
-            .filter(|(_, s)| s.is_unsafe() && !s.is_faulty())
+            .filter(|&i| !self.status[i].is_faulty())
             .count()
     }
 
     /// Grid width.
     #[inline]
     pub fn width(&self) -> i32 {
-        self.status.width()
+        self.space.width()
     }
 
     /// Grid height.
     #[inline]
     pub fn height(&self) -> i32 {
-        self.status.height()
+        self.space.height()
     }
 
     /// Iterate `(canonical coordinate, status)` for all nodes.
     pub fn iter(&self) -> impl Iterator<Item = (C2, NodeStatus)> + '_ {
-        self.status.iter().map(|(c, &s)| (c, s))
+        self.space
+            .coords()
+            .zip(self.status.as_slice().iter().copied())
     }
 }
 
@@ -332,5 +358,19 @@ mod tests {
         for c in mesh.nodes() {
             assert_eq!(l.status_mesh(c), l.status(f.to_canon(c)));
         }
+    }
+
+    #[test]
+    fn unsafe_set_matches_statuses() {
+        let mut mesh = Mesh2D::new(10, 10);
+        for c in [c2(5, 6), c2(6, 5), c2(2, 2)] {
+            mesh.inject_fault(c);
+        }
+        let l = lab(&mesh);
+        let set = l.unsafe_set();
+        for c in mesh.nodes() {
+            assert_eq!(set.contains(l.space().index(c)), l.status(c).is_unsafe());
+        }
+        assert_eq!(set.len(), l.unsafe_count());
     }
 }

@@ -5,8 +5,14 @@
 //! (with only two blocked the message can still escape along the third
 //! positive dimension), and *can't-reach* only if all three negative
 //! neighbors are faulty-or-can't-reach.
+//!
+//! Like the 2-D closure, this runs as two raster sweeps over a flat status
+//! array on the node-state layer ([`mesh_topo::nodeset`]): the useless rule
+//! depends only on strictly-larger `(z, y, x)`, so a single decreasing
+//! sweep reaches the fixpoint, and the can't-reach rule is the increasing
+//! mirror image.
 
-use mesh_topo::{Frame3, Grid3, Mesh3D, C3};
+use mesh_topo::{Frame3, Mesh3D, NodeGrid, NodeSet, NodeSpace3, C3};
 
 use crate::status::{BorderPolicy, NodeStatus};
 
@@ -17,95 +23,107 @@ use crate::status::{BorderPolicy, NodeStatus};
 pub struct Labelling3 {
     frame: Frame3,
     policy: BorderPolicy,
-    status: Grid3<NodeStatus>,
-    unsafe_count: usize,
+    space: NodeSpace3,
+    status: NodeGrid<NodeStatus>,
+    unsafe_set: NodeSet,
 }
 
 impl Labelling3 {
     /// Run the labelling closure for `mesh` under `frame`.
     pub fn compute(mesh: &Mesh3D, frame: Frame3, policy: BorderPolicy) -> Labelling3 {
-        let mut status = Grid3::new(mesh.nx(), mesh.ny(), mesh.nz(), NodeStatus::SAFE);
+        let space = mesh.space();
+        let mut status = NodeGrid::new(space.len(), NodeStatus::SAFE);
         for &f in mesh.faults() {
-            status[frame.to_canon(f)] = NodeStatus::FAULT;
+            status[space.index(frame.to_canon(f))] = NodeStatus::FAULT;
         }
-        let mut lab = Labelling3 {
+
+        let border_blocks = matches!(policy, BorderPolicy::BorderBlocked);
+        let nx = space.nx() as usize;
+        let ny = space.ny() as usize;
+        let nz = space.nz() as usize;
+        let plane = nx * ny;
+        let s = status.as_mut_slice();
+
+        // Useless closure: dependencies point to +X/+Y/+Z only, so one
+        // decreasing-(z, y, x) sweep reaches the fixpoint.
+        for z in (0..nz).rev() {
+            for y in (0..ny).rev() {
+                let row = z * plane + y * nx;
+                for x in (0..nx).rev() {
+                    let i = row + x;
+                    if s[i].blocks_forward() {
+                        continue;
+                    }
+                    let xp = if x + 1 < nx {
+                        s[i + 1].blocks_forward()
+                    } else {
+                        border_blocks
+                    };
+                    let yp = if y + 1 < ny {
+                        s[i + nx].blocks_forward()
+                    } else {
+                        border_blocks
+                    };
+                    let zp = if z + 1 < nz {
+                        s[i + plane].blocks_forward()
+                    } else {
+                        border_blocks
+                    };
+                    if xp && yp && zp {
+                        s[i].mark_useless();
+                    }
+                }
+            }
+        }
+        // Can't-reach closure: the increasing mirror image.
+        for z in 0..nz {
+            for y in 0..ny {
+                let row = z * plane + y * nx;
+                for x in 0..nx {
+                    let i = row + x;
+                    if s[i].blocks_backward() {
+                        continue;
+                    }
+                    let xm = if x > 0 {
+                        s[i - 1].blocks_backward()
+                    } else {
+                        border_blocks
+                    };
+                    let ym = if y > 0 {
+                        s[i - nx].blocks_backward()
+                    } else {
+                        border_blocks
+                    };
+                    let zm = if z > 0 {
+                        s[i - plane].blocks_backward()
+                    } else {
+                        border_blocks
+                    };
+                    if xm && ym && zm {
+                        s[i].mark_cant_reach();
+                    }
+                }
+            }
+        }
+
+        let mut unsafe_set = NodeSet::new(space.len());
+        for (i, st) in status.iter() {
+            if st.is_unsafe() {
+                unsafe_set.insert(i);
+            }
+        }
+        Labelling3 {
             frame,
             policy,
+            space,
             status,
-            unsafe_count: mesh.fault_count(),
-        };
-        lab.close();
-        lab
+            unsafe_set,
+        }
     }
 
     /// Run the labelling for the pair `(s, d)` in mesh coordinates.
     pub fn for_pair(mesh: &Mesh3D, s: C3, d: C3, policy: BorderPolicy) -> Labelling3 {
         Labelling3::compute(mesh, Frame3::for_pair(mesh, s, d), policy)
-    }
-
-    fn blocks_forward(&self, c: C3) -> bool {
-        match self.status.get(c) {
-            Some(s) => s.blocks_forward(),
-            None => matches!(self.policy, BorderPolicy::BorderBlocked),
-        }
-    }
-
-    fn blocks_backward(&self, c: C3) -> bool {
-        match self.status.get(c) {
-            Some(s) => s.blocks_backward(),
-            None => matches!(self.policy, BorderPolicy::BorderBlocked),
-        }
-    }
-
-    fn close(&mut self) {
-        use mesh_topo::dir::Dir3::{Xm, Xp, Ym, Yp, Zm, Zp};
-        let mut fwd: Vec<C3> = self.status.coords().collect();
-        while let Some(u) = fwd.pop() {
-            let Some(&st) = self.status.get(u) else {
-                continue;
-            };
-            if st.blocks_forward() {
-                continue;
-            }
-            if self.blocks_forward(u.step(Xp))
-                && self.blocks_forward(u.step(Yp))
-                && self.blocks_forward(u.step(Zp))
-            {
-                self.status[u].mark_useless();
-                if !st.is_unsafe() {
-                    self.unsafe_count += 1;
-                }
-                for v in [u.step(Xm), u.step(Ym), u.step(Zm)] {
-                    if self.status.contains(v) {
-                        fwd.push(v);
-                    }
-                }
-            }
-        }
-        let mut bwd: Vec<C3> = self.status.coords().collect();
-        while let Some(u) = bwd.pop() {
-            let Some(&st) = self.status.get(u) else {
-                continue;
-            };
-            if st.blocks_backward() {
-                continue;
-            }
-            if self.blocks_backward(u.step(Xm))
-                && self.blocks_backward(u.step(Ym))
-                && self.blocks_backward(u.step(Zm))
-            {
-                let already_unsafe = st.is_unsafe();
-                self.status[u].mark_cant_reach();
-                if !already_unsafe {
-                    self.unsafe_count += 1;
-                }
-                for v in [u.step(Xp), u.step(Yp), u.step(Zp)] {
-                    if self.status.contains(v) {
-                        bwd.push(v);
-                    }
-                }
-            }
-        }
     }
 
     /// The octant frame this labelling was computed under.
@@ -120,74 +138,93 @@ impl Labelling3 {
         self.policy
     }
 
+    /// The linear index space of the underlying mesh (canonical coords).
+    #[inline]
+    pub fn space(&self) -> NodeSpace3 {
+        self.space
+    }
+
     /// Status of the node at **canonical** coordinate `c`.
     ///
     /// # Panics
     /// If `c` is outside the mesh.
     #[inline]
     pub fn status(&self, c: C3) -> NodeStatus {
-        self.status[c]
+        self.status[self.space.index(c)]
     }
 
     /// Status at canonical `c`, or `None` if outside the mesh.
     #[inline]
     pub fn status_get(&self, c: C3) -> Option<NodeStatus> {
-        self.status.get(c).copied()
+        self.space.index_checked(c).map(|i| self.status[i])
     }
 
     /// True if canonical `c` is inside the mesh and unsafe.
     #[inline]
     pub fn is_unsafe(&self, c: C3) -> bool {
-        self.status.get(c).map(|s| s.is_unsafe()).unwrap_or(false)
+        self.space
+            .index_checked(c)
+            .is_some_and(|i| self.unsafe_set.contains(i))
     }
 
     /// True if canonical `c` is inside the mesh and safe.
     #[inline]
     pub fn is_safe(&self, c: C3) -> bool {
-        self.status.get(c).map(|s| s.is_safe()).unwrap_or(false)
+        self.space
+            .index_checked(c)
+            .is_some_and(|i| !self.unsafe_set.contains(i))
     }
 
     /// Status of the node at **mesh** coordinate `c`.
     #[inline]
     pub fn status_mesh(&self, c: C3) -> NodeStatus {
-        self.status[self.frame.to_canon(c)]
+        self.status[self.space.index(self.frame.to_canon(c))]
+    }
+
+    /// The unsafe nodes (faulty + labelled) as a bitset over
+    /// [`Labelling3::space`] — the flat input of component discovery.
+    #[inline]
+    pub fn unsafe_set(&self) -> &NodeSet {
+        &self.unsafe_set
     }
 
     /// Total number of unsafe nodes (faulty + labelled).
     #[inline]
     pub fn unsafe_count(&self) -> usize {
-        self.unsafe_count
+        self.unsafe_set.len()
     }
 
     /// Number of healthy nodes labelled unsafe.
     pub fn sacrificed_count(&self) -> usize {
-        self.status
+        self.unsafe_set
             .iter()
-            .filter(|(_, s)| s.is_unsafe() && !s.is_faulty())
+            .filter(|&i| !self.status[i].is_faulty())
             .count()
     }
 
     /// Extent along X.
     #[inline]
     pub fn nx(&self) -> i32 {
-        self.status.nx()
+        self.space.nx()
     }
 
     /// Extent along Y.
     #[inline]
     pub fn ny(&self) -> i32 {
-        self.status.ny()
+        self.space.ny()
     }
 
     /// Extent along Z.
     #[inline]
     pub fn nz(&self) -> i32 {
-        self.status.nz()
+        self.space.nz()
     }
 
     /// Iterate `(canonical coordinate, status)` for all nodes.
     pub fn iter(&self) -> impl Iterator<Item = (C3, NodeStatus)> + '_ {
-        self.status.iter().map(|(c, &s)| (c, s))
+        self.space
+            .coords()
+            .zip(self.status.as_slice().iter().copied())
     }
 }
 

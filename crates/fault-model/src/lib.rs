@@ -17,12 +17,56 @@
 //!   models the paper compares against,
 //! * [`oracle`] — exact monotone-reachability ground truth used to validate
 //!   everything above,
+//! * [`reference`](mod@reference) — the hash-based pre-flat-layer
+//!   pipeline, kept as the validation and benchmarking baseline,
 //! * [`stats`] — fault-region statistics for the evaluation.
+//!
+//! Module ↔ paper map: [`status`] and [`labelling2`] implement the node
+//! states and Algorithm 1 of Section 3 (2-D model); [`labelling3`] is
+//! Algorithm 4 of Section 4, whose Figure 5 example is pinned by this
+//! crate's tests; [`mcc2`]/[`mcc3`] realize the MCC shape machinery
+//! (boundaries, corners, sections) of Sections 3–4; [`condition2`] is
+//! Lemma 1/Theorem 1, [`condition3`] Theorem 2; [`rfb2`]/[`rfb3`] are the
+//! faulty-block baselines of the Section 6 evaluation.
 //!
 //! All labelling-level computation happens in *canonical coordinates*: the
 //! source/destination pair is first reflected by a
 //! [`mesh_topo::Frame2`]/[`mesh_topo::Frame3`] so that the destination
 //! dominates the source and the preferred directions are the positive ones.
+//!
+//! Hot paths run on the flat node-state layer of [`mesh_topo::nodeset`]:
+//! the labelling closures are raster sweeps over a dense status array and
+//! component discovery BFSs over a packed unsafe-node bitset.
+//!
+//! # Examples
+//!
+//! Label a faulty mesh, extract its fault regions, and decide minimal-path
+//! existence (the antidiagonal pair of Section 3: two faults capture two
+//! healthy nodes):
+//!
+//! ```
+//! use fault_model::mcc2::MccSet2;
+//! use fault_model::{minimal_path_exists_2d, BorderPolicy, Labelling2};
+//! use mesh_topo::coord::c2;
+//! use mesh_topo::{Frame2, Mesh2D};
+//!
+//! let mut mesh = Mesh2D::new(10, 10);
+//! mesh.inject_fault(c2(5, 6));
+//! mesh.inject_fault(c2(6, 5));
+//!
+//! let lab = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+//! assert!(lab.status(c2(5, 5)).is_useless());
+//! assert!(lab.status(c2(6, 6)).is_cant_reach());
+//! assert_eq!(lab.sacrificed_count(), 2);
+//!
+//! let mccs = MccSet2::compute(&lab);
+//! assert_eq!(mccs.len(), 1); // one 8-connected fault region
+//!
+//! // The region blocks nothing for a wide routing...
+//! assert!(minimal_path_exists_2d(&lab, &mccs, c2(0, 0), c2(9, 9)).exists());
+//! // ...but pins a single-column routing through its span.
+//! assert!(!minimal_path_exists_2d(&lab, &mccs, c2(6, 0), c2(6, 9)).exists());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +79,7 @@ pub mod labelling3;
 pub mod mcc2;
 pub mod mcc3;
 pub mod oracle;
+pub mod reference;
 pub mod rfb2;
 pub mod rfb3;
 pub mod stats;

@@ -1,7 +1,7 @@
 //! Minimal Connected Components in 3-D meshes.
 //!
-//! A 3-D MCC is a 6-connected component of the unsafe set of a 3-D
-//! labelling. Unlike the 2-D case its plane sections need not be convex —
+//! A 3-D MCC is an 18-connected component (face + planar diagonal, see
+//! [`crate::components`]) of the unsafe set of a 3-D labelling. Unlike the 2-D case its plane sections need not be convex —
 //! the paper's Figure 5 component has a hole at `(6,6,5)` in its `z = 5`
 //! section — so shapes are kept as explicit cell sets plus derived
 //! *line-extent* tables:
@@ -13,14 +13,25 @@
 //! From the line extents come the 3-D forbidden/critical regions: `Q_Y(M)`
 //! is everything strictly below the whole Y-extent of its `(x, z)` line,
 //! `Q'_Y(M)` everything strictly above, and analogously for X and Z.
+//!
+//! Storage is bounding-box-local and flat: membership is a
+//! [`mesh_topo::NodeSet`] bitset over the box and the line-extent tables are
+//! dense arrays indexed by the box-relative plane coordinates — the former
+//! `HashSet<C3>` / `BTreeMap` representation survives only in
+//! [`crate::reference`] as the validation baseline. Note the trade-off:
+//! per-component memory is O(bounding-box volume), not O(cells) — compact
+//! for the localized regions fault injection produces, but a long diagonal
+//! chain of cells would allocate its whole spanning box (one bit per box
+//! node); revisit with a sparse fallback if such shapes ever dominate.
 
-use std::collections::{BTreeMap, HashSet};
-
-use mesh_topo::{Axis3, Box3, C2, C3};
+use mesh_topo::{Axis3, Box3, NodeSet, NodeSpace3, C2, C3};
 use serde::{Deserialize, Serialize};
 
 use crate::components::Components3;
 use crate::labelling3::Labelling3;
+
+/// Sentinel line extent meaning "the component does not touch this line".
+const NO_LINE: (i32, i32) = (i32::MAX, i32::MIN);
 
 /// One Minimal Connected Component of a 3-D labelling (canonical coords).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -35,13 +46,16 @@ pub struct Mcc3 {
     pub fault_count: usize,
     /// Number of healthy (labelled) cells.
     pub sacrificed_count: usize,
-    cell_set: HashSet<C3>,
-    /// Per-X-line extents keyed by `(y, z)`.
-    line_x: BTreeMap<(i32, i32), (i32, i32)>,
-    /// Per-Y-line extents keyed by `(x, z)`.
-    line_y: BTreeMap<(i32, i32), (i32, i32)>,
-    /// Per-Z-line extents keyed by `(x, y)`.
-    line_z: BTreeMap<(i32, i32), (i32, i32)>,
+    /// Linearization of the bounding box (box-relative coordinates).
+    box_space: NodeSpace3,
+    /// Membership bitset over `box_space`.
+    cell_set: NodeSet,
+    /// Per-X-line extents, indexed by box-relative `(y, z)`.
+    line_x: Vec<(i32, i32)>,
+    /// Per-Y-line extents, indexed by box-relative `(x, z)`.
+    line_y: Vec<(i32, i32)>,
+    /// Per-Z-line extents, indexed by box-relative `(x, y)`.
+    line_z: Vec<(i32, i32)>,
 }
 
 /// All MCCs of one 3-D labelling.
@@ -55,19 +69,30 @@ impl Mcc3 {
     fn from_cells(id: u32, cells: Vec<C3>, lab: &Labelling3) -> Mcc3 {
         debug_assert!(!cells.is_empty());
         let mut bounds = Box3::point(cells[0]);
-        let mut line_x: BTreeMap<(i32, i32), (i32, i32)> = BTreeMap::new();
-        let mut line_y: BTreeMap<(i32, i32), (i32, i32)> = BTreeMap::new();
-        let mut line_z: BTreeMap<(i32, i32), (i32, i32)> = BTreeMap::new();
+        for &c in &cells[1..] {
+            bounds.include(c);
+        }
+        let (bx, by, bz) = (
+            bounds.hi.x - bounds.lo.x + 1,
+            bounds.hi.y - bounds.lo.y + 1,
+            bounds.hi.z - bounds.lo.z + 1,
+        );
+        let box_space = NodeSpace3::new(bx, by, bz);
+        let mut cell_set = NodeSet::new(box_space.len());
+        let mut line_x = vec![NO_LINE; (by * bz) as usize];
+        let mut line_y = vec![NO_LINE; (bx * bz) as usize];
+        let mut line_z = vec![NO_LINE; (bx * by) as usize];
         let mut fault_count = 0;
         for &c in &cells {
-            bounds.include(c);
-            let ex = line_x.entry((c.y, c.z)).or_insert((c.x, c.x));
+            let r = c - bounds.lo;
+            cell_set.insert(box_space.index(r));
+            let ex = &mut line_x[(r.z * by + r.y) as usize];
             ex.0 = ex.0.min(c.x);
             ex.1 = ex.1.max(c.x);
-            let ey = line_y.entry((c.x, c.z)).or_insert((c.y, c.y));
+            let ey = &mut line_y[(r.z * bx + r.x) as usize];
             ey.0 = ey.0.min(c.y);
             ey.1 = ey.1.max(c.y);
-            let ez = line_z.entry((c.x, c.y)).or_insert((c.z, c.z));
+            let ez = &mut line_z[(r.y * bx + r.x) as usize];
             ez.0 = ez.0.min(c.z);
             ez.1 = ez.1.max(c.z);
             if lab.status(c).is_faulty() {
@@ -75,13 +100,13 @@ impl Mcc3 {
             }
         }
         let sacrificed_count = cells.len() - fault_count;
-        let cell_set = cells.iter().copied().collect();
         Mcc3 {
             id,
             cells,
             bounds,
             fault_count,
             sacrificed_count,
+            box_space,
             cell_set,
             line_x,
             line_y,
@@ -104,18 +129,40 @@ impl Mcc3 {
     /// True if the component occupies cell `c`.
     #[inline]
     pub fn contains(&self, c: C3) -> bool {
-        self.cell_set.contains(&c)
+        if !self.bounds.contains(c) {
+            return false;
+        }
+        self.cell_set
+            .contains(self.box_space.index(c - self.bounds.lo))
     }
 
     /// The occupied extent `[lo, hi]` of the axis line through `c`, if the
     /// component touches that line. For `axis = Y` the line is
     /// `{(c.x, *, c.z)}`, etc.
     pub fn line_extent(&self, axis: Axis3, c: C3) -> Option<(i32, i32)> {
-        match axis {
-            Axis3::X => self.line_x.get(&(c.y, c.z)).copied(),
-            Axis3::Y => self.line_y.get(&(c.x, c.z)).copied(),
-            Axis3::Z => self.line_z.get(&(c.x, c.y)).copied(),
-        }
+        let (lo, hi) = (self.bounds.lo, self.bounds.hi);
+        let (bx, by) = (hi.x - lo.x + 1, hi.y - lo.y + 1);
+        let entry = match axis {
+            Axis3::X => {
+                if c.y < lo.y || c.y > hi.y || c.z < lo.z || c.z > hi.z {
+                    return None;
+                }
+                self.line_x[((c.z - lo.z) * by + (c.y - lo.y)) as usize]
+            }
+            Axis3::Y => {
+                if c.x < lo.x || c.x > hi.x || c.z < lo.z || c.z > hi.z {
+                    return None;
+                }
+                self.line_y[((c.z - lo.z) * bx + (c.x - lo.x)) as usize]
+            }
+            Axis3::Z => {
+                if c.x < lo.x || c.x > hi.x || c.y < lo.y || c.y > hi.y {
+                    return None;
+                }
+                self.line_z[((c.y - lo.y) * bx + (c.x - lo.x)) as usize]
+            }
+        };
+        (entry != NO_LINE).then_some(entry)
     }
 
     /// `c ∈ Q_axis(M)`: strictly on the negative side of the component's

@@ -15,7 +15,7 @@
 //!   [`Useful3`]): the set of nodes from which the destination is still
 //!   monotonically reachable.
 
-use mesh_topo::{C2, C3};
+use mesh_topo::{NodeSet, C2, C3};
 
 /// True if a monotone (`+X`/`+Y`) path from `s` to `d` exists that avoids
 /// every node for which `blocked` returns true. Requires `s ≤ d`
@@ -41,12 +41,15 @@ pub fn reachable_3d(s: C3, d: C3, blocked: impl Fn(C3) -> bool) -> bool {
 ///
 /// A fully-adaptive minimal router that only ever steps onto *useful*
 /// neighbors can never get stuck and always produces a minimal path.
+///
+/// The set is a packed [`NodeSet`] over the RMP box, filled by one reverse
+/// raster sweep.
 #[derive(Clone, Debug)]
 pub struct Useful2 {
     s: C2,
     d: C2,
     w: i32,
-    useful: Vec<bool>,
+    useful: NodeSet,
 }
 
 impl Useful2 {
@@ -61,7 +64,7 @@ impl Useful2 {
         );
         let w = d.x - s.x + 1;
         let h = d.y - s.y + 1;
-        let mut useful = vec![false; (w as usize) * (h as usize)];
+        let mut useful = NodeSet::new((w as usize) * (h as usize));
         let idx = |c: C2| ((c.y - s.y) as usize) * (w as usize) + ((c.x - s.x) as usize);
         // Sweep from d down to s; at c, usefulness depends on c+X / c+Y which
         // are later in the sweep order reversed, i.e. already computed.
@@ -72,9 +75,11 @@ impl Useful2 {
                     continue;
                 }
                 let ok = (c == d)
-                    || (x < d.x && useful[idx(C2 { x: x + 1, y })])
-                    || (y < d.y && useful[idx(C2 { x, y: y + 1 })]);
-                useful[idx(c)] = ok;
+                    || (x < d.x && useful.contains(idx(C2 { x: x + 1, y })))
+                    || (y < d.y && useful.contains(idx(C2 { x, y: y + 1 })));
+                if ok {
+                    useful.insert(idx(c));
+                }
             }
         }
         Useful2 { s, d, w, useful }
@@ -86,12 +91,13 @@ impl Useful2 {
         if !(self.s.dominated_by(c) && c.dominated_by(self.d)) {
             return false;
         }
-        self.useful[((c.y - self.s.y) as usize) * (self.w as usize) + ((c.x - self.s.x) as usize)]
+        self.useful
+            .contains(((c.y - self.s.y) as usize) * (self.w as usize) + ((c.x - self.s.x) as usize))
     }
 
     /// Number of useful nodes in the box.
     pub fn count(&self) -> usize {
-        self.useful.iter().filter(|&&b| b).count()
+        self.useful.len()
     }
 }
 
@@ -102,7 +108,7 @@ pub struct Useful3 {
     d: C3,
     wx: i32,
     wy: i32,
-    useful: Vec<bool>,
+    useful: NodeSet,
 }
 
 impl Useful3 {
@@ -118,7 +124,7 @@ impl Useful3 {
         let wx = d.x - s.x + 1;
         let wy = d.y - s.y + 1;
         let wz = d.z - s.z + 1;
-        let mut useful = vec![false; (wx as usize) * (wy as usize) * (wz as usize)];
+        let mut useful = NodeSet::new((wx as usize) * (wy as usize) * (wz as usize));
         let idx = |c: C3| {
             (((c.z - s.z) as usize) * (wy as usize) + ((c.y - s.y) as usize)) * (wx as usize)
                 + ((c.x - s.x) as usize)
@@ -131,10 +137,12 @@ impl Useful3 {
                         continue;
                     }
                     let ok = (c == d)
-                        || (x < d.x && useful[idx(C3 { x: x + 1, y, z })])
-                        || (y < d.y && useful[idx(C3 { x, y: y + 1, z })])
-                        || (z < d.z && useful[idx(C3 { x, y, z: z + 1 })]);
-                    useful[idx(c)] = ok;
+                        || (x < d.x && useful.contains(idx(C3 { x: x + 1, y, z })))
+                        || (y < d.y && useful.contains(idx(C3 { x, y: y + 1, z })))
+                        || (z < d.z && useful.contains(idx(C3 { x, y, z: z + 1 })));
+                    if ok {
+                        useful.insert(idx(c));
+                    }
                 }
             }
         }
@@ -156,12 +164,12 @@ impl Useful3 {
         let i = (((c.z - self.s.z) as usize) * (self.wy as usize) + ((c.y - self.s.y) as usize))
             * (self.wx as usize)
             + ((c.x - self.s.x) as usize);
-        self.useful[i]
+        self.useful.contains(i)
     }
 
     /// Number of useful nodes in the box.
     pub fn count(&self) -> usize {
-        self.useful.iter().filter(|&&b| b).count()
+        self.useful.len()
     }
 }
 

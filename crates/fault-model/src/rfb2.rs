@@ -11,18 +11,22 @@
 //! much more aggressive: it is the baseline the paper's evaluation counts
 //! sacrificed healthy nodes against.
 
-use mesh_topo::{Grid2, Mesh2D, Rect, C2};
+use mesh_topo::{Mesh2D, NodeSet, NodeSpace2, Rect, C2};
 
 use crate::oracle;
 
 /// The rectangular-faulty-block decomposition of a mesh.
+///
+/// The disabled set lives on the flat node-state layer: a [`NodeSet`]
+/// bitset over the mesh's [`NodeSpace2`], with the closure worklist and
+/// component scans running over linear node indices.
 #[derive(Clone, Debug)]
 pub struct FaultBlocks2 {
-    disabled: Grid2<bool>,
+    space: NodeSpace2,
+    disabled: NodeSet,
     /// The maximal fault rectangles (disjoint, each fully disabled).
     pub blocks: Vec<Rect>,
     fault_count: usize,
-    disabled_count: usize,
 }
 
 impl FaultBlocks2 {
@@ -31,80 +35,71 @@ impl FaultBlocks2 {
     /// Mesh coordinates are used throughout (the model is
     /// orientation-independent).
     pub fn compute(mesh: &Mesh2D) -> FaultBlocks2 {
-        let mut disabled = Grid2::new(mesh.width(), mesh.height(), false);
-        for &f in mesh.faults() {
-            disabled[f] = true;
-        }
+        let space = mesh.space();
+        let mut disabled = mesh.fault_set().clone();
         let mut blocks;
         loop {
-            let grew = Self::close_rule(&mut disabled);
-            blocks = Self::boxes_of_components(&disabled);
-            let filled = Self::fill_boxes(&mut disabled, &blocks);
+            let grew = Self::close_rule(space, &mut disabled);
+            blocks = Self::boxes_of_components(space, &disabled);
+            let filled = Self::fill_boxes(space, &mut disabled, &blocks);
             if !grew && !filled {
                 break;
             }
         }
-        let disabled_count = disabled.iter().filter(|(_, &b)| b).count();
         FaultBlocks2 {
+            space,
             disabled,
             blocks,
             fault_count: mesh.fault_count(),
-            disabled_count,
         }
     }
 
     /// One pass of the "two or more faulty/disabled neighbors" rule to a
     /// fixpoint. Returns true if any node was newly disabled.
-    fn close_rule(disabled: &mut Grid2<bool>) -> bool {
-        let blocked = |g: &Grid2<bool>, c: C2| g.get(c).copied().unwrap_or(false);
-        let rule = |g: &Grid2<bool>, c: C2| {
-            mesh_topo::Dir2::ALL
-                .iter()
-                .filter(|&&d| blocked(g, c.step(d)))
-                .count()
-                >= 2
+    fn close_rule(space: NodeSpace2, disabled: &mut NodeSet) -> bool {
+        let rule = |set: &NodeSet, i: usize| {
+            let mut n = 0;
+            space.for_neighbors4(i, |j| n += set.contains(j) as usize);
+            n >= 2
         };
         let mut grew = false;
-        let mut work: Vec<C2> = disabled.coords().collect();
+        let mut work: Vec<usize> = (0..space.len()).collect();
         while let Some(u) = work.pop() {
-            if disabled[u] || !rule(disabled, u) {
+            if disabled.contains(u) || !rule(disabled, u) {
                 continue;
             }
-            disabled[u] = true;
+            disabled.insert(u);
             grew = true;
-            for d in mesh_topo::Dir2::ALL {
-                let v = u.step(d);
-                if disabled.contains(v) && !disabled[v] {
+            space.for_neighbors4(u, |v| {
+                if !disabled.contains(v) {
                     work.push(v);
                 }
-            }
+            });
         }
         grew
     }
 
     /// Bounding rectangles of the connected disabled components, merged
     /// until pairwise disjoint.
-    fn boxes_of_components(disabled: &Grid2<bool>) -> Vec<Rect> {
-        let mut seen = Grid2::new(disabled.width(), disabled.height(), false);
+    fn boxes_of_components(space: NodeSpace2, disabled: &NodeSet) -> Vec<Rect> {
+        let mut seen = NodeSet::new(space.len());
         let mut blocks: Vec<Rect> = Vec::new();
-        let mut queue = Vec::new();
-        for start in disabled.coords() {
-            if !disabled[start] || seen[start] {
+        let mut queue: Vec<usize> = Vec::new();
+        for start in disabled.iter() {
+            if seen.contains(start) {
                 continue;
             }
-            let mut rect = Rect::point(start);
+            let mut rect = Rect::point(space.coord(start));
             queue.clear();
             queue.push(start);
-            seen[start] = true;
+            seen.insert(start);
             while let Some(u) = queue.pop() {
-                rect.include(u);
-                for d in mesh_topo::Dir2::ALL {
-                    let v = u.step(d);
-                    if disabled.contains(v) && disabled[v] && !seen[v] {
-                        seen[v] = true;
+                rect.include(space.coord(u));
+                space.for_neighbors4(u, |v| {
+                    if disabled.contains(v) && seen.insert(v) {
                         queue.push(v);
                     }
-                }
+                });
             }
             blocks.push(rect);
         }
@@ -127,13 +122,12 @@ impl FaultBlocks2 {
     }
 
     /// Disable every cell of every block. Returns true if anything changed.
-    fn fill_boxes(disabled: &mut Grid2<bool>, blocks: &[Rect]) -> bool {
+    fn fill_boxes(space: NodeSpace2, disabled: &mut NodeSet, blocks: &[Rect]) -> bool {
         let mut changed = false;
         for r in blocks {
             for c in r.iter() {
-                if disabled.contains(c) && !disabled[c] {
-                    disabled[c] = true;
-                    changed = true;
+                if let Some(i) = space.index_checked(c) {
+                    changed |= disabled.insert(i);
                 }
             }
         }
@@ -143,17 +137,19 @@ impl FaultBlocks2 {
     /// True if `c` is inside some fault block (faulty or disabled).
     #[inline]
     pub fn is_disabled(&self, c: C2) -> bool {
-        self.disabled.get(c).copied().unwrap_or(false)
+        self.space
+            .index_checked(c)
+            .is_some_and(|i| self.disabled.contains(i))
     }
 
     /// Healthy nodes sacrificed by the model (disabled but not faulty).
     pub fn sacrificed_count(&self) -> usize {
-        self.disabled_count - self.fault_count
+        self.disabled.len() - self.fault_count
     }
 
     /// Total disabled nodes (faulty + sacrificed).
     pub fn disabled_count(&self) -> usize {
-        self.disabled_count
+        self.disabled.len()
     }
 
     /// Existence of a minimal path from `s` to `d` **under the block model**:

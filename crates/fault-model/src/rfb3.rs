@@ -7,97 +7,92 @@
 //! (components widen to bounding boxes, intersecting boxes merge, boxes are
 //! filled) until the disabled set is a disjoint union of full cuboids.
 
-use mesh_topo::{Box3, Grid3, Mesh3D, C3};
+use mesh_topo::{Box3, Mesh3D, NodeSet, NodeSpace3, C3};
 
 use crate::oracle;
 
 /// The cuboid-faulty-block decomposition of a 3-D mesh.
+///
+/// Like [`crate::rfb2::FaultBlocks2`], the disabled set is a [`NodeSet`]
+/// bitset over the mesh's [`NodeSpace3`], and the closure runs on linear
+/// node indices.
 #[derive(Clone, Debug)]
 pub struct FaultBlocks3 {
-    disabled: Grid3<bool>,
+    space: NodeSpace3,
+    disabled: NodeSet,
     /// The fault cuboids (bounding boxes of the disabled components).
     pub blocks: Vec<Box3>,
     fault_count: usize,
-    disabled_count: usize,
 }
 
 impl FaultBlocks3 {
     /// Compute the cuboid-block closure of the mesh's fault set.
     pub fn compute(mesh: &Mesh3D) -> FaultBlocks3 {
-        let mut disabled = Grid3::new(mesh.nx(), mesh.ny(), mesh.nz(), false);
-        for &f in mesh.faults() {
-            disabled[f] = true;
-        }
+        let space = mesh.space();
+        let mut disabled = mesh.fault_set().clone();
         let mut blocks;
         loop {
-            let grew = Self::close_rule(&mut disabled);
-            blocks = Self::boxes_of_components(&disabled);
-            let filled = Self::fill_boxes(&mut disabled, &blocks);
+            let grew = Self::close_rule(space, &mut disabled);
+            blocks = Self::boxes_of_components(space, &disabled);
+            let filled = Self::fill_boxes(space, &mut disabled, &blocks);
             if !grew && !filled {
                 break;
             }
         }
-        let disabled_count = disabled.iter().filter(|(_, &b)| b).count();
         FaultBlocks3 {
+            space,
             disabled,
             blocks,
             fault_count: mesh.fault_count(),
-            disabled_count,
         }
     }
 
     /// "Two or more faulty/disabled neighbors" rule, to a fixpoint.
     /// Returns true if any node was newly disabled.
-    fn close_rule(disabled: &mut Grid3<bool>) -> bool {
-        let blocked = |g: &Grid3<bool>, c: C3| g.get(c).copied().unwrap_or(false);
-        let rule = |g: &Grid3<bool>, c: C3| {
-            mesh_topo::Dir3::ALL
-                .iter()
-                .filter(|&&d| blocked(g, c.step(d)))
-                .count()
-                >= 2
+    fn close_rule(space: NodeSpace3, disabled: &mut NodeSet) -> bool {
+        let rule = |set: &NodeSet, i: usize| {
+            let mut n = 0;
+            space.for_neighbors6(i, |j| n += set.contains(j) as usize);
+            n >= 2
         };
         let mut grew = false;
-        let mut work: Vec<C3> = disabled.coords().collect();
+        let mut work: Vec<usize> = (0..space.len()).collect();
         while let Some(u) = work.pop() {
-            if disabled[u] || !rule(disabled, u) {
+            if disabled.contains(u) || !rule(disabled, u) {
                 continue;
             }
-            disabled[u] = true;
+            disabled.insert(u);
             grew = true;
-            for d in mesh_topo::Dir3::ALL {
-                let v = u.step(d);
-                if disabled.contains(v) && !disabled[v] {
+            space.for_neighbors6(u, |v| {
+                if !disabled.contains(v) {
                     work.push(v);
                 }
-            }
+            });
         }
         grew
     }
 
     /// Bounding boxes of the connected disabled components, merged until
     /// pairwise disjoint.
-    fn boxes_of_components(disabled: &Grid3<bool>) -> Vec<Box3> {
-        let mut seen = Grid3::new(disabled.nx(), disabled.ny(), disabled.nz(), false);
+    fn boxes_of_components(space: NodeSpace3, disabled: &NodeSet) -> Vec<Box3> {
+        let mut seen = NodeSet::new(space.len());
         let mut blocks: Vec<Box3> = Vec::new();
-        let mut queue = Vec::new();
-        for start in disabled.coords() {
-            if !disabled[start] || seen[start] {
+        let mut queue: Vec<usize> = Vec::new();
+        for start in disabled.iter() {
+            if seen.contains(start) {
                 continue;
             }
-            let mut bb = Box3::point(start);
+            let mut bb = Box3::point(space.coord(start));
             queue.clear();
             queue.push(start);
-            seen[start] = true;
+            seen.insert(start);
             while let Some(u) = queue.pop() {
-                bb.include(u);
-                for d in mesh_topo::Dir3::ALL {
-                    let v = u.step(d);
-                    if disabled.contains(v) && disabled[v] && !seen[v] {
-                        seen[v] = true;
+                bb.include(space.coord(u));
+                space.for_neighbors6(u, |v| {
+                    if disabled.contains(v) && seen.insert(v) {
                         queue.push(v);
                     }
-                }
+                });
             }
             blocks.push(bb);
         }
@@ -120,13 +115,12 @@ impl FaultBlocks3 {
     }
 
     /// Disable every cell of every block. Returns true if anything changed.
-    fn fill_boxes(disabled: &mut Grid3<bool>, blocks: &[Box3]) -> bool {
+    fn fill_boxes(space: NodeSpace3, disabled: &mut NodeSet, blocks: &[Box3]) -> bool {
         let mut changed = false;
         for b in blocks {
             for c in b.iter() {
-                if disabled.contains(c) && !disabled[c] {
-                    disabled[c] = true;
-                    changed = true;
+                if let Some(i) = space.index_checked(c) {
+                    changed |= disabled.insert(i);
                 }
             }
         }
@@ -136,17 +130,19 @@ impl FaultBlocks3 {
     /// True if `c` is inside some fault cuboid.
     #[inline]
     pub fn is_disabled(&self, c: C3) -> bool {
-        self.disabled.get(c).copied().unwrap_or(false)
+        self.space
+            .index_checked(c)
+            .is_some_and(|i| self.disabled.contains(i))
     }
 
     /// Healthy nodes sacrificed by the model.
     pub fn sacrificed_count(&self) -> usize {
-        self.disabled_count - self.fault_count
+        self.disabled.len() - self.fault_count
     }
 
     /// Total disabled nodes (faulty + sacrificed).
     pub fn disabled_count(&self) -> usize {
-        self.disabled_count
+        self.disabled.len()
     }
 
     /// Existence of a minimal path from `s` to `d` under the cuboid model:

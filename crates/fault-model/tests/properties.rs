@@ -9,15 +9,20 @@
 //!   fault-avoiding oracle for every endpoint combination.
 //! * **Model ordering**: MCC sacrifices ≤ RFB sacrifices; RFB success
 //!   implies MCC success.
+//! * **Representation equivalence**: the flat bitset pipeline
+//!   (raster-sweep labelling + index-BFS components) produces identical
+//!   statuses and component partitions to the hash-based reference
+//!   ([`fault_model::reference`]) on random meshes, under both border
+//!   policies.
 
 use fault_model::components::{Components2, Components3};
 use fault_model::mcc2::MccSet2;
 use fault_model::mcc3::MccSet3;
-use fault_model::oracle;
 use fault_model::{
     minimal_path_exists_2d, minimal_path_exists_3d, BorderPolicy, FaultBlocks2, FaultBlocks3,
     Labelling2, Labelling3,
 };
+use fault_model::{oracle, reference};
 use mesh_topo::coord::{c2, c3};
 use mesh_topo::{Frame2, Frame3, Mesh2D, Mesh3D, C2, C3};
 use proptest::prelude::*;
@@ -185,6 +190,67 @@ proptest! {
             let truth = oracle::reachable_2d(s, d, |c| mesh.is_faulty(c) || !mesh.contains(c));
             prop_assert!(truth);
         }
+    }
+
+    /// The flat (bitset) labelling equals the hash-based reference on every
+    /// node, for both border policies and every quadrant orientation (2-D).
+    #[test]
+    fn flat_labelling2_equals_hash_reference(mesh in arb_mesh2()) {
+        for policy in [BorderPolicy::BorderSafe, BorderPolicy::BorderBlocked] {
+            for frame in Frame2::all(&mesh) {
+                let flat = Labelling2::compute(&mesh, frame, policy);
+                let hash = reference::HashLabelling2::compute(&mesh, frame, policy);
+                for (c, st) in flat.iter() {
+                    prop_assert_eq!(st, hash.status[&c],
+                        "status mismatch at {} (policy {:?}, frame {:?})", c, policy, frame);
+                }
+                prop_assert_eq!(flat.unsafe_count(), hash.unsafe_cells().len());
+            }
+        }
+    }
+
+    /// Same in 3-D (identity octant, both policies — the octant sweep is
+    /// covered by the labelling unit tests).
+    #[test]
+    fn flat_labelling3_equals_hash_reference(mesh in arb_mesh3()) {
+        for policy in [BorderPolicy::BorderSafe, BorderPolicy::BorderBlocked] {
+            let frame = Frame3::identity(&mesh);
+            let flat = Labelling3::compute(&mesh, frame, policy);
+            let hash = reference::HashLabelling3::compute(&mesh, frame, policy);
+            for (c, st) in flat.iter() {
+                prop_assert_eq!(st, hash.status[&c],
+                    "status mismatch at {} (policy {:?})", c, policy);
+            }
+            prop_assert_eq!(flat.unsafe_count(), hash.unsafe_cells().len());
+        }
+    }
+
+    /// The flat component discovery produces the same partition of the
+    /// unsafe set as the hash-based reference (compared as sorted sets of
+    /// sorted cell lists, so discovery order cannot mask a difference).
+    #[test]
+    fn flat_components_equal_hash_reference(mesh in arb_mesh2(), mesh3 in arb_mesh3()) {
+        let lab = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+        let mut flat: Vec<Vec<_>> = Components2::compute(&lab)
+            .cells
+            .into_iter()
+            .map(|mut v| { v.sort(); v })
+            .collect();
+        flat.sort();
+        let hash = reference::components2_hash(&reference::HashLabelling2::compute(
+            &mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe));
+        prop_assert_eq!(flat, hash, "2-D partition mismatch: faults {:?}", mesh.faults());
+
+        let lab3 = Labelling3::compute(&mesh3, Frame3::identity(&mesh3), BorderPolicy::BorderSafe);
+        let mut flat3: Vec<Vec<_>> = Components3::compute(&lab3)
+            .cells
+            .into_iter()
+            .map(|mut v| { v.sort(); v })
+            .collect();
+        flat3.sort();
+        let hash3 = reference::components3_hash(&reference::HashLabelling3::compute(
+            &mesh3, Frame3::identity(&mesh3), BorderPolicy::BorderSafe));
+        prop_assert_eq!(flat3, hash3, "3-D partition mismatch: faults {:?}", mesh3.faults());
     }
 
     /// Components partition the unsafe set (2-D and 3-D).

@@ -1,0 +1,78 @@
+//! Old-vs-new MCC construction: the hash-based reference pipeline
+//! (coordinate worklist labelling + `HashSet` component BFS, see
+//! `fault_model::reference`) against the flat bitset pipeline
+//! (raster-sweep labelling + `NodeSet` index BFS) on 32²…512² and
+//! 16³…64³ meshes at 20% uniform faults.
+//!
+//! The `bench_label` binary runs the same cases and snapshots the
+//! results to `BENCH_mcc_label.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fault_model::components::{Components2, Components3};
+use fault_model::reference::{components2_hash, components3_hash, HashLabelling2, HashLabelling3};
+use fault_model::{BorderPolicy, Labelling2, Labelling3};
+use mesh_topo::{FaultSpec, Frame2, Frame3, Mesh2D, Mesh3D};
+
+const FAULT_FRACTION: f64 = 0.20;
+const SEED: u64 = 42;
+
+fn mesh2(width: i32) -> Mesh2D {
+    let mut mesh = Mesh2D::kary(width);
+    let faults = (mesh.node_count() as f64 * FAULT_FRACTION) as usize;
+    FaultSpec::uniform(faults, SEED).inject_2d(&mut mesh, &[]);
+    mesh
+}
+
+fn mesh3(k: i32) -> Mesh3D {
+    let mut mesh = Mesh3D::kary(k);
+    let faults = (mesh.node_count() as f64 * FAULT_FRACTION) as usize;
+    FaultSpec::uniform(faults, SEED).inject_3d(&mut mesh, &[]);
+    mesh
+}
+
+fn bench_label_2d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mcc_label_2d_20pct");
+    for width in [32i32, 64, 128, 256, 512] {
+        let mesh = mesh2(width);
+        let samples = if width >= 256 { 3 } else { 10 };
+        g.sample_size(samples);
+        g.bench_with_input(BenchmarkId::new("flat", width), &mesh, |b, m| {
+            b.iter(|| {
+                let lab = Labelling2::compute(m, Frame2::identity(m), BorderPolicy::BorderSafe);
+                Components2::compute(&lab).len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("hash", width), &mesh, |b, m| {
+            b.iter(|| {
+                let lab = HashLabelling2::compute(m, Frame2::identity(m), BorderPolicy::BorderSafe);
+                components2_hash(&lab).len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_label_3d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mcc_label_3d_20pct");
+    for k in [16i32, 32, 48, 64] {
+        let mesh = mesh3(k);
+        let samples = if k >= 48 { 3 } else { 10 };
+        g.sample_size(samples);
+        g.bench_with_input(BenchmarkId::new("flat", k), &mesh, |b, m| {
+            b.iter(|| {
+                let lab = Labelling3::compute(m, Frame3::identity(m), BorderPolicy::BorderSafe);
+                Components3::compute(&lab).len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("hash", k), &mesh, |b, m| {
+            b.iter(|| {
+                let lab = HashLabelling3::compute(m, Frame3::identity(m), BorderPolicy::BorderSafe);
+                components3_hash(&lab).len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_label_2d, bench_label_3d);
+criterion_main!(benches);

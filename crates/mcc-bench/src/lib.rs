@@ -16,6 +16,29 @@
 //! the original programmatic sweep API; each is now a thin wrapper that
 //! builds the equivalent [`scenario::Scenario`] and runs it, so code- and
 //! data-driven callers take exactly the same path.
+//!
+//! The `bench_label` binary snapshots the flat-vs-hash MCC-construction
+//! speedup to `BENCH_mcc_label.json` (see DESIGN.md §7); the criterion
+//! benches under `benches/` time the other kernels.
+//!
+//! # Examples
+//!
+//! Build a scenario programmatically, run it, and read the table rows
+//! (the declarative TOML path deserializes into exactly this structure):
+//!
+//! ```
+//! use mcc_bench::scenario::Scenario;
+//! use mcc_bench::{run_scenario, runner::TableRows};
+//!
+//! let scenario = Scenario::regions_2d(8, &[2, 4], 2);
+//! let report = run_scenario(&scenario).expect("valid scenario");
+//! let TableRows::Regions(rows) = report.rows else {
+//!     panic!("regions scenario yields a regions table");
+//! };
+//! assert_eq!(rows.len(), 2);
+//! // The MCC model never captures more healthy nodes than fault blocks.
+//! assert!(rows.iter().all(|r| r.mcc <= r.rfb));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

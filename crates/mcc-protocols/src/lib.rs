@@ -29,6 +29,36 @@
 //! Every protocol is validated against the semantic layer of
 //! [`fault_model`] / [`mcc_routing`]: same labels, same shapes, same
 //! decisions, same delivered minimal paths.
+//!
+//! Module ↔ paper map: [`labelling`] runs Algorithms 1/4 distributively
+//! (Sections 3–4); [`compid`], [`ident2`] and [`boundary2`] are the three
+//! stages of Algorithm 2's identification and boundary construction
+//! (Section 3); [`route2`] is Algorithm 3 and [`detect3`]/[`route3`]
+//! Algorithm 6 as message protocols (Sections 3 and 5); the message/round
+//! counts feed the overhead tables of Section 6.
+//!
+//! # Examples
+//!
+//! Run the distributed labelling protocol and check it converges to the
+//! same fixpoint as the semantic closure:
+//!
+//! ```
+//! use fault_model::{BorderPolicy, Labelling2};
+//! use mcc_protocols::DistLabelling2;
+//! use mesh_topo::coord::c2;
+//! use mesh_topo::{Frame2, Mesh2D};
+//!
+//! let mut mesh = Mesh2D::new(8, 8);
+//! mesh.inject_fault(c2(3, 4));
+//! mesh.inject_fault(c2(4, 3));
+//!
+//! let frame = Frame2::identity(&mesh);
+//! let dist = DistLabelling2::run(&mesh, frame);
+//! assert!(dist.status(c2(3, 3)).is_useless());
+//!
+//! let semantic = Labelling2::compute(&mesh, frame, BorderPolicy::BorderSafe);
+//! assert!(dist.matches(&semantic));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

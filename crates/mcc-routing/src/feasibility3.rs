@@ -90,6 +90,10 @@ pub fn detect_3d(lab: &Labelling3, s: C3, d: C3) -> Detection3 {
 /// the `detour` axis is taken only by a node with a blocked `main` move
 /// (the "+turn" of the paper). Succeeds upon reaching the face where the
 /// `target` coordinate equals the destination's.
+///
+/// The visited map is a flat `NodeSet` bitset over the `[s, d]` RMP box
+/// (the flood never leaves it), so per-detection cost scales with the
+/// routing box, not the whole mesh — and no coordinate is ever re-hashed.
 fn flood(
     lab: &Labelling3,
     s: C3,
@@ -99,13 +103,15 @@ fn flood(
     target: Axis3,
     visited_count: &mut usize,
 ) -> bool {
-    use std::collections::{HashSet, VecDeque};
+    use mesh_topo::{NodeSet, NodeSpace3};
+    use std::collections::VecDeque;
     if s.get(target) == d.get(target) {
         return true;
     }
-    let mut seen: HashSet<C3> = HashSet::new();
+    let space = NodeSpace3::new(d.x - s.x + 1, d.y - s.y + 1, d.z - s.z + 1);
+    let mut seen = NodeSet::new(space.len());
     let mut queue: VecDeque<C3> = VecDeque::new();
-    seen.insert(s);
+    seen.insert(space.index(C3::ORIGIN));
     queue.push_back(s);
     while let Some(u) = queue.pop_front() {
         *visited_count += 1;
@@ -119,7 +125,7 @@ fn flood(
                 if v.get(target) == d.get(target) {
                     return true;
                 }
-                if seen.insert(v) {
+                if seen.insert(space.index(v - s)) {
                     queue.push_back(v);
                 }
             } else {
@@ -132,7 +138,7 @@ fn flood(
                 if v.get(target) == d.get(target) {
                     return true;
                 }
-                if seen.insert(v) {
+                if seen.insert(space.index(v - s)) {
                     queue.push_back(v);
                 }
             }

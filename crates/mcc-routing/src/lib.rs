@@ -17,6 +17,40 @@
 //! * [`trace`] — route outcomes, adaptivity and path-quality metrics,
 //! * [`trial`] — single-trial experiment runners shared by the benchmark
 //!   harness.
+//!
+//! Module ↔ paper map: [`feasibility2`] and [`router2`] are Algorithm 3
+//! (Section 3, 2-D routing); [`feasibility3`] and [`router3`] are
+//! Algorithm 6 (Section 5, 3-D routing); [`baseline`] provides the
+//! information-free and faulty-block routers of the Section 6 comparison;
+//! [`trial`] reproduces one data point of the evaluation's success-rate
+//! and path-quality tables.
+//!
+//! # Examples
+//!
+//! Run a complete trial — labelling, feasibility, MCC routing and all
+//! baselines — on a small faulty mesh
+//! ([`run_trial_2d_with`](trial::run_trial_2d_with)):
+//!
+//! ```
+//! use mcc_routing::{run_trial_2d, TrialOptions};
+//! use mcc_routing::trial::run_trial_2d_with;
+//! use mesh_topo::coord::c2;
+//! use mesh_topo::Mesh2D;
+//!
+//! let mut mesh = Mesh2D::new(12, 12);
+//! mesh.inject_fault(c2(5, 6));
+//! mesh.inject_fault(c2(6, 5));
+//!
+//! let t = run_trial_2d(&mesh, c2(0, 0), c2(11, 11), 7);
+//! assert!(t.oracle_ok, "a minimal path exists among the faults");
+//! assert_eq!(t.mcc_ok, t.oracle_ok, "Theorem 1 is exact");
+//! assert!(t.mcc_delivered && t.mcc_hops == 22);
+//!
+//! // The same trial with the block baseline switched off.
+//! let opts = TrialOptions { eval_rfb: false, ..TrialOptions::default() };
+//! let t = run_trial_2d_with(&mesh, c2(0, 0), c2(11, 11), 7, &opts);
+//! assert!(!t.rfb_ok);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

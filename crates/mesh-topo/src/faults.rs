@@ -10,6 +10,14 @@
 //!
 //! Injection can protect a set of nodes (typically the source and destination
 //! under test) from being chosen.
+//!
+//! Sampling runs entirely on the flat node-state layer
+//! ([`crate::nodeset`]): candidates are linear node indices, and
+//! eligibility/membership checks are [`NodeSet`] bit tests instead of the
+//! per-call `HashSet` rebuilds of the original implementation. The RNG draw
+//! sequence is unchanged, so a given `(seed, pattern)` produces the same
+//! fault set the hash-based sampler produced — the determinism regression
+//! test below pins that equivalence.
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -18,6 +26,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::coord::{C2, C3};
 use crate::mesh::{Mesh2D, Mesh3D};
+use crate::nodeset::NodeSet;
 
 /// Spatial distribution of injected faults.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -67,25 +76,26 @@ impl FaultSpec {
     /// `self.count` only when the mesh runs out of eligible nodes).
     pub fn inject_2d(&self, mesh: &mut Mesh2D, protected: &[C2]) -> usize {
         let mut rng = SmallRng::seed_from_u64(self.seed);
-        let eligible: Vec<C2> = mesh
+        let space = mesh.space();
+        let eligible: Vec<usize> = mesh
             .nodes()
             .filter(|c| !protected.contains(c) && mesh.is_healthy(*c))
+            .map(|c| space.index(c))
             .collect();
         let chosen = match self.pattern {
             FaultPattern::Uniform => choose_uniform(&eligible, self.count, &mut rng),
-            FaultPattern::Clustered { clusters } => {
-                choose_clustered(&eligible, self.count, clusters, &mut rng, |c| {
-                    let mut v = Vec::with_capacity(4);
-                    for d in crate::dir::Dir2::ALL {
-                        v.push(c.step(d));
-                    }
-                    v
-                })
-            }
+            FaultPattern::Clustered { clusters } => choose_clustered(
+                space.len(),
+                &eligible,
+                self.count,
+                clusters,
+                &mut rng,
+                |i, out| space.for_neighbors4(i, |j| out.push(j)),
+            ),
         };
         let n = chosen.len();
-        for c in chosen {
-            mesh.inject_fault(c);
+        for i in chosen {
+            mesh.inject_fault(space.coord(i));
         }
         n
     }
@@ -95,32 +105,33 @@ impl FaultSpec {
     /// Returns the number of faults actually injected.
     pub fn inject_3d(&self, mesh: &mut Mesh3D, protected: &[C3]) -> usize {
         let mut rng = SmallRng::seed_from_u64(self.seed);
-        let eligible: Vec<C3> = mesh
+        let space = mesh.space();
+        let eligible: Vec<usize> = mesh
             .nodes()
             .filter(|c| !protected.contains(c) && mesh.is_healthy(*c))
+            .map(|c| space.index(c))
             .collect();
         let chosen = match self.pattern {
             FaultPattern::Uniform => choose_uniform(&eligible, self.count, &mut rng),
-            FaultPattern::Clustered { clusters } => {
-                choose_clustered(&eligible, self.count, clusters, &mut rng, |c| {
-                    let mut v = Vec::with_capacity(6);
-                    for d in crate::dir::Dir3::ALL {
-                        v.push(c.step(d));
-                    }
-                    v
-                })
-            }
+            FaultPattern::Clustered { clusters } => choose_clustered(
+                space.len(),
+                &eligible,
+                self.count,
+                clusters,
+                &mut rng,
+                |i, out| space.for_neighbors6(i, |j| out.push(j)),
+            ),
         };
         let n = chosen.len();
-        for c in chosen {
-            mesh.inject_fault(c);
+        for i in chosen {
+            mesh.inject_fault(space.coord(i));
         }
         n
     }
 }
 
-fn choose_uniform<C: Copy>(eligible: &[C], count: usize, rng: &mut SmallRng) -> Vec<C> {
-    let mut pool: Vec<C> = eligible.to_vec();
+fn choose_uniform(eligible: &[usize], count: usize, rng: &mut SmallRng) -> Vec<usize> {
+    let mut pool: Vec<usize> = eligible.to_vec();
     pool.shuffle(rng);
     pool.truncate(count.min(pool.len()));
     pool
@@ -128,20 +139,24 @@ fn choose_uniform<C: Copy>(eligible: &[C], count: usize, rng: &mut SmallRng) -> 
 
 /// Grow `count` faults from `clusters` random seed points by repeatedly
 /// extending a random already-chosen fault to a random eligible neighbor.
-fn choose_clustered<C: Copy + Eq + std::hash::Hash>(
-    eligible: &[C],
+///
+/// `space_len` is the size of the node index space; `neighbors_of` pushes
+/// the in-mesh neighbor indices of a node in fixed direction order (the
+/// order matters: it is part of the reproducible RNG draw sequence).
+fn choose_clustered(
+    space_len: usize,
+    eligible: &[usize],
     count: usize,
     clusters: usize,
     rng: &mut SmallRng,
-    neighbors_of: impl Fn(C) -> Vec<C>,
-) -> Vec<C> {
-    use std::collections::HashSet;
+    neighbors_of: impl Fn(usize, &mut Vec<usize>),
+) -> Vec<usize> {
     if eligible.is_empty() || count == 0 {
         return Vec::new();
     }
-    let eligible_set: HashSet<C> = eligible.iter().copied().collect();
-    let mut chosen: Vec<C> = Vec::with_capacity(count);
-    let mut chosen_set: HashSet<C> = HashSet::with_capacity(count);
+    let eligible_set = NodeSet::from_indices(space_len, eligible.iter().copied());
+    let mut chosen: Vec<usize> = Vec::with_capacity(count);
+    let mut chosen_set = NodeSet::new(space_len);
     let clusters = clusters.max(1);
 
     // Seed points.
@@ -157,7 +172,7 @@ fn choose_clustered<C: Copy + Eq + std::hash::Hash>(
             }
         }
         if !placed {
-            if let Some(&c) = eligible.iter().find(|c| !chosen_set.contains(c)) {
+            if let Some(&c) = eligible.iter().find(|&&c| !chosen_set.contains(c)) {
                 chosen_set.insert(c);
                 chosen.push(c);
             }
@@ -167,12 +182,12 @@ fn choose_clustered<C: Copy + Eq + std::hash::Hash>(
     // Growth: pick a random chosen fault, extend to a random eligible,
     // unchosen neighbor. If the frontier is exhausted fall back to uniform.
     let mut stall = 0usize;
+    let mut nbrs: Vec<usize> = Vec::with_capacity(6);
     while chosen.len() < count.min(eligible.len()) {
         let base = chosen[rng.gen_range(0..chosen.len())];
-        let nbrs: Vec<C> = neighbors_of(base)
-            .into_iter()
-            .filter(|c| eligible_set.contains(c) && !chosen_set.contains(c))
-            .collect();
+        nbrs.clear();
+        neighbors_of(base, &mut nbrs);
+        nbrs.retain(|&c| eligible_set.contains(c) && !chosen_set.contains(c));
         if let Some(&next) = nbrs.as_slice().choose(rng) {
             chosen_set.insert(next);
             chosen.push(next);
@@ -265,5 +280,124 @@ mod tests {
         let mut m = Mesh3D::kary(6);
         assert_eq!(FaultSpec::uniform(50, 5).inject_3d(&mut m, &[]), 50);
         assert_eq!(m.fault_count(), 50);
+    }
+
+    /// The hash-based sampler this module replaced, kept verbatim as the
+    /// reference for the determinism regression below: same seed must give
+    /// the same fault set under both representations.
+    mod hash_reference {
+        use super::*;
+        use std::collections::HashSet;
+
+        pub fn choose_uniform<C: Copy>(eligible: &[C], count: usize, rng: &mut SmallRng) -> Vec<C> {
+            let mut pool: Vec<C> = eligible.to_vec();
+            pool.shuffle(rng);
+            pool.truncate(count.min(pool.len()));
+            pool
+        }
+
+        pub fn choose_clustered<C: Copy + Eq + std::hash::Hash>(
+            eligible: &[C],
+            count: usize,
+            clusters: usize,
+            rng: &mut SmallRng,
+            neighbors_of: impl Fn(C) -> Vec<C>,
+        ) -> Vec<C> {
+            if eligible.is_empty() || count == 0 {
+                return Vec::new();
+            }
+            let eligible_set: HashSet<C> = eligible.iter().copied().collect();
+            let mut chosen: Vec<C> = Vec::with_capacity(count);
+            let mut chosen_set: HashSet<C> = HashSet::with_capacity(count);
+            let clusters = clusters.max(1);
+            for _ in 0..clusters.min(count) {
+                let mut placed = false;
+                for _ in 0..32 {
+                    let c = eligible[rng.gen_range(0..eligible.len())];
+                    if chosen_set.insert(c) {
+                        chosen.push(c);
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    if let Some(&c) = eligible.iter().find(|c| !chosen_set.contains(c)) {
+                        chosen_set.insert(c);
+                        chosen.push(c);
+                    }
+                }
+            }
+            let mut stall = 0usize;
+            while chosen.len() < count.min(eligible.len()) {
+                let base = chosen[rng.gen_range(0..chosen.len())];
+                let nbrs: Vec<C> = neighbors_of(base)
+                    .into_iter()
+                    .filter(|c| eligible_set.contains(c) && !chosen_set.contains(c))
+                    .collect();
+                if let Some(&next) = nbrs.as_slice().choose(rng) {
+                    chosen_set.insert(next);
+                    chosen.push(next);
+                    stall = 0;
+                } else {
+                    stall += 1;
+                    if stall > 4 * chosen.len() + 64 {
+                        for &c in eligible {
+                            if chosen.len() >= count {
+                                break;
+                            }
+                            if chosen_set.insert(c) {
+                                chosen.push(c);
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+            chosen
+        }
+    }
+
+    /// Determinism regression: the NodeSet-based sampler draws exactly the
+    /// fault sets the hash-based sampler drew, for the same seeds, in both
+    /// patterns and both dimensions (including injection order).
+    #[test]
+    fn sampling_matches_hash_reference() {
+        for seed in [0u64, 1, 7, 42, 1234, 0xdead_beef] {
+            for &(count, clusters) in &[(10usize, 1usize), (30, 3), (70, 5)] {
+                // 2-D, uniform and clustered.
+                let protected = [c2(0, 0), c2(11, 11)];
+                let reference = Mesh2D::new(12, 12);
+                let eligible: Vec<C2> = reference
+                    .nodes()
+                    .filter(|c| !protected.contains(c))
+                    .collect();
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let expect_uniform = hash_reference::choose_uniform(&eligible, count, &mut rng);
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let expect_clustered =
+                    hash_reference::choose_clustered(&eligible, count, clusters, &mut rng, |c| {
+                        crate::dir::Dir2::ALL.iter().map(|&d| c.step(d)).collect()
+                    });
+
+                let mut m = Mesh2D::new(12, 12);
+                FaultSpec::uniform(count, seed).inject_2d(&mut m, &protected);
+                assert_eq!(m.faults(), expect_uniform, "2d uniform seed {seed}");
+                let mut m = Mesh2D::new(12, 12);
+                FaultSpec::clustered(count, clusters, seed).inject_2d(&mut m, &protected);
+                assert_eq!(m.faults(), expect_clustered, "2d clustered seed {seed}");
+
+                // 3-D, clustered (the pattern that exercised the hash sets).
+                let reference3 = Mesh3D::kary(7);
+                let eligible3: Vec<C3> = reference3.nodes().collect();
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let expect3 =
+                    hash_reference::choose_clustered(&eligible3, count, clusters, &mut rng, |c| {
+                        crate::dir::Dir3::ALL.iter().map(|&d| c.step(d)).collect()
+                    });
+                let mut m3 = Mesh3D::kary(7);
+                FaultSpec::clustered(count, clusters, seed).inject_3d(&mut m3, &[]);
+                assert_eq!(m3.faults(), expect3, "3d clustered seed {seed}");
+            }
+        }
     }
 }

@@ -14,11 +14,40 @@
 //! * [`frame`] — quadrant/octant reflection frames that canonicalize a
 //!   source/destination pair so the destination dominates the source,
 //! * [`faults`] — seeded random fault injection (uniform and clustered),
+//! * [`nodeset`] — the flat node-state layer: linearized index spaces
+//!   ([`NodeSpace2`], [`NodeSpace3`]), the packed [`NodeSet`] bitset and the
+//!   dense [`NodeGrid`] value array that every hot mesh kernel runs on,
 //! * [`path`] — routing paths and minimality/validity checks.
 //!
+//! In the paper's vocabulary this crate is the *network model* of Section 2:
+//! the k-ary n-dimensional mesh, its node addresses and neighborhoods, and
+//! the faulty-node sets the labelling process of Sections 3–4 classifies.
+//!
 //! Everything here is deterministic and allocation-conscious: grids are flat
-//! `Vec`s, neighbor iteration never allocates, and all random workloads are
-//! reproducible from a `u64` seed.
+//! `Vec`s, fault sets are packed bitsets, neighbor iteration never
+//! allocates, and all random workloads are reproducible from a `u64` seed.
+//!
+//! # Examples
+//!
+//! Build a mesh, inject a reproducible fault pattern, and inspect the fault
+//! set both coordinate-wise and through the flat [`NodeSet`] layer:
+//!
+//! ```
+//! use mesh_topo::coord::c2;
+//! use mesh_topo::{FaultSpec, Mesh2D};
+//!
+//! let mut mesh = Mesh2D::new(16, 16);
+//! let injected = FaultSpec::uniform(12, 42).inject_2d(&mut mesh, &[c2(0, 0)]);
+//! assert_eq!(injected, 12);
+//! assert!(mesh.is_healthy(c2(0, 0)));
+//!
+//! // The coordinate API and the bitset agree.
+//! let faults = mesh.fault_set();
+//! assert_eq!(faults.len(), mesh.fault_count());
+//! for &f in mesh.faults() {
+//!     assert!(faults.contains(mesh.space().index(f)));
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +58,7 @@ pub mod faults;
 pub mod frame;
 pub mod grid;
 pub mod mesh;
+pub mod nodeset;
 pub mod path;
 pub mod region;
 
@@ -38,5 +68,6 @@ pub use faults::{FaultPattern, FaultSpec};
 pub use frame::{Frame2, Frame3};
 pub use grid::{Grid2, Grid3};
 pub use mesh::{Mesh2D, Mesh3D};
+pub use nodeset::{NodeGrid, NodeSet, NodeSpace2, NodeSpace3};
 pub use path::{Path2, Path3};
 pub use region::{Box3, Rect};

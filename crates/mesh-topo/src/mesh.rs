@@ -3,23 +3,31 @@
 //! A k-ary n-dimensional mesh connects nodes along each dimension as a linear
 //! array (no wrap-around). Node faults are the unit of failure; link faults
 //! are modelled, as in the paper, by disabling the adjacent nodes.
+//!
+//! Fault membership is a packed [`NodeSet`] over the mesh's linear
+//! [`NodeSpace2`]/[`NodeSpace3`] index space — `is_faulty` is a shift and
+//! mask, and whole-mesh consumers (labelling, component discovery, fault
+//! sampling) can grab the bitset directly via [`Mesh2D::fault_set`] /
+//! [`Mesh3D::fault_set`] instead of re-deriving it per call.
 
 use crate::coord::{C2, C3};
 use crate::dir::{Dir2, Dir3};
-use crate::grid::{Grid2, Grid3};
+use crate::nodeset::{NodeSet, NodeSpace2, NodeSpace3};
 use crate::region::{Box3, Rect};
 
 /// A `width × height` 2-D mesh with a set of faulty nodes.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Mesh2D {
-    faulty: Grid2<bool>,
+    space: NodeSpace2,
+    faulty: NodeSet,
     fault_list: Vec<C2>,
 }
 
 /// An `nx × ny × nz` 3-D mesh with a set of faulty nodes.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Mesh3D {
-    faulty: Grid3<bool>,
+    space: NodeSpace3,
+    faulty: NodeSet,
     fault_list: Vec<C3>,
 }
 
@@ -29,8 +37,10 @@ impl Mesh2D {
     /// # Panics
     /// If either dimension is not positive.
     pub fn new(width: i32, height: i32) -> Self {
+        let space = NodeSpace2::new(width, height);
         Mesh2D {
-            faulty: Grid2::new(width, height, false),
+            space,
+            faulty: NodeSet::new(space.len()),
             fault_list: Vec::new(),
         }
     }
@@ -43,25 +53,31 @@ impl Mesh2D {
     /// Width (extent along X).
     #[inline]
     pub fn width(&self) -> i32 {
-        self.faulty.width()
+        self.space.width()
     }
 
     /// Height (extent along Y).
     #[inline]
     pub fn height(&self) -> i32 {
-        self.faulty.height()
+        self.space.height()
     }
 
     /// Total number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.faulty.len()
+        self.space.len()
+    }
+
+    /// The linear index space of this mesh's nodes.
+    #[inline]
+    pub fn space(&self) -> NodeSpace2 {
+        self.space
     }
 
     /// True if `c` addresses a node of this mesh.
     #[inline]
     pub fn contains(&self, c: C2) -> bool {
-        self.faulty.contains(c)
+        self.space.contains(c)
     }
 
     /// The full extent of the mesh as an inclusive rectangle.
@@ -80,32 +96,40 @@ impl Mesh2D {
     /// If `c` is outside the mesh.
     pub fn inject_fault(&mut self, c: C2) -> bool {
         assert!(self.contains(c), "fault injected outside mesh: {c:?}");
-        let cell = &mut self.faulty[c];
-        if *cell {
-            false
-        } else {
-            *cell = true;
+        if self.faulty.insert(self.space.index(c)) {
             self.fault_list.push(c);
             true
+        } else {
+            false
         }
     }
 
     /// True if the node exists and is faulty.
     #[inline]
     pub fn is_faulty(&self, c: C2) -> bool {
-        self.faulty.get(c).copied().unwrap_or(false)
+        self.space
+            .index_checked(c)
+            .is_some_and(|i| self.faulty.contains(i))
     }
 
     /// True if the node exists and is healthy.
     #[inline]
     pub fn is_healthy(&self, c: C2) -> bool {
-        self.faulty.get(c).map(|f| !f).unwrap_or(false)
+        self.space
+            .index_checked(c)
+            .is_some_and(|i| !self.faulty.contains(i))
     }
 
     /// All injected faults, in injection order.
     #[inline]
     pub fn faults(&self) -> &[C2] {
         &self.fault_list
+    }
+
+    /// The fault set as a packed bitset over [`Mesh2D::space`].
+    #[inline]
+    pub fn fault_set(&self) -> &NodeSet {
+        &self.faulty
     }
 
     /// Number of faulty nodes.
@@ -124,12 +148,12 @@ impl Mesh2D {
 
     /// Iterate all node coordinates in row-major order.
     pub fn nodes(&self) -> impl Iterator<Item = C2> + '_ {
-        self.faulty.coords()
+        self.space.coords()
     }
 
     /// Remove all faults.
     pub fn clear_faults(&mut self) {
-        self.faulty.fill(false);
+        self.faulty.clear();
         self.fault_list.clear();
     }
 }
@@ -140,8 +164,10 @@ impl Mesh3D {
     /// # Panics
     /// If any dimension is not positive.
     pub fn new(nx: i32, ny: i32, nz: i32) -> Self {
+        let space = NodeSpace3::new(nx, ny, nz);
         Mesh3D {
-            faulty: Grid3::new(nx, ny, nz, false),
+            space,
+            faulty: NodeSet::new(space.len()),
             fault_list: Vec::new(),
         }
     }
@@ -154,31 +180,37 @@ impl Mesh3D {
     /// Extent along X.
     #[inline]
     pub fn nx(&self) -> i32 {
-        self.faulty.nx()
+        self.space.nx()
     }
 
     /// Extent along Y.
     #[inline]
     pub fn ny(&self) -> i32 {
-        self.faulty.ny()
+        self.space.ny()
     }
 
     /// Extent along Z.
     #[inline]
     pub fn nz(&self) -> i32 {
-        self.faulty.nz()
+        self.space.nz()
     }
 
     /// Total number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.faulty.len()
+        self.space.len()
+    }
+
+    /// The linear index space of this mesh's nodes.
+    #[inline]
+    pub fn space(&self) -> NodeSpace3 {
+        self.space
     }
 
     /// True if `c` addresses a node of this mesh.
     #[inline]
     pub fn contains(&self, c: C3) -> bool {
-        self.faulty.contains(c)
+        self.space.contains(c)
     }
 
     /// The full extent of the mesh as an inclusive box.
@@ -199,32 +231,40 @@ impl Mesh3D {
     /// If `c` is outside the mesh.
     pub fn inject_fault(&mut self, c: C3) -> bool {
         assert!(self.contains(c), "fault injected outside mesh: {c:?}");
-        let cell = &mut self.faulty[c];
-        if *cell {
-            false
-        } else {
-            *cell = true;
+        if self.faulty.insert(self.space.index(c)) {
             self.fault_list.push(c);
             true
+        } else {
+            false
         }
     }
 
     /// True if the node exists and is faulty.
     #[inline]
     pub fn is_faulty(&self, c: C3) -> bool {
-        self.faulty.get(c).copied().unwrap_or(false)
+        self.space
+            .index_checked(c)
+            .is_some_and(|i| self.faulty.contains(i))
     }
 
     /// True if the node exists and is healthy.
     #[inline]
     pub fn is_healthy(&self, c: C3) -> bool {
-        self.faulty.get(c).map(|f| !f).unwrap_or(false)
+        self.space
+            .index_checked(c)
+            .is_some_and(|i| !self.faulty.contains(i))
     }
 
     /// All injected faults, in injection order.
     #[inline]
     pub fn faults(&self) -> &[C3] {
         &self.fault_list
+    }
+
+    /// The fault set as a packed bitset over [`Mesh3D::space`].
+    #[inline]
+    pub fn fault_set(&self) -> &NodeSet {
+        &self.faulty
     }
 
     /// Number of faulty nodes.
@@ -243,12 +283,12 @@ impl Mesh3D {
 
     /// Iterate all node coordinates (x fastest).
     pub fn nodes(&self) -> impl Iterator<Item = C3> + '_ {
-        self.faulty.coords()
+        self.space.coords()
     }
 
     /// Remove all faults.
     pub fn clear_faults(&mut self) {
-        self.faulty.fill(false);
+        self.faulty.clear();
         self.fault_list.clear();
     }
 }
@@ -303,6 +343,20 @@ mod tests {
         }
         assert_eq!(m.faults().len(), 3);
         assert_eq!(m.nodes().filter(|&c| m.is_faulty(c)).count(), 3);
+    }
+
+    #[test]
+    fn fault_set_mirrors_fault_list() {
+        let mut m = Mesh2D::new(6, 6);
+        for c in [c2(0, 0), c2(5, 5), c2(2, 3)] {
+            m.inject_fault(c);
+        }
+        let set = m.fault_set();
+        assert_eq!(set.len(), 3);
+        let from_set: Vec<C2> = set.iter().map(|i| m.space().coord(i)).collect();
+        let mut from_list = m.faults().to_vec();
+        from_list.sort();
+        assert_eq!(from_set, from_list); // bitset iterates in index order
     }
 
     #[test]

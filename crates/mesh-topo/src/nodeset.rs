@@ -1,0 +1,770 @@
+//! Flat, index-addressed node-state storage: linearized coordinate spaces,
+//! a packed bitset over node indices, and a dense per-node value array.
+//!
+//! Everything that iterates whole meshes — fault sets, labelling closures,
+//! connected-component discovery, detection floods — runs over **linear node
+//! indices** instead of hashed coordinates. A [`NodeSpace2`] / [`NodeSpace3`]
+//! is the (copyable) linearization: it maps a coordinate to its row-major
+//! index and back, and enumerates neighbor indices without allocating.
+//! [`NodeSet`] is a `u64`-word bitset over such a space — membership is one
+//! shift and mask, iteration scans whole words with `trailing_zeros`, and
+//! set algebra (union / intersection / difference) is word-parallel.
+//! [`NodeGrid`] is the matching dense value array.
+//!
+//! Index layout matches [`crate::grid::Grid2`] / [`crate::grid::Grid3`]:
+//! `x` fastest, then `y`, then `z` — `i = (z·ny + y)·nx + x`.
+//!
+//! # Examples
+//!
+//! ```
+//! use mesh_topo::coord::c2;
+//! use mesh_topo::{NodeSet, NodeSpace2};
+//!
+//! let space = NodeSpace2::new(8, 8);
+//! let mut frontier = NodeSet::new(space.len());
+//! frontier.insert(space.index(c2(3, 4)));
+//! frontier.insert(space.index(c2(7, 7)));
+//! assert_eq!(frontier.len(), 2);
+//! assert!(frontier.contains(space.index(c2(3, 4))));
+//!
+//! // Fast iteration yields indices in row-major order.
+//! let coords: Vec<_> = frontier.iter().map(|i| space.coord(i)).collect();
+//! assert_eq!(coords, vec![c2(3, 4), c2(7, 7)]);
+//! ```
+
+use crate::coord::{C2, C3};
+use crate::dir::{Dir2, Dir3};
+
+/// Linearization of a `width × height` 2-D node lattice.
+///
+/// Row-major, matching [`crate::grid::Grid2`]: `i = y·width + x`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NodeSpace2 {
+    width: i32,
+    height: i32,
+}
+
+/// Linearization of an `nx × ny × nz` 3-D node lattice.
+///
+/// Matches [`crate::grid::Grid3`]: `i = (z·ny + y)·nx + x`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NodeSpace3 {
+    nx: i32,
+    ny: i32,
+    nz: i32,
+}
+
+impl NodeSpace2 {
+    /// The space of a `width × height` mesh.
+    ///
+    /// # Panics
+    /// If either dimension is not positive.
+    pub fn new(width: i32, height: i32) -> NodeSpace2 {
+        assert!(
+            width > 0 && height > 0,
+            "node space dimensions must be positive"
+        );
+        NodeSpace2 { width, height }
+    }
+
+    /// Extent along X.
+    #[inline]
+    pub fn width(self) -> i32 {
+        self.width
+    }
+
+    /// Extent along Y.
+    #[inline]
+    pub fn height(self) -> i32 {
+        self.height
+    }
+
+    /// Total number of nodes.
+    #[inline]
+    pub fn len(self) -> usize {
+        (self.width as usize) * (self.height as usize)
+    }
+
+    /// Node spaces are never empty (dimensions are positive).
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// True if `c` addresses a node of this space.
+    #[inline]
+    pub fn contains(self, c: C2) -> bool {
+        c.x >= 0 && c.y >= 0 && c.x < self.width && c.y < self.height
+    }
+
+    /// Linear index of `c`.
+    ///
+    /// # Panics
+    /// If `c` is outside the space.
+    #[inline]
+    pub fn index(self, c: C2) -> usize {
+        assert!(
+            self.contains(c),
+            "coordinate {c:?} outside {}x{} node space",
+            self.width,
+            self.height
+        );
+        (c.y as usize) * (self.width as usize) + (c.x as usize)
+    }
+
+    /// Linear index of `c`, or `None` if outside the space.
+    #[inline]
+    pub fn index_checked(self, c: C2) -> Option<usize> {
+        if self.contains(c) {
+            Some((c.y as usize) * (self.width as usize) + (c.x as usize))
+        } else {
+            None
+        }
+    }
+
+    /// The coordinate of linear index `i`.
+    #[inline]
+    pub fn coord(self, i: usize) -> C2 {
+        debug_assert!(i < self.len());
+        let w = self.width as usize;
+        C2 {
+            x: (i % w) as i32,
+            y: (i / w) as i32,
+        }
+    }
+
+    /// The index one step along `dir` from `i`, or `None` at the border.
+    #[inline]
+    pub fn step(self, i: usize, dir: Dir2) -> Option<usize> {
+        let w = self.width as usize;
+        let (x, y) = (i % w, i / w);
+        match dir {
+            Dir2::Xp => (x + 1 < w).then(|| i + 1),
+            Dir2::Xm => (x > 0).then(|| i - 1),
+            Dir2::Yp => (y + 1 < self.height as usize).then(|| i + w),
+            Dir2::Ym => (y > 0).then(|| i - w),
+        }
+    }
+
+    /// Call `f` with the index of every in-space node of the 4-neighborhood
+    /// of `i`, in [`Dir2::ALL`] order.
+    #[inline]
+    pub fn for_neighbors4(self, i: usize, mut f: impl FnMut(usize)) {
+        for d in Dir2::ALL {
+            if let Some(j) = self.step(i, d) {
+                f(j);
+            }
+        }
+    }
+
+    /// Call `f` with the index of every in-space node of the 8-neighborhood
+    /// (face + diagonal) of `i`, in the order `+X, -X, +Y, -Y, (+1,+1),
+    /// (+1,-1), (-1,+1), (-1,-1)` — the region-connectivity order used by
+    /// MCC component discovery.
+    #[inline]
+    pub fn for_neighbors8(self, i: usize, mut f: impl FnMut(usize)) {
+        const OFFS: [(i32, i32); 8] = [
+            (1, 0),
+            (-1, 0),
+            (0, 1),
+            (0, -1),
+            (1, 1),
+            (1, -1),
+            (-1, 1),
+            (-1, -1),
+        ];
+        let w = self.width as usize;
+        let (x, y) = ((i % w) as i32, (i / w) as i32);
+        for (dx, dy) in OFFS {
+            let (nx, ny) = (x + dx, y + dy);
+            if nx >= 0 && ny >= 0 && nx < self.width && ny < self.height {
+                f((ny as usize) * w + (nx as usize));
+            }
+        }
+    }
+
+    /// Iterate all coordinates in index (row-major) order.
+    pub fn coords(self) -> impl Iterator<Item = C2> {
+        let (w, h) = (self.width, self.height);
+        (0..h).flat_map(move |y| (0..w).map(move |x| C2 { x, y }))
+    }
+}
+
+impl NodeSpace3 {
+    /// The space of an `nx × ny × nz` mesh.
+    ///
+    /// # Panics
+    /// If any dimension is not positive.
+    pub fn new(nx: i32, ny: i32, nz: i32) -> NodeSpace3 {
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "node space dimensions must be positive"
+        );
+        NodeSpace3 { nx, ny, nz }
+    }
+
+    /// Extent along X.
+    #[inline]
+    pub fn nx(self) -> i32 {
+        self.nx
+    }
+
+    /// Extent along Y.
+    #[inline]
+    pub fn ny(self) -> i32 {
+        self.ny
+    }
+
+    /// Extent along Z.
+    #[inline]
+    pub fn nz(self) -> i32 {
+        self.nz
+    }
+
+    /// Total number of nodes.
+    #[inline]
+    pub fn len(self) -> usize {
+        (self.nx as usize) * (self.ny as usize) * (self.nz as usize)
+    }
+
+    /// Node spaces are never empty (dimensions are positive).
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// True if `c` addresses a node of this space.
+    #[inline]
+    pub fn contains(self, c: C3) -> bool {
+        c.x >= 0 && c.y >= 0 && c.z >= 0 && c.x < self.nx && c.y < self.ny && c.z < self.nz
+    }
+
+    /// Linear index of `c`.
+    ///
+    /// # Panics
+    /// If `c` is outside the space.
+    #[inline]
+    pub fn index(self, c: C3) -> usize {
+        assert!(
+            self.contains(c),
+            "coordinate {c:?} outside {}x{}x{} node space",
+            self.nx,
+            self.ny,
+            self.nz
+        );
+        ((c.z as usize) * (self.ny as usize) + (c.y as usize)) * (self.nx as usize) + (c.x as usize)
+    }
+
+    /// Linear index of `c`, or `None` if outside the space.
+    #[inline]
+    pub fn index_checked(self, c: C3) -> Option<usize> {
+        if self.contains(c) {
+            Some(
+                ((c.z as usize) * (self.ny as usize) + (c.y as usize)) * (self.nx as usize)
+                    + (c.x as usize),
+            )
+        } else {
+            None
+        }
+    }
+
+    /// The coordinate of linear index `i`.
+    #[inline]
+    pub fn coord(self, i: usize) -> C3 {
+        debug_assert!(i < self.len());
+        let nx = self.nx as usize;
+        let ny = self.ny as usize;
+        C3 {
+            x: (i % nx) as i32,
+            y: ((i / nx) % ny) as i32,
+            z: (i / (nx * ny)) as i32,
+        }
+    }
+
+    /// The index one step along `dir` from `i`, or `None` at the border.
+    #[inline]
+    pub fn step(self, i: usize, dir: Dir3) -> Option<usize> {
+        let nx = self.nx as usize;
+        let ny = self.ny as usize;
+        let (x, yz) = (i % nx, i / nx);
+        let (y, z) = (yz % ny, yz / ny);
+        match dir {
+            Dir3::Xp => (x + 1 < nx).then(|| i + 1),
+            Dir3::Xm => (x > 0).then(|| i - 1),
+            Dir3::Yp => (y + 1 < ny).then(|| i + nx),
+            Dir3::Ym => (y > 0).then(|| i - nx),
+            Dir3::Zp => (z + 1 < self.nz as usize).then(|| i + nx * ny),
+            Dir3::Zm => (z > 0).then(|| i - nx * ny),
+        }
+    }
+
+    /// Call `f` with the index of every in-space node of the 6-neighborhood
+    /// of `i`, in [`Dir3::ALL`] order.
+    #[inline]
+    pub fn for_neighbors6(self, i: usize, mut f: impl FnMut(usize)) {
+        for d in Dir3::ALL {
+            if let Some(j) = self.step(i, d) {
+                f(j);
+            }
+        }
+    }
+
+    /// Call `f` with the index of every in-space node of the
+    /// 18-neighborhood (face + planar diagonal) of `i`, in the
+    /// region-connectivity order of MCC component discovery.
+    #[inline]
+    pub fn for_neighbors18(self, i: usize, mut f: impl FnMut(usize)) {
+        const OFFS: [(i32, i32, i32); 18] = [
+            (1, 0, 0),
+            (-1, 0, 0),
+            (0, 1, 0),
+            (0, -1, 0),
+            (0, 0, 1),
+            (0, 0, -1),
+            (1, 1, 0),
+            (1, -1, 0),
+            (-1, 1, 0),
+            (-1, -1, 0),
+            (1, 0, 1),
+            (1, 0, -1),
+            (-1, 0, 1),
+            (-1, 0, -1),
+            (0, 1, 1),
+            (0, 1, -1),
+            (0, -1, 1),
+            (0, -1, -1),
+        ];
+        let nx = self.nx as usize;
+        let ny = self.ny as usize;
+        let (x, yz) = (i % nx, i / nx);
+        let (x, y, z) = (x as i32, (yz % ny) as i32, (yz / ny) as i32);
+        for (dx, dy, dz) in OFFS {
+            let (cx, cy, cz) = (x + dx, y + dy, z + dz);
+            if cx >= 0 && cy >= 0 && cz >= 0 && cx < self.nx && cy < self.ny && cz < self.nz {
+                f(((cz as usize) * ny + (cy as usize)) * nx + (cx as usize));
+            }
+        }
+    }
+
+    /// Iterate all coordinates in index order (x fastest, then y, then z).
+    pub fn coords(self) -> impl Iterator<Item = C3> {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        (0..nz).flat_map(move |z| (0..ny).flat_map(move |y| (0..nx).map(move |x| C3 { x, y, z })))
+    }
+}
+
+/// A packed bitset over the linear indices of a node space.
+///
+/// One bit per node in `u64` words: membership tests are a shift and mask,
+/// iteration scans whole words with `trailing_zeros` (64 absent nodes per
+/// loop step), and union/intersection/difference run word-parallel. This is
+/// the frontier/visited/membership representation of every hot mesh kernel
+/// (labelling closures, component BFS, detection floods, fault sampling).
+///
+/// All bits above `capacity()` are kept zero, so derived equality and the
+/// word-level operations are exact.
+#[derive(Clone, PartialEq, Eq)]
+pub struct NodeSet {
+    nbits: usize,
+    ones: usize,
+    words: Vec<u64>,
+}
+
+impl NodeSet {
+    /// The empty set over a space of `nbits` nodes.
+    pub fn new(nbits: usize) -> NodeSet {
+        NodeSet {
+            nbits,
+            ones: 0,
+            words: vec![0; nbits.div_ceil(64)],
+        }
+    }
+
+    /// Build a set from node indices.
+    ///
+    /// # Panics
+    /// If an index is out of range.
+    pub fn from_indices(nbits: usize, indices: impl IntoIterator<Item = usize>) -> NodeSet {
+        let mut set = NodeSet::new(nbits);
+        for i in indices {
+            set.insert(i);
+        }
+        set
+    }
+
+    /// Number of representable nodes (the size of the underlying space).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.nbits
+    }
+
+    /// Number of member nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ones
+    }
+
+    /// True if no node is a member.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ones == 0
+    }
+
+    /// True if node `i` is a member.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.nbits, "index {i} out of range {}", self.nbits);
+        (self.words[i / 64] >> (i % 64)) & 1 != 0
+    }
+
+    /// Add node `i`. Returns `true` if it was not already a member.
+    ///
+    /// # Panics
+    /// If `i` is out of range — a hard assert, since a phantom bit in the
+    /// last partial word would break the all-bits-above-capacity-are-zero
+    /// invariant that equality, `len` and iteration rely on.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.nbits, "index {i} out of range {}", self.nbits);
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if *w & bit == 0 {
+            *w |= bit;
+            self.ones += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove node `i`. Returns `true` if it was a member.
+    ///
+    /// # Panics
+    /// If `i` is out of range (hard assert, as for [`NodeSet::insert`]).
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.nbits, "index {i} out of range {}", self.nbits);
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if *w & bit != 0 {
+            *w &= !bit;
+            self.ones -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove every member without reallocating.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.ones = 0;
+    }
+
+    /// In-place union: `self ∪= other`.
+    ///
+    /// # Panics
+    /// If the sets cover differently sized spaces.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        assert_eq!(self.nbits, other.nbits, "node set size mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+        self.recount();
+    }
+
+    /// In-place intersection: `self ∩= other`.
+    ///
+    /// # Panics
+    /// If the sets cover differently sized spaces.
+    pub fn intersect_with(&mut self, other: &NodeSet) {
+        assert_eq!(self.nbits, other.nbits, "node set size mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+        self.recount();
+    }
+
+    /// In-place difference: `self ∖= other`.
+    ///
+    /// # Panics
+    /// If the sets cover differently sized spaces.
+    pub fn difference_with(&mut self, other: &NodeSet) {
+        assert_eq!(self.nbits, other.nbits, "node set size mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+        self.recount();
+    }
+
+    /// True if the sets share no member.
+    ///
+    /// # Panics
+    /// If the sets cover differently sized spaces.
+    pub fn is_disjoint(&self, other: &NodeSet) -> bool {
+        assert_eq!(self.nbits, other.nbits, "node set size mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Iterate member indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// The backing words (64 node bits each, index `i` at word `i / 64`,
+    /// bit `i % 64`).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    fn recount(&mut self) {
+        self.ones = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+}
+
+impl core::fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("NodeSet")
+            .field("capacity", &self.nbits)
+            .field("len", &self.ones)
+            .finish()
+    }
+}
+
+/// Dense per-node values keyed by linear node index.
+///
+/// The flat-array companion of [`NodeSet`]: same index space, arbitrary
+/// payload. Thin by design — it is a `Vec<T>` that documents its indexing
+/// contract and matches the node-space vocabulary of the surrounding code.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NodeGrid<T> {
+    data: Vec<T>,
+}
+
+impl<T: Clone> NodeGrid<T> {
+    /// A grid of `len` nodes, every value set to `fill`.
+    pub fn new(len: usize, fill: T) -> NodeGrid<T> {
+        NodeGrid {
+            data: vec![fill; len],
+        }
+    }
+
+    /// Reset every value to `fill` without reallocating.
+    pub fn fill(&mut self, fill: T) {
+        self.data.iter_mut().for_each(|v| *v = fill.clone());
+    }
+}
+
+impl<T> NodeGrid<T> {
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the grid holds no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the value at node `i`, or `None` if out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&T> {
+        self.data.get(i)
+    }
+
+    /// The backing slice in index order.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The mutable backing slice in index order.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Iterate `(index, &value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.data.iter().enumerate()
+    }
+}
+
+impl<T> core::ops::Index<usize> for NodeGrid<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        &self.data[i]
+    }
+}
+
+impl<T> core::ops::IndexMut<usize> for NodeGrid<T> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.data[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::{c2, c3};
+
+    #[test]
+    fn space2_roundtrip() {
+        let s = NodeSpace2::new(5, 3);
+        assert_eq!(s.len(), 15);
+        for (i, c) in s.coords().enumerate() {
+            assert_eq!(s.index(c), i);
+            assert_eq!(s.coord(i), c);
+        }
+        assert_eq!(s.index_checked(c2(5, 0)), None);
+        assert_eq!(s.index_checked(c2(0, -1)), None);
+    }
+
+    #[test]
+    fn space3_roundtrip() {
+        let s = NodeSpace3::new(3, 4, 5);
+        assert_eq!(s.len(), 60);
+        for (i, c) in s.coords().enumerate() {
+            assert_eq!(s.index(c), i);
+            assert_eq!(s.coord(i), c);
+        }
+        assert_eq!(s.index_checked(c3(3, 0, 0)), None);
+    }
+
+    #[test]
+    fn space_steps_match_coordinate_steps() {
+        let s2 = NodeSpace2::new(4, 4);
+        for c in s2.coords() {
+            for d in Dir2::ALL {
+                let via_coord = s2.index_checked(c.step(d));
+                assert_eq!(s2.step(s2.index(c), d), via_coord, "{c:?} {d:?}");
+            }
+        }
+        let s3 = NodeSpace3::new(3, 3, 3);
+        for c in s3.coords() {
+            for d in Dir3::ALL {
+                let via_coord = s3.index_checked(c.step(d));
+                assert_eq!(s3.step(s3.index(c), d), via_coord, "{c:?} {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors8_matches_offsets() {
+        let s = NodeSpace2::new(6, 6);
+        for c in s.coords() {
+            let mut got = Vec::new();
+            s.for_neighbors8(s.index(c), |j| got.push(s.coord(j)));
+            let expect: Vec<C2> = [
+                (1, 0),
+                (-1, 0),
+                (0, 1),
+                (0, -1),
+                (1, 1),
+                (1, -1),
+                (-1, 1),
+                (-1, -1),
+            ]
+            .iter()
+            .map(|&(dx, dy)| c2(c.x + dx, c.y + dy))
+            .filter(|&n| s.contains(n))
+            .collect();
+            assert_eq!(got, expect, "at {c:?}");
+        }
+    }
+
+    #[test]
+    fn neighbors18_count_is_correct() {
+        let s = NodeSpace3::new(4, 4, 4);
+        // interior node has all 18 neighbors
+        let mut n = 0;
+        s.for_neighbors18(s.index(c3(1, 1, 1)), |_| n += 1);
+        assert_eq!(n, 18);
+        // a corner keeps only the inward ones
+        let mut corner = Vec::new();
+        s.for_neighbors18(s.index(c3(0, 0, 0)), |j| corner.push(s.coord(j)));
+        assert_eq!(corner.len(), 6); // 3 faces + 3 planar diagonals
+        assert!(corner.contains(&c3(1, 1, 0)));
+        assert!(!corner.contains(&c3(1, 1, 1))); // space diagonal excluded
+    }
+
+    #[test]
+    fn set_insert_remove_contains() {
+        let mut s = NodeSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(64) && !s.contains(63));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_iteration_is_sorted_and_complete() {
+        let idx = [0usize, 1, 63, 64, 65, 127, 128, 129];
+        let s = NodeSet::from_indices(200, idx);
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, idx.to_vec());
+        assert_eq!(s.len(), idx.len());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a0 = NodeSet::from_indices(100, [1, 2, 3, 70]);
+        let b = NodeSet::from_indices(100, [2, 3, 4, 99]);
+        let mut u = a0.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 70, 99]);
+        let mut i = a0.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 3]);
+        let mut d = a0.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 70]);
+        assert!(d.is_disjoint(&i));
+        assert!(!a0.is_disjoint(&b));
+    }
+
+    #[test]
+    fn trailing_word_bits_stay_zero() {
+        let mut s = NodeSet::new(70);
+        s.insert(69);
+        let t = NodeSet::from_indices(70, [69]);
+        assert_eq!(s, t);
+        assert_eq!(s.words().len(), 2);
+        assert_eq!(s.words()[1] & !0b111111, 0);
+    }
+
+    #[test]
+    fn node_grid_roundtrip() {
+        let mut g = NodeGrid::new(10, 0u32);
+        g[3] = 7;
+        assert_eq!(g[3], 7);
+        assert_eq!(g.get(10), None);
+        assert_eq!(g.iter().filter(|&(_, &v)| v != 0).count(), 1);
+        g.fill(1);
+        assert!(g.as_slice().iter().all(|&v| v == 1));
+        assert_eq!(g.len(), 10);
+    }
+}

@@ -9,6 +9,21 @@
 //! use [`fault_model`] to compute MCC fault regions and existence conditions,
 //! and [`mcc_routing`] to actually route. [`mcc_protocols`] contains the
 //! distributed (message-passing) implementations running on [`sim_net`].
+//!
+//! # Examples
+//!
+//! The shortest possible end-to-end run — inject faults, label, route:
+//!
+//! ```
+//! use mcc_mesh::mcc_routing::run_trial_2d;
+//! use mcc_mesh::mesh_topo::coord::c2;
+//! use mcc_mesh::mesh_topo::{FaultSpec, Mesh2D};
+//!
+//! let mut mesh = Mesh2D::new(12, 12);
+//! FaultSpec::uniform(10, 3).inject_2d(&mut mesh, &[c2(0, 0), c2(11, 11)]);
+//! let trial = run_trial_2d(&mesh, c2(0, 0), c2(11, 11), 3);
+//! assert_eq!(trial.mcc_ok, trial.oracle_ok); // the MCC condition is exact
+//! ```
 
 #![forbid(unsafe_code)]
 
@@ -17,3 +32,9 @@ pub use mcc_protocols;
 pub use mcc_routing;
 pub use mesh_topo;
 pub use sim_net;
+
+/// The workspace README, compiled as documentation so its Rust code blocks
+/// run under `cargo test --doc` — README examples cannot silently drift
+/// from the API.
+#[doc = include_str!("../README.md")]
+mod readme_doctests {}
