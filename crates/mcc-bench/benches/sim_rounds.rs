@@ -1,0 +1,71 @@
+//! Engine benchmark: the distributed labelling protocol on the flat
+//! index-addressed engine vs the pre-refactor hash-addressed engine.
+//!
+//! Identical protocol logic, identical round/message counts (pinned by the
+//! parity tests in `mcc-protocols`); the only variable is the engine. The
+//! `bench_sim` binary runs the big 128²/32³ cases and snapshots
+//! `BENCH_sim_rounds.json`; this criterion bench covers smaller sizes so
+//! the comparison stays runnable in a routine `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcc_protocols::labelling::{DistLabelling2, DistLabelling3};
+use mcc_protocols::reference::{RefDistLabelling2, RefDistLabelling3};
+use mesh_topo::{FaultSpec, Frame2, Frame3, Mesh2D, Mesh3D};
+
+const FAULT_FRACTION: f64 = 0.20;
+const SEED: u64 = 42;
+
+fn mesh_2d(width: i32) -> Mesh2D {
+    let mut mesh = Mesh2D::kary(width);
+    let faults = (mesh.node_count() as f64 * FAULT_FRACTION) as usize;
+    FaultSpec::uniform(faults, SEED).inject_2d(&mut mesh, &[]);
+    mesh
+}
+
+fn mesh_3d(k: i32) -> Mesh3D {
+    let mut mesh = Mesh3D::kary(k);
+    let faults = (mesh.node_count() as f64 * FAULT_FRACTION) as usize;
+    FaultSpec::uniform(faults, SEED).inject_3d(&mut mesh, &[]);
+    mesh
+}
+
+fn bench_labelling_2d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_rounds_labelling_2d");
+    g.sample_size(10);
+    for width in [32i32, 64] {
+        let mesh = mesh_2d(width);
+        g.bench_with_input(BenchmarkId::new("flat", width), &mesh, |b, m| {
+            b.iter(|| DistLabelling2::run(m, Frame2::identity(m)).stats.messages)
+        });
+        g.bench_with_input(BenchmarkId::new("hash", width), &mesh, |b, m| {
+            b.iter(|| {
+                RefDistLabelling2::run(m, Frame2::identity(m))
+                    .stats
+                    .messages
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_labelling_3d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_rounds_labelling_3d");
+    g.sample_size(10);
+    for k in [12i32, 16] {
+        let mesh = mesh_3d(k);
+        g.bench_with_input(BenchmarkId::new("flat", k), &mesh, |b, m| {
+            b.iter(|| DistLabelling3::run(m, Frame3::identity(m)).stats.messages)
+        });
+        g.bench_with_input(BenchmarkId::new("hash", k), &mesh, |b, m| {
+            b.iter(|| {
+                RefDistLabelling3::run(m, Frame3::identity(m))
+                    .stats
+                    .messages
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_labelling_2d, bench_labelling_3d);
+criterion_main!(benches);

@@ -18,7 +18,7 @@
 //! data-driven callers take exactly the same path.
 //!
 //! The `bench_label` binary snapshots the flat-vs-hash MCC-construction
-//! speedup to `BENCH_mcc_label.json` (see DESIGN.md §7); the criterion
+//! speedup to `BENCH_mcc_label.json` (see DESIGN.md §6); the criterion
 //! benches under `benches/` time the other kernels.
 //!
 //! # Examples
@@ -115,6 +115,21 @@ pub struct OverheadRow {
     pub total_msgs: f64,
 }
 
+/// One row of the labelling-convergence tables (E7, protocol layer only).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct LabellingRow {
+    /// Injected fault count.
+    pub faults: usize,
+    /// Mean messages to convergence.
+    pub messages: f64,
+    /// Mean rounds to convergence.
+    pub rounds: f64,
+    /// Mean peak per-round message volume.
+    pub max_inflight: f64,
+    /// Fraction of seeds that reached quiescence within the round budget.
+    pub converged: f64,
+}
+
 fn expect_regions(scenario: Scenario) -> Vec<RegionRow> {
     match runner::run_scenario(&scenario)
         .expect("programmatic scenario is valid")
@@ -175,6 +190,28 @@ pub fn overhead_sweep_2d(width: i32, fault_counts: &[usize], seeds: u64) -> Vec<
 /// `boundary_msgs` column).
 pub fn overhead_sweep_3d(k: i32, fault_counts: &[usize], seeds: u64) -> Vec<OverheadRow> {
     expect_overhead(Scenario::overhead_3d(k, fault_counts, seeds))
+}
+
+fn expect_labelling(scenario: Scenario) -> Vec<LabellingRow> {
+    match runner::run_scenario(&scenario)
+        .expect("programmatic scenario is valid")
+        .rows
+    {
+        TableRows::Labelling(rows) => rows,
+        _ => unreachable!("labelling scenario produced a different table"),
+    }
+}
+
+/// E7 (protocol layer) — distributed labelling convergence alone in a 2-D
+/// mesh, seed-parallel on the flat engine.
+pub fn labelling_sweep_2d(width: i32, fault_counts: &[usize], seeds: u64) -> Vec<LabellingRow> {
+    expect_labelling(Scenario::labelling_2d(width, fault_counts, seeds))
+}
+
+/// E7 (protocol layer) — distributed labelling convergence alone in a 3-D
+/// mesh, seed-parallel on the flat engine.
+pub fn labelling_sweep_3d(k: i32, fault_counts: &[usize], seeds: u64) -> Vec<LabellingRow> {
+    expect_labelling(Scenario::labelling_3d(k, fault_counts, seeds))
 }
 
 /// E8 — clustered-fault ablation: region sizes under clustered instead of
@@ -246,6 +283,19 @@ mod tests {
     fn overhead_3d_runs() {
         let rows = overhead_sweep_3d(6, &[5], 3);
         assert!(rows[0].labelling_msgs > 0.0);
+    }
+
+    #[test]
+    fn labelling_sweeps_run_both_dims() {
+        let rows2 = labelling_sweep_2d(16, &[4, 40], 6);
+        assert_eq!(rows2.len(), 2);
+        assert!(rows2.iter().all(|r| r.converged == 1.0));
+        // Every node announces once, so the floor is the directed-edge
+        // count; more faults mean more re-announcements.
+        assert!(rows2[0].messages >= (2 * (2 * 16 * 15)) as f64);
+        assert!(rows2[1].messages >= rows2[0].messages);
+        let rows3 = labelling_sweep_3d(6, &[10], 4);
+        assert!(rows3[0].converged == 1.0 && rows3[0].rounds >= 2.0);
     }
 
     #[test]

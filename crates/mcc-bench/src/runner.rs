@@ -9,16 +9,17 @@
 
 use fault_model::stats::{region_stats_2d, region_stats_3d};
 use mcc_protocols::boundary2::build_pipeline_2d;
-use mcc_protocols::labelling::DistLabelling3;
+use mcc_protocols::labelling::{DistLabelling2, DistLabelling3};
 use mcc_routing::trial::{run_trial_2d_with, run_trial_3d_with, TrialOptions, TrialResult};
 use mesh_topo::coord::{c2, c3};
 use mesh_topo::{FaultPattern, Frame2, Frame3, Mesh2D, Mesh3D, C2, C3};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use sim_net::RunStats;
 
 use crate::scenario::{MeshDims, Scenario, ScenarioError, TableKind};
-use crate::{OverheadRow, RegionRow, RoutingRow};
+use crate::{LabellingRow, OverheadRow, RegionRow, RoutingRow};
 
 /// Rows produced by one scenario, tagged by table family.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -29,6 +30,8 @@ pub enum TableRows {
     Routing(Vec<RoutingRow>),
     /// Protocol-overhead rows (E5/E7-style).
     Overhead(Vec<OverheadRow>),
+    /// Labelling-convergence rows (E7-style, 2-D or 3-D).
+    Labelling(Vec<LabellingRow>),
 }
 
 /// The outcome of running one scenario.
@@ -78,6 +81,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
         TableKind::Regions => TableRows::Regions(run_regions(scenario)),
         TableKind::Routing => TableRows::Routing(run_routing(scenario)),
         TableKind::Overhead => TableRows::Overhead(run_overhead(scenario)?),
+        TableKind::Labelling => TableRows::Labelling(run_labelling(scenario)),
     };
     Ok(ScenarioReport {
         scenario: scenario.clone(),
@@ -305,6 +309,42 @@ fn run_overhead_2d(
         .collect())
 }
 
+/// E7-style labelling convergence: run the distributed labelling protocol
+/// (alone) on the flat engine, one seed per core, and average its
+/// [`RunStats`]. Unlike the 2-D overhead pipeline this places faults
+/// anywhere in the mesh — labelling has no interior-fault assumption —
+/// so the protocol layer can be swept at the paper's full fault ramps.
+fn run_labelling(sc: &Scenario) -> Vec<LabellingRow> {
+    sc.fault_counts
+        .iter()
+        .map(|&n| {
+            let stats: Vec<RunStats> = parallel_seeds(sc.seed_start..sc.seed_end, |seed| {
+                let spec = sc.fault_spec(n, seed ^ ((n as u64) << 24));
+                match sc.dims {
+                    MeshDims::D2 { width, height } => {
+                        let mut mesh = Mesh2D::new(width, height);
+                        spec.inject_2d(&mut mesh, &[]);
+                        DistLabelling2::run(&mesh, Frame2::identity(&mesh)).stats
+                    }
+                    MeshDims::D3 { x, y, z } => {
+                        let mut mesh = Mesh3D::new(x, y, z);
+                        spec.inject_3d(&mut mesh, &[]);
+                        DistLabelling3::run(&mesh, Frame3::identity(&mesh)).stats
+                    }
+                }
+            });
+            let k = stats.len() as f64;
+            LabellingRow {
+                faults: n,
+                messages: stats.iter().map(|s| s.messages as f64).sum::<f64>() / k,
+                rounds: stats.iter().map(|s| s.rounds as f64).sum::<f64>() / k,
+                max_inflight: stats.iter().map(|s| s.max_inflight as f64).sum::<f64>() / k,
+                converged: stats.iter().filter(|s| s.quiescent).count() as f64 / k,
+            }
+        })
+        .collect()
+}
+
 fn run_overhead_3d(sc: &Scenario, x: i32, y: i32, z: i32) -> Vec<OverheadRow> {
     let (near, far) = (c3(0, 0, 0), c3(x - 1, y - 1, z - 1));
     sc.fault_counts
@@ -409,6 +449,20 @@ impl ScenarioReport {
                         }
                     }
                     let _ = writeln!(out, "{line} {:>8.3}", r.endpoints_safe);
+                }
+            }
+            TableRows::Labelling(rows) => {
+                let _ = writeln!(
+                    out,
+                    "{:>7} {:>10} {:>8} {:>12} {:>10}",
+                    "faults", "messages", "rounds", "max-inflight", "converged"
+                );
+                for r in rows {
+                    let _ = writeln!(
+                        out,
+                        "{:>7} {:>10.0} {:>8.1} {:>12.0} {:>10.2}",
+                        r.faults, r.messages, r.rounds, r.max_inflight, r.converged
+                    );
                 }
             }
             TableRows::Overhead(rows) => {

@@ -45,6 +45,8 @@ pub enum TableKind {
     Routing,
     /// Distributed-construction overhead (tables E5/E7).
     Overhead,
+    /// Distributed labelling convergence alone (E7-style, any dims).
+    Labelling,
 }
 
 impl TableKind {
@@ -53,6 +55,7 @@ impl TableKind {
             TableKind::Regions => "regions",
             TableKind::Routing => "routing",
             TableKind::Overhead => "overhead",
+            TableKind::Labelling => "labelling",
         }
     }
 }
@@ -254,9 +257,11 @@ impl Scenario {
             Some("regions") => TableKind::Regions,
             Some("routing") => TableKind::Routing,
             Some("overhead") => TableKind::Overhead,
+            Some("labelling") => TableKind::Labelling,
             other => {
                 return Err(invalid(format!(
-                    "`table` must be \"regions\", \"routing\" or \"overhead\", got {other:?}"
+                    "`table` must be \"regions\", \"routing\", \"overhead\" or \
+                     \"labelling\", got {other:?}"
                 )))
             }
         };
@@ -533,6 +538,31 @@ impl Scenario {
         Scenario::base(
             "overhead 3-D",
             TableKind::Overhead,
+            MeshDims::D3 { x: k, y: k, z: k },
+            counts,
+            seeds,
+        )
+    }
+
+    /// E7-style labelling-convergence sweep over a square 2-D mesh.
+    pub fn labelling_2d(width: i32, counts: &[usize], seeds: u64) -> Scenario {
+        Scenario::base(
+            "labelling 2-D",
+            TableKind::Labelling,
+            MeshDims::D2 {
+                width,
+                height: width,
+            },
+            counts,
+            seeds,
+        )
+    }
+
+    /// E7-style labelling-convergence sweep over a k-ary 3-D mesh.
+    pub fn labelling_3d(k: i32, counts: &[usize], seeds: u64) -> Scenario {
+        Scenario::base(
+            "labelling 3-D",
+            TableKind::Labelling,
             MeshDims::D3 { x: k, y: k, z: k },
             counts,
             seeds,

@@ -27,7 +27,10 @@ fn shipped_scenarios_parse_and_round_trip() {
         );
         seen += 1;
     }
-    assert!(seen >= 7, "expected the E1–E8 scenario files, found {seen}");
+    assert!(
+        seen >= 10,
+        "expected the E1–E8 scenario files, found {seen}"
+    );
 }
 
 /// The two scenario files named by the experiment map must describe what
@@ -57,6 +60,64 @@ fn named_scenarios_have_expected_shape() {
     );
     assert_eq!(e3.router, RouterChoice::All);
     assert_eq!(e3.min_dist_frac, 1.0);
+
+    // The protocol-layer scenarios added with the flat-engine refactor.
+    let e6 = Scenario::load(format!("{root}/e6_overhead_3d.toml")).unwrap();
+    assert_eq!(e6.table, TableKind::Overhead);
+    assert_eq!(
+        e6.dims,
+        MeshDims::D3 {
+            x: 16,
+            y: 16,
+            z: 16
+        }
+    );
+
+    let e7 = Scenario::load(format!("{root}/e7_labelling_2d.toml")).unwrap();
+    assert_eq!(e7.table, TableKind::Labelling);
+    assert_eq!(
+        e7.dims,
+        MeshDims::D2 {
+            width: 32,
+            height: 32
+        }
+    );
+}
+
+/// A small labelling scenario runs the protocol layer through the runner
+/// deterministically, and its rows carry the convergence metrics.
+#[test]
+fn labelling_scenario_runs_deterministically() {
+    let text = r#"
+        name = "smoke labelling"
+        table = "labelling"
+
+        [mesh]
+        dims = [12, 12]
+
+        [faults]
+        counts = [5, 20]
+
+        [run]
+        seeds = [0, 8]
+    "#;
+    let scenario = Scenario::from_toml(text).unwrap();
+    let a = run_scenario(&scenario).unwrap();
+    let b = run_scenario(&scenario).unwrap();
+    let rows = match &a.rows {
+        TableRows::Labelling(rows) => rows,
+        _ => panic!("labelling scenario must yield labelling rows"),
+    };
+    assert_eq!(rows.len(), 2);
+    for r in rows {
+        assert_eq!(r.converged, 1.0, "labelling must reach quiescence");
+        // Round 0 alone sends one announcement per directed edge.
+        assert!(r.messages >= (2 * (2 * 12 * 11)) as f64);
+        assert!(r.rounds >= 2.0);
+        assert!(r.max_inflight <= r.messages);
+    }
+    assert_eq!(a.render(), b.render());
+    assert!(a.render().contains("max-inflight"));
 }
 
 /// A tiny 8×8 scenario produces bit-identical table rows for a fixed seed

@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use fault_model::NodeStatus;
 use mesh_topo::{Dir2, Mesh2D, C2};
-use sim_net::{RunStats, SimNet};
+use sim_net::{Grid2, RunStats, SimNet};
 
 use crate::ident2::Ident2;
 use crate::records::{BoundaryAxis, BoundaryRecord2, RegionShape};
@@ -54,43 +54,43 @@ pub struct BoundState {
 /// The completed boundary-construction network.
 pub struct Boundary2 {
     /// Per-node state (canonical coordinates).
-    pub net: SimNet<C2, BoundState, BoundMsg>,
+    pub net: SimNet<Grid2, BoundState, BoundMsg>,
     /// Rounds/messages of this phase.
     pub stats: RunStats,
-}
-
-fn inside(w: i32, h: i32, c: C2) -> bool {
-    c.x >= 0 && c.y >= 0 && c.x < w && c.y < h
 }
 
 impl Boundary2 {
     /// Run the boundary construction on top of a completed identification.
     pub fn run(mesh: &Mesh2D, ident: &Ident2) -> Boundary2 {
         let (w, h) = (mesh.width(), mesh.height());
-        let mut net: SimNet<C2, BoundState, BoundMsg> = SimNet::new(
-            mesh.nodes(),
-            |_| BoundState::default(),
-            move |a: C2, b: C2| a.dist(b) == 1 && inside(w, h, a) && inside(w, h, b),
-        );
-        for c in mesh.nodes() {
-            let src = ident.net.state(c);
-            let dst = net.state_mut(c);
+        let topo = Grid2::new(w, h);
+        let space = topo.space();
+        let mut net: SimNet<Grid2, BoundState, BoundMsg> =
+            SimNet::new(topo, |_| BoundState::default());
+        for i in 0..net.len() {
+            let src = ident.net.state(i);
+            let nbr_status = {
+                let mut nbr = [None; 4];
+                for dir in Dir2::ALL {
+                    if let Some(n) = space.step(i, dir) {
+                        nbr[dir.index()] = Some(ident.net.state(n).status);
+                    }
+                }
+                nbr
+            };
+            let dst = net.state_mut(i);
             dst.status = src.status;
             dst.anchor_shapes = src.anchor_shapes.clone();
-            for dir in Dir2::ALL {
-                let n = c.step(dir);
-                if inside(w, h, n) {
-                    dst.nbr_status[dir.index()] = Some(ident.net.state(n).status);
-                }
-            }
+            dst.nbr_status = nbr_status;
         }
         // Launch one boundary walk per anchored shape.
-        let mut launches: Vec<(C2, BoundMsg)> = Vec::new();
-        for (c, state) in net.iter() {
+        let mut launches: Vec<(usize, BoundMsg)> = Vec::new();
+        for (i, state) in net.iter() {
+            let c = space.coord(i);
             for shape in &state.anchor_shapes {
                 if shape.y_anchor() == c {
                     launches.push((
-                        c,
+                        i,
                         BoundMsg {
                             axis: BoundaryAxis::Y,
                             root: shape.clone(),
@@ -100,7 +100,7 @@ impl Boundary2 {
                 }
                 if shape.x_anchor() == c {
                     launches.push((
-                        c,
+                        i,
                         BoundMsg {
                             axis: BoundaryAxis::X,
                             root: shape.clone(),
@@ -110,12 +110,13 @@ impl Boundary2 {
                 }
             }
         }
-        for (c, msg) in launches {
-            net.post(c, msg);
+        for (i, msg) in launches {
+            net.post(i, msg);
         }
         let max_rounds = (4 * (w + h)) as usize * (1 + mesh.fault_count()) + 16;
         let stats = net.run(max_rounds, move |state, inbox, ctx| {
-            let me = ctx.me();
+            let me_i = ctx.me();
+            let me = space.coord(me_i);
             for (_, msg) in inbox {
                 let mut msg = msg.clone();
                 // Merge any same-axis anchor shapes stored here.
@@ -152,14 +153,14 @@ impl Boundary2 {
                     BoundaryAxis::X => (Dir2::Xm, Dir2::Ym),
                 };
                 let safe = |dir: Dir2| {
-                    inside(w, h, me.step(dir))
+                    space.step(me_i, dir).is_some()
                         && matches!(state.nbr_status[dir.index()], Some(st) if st.is_safe())
                 };
                 if safe(main) {
-                    ctx.send(me.step(main), msg);
-                } else if inside(w, h, me.step(main)) && safe(side) {
+                    ctx.send(space.step(me_i, main).expect("checked in-mesh"), msg);
+                } else if space.step(me_i, main).is_some() && safe(side) {
                     // Blocked by a region (not the mesh edge): detour.
-                    ctx.send(me.step(side), msg);
+                    ctx.send(space.step(me_i, side).expect("checked in-mesh"), msg);
                 }
                 // Otherwise: reached the mesh edge — the boundary ends.
             }
@@ -169,7 +170,7 @@ impl Boundary2 {
 
     /// The records stored at canonical `c`.
     pub fn records(&self, c: C2) -> &[BoundaryRecord2] {
-        &self.net.state(c).records
+        &self.net.state_at(c).records
     }
 
     /// Total records deposited (a memory-cost metric of the model).

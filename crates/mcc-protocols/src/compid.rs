@@ -17,7 +17,7 @@ use std::collections::HashMap;
 
 use fault_model::NodeStatus;
 use mesh_topo::{Frame2, Mesh2D, C2};
-use sim_net::{RunStats, SimNet};
+use sim_net::{Grid2, RunStats, SimNet};
 
 use crate::labelling::DistLabelling2;
 
@@ -40,7 +40,7 @@ pub struct CompState {
 /// The converged component-identification network.
 pub struct DistComponents2 {
     /// Per-node state (canonical coordinates).
-    pub net: SimNet<C2, CompState, Msg>,
+    pub net: SimNet<Grid2, CompState, Msg>,
     /// Rounds/messages of this phase.
     pub stats: RunStats,
 }
@@ -48,24 +48,22 @@ pub struct DistComponents2 {
 impl DistComponents2 {
     /// Run the gossip until component ids converge.
     pub fn run(mesh: &Mesh2D, lab: &DistLabelling2) -> DistComponents2 {
-        let (w, h) = (mesh.width(), mesh.height());
-        let inside = move |c: C2| c.x >= 0 && c.y >= 0 && c.x < w && c.y < h;
-        let mut net: SimNet<C2, CompState, Msg> = SimNet::new(
-            mesh.nodes(),
-            |_| CompState::default(),
-            move |a: C2, b: C2| a.dist(b) == 1 && inside(a) && inside(b),
-        );
+        let topo = Grid2::new(mesh.width(), mesh.height());
+        let space = topo.space();
+        let mut net: SimNet<Grid2, CompState, Msg> = SimNet::new(topo, |_| CompState::default());
         // Seed statuses from the labelling phase.
-        for c in mesh.nodes() {
-            let st = lab.status(c);
-            let state = net.state_mut(c);
+        for i in 0..net.len() {
+            let c = space.coord(i);
+            let st = lab.net.state(i).status;
+            let state = net.state_mut(i);
             state.status = st;
             state.comp_id = st.is_unsafe().then_some(c);
             state.view.insert(c, (st, state.comp_id));
         }
-        let max_rounds = ((w + h) as usize) * 6 + 12;
+        let max_rounds = ((mesh.width() + mesh.height()) as usize) * 6 + 12;
         let stats = net.run(max_rounds, move |state, inbox, ctx| {
-            let me = ctx.me();
+            let me_i = ctx.me();
+            let me = space.coord(me_i);
             let mut changed_view = false;
             for &(from, (cell, status, comp, first_hand)) in inbox {
                 let entry = state.view.entry(cell).or_insert((status, comp));
@@ -80,11 +78,12 @@ impl DistComponents2 {
                 // Relay first-hand announcements of my 4-neighbors onward
                 // (second-hand, no further relay) so diagonal neighbors
                 // hear about each other.
-                if first_hand && from == cell {
+                if first_hand && space.coord(from as usize) == cell {
                     for dir in mesh_topo::Dir2::ALL {
-                        let n = me.step(dir);
-                        if inside(n) && n != cell {
-                            ctx.send(n, (cell, status, new_comp, false));
+                        if let Some(n) = space.step(me_i, dir) {
+                            if space.coord(n) != cell {
+                                ctx.send(n, (cell, status, new_comp, false));
+                            }
                         }
                     }
                 }
@@ -113,8 +112,7 @@ impl DistComponents2 {
             let _ = changed_view;
             if announce {
                 for dir in mesh_topo::Dir2::ALL {
-                    let n = me.step(dir);
-                    if inside(n) {
+                    if let Some(n) = space.step(me_i, dir) {
                         ctx.send(n, (me, state.status, state.comp_id, true));
                     }
                 }
@@ -125,7 +123,7 @@ impl DistComponents2 {
 
     /// The component id of canonical `c`, if unsafe.
     pub fn comp_id(&self, c: C2) -> Option<C2> {
-        self.net.state(c).comp_id
+        self.net.state_at(c).comp_id
     }
 
     /// Validate against the centralized decomposition: two unsafe nodes
@@ -136,7 +134,7 @@ impl DistComponents2 {
         let lab = Labelling2::compute(mesh, frame, BorderPolicy::BorderSafe);
         let comps = Components2::compute(&lab);
         let mut id_map: HashMap<C2, u32> = HashMap::new();
-        for (c, state) in self.net.iter() {
+        for (c, state) in self.net.iter_coords() {
             match (state.comp_id, comps.component_of(c)) {
                 (None, None) => {}
                 (Some(pid), Some(cid)) => {

@@ -16,7 +16,7 @@
 
 use fault_model::NodeStatus;
 use mesh_topo::{Axis3, Dir3, Mesh3D, C3};
-use sim_net::{RunStats, SimNet};
+use sim_net::{Grid3, RunStats, SimNet};
 
 use crate::labelling::DistLabelling3;
 
@@ -80,22 +80,20 @@ pub fn detect_distributed_3d(
         lab.status(s).is_safe() && lab.status(d).is_safe(),
         "detection requires safe endpoints"
     );
-    let (nx, ny, nz) = (mesh.nx(), mesh.ny(), mesh.nz());
-    let inside = move |c: C3| c.x >= 0 && c.y >= 0 && c.z >= 0 && c.x < nx && c.y < ny && c.z < nz;
-    let mut net: SimNet<C3, Detect3State, Detect3Msg> = SimNet::new(
-        mesh.nodes(),
-        |_| Detect3State::default(),
-        move |a: C3, b: C3| a.dist(b) == 1 && inside(a) && inside(b),
-    );
-    for c in mesh.nodes() {
-        let st = net.state_mut(c);
-        st.status = lab.status(c);
+    let topo = Grid3::new(mesh.nx(), mesh.ny(), mesh.nz());
+    let space = topo.space();
+    let mut net: SimNet<Grid3, Detect3State, Detect3Msg> =
+        SimNet::new(topo, |_| Detect3State::default());
+    for i in 0..net.len() {
+        let mut nbr_status = [None; 6];
         for dir in Dir3::ALL {
-            let n = c.step(dir);
-            if inside(n) {
-                st.nbr_status[dir.index()] = Some(lab.status(n));
+            if let Some(n) = space.step(i, dir) {
+                nbr_status[dir.index()] = Some(lab.net.state(n).status);
             }
         }
+        let st = net.state_mut(i);
+        st.status = lab.net.state(i).status;
+        st.nbr_status = nbr_status;
     }
     let mut trivially_ok = [false; 3];
     for (kind, ok) in trivially_ok.iter_mut().enumerate() {
@@ -104,7 +102,7 @@ pub fn detect_distributed_3d(
             *ok = true;
         } else {
             net.post(
-                s,
+                space.index(s),
                 Detect3Msg::Flood {
                     kind,
                     d,
@@ -113,9 +111,10 @@ pub fn detect_distributed_3d(
             );
         }
     }
-    let max_rounds = 4 * (nx + ny + nz) as usize + 32;
+    let max_rounds = 4 * (mesh.nx() + mesh.ny() + mesh.nz()) as usize + 32;
     let stats = net.run(max_rounds, move |state, inbox, ctx| {
-        let me = ctx.me();
+        let me_i = ctx.me();
+        let me = space.coord(me_i);
         for (_, msg) in inbox {
             match msg {
                 Detect3Msg::Flood { kind, d, path } => {
@@ -130,7 +129,7 @@ pub fn detect_distributed_3d(
                     if me.get(target) == d.get(target) {
                         path.pop();
                         if let Some(&back) = path.last() {
-                            ctx.send(back, Detect3Msg::Reply { kind, path });
+                            ctx.send(space.index(back), Detect3Msg::Reply { kind, path });
                         } else {
                             state.verdicts.push((kind, true));
                         }
@@ -148,8 +147,9 @@ pub fn detect_distributed_3d(
                             continue;
                         }
                         if nbr_safe(axis) {
+                            let n = space.step(me_i, axis.pos()).expect("safe => in-mesh");
                             ctx.send(
-                                me.step(axis.pos()),
+                                n,
                                 Detect3Msg::Flood {
                                     kind,
                                     d,
@@ -161,14 +161,15 @@ pub fn detect_distributed_3d(
                         }
                     }
                     if any_main_blocked && me.get(detour) < d.get(detour) && nbr_safe(detour) {
-                        ctx.send(me.step(detour.pos()), Detect3Msg::Flood { kind, d, path });
+                        let n = space.step(me_i, detour.pos()).expect("safe => in-mesh");
+                        ctx.send(n, Detect3Msg::Flood { kind, d, path });
                     }
                 }
                 Detect3Msg::Reply { kind, path } => {
                     let mut path = path.clone();
                     path.pop();
                     if let Some(&back) = path.last() {
-                        ctx.send(back, Detect3Msg::Reply { kind: *kind, path });
+                        ctx.send(space.index(back), Detect3Msg::Reply { kind: *kind, path });
                     } else {
                         state.verdicts.push((*kind, true));
                     }
@@ -176,7 +177,7 @@ pub fn detect_distributed_3d(
             }
         }
     });
-    let verdicts = &net.state(s).verdicts;
+    let verdicts = &net.state_at(s).verdicts;
     let ok = (0..3).all(|kind| trivially_ok[kind] || verdicts.iter().any(|&(k, v)| k == kind && v));
     (ok, stats)
 }

@@ -25,8 +25,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use fault_model::NodeStatus;
-use mesh_topo::{Dir2, Mesh2D, C2};
-use sim_net::{RunStats, SimNet};
+use mesh_topo::{Dir2, Mesh2D, NodeSpace2, C2};
+use sim_net::{Grid2, RunStats, SimNet};
 
 use crate::compid::DistComponents2;
 use crate::records::RegionShape;
@@ -99,15 +99,11 @@ pub struct IdentState {
 /// The completed identification network.
 pub struct Ident2 {
     /// Per-node state (canonical coordinates).
-    pub net: SimNet<C2, IdentState, IdentMsg>,
+    pub net: SimNet<Grid2, IdentState, IdentMsg>,
     /// Rounds/messages of this phase.
     pub stats: RunStats,
     width: i32,
     height: i32,
-}
-
-fn inside(w: i32, h: i32, c: C2) -> bool {
-    c.x >= 0 && c.y >= 0 && c.x < w && c.y < h
 }
 
 /// One wall-follow step: given the local view and the heading used to
@@ -115,13 +111,12 @@ fn inside(w: i32, h: i32, c: C2) -> bool {
 /// sits on the walker's left: launches start on the region's south-west
 /// side heading east along its southern edge).
 fn next_dir(
-    w: i32,
-    h: i32,
+    space: NodeSpace2,
     view: &HashMap<C2, (NodeStatus, Option<C2>)>,
     u: C2,
     heading: Dir2,
 ) -> Option<Dir2> {
-    let safe = |c: C2| inside(w, h, c) && matches!(view.get(&c), Some((st, _)) if st.is_safe());
+    let safe = |c: C2| space.contains(c) && matches!(view.get(&c), Some((st, _)) if st.is_safe());
     [
         left_of(heading),
         heading,
@@ -136,24 +131,24 @@ impl Ident2 {
     /// Run the identification walks on top of a converged component phase.
     pub fn run(mesh: &Mesh2D, comps: &DistComponents2) -> Ident2 {
         let (w, h) = (mesh.width(), mesh.height());
-        let mut net: SimNet<C2, IdentState, IdentMsg> = SimNet::new(
-            mesh.nodes(),
-            |_| IdentState::default(),
-            move |a: C2, b: C2| a.dist(b) == 1 && inside(w, h, a) && inside(w, h, b),
-        );
+        let topo = Grid2::new(w, h);
+        let space = topo.space();
+        let mut net: SimNet<Grid2, IdentState, IdentMsg> =
+            SimNet::new(topo, |_| IdentState::default());
         // Seed from the component phase.
-        for c in mesh.nodes() {
-            let src = comps.net.state(c);
-            let dst = net.state_mut(c);
+        for i in 0..net.len() {
+            let src = comps.net.state(i);
+            let dst = net.state_mut(i);
             dst.status = src.status;
             dst.comp_id = src.comp_id;
             dst.view = src.view.clone();
         }
         let ttl_max = (8 * w * h) as u32;
         // Launch a walk from every corner candidate.
-        let mut launches: Vec<(C2, WalkMsg)> = Vec::new();
-        for c in mesh.nodes() {
-            let st = net.state(c);
+        let mut launches: Vec<(usize, WalkMsg)> = Vec::new();
+        for i in 0..net.len() {
+            let c = space.coord(i);
+            let st = net.state(i);
             if !st.status.is_safe() {
                 continue;
             }
@@ -169,20 +164,20 @@ impl Ident2 {
             let yp_safe = matches!(st.view.get(&c.step(Dir2::Yp)), Some((s, _)) if s.is_safe());
             if !(xp_safe
                 && yp_safe
-                && inside(w, h, c.step(Dir2::Xp))
-                && inside(w, h, c.step(Dir2::Yp)))
+                && space.contains(c.step(Dir2::Xp))
+                && space.contains(c.step(Dir2::Yp)))
             {
                 continue;
             }
             let Some(comp) = diag_comp else { continue };
             // First move by left-hand priority with a virtual -Y heading:
             // east along the region's southern edge.
-            let Some(dir) = next_dir(w, h, &st.view, c, Dir2::Ym) else {
+            let Some(dir) = next_dir(space, &st.view, c, Dir2::Ym) else {
                 continue;
             };
             let first = (c.step(dir), dir);
             launches.push((
-                c,
+                i,
                 WalkMsg {
                     origin: c,
                     comp,
@@ -195,12 +190,12 @@ impl Ident2 {
                 },
             ));
         }
-        for (c, msg) in launches {
-            net.post(c, IdentMsg::Walk(msg)); // self-post; the handler forwards
+        for (i, msg) in launches {
+            net.post(i, IdentMsg::Walk(msg)); // self-post; the handler forwards
         }
         let max_rounds = (8 * (w * h)) as usize + 16;
         let stats = net.run(max_rounds, move |state, inbox, ctx| {
-            let me = ctx.me();
+            let me = space.coord(ctx.me());
             for (_, msg) in inbox {
                 match msg {
                     IdentMsg::Walk(walk) => {
@@ -236,7 +231,7 @@ impl Ident2 {
                             let (first_node, dir) = walk.first;
                             walk.heading = dir;
                             walk.steps = 1;
-                            ctx.send(first_node, IdentMsg::Walk(walk));
+                            ctx.send(space.index(first_node), IdentMsg::Walk(walk));
                             continue;
                         }
                         // Loop closure: re-entered the first node with the
@@ -246,7 +241,7 @@ impl Ident2 {
                                 // Report back to the origin (our neighbor:
                                 // the origin stepped onto us to launch).
                                 ctx.send(
-                                    walk.origin,
+                                    space.index(walk.origin),
                                     IdentMsg::Done {
                                         comp: walk.comp,
                                         collected: walk.collected,
@@ -256,11 +251,11 @@ impl Ident2 {
                             continue;
                         }
                         // Continue the wall-follow.
-                        if let Some(dir) = next_dir(w, h, &state.view, me, walk.heading) {
+                        if let Some(dir) = next_dir(space, &state.view, me, walk.heading) {
                             walk.heading = dir;
                             walk.steps += 1;
                             let next = me.step(dir);
-                            ctx.send(next, IdentMsg::Walk(walk));
+                            ctx.send(space.index(next), IdentMsg::Walk(walk));
                         }
                     }
                     IdentMsg::Done { comp, collected } => {
@@ -286,10 +281,10 @@ impl Ident2 {
                                 state.anchor_shapes.push(shape.clone());
                             }
                             // Launch the delivery walk (same contour).
-                            if let Some(dir) = next_dir(w, h, &state.view, me, Dir2::Ym) {
+                            if let Some(dir) = next_dir(space, &state.view, me, Dir2::Ym) {
                                 let first = (me.step(dir), dir);
                                 ctx.send(
-                                    first.0,
+                                    space.index(first.0),
                                     IdentMsg::Walk(WalkMsg {
                                         origin: me,
                                         comp: *comp,
@@ -318,7 +313,7 @@ impl Ident2 {
     /// All owned shapes, by owner coordinate.
     pub fn shapes(&self) -> Vec<(C2, Arc<RegionShape>)> {
         self.net
-            .iter()
+            .iter_coords()
             .filter_map(|(c, s)| s.shape.clone().map(|sh| (c, sh)))
             .collect()
     }
@@ -448,13 +443,13 @@ mod tests {
         let xa = shape.x_anchor();
         assert!(ident
             .net
-            .state(ya)
+            .state_at(ya)
             .anchor_shapes
             .iter()
             .any(|s| s.comp_id == shape.comp_id));
         assert!(ident
             .net
-            .state(xa)
+            .state_at(xa)
             .anchor_shapes
             .iter()
             .any(|s| s.comp_id == shape.comp_id));

@@ -11,10 +11,17 @@
 //! The network runs in **canonical coordinates** (one instance per
 //! quadrant/octant orientation), so the rules always look at the `+`/`-`
 //! neighbors.
+//!
+//! Runs on the flat engine: nodes are [`mesh_topo::NodeSpace2`] /
+//! [`mesh_topo::NodeSpace3`] linear indices, and once the label wavefront
+//! has passed, converged nodes are never dispatched again (the engine's
+//! active set), so convergence tails cost messages — not whole-mesh scans.
+//! The pre-refactor implementation survives in [`crate::reference`] and is
+//! pinned stats-identical by the parity tests.
 
 use fault_model::{BorderPolicy, Labelling2, Labelling3, NodeStatus};
-use mesh_topo::{Frame2, Frame3, Mesh2D, Mesh3D, C2, C3};
-use sim_net::{RunStats, SimNet};
+use mesh_topo::{Dir2, Dir3, Frame2, Frame3, Mesh2D, Mesh3D, C2, C3};
+use sim_net::{Grid2, Grid3, RunStats, SimNet};
 
 /// Per-node protocol state (2-D and 3-D share the shape).
 #[derive(Clone, Debug, Default)]
@@ -25,7 +32,7 @@ pub struct LabelState {
     /// index: `(blocks_forward, blocks_backward)`.
     pub nbr_blocks: [(bool, bool); 6],
     /// Whether the node has announced its current status.
-    announced: (bool, bool),
+    pub(crate) announced: (bool, bool),
 }
 
 /// Announcement message: the sender's `(blocks_forward, blocks_backward)`.
@@ -34,7 +41,7 @@ pub type LabelMsg = (bool, bool);
 /// Result of running the distributed labelling on one 2-D orientation.
 pub struct DistLabelling2 {
     /// The converged network (canonical coordinates).
-    pub net: SimNet<C2, LabelState, LabelMsg>,
+    pub net: SimNet<Grid2, LabelState, LabelMsg>,
     /// Rounds/messages of the labelling run.
     pub stats: RunStats,
     frame: Frame2,
@@ -43,7 +50,7 @@ pub struct DistLabelling2 {
 /// Result of running the distributed labelling on one 3-D orientation.
 pub struct DistLabelling3 {
     /// The converged network (canonical coordinates).
-    pub net: SimNet<C3, LabelState, LabelMsg>,
+    pub net: SimNet<Grid3, LabelState, LabelMsg>,
     /// Rounds/messages of the labelling run.
     pub stats: RunStats,
     frame: Frame3,
@@ -52,38 +59,39 @@ pub struct DistLabelling3 {
 impl DistLabelling2 {
     /// Run the protocol for `mesh` under `frame`.
     pub fn run(mesh: &Mesh2D, frame: Frame2) -> DistLabelling2 {
-        let (w, h) = (mesh.width(), mesh.height());
-        let mut net: SimNet<C2, LabelState, LabelMsg> = SimNet::new(
-            mesh.nodes(), // canonical coords = same set
-            |_| LabelState::default(),
-            move |a: C2, b: C2| {
-                a.dist(b) == 1
-                    && a.x >= 0
-                    && a.y >= 0
-                    && b.x >= 0
-                    && b.y >= 0
-                    && a.x < w
-                    && a.y < h
-                    && b.x < w
-                    && b.y < h
-            },
-        );
+        let topo = Grid2::new(mesh.width(), mesh.height());
+        let space = topo.space();
+        let mut net: SimNet<Grid2, LabelState, LabelMsg> =
+            SimNet::new(topo, |_| LabelState::default());
         for &f in mesh.faults() {
-            net.state_mut(frame.to_canon(f)).status = NodeStatus::FAULT;
+            net.state_at_mut(frame.to_canon(f)).status = NodeStatus::FAULT;
         }
-        let max_rounds = (w + h) as usize * 4 + 8;
-        let stats = net.run(max_rounds, |state, inbox, ctx| {
+        let max_rounds = (mesh.width() + mesh.height()) as usize * 4 + 8;
+        let w = mesh.width() as usize;
+        let stats = net.run(max_rounds, move |state, inbox, ctx| {
             let me = ctx.me();
-            // Absorb announcements.
+            // Absorb announcements: the sender is a neighbor (engine
+            // invariant), so its direction is exactly its index offset
+            // (+1/-1 along x, +w/-w along y) — no coordinate math. The
+            // y-stride is tested first: in a width-1 mesh +1 == +w, and
+            // the only neighbors that exist there are y-steps.
             for &(from, blocks) in inbox {
-                if let Some(dir) = me.dir_to(from) {
-                    state.nbr_blocks[dir.index()] = blocks;
-                }
+                let from = from as usize;
+                let dir = if from == me + w {
+                    Dir2::Yp
+                } else if from + w == me {
+                    Dir2::Ym
+                } else if from == me + 1 {
+                    Dir2::Xp
+                } else {
+                    Dir2::Xm
+                };
+                state.nbr_blocks[dir.index()] = blocks;
             }
             // Re-evaluate rules (out-of-mesh counts as safe: BorderSafe).
-            use mesh_topo::Dir2::{Xm, Xp, Ym, Yp};
-            let fwd_blocked = |s: &LabelState, d: mesh_topo::Dir2| s.nbr_blocks[d.index()].0;
-            let bwd_blocked = |s: &LabelState, d: mesh_topo::Dir2| s.nbr_blocks[d.index()].1;
+            use Dir2::{Xm, Xp, Ym, Yp};
+            let fwd_blocked = |s: &LabelState, d: Dir2| s.nbr_blocks[d.index()].0;
+            let bwd_blocked = |s: &LabelState, d: Dir2| s.nbr_blocks[d.index()].1;
             if !state.status.blocks_forward()
                 && !state.status.is_faulty()
                 && fwd_blocked(state, Xp)
@@ -105,12 +113,7 @@ impl DistLabelling2 {
             );
             if state.announced != (now.0, now.1) || ctx.round == 0 {
                 state.announced = now;
-                for dir in mesh_topo::Dir2::ALL {
-                    let n = me.step(dir);
-                    if n.x >= 0 && n.y >= 0 && n.x < w && n.y < h {
-                        ctx.send(n, now);
-                    }
-                }
+                space.for_neighbors4(me, |n| ctx.send(n, now));
             }
         });
         DistLabelling2 { net, stats, frame }
@@ -118,7 +121,7 @@ impl DistLabelling2 {
 
     /// Status of the node at canonical `c`.
     pub fn status(&self, c: C2) -> NodeStatus {
-        self.net.state(c).status
+        self.net.state_at(c).status
     }
 
     /// The frame the protocol ran under.
@@ -129,7 +132,7 @@ impl DistLabelling2 {
     /// True if the converged labels equal the centralized closure.
     pub fn matches(&self, reference: &Labelling2) -> bool {
         self.net
-            .iter()
+            .iter_coords()
             .all(|(c, s)| s.status == reference.status(c))
     }
 }
@@ -137,28 +140,41 @@ impl DistLabelling2 {
 impl DistLabelling3 {
     /// Run the protocol for `mesh` under `frame`.
     pub fn run(mesh: &Mesh3D, frame: Frame3) -> DistLabelling3 {
-        let (nx, ny, nz) = (mesh.nx(), mesh.ny(), mesh.nz());
-        let inside =
-            move |c: C3| c.x >= 0 && c.y >= 0 && c.z >= 0 && c.x < nx && c.y < ny && c.z < nz;
-        let mut net: SimNet<C3, LabelState, LabelMsg> = SimNet::new(
-            mesh.nodes(),
-            |_| LabelState::default(),
-            move |a: C3, b: C3| a.dist(b) == 1 && inside(a) && inside(b),
-        );
+        let topo = Grid3::new(mesh.nx(), mesh.ny(), mesh.nz());
+        let space = topo.space();
+        let mut net: SimNet<Grid3, LabelState, LabelMsg> =
+            SimNet::new(topo, |_| LabelState::default());
         for &f in mesh.faults() {
-            net.state_mut(frame.to_canon(f)).status = NodeStatus::FAULT;
+            net.state_at_mut(frame.to_canon(f)).status = NodeStatus::FAULT;
         }
-        let max_rounds = (nx + ny + nz) as usize * 4 + 8;
+        let max_rounds = (mesh.nx() + mesh.ny() + mesh.nz()) as usize * 4 + 8;
+        let nx = mesh.nx() as usize;
+        let nxy = nx * mesh.ny() as usize;
         let stats = net.run(max_rounds, move |state, inbox, ctx| {
             let me = ctx.me();
+            // Sender direction from the index offset, as in 2-D: larger
+            // strides first, so dimension-1 meshes (where +1 == +nx or
+            // +nx == +nx·ny) resolve to the only step that exists there.
             for &(from, blocks) in inbox {
-                if let Some(dir) = me.dir_to(from) {
-                    state.nbr_blocks[dir.index()] = blocks;
-                }
+                let from = from as usize;
+                let dir = if from == me + nxy {
+                    Dir3::Zp
+                } else if from + nxy == me {
+                    Dir3::Zm
+                } else if from == me + nx {
+                    Dir3::Yp
+                } else if from + nx == me {
+                    Dir3::Ym
+                } else if from == me + 1 {
+                    Dir3::Xp
+                } else {
+                    Dir3::Xm
+                };
+                state.nbr_blocks[dir.index()] = blocks;
             }
-            use mesh_topo::Dir3::{Xm, Xp, Ym, Yp, Zm, Zp};
-            let fwd = |s: &LabelState, d: mesh_topo::Dir3| s.nbr_blocks[d.index()].0;
-            let bwd = |s: &LabelState, d: mesh_topo::Dir3| s.nbr_blocks[d.index()].1;
+            use Dir3::{Xm, Xp, Ym, Yp, Zm, Zp};
+            let fwd = |s: &LabelState, d: Dir3| s.nbr_blocks[d.index()].0;
+            let bwd = |s: &LabelState, d: Dir3| s.nbr_blocks[d.index()].1;
             if !state.status.blocks_forward()
                 && !state.status.is_faulty()
                 && fwd(state, Xp)
@@ -181,12 +197,7 @@ impl DistLabelling3 {
             );
             if state.announced != (now.0, now.1) || ctx.round == 0 {
                 state.announced = now;
-                for dir in mesh_topo::Dir3::ALL {
-                    let n = me.step(dir);
-                    if inside(n) {
-                        ctx.send(n, now);
-                    }
-                }
+                space.for_neighbors6(me, |n| ctx.send(n, now));
             }
         });
         DistLabelling3 { net, stats, frame }
@@ -194,7 +205,7 @@ impl DistLabelling3 {
 
     /// Status of the node at canonical `c`.
     pub fn status(&self, c: C3) -> NodeStatus {
-        self.net.state(c).status
+        self.net.state_at(c).status
     }
 
     /// The frame the protocol ran under.
@@ -205,7 +216,7 @@ impl DistLabelling3 {
     /// True if the converged labels equal the centralized closure.
     pub fn matches(&self, reference: &Labelling3) -> bool {
         self.net
-            .iter()
+            .iter_coords()
             .all(|(c, s)| s.status == reference.status(c))
     }
 }
@@ -293,5 +304,52 @@ mod tests {
         // Denser faults mean more label changes and hence more messages
         // beyond the fixed initial announcement.
         assert!(b.stats.messages >= a.stats.messages);
+    }
+
+    #[test]
+    fn degenerate_meshes_attribute_directions_correctly() {
+        // Width-1 mesh: the +1 index offset IS the y-step (+1 == +w); the
+        // decode must land announcements in the Y slots, not the X slots.
+        let mut line = Mesh2D::new(1, 5);
+        line.inject_fault(c2(0, 3));
+        let dist = DistLabelling2::run(&line, Frame2::identity(&line));
+        let below = dist.net.state_at(c2(0, 2));
+        assert_eq!(below.nbr_blocks[mesh_topo::Dir2::Yp.index()], (true, true));
+        assert_eq!(
+            below.nbr_blocks[mesh_topo::Dir2::Xp.index()],
+            (false, false),
+            "no x-neighbor exists in a width-1 mesh"
+        );
+        let reference =
+            Labelling2::compute(&line, Frame2::identity(&line), BorderPolicy::BorderSafe);
+        assert!(dist.matches(&reference));
+
+        // 3-D with nx == 1 (+1 == +nx) and ny == 1 over nx > 1 (+nx ==
+        // +nx·ny): both alias pairs must resolve to the real step.
+        for (dims, fault, probe, dir) in [
+            ((1, 4, 4), c3(0, 2, 1), c3(0, 1, 1), mesh_topo::Dir3::Yp),
+            ((4, 1, 4), c3(2, 0, 2), c3(2, 0, 1), mesh_topo::Dir3::Zp),
+        ] {
+            let mut mesh = Mesh3D::new(dims.0, dims.1, dims.2);
+            mesh.inject_fault(fault);
+            let dist = DistLabelling3::run(&mesh, Frame3::identity(&mesh));
+            let st = dist.net.state_at(probe);
+            assert_eq!(st.nbr_blocks[dir.index()], (true, true), "dims {dims:?}");
+            let reference =
+                Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
+            assert!(dist.matches(&reference), "dims {dims:?}");
+        }
+    }
+
+    #[test]
+    fn stats_match_reference_engine() {
+        // The flat engine's cost accounting is identical to the
+        // pre-refactor engine's (full parity suite: tests/parity.rs).
+        let mut mesh = Mesh2D::new(12, 12);
+        FaultSpec::uniform(14, 7).inject_2d(&mut mesh, &[]);
+        let frame = Frame2::identity(&mesh);
+        let new = DistLabelling2::run(&mesh, frame);
+        let old = crate::reference::RefDistLabelling2::run(&mesh, frame);
+        assert_eq!(new.stats, old.stats);
     }
 }

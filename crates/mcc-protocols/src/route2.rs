@@ -15,8 +15,8 @@
 //! with `mcc_routing::detect_2d`, and the data message is delivered over a
 //! minimal path whenever the semantic condition admits one.
 
-use mesh_topo::{Dir2, Mesh2D, Path2, C2};
-use sim_net::{RunStats, SimNet};
+use mesh_topo::{Dir2, Mesh2D, NodeSpace2, Path2, C2};
+use sim_net::{Grid2, RunStats, SimNet};
 
 use crate::boundary2::{BoundState, Boundary2};
 use crate::records::BoundaryRecord2;
@@ -76,10 +76,6 @@ pub struct DistRouteOutcome {
     pub stats: RunStats,
 }
 
-fn inside(w: i32, h: i32, c: C2) -> bool {
-    c.x >= 0 && c.y >= 0 && c.x < w && c.y < h
-}
-
 /// Execute one routing from canonical `s` to `d` (`s ≤ d`, both safe) on a
 /// constructed boundary network.
 ///
@@ -91,21 +87,19 @@ pub fn route_distributed_2d(mesh: &Mesh2D, bound: &Boundary2, s: C2, d: C2) -> D
         "distributed routing requires canonical s <= d"
     );
     let (w, h) = (mesh.width(), mesh.height());
-    let mut net: SimNet<C2, RouteState, RouteMsg> = SimNet::new(
-        mesh.nodes(),
-        |_| RouteState::default(),
-        move |a: C2, b: C2| a.dist(b) == 1 && inside(w, h, a) && inside(w, h, b),
-    );
-    for c in mesh.nodes() {
-        net.state_mut(c).base = bound.net.state(c).clone();
+    let topo = Grid2::new(w, h);
+    let space = topo.space();
+    let mut net: SimNet<Grid2, RouteState, RouteMsg> = SimNet::new(topo, |_| RouteState::default());
+    for i in 0..net.len() {
+        net.state_mut(i).base = bound.net.state(i).clone();
     }
     assert!(
-        net.state(s).base.status.is_safe() && net.state(d).base.status.is_safe(),
+        net.state_at(s).base.status.is_safe() && net.state_at(d).base.status.is_safe(),
         "distributed routing requires safe endpoints"
     );
     // Phase one: launch both detection walks.
     net.post(
-        s,
+        space.index(s),
         RouteMsg::Detect {
             main: Dir2::Yp,
             side: Dir2::Xp,
@@ -114,7 +108,7 @@ pub fn route_distributed_2d(mesh: &Mesh2D, bound: &Boundary2, s: C2, d: C2) -> D
         },
     );
     net.post(
-        s,
+        space.index(s),
         RouteMsg::Detect {
             main: Dir2::Xp,
             side: Dir2::Yp,
@@ -123,16 +117,49 @@ pub fn route_distributed_2d(mesh: &Mesh2D, bound: &Boundary2, s: C2, d: C2) -> D
         },
     );
     let max_rounds = (6 * (w + h)) as usize + 32;
-    let mut stats = net.run(max_rounds, move |state, inbox, ctx| {
-        let me = ctx.me();
+    let mut stats = net.run(max_rounds, make_step(space));
+    // Read verdicts at the source.
+    let verdicts = &net.state_at(s).verdicts;
+    let y_ok = verdicts.iter().any(|&(m, ok)| m == Dir2::Yp && ok);
+    let x_ok = verdicts.iter().any(|&(m, ok)| m == Dir2::Xp && ok);
+    let feasible = y_ok && x_ok;
+    let mut path = None;
+    if feasible {
+        let mut net2 = net;
+        net2.post(space.index(s), RouteMsg::Data { d, path: vec![] });
+        let data_stats = net2.run(max_rounds, make_step(space));
+        stats.absorb(data_stats);
+        path = net2.state_at(d).delivered.clone().map(Path2::from_nodes);
+    }
+    DistRouteOutcome {
+        feasible,
+        path,
+        stats,
+    }
+}
+
+/// The shared handler of both phases (detection walks + replies, data
+/// forwarding), parameterized by the mesh linearization.
+fn make_step(
+    space: NodeSpace2,
+) -> impl FnMut(&mut RouteState, sim_net::Inbox<'_, RouteMsg>, &mut sim_net::Ctx<'_, Grid2, RouteMsg>)
+{
+    move |state, inbox, ctx| {
+        let me_i = ctx.me();
+        let me = space.coord(me_i);
         for (_, msg) in inbox {
             match msg {
-                RouteMsg::Detect { main, side, d, path } => {
+                RouteMsg::Detect {
+                    main,
+                    side,
+                    d,
+                    path,
+                } => {
                     let (main, side, d) = (*main, *side, *d);
                     let mut path = path.clone();
                     path.push(me);
                     let safe = |dir: Dir2| {
-                        inside(w, h, me.step(dir))
+                        space.step(me_i, dir).is_some()
                             && matches!(state.base.nbr_status[dir.index()], Some(st) if st.is_safe())
                     };
                     let verdict = if me.get(main.axis()) == d.get(main.axis()) {
@@ -151,19 +178,27 @@ pub fn route_distributed_2d(mesh: &Mesh2D, bound: &Boundary2, s: C2, d: C2) -> D
                             // Reply toward the source.
                             path.pop();
                             if let Some(&back) = path.last() {
-                                ctx.send(back, RouteMsg::Reply { main, ok, path });
+                                ctx.send(space.index(back), RouteMsg::Reply { main, ok, path });
                             } else {
                                 state.verdicts.push((main, ok)); // walk ended at s
                             }
                         }
                         None => {
-                            let dir = if me.get(main.axis()) < d.get(main.axis()) && safe(main)
-                            {
+                            let dir = if me.get(main.axis()) < d.get(main.axis()) && safe(main) {
                                 main
                             } else {
                                 side
                             };
-                            ctx.send(me.step(dir), RouteMsg::Detect { main, side, d, path });
+                            let next = space.step(me_i, dir).expect("walk stays in-mesh");
+                            ctx.send(
+                                next,
+                                RouteMsg::Detect {
+                                    main,
+                                    side,
+                                    d,
+                                    path,
+                                },
+                            );
                         }
                     }
                 }
@@ -171,7 +206,14 @@ pub fn route_distributed_2d(mesh: &Mesh2D, bound: &Boundary2, s: C2, d: C2) -> D
                     let mut path = path.clone();
                     path.pop();
                     if let Some(&back) = path.last() {
-                        ctx.send(back, RouteMsg::Reply { main: *main, ok: *ok, path });
+                        ctx.send(
+                            space.index(back),
+                            RouteMsg::Reply {
+                                main: *main,
+                                ok: *ok,
+                                path,
+                            },
+                        );
                     } else {
                         state.verdicts.push((*main, *ok));
                     }
@@ -193,7 +235,7 @@ pub fn route_distributed_2d(mesh: &Mesh2D, bound: &Boundary2, s: C2, d: C2) -> D
                             continue;
                         }
                         let v = me.step(dir);
-                        let v_safe = inside(w, h, v)
+                        let v_safe = space.contains(v)
                             && matches!(state.base.nbr_status[dir.index()], Some(st) if st.is_safe());
                         if !v_safe {
                             continue;
@@ -210,77 +252,11 @@ pub fn route_distributed_2d(mesh: &Mesh2D, bound: &Boundary2, s: C2, d: C2) -> D
                         _ => (i32::MIN, 0),
                     });
                     if let Some(dir) = pick {
-                        ctx.send(me.step(dir), RouteMsg::Data { d, path });
+                        let next = space.step(me_i, dir).expect("allowed dirs are in-mesh");
+                        ctx.send(next, RouteMsg::Data { d, path });
                     }
                     // else: stuck — the attempt simply dies, which the
                     // validation layer reports as a non-delivery.
-                }
-            }
-        }
-    });
-    // Read verdicts at the source.
-    let verdicts = &net.state(s).verdicts;
-    let y_ok = verdicts.iter().any(|&(m, ok)| m == Dir2::Yp && ok);
-    let x_ok = verdicts.iter().any(|&(m, ok)| m == Dir2::Xp && ok);
-    let feasible = y_ok && x_ok;
-    let mut path = None;
-    if feasible {
-        let mut net2 = net;
-        net2.post(s, RouteMsg::Data { d, path: vec![] });
-        let data_stats = net2.run(max_rounds, make_step(w, h));
-        stats.absorb(data_stats);
-        path = net2.state(d).delivered.clone().map(Path2::from_nodes);
-    }
-    DistRouteOutcome {
-        feasible,
-        path,
-        stats,
-    }
-}
-
-/// One node's inbox for the data phase.
-type RouteInbox = [(C2, RouteMsg)];
-
-/// The same handler, boxed for the second run (data phase).
-fn make_step(
-    w: i32,
-    h: i32,
-) -> impl FnMut(&mut RouteState, &RouteInbox, &mut sim_net::Ctx<'_, C2, RouteMsg>) {
-    move |state, inbox, ctx| {
-        let me = ctx.me();
-        for (_, msg) in inbox {
-            if let RouteMsg::Data { d, path } = msg {
-                let d = *d;
-                let mut path = path.clone();
-                path.push(me);
-                if me == d {
-                    state.delivered = Some(path);
-                    continue;
-                }
-                let records: &[BoundaryRecord2] = &state.base.records;
-                let mut allowed: Vec<Dir2> = Vec::with_capacity(2);
-                for dir in Dir2::POSITIVE {
-                    if me.get(dir.axis()) >= d.get(dir.axis()) {
-                        continue;
-                    }
-                    let v = me.step(dir);
-                    let v_safe = inside(w, h, v)
-                        && matches!(state.base.nbr_status[dir.index()], Some(st) if st.is_safe());
-                    if !v_safe {
-                        continue;
-                    }
-                    if records.iter().any(|r| r.excludes(v, d)) {
-                        continue;
-                    }
-                    allowed.push(dir);
-                }
-                let pick = allowed.iter().copied().max_by_key(|dir| match dir {
-                    Dir2::Xp => (d.x - me.x, 1),
-                    Dir2::Yp => (d.y - me.y, 0),
-                    _ => (i32::MIN, 0),
-                });
-                if let Some(dir) = pick {
-                    ctx.send(me.step(dir), RouteMsg::Data { d, path });
                 }
             }
         }

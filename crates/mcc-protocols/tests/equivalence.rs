@@ -1,0 +1,170 @@
+//! Property-based protocol ↔ semantic-layer equivalence.
+//!
+//! For random interior-fault meshes (the documented assumption of the 2-D
+//! identification walks), the distributed construction pipeline on the
+//! flat engine is pinned equivalent to the centralized semantic layer:
+//!
+//! * **`compid`** — protocol component ids partition the unsafe set
+//!   exactly like [`Components2`], and each id is the minimum member
+//!   coordinate of its component (the convergence target);
+//! * **`ident2`** — the reconstructed [`RegionShape`]s are cell-for-cell
+//!   the MCCs of [`MccSet2`], and their forbidden/critical region
+//!   predicates agree with the semantic [`Mcc2`] twin on every node;
+//! * **`boundary2`** — every deposited record is rooted at a real MCC,
+//!   merges only real MCCs, and every captured cell is also captured by
+//!   the coarser [`FaultBlocks2`] model (MCC ⊆ RFB, so no record can
+//!   forbid a node the block model would allow a minimal path through).
+//!
+//! Before this suite only `labelling` carried such a check (doctest-level);
+//! the whole pipeline is now covered.
+
+use fault_model::components::Components2;
+use fault_model::mcc2::MccSet2;
+use fault_model::{BorderPolicy, FaultBlocks2, Labelling2};
+use mcc_protocols::boundary2::Boundary2;
+use mcc_protocols::compid::DistComponents2;
+use mcc_protocols::ident2::Ident2;
+use mcc_protocols::labelling::DistLabelling2;
+use mesh_topo::coord::c2;
+use mesh_topo::{Frame2, Mesh2D, C2};
+use proptest::prelude::*;
+
+const W: i32 = 10;
+
+/// Random meshes with interior faults only — identification walks assume
+/// regions that do not touch the mesh border (DESIGN.md §3).
+fn arb_interior_mesh() -> impl Strategy<Value = Mesh2D> {
+    proptest::collection::vec((1..W - 1, 1..W - 1), 0..9).prop_map(|faults| {
+        let mut mesh = Mesh2D::new(W, W);
+        for (x, y) in faults {
+            let c = c2(x, y);
+            if mesh.is_healthy(c) {
+                mesh.inject_fault(c);
+            }
+        }
+        mesh
+    })
+}
+
+/// Sorted cell lists of the semantic MCC decomposition.
+fn semantic_shapes(mesh: &Mesh2D) -> Vec<Vec<C2>> {
+    let lab = Labelling2::compute(mesh, Frame2::identity(mesh), BorderPolicy::BorderSafe);
+    let set = MccSet2::compute(&lab);
+    let mut shapes: Vec<Vec<C2>> = set
+        .mccs
+        .iter()
+        .map(|m| {
+            let mut cells = m.cells.clone();
+            cells.sort();
+            cells
+        })
+        .collect();
+    shapes.sort();
+    shapes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Component ids: same partition as `Components2`, converged to the
+    /// minimum member coordinate.
+    #[test]
+    fn compid_equals_components2(mesh in arb_interior_mesh()) {
+        let frame = Frame2::identity(&mesh);
+        let lab = DistLabelling2::run(&mesh, frame);
+        let comps = DistComponents2::run(&mesh, &lab);
+        prop_assert!(comps.stats.quiescent, "component gossip did not converge");
+        prop_assert!(comps.matches(&mesh, frame), "partition differs: {:?}", mesh.faults());
+        let sem_lab = Labelling2::compute(&mesh, frame, BorderPolicy::BorderSafe);
+        let sem = Components2::compute(&sem_lab);
+        for c in mesh.nodes() {
+            match (comps.comp_id(c), sem.component_of(c)) {
+                (None, None) => {}
+                (Some(pid), Some(cid)) => {
+                    let min = *sem.cells[cid as usize].iter().min().unwrap();
+                    prop_assert_eq!(pid, min, "id at {} is not the component minimum", c);
+                }
+                (p, s) => prop_assert!(false, "membership differs at {}: {:?} vs {:?}", c, p, s),
+            }
+        }
+    }
+
+    /// Identification: reconstructed shapes are exactly the MCCs, and the
+    /// shape's region predicates agree with the semantic `Mcc2` twin.
+    #[test]
+    fn ident2_shapes_equal_mccset2(mesh in arb_interior_mesh()) {
+        let frame = Frame2::identity(&mesh);
+        let lab = DistLabelling2::run(&mesh, frame);
+        let comps = DistComponents2::run(&mesh, &lab);
+        let ident = Ident2::run(&mesh, &comps);
+        prop_assert!(ident.stats.quiescent, "identification walks did not converge");
+        let mut got: Vec<Vec<C2>> = ident
+            .shapes()
+            .into_iter()
+            .map(|(_, s)| s.cells.clone())
+            .collect();
+        got.sort();
+        prop_assert_eq!(&got, &semantic_shapes(&mesh), "shape cells diverge");
+
+        let sem_lab = Labelling2::compute(&mesh, frame, BorderPolicy::BorderSafe);
+        let set = MccSet2::compute(&sem_lab);
+        for (_, shape) in ident.shapes() {
+            let twin = set
+                .mccs
+                .iter()
+                .find(|m| {
+                    let mut cells = m.cells.clone();
+                    cells.sort();
+                    cells == shape.cells
+                })
+                .expect("cell equality proven above");
+            for c in mesh.nodes() {
+                prop_assert_eq!(shape.in_forbidden_y(c), twin.in_forbidden_y(c), "Q_Y at {}", c);
+                prop_assert_eq!(shape.in_critical_y(c), twin.in_critical_y(c), "Q'_Y at {}", c);
+                prop_assert_eq!(shape.in_forbidden_x(c), twin.in_forbidden_x(c), "Q_X at {}", c);
+                prop_assert_eq!(shape.in_critical_x(c), twin.in_critical_x(c), "Q'_X at {}", c);
+            }
+        }
+    }
+
+    /// Boundary records: rooted at real MCCs, merging only real MCCs, and
+    /// never capturing a cell the coarser block model leaves enabled.
+    #[test]
+    fn boundary2_records_are_grounded(mesh in arb_interior_mesh()) {
+        let frame = Frame2::identity(&mesh);
+        let lab = DistLabelling2::run(&mesh, frame);
+        let comps = DistComponents2::run(&mesh, &lab);
+        let ident = Ident2::run(&mesh, &comps);
+        let bound = Boundary2::run(&mesh, &ident);
+        prop_assert!(bound.stats.quiescent, "boundary walks did not converge");
+        let shapes = semantic_shapes(&mesh);
+        let blocks = FaultBlocks2::compute(&mesh);
+        let mut records = 0usize;
+        for c in mesh.nodes() {
+            for rec in bound.records(c) {
+                records += 1;
+                prop_assert!(
+                    shapes.binary_search(&rec.root.cells).is_ok(),
+                    "record at {} rooted at a non-MCC shape", c
+                );
+                for m in &rec.merged {
+                    prop_assert!(
+                        shapes.binary_search(&m.cells).is_ok(),
+                        "record at {} merged a non-MCC shape", c
+                    );
+                    for &cell in &m.cells {
+                        prop_assert!(
+                            blocks.is_disabled(cell),
+                            "MCC cell {} not captured by the block model", cell
+                        );
+                    }
+                }
+            }
+        }
+        // Every region got its two boundaries (anchors are interior, so
+        // both walks launch whenever any fault exists).
+        if !shapes.is_empty() {
+            prop_assert!(records > 0, "faulty mesh deposited no records");
+        }
+    }
+}

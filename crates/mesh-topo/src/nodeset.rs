@@ -150,10 +150,21 @@ impl NodeSpace2 {
     /// of `i`, in [`Dir2::ALL`] order.
     #[inline]
     pub fn for_neighbors4(self, i: usize, mut f: impl FnMut(usize)) {
-        for d in Dir2::ALL {
-            if let Some(j) = self.step(i, d) {
-                f(j);
-            }
+        // One coordinate decomposition for all four probes (this runs in
+        // the per-message hot loop of the protocol engine).
+        let w = self.width as usize;
+        let (x, y) = (i % w, i / w);
+        if x + 1 < w {
+            f(i + 1);
+        }
+        if x > 0 {
+            f(i - 1);
+        }
+        if y + 1 < self.height as usize {
+            f(i + w);
+        }
+        if y > 0 {
+            f(i - w);
         }
     }
 
@@ -302,10 +313,29 @@ impl NodeSpace3 {
     /// of `i`, in [`Dir3::ALL`] order.
     #[inline]
     pub fn for_neighbors6(self, i: usize, mut f: impl FnMut(usize)) {
-        for d in Dir3::ALL {
-            if let Some(j) = self.step(i, d) {
-                f(j);
-            }
+        // One coordinate decomposition for all six probes (hot loop of the
+        // protocol engine).
+        let nx = self.nx as usize;
+        let ny = self.ny as usize;
+        let (x, yz) = (i % nx, i / nx);
+        let (y, z) = (yz % ny, yz / ny);
+        if x + 1 < nx {
+            f(i + 1);
+        }
+        if x > 0 {
+            f(i - 1);
+        }
+        if y + 1 < ny {
+            f(i + nx);
+        }
+        if y > 0 {
+            f(i - nx);
+        }
+        if z + 1 < self.nz as usize {
+            f(i + nx * ny);
+        }
+        if z > 0 {
+            f(i - nx * ny);
         }
     }
 

@@ -10,8 +10,16 @@
 //!   one dimension),
 //! * delivery is reliable and FIFO per link; rounds are globally
 //!   synchronous,
-//! * execution is fully deterministic: nodes step in coordinate order and
-//!   inboxes are sorted by sender.
+//! * execution is fully deterministic: nodes step in index order and each
+//!   inbox is grouped in sender order.
+//!
+//! The engine is **flat and index-addressed**: a static [`Topology`]
+//! (normally a full mesh, [`Grid2`] / [`Grid3`]) names nodes by linear
+//! index, per-round delivery reuses one double-buffered message slab, and
+//! an active-node bitset skips converged nodes entirely (see the
+//! [`engine`] module docs for the layout, and DESIGN.md §7 for the
+//! complexity budget). The pre-refactor hash-addressed engine survives in
+//! [`crate::reference`] as the parity/benchmark twin.
 //!
 //! [`SimNet::run`] drives rounds until quiescence (no messages in flight)
 //! or a round limit, returning message/round statistics — the protocol
@@ -21,33 +29,35 @@
 //!
 //! # Examples
 //!
-//! A two-node network flooding a token one hop per round:
+//! A six-node line flooding a token one hop per round:
 //!
 //! ```
-//! use sim_net::SimNet;
+//! use sim_net::{Grid2, SimNet};
 //!
-//! // Nodes 0 and 1 on a line; state counts tokens seen.
-//! let mut net: SimNet<i32, usize, ()> =
-//!     SimNet::new([0, 1], |_| 0, |a: i32, b: i32| (a - b).abs() == 1);
-//! net.post(0, ());
-//! let stats = net.run(10, |seen, inbox, ctx| {
-//!     for _ in inbox {
-//!         *seen += 1;
-//!         if ctx.me() == 0 {
-//!             ctx.send(1, ()); // forward the stimulus one link
+//! // A 6x1 mesh; state records the hop count at which the token arrived.
+//! let mut net: SimNet<Grid2, usize, usize> = SimNet::new(Grid2::new(6, 1), |_| 0);
+//! net.post(0, 0);
+//! let stats = net.run(100, |state, inbox, ctx| {
+//!     for &(_, hops) in inbox {
+//!         *state = hops;
+//!         if ctx.me() + 1 < 6 {
+//!             ctx.send(ctx.me() + 1, hops + 1); // forward one link
 //!         }
 //!     }
 //! });
 //! assert!(stats.quiescent);
-//! assert_eq!(*net.state(1), 1);
-//! assert_eq!(stats.messages, 1);
+//! assert_eq!(*net.state(5), 5);
+//! assert_eq!(stats.messages, 5);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod reference;
 pub mod stats;
+pub mod topology;
 
-pub use engine::{Ctx, SimNet};
+pub use engine::{Ctx, Inbox, SendError, SimNet};
 pub use stats::RunStats;
+pub use topology::{Grid2, Grid3, Topology};
