@@ -65,7 +65,22 @@ impl Existence2 {
 ///
 /// # Panics
 /// If `s` does not precede `d` componentwise.
-pub fn minimal_path_exists_2d(lab: &Labelling2, _mccs: &MccSet2, s: C2, d: C2) -> Existence2 {
+pub fn minimal_path_exists_2d(lab: &Labelling2, mccs: &MccSet2, s: C2, d: C2) -> Existence2 {
+    minimal_path_exists_2d_in(lab, mccs, s, d, &mut oracle::Useful2::scratch())
+}
+
+/// [`minimal_path_exists_2d`] with a caller-provided scratch buffer for
+/// the reachability sweep (see [`oracle::Useful2::recompute`]).
+///
+/// # Panics
+/// If `s` does not precede `d` componentwise.
+pub fn minimal_path_exists_2d_in(
+    lab: &Labelling2,
+    _mccs: &MccSet2,
+    s: C2,
+    d: C2,
+    useful: &mut oracle::Useful2,
+) -> Existence2 {
     assert!(
         s.dominated_by(d),
         "condition requires canonical coordinates with s <= d, got {s:?} {d:?}"
@@ -83,9 +98,12 @@ pub fn minimal_path_exists_2d(lab: &Labelling2, _mccs: &MccSet2, s: C2, d: C2) -
             // Safe endpoints: avoiding the closure loses nothing
             // (property-tested); this is the semantic content of Lemma 1
             // with merged regions.
-            let ok = oracle::reachable_2d(s, d, |c| {
-                lab.status_get(c).map(|st| st.is_unsafe()).unwrap_or(true)
-            });
+            let ok = oracle::reachable_2d_in(
+                s,
+                d,
+                |c| lab.status_get(c).map(|st| st.is_unsafe()).unwrap_or(true),
+                useful,
+            );
             if ok {
                 Existence2::Exists
             } else {
@@ -95,9 +113,12 @@ pub fn minimal_path_exists_2d(lab: &Labelling2, _mccs: &MccSet2, s: C2, d: C2) -
         (false, true) if sd.is_cant_reach() => Existence2::DestinationCantReach,
         (true, false) if ss.is_useless() => Existence2::SourceUseless,
         _ => {
-            let ok = oracle::reachable_2d(s, d, |c| {
-                lab.status_get(c).map(|st| st.is_faulty()).unwrap_or(true)
-            });
+            let ok = oracle::reachable_2d_in(
+                s,
+                d,
+                |c| lab.status_get(c).map(|st| st.is_faulty()).unwrap_or(true),
+                useful,
+            );
             if ok {
                 Existence2::OracleExists
             } else {

@@ -52,6 +52,20 @@ impl Existence3 {
 /// # Panics
 /// If `s` does not precede `d` componentwise.
 pub fn minimal_path_exists_3d(lab: &Labelling3, s: C3, d: C3) -> Existence3 {
+    minimal_path_exists_3d_in(lab, s, d, &mut oracle::Useful3::scratch())
+}
+
+/// [`minimal_path_exists_3d`] with a caller-provided scratch buffer for
+/// the reachability sweep (see [`oracle::Useful3::recompute`]).
+///
+/// # Panics
+/// If `s` does not precede `d` componentwise.
+pub fn minimal_path_exists_3d_in(
+    lab: &Labelling3,
+    s: C3,
+    d: C3,
+    useful: &mut oracle::Useful3,
+) -> Existence3 {
     assert!(
         s.dominated_by(d),
         "condition requires canonical coordinates with s <= d, got {s:?} {d:?}"
@@ -68,9 +82,12 @@ pub fn minimal_path_exists_3d(lab: &Labelling3, s: C3, d: C3) -> Existence3 {
         (false, false) => {
             // Avoiding the closure loses nothing for safe endpoints
             // (property-tested); this is the semantic content of Theorem 2.
-            let ok = oracle::reachable_3d(s, d, |c| {
-                lab.status_get(c).map(|st| st.is_unsafe()).unwrap_or(true)
-            });
+            let ok = oracle::reachable_3d_in(
+                s,
+                d,
+                |c| lab.status_get(c).map(|st| st.is_unsafe()).unwrap_or(true),
+                useful,
+            );
             if ok {
                 Existence3::Exists
             } else {
@@ -80,9 +97,12 @@ pub fn minimal_path_exists_3d(lab: &Labelling3, s: C3, d: C3) -> Existence3 {
         (false, true) if sd.is_cant_reach() => Existence3::DestinationCantReach,
         (true, false) if ss.is_useless() => Existence3::SourceUseless,
         _ => {
-            let ok = oracle::reachable_3d(s, d, |c| {
-                lab.status_get(c).map(|st| st.is_faulty()).unwrap_or(true)
-            });
+            let ok = oracle::reachable_3d_in(
+                s,
+                d,
+                |c| lab.status_get(c).map(|st| st.is_faulty()).unwrap_or(true),
+                useful,
+            );
             if ok {
                 Existence3::OracleExists
             } else {

@@ -13,6 +13,9 @@
 //!   profiles, corners and sections,
 //! * [`condition2`] / [`condition3`] — the sufficient & necessary conditions
 //!   for existence of a minimal path (Lemma 1 / Theorem 1 / Theorem 2),
+//! * [`models`] — orientation-keyed lazy caches of labellings, MCC sets and
+//!   fault blocks for one fault configuration (the compute layer behind
+//!   the prepared-trial path of `mcc-routing`),
 //! * [`rfb2`] / [`rfb3`] — the rectangular / cuboid faulty-block baseline
 //!   models the paper compares against,
 //! * [`oracle`] — exact monotone-reachability ground truth used to validate
@@ -78,6 +81,7 @@ pub mod labelling2;
 pub mod labelling3;
 pub mod mcc2;
 pub mod mcc3;
+pub mod models;
 pub mod oracle;
 pub mod reference;
 pub mod rfb2;
@@ -85,12 +89,13 @@ pub mod rfb3;
 pub mod stats;
 pub mod status;
 
-pub use condition2::{minimal_path_exists_2d, Existence2};
-pub use condition3::{minimal_path_exists_3d, Existence3};
+pub use condition2::{minimal_path_exists_2d, minimal_path_exists_2d_in, Existence2};
+pub use condition3::{minimal_path_exists_3d, minimal_path_exists_3d_in, Existence3};
 pub use labelling2::Labelling2;
 pub use labelling3::Labelling3;
 pub use mcc2::Mcc2;
 pub use mcc3::Mcc3;
+pub use models::{ModelCache2, ModelCache3};
 pub use rfb2::FaultBlocks2;
 pub use rfb3::FaultBlocks3;
 pub use status::{BorderPolicy, NodeStatus};

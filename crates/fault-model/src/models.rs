@@ -1,0 +1,260 @@
+//! Orientation-keyed model caches for one fault configuration.
+//!
+//! Everything a routing trial consumes is a pure function of the mesh's
+//! fault set plus, for the labelling family, one of the finitely many
+//! canonical frame orientations (4 quadrants in 2-D, 8 octants in 3-D;
+//! see [`mesh_topo::Frame2`]):
+//!
+//! * [`FaultBlocks2`] / [`FaultBlocks3`] — orientation-free, one per mesh,
+//! * [`Labelling2`] / [`Labelling3`] — one per orientation,
+//! * [`MccSet2`] / [`MccSet3`] — derived from the labelling, one per
+//!   orientation.
+//!
+//! A [`ModelCache2`] / [`ModelCache3`] therefore memoizes each model the
+//! first time an orientation asks for it and hands out borrows afterwards,
+//! so a sweep that evaluates many source/destination pairs against the
+//! same fault set pays for model construction at most `1 + 4` (2-D) or
+//! `1 + 8` (3-D) times instead of once per pair. This is the compute layer
+//! behind `mcc_routing`'s prepared-trial path (DESIGN.md §9).
+//!
+//! # Examples
+//!
+//! ```
+//! use fault_model::models::ModelCache2;
+//! use fault_model::BorderPolicy;
+//! use mesh_topo::coord::c2;
+//! use mesh_topo::{Frame2, Mesh2D};
+//!
+//! let mut mesh = Mesh2D::new(8, 8);
+//! mesh.inject_fault(c2(4, 4));
+//! let mut cache = ModelCache2::new(&mesh, BorderPolicy::BorderSafe);
+//!
+//! let frame = Frame2::for_pair(&mesh, c2(7, 0), c2(0, 7)); // flipped X
+//! let m = cache.models(frame, true, true);
+//! assert!(m.lab.is_safe(frame.to_canon(c2(0, 0))));
+//! assert_eq!(m.mccs.expect("requested").len(), 1);
+//! assert!(m.blocks.expect("requested").is_disabled(c2(4, 4)));
+//! ```
+
+use mesh_topo::{Frame2, Frame3, Mesh2D, Mesh3D};
+
+use crate::mcc2::MccSet2;
+use crate::mcc3::MccSet3;
+use crate::rfb2::FaultBlocks2;
+use crate::rfb3::FaultBlocks3;
+use crate::status::BorderPolicy;
+use crate::{Labelling2, Labelling3};
+
+/// The models of one orientation: the labelling always, the MCC
+/// decomposition only once something has requested it.
+#[derive(Clone, Debug)]
+struct Slot2 {
+    lab: Labelling2,
+    mccs: Option<MccSet2>,
+}
+
+/// Borrowed views of every model a trial needs, fetched (and lazily
+/// computed) in one call so the borrows coexist.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelsRef2<'a> {
+    /// The labelling of the requested orientation.
+    pub lab: &'a Labelling2,
+    /// The MCC decomposition of that labelling, if requested.
+    pub mccs: Option<&'a MccSet2>,
+    /// The orientation-free rectangular block model, if requested.
+    pub blocks: Option<&'a FaultBlocks2>,
+}
+
+/// Lazy per-orientation model cache over one 2-D fault configuration.
+#[derive(Clone, Debug)]
+pub struct ModelCache2<'m> {
+    mesh: &'m Mesh2D,
+    border: BorderPolicy,
+    blocks: Option<FaultBlocks2>,
+    slots: [Option<Slot2>; 4],
+}
+
+impl<'m> ModelCache2<'m> {
+    /// An empty cache for `mesh`; nothing is computed until requested.
+    pub fn new(mesh: &'m Mesh2D, border: BorderPolicy) -> ModelCache2<'m> {
+        ModelCache2 {
+            mesh,
+            border,
+            blocks: None,
+            slots: [None, None, None, None],
+        }
+    }
+
+    /// The mesh this cache describes.
+    pub fn mesh(&self) -> &'m Mesh2D {
+        self.mesh
+    }
+
+    /// The border policy every cached labelling uses.
+    pub fn border(&self) -> BorderPolicy {
+        self.border
+    }
+
+    /// Fetch the models for `frame`'s orientation, computing whatever this
+    /// cache has not seen yet: the labelling on first use of the
+    /// orientation, the MCC set on first use with `want_mccs`, the block
+    /// model on first use with `want_blocks` (any orientation).
+    pub fn models(&mut self, frame: Frame2, want_mccs: bool, want_blocks: bool) -> ModelsRef2<'_> {
+        let slot = self.slots[frame.index()].get_or_insert_with(|| Slot2 {
+            lab: Labelling2::compute(self.mesh, frame, self.border),
+            mccs: None,
+        });
+        debug_assert_eq!(slot.lab.frame(), frame, "orientation slot mismatch");
+        if want_mccs && slot.mccs.is_none() {
+            slot.mccs = Some(MccSet2::compute(&slot.lab));
+        }
+        if want_blocks && self.blocks.is_none() {
+            self.blocks = Some(FaultBlocks2::compute(self.mesh));
+        }
+        let slot = self.slots[frame.index()].as_ref().expect("just filled");
+        ModelsRef2 {
+            lab: &slot.lab,
+            mccs: if want_mccs { slot.mccs.as_ref() } else { None },
+            blocks: if want_blocks {
+                self.blocks.as_ref()
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Number of orientations whose labelling has been computed.
+    pub fn orientations_computed(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// The models of one 3-D orientation (see [`Slot2`]).
+#[derive(Clone, Debug)]
+struct Slot3 {
+    lab: Labelling3,
+    mccs: Option<MccSet3>,
+}
+
+/// Borrowed views of every 3-D model a trial needs (see [`ModelsRef2`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ModelsRef3<'a> {
+    /// The labelling of the requested orientation.
+    pub lab: &'a Labelling3,
+    /// The MCC decomposition of that labelling, if requested.
+    pub mccs: Option<&'a MccSet3>,
+    /// The orientation-free cuboid block model, if requested.
+    pub blocks: Option<&'a FaultBlocks3>,
+}
+
+/// Lazy per-orientation model cache over one 3-D fault configuration.
+#[derive(Clone, Debug)]
+pub struct ModelCache3<'m> {
+    mesh: &'m Mesh3D,
+    border: BorderPolicy,
+    blocks: Option<FaultBlocks3>,
+    slots: [Option<Slot3>; 8],
+}
+
+impl<'m> ModelCache3<'m> {
+    /// An empty cache for `mesh`; nothing is computed until requested.
+    pub fn new(mesh: &'m Mesh3D, border: BorderPolicy) -> ModelCache3<'m> {
+        ModelCache3 {
+            mesh,
+            border,
+            blocks: None,
+            slots: [None, None, None, None, None, None, None, None],
+        }
+    }
+
+    /// The mesh this cache describes.
+    pub fn mesh(&self) -> &'m Mesh3D {
+        self.mesh
+    }
+
+    /// The border policy every cached labelling uses.
+    pub fn border(&self) -> BorderPolicy {
+        self.border
+    }
+
+    /// Fetch the models for `frame`'s orientation (see
+    /// [`ModelCache2::models`]).
+    pub fn models(&mut self, frame: Frame3, want_mccs: bool, want_blocks: bool) -> ModelsRef3<'_> {
+        let slot = self.slots[frame.index()].get_or_insert_with(|| Slot3 {
+            lab: Labelling3::compute(self.mesh, frame, self.border),
+            mccs: None,
+        });
+        debug_assert_eq!(slot.lab.frame(), frame, "orientation slot mismatch");
+        if want_mccs && slot.mccs.is_none() {
+            slot.mccs = Some(MccSet3::compute(&slot.lab));
+        }
+        if want_blocks && self.blocks.is_none() {
+            self.blocks = Some(FaultBlocks3::compute(self.mesh));
+        }
+        let slot = self.slots[frame.index()].as_ref().expect("just filled");
+        ModelsRef3 {
+            lab: &slot.lab,
+            mccs: if want_mccs { slot.mccs.as_ref() } else { None },
+            blocks: if want_blocks {
+                self.blocks.as_ref()
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Number of orientations whose labelling has been computed.
+    pub fn orientations_computed(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_topo::coord::{c2, c3};
+
+    #[test]
+    fn cache_matches_fresh_models_every_orientation() {
+        let mut mesh = Mesh2D::new(10, 10);
+        for c in [c2(3, 3), c2(4, 3), c2(7, 6)] {
+            mesh.inject_fault(c);
+        }
+        let mut cache = ModelCache2::new(&mesh, BorderPolicy::BorderSafe);
+        for frame in Frame2::all(&mesh) {
+            let fresh_lab = Labelling2::compute(&mesh, frame, BorderPolicy::BorderSafe);
+            let fresh_mccs = MccSet2::compute(&fresh_lab);
+            let m = cache.models(frame, true, true);
+            for c in mesh.nodes() {
+                let cc = frame.to_canon(c);
+                assert_eq!(m.lab.status(cc), fresh_lab.status(cc), "{frame:?} {c}");
+            }
+            assert_eq!(
+                m.mccs.expect("requested").len(),
+                fresh_mccs.len(),
+                "{frame:?}"
+            );
+            assert_eq!(
+                m.blocks.expect("requested").sacrificed_count(),
+                FaultBlocks2::compute(&mesh).sacrificed_count()
+            );
+        }
+        assert_eq!(cache.orientations_computed(), 4);
+    }
+
+    #[test]
+    fn cache_is_lazy_per_orientation_and_model() {
+        let mut mesh = Mesh3D::kary(6);
+        mesh.inject_fault(c3(3, 3, 3));
+        let mut cache = ModelCache3::new(&mesh, BorderPolicy::BorderSafe);
+        assert_eq!(cache.orientations_computed(), 0);
+        let frame = Frame3::for_pair(&mesh, c3(0, 0, 0), c3(5, 5, 5));
+        let m = cache.models(frame, false, false);
+        assert!(m.mccs.is_none() && m.blocks.is_none());
+        assert_eq!(cache.orientations_computed(), 1);
+        // Asking again with more models fills them in on the same slot.
+        let m = cache.models(frame, true, true);
+        assert!(m.mccs.is_some() && m.blocks.is_some());
+        assert_eq!(cache.orientations_computed(), 1);
+    }
+}

@@ -27,6 +27,16 @@ pub fn reachable_2d(s: C2, d: C2, blocked: impl Fn(C2) -> bool) -> bool {
     Useful2::compute(s, d, blocked).contains(s)
 }
 
+/// [`reachable_2d`] with a caller-provided scratch buffer (see
+/// [`Useful2::recompute`]); the buffer's previous contents are discarded.
+///
+/// # Panics
+/// If `s` does not precede `d` componentwise.
+pub fn reachable_2d_in(s: C2, d: C2, blocked: impl Fn(C2) -> bool, useful: &mut Useful2) -> bool {
+    useful.recompute(s, d, blocked);
+    useful.contains(s)
+}
+
 /// True if a monotone (`+X`/`+Y`/`+Z`) path from `s` to `d` exists avoiding
 /// `blocked` nodes. Requires `s ≤ d` componentwise.
 ///
@@ -34,6 +44,16 @@ pub fn reachable_2d(s: C2, d: C2, blocked: impl Fn(C2) -> bool) -> bool {
 /// If `s` does not precede `d` componentwise.
 pub fn reachable_3d(s: C3, d: C3, blocked: impl Fn(C3) -> bool) -> bool {
     Useful3::compute(s, d, blocked).contains(s)
+}
+
+/// [`reachable_3d`] with a caller-provided scratch buffer (see
+/// [`Useful3::recompute`]); the buffer's previous contents are discarded.
+///
+/// # Panics
+/// If `s` does not precede `d` componentwise.
+pub fn reachable_3d_in(s: C3, d: C3, blocked: impl Fn(C3) -> bool, useful: &mut Useful3) -> bool {
+    useful.recompute(s, d, blocked);
+    useful.contains(s)
 }
 
 /// The backward reachability set in 2-D: all nodes `u` in `[s, d]` from which
@@ -53,18 +73,32 @@ pub struct Useful2 {
 }
 
 impl Useful2 {
-    /// Compute the useful set for the box `[s, d]`.
+    /// An empty scratch instance (a degenerate one-node box) whose storage
+    /// is meant to be recycled through [`Useful2::recompute`].
+    pub fn scratch() -> Useful2 {
+        Useful2 {
+            s: C2::ORIGIN,
+            d: C2::ORIGIN,
+            w: 1,
+            useful: NodeSet::new(1),
+        }
+    }
+
+    /// Recompute the useful set for a new box `[s, d]`, reusing this
+    /// instance's bitset storage (no allocation once the buffer has grown
+    /// to the largest box seen). Equivalent to `*self = Useful2::compute(..)`.
     ///
     /// # Panics
     /// If `s` does not precede `d` componentwise.
-    pub fn compute(s: C2, d: C2, blocked: impl Fn(C2) -> bool) -> Useful2 {
+    pub fn recompute(&mut self, s: C2, d: C2, blocked: impl Fn(C2) -> bool) {
         assert!(
             s.dominated_by(d),
             "oracle requires canonical s <= d, got {s:?} {d:?}"
         );
         let w = d.x - s.x + 1;
         let h = d.y - s.y + 1;
-        let mut useful = NodeSet::new((w as usize) * (h as usize));
+        self.useful.reset((w as usize) * (h as usize));
+        let useful = &mut self.useful;
         let idx = |c: C2| ((c.y - s.y) as usize) * (w as usize) + ((c.x - s.x) as usize);
         // Sweep from d down to s; at c, usefulness depends on c+X / c+Y which
         // are later in the sweep order reversed, i.e. already computed.
@@ -82,7 +116,19 @@ impl Useful2 {
                 }
             }
         }
-        Useful2 { s, d, w, useful }
+        self.s = s;
+        self.d = d;
+        self.w = w;
+    }
+
+    /// Compute the useful set for the box `[s, d]`.
+    ///
+    /// # Panics
+    /// If `s` does not precede `d` componentwise.
+    pub fn compute(s: C2, d: C2, blocked: impl Fn(C2) -> bool) -> Useful2 {
+        let mut u = Useful2::scratch();
+        u.recompute(s, d, blocked);
+        u
     }
 
     /// True if `c` lies in `[s, d]` and `d` is monotonically reachable from it.
@@ -112,11 +158,25 @@ pub struct Useful3 {
 }
 
 impl Useful3 {
-    /// Compute the useful set for the box `[s, d]`.
+    /// An empty scratch instance (a degenerate one-node box) whose storage
+    /// is meant to be recycled through [`Useful3::recompute`].
+    pub fn scratch() -> Useful3 {
+        Useful3 {
+            s: C3::ORIGIN,
+            d: C3::ORIGIN,
+            wx: 1,
+            wy: 1,
+            useful: NodeSet::new(1),
+        }
+    }
+
+    /// Recompute the useful set for a new box `[s, d]`, reusing this
+    /// instance's bitset storage (no allocation once the buffer has grown
+    /// to the largest box seen). Equivalent to `*self = Useful3::compute(..)`.
     ///
     /// # Panics
     /// If `s` does not precede `d` componentwise.
-    pub fn compute(s: C3, d: C3, blocked: impl Fn(C3) -> bool) -> Useful3 {
+    pub fn recompute(&mut self, s: C3, d: C3, blocked: impl Fn(C3) -> bool) {
         assert!(
             s.dominated_by(d),
             "oracle requires canonical s <= d, got {s:?} {d:?}"
@@ -124,7 +184,9 @@ impl Useful3 {
         let wx = d.x - s.x + 1;
         let wy = d.y - s.y + 1;
         let wz = d.z - s.z + 1;
-        let mut useful = NodeSet::new((wx as usize) * (wy as usize) * (wz as usize));
+        self.useful
+            .reset((wx as usize) * (wy as usize) * (wz as usize));
+        let useful = &mut self.useful;
         let idx = |c: C3| {
             (((c.z - s.z) as usize) * (wy as usize) + ((c.y - s.y) as usize)) * (wx as usize)
                 + ((c.x - s.x) as usize)
@@ -146,13 +208,20 @@ impl Useful3 {
                 }
             }
         }
-        Useful3 {
-            s,
-            d,
-            wx,
-            wy,
-            useful,
-        }
+        self.s = s;
+        self.d = d;
+        self.wx = wx;
+        self.wy = wy;
+    }
+
+    /// Compute the useful set for the box `[s, d]`.
+    ///
+    /// # Panics
+    /// If `s` does not precede `d` componentwise.
+    pub fn compute(s: C3, d: C3, blocked: impl Fn(C3) -> bool) -> Useful3 {
+        let mut u = Useful3::scratch();
+        u.recompute(s, d, blocked);
+        u
     }
 
     /// True if `c` lies in `[s, d]` and `d` is monotonically reachable from it.
@@ -274,6 +343,47 @@ mod tests {
                                 || u.contains(c3(x, y, z + 1)),
                             "{c} useful but stuck"
                         );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recompute_matches_fresh_compute_across_boxes() {
+        // One scratch instance cycled through boxes of shrinking and
+        // growing size must agree with a fresh compute every time.
+        let blocked2 = |c: C2| (c.x + 2 * c.y) % 5 == 0;
+        let mut scratch = Useful2::scratch();
+        for (s, d) in [
+            (c2(0, 0), c2(9, 7)),
+            (c2(3, 3), c2(4, 3)),
+            (c2(1, 2), c2(11, 12)),
+            (c2(5, 5), c2(5, 5)),
+        ] {
+            scratch.recompute(s, d, blocked2);
+            let fresh = Useful2::compute(s, d, blocked2);
+            assert_eq!(scratch.count(), fresh.count(), "{s} -> {d}");
+            for x in s.x..=d.x {
+                for y in s.y..=d.y {
+                    assert_eq!(scratch.contains(c2(x, y)), fresh.contains(c2(x, y)));
+                }
+            }
+        }
+        let blocked3 = |c: C3| (c.x + c.y + c.z) % 4 == 1;
+        let mut scratch = Useful3::scratch();
+        for (s, d) in [
+            (c3(0, 0, 0), c3(5, 6, 4)),
+            (c3(2, 2, 2), c3(3, 2, 2)),
+            (c3(1, 0, 1), c3(7, 7, 7)),
+        ] {
+            scratch.recompute(s, d, blocked3);
+            let fresh = Useful3::compute(s, d, blocked3);
+            assert_eq!(scratch.count(), fresh.count(), "{s} -> {d}");
+            for x in s.x..=d.x {
+                for y in s.y..=d.y {
+                    for z in s.z..=d.z {
+                        assert_eq!(scratch.contains(c3(x, y, z)), fresh.contains(c3(x, y, z)));
                     }
                 }
             }

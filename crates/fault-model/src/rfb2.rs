@@ -158,12 +158,24 @@ impl FaultBlocks2 {
     /// block or separated by blocks fail even when the physical fault set
     /// would admit a minimal path. `s`, `d` are mesh coordinates.
     pub fn minimal_path_exists(&self, mesh: &Mesh2D, s: C2, d: C2) -> bool {
+        self.minimal_path_exists_in(mesh, s, d, &mut oracle::Useful2::scratch())
+    }
+
+    /// [`FaultBlocks2::minimal_path_exists`] with a caller-provided scratch
+    /// buffer for the reachability sweep (see [`oracle::Useful2::recompute`]).
+    pub fn minimal_path_exists_in(
+        &self,
+        mesh: &Mesh2D,
+        s: C2,
+        d: C2,
+        useful: &mut oracle::Useful2,
+    ) -> bool {
         if self.is_disabled(s) || self.is_disabled(d) {
             return false;
         }
         let frame = mesh_topo::Frame2::for_pair(mesh, s, d);
         let (cs, cd) = (frame.to_canon(s), frame.to_canon(d));
-        oracle::reachable_2d(cs, cd, |c| self.is_disabled(frame.from_canon(c)))
+        oracle::reachable_2d_in(cs, cd, |c| self.is_disabled(frame.from_canon(c)), useful)
     }
 }
 

@@ -149,12 +149,24 @@ impl FaultBlocks3 {
     /// a monotone path (after canonicalization) avoiding every disabled
     /// node. `s`, `d` are mesh coordinates.
     pub fn minimal_path_exists(&self, mesh: &Mesh3D, s: C3, d: C3) -> bool {
+        self.minimal_path_exists_in(mesh, s, d, &mut oracle::Useful3::scratch())
+    }
+
+    /// [`FaultBlocks3::minimal_path_exists`] with a caller-provided scratch
+    /// buffer for the reachability sweep (see [`oracle::Useful3::recompute`]).
+    pub fn minimal_path_exists_in(
+        &self,
+        mesh: &Mesh3D,
+        s: C3,
+        d: C3,
+        useful: &mut oracle::Useful3,
+    ) -> bool {
         if self.is_disabled(s) || self.is_disabled(d) {
             return false;
         }
         let frame = mesh_topo::Frame3::for_pair(mesh, s, d);
         let (cs, cd) = (frame.to_canon(s), frame.to_canon(d));
-        oracle::reachable_3d(cs, cd, |c| self.is_disabled(frame.from_canon(c)))
+        oracle::reachable_3d_in(cs, cd, |c| self.is_disabled(frame.from_canon(c)), useful)
     }
 }
 

@@ -1,0 +1,124 @@
+//! Trial-pipeline benchmark: fresh-per-trial model construction vs the
+//! prepared-mesh pipeline of `mcc_routing::prepared`.
+//!
+//! Identical trial logic and identical `TrialResult`s (pinned by the
+//! property battery in `mcc-routing/tests/prepared_equiv.rs`); the only
+//! variable is whether labelling/MCC/block models are rebuilt per pair or
+//! cached per orientation with reusable scratch. The `bench_trials`
+//! binary runs the big E3/E4-ramp cases (up to 128² / 24³) and snapshots
+//! `BENCH_routing_trials.json`; this criterion bench covers smaller sizes
+//! so the comparison stays runnable in a routine `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcc_routing::prepared::{PreparedMesh2, PreparedMesh3};
+use mcc_routing::trial::{run_trial_2d_with, run_trial_3d_with, TrialOptions};
+use mesh_topo::coord::{c2, c3};
+use mesh_topo::{FaultSpec, Mesh2D, Mesh3D, C2, C3};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 42;
+const PAIRS: usize = 16;
+
+fn setup_2d(width: i32, faults: usize) -> (Mesh2D, Vec<(C2, C2, u64)>) {
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let mut mesh = Mesh2D::kary(width);
+    FaultSpec::uniform(faults, rng.gen()).inject_2d(&mut mesh, &[]);
+    let min_dist = (width / 2) as u32;
+    let mut pairs = Vec::with_capacity(PAIRS);
+    while pairs.len() < PAIRS {
+        let s = c2(rng.gen_range(0..width), rng.gen_range(0..width));
+        let d = c2(rng.gen_range(0..width), rng.gen_range(0..width));
+        if s.dist(d) >= min_dist && mesh.is_healthy(s) && mesh.is_healthy(d) {
+            pairs.push((s, d, rng.gen()));
+        }
+    }
+    (mesh, pairs)
+}
+
+fn setup_3d(k: i32, faults: usize) -> (Mesh3D, Vec<(C3, C3, u64)>) {
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let mut mesh = Mesh3D::kary(k);
+    FaultSpec::uniform(faults, rng.gen()).inject_3d(&mut mesh, &[]);
+    let min_dist = k as u32;
+    let mut pairs = Vec::with_capacity(PAIRS);
+    while pairs.len() < PAIRS {
+        let s = c3(
+            rng.gen_range(0..k),
+            rng.gen_range(0..k),
+            rng.gen_range(0..k),
+        );
+        let d = c3(
+            rng.gen_range(0..k),
+            rng.gen_range(0..k),
+            rng.gen_range(0..k),
+        );
+        if s.dist(d) >= min_dist && mesh.is_healthy(s) && mesh.is_healthy(d) {
+            pairs.push((s, d, rng.gen()));
+        }
+    }
+    (mesh, pairs)
+}
+
+fn bench_trials_2d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing_trials_2d");
+    g.sample_size(10);
+    let opts = TrialOptions::default();
+    for width in [24i32, 32] {
+        let faults = (width * width / 50) as usize;
+        let (mesh, pairs) = setup_2d(width, faults);
+        g.bench_with_input(BenchmarkId::new("fresh", width), &pairs, |b, pairs| {
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .filter(|&&(s, d, seed)| {
+                        run_trial_2d_with(&mesh, s, d, seed, &opts).mcc_delivered
+                    })
+                    .count()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("prepared", width), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut pm = PreparedMesh2::new(&mesh, opts);
+                pairs
+                    .iter()
+                    .filter(|&&(s, d, seed)| pm.run_trial(s, d, seed).mcc_delivered)
+                    .count()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_trials_3d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing_trials_3d");
+    g.sample_size(10);
+    let opts = TrialOptions::default();
+    for k in [10i32, 12] {
+        let faults = (k * k * k / 40) as usize;
+        let (mesh, pairs) = setup_3d(k, faults);
+        g.bench_with_input(BenchmarkId::new("fresh", k), &pairs, |b, pairs| {
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .filter(|&&(s, d, seed)| {
+                        run_trial_3d_with(&mesh, s, d, seed, &opts).mcc_delivered
+                    })
+                    .count()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("prepared", k), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut pm = PreparedMesh3::new(&mesh, opts);
+                pairs
+                    .iter()
+                    .filter(|&&(s, d, seed)| pm.run_trial(s, d, seed).mcc_delivered)
+                    .count()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trials_2d, bench_trials_3d);
+criterion_main!(benches);

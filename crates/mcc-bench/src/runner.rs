@@ -6,11 +6,18 @@
 //! of the crate root. Results are deterministic: each seed's work depends
 //! only on the seed value, and rows are assembled in seed order regardless
 //! of thread interleaving.
+//!
+//! Routing kernels run on the amortized pipeline of
+//! [`mcc_routing::prepared`]: one `PreparedMesh` per seed's fault
+//! configuration serves all of its `pairs_per_seed` trials, so labellings,
+//! MCC sets and fault blocks are built per orientation instead of per
+//! pair (and table rows stay bit-identical — see `run_routing`).
 
 use fault_model::stats::{region_stats_2d, region_stats_3d};
 use mcc_protocols::boundary2::build_pipeline_2d;
 use mcc_protocols::labelling::{DistLabelling2, DistLabelling3};
-use mcc_routing::trial::{run_trial_2d_with, run_trial_3d_with, TrialOptions, TrialResult};
+use mcc_routing::prepared::{PreparedMesh2, PreparedMesh3};
+use mcc_routing::trial::{TrialOptions, TrialResult};
 use mesh_topo::coord::{c2, c3};
 use mesh_topo::{FaultPattern, Frame2, Frame3, Mesh2D, Mesh3D, C2, C3};
 use rand::rngs::SmallRng;
@@ -158,6 +165,45 @@ fn random_pair_3d(rng: &mut SmallRng, nx: i32, ny: i32, nz: i32, min_dist: u32) 
     }
 }
 
+/// How many rejected pair samples the batched path tolerates before
+/// concluding the scenario leaves too few healthy nodes to pair up.
+const PAIR_SAMPLE_ATTEMPTS: usize = 100_000;
+
+/// Sample a healthy pair at least `min_dist` apart on a faulty mesh
+/// (the batched path injects faults first, so endpoints are rejected
+/// rather than protected).
+fn random_healthy_pair_2d(rng: &mut SmallRng, mesh: &Mesh2D, min_dist: u32) -> (C2, C2) {
+    for _ in 0..PAIR_SAMPLE_ATTEMPTS {
+        let (s, d) = random_pair_2d(rng, mesh.width(), mesh.height(), min_dist);
+        if mesh.is_healthy(s) && mesh.is_healthy(d) {
+            return (s, d);
+        }
+    }
+    panic!("could not sample a healthy pair: mesh too faulty for the separation requirement");
+}
+
+/// 3-D twin of [`random_healthy_pair_2d`].
+fn random_healthy_pair_3d(rng: &mut SmallRng, mesh: &Mesh3D, min_dist: u32) -> (C3, C3) {
+    for _ in 0..PAIR_SAMPLE_ATTEMPTS {
+        let (s, d) = random_pair_3d(rng, mesh.nx(), mesh.ny(), mesh.nz(), min_dist);
+        if mesh.is_healthy(s) && mesh.is_healthy(d) {
+            return (s, d);
+        }
+    }
+    panic!("could not sample a healthy pair: mesh too faulty for the separation requirement");
+}
+
+/// Routing tables: every seed owns one fault configuration, prepared once
+/// (orientation-keyed model cache + trial scratch) and hit by
+/// `pairs_per_seed` source/destination pairs.
+///
+/// Sampling order is part of the determinism contract. With
+/// `pairs_per_seed = 1` the pair is drawn *before* fault injection and
+/// protected from it — exactly the historical sequence, so existing
+/// scenarios reproduce their tables bit-for-bit. With larger batches the
+/// fault set is drawn first and pairs are rejection-sampled from the
+/// healthy remainder (a protected set of 2·pairs nodes would distort the
+/// fault distribution).
 fn run_routing(sc: &Scenario) -> Vec<RoutingRow> {
     let opts = TrialOptions {
         border: sc.border,
@@ -173,20 +219,49 @@ fn run_routing(sc: &Scenario) -> Vec<RoutingRow> {
                 let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9) ^ n as u64);
                 match sc.dims {
                     MeshDims::D2 { width, height } => {
-                        let (s, d) = random_pair_2d(&mut rng, width, height, min_dist);
                         let mut mesh = Mesh2D::new(width, height);
-                        sc.fault_spec(n, rng.gen()).inject_2d(&mut mesh, &[s, d]);
-                        run_trial_2d_with(&mesh, s, d, rng.gen(), &opts)
+                        let legacy_pair = if sc.pairs_per_seed == 1 {
+                            let (s, d) = random_pair_2d(&mut rng, width, height, min_dist);
+                            sc.fault_spec(n, rng.gen()).inject_2d(&mut mesh, &[s, d]);
+                            Some((s, d))
+                        } else {
+                            sc.fault_spec(n, rng.gen()).inject_2d(&mut mesh, &[]);
+                            None
+                        };
+                        let mut pm = PreparedMesh2::new(&mesh, opts);
+                        (0..sc.pairs_per_seed)
+                            .map(|_| {
+                                let (s, d) = legacy_pair.unwrap_or_else(|| {
+                                    random_healthy_pair_2d(&mut rng, pm.mesh(), min_dist)
+                                });
+                                pm.run_trial(s, d, rng.gen())
+                            })
+                            .collect::<Vec<TrialResult>>()
                     }
                     MeshDims::D3 { x, y, z } => {
-                        let (s, d) = random_pair_3d(&mut rng, x, y, z, min_dist);
                         let mut mesh = Mesh3D::new(x, y, z);
-                        sc.fault_spec(n, rng.gen()).inject_3d(&mut mesh, &[s, d]);
-                        run_trial_3d_with(&mesh, s, d, rng.gen(), &opts)
+                        let legacy_pair = if sc.pairs_per_seed == 1 {
+                            let (s, d) = random_pair_3d(&mut rng, x, y, z, min_dist);
+                            sc.fault_spec(n, rng.gen()).inject_3d(&mut mesh, &[s, d]);
+                            Some((s, d))
+                        } else {
+                            sc.fault_spec(n, rng.gen()).inject_3d(&mut mesh, &[]);
+                            None
+                        };
+                        let mut pm = PreparedMesh3::new(&mesh, opts);
+                        (0..sc.pairs_per_seed)
+                            .map(|_| {
+                                let (s, d) = legacy_pair.unwrap_or_else(|| {
+                                    random_healthy_pair_3d(&mut rng, pm.mesh(), min_dist)
+                                });
+                                pm.run_trial(s, d, rng.gen())
+                            })
+                            .collect::<Vec<TrialResult>>()
                     }
                 }
             });
-            aggregate_routing(n, &results)
+            let flat: Vec<TrialResult> = results.into_iter().flatten().collect();
+            aggregate_routing(n, &flat)
         })
         .collect()
 }

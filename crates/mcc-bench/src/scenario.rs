@@ -26,7 +26,16 @@
 //! seeds = [0, 400]             # half-open seed range [start, end)
 //! router = "all"               # all | mcc | rfb | greedy (routing tables)
 //! min_dist_frac = 0.5          # min endpoint separation / largest dim
+//! pairs_per_seed = 1           # routing pairs batched per fault config
 //! ```
+//!
+//! `pairs_per_seed` (routing tables only) batches that many
+//! source/destination pairs against **one** fault configuration per seed,
+//! amortizing model construction through the prepared-mesh pipeline
+//! (DESIGN.md §9). With the default of 1 the runner reproduces the
+//! historical sampling order bit-for-bit; larger values sample the fault
+//! set first and then draw healthy pairs from it, which is what makes
+//! large-mesh sweeps such as `e9_routing_2d_large.toml` tractable.
 
 use std::fmt;
 
@@ -168,6 +177,9 @@ pub struct Scenario {
     /// Minimum endpoint separation as a fraction of the largest extent
     /// (routing tables only).
     pub min_dist_frac: f64,
+    /// Source/destination pairs evaluated per seed against one fault
+    /// configuration (routing tables only; see the module docs).
+    pub pairs_per_seed: u64,
 }
 
 /// A scenario-schema violation.
@@ -367,6 +379,14 @@ impl Scenario {
                 .filter(|f| (0.0..=1.0).contains(f))
                 .ok_or_else(|| invalid("`run.min_dist_frac` must be in [0, 1]"))?,
         };
+        let pairs_per_seed = match run.get("pairs_per_seed") {
+            None => 1,
+            Some(v) => v
+                .as_int()
+                .filter(|&p| p >= 1)
+                .ok_or_else(|| invalid("`run.pairs_per_seed` must be a positive integer"))?
+                as u64,
+        };
 
         Ok(Scenario {
             name,
@@ -379,6 +399,7 @@ impl Scenario {
             seed_start,
             seed_end,
             min_dist_frac,
+            pairs_per_seed,
         })
     }
 
@@ -438,6 +459,10 @@ impl Scenario {
         );
         run.insert("router".into(), Value::Str(self.router.as_str().into()));
         run.insert("min_dist_frac".into(), Value::Float(self.min_dist_frac));
+        run.insert(
+            "pairs_per_seed".into(),
+            Value::Int(self.pairs_per_seed as i64),
+        );
         doc.sections.insert("run".into(), run);
 
         doc.render()
@@ -463,6 +488,7 @@ impl Scenario {
             seed_start: 0,
             seed_end: seeds,
             min_dist_frac: 0.5,
+            pairs_per_seed: 1,
         }
     }
 
@@ -624,6 +650,19 @@ mod tests {
         assert_eq!(s.border, BorderPolicy::BorderSafe);
         assert_eq!(s.router, RouterChoice::All);
         assert_eq!(s.min_dist_frac, 0.5);
+        assert_eq!(s.pairs_per_seed, 1);
+    }
+
+    #[test]
+    fn pairs_per_seed_parses_and_validates() {
+        let base = "name = \"d\"\ntable = \"routing\"\n[mesh]\ndims = [8, 8]\n\
+             [faults]\ncounts = [4]\n[run]\nseeds = [0, 2]\n";
+        let s = Scenario::from_toml(&format!("{base}pairs_per_seed = 16\n")).unwrap();
+        assert_eq!(s.pairs_per_seed, 16);
+        let back = Scenario::from_toml(&s.to_toml()).unwrap();
+        assert_eq!(back.pairs_per_seed, 16, "pairs_per_seed must round-trip");
+        assert!(Scenario::from_toml(&format!("{base}pairs_per_seed = 0\n")).is_err());
+        assert!(Scenario::from_toml(&format!("{base}pairs_per_seed = -3\n")).is_err());
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Golden-snapshot regression test for the routing-table determinism
+//! contract.
+//!
+//! The rendered table of `e4_routing_2d.toml` in `--quick` mode is
+//! checked in under `tests/golden/`; any change to trial sampling, the
+//! prepared-mesh pipeline, model semantics or the renderer that perturbs
+//! a single character of a row shows up as a diff here (and in the CI
+//! step that runs the actual `tables` binary against the same file).
+//! Regenerate — only after convincing yourself the change is intended —
+//! with:
+//!
+//! ```text
+//! cargo run --release -p mcc-bench --bin tables -- --quick \
+//!     scenarios/e4_routing_2d.toml > crates/mcc-bench/tests/golden/e4_routing_2d_quick.txt
+//! ```
+
+use mcc_bench::runner::run_scenario;
+use mcc_bench::scenario::Scenario;
+
+#[test]
+fn e4_quick_table_matches_golden_snapshot() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let scenario = Scenario::load(format!("{root}/../../scenarios/e4_routing_2d.toml"))
+        .expect("e4 scenario parses")
+        .quick();
+    let report = run_scenario(&scenario).expect("e4 scenario runs");
+    // The `tables` binary prints the rendered report with `println!`,
+    // which appends one newline beyond the render itself.
+    let printed = format!("{}\n", report.render());
+    let golden = std::fs::read_to_string(format!("{root}/tests/golden/e4_routing_2d_quick.txt"))
+        .expect("golden snapshot exists");
+    assert_eq!(
+        printed, golden,
+        "e4 --quick table drifted from the checked-in golden snapshot; \
+         routing-table determinism is part of the prepared-pipeline contract"
+    );
+}

@@ -120,6 +120,42 @@ fn labelling_scenario_runs_deterministically() {
     assert!(a.render().contains("max-inflight"));
 }
 
+/// The large-mesh E9 scenario (128×128, E4 fault ramp, 48 pairs batched
+/// per fault configuration) runs through the prepared-mesh pipeline in
+/// quick mode, deterministically, and its rows respect the model
+/// orderings. Without pair batching this sweep would rebuild the
+/// 16k-node models once per pair and be unusable as a smoke test.
+#[test]
+fn e9_large_scenario_quick_runs_batched() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");
+    let e9 = Scenario::load(format!("{root}/e9_routing_2d_large.toml")).unwrap();
+    assert_eq!(e9.table, TableKind::Routing);
+    assert_eq!(
+        e9.dims,
+        MeshDims::D2 {
+            width: 128,
+            height: 128
+        }
+    );
+    assert_eq!(e9.pairs_per_seed, 48);
+    let quick = e9.quick();
+    let a = run_scenario(&quick).unwrap();
+    let b = run_scenario(&quick).unwrap();
+    let rows = match &a.rows {
+        TableRows::Routing(rows) => rows,
+        _ => panic!("routing scenario must yield routing rows"),
+    };
+    assert_eq!(rows.len(), e9.fault_counts.len());
+    for r in rows {
+        // The MCC condition is exact and the block model conservative on
+        // every one of the seeds × pairs trials behind this row.
+        assert!((r.mcc - r.oracle).abs() < 1e-12, "row {}", r.faults);
+        assert!(r.rfb <= r.mcc + 1e-12, "row {}", r.faults);
+        assert!(r.greedy <= r.oracle + 1e-12, "row {}", r.faults);
+    }
+    assert_eq!(a.render(), b.render(), "batched rows must be deterministic");
+}
+
 /// A tiny 8×8 scenario produces bit-identical table rows for a fixed seed
 /// range, run after run — the determinism contract of the runner.
 #[test]

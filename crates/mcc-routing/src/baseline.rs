@@ -13,6 +13,7 @@ use fault_model::oracle::{Useful2, Useful3};
 use fault_model::{FaultBlocks2, FaultBlocks3, Labelling2, Labelling3};
 use mesh_topo::{Dir2, Dir3, Path2, Path3, C2, C3};
 
+use crate::dirbuf::{DirBuf2, DirBuf3};
 use crate::policy::Policy;
 use crate::trace::{RouteOutcome2, RouteOutcome3, RouteResult};
 
@@ -37,7 +38,7 @@ pub fn route_greedy_2d(lab: &Labelling2, s: C2, d: C2, policy: &mut Policy) -> R
     let mut path = Path2::start(s);
     let mut adaptivity_sum = 0usize;
     let mut u = s;
-    let mut allowed: Vec<Dir2> = Vec::with_capacity(2);
+    let mut allowed = DirBuf2::new();
     while u != d {
         allowed.clear();
         for dir in Dir2::POSITIVE {
@@ -57,7 +58,7 @@ pub fn route_greedy_2d(lab: &Labelling2, s: C2, d: C2, policy: &mut Policy) -> R
             };
         }
         adaptivity_sum += allowed.len();
-        let dir = policy.choose2(u, d, &allowed);
+        let dir = policy.choose2(u, d, allowed.as_slice());
         u = u.step(dir);
         path.push(u);
     }
@@ -87,7 +88,7 @@ pub fn route_greedy_3d(lab: &Labelling3, s: C3, d: C3, policy: &mut Policy) -> R
     let mut path = Path3::start(s);
     let mut adaptivity_sum = 0usize;
     let mut u = s;
-    let mut allowed: Vec<Dir3> = Vec::with_capacity(3);
+    let mut allowed = DirBuf3::new();
     while u != d {
         allowed.clear();
         for dir in Dir3::POSITIVE {
@@ -107,7 +108,7 @@ pub fn route_greedy_3d(lab: &Labelling3, s: C3, d: C3, policy: &mut Policy) -> R
             };
         }
         adaptivity_sum += allowed.len();
-        let dir = policy.choose3(u, d, &allowed);
+        let dir = policy.choose3(u, d, allowed.as_slice());
         u = u.step(dir);
         path.push(u);
     }
@@ -129,6 +130,19 @@ pub fn route_rfb_2d(
     d: C2,
     policy: &mut Policy,
 ) -> RouteOutcome2 {
+    route_rfb_2d_in(blocks, mesh, s, d, policy, &mut Useful2::scratch())
+}
+
+/// [`route_rfb_2d`] with a caller-provided scratch buffer for the
+/// block-useful set (see [`Useful2::recompute`]).
+pub fn route_rfb_2d_in(
+    blocks: &FaultBlocks2,
+    mesh: &mesh_topo::Mesh2D,
+    s: C2,
+    d: C2,
+    policy: &mut Policy,
+    useful: &mut Useful2,
+) -> RouteOutcome2 {
     let frame = mesh_topo::Frame2::for_pair(mesh, s, d);
     let (cs, cd) = (frame.to_canon(s), frame.to_canon(d));
     let disabled = |c: C2| {
@@ -143,7 +157,24 @@ pub fn route_rfb_2d(
             detection_hops: 0,
         };
     }
-    let useful = Useful2::compute(cs, cd, disabled);
+    useful.recompute(cs, cd, disabled);
+    route_rfb_2d_reusing(mesh, s, d, policy, useful)
+}
+
+/// The tail of [`route_rfb_2d_in`], reusing a block-useful set the caller
+/// just computed for exactly this `(s, d)` — what
+/// [`FaultBlocks2::minimal_path_exists_in`] leaves behind when it admits
+/// the pair. Skips one box sweep; content-identical input means
+/// identical outcomes.
+pub(crate) fn route_rfb_2d_reusing(
+    mesh: &mesh_topo::Mesh2D,
+    s: C2,
+    d: C2,
+    policy: &mut Policy,
+    useful: &Useful2,
+) -> RouteOutcome2 {
+    let frame = mesh_topo::Frame2::for_pair(mesh, s, d);
+    let (cs, cd) = (frame.to_canon(s), frame.to_canon(d));
     if !useful.contains(cs) {
         return RouteOutcome2 {
             result: RouteResult::Infeasible,
@@ -155,7 +186,7 @@ pub fn route_rfb_2d(
     let mut path = Path2::start(s);
     let mut adaptivity_sum = 0usize;
     let mut u = cs;
-    let mut allowed: Vec<Dir2> = Vec::with_capacity(2);
+    let mut allowed = DirBuf2::new();
     while u != cd {
         allowed.clear();
         for dir in Dir2::POSITIVE {
@@ -168,7 +199,7 @@ pub fn route_rfb_2d(
         }
         assert!(!allowed.is_empty(), "block-useful set cannot strand");
         adaptivity_sum += allowed.len();
-        let dir = policy.choose2(u, cd, &allowed);
+        let dir = policy.choose2(u, cd, allowed.as_slice());
         u = u.step(dir);
         path.push(frame.from_canon(u));
     }
@@ -188,6 +219,19 @@ pub fn route_rfb_3d(
     d: C3,
     policy: &mut Policy,
 ) -> RouteOutcome3 {
+    route_rfb_3d_in(blocks, mesh, s, d, policy, &mut Useful3::scratch())
+}
+
+/// [`route_rfb_3d`] with a caller-provided scratch buffer for the
+/// block-useful set (see [`Useful3::recompute`]).
+pub fn route_rfb_3d_in(
+    blocks: &FaultBlocks3,
+    mesh: &mesh_topo::Mesh3D,
+    s: C3,
+    d: C3,
+    policy: &mut Policy,
+    useful: &mut Useful3,
+) -> RouteOutcome3 {
     let frame = mesh_topo::Frame3::for_pair(mesh, s, d);
     let (cs, cd) = (frame.to_canon(s), frame.to_canon(d));
     let disabled = |c: C3| {
@@ -202,7 +246,20 @@ pub fn route_rfb_3d(
             detection_cost: 0,
         };
     }
-    let useful = Useful3::compute(cs, cd, disabled);
+    useful.recompute(cs, cd, disabled);
+    route_rfb_3d_reusing(mesh, s, d, policy, useful)
+}
+
+/// 3-D twin of [`route_rfb_2d_reusing`].
+pub(crate) fn route_rfb_3d_reusing(
+    mesh: &mesh_topo::Mesh3D,
+    s: C3,
+    d: C3,
+    policy: &mut Policy,
+    useful: &Useful3,
+) -> RouteOutcome3 {
+    let frame = mesh_topo::Frame3::for_pair(mesh, s, d);
+    let (cs, cd) = (frame.to_canon(s), frame.to_canon(d));
     if !useful.contains(cs) {
         return RouteOutcome3 {
             result: RouteResult::Infeasible,
@@ -214,7 +271,7 @@ pub fn route_rfb_3d(
     let mut path = Path3::start(s);
     let mut adaptivity_sum = 0usize;
     let mut u = cs;
-    let mut allowed: Vec<Dir3> = Vec::with_capacity(3);
+    let mut allowed = DirBuf3::new();
     while u != cd {
         allowed.clear();
         for dir in Dir3::POSITIVE {
@@ -227,7 +284,7 @@ pub fn route_rfb_3d(
         }
         assert!(!allowed.is_empty(), "block-useful set cannot strand");
         adaptivity_sum += allowed.len();
-        let dir = policy.choose3(u, cd, &allowed);
+        let dir = policy.choose3(u, cd, allowed.as_slice());
         u = u.step(dir);
         path.push(frame.from_canon(u));
     }

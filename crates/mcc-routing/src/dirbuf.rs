@@ -1,0 +1,144 @@
+//! Fixed-capacity direction buffers for the per-hop candidate sets.
+//!
+//! Every router hop rebuilds the set of allowed forwarding directions.
+//! A heap-backed `Vec<Dir>` puts an allocation (and a pointer chase) on
+//! the hottest loop of every route; these inline buffers are `Copy`-sized
+//! arrays plus a length, so the candidate set lives entirely in registers
+//! or on the stack. Capacity is the full direction fan-out (4 in 2-D, 6
+//! in 3-D) even though minimal routing only ever pushes the positive
+//! half, so misrouting extensions cannot overflow them.
+
+use mesh_topo::{Dir2, Dir3};
+
+/// Inline candidate set of 2-D directions (`[Dir2; 4]` + length).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DirBuf2 {
+    dirs: [Dir2; 4],
+    len: usize,
+}
+
+impl DirBuf2 {
+    /// The empty candidate set.
+    pub(crate) fn new() -> DirBuf2 {
+        DirBuf2 {
+            dirs: [Dir2::Xp; 4],
+            len: 0,
+        }
+    }
+
+    /// Drop every candidate.
+    #[inline]
+    pub(crate) fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Append a candidate direction.
+    ///
+    /// # Panics
+    /// If the buffer already holds all four directions (debug builds).
+    #[inline]
+    pub(crate) fn push(&mut self, d: Dir2) {
+        debug_assert!(self.len < self.dirs.len(), "direction buffer overflow");
+        self.dirs[self.len] = d;
+        self.len += 1;
+    }
+
+    /// True when no direction is allowed.
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of allowed directions (the hop's adaptivity contribution).
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The candidates as a slice (what the [`crate::policy::Policy`]
+    /// selectors consume).
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[Dir2] {
+        &self.dirs[..self.len]
+    }
+}
+
+/// Inline candidate set of 3-D directions (`[Dir3; 6]` + length).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DirBuf3 {
+    dirs: [Dir3; 6],
+    len: usize,
+}
+
+impl DirBuf3 {
+    /// The empty candidate set.
+    pub(crate) fn new() -> DirBuf3 {
+        DirBuf3 {
+            dirs: [Dir3::Xp; 6],
+            len: 0,
+        }
+    }
+
+    /// Drop every candidate.
+    #[inline]
+    pub(crate) fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Append a candidate direction.
+    ///
+    /// # Panics
+    /// If the buffer already holds all six directions (debug builds).
+    #[inline]
+    pub(crate) fn push(&mut self, d: Dir3) {
+        debug_assert!(self.len < self.dirs.len(), "direction buffer overflow");
+        self.dirs[self.len] = d;
+        self.len += 1;
+    }
+
+    /// True when no direction is allowed.
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of allowed directions (the hop's adaptivity contribution).
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The candidates as a slice (what the [`crate::policy::Policy`]
+    /// selectors consume).
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[Dir3] {
+        &self.dirs[..self.len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirbuf2_push_clear_slice() {
+        let mut b = DirBuf2::new();
+        assert!(b.is_empty());
+        b.push(Dir2::Yp);
+        b.push(Dir2::Xp);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.as_slice(), &[Dir2::Yp, Dir2::Xp]);
+        b.clear();
+        assert!(b.is_empty() && b.as_slice().is_empty());
+    }
+
+    #[test]
+    fn dirbuf3_holds_full_fanout() {
+        let mut b = DirBuf3::new();
+        for d in Dir3::ALL {
+            b.push(d);
+        }
+        assert_eq!(b.len(), 6);
+        assert_eq!(b.as_slice(), &Dir3::ALL[..]);
+    }
+}

@@ -14,8 +14,10 @@
 //! A minimal path exists iff all three floods succeed — the operational form
 //! of Theorem 2, property-tested against the semantic condition.
 
+use std::collections::VecDeque;
+
 use fault_model::Labelling3;
-use mesh_topo::{Axis3, C3};
+use mesh_topo::{Axis3, NodeSet, NodeSpace3, C3};
 use serde::{Deserialize, Serialize};
 
 /// Result of the source feasibility check in 3-D.
@@ -38,11 +40,45 @@ impl Detection3 {
     }
 }
 
+/// Reusable state of one detection flood: the visited bitset over the RMP
+/// box and the BFS queue. One instance carried across many detections
+/// keeps the flood allocation-free in steady state (the bitset grows to
+/// the largest box seen, the queue to the widest frontier).
+#[derive(Clone, Debug)]
+pub struct FloodScratch3 {
+    seen: NodeSet,
+    queue: VecDeque<C3>,
+}
+
+impl FloodScratch3 {
+    /// Fresh, empty flood state.
+    pub fn new() -> FloodScratch3 {
+        FloodScratch3 {
+            seen: NodeSet::new(1),
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+impl Default for FloodScratch3 {
+    fn default() -> FloodScratch3 {
+        FloodScratch3::new()
+    }
+}
+
 /// Run the three surface floods for canonical safe `s ≤ d`.
 ///
 /// # Panics
 /// If `s` does not precede `d` componentwise, or an endpoint is unsafe.
 pub fn detect_3d(lab: &Labelling3, s: C3, d: C3) -> Detection3 {
+    detect_3d_in(lab, s, d, &mut FloodScratch3::new())
+}
+
+/// [`detect_3d`] with caller-provided flood state (see [`FloodScratch3`]).
+///
+/// # Panics
+/// If `s` does not precede `d` componentwise, or an endpoint is unsafe.
+pub fn detect_3d_in(lab: &Labelling3, s: C3, d: C3, scratch: &mut FloodScratch3) -> Detection3 {
     assert!(s.dominated_by(d), "detection requires canonical s <= d");
     assert!(
         lab.is_safe(s) && lab.is_safe(d),
@@ -58,6 +94,7 @@ pub fn detect_3d(lab: &Labelling3, s: C3, d: C3) -> Detection3 {
         Axis3::X,
         Axis3::Y,
         &mut visited,
+        scratch,
     );
     let y_surface_ok = flood(
         lab,
@@ -67,6 +104,7 @@ pub fn detect_3d(lab: &Labelling3, s: C3, d: C3) -> Detection3 {
         Axis3::Y,
         Axis3::Z,
         &mut visited,
+        scratch,
     );
     let z_surface_ok = flood(
         lab,
@@ -76,6 +114,7 @@ pub fn detect_3d(lab: &Labelling3, s: C3, d: C3) -> Detection3 {
         Axis3::Z,
         Axis3::X,
         &mut visited,
+        scratch,
     );
     Detection3 {
         x_surface_ok,
@@ -94,6 +133,8 @@ pub fn detect_3d(lab: &Labelling3, s: C3, d: C3) -> Detection3 {
 /// The visited map is a flat `NodeSet` bitset over the `[s, d]` RMP box
 /// (the flood never leaves it), so per-detection cost scales with the
 /// routing box, not the whole mesh — and no coordinate is ever re-hashed.
+/// Both the bitset and the queue live in the caller's [`FloodScratch3`].
+#[allow(clippy::too_many_arguments)] // axis roles + counters are clearest flat
 fn flood(
     lab: &Labelling3,
     s: C3,
@@ -102,15 +143,16 @@ fn flood(
     detour: Axis3,
     target: Axis3,
     visited_count: &mut usize,
+    scratch: &mut FloodScratch3,
 ) -> bool {
-    use mesh_topo::{NodeSet, NodeSpace3};
-    use std::collections::VecDeque;
     if s.get(target) == d.get(target) {
         return true;
     }
     let space = NodeSpace3::new(d.x - s.x + 1, d.y - s.y + 1, d.z - s.z + 1);
-    let mut seen = NodeSet::new(space.len());
-    let mut queue: VecDeque<C3> = VecDeque::new();
+    let seen = &mut scratch.seen;
+    let queue = &mut scratch.queue;
+    seen.reset(space.len());
+    queue.clear();
     seen.insert(space.index(C3::ORIGIN));
     queue.push_back(s);
     while let Some(u) = queue.pop_front() {

@@ -16,7 +16,11 @@
 //!   rectangular/cuboid-block routing,
 //! * [`trace`] — route outcomes, adaptivity and path-quality metrics,
 //! * [`trial`] — single-trial experiment runners shared by the benchmark
-//!   harness.
+//!   harness,
+//! * [`prepared`] — the amortized trial pipeline: per-mesh model caching
+//!   (orientation-keyed) plus reusable scratch buffers, so a batch of
+//!   trials against one fault configuration pays for model construction
+//!   once instead of once per pair.
 //!
 //! Module ↔ paper map: [`feasibility2`] and [`router2`] are Algorithm 3
 //! (Section 3, 2-D routing); [`feasibility3`] and [`router3`] are
@@ -56,18 +60,21 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+mod dirbuf;
 pub mod feasibility2;
 pub mod feasibility3;
 pub mod policy;
+pub mod prepared;
 pub mod router2;
 pub mod router3;
 pub mod trace;
 pub mod trial;
 
 pub use feasibility2::{detect_2d, Detection2};
-pub use feasibility3::{detect_3d, Detection3};
+pub use feasibility3::{detect_3d, detect_3d_in, Detection3, FloodScratch3};
 pub use policy::Policy;
+pub use prepared::{run_trial_2d_prepared, run_trial_3d_prepared, PreparedMesh2, PreparedMesh3};
 pub use router2::Router2;
-pub use router3::Router3;
+pub use router3::{RouteScratch3, Router3};
 pub use trace::{RouteOutcome2, RouteOutcome3};
 pub use trial::{run_trial_2d, run_trial_3d, TrialOptions, TrialResult};

@@ -27,6 +27,7 @@ use fault_model::Labelling2;
 use mesh_topo::{Dir2, Path2, C2};
 use serde::{Deserialize, Serialize};
 
+use crate::dirbuf::DirBuf2;
 use crate::feasibility2::detect_2d;
 use crate::policy::Policy;
 use crate::trace::{RouteOutcome2, RouteResult};
@@ -71,36 +72,103 @@ impl<'a> Router2<'a> {
         policy: &mut Policy,
         rule: DecisionRule,
     ) -> RouteOutcome2 {
-        assert!(s.dominated_by(d), "router requires canonical s <= d");
-        // The model routes between safe nodes; labelled endpoints are
-        // refused at the source (cf. the endpoint triage of condition2).
-        if !self.lab.is_safe(s) || !self.lab.is_safe(d) {
-            return RouteOutcome2 {
-                result: RouteResult::Infeasible,
-                path: Path2::start(s),
-                adaptivity_sum: 0,
-                detection_hops: 0,
-            };
-        }
-        let det = detect_2d(self.lab, s, d);
-        if !det.feasible() {
-            return RouteOutcome2 {
-                result: RouteResult::Infeasible,
-                path: Path2::start(s),
-                adaptivity_sum: 0,
-                detection_hops: det.hops,
-            };
-        }
-        let useful = Useful2::compute(s, d, |c| {
+        self.route_with_rule_in(s, d, policy, rule, &mut Useful2::scratch())
+    }
+
+    /// [`Router2::route_with_rule`] with a caller-provided scratch buffer
+    /// for the backward-reachability set, so batched trials recompute it
+    /// in place instead of allocating per route.
+    ///
+    /// # Panics
+    /// If `s` does not precede `d` componentwise.
+    pub fn route_with_rule_in(
+        &self,
+        s: C2,
+        d: C2,
+        policy: &mut Policy,
+        rule: DecisionRule,
+        useful: &mut Useful2,
+    ) -> RouteOutcome2 {
+        let det = match self.precheck(s, d) {
+            Ok(det) => det,
+            Err(refused) => return refused,
+        };
+        useful.recompute(s, d, |c| {
             self.lab
                 .status_get(c)
                 .map(|t| t.is_unsafe())
                 .unwrap_or(true)
         });
+        self.forward(s, d, policy, rule, useful, det)
+    }
+
+    /// Route reusing a backward-reachability set the caller just computed
+    /// for exactly this `(s, d)` over the unsafe closure — what the
+    /// safe-endpoints branch of the existence condition produces. Skips
+    /// one box sweep per route; the set's content is identical to what
+    /// [`Router2::route_with_rule_in`] would recompute, so outcomes are
+    /// unchanged. (The buffer is never read when `s == d`, the one case
+    /// where the condition skips the sweep.)
+    pub(crate) fn route_with_rule_reusing(
+        &self,
+        s: C2,
+        d: C2,
+        policy: &mut Policy,
+        rule: DecisionRule,
+        useful: &Useful2,
+    ) -> RouteOutcome2 {
+        let det = match self.precheck(s, d) {
+            Ok(det) => det,
+            Err(refused) => return refused,
+        };
+        self.forward(s, d, policy, rule, useful, det)
+    }
+
+    /// Source-side triage shared by every entry point: refuse labelled
+    /// endpoints (the model routes between safe nodes; cf. the endpoint
+    /// triage of condition2), then run the detection walks. `Err` carries
+    /// the finished infeasible outcome.
+    ///
+    /// # Panics
+    /// If `s` does not precede `d` componentwise.
+    fn precheck(&self, s: C2, d: C2) -> Result<crate::feasibility2::Detection2, RouteOutcome2> {
+        assert!(s.dominated_by(d), "router requires canonical s <= d");
+        if !self.lab.is_safe(s) || !self.lab.is_safe(d) {
+            return Err(RouteOutcome2 {
+                result: RouteResult::Infeasible,
+                path: Path2::start(s),
+                adaptivity_sum: 0,
+                detection_hops: 0,
+            });
+        }
+        let det = detect_2d(self.lab, s, d);
+        if !det.feasible() {
+            return Err(RouteOutcome2 {
+                result: RouteResult::Infeasible,
+                path: Path2::start(s),
+                adaptivity_sum: 0,
+                detection_hops: det.hops,
+            });
+        }
+        Ok(det)
+    }
+
+    /// The per-hop forwarding loop shared by every entry point; `useful`
+    /// must hold the backward-reachability set for `(s, d)` and `det` the
+    /// completed (feasible) detection.
+    fn forward(
+        &self,
+        s: C2,
+        d: C2,
+        policy: &mut Policy,
+        rule: DecisionRule,
+        useful: &Useful2,
+        det: crate::feasibility2::Detection2,
+    ) -> RouteOutcome2 {
         let mut path = Path2::start(s);
         let mut adaptivity_sum = 0usize;
         let mut u = s;
-        let mut allowed: Vec<Dir2> = Vec::with_capacity(2);
+        let mut allowed = DirBuf2::new();
         while u != d {
             allowed.clear();
             for dir in Dir2::POSITIVE {
@@ -132,7 +200,7 @@ impl<'a> Router2<'a> {
                 };
             }
             adaptivity_sum += allowed.len();
-            let dir = policy.choose2(u, d, &allowed);
+            let dir = policy.choose2(u, d, allowed.as_slice());
             u = u.step(dir);
             path.push(u);
         }

@@ -12,10 +12,37 @@ use fault_model::oracle::Useful3;
 use fault_model::Labelling3;
 use mesh_topo::{Axis3, Dir3, Path3, C3};
 
-use crate::feasibility3::detect_3d;
+use crate::dirbuf::DirBuf3;
+use crate::feasibility3::{detect_3d_in, FloodScratch3};
 use crate::policy::Policy;
 use crate::router2::DecisionRule;
 use crate::trace::{RouteOutcome3, RouteResult};
+
+/// Reusable buffers for one 3-D route: the backward-reachability set and
+/// the detection-flood state. One instance carried across a batch of
+/// routes keeps the steady-state per-route allocation count at the output
+/// path itself.
+#[derive(Clone, Debug)]
+pub struct RouteScratch3 {
+    useful: Useful3,
+    flood: FloodScratch3,
+}
+
+impl RouteScratch3 {
+    /// Fresh, empty scratch.
+    pub fn new() -> RouteScratch3 {
+        RouteScratch3 {
+            useful: Useful3::scratch(),
+            flood: FloodScratch3::new(),
+        }
+    }
+}
+
+impl Default for RouteScratch3 {
+    fn default() -> RouteScratch3 {
+        RouteScratch3::new()
+    }
+}
 
 /// The two-phase 3-D router over one labelled octant.
 #[derive(Clone, Debug)]
@@ -47,34 +74,104 @@ impl<'a> Router3<'a> {
         policy: &mut Policy,
         rule: DecisionRule,
     ) -> RouteOutcome3 {
-        assert!(s.dominated_by(d), "router requires canonical s <= d");
-        if !self.lab.is_safe(s) || !self.lab.is_safe(d) {
-            return RouteOutcome3 {
-                result: RouteResult::Infeasible,
-                path: Path3::start(s),
-                adaptivity_sum: 0,
-                detection_cost: 0,
-            };
-        }
-        let det = detect_3d(self.lab, s, d);
-        if !det.feasible() {
-            return RouteOutcome3 {
-                result: RouteResult::Infeasible,
-                path: Path3::start(s),
-                adaptivity_sum: 0,
-                detection_cost: det.visited,
-            };
-        }
-        let useful = Useful3::compute(s, d, |c| {
+        self.route_with_rule_in(s, d, policy, rule, &mut RouteScratch3::new())
+    }
+
+    /// [`Router3::route_with_rule`] with caller-provided scratch buffers
+    /// (backward-reachability set + detection-flood state), so batched
+    /// trials recompute them in place instead of allocating per route.
+    ///
+    /// # Panics
+    /// If `s` does not precede `d` componentwise.
+    pub fn route_with_rule_in(
+        &self,
+        s: C3,
+        d: C3,
+        policy: &mut Policy,
+        rule: DecisionRule,
+        scratch: &mut RouteScratch3,
+    ) -> RouteOutcome3 {
+        let det = match self.precheck(s, d, &mut scratch.flood) {
+            Ok(det) => det,
+            Err(refused) => return refused,
+        };
+        scratch.useful.recompute(s, d, |c| {
             self.lab
                 .status_get(c)
                 .map(|t| t.is_unsafe())
                 .unwrap_or(true)
         });
+        self.forward(s, d, policy, rule, &scratch.useful, det)
+    }
+
+    /// Route reusing a backward-reachability set the caller just computed
+    /// for exactly this `(s, d)` over the unsafe closure (see the 2-D
+    /// twin [`crate::router2::Router2::route_with_rule_reusing`]).
+    pub(crate) fn route_with_rule_reusing(
+        &self,
+        s: C3,
+        d: C3,
+        policy: &mut Policy,
+        rule: DecisionRule,
+        useful: &Useful3,
+        flood: &mut crate::feasibility3::FloodScratch3,
+    ) -> RouteOutcome3 {
+        let det = match self.precheck(s, d, flood) {
+            Ok(det) => det,
+            Err(refused) => return refused,
+        };
+        self.forward(s, d, policy, rule, useful, det)
+    }
+
+    /// Source-side triage shared by every entry point: refuse labelled
+    /// endpoints, then run the detection floods. `Err` carries the
+    /// finished infeasible outcome.
+    ///
+    /// # Panics
+    /// If `s` does not precede `d` componentwise.
+    fn precheck(
+        &self,
+        s: C3,
+        d: C3,
+        flood: &mut crate::feasibility3::FloodScratch3,
+    ) -> Result<crate::feasibility3::Detection3, RouteOutcome3> {
+        assert!(s.dominated_by(d), "router requires canonical s <= d");
+        if !self.lab.is_safe(s) || !self.lab.is_safe(d) {
+            return Err(RouteOutcome3 {
+                result: RouteResult::Infeasible,
+                path: Path3::start(s),
+                adaptivity_sum: 0,
+                detection_cost: 0,
+            });
+        }
+        let det = detect_3d_in(self.lab, s, d, flood);
+        if !det.feasible() {
+            return Err(RouteOutcome3 {
+                result: RouteResult::Infeasible,
+                path: Path3::start(s),
+                adaptivity_sum: 0,
+                detection_cost: det.visited,
+            });
+        }
+        Ok(det)
+    }
+
+    /// The per-hop forwarding loop shared by every entry point; `useful`
+    /// must hold the backward-reachability set for `(s, d)` and `det` the
+    /// completed (feasible) detection.
+    fn forward(
+        &self,
+        s: C3,
+        d: C3,
+        policy: &mut Policy,
+        rule: DecisionRule,
+        useful: &Useful3,
+        det: crate::feasibility3::Detection3,
+    ) -> RouteOutcome3 {
         let mut path = Path3::start(s);
         let mut adaptivity_sum = 0usize;
         let mut u = s;
-        let mut allowed: Vec<Dir3> = Vec::with_capacity(3);
+        let mut allowed = DirBuf3::new();
         while u != d {
             allowed.clear();
             for dir in Dir3::POSITIVE {
@@ -106,7 +203,7 @@ impl<'a> Router3<'a> {
                 };
             }
             adaptivity_sum += allowed.len();
-            let dir = policy.choose3(u, d, &allowed);
+            let dir = policy.choose3(u, d, allowed.as_slice());
             u = u.step(dir);
             path.push(u);
         }

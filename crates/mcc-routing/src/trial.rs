@@ -11,21 +11,27 @@
 //! plus routing metrics (hops, adaptivity, detection cost) for the models
 //! that actually routed. The benchmark harness aggregates trials into the
 //! tables of `EXPERIMENTS.md`.
+//!
+//! The per-trial functions here are thin wrappers over the prepared-mesh
+//! pipeline of [`crate::prepared`]: each builds a throwaway
+//! [`crate::prepared::PreparedMesh2`]/[`PreparedMesh3`] for its single
+//! pair, so fresh and batched trials share one code path and cannot
+//! drift. Callers evaluating many pairs against one fault configuration
+//! should hold a prepared mesh themselves and amortize model
+//! construction (see DESIGN.md §9).
+//!
+//! [`PreparedMesh3`]: crate::prepared::PreparedMesh3
 
 use fault_model::mcc2::MccSet2;
 use fault_model::mcc3::MccSet3;
+use fault_model::oracle::{Useful2, Useful3};
 use fault_model::{
-    minimal_path_exists_2d, minimal_path_exists_3d, oracle, BorderPolicy, FaultBlocks2,
-    FaultBlocks3, Labelling2, Labelling3,
+    minimal_path_exists_2d_in, minimal_path_exists_3d_in, BorderPolicy, Labelling2, Labelling3,
 };
-use mesh_topo::{Frame2, Frame3, Mesh2D, Mesh3D, C2, C3};
+use mesh_topo::{Mesh2D, Mesh3D, C2, C3};
 use serde::{Deserialize, Serialize};
 
-use crate::baseline;
-use crate::policy::Policy;
-use crate::router2::Router2;
-use crate::router3::Router3;
-use crate::trace::RouteResult;
+use crate::prepared::{PreparedMesh2, PreparedMesh3};
 
 /// Aggregatable result of one routing trial.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
@@ -51,6 +57,40 @@ pub struct TrialResult {
     pub detection_cost: usize,
     /// Both endpoints were safe under the MCC labelling.
     pub endpoints_safe: bool,
+}
+
+impl TrialResult {
+    /// Field-for-field equality with the floats compared by bit pattern.
+    ///
+    /// This is the single source of the fresh ≡ prepared equivalence
+    /// contract: the property battery (`tests/prepared_equiv.rs`) and the
+    /// snapshot-refusal gate of `mcc-bench`'s `bench_trials` binary both
+    /// go through it, so a field added here cannot silently escape the
+    /// gates.
+    pub fn bit_identical(&self, other: &TrialResult) -> bool {
+        let TrialResult {
+            oracle_ok,
+            mcc_ok,
+            rfb_ok,
+            greedy_ok,
+            mcc_delivered,
+            mcc_hops,
+            mcc_adaptivity,
+            rfb_adaptivity,
+            detection_cost,
+            endpoints_safe,
+        } = *self;
+        oracle_ok == other.oracle_ok
+            && mcc_ok == other.mcc_ok
+            && rfb_ok == other.rfb_ok
+            && greedy_ok == other.greedy_ok
+            && mcc_delivered == other.mcc_delivered
+            && mcc_hops == other.mcc_hops
+            && mcc_adaptivity.to_bits() == other.mcc_adaptivity.to_bits()
+            && rfb_adaptivity.to_bits() == other.rfb_adaptivity.to_bits()
+            && detection_cost == other.detection_cost
+            && endpoints_safe == other.endpoints_safe
+    }
 }
 
 /// Knobs shared by the trial runners, threaded down from the scenario
@@ -94,6 +134,9 @@ pub fn run_trial_2d(mesh: &Mesh2D, s: C2, d: C2, policy_seed: u64) -> TrialResul
 
 /// Run one 2-D trial for arbitrary (healthy) mesh-coordinate endpoints.
 ///
+/// Builds a throwaway [`PreparedMesh2`] for this single pair; batch
+/// callers should prepare once and reuse it.
+///
 /// # Panics
 /// If either endpoint is faulty.
 pub fn run_trial_2d_with(
@@ -103,62 +146,33 @@ pub fn run_trial_2d_with(
     policy_seed: u64,
     opts: &TrialOptions,
 ) -> TrialResult {
-    assert!(
-        mesh.is_healthy(s) && mesh.is_healthy(d),
-        "trial endpoints must be healthy"
-    );
-    let frame = Frame2::for_pair(mesh, s, d);
-    let (cs, cd) = (frame.to_canon(s), frame.to_canon(d));
-    let lab = Labelling2::compute(mesh, frame, opts.border);
-    let mccs = opts.eval_mcc.then(|| MccSet2::compute(&lab));
-    let blocks = opts.eval_rfb.then(|| FaultBlocks2::compute(mesh));
+    PreparedMesh2::new(mesh, *opts).run_trial(s, d, policy_seed)
+}
 
-    let oracle_ok = oracle::reachable_2d(cs, cd, |c| {
-        let m = frame.from_canon(c);
-        !mesh.contains(m) || mesh.is_faulty(m)
-    });
-    let mcc_ok = mccs
-        .as_ref()
-        .is_some_and(|m| minimal_path_exists_2d(&lab, m, cs, cd).exists());
-    let rfb_ok = blocks
-        .as_ref()
-        .is_some_and(|b| b.minimal_path_exists(mesh, s, d));
-    let endpoints_safe = lab.is_safe(cs) && lab.is_safe(cd);
+/// The MCC admission gate, shared verbatim by the fresh and prepared
+/// paths in both dimensions: the model admits the routing iff MCC
+/// evaluation was requested (`mccs` computed) and the existence condition
+/// holds for the canonical pair.
+pub(crate) fn mcc_ok_2d(
+    lab: &Labelling2,
+    mccs: Option<&MccSet2>,
+    cs: C2,
+    cd: C2,
+    useful: &mut Useful2,
+) -> bool {
+    mccs.is_some_and(|m| minimal_path_exists_2d_in(lab, m, cs, cd, useful).exists())
+}
 
-    let mut result = TrialResult {
-        oracle_ok,
-        mcc_ok,
-        rfb_ok,
-        endpoints_safe,
-        ..TrialResult::default()
-    };
-
-    if opts.eval_greedy {
-        let greedy = baseline::route_greedy_2d(&lab, cs, cd, &mut Policy::random(policy_seed));
-        result.greedy_ok = greedy.result == RouteResult::Delivered;
-    }
-
-    if endpoints_safe {
-        if let Some(mccs) = &mccs {
-            let router = Router2::new(&lab, mccs);
-            let out = router.route(cs, cd, &mut Policy::random(policy_seed ^ 0x9e37_79b9));
-            result.detection_cost = out.detection_hops;
-            if out.delivered() {
-                result.mcc_delivered = true;
-                result.mcc_hops = out.path.hops();
-                result.mcc_adaptivity = out.adaptivity();
-            }
-        }
-    }
-    if rfb_ok {
-        let blocks = blocks.as_ref().expect("rfb_ok implies blocks computed");
-        let out =
-            baseline::route_rfb_2d(blocks, mesh, s, d, &mut Policy::random(policy_seed ^ 0x51));
-        if out.delivered() {
-            result.rfb_adaptivity = out.adaptivity();
-        }
-    }
-    result
+/// 3-D twin of [`mcc_ok_2d`] (the 3-D condition needs no MCC set, but the
+/// gate is the same: evaluate only when the model was requested).
+pub(crate) fn mcc_ok_3d(
+    lab: &Labelling3,
+    mccs: Option<&MccSet3>,
+    cs: C3,
+    cd: C3,
+    useful: &mut Useful3,
+) -> bool {
+    mccs.is_some() && minimal_path_exists_3d_in(lab, cs, cd, useful).exists()
 }
 
 /// Run one 3-D trial with the paper-faithful defaults (border-safe
@@ -172,6 +186,9 @@ pub fn run_trial_3d(mesh: &Mesh3D, s: C3, d: C3, policy_seed: u64) -> TrialResul
 
 /// Run one 3-D trial for arbitrary (healthy) mesh-coordinate endpoints.
 ///
+/// Builds a throwaway [`PreparedMesh3`] for this single pair; batch
+/// callers should prepare once and reuse it.
+///
 /// # Panics
 /// If either endpoint is faulty.
 pub fn run_trial_3d_with(
@@ -181,60 +198,7 @@ pub fn run_trial_3d_with(
     policy_seed: u64,
     opts: &TrialOptions,
 ) -> TrialResult {
-    assert!(
-        mesh.is_healthy(s) && mesh.is_healthy(d),
-        "trial endpoints must be healthy"
-    );
-    let frame = Frame3::for_pair(mesh, s, d);
-    let (cs, cd) = (frame.to_canon(s), frame.to_canon(d));
-    let lab = Labelling3::compute(mesh, frame, opts.border);
-    let mccs = opts.eval_mcc.then(|| MccSet3::compute(&lab));
-    let blocks = opts.eval_rfb.then(|| FaultBlocks3::compute(mesh));
-
-    let oracle_ok = oracle::reachable_3d(cs, cd, |c| {
-        let m = frame.from_canon(c);
-        !mesh.contains(m) || mesh.is_faulty(m)
-    });
-    let mcc_ok = opts.eval_mcc && minimal_path_exists_3d(&lab, cs, cd).exists();
-    let rfb_ok = blocks
-        .as_ref()
-        .is_some_and(|b| b.minimal_path_exists(mesh, s, d));
-    let endpoints_safe = lab.is_safe(cs) && lab.is_safe(cd);
-
-    let mut result = TrialResult {
-        oracle_ok,
-        mcc_ok,
-        rfb_ok,
-        endpoints_safe,
-        ..TrialResult::default()
-    };
-
-    if opts.eval_greedy {
-        let greedy = baseline::route_greedy_3d(&lab, cs, cd, &mut Policy::random(policy_seed));
-        result.greedy_ok = greedy.result == RouteResult::Delivered;
-    }
-
-    if endpoints_safe {
-        if let Some(mccs) = &mccs {
-            let router = Router3::new(&lab, mccs);
-            let out = router.route(cs, cd, &mut Policy::random(policy_seed ^ 0x9e37_79b9));
-            result.detection_cost = out.detection_cost;
-            if out.delivered() {
-                result.mcc_delivered = true;
-                result.mcc_hops = out.path.hops();
-                result.mcc_adaptivity = out.adaptivity();
-            }
-        }
-    }
-    if rfb_ok {
-        let blocks = blocks.as_ref().expect("rfb_ok implies blocks computed");
-        let out =
-            baseline::route_rfb_3d(blocks, mesh, s, d, &mut Policy::random(policy_seed ^ 0x51));
-        if out.delivered() {
-            result.rfb_adaptivity = out.adaptivity();
-        }
-    }
-    result
+    PreparedMesh3::new(mesh, *opts).run_trial(s, d, policy_seed)
 }
 
 #[cfg(test)]

@@ -491,6 +491,21 @@ impl NodeSet {
         self.ones = 0;
     }
 
+    /// Re-dimension the set to a space of `nbits` nodes and empty it,
+    /// growing the word storage only when a larger space than any seen
+    /// before demands it. This is the scratch-buffer entry point: a
+    /// routing trial loop can carry one `NodeSet` across boxes of varying
+    /// size without allocating in steady state.
+    pub fn reset(&mut self, nbits: usize) {
+        self.clear();
+        // Keep the word count exact (not merely sufficient) so derived
+        // equality still matches a fresh `NodeSet::new(nbits)`; `Vec`
+        // retains its capacity across truncate/resize, so only a space
+        // larger than any seen before actually allocates.
+        self.words.resize(nbits.div_ceil(64), 0);
+        self.nbits = nbits;
+    }
+
     /// In-place union: `self ∪= other`.
     ///
     /// # Panics
@@ -653,6 +668,23 @@ impl<T> core::ops::IndexMut<usize> for NodeGrid<T> {
 mod tests {
     use super::*;
     use crate::coord::{c2, c3};
+
+    #[test]
+    fn reset_redimensions_and_preserves_equality() {
+        let mut set = NodeSet::new(300);
+        set.insert(5);
+        set.insert(299);
+        set.reset(40);
+        assert_eq!(set.capacity(), 40);
+        assert!(set.is_empty());
+        set.insert(39);
+        assert_eq!(set, NodeSet::from_indices(40, [39]));
+        // Growing again past the original space still behaves like new.
+        set.reset(1000);
+        assert!(set.is_empty());
+        set.insert(999);
+        assert_eq!(set, NodeSet::from_indices(1000, [999]));
+    }
 
     #[test]
     fn space2_roundtrip() {
