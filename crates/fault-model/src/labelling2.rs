@@ -20,6 +20,12 @@
 //! behavior and no per-node hashing or queueing. The hash-based worklist
 //! formulation is preserved in [`crate::reference`] and property-tested
 //! equal.
+//!
+//! On a **torus** the rules read the wrapped neighbors, whose ring cycles
+//! defeat the single-pass argument: the sweeps iterate until quiescent
+//! (extra passes only when a label chain crosses the wrap seam), and the
+//! fixpoint is property-tested equal to the definitional worklist closure
+//! over the wrapped neighbor relation (`tests/properties.rs`).
 
 use mesh_topo::{Frame2, Mesh2D, NodeGrid, NodeSet, NodeSpace2, C2};
 
@@ -52,52 +58,104 @@ impl Labelling2 {
         let h = space.height() as usize;
         let s = status.as_mut_slice();
 
-        // Rule 2 (useless) depends only on the +X / +Y neighbors, which a
-        // decreasing-(y, x) sweep has already finalized: one pass reaches
-        // the worklist fixpoint.
-        for y in (0..h).rev() {
-            let row = y * w;
-            for x in (0..w).rev() {
-                let i = row + x;
-                if s[i].blocks_forward() {
-                    continue;
+        if space.wraps() {
+            // Torus: both rules read the wrapped +/- neighbors, so the
+            // dependency graph has ring cycles and one sweep is no longer
+            // guaranteed to finalize every dependency. Each extra sweep
+            // only matters when a label chain crosses the wrap seam, so
+            // the loop almost always runs twice (once to converge, once to
+            // observe quiescence); the border policy is irrelevant (a
+            // torus has no border).
+            loop {
+                let mut changed = false;
+                for y in (0..h).rev() {
+                    let row = y * w;
+                    for x in (0..w).rev() {
+                        let i = row + x;
+                        if s[i].blocks_forward() {
+                            continue;
+                        }
+                        let xp = s[if x + 1 < w { i + 1 } else { row }].blocks_forward();
+                        let yp = s[if y + 1 < h { i + w } else { x }].blocks_forward();
+                        if xp && yp {
+                            s[i].mark_useless();
+                            changed = true;
+                        }
+                    }
                 }
-                let xp = if x + 1 < w {
-                    s[i + 1].blocks_forward()
-                } else {
-                    border_blocks
-                };
-                let yp = if y + 1 < h {
-                    s[i + w].blocks_forward()
-                } else {
-                    border_blocks
-                };
-                if xp && yp {
-                    s[i].mark_useless();
+                if !changed {
+                    break;
                 }
             }
-        }
-        // Rule 3 (can't-reach) is the mirror image: -X / -Y dependencies,
-        // increasing-(y, x) sweep.
-        for y in 0..h {
-            let row = y * w;
-            for x in 0..w {
-                let i = row + x;
-                if s[i].blocks_backward() {
-                    continue;
+            loop {
+                let mut changed = false;
+                for y in 0..h {
+                    let row = y * w;
+                    for x in 0..w {
+                        let i = row + x;
+                        if s[i].blocks_backward() {
+                            continue;
+                        }
+                        let xm = s[if x > 0 { i - 1 } else { row + w - 1 }].blocks_backward();
+                        let ym = s[if y > 0 { i - w } else { x + w * (h - 1) }].blocks_backward();
+                        if xm && ym {
+                            s[i].mark_cant_reach();
+                            changed = true;
+                        }
+                    }
                 }
-                let xm = if x > 0 {
-                    s[i - 1].blocks_backward()
-                } else {
-                    border_blocks
-                };
-                let ym = if y > 0 {
-                    s[i - w].blocks_backward()
-                } else {
-                    border_blocks
-                };
-                if xm && ym {
-                    s[i].mark_cant_reach();
+                if !changed {
+                    break;
+                }
+            }
+        } else {
+            // Rule 2 (useless) depends only on the +X / +Y neighbors, which
+            // a decreasing-(y, x) sweep has already finalized: one pass
+            // reaches the worklist fixpoint.
+            for y in (0..h).rev() {
+                let row = y * w;
+                for x in (0..w).rev() {
+                    let i = row + x;
+                    if s[i].blocks_forward() {
+                        continue;
+                    }
+                    let xp = if x + 1 < w {
+                        s[i + 1].blocks_forward()
+                    } else {
+                        border_blocks
+                    };
+                    let yp = if y + 1 < h {
+                        s[i + w].blocks_forward()
+                    } else {
+                        border_blocks
+                    };
+                    if xp && yp {
+                        s[i].mark_useless();
+                    }
+                }
+            }
+            // Rule 3 (can't-reach) is the mirror image: -X / -Y
+            // dependencies, increasing-(y, x) sweep.
+            for y in 0..h {
+                let row = y * w;
+                for x in 0..w {
+                    let i = row + x;
+                    if s[i].blocks_backward() {
+                        continue;
+                    }
+                    let xm = if x > 0 {
+                        s[i - 1].blocks_backward()
+                    } else {
+                        border_blocks
+                    };
+                    let ym = if y > 0 {
+                        s[i - w].blocks_backward()
+                    } else {
+                        border_blocks
+                    };
+                    if xm && ym {
+                        s[i].mark_cant_reach();
+                    }
                 }
             }
         }
@@ -357,6 +415,66 @@ mod tests {
         let l = Labelling2::compute(&mesh, f, BorderPolicy::BorderSafe);
         for c in mesh.nodes() {
             assert_eq!(l.status_mesh(c), l.status(f.to_canon(c)));
+        }
+    }
+
+    #[test]
+    fn torus_labels_wrap_across_the_seam() {
+        // (0,2) is useless from its in-grid neighbors; (7,2) then becomes
+        // useless through the wrap link (its +X neighbor is (0,2)). The
+        // decreasing-x sweep sees that dependency only on its second pass,
+        // so this also exercises the fixpoint iteration.
+        let faults = [c2(1, 2), c2(0, 3), c2(7, 3)];
+        let mut torus = Mesh2D::torus(8, 5);
+        for c in faults {
+            torus.inject_fault(c);
+        }
+        let lt = lab(&torus);
+        assert!(lt.status(c2(0, 2)).is_useless());
+        assert!(lt.status(c2(7, 2)).is_useless(), "label must wrap");
+        // (1,3) is can't-reach on both topologies: -X=(0,3), -Y=(1,2).
+        assert!(lt.status(c2(1, 3)).is_cant_reach());
+        assert_eq!(lt.sacrificed_count(), 3);
+
+        // On the mesh with the same faults the seam does not exist: the
+        // border is safe and (7,2) keeps its label.
+        let mut mesh = Mesh2D::new(8, 5);
+        for c in faults {
+            mesh.inject_fault(c);
+        }
+        let lm = lab(&mesh);
+        assert!(lm.status(c2(0, 2)).is_useless());
+        assert!(lm.status(c2(7, 2)).is_safe());
+    }
+
+    #[test]
+    fn torus_fixpoint_has_no_missed_labels() {
+        // Closure property: no safe node may have both wrapped positive
+        // (or both wrapped negative) neighbors blocked.
+        let mut torus = Mesh2D::torus(7, 6);
+        for c in [c2(0, 0), c2(6, 1), c2(1, 5), c2(3, 3), c2(4, 2), c2(2, 4)] {
+            torus.inject_fault(c);
+        }
+        let l = lab(&torus);
+        let space = torus.space();
+        for c in torus.nodes() {
+            let st = l.status(c);
+            let nxp = l.status(space.wrap_coord(c.step(mesh_topo::Dir2::Xp)));
+            let nyp = l.status(space.wrap_coord(c.step(mesh_topo::Dir2::Yp)));
+            let nxm = l.status(space.wrap_coord(c.step(mesh_topo::Dir2::Xm)));
+            let nym = l.status(space.wrap_coord(c.step(mesh_topo::Dir2::Ym)));
+            if !st.blocks_forward() {
+                assert!(
+                    !(nxp.blocks_forward() && nyp.blocks_forward()),
+                    "{c} missed useless"
+                );
+            }
+            if !st.blocks_backward() {
+                assert!(
+                    !(nxm.blocks_backward() && nym.blocks_backward()),
+                    "{c} missed can't-reach"
+                );
+            }
         }
     }
 

@@ -10,7 +10,8 @@
 //! array on the node-state layer ([`mesh_topo::nodeset`]): the useless rule
 //! depends only on strictly-larger `(z, y, x)`, so a single decreasing
 //! sweep reaches the fixpoint, and the can't-reach rule is the increasing
-//! mirror image.
+//! mirror image. On a torus the sweeps read the wrapped neighbors and
+//! iterate to the fixpoint (see [`crate::labelling2`]).
 
 use mesh_topo::{Frame3, Mesh3D, NodeGrid, NodeSet, NodeSpace3, C3};
 
@@ -44,63 +45,130 @@ impl Labelling3 {
         let plane = nx * ny;
         let s = status.as_mut_slice();
 
-        // Useless closure: dependencies point to +X/+Y/+Z only, so one
-        // decreasing-(z, y, x) sweep reaches the fixpoint.
-        for z in (0..nz).rev() {
-            for y in (0..ny).rev() {
-                let row = z * plane + y * nx;
-                for x in (0..nx).rev() {
-                    let i = row + x;
-                    if s[i].blocks_forward() {
-                        continue;
+        if space.wraps() {
+            // Torus: the rules read the wrapped +/- neighbors; the ring
+            // cycles mean the sweeps iterate to a fixpoint (extra passes
+            // only when a label chain crosses a wrap seam — see the 2-D
+            // closure). No border exists, so the policy is irrelevant.
+            loop {
+                let mut changed = false;
+                for z in (0..nz).rev() {
+                    for y in (0..ny).rev() {
+                        let row = z * plane + y * nx;
+                        for x in (0..nx).rev() {
+                            let i = row + x;
+                            if s[i].blocks_forward() {
+                                continue;
+                            }
+                            let xp = s[if x + 1 < nx { i + 1 } else { row }].blocks_forward();
+                            let yp =
+                                s[if y + 1 < ny { i + nx } else { z * plane + x }].blocks_forward();
+                            let zp =
+                                s[if z + 1 < nz { i + plane } else { y * nx + x }].blocks_forward();
+                            if xp && yp && zp {
+                                s[i].mark_useless();
+                                changed = true;
+                            }
+                        }
                     }
-                    let xp = if x + 1 < nx {
-                        s[i + 1].blocks_forward()
-                    } else {
-                        border_blocks
-                    };
-                    let yp = if y + 1 < ny {
-                        s[i + nx].blocks_forward()
-                    } else {
-                        border_blocks
-                    };
-                    let zp = if z + 1 < nz {
-                        s[i + plane].blocks_forward()
-                    } else {
-                        border_blocks
-                    };
-                    if xp && yp && zp {
-                        s[i].mark_useless();
+                }
+                if !changed {
+                    break;
+                }
+            }
+            loop {
+                let mut changed = false;
+                for z in 0..nz {
+                    for y in 0..ny {
+                        let row = z * plane + y * nx;
+                        for x in 0..nx {
+                            let i = row + x;
+                            if s[i].blocks_backward() {
+                                continue;
+                            }
+                            let xm = s[if x > 0 { i - 1 } else { row + nx - 1 }].blocks_backward();
+                            let ym = s[if y > 0 {
+                                i - nx
+                            } else {
+                                z * plane + (ny - 1) * nx + x
+                            }]
+                            .blocks_backward();
+                            let zm = s[if z > 0 {
+                                i - plane
+                            } else {
+                                (nz - 1) * plane + y * nx + x
+                            }]
+                            .blocks_backward();
+                            if xm && ym && zm {
+                                s[i].mark_cant_reach();
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        } else {
+            // Useless closure: dependencies point to +X/+Y/+Z only, so one
+            // decreasing-(z, y, x) sweep reaches the fixpoint.
+            for z in (0..nz).rev() {
+                for y in (0..ny).rev() {
+                    let row = z * plane + y * nx;
+                    for x in (0..nx).rev() {
+                        let i = row + x;
+                        if s[i].blocks_forward() {
+                            continue;
+                        }
+                        let xp = if x + 1 < nx {
+                            s[i + 1].blocks_forward()
+                        } else {
+                            border_blocks
+                        };
+                        let yp = if y + 1 < ny {
+                            s[i + nx].blocks_forward()
+                        } else {
+                            border_blocks
+                        };
+                        let zp = if z + 1 < nz {
+                            s[i + plane].blocks_forward()
+                        } else {
+                            border_blocks
+                        };
+                        if xp && yp && zp {
+                            s[i].mark_useless();
+                        }
                     }
                 }
             }
-        }
-        // Can't-reach closure: the increasing mirror image.
-        for z in 0..nz {
-            for y in 0..ny {
-                let row = z * plane + y * nx;
-                for x in 0..nx {
-                    let i = row + x;
-                    if s[i].blocks_backward() {
-                        continue;
-                    }
-                    let xm = if x > 0 {
-                        s[i - 1].blocks_backward()
-                    } else {
-                        border_blocks
-                    };
-                    let ym = if y > 0 {
-                        s[i - nx].blocks_backward()
-                    } else {
-                        border_blocks
-                    };
-                    let zm = if z > 0 {
-                        s[i - plane].blocks_backward()
-                    } else {
-                        border_blocks
-                    };
-                    if xm && ym && zm {
-                        s[i].mark_cant_reach();
+            // Can't-reach closure: the increasing mirror image.
+            for z in 0..nz {
+                for y in 0..ny {
+                    let row = z * plane + y * nx;
+                    for x in 0..nx {
+                        let i = row + x;
+                        if s[i].blocks_backward() {
+                            continue;
+                        }
+                        let xm = if x > 0 {
+                            s[i - 1].blocks_backward()
+                        } else {
+                            border_blocks
+                        };
+                        let ym = if y > 0 {
+                            s[i - nx].blocks_backward()
+                        } else {
+                            border_blocks
+                        };
+                        let zm = if z > 0 {
+                            s[i - plane].blocks_backward()
+                        } else {
+                            border_blocks
+                        };
+                        if xm && ym && zm {
+                            s[i].mark_cant_reach();
+                        }
                     }
                 }
             }
@@ -322,6 +390,29 @@ mod tests {
         let l = lab(&mesh);
         assert!(l.status(c3(4, 4, 4)).is_cant_reach());
         assert_eq!(l.sacrificed_count(), 1);
+    }
+
+    #[test]
+    fn torus_pocket_wraps_in_all_three_dimensions() {
+        // The corner node (4,4,4) of a 5-ary torus is sealed by its three
+        // *wrapped* positive neighbors; on the mesh the BorderSafe policy
+        // keeps it safe.
+        let faults = [c3(0, 4, 4), c3(4, 0, 4), c3(4, 4, 0)];
+        let mut torus = Mesh3D::torus_kary(5);
+        for c in faults {
+            torus.inject_fault(c);
+        }
+        let lt = Labelling3::compute(&torus, Frame3::identity(&torus), BorderPolicy::BorderSafe);
+        assert!(lt.status(c3(4, 4, 4)).is_useless());
+        assert_eq!(lt.sacrificed_count(), 1);
+
+        let mut mesh = Mesh3D::kary(5);
+        for c in faults {
+            mesh.inject_fault(c);
+        }
+        let lm = lab(&mesh);
+        assert!(lm.status(c3(4, 4, 4)).is_safe());
+        assert_eq!(lm.sacrificed_count(), 0);
     }
 
     #[test]

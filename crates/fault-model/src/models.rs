@@ -99,19 +99,30 @@ impl<'m> ModelCache2<'m> {
     /// cache has not seen yet: the labelling on first use of the
     /// orientation, the MCC set on first use with `want_mccs`, the block
     /// model on first use with `want_blocks` (any orientation).
+    ///
+    /// Slots are keyed by [`Frame2::index`] but guarded by **full-frame**
+    /// equality: on a torus, frames with the same reflection carry
+    /// pair-specific rotations, so a slot holding a different frame is
+    /// recomputed rather than wrongly reused. Mesh frames are unique per
+    /// index, so mesh behavior (and its ≤ `1 + 4` compute bound) is
+    /// unchanged.
     pub fn models(&mut self, frame: Frame2, want_mccs: bool, want_blocks: bool) -> ModelsRef2<'_> {
-        let slot = self.slots[frame.index()].get_or_insert_with(|| Slot2 {
-            lab: Labelling2::compute(self.mesh, frame, self.border),
-            mccs: None,
-        });
-        debug_assert_eq!(slot.lab.frame(), frame, "orientation slot mismatch");
+        let idx = frame.index();
+        let stale = !matches!(&self.slots[idx], Some(slot) if slot.lab.frame() == frame);
+        if stale {
+            self.slots[idx] = Some(Slot2 {
+                lab: Labelling2::compute(self.mesh, frame, self.border),
+                mccs: None,
+            });
+        }
+        let slot = self.slots[idx].as_mut().expect("just filled");
         if want_mccs && slot.mccs.is_none() {
             slot.mccs = Some(MccSet2::compute(&slot.lab));
         }
         if want_blocks && self.blocks.is_none() {
             self.blocks = Some(FaultBlocks2::compute(self.mesh));
         }
-        let slot = self.slots[frame.index()].as_ref().expect("just filled");
+        let slot = self.slots[idx].as_ref().expect("just filled");
         ModelsRef2 {
             lab: &slot.lab,
             mccs: if want_mccs { slot.mccs.as_ref() } else { None },
@@ -178,20 +189,25 @@ impl<'m> ModelCache3<'m> {
     }
 
     /// Fetch the models for `frame`'s orientation (see
-    /// [`ModelCache2::models`]).
+    /// [`ModelCache2::models`]; slots verify full-frame equality so torus
+    /// rotations never alias).
     pub fn models(&mut self, frame: Frame3, want_mccs: bool, want_blocks: bool) -> ModelsRef3<'_> {
-        let slot = self.slots[frame.index()].get_or_insert_with(|| Slot3 {
-            lab: Labelling3::compute(self.mesh, frame, self.border),
-            mccs: None,
-        });
-        debug_assert_eq!(slot.lab.frame(), frame, "orientation slot mismatch");
+        let idx = frame.index();
+        let stale = !matches!(&self.slots[idx], Some(slot) if slot.lab.frame() == frame);
+        if stale {
+            self.slots[idx] = Some(Slot3 {
+                lab: Labelling3::compute(self.mesh, frame, self.border),
+                mccs: None,
+            });
+        }
+        let slot = self.slots[idx].as_mut().expect("just filled");
         if want_mccs && slot.mccs.is_none() {
             slot.mccs = Some(MccSet3::compute(&slot.lab));
         }
         if want_blocks && self.blocks.is_none() {
             self.blocks = Some(FaultBlocks3::compute(self.mesh));
         }
-        let slot = self.slots[frame.index()].as_ref().expect("just filled");
+        let slot = self.slots[idx].as_ref().expect("just filled");
         ModelsRef3 {
             lab: &slot.lab,
             mccs: if want_mccs { slot.mccs.as_ref() } else { None },
@@ -240,6 +256,33 @@ mod tests {
             );
         }
         assert_eq!(cache.orientations_computed(), 4);
+    }
+
+    #[test]
+    fn torus_rotations_never_alias_slots() {
+        use crate::Labelling2;
+        // On a torus every pair brings its own rotation; frames sharing a
+        // reflection index must still be recomputed, never reused.
+        let mut mesh = Mesh2D::torus(8, 6);
+        for c in [c2(2, 2), c2(3, 2), c2(6, 4)] {
+            mesh.inject_fault(c);
+        }
+        let mut cache = ModelCache2::new(&mesh, BorderPolicy::BorderSafe);
+        for (s, d) in [
+            (c2(0, 0), c2(3, 2)),
+            (c2(1, 1), c2(4, 3)), // same reflection, different rotation
+            (c2(5, 5), c2(1, 1)),
+            (c2(0, 0), c2(3, 2)), // repeat: hits the cached slot again
+        ] {
+            let frame = Frame2::for_pair(&mesh, s, d);
+            let m = cache.models(frame, true, true);
+            assert_eq!(m.lab.frame(), frame, "slot must hold the asked frame");
+            let fresh = Labelling2::compute(&mesh, frame, BorderPolicy::BorderSafe);
+            for c in mesh.nodes() {
+                let cc = frame.to_canon(c);
+                assert_eq!(m.lab.status(cc), fresh.status(cc), "{s}->{d} at {c}");
+            }
+        }
     }
 
     #[test]

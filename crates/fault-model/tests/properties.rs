@@ -268,3 +268,210 @@ proptest! {
         prop_assert_eq!(set3.len(), comps3.len());
     }
 }
+
+// ---- torus battery -------------------------------------------------------
+//
+// On a torus every axis wraps, so the raster sweeps iterate to a fixpoint
+// and the per-pair frame composes a rotation with the reflection. These
+// properties pin the whole wrap layer:
+//
+// * the sweep fixpoint equals a brute-force worklist closure over the
+//   wrapped neighbor relation (the definitional form of Algorithms 1/4),
+// * closure minimality and condition exactness carry over to the torus
+//   through the shorter-arc canonical frame.
+
+use fault_model::NodeStatus;
+use mesh_topo::{Dir2, Dir3};
+
+fn arb_torus2() -> impl Strategy<Value = Mesh2D> {
+    (
+        3i32..9,
+        3i32..9,
+        proptest::collection::vec((0i32..9, 0i32..9), 0..14),
+    )
+        .prop_map(|(w, h, faults)| {
+            let mut mesh = Mesh2D::torus(w, h);
+            for (x, y) in faults {
+                let c = c2(x % w, y % h);
+                if mesh.is_healthy(c) {
+                    mesh.inject_fault(c);
+                }
+            }
+            mesh
+        })
+}
+
+fn arb_torus3() -> impl Strategy<Value = Mesh3D> {
+    (
+        3i32..6,
+        3i32..6,
+        3i32..6,
+        proptest::collection::vec((0i32..6, 0i32..6, 0i32..6), 0..18),
+    )
+        .prop_map(|(nx, ny, nz, faults)| {
+            let mut mesh = Mesh3D::torus(nx, ny, nz);
+            for (x, y, z) in faults {
+                let c = c3(x % nx, y % ny, z % nz);
+                if mesh.is_healthy(c) {
+                    mesh.inject_fault(c);
+                }
+            }
+            mesh
+        })
+}
+
+/// Definitional worklist closure with wrapped neighbors.
+fn worklist_closure_2d(mesh: &Mesh2D) -> Vec<NodeStatus> {
+    let space = mesh.space();
+    let mut st = vec![NodeStatus::SAFE; space.len()];
+    for &f in mesh.faults() {
+        st[space.index(f)] = NodeStatus::FAULT;
+    }
+    let nbr = |c: C2, d: Dir2| space.index(space.wrap_coord(c.step(d)));
+    loop {
+        let mut changed = false;
+        for c in mesh.nodes() {
+            let i = space.index(c);
+            if !st[i].blocks_forward()
+                && st[nbr(c, Dir2::Xp)].blocks_forward()
+                && st[nbr(c, Dir2::Yp)].blocks_forward()
+            {
+                st[i].mark_useless();
+                changed = true;
+            }
+            if !st[i].blocks_backward()
+                && st[nbr(c, Dir2::Xm)].blocks_backward()
+                && st[nbr(c, Dir2::Ym)].blocks_backward()
+            {
+                st[i].mark_cant_reach();
+                changed = true;
+            }
+        }
+        if !changed {
+            return st;
+        }
+    }
+}
+
+/// 3-D twin of [`worklist_closure_2d`].
+fn worklist_closure_3d(mesh: &Mesh3D) -> Vec<NodeStatus> {
+    let space = mesh.space();
+    let mut st = vec![NodeStatus::SAFE; space.len()];
+    for &f in mesh.faults() {
+        st[space.index(f)] = NodeStatus::FAULT;
+    }
+    let nbr = |c: C3, d: Dir3| space.index(space.wrap_coord(c.step(d)));
+    loop {
+        let mut changed = false;
+        for c in mesh.nodes() {
+            let i = space.index(c);
+            if !st[i].blocks_forward()
+                && st[nbr(c, Dir3::Xp)].blocks_forward()
+                && st[nbr(c, Dir3::Yp)].blocks_forward()
+                && st[nbr(c, Dir3::Zp)].blocks_forward()
+            {
+                st[i].mark_useless();
+                changed = true;
+            }
+            if !st[i].blocks_backward()
+                && st[nbr(c, Dir3::Xm)].blocks_backward()
+                && st[nbr(c, Dir3::Ym)].blocks_backward()
+                && st[nbr(c, Dir3::Zm)].blocks_backward()
+            {
+                st[i].mark_cant_reach();
+                changed = true;
+            }
+        }
+        if !changed {
+            return st;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The wrap-aware sweep fixpoint equals the definitional worklist
+    /// closure, per node and per status bit (2-D).
+    #[test]
+    fn torus_labelling2_equals_worklist_oracle(mesh in arb_torus2()) {
+        let lab = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+        let oracle_status = worklist_closure_2d(&mesh);
+        let space = mesh.space();
+        for c in mesh.nodes() {
+            prop_assert_eq!(
+                lab.status(c), oracle_status[space.index(c)],
+                "status mismatch at {} faults={:?}", c, mesh.faults());
+        }
+    }
+
+    /// Same in 3-D.
+    #[test]
+    fn torus_labelling3_equals_worklist_oracle(mesh in arb_torus3()) {
+        let lab = Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
+        let oracle_status = worklist_closure_3d(&mesh);
+        let space = mesh.space();
+        for c in mesh.nodes() {
+            prop_assert_eq!(
+                lab.status(c), oracle_status[space.index(c)],
+                "status mismatch at {} faults={:?}", c, mesh.faults());
+        }
+    }
+
+    /// Closure minimality survives the wrap: through the shorter-arc
+    /// canonical frame, avoiding the closure blocks no safe destination a
+    /// fault-avoiding minimal path could reach.
+    #[test]
+    fn torus_closure_minimality_2d(mesh in arb_torus2(), sx in 0i32..9, sy in 0i32..9,
+                                   dx in 0i32..9, dy in 0i32..9) {
+        let (w, h) = (mesh.width(), mesh.height());
+        let (s, d) = (c2(sx % w, sy % h), c2(dx % w, dy % h));
+        let frame = Frame2::for_pair(&mesh, s, d);
+        let (cs, cd) = (frame.to_canon(s), frame.to_canon(d));
+        let lab = Labelling2::compute(&mesh, frame, BorderPolicy::BorderSafe);
+        prop_assume!(lab.status(cs).is_safe() && lab.status(cd).is_safe());
+        let via_faults = oracle::reachable_2d(cs, cd, |c| {
+            !mesh.contains(frame.from_canon(c)) || mesh.is_faulty(frame.from_canon(c))
+        });
+        let via_closure = oracle::reachable_2d(cs, cd,
+            |c| lab.status_get(c).map(|t| t.is_unsafe()).unwrap_or(true));
+        prop_assert_eq!(via_faults, via_closure,
+            "closure changed torus reachability: s={} d={} faults={:?}", s, d, mesh.faults());
+    }
+
+    /// The 2-D existence condition stays exact on tori for healthy
+    /// endpoints of any label.
+    #[test]
+    fn torus_condition2_exact(mesh in arb_torus2(), sx in 0i32..9, sy in 0i32..9,
+                              dx in 0i32..9, dy in 0i32..9) {
+        let (w, h) = (mesh.width(), mesh.height());
+        let (s, d) = (c2(sx % w, sy % h), c2(dx % w, dy % h));
+        prop_assume!(mesh.is_healthy(s) && mesh.is_healthy(d));
+        let frame = Frame2::for_pair(&mesh, s, d);
+        let (cs, cd) = (frame.to_canon(s), frame.to_canon(d));
+        let lab = Labelling2::compute(&mesh, frame, BorderPolicy::BorderSafe);
+        let set = MccSet2::compute(&lab);
+        let claim = minimal_path_exists_2d(&lab, &set, cs, cd).exists();
+        let truth = oracle::reachable_2d(cs, cd, |c| mesh.is_faulty(frame.from_canon(c)));
+        prop_assert_eq!(claim, truth,
+            "torus condition mismatch: s={} d={} cs={} cd={} faults={:?}",
+            s, d, cs, cd, mesh.faults());
+    }
+
+    /// The 3-D existence condition stays exact on tori.
+    #[test]
+    fn torus_condition3_exact(mesh in arb_torus3(),
+                              sx in 0i32..6, sy in 0i32..6, sz in 0i32..6,
+                              dx in 0i32..6, dy in 0i32..6, dz in 0i32..6) {
+        let (nx, ny, nz) = (mesh.nx(), mesh.ny(), mesh.nz());
+        let (s, d) = (c3(sx % nx, sy % ny, sz % nz), c3(dx % nx, dy % ny, dz % nz));
+        prop_assume!(mesh.is_healthy(s) && mesh.is_healthy(d));
+        let frame = Frame3::for_pair(&mesh, s, d);
+        let (cs, cd) = (frame.to_canon(s), frame.to_canon(d));
+        let lab = Labelling3::compute(&mesh, frame, BorderPolicy::BorderSafe);
+        let claim = minimal_path_exists_3d(&lab, cs, cd).exists();
+        let truth = oracle::reachable_3d(cs, cd, |c| mesh.is_faulty(frame.from_canon(c)));
+        prop_assert_eq!(claim, truth,
+            "torus condition mismatch: s={} d={} faults={:?}", s, d, mesh.faults());
+    }
+}

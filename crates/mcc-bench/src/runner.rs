@@ -82,8 +82,30 @@ pub(crate) fn parallel_seeds<T: Send>(
     })
 }
 
+/// Construct the scenario's 2-D network (mesh or torus).
+fn build_mesh_2d(sc: &Scenario, width: i32, height: i32) -> Mesh2D {
+    if sc.wrap {
+        Mesh2D::torus(width, height)
+    } else {
+        Mesh2D::new(width, height)
+    }
+}
+
+/// Construct the scenario's 3-D network (mesh or torus).
+fn build_mesh_3d(sc: &Scenario, x: i32, y: i32, z: i32) -> Mesh3D {
+    if sc.wrap {
+        Mesh3D::torus(x, y, z)
+    } else {
+        Mesh3D::new(x, y, z)
+    }
+}
+
 /// Run a scenario, parallelizing over its seed range.
+///
+/// Re-validates the scenario first, so programmatically assembled
+/// scenarios obey the same knob rules as loaded ones.
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError> {
+    scenario.validate()?;
     let rows = match scenario.table {
         TableKind::Regions => TableRows::Regions(run_regions(scenario)),
         TableKind::Routing => TableRows::Routing(run_routing(scenario)),
@@ -104,12 +126,12 @@ fn run_regions(sc: &Scenario) -> Vec<RegionRow> {
                 let spec = sc.fault_spec(n, seed ^ ((n as u64) << 32));
                 match sc.dims {
                     MeshDims::D2 { width, height } => {
-                        let mut mesh = Mesh2D::new(width, height);
+                        let mut mesh = build_mesh_2d(sc, width, height);
                         spec.inject_2d(&mut mesh, &[]);
                         region_stats_2d(&mesh, sc.border)
                     }
                     MeshDims::D3 { x, y, z } => {
-                        let mut mesh = Mesh3D::new(x, y, z);
+                        let mut mesh = build_mesh_3d(sc, x, y, z);
                         spec.inject_3d(&mut mesh, &[]);
                         region_stats_3d(&mesh, sc.border)
                     }
@@ -137,17 +159,24 @@ fn run_regions(sc: &Scenario) -> Vec<RegionRow> {
         .collect()
 }
 
-fn random_pair_2d(rng: &mut SmallRng, w: i32, h: i32, min_dist: u32) -> (C2, C2) {
+/// Draw a pair at least `min_dist` apart under the network's own metric
+/// (Manhattan on a mesh, Lee on a torus). On a mesh `mesh.dist` *is*
+/// Manhattan distance, so the historical RNG consumption and acceptance
+/// sequence — and therefore every existing table — is untouched.
+fn random_pair_2d(rng: &mut SmallRng, mesh: &Mesh2D, min_dist: u32) -> (C2, C2) {
+    let (w, h) = (mesh.width(), mesh.height());
     loop {
         let s = c2(rng.gen_range(0..w), rng.gen_range(0..h));
         let d = c2(rng.gen_range(0..w), rng.gen_range(0..h));
-        if s.dist(d) >= min_dist {
+        if mesh.dist(s, d) >= min_dist {
             return (s, d);
         }
     }
 }
 
-fn random_pair_3d(rng: &mut SmallRng, nx: i32, ny: i32, nz: i32, min_dist: u32) -> (C3, C3) {
+/// 3-D twin of [`random_pair_2d`].
+fn random_pair_3d(rng: &mut SmallRng, mesh: &Mesh3D, min_dist: u32) -> (C3, C3) {
+    let (nx, ny, nz) = (mesh.nx(), mesh.ny(), mesh.nz());
     loop {
         let s = c3(
             rng.gen_range(0..nx),
@@ -159,7 +188,7 @@ fn random_pair_3d(rng: &mut SmallRng, nx: i32, ny: i32, nz: i32, min_dist: u32) 
             rng.gen_range(0..ny),
             rng.gen_range(0..nz),
         );
-        if s.dist(d) >= min_dist {
+        if mesh.dist(s, d) >= min_dist {
             return (s, d);
         }
     }
@@ -174,7 +203,7 @@ const PAIR_SAMPLE_ATTEMPTS: usize = 100_000;
 /// rather than protected).
 fn random_healthy_pair_2d(rng: &mut SmallRng, mesh: &Mesh2D, min_dist: u32) -> (C2, C2) {
     for _ in 0..PAIR_SAMPLE_ATTEMPTS {
-        let (s, d) = random_pair_2d(rng, mesh.width(), mesh.height(), min_dist);
+        let (s, d) = random_pair_2d(rng, mesh, min_dist);
         if mesh.is_healthy(s) && mesh.is_healthy(d) {
             return (s, d);
         }
@@ -185,7 +214,7 @@ fn random_healthy_pair_2d(rng: &mut SmallRng, mesh: &Mesh2D, min_dist: u32) -> (
 /// 3-D twin of [`random_healthy_pair_2d`].
 fn random_healthy_pair_3d(rng: &mut SmallRng, mesh: &Mesh3D, min_dist: u32) -> (C3, C3) {
     for _ in 0..PAIR_SAMPLE_ATTEMPTS {
-        let (s, d) = random_pair_3d(rng, mesh.nx(), mesh.ny(), mesh.nz(), min_dist);
+        let (s, d) = random_pair_3d(rng, mesh, min_dist);
         if mesh.is_healthy(s) && mesh.is_healthy(d) {
             return (s, d);
         }
@@ -219,9 +248,9 @@ fn run_routing(sc: &Scenario) -> Vec<RoutingRow> {
                 let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9) ^ n as u64);
                 match sc.dims {
                     MeshDims::D2 { width, height } => {
-                        let mut mesh = Mesh2D::new(width, height);
+                        let mut mesh = build_mesh_2d(sc, width, height);
                         let legacy_pair = if sc.pairs_per_seed == 1 {
-                            let (s, d) = random_pair_2d(&mut rng, width, height, min_dist);
+                            let (s, d) = random_pair_2d(&mut rng, &mesh, min_dist);
                             sc.fault_spec(n, rng.gen()).inject_2d(&mut mesh, &[s, d]);
                             Some((s, d))
                         } else {
@@ -239,9 +268,9 @@ fn run_routing(sc: &Scenario) -> Vec<RoutingRow> {
                             .collect::<Vec<TrialResult>>()
                     }
                     MeshDims::D3 { x, y, z } => {
-                        let mut mesh = Mesh3D::new(x, y, z);
+                        let mut mesh = build_mesh_3d(sc, x, y, z);
                         let legacy_pair = if sc.pairs_per_seed == 1 {
-                            let (s, d) = random_pair_3d(&mut rng, x, y, z, min_dist);
+                            let (s, d) = random_pair_3d(&mut rng, &mesh, min_dist);
                             sc.fault_spec(n, rng.gen()).inject_3d(&mut mesh, &[s, d]);
                             Some((s, d))
                         } else {
@@ -302,6 +331,7 @@ pub(crate) fn aggregate_routing(n: usize, results: &[TrialResult]) -> RoutingRow
 }
 
 fn run_overhead(sc: &Scenario) -> Result<Vec<OverheadRow>, ScenarioError> {
+    // wrap = true is rejected by Scenario::validate() before we get here.
     match sc.dims {
         MeshDims::D2 { width, height } => run_overhead_2d(sc, width, height),
         MeshDims::D3 { x, y, z } => Ok(run_overhead_3d(sc, x, y, z)),
@@ -397,12 +427,12 @@ fn run_labelling(sc: &Scenario) -> Vec<LabellingRow> {
                 let spec = sc.fault_spec(n, seed ^ ((n as u64) << 24));
                 match sc.dims {
                     MeshDims::D2 { width, height } => {
-                        let mut mesh = Mesh2D::new(width, height);
+                        let mut mesh = build_mesh_2d(sc, width, height);
                         spec.inject_2d(&mut mesh, &[]);
                         DistLabelling2::run(&mesh, Frame2::identity(&mesh)).stats
                     }
                     MeshDims::D3 { x, y, z } => {
-                        let mut mesh = Mesh3D::new(x, y, z);
+                        let mut mesh = build_mesh_3d(sc, x, y, z);
                         spec.inject_3d(&mut mesh, &[]);
                         DistLabelling3::run(&mesh, Frame3::identity(&mesh)).stats
                     }

@@ -15,6 +15,7 @@
 //!
 //! [mesh]
 //! dims = [32, 32]              # two entries for 2-D, three for 3-D
+//! wrap = false                 # true: torus (every axis wraps around)
 //!
 //! [faults]
 //! counts = [5, 10, 20, 40]    # the fault-count ramp
@@ -43,7 +44,7 @@ use fault_model::BorderPolicy;
 use mesh_topo::{FaultPattern, FaultSpec};
 use serde::{Deserialize, Serialize};
 
-use crate::toml_lite::{Doc, Table, Value};
+use crate::toml_lite::{Doc, ParseError, Table, Value};
 
 /// Which family of tables the scenario produces.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -106,6 +107,30 @@ impl MeshDims {
             MeshDims::D3 { x, y, z } => x as usize * y as usize * z as usize,
         }
     }
+
+    /// The smallest extent (tori need 3 per axis).
+    pub fn min_extent(self) -> i32 {
+        match self {
+            MeshDims::D2 { width, height } => width.min(height),
+            MeshDims::D3 { x, y, z } => x.min(y).min(z),
+        }
+    }
+
+    /// The network diameter: the largest topology-aware distance between
+    /// two nodes. `(k-1)` per mesh axis, `⌊k/2⌋` per torus axis.
+    pub fn diameter(self, wrap: bool) -> u32 {
+        let axis = |k: i32| {
+            if wrap {
+                (k / 2) as u32
+            } else {
+                (k - 1) as u32
+            }
+        };
+        match self {
+            MeshDims::D2 { width, height } => axis(width) + axis(height),
+            MeshDims::D3 { x, y, z } => axis(x) + axis(y) + axis(z),
+        }
+    }
 }
 
 /// Which router's columns the report keeps (routing tables).
@@ -162,6 +187,9 @@ pub struct Scenario {
     pub table: TableKind,
     /// Mesh dimensions.
     pub dims: MeshDims,
+    /// Wrap-around topology: `true` runs the scenario on a torus (every
+    /// axis closed on itself), `false` on the paper's open mesh.
+    pub wrap: bool,
     /// Fault-count ramp (one table row per entry).
     pub fault_counts: Vec<usize>,
     /// Spatial fault pattern.
@@ -182,22 +210,57 @@ pub struct Scenario {
     pub pairs_per_seed: u64,
 }
 
-/// A scenario-schema violation.
+/// Why a scenario failed to load.
+///
+/// Parse failures stay **typed**: the offending line number of the TOML
+/// text travels with the error (the `tables` binary prints it and exits
+/// nonzero), instead of being flattened into a string the caller can no
+/// longer inspect.
 #[derive(Clone, Debug, PartialEq)]
-pub struct ScenarioError(String);
+pub enum ScenarioError {
+    /// The TOML text is malformed; carries the 1-based offending line.
+    Parse(ParseError),
+    /// The document parsed but violates the scenario schema or holds
+    /// knob values the runner cannot execute meaningfully.
+    Invalid(String),
+}
 
 impl fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid scenario: {}", self.0)
+        match self {
+            ScenarioError::Parse(e) => write!(f, "{e}"),
+            ScenarioError::Invalid(msg) => write!(f, "invalid scenario: {msg}"),
+        }
     }
 }
 
-impl std::error::Error for ScenarioError {}
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Parse(e) => Some(e),
+            ScenarioError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<ParseError> for ScenarioError {
+    fn from(e: ParseError) -> ScenarioError {
+        ScenarioError::Parse(e)
+    }
+}
 
 impl ScenarioError {
-    /// Build an error with the given description.
+    /// Build a schema-violation error with the given description.
     pub fn new(msg: impl Into<String>) -> ScenarioError {
-        ScenarioError(msg.into())
+        ScenarioError::Invalid(msg.into())
+    }
+
+    /// The offending TOML line, for parse failures.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            ScenarioError::Parse(e) => Some(e.line),
+            ScenarioError::Invalid(_) => None,
+        }
     }
 }
 
@@ -247,8 +310,12 @@ impl Scenario {
     }
 
     /// Parse and validate a scenario from TOML text.
+    ///
+    /// Malformed TOML surfaces as [`ScenarioError::Parse`] with the
+    /// offending line; schema and knob violations as
+    /// [`ScenarioError::Invalid`].
     pub fn from_toml(text: &str) -> Result<Scenario, ScenarioError> {
-        let doc = Doc::parse(text).map_err(|e| invalid(e.to_string()))?;
+        let doc = Doc::parse(text)?;
         Scenario::from_doc(&doc)
     }
 
@@ -282,19 +349,22 @@ impl Scenario {
             .sections
             .get("mesh")
             .ok_or_else(|| invalid("missing [mesh] section"))?;
-        let dims_raw = int_list(require(mesh, "mesh", "dims")?, "mesh.dims")?;
-        if dims_raw.iter().any(|&d| !(2..=4096).contains(&d)) {
-            return Err(invalid("every mesh dimension must be in 2..=4096"));
-        }
+        // Only a conversion guard here; the 2..=4096 range rule lives in
+        // `Scenario::validate` (one source of truth for load-time and
+        // programmatic scenarios alike).
+        let dims_raw: Vec<i32> = int_list(require(mesh, "mesh", "dims")?, "mesh.dims")?
+            .into_iter()
+            .map(|d| i32::try_from(d).map_err(|_| invalid("`mesh.dims` entries are out of range")))
+            .collect::<Result<_, _>>()?;
         let dims = match dims_raw.as_slice() {
             [w, h] => MeshDims::D2 {
-                width: *w as i32,
-                height: *h as i32,
+                width: *w,
+                height: *h,
             },
             [x, y, z] => MeshDims::D3 {
-                x: *x as i32,
-                y: *y as i32,
-                z: *z as i32,
+                x: *x,
+                y: *y,
+                z: *z,
             },
             other => {
                 return Err(invalid(format!(
@@ -302,6 +372,12 @@ impl Scenario {
                     other.len()
                 )))
             }
+        };
+        let wrap = match mesh.get("wrap") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| invalid("`mesh.wrap` must be a boolean"))?,
         };
 
         let faults = doc
@@ -315,12 +391,6 @@ impl Scenario {
                     usize::try_from(v).map_err(|_| invalid("`faults.counts` must be non-negative"))
                 })
                 .collect::<Result<_, _>>()?;
-        if fault_counts.is_empty() {
-            return Err(invalid("`faults.counts` must not be empty"));
-        }
-        if fault_counts.iter().any(|&n| n >= dims.nodes()) {
-            return Err(invalid("a fault count would exceed the mesh size"));
-        }
         let pattern = match faults.get("pattern").map(|v| v.as_str()) {
             None | Some(Some("uniform")) => FaultPattern::Uniform,
             Some(Some("clustered")) => {
@@ -354,10 +424,10 @@ impl Scenario {
             .ok_or_else(|| invalid("missing [run] section"))?;
         let seeds = int_list(require(run, "run", "seeds")?, "run.seeds")?;
         let (seed_start, seed_end) = match seeds.as_slice() {
-            [start, end] if *start >= 0 && end > start => (*start as u64, *end as u64),
+            [start, end] if *start >= 0 && *end >= 0 => (*start as u64, *end as u64),
             _ => {
                 return Err(invalid(
-                    "`run.seeds` must be `[start, end]` with 0 <= start < end",
+                    "`run.seeds` must be `[start, end]` with non-negative entries",
                 ))
             }
         };
@@ -376,22 +446,24 @@ impl Scenario {
             None => 0.5,
             Some(v) => v
                 .as_float()
-                .filter(|f| (0.0..=1.0).contains(f))
-                .ok_or_else(|| invalid("`run.min_dist_frac` must be in [0, 1]"))?,
+                .ok_or_else(|| invalid("`run.min_dist_frac` must be a number"))?,
         };
         let pairs_per_seed = match run.get("pairs_per_seed") {
             None => 1,
-            Some(v) => v
-                .as_int()
-                .filter(|&p| p >= 1)
-                .ok_or_else(|| invalid("`run.pairs_per_seed` must be a positive integer"))?
-                as u64,
+            Some(v) => {
+                let p = v
+                    .as_int()
+                    .ok_or_else(|| invalid("`run.pairs_per_seed` must be an integer"))?;
+                u64::try_from(p)
+                    .map_err(|_| invalid("`run.pairs_per_seed` must be non-negative"))?
+            }
         };
 
-        Ok(Scenario {
+        let scenario = Scenario {
             name,
             table,
             dims,
+            wrap,
             fault_counts,
             pattern,
             border,
@@ -400,7 +472,102 @@ impl Scenario {
             seed_end,
             min_dist_frac,
             pairs_per_seed,
-        })
+        };
+        scenario.validate()?;
+        Ok(scenario)
+    }
+
+    /// Check every knob combination the runner cannot execute
+    /// meaningfully and reject it with a descriptive error.
+    ///
+    /// Runs at scenario-load time ([`Scenario::from_toml`] /
+    /// [`Scenario::load`]) and again at the top of
+    /// [`crate::runner::run_scenario`], so programmatically built
+    /// scenarios (public fields, legacy constructors) cannot slip past
+    /// it either. Guards against the historical silent misbehaviors:
+    /// `pairs_per_seed = 0` produced empty rows rendered as `NaN`
+    /// columns, fault counts at or beyond the node count spun the
+    /// rejection sampler forever (a fault *rate* outside [0, 1)), and
+    /// zero- or one-wide meshes panicked deep inside the topology layer.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let dims = match self.dims {
+            MeshDims::D2 { width, height } => vec![width, height],
+            MeshDims::D3 { x, y, z } => vec![x, y, z],
+        };
+        if dims.iter().any(|&d| !(2..=4096).contains(&d)) {
+            return Err(invalid(format!(
+                "every mesh dimension must be in 2..=4096, got {dims:?}"
+            )));
+        }
+        if self.wrap && self.dims.min_extent() < 3 {
+            return Err(invalid(format!(
+                "a torus needs every dimension >= 3 (distinct +/- neighbors), got {dims:?}"
+            )));
+        }
+        if self.wrap && self.table == TableKind::Overhead {
+            // The identification/boundary walk pipeline assumes seam-free
+            // region geometry (the torus analog of the mesh pipeline's
+            // off-border assumption); wrap-around overhead sweeps would
+            // report message counts for walks that silently treat the
+            // seam as a border (see DESIGN.md §10).
+            return Err(invalid(
+                "overhead scenarios run the identification-walk pipeline, which \
+                 does not support wrap-around topologies; use `table = \
+                 \"labelling\"` for torus protocol sweeps",
+            ));
+        }
+        if self.fault_counts.is_empty() {
+            return Err(invalid("`faults.counts` must not be empty"));
+        }
+        let nodes = self.dims.nodes();
+        // Routing rows must keep two healthy endpoints per trial; other
+        // tables only need the fault rate below 1.
+        let capacity = match self.table {
+            TableKind::Routing => nodes.saturating_sub(2),
+            _ => nodes.saturating_sub(1),
+        };
+        if let Some(&n) = self.fault_counts.iter().find(|&&n| n > capacity) {
+            return Err(invalid(format!(
+                "fault count {n} leaves the {nodes}-node network no room \
+                 (fault rate must stay below 1{}); largest usable count is {capacity}",
+                if self.table == TableKind::Routing {
+                    ", with two healthy routing endpoints"
+                } else {
+                    ""
+                }
+            )));
+        }
+        if self.seed_start >= self.seed_end {
+            return Err(invalid(format!(
+                "`run.seeds` must be a non-empty range, got [{}, {})",
+                self.seed_start, self.seed_end
+            )));
+        }
+        if !self.min_dist_frac.is_finite() || !(0.0..=1.0).contains(&self.min_dist_frac) {
+            return Err(invalid(format!(
+                "`run.min_dist_frac` must be in [0, 1], got {}",
+                self.min_dist_frac
+            )));
+        }
+        if self.pairs_per_seed < 1 {
+            return Err(invalid(
+                "`run.pairs_per_seed` must be a positive integer (0 pairs would \
+                 produce empty rows)",
+            ));
+        }
+        if self.table == TableKind::Routing {
+            let min_dist = (self.dims.max_extent() as f64 * self.min_dist_frac).round() as u32;
+            let diameter = self.dims.diameter(self.wrap);
+            if min_dist > diameter {
+                return Err(invalid(format!(
+                    "`run.min_dist_frac` asks for pairs at least {min_dist} hops \
+                     apart, but the {} diameter is only {diameter}; the pair \
+                     sampler could never terminate",
+                    if self.wrap { "torus" } else { "mesh" }
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Serialize back to the TOML schema. Round-trips through
@@ -421,6 +588,7 @@ impl Scenario {
             "dims".into(),
             Value::Array(dims.into_iter().map(|d| Value::Int(d as i64)).collect()),
         );
+        mesh.insert("wrap".into(), Value::Bool(self.wrap));
         doc.sections.insert("mesh".into(), mesh);
 
         let mut faults = Table::new();
@@ -481,6 +649,7 @@ impl Scenario {
             name: name.to_string(),
             table,
             dims,
+            wrap: false,
             fault_counts: counts.to_vec(),
             pattern: FaultPattern::Uniform,
             border: BorderPolicy::BorderSafe,

@@ -17,21 +17,35 @@
 use mcc_bench::runner::run_scenario;
 use mcc_bench::scenario::Scenario;
 
-#[test]
-fn e4_quick_table_matches_golden_snapshot() {
+fn assert_quick_matches_golden(scenario_file: &str, golden_file: &str) {
     let root = env!("CARGO_MANIFEST_DIR");
-    let scenario = Scenario::load(format!("{root}/../../scenarios/e4_routing_2d.toml"))
-        .expect("e4 scenario parses")
+    let scenario = Scenario::load(format!("{root}/../../scenarios/{scenario_file}"))
+        .unwrap_or_else(|e| panic!("{scenario_file} parses: {e}"))
         .quick();
-    let report = run_scenario(&scenario).expect("e4 scenario runs");
+    let report = run_scenario(&scenario).unwrap_or_else(|e| panic!("{scenario_file} runs: {e}"));
     // The `tables` binary prints the rendered report with `println!`,
     // which appends one newline beyond the render itself.
     let printed = format!("{}\n", report.render());
-    let golden = std::fs::read_to_string(format!("{root}/tests/golden/e4_routing_2d_quick.txt"))
+    let golden = std::fs::read_to_string(format!("{root}/tests/golden/{golden_file}"))
         .expect("golden snapshot exists");
     assert_eq!(
         printed, golden,
-        "e4 --quick table drifted from the checked-in golden snapshot; \
+        "{scenario_file} --quick table drifted from {golden_file}; \
          routing-table determinism is part of the prepared-pipeline contract"
     );
+}
+
+#[test]
+fn e4_quick_table_matches_golden_snapshot() {
+    assert_quick_matches_golden("e4_routing_2d.toml", "e4_routing_2d_quick.txt");
+}
+
+#[test]
+fn e10_torus_quick_table_matches_golden_snapshot() {
+    assert_quick_matches_golden("e10_torus_2d.toml", "e10_torus_2d_quick.txt");
+}
+
+#[test]
+fn e11_torus_quick_table_matches_golden_snapshot() {
+    assert_quick_matches_golden("e11_torus_3d.toml", "e11_torus_3d_quick.txt");
 }

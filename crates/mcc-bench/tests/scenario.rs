@@ -156,6 +156,134 @@ fn e9_large_scenario_quick_runs_batched() {
     assert_eq!(a.render(), b.render(), "batched rows must be deterministic");
 }
 
+/// The torus scenarios run through the batched prepared-mesh path in
+/// quick mode, deterministically, with the model orderings intact (the
+/// MCC condition stays exact on tori; the block model stays
+/// conservative).
+#[test]
+fn torus_scenarios_quick_run_batched() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");
+    for (file, expect_2d) in [("e10_torus_2d.toml", true), ("e11_torus_3d.toml", false)] {
+        let sc = Scenario::load(format!("{root}/{file}")).unwrap();
+        assert_eq!(sc.table, TableKind::Routing, "{file}");
+        assert!(sc.wrap, "{file} must be a torus scenario");
+        assert!(sc.pairs_per_seed > 1, "{file} must batch pairs");
+        match (sc.dims, expect_2d) {
+            (MeshDims::D2 { .. }, true) | (MeshDims::D3 { .. }, false) => {}
+            other => panic!("{file}: unexpected dims {other:?}"),
+        }
+        let quick = sc.quick();
+        let a = run_scenario(&quick).unwrap();
+        let b = run_scenario(&quick).unwrap();
+        let rows = match &a.rows {
+            TableRows::Routing(rows) => rows,
+            _ => panic!("routing scenario must yield routing rows"),
+        };
+        assert_eq!(rows.len(), sc.fault_counts.len(), "{file}");
+        for r in rows {
+            assert!((r.mcc - r.oracle).abs() < 1e-12, "{file} row {}", r.faults);
+            assert!(r.rfb <= r.mcc + 1e-12, "{file} row {}", r.faults);
+            assert!(r.greedy <= r.oracle + 1e-12, "{file} row {}", r.faults);
+        }
+        assert_eq!(a.render(), b.render(), "{file} rows must be deterministic");
+    }
+}
+
+/// The wrap knob parses, round-trips, and rejects the combinations the
+/// runner cannot execute.
+#[test]
+fn wrap_knob_parses_and_validates() {
+    let torus = "name = \"t\"\ntable = \"routing\"\n[mesh]\ndims = [8, 8]\nwrap = true\n\
+                 [faults]\ncounts = [4]\n[run]\nseeds = [0, 2]\n";
+    let sc = Scenario::from_toml(torus).unwrap();
+    assert!(sc.wrap);
+    let back = Scenario::from_toml(&sc.to_toml()).unwrap();
+    assert_eq!(sc, back, "wrap must round-trip");
+
+    // Torus extents below 3 are rejected.
+    let tiny = torus.replace("dims = [8, 8]", "dims = [2, 8]");
+    let err = Scenario::from_toml(&tiny).unwrap_err();
+    assert!(err.to_string().contains(">= 3"), "got: {err}");
+    // Overhead tables refuse wrap at load time, like every other
+    // unexecutable knob combination.
+    let overhead = torus
+        .replace("table = \"routing\"", "table = \"overhead\"")
+        .replace("dims = [8, 8]", "dims = [8, 8, 8]");
+    let err = Scenario::from_toml(&overhead).unwrap_err();
+    assert!(
+        err.to_string().contains("identification-walk"),
+        "got: {err}"
+    );
+    // A separation requirement beyond the torus diameter can never be
+    // satisfied: reject instead of spinning the pair sampler forever.
+    let undark = torus.replace("dims = [8, 8]", "dims = [32, 4]");
+    let far = format!("{undark}min_dist_frac = 1.0\n");
+    let err = Scenario::from_toml(&far).unwrap_err();
+    assert!(err.to_string().contains("diameter"), "got: {err}");
+}
+
+/// Malformed scenario TOML surfaces a typed parse error carrying the
+/// offending line, through `Scenario::from_toml` and `Scenario::load`.
+#[test]
+fn malformed_toml_reports_the_offending_line() {
+    use mcc_bench::scenario::ScenarioError;
+    let text = "name = \"x\"\ntable = \"routing\"\n\n[mesh\ndims = [8, 8]\n";
+    let err = Scenario::from_toml(text).unwrap_err();
+    assert_eq!(err.line(), Some(4), "got: {err:?}");
+    assert!(matches!(err, ScenarioError::Parse(_)));
+    assert!(
+        err.to_string().contains("line 4"),
+        "message must carry the line: {err}"
+    );
+
+    // Through a file too (what the tables binary prints before exiting
+    // nonzero).
+    let dir = std::env::temp_dir().join("mcc_bench_scenario_err_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.toml");
+    std::fs::write(&path, "name = \"x\"\nbroken line\n").unwrap();
+    let err = Scenario::load(&path).unwrap_err();
+    assert_eq!(err.line(), Some(2), "got: {err:?}");
+
+    // Knob violations keep the Invalid flavor (no line).
+    let err = Scenario::from_toml(
+        "name = \"x\"\ntable = \"routing\"\n[mesh]\ndims = [8, 8]\n\
+         [faults]\ncounts = [63]\n[run]\nseeds = [0, 2]\n",
+    )
+    .unwrap_err();
+    assert!(matches!(err, ScenarioError::Invalid(_)));
+    assert_eq!(err.line(), None);
+    assert!(err.to_string().contains("fault rate"), "got: {err}");
+}
+
+/// Knob validation also guards programmatically assembled scenarios at
+/// run time (the public-fields path the TOML layer never sees).
+#[test]
+fn runner_revalidates_programmatic_scenarios() {
+    let mut sc = Scenario::routing_2d(10, &[4], 4);
+    sc.pairs_per_seed = 0;
+    let err = run_scenario(&sc).unwrap_err();
+    assert!(err.to_string().contains("pairs_per_seed"), "got: {err}");
+
+    let mut sc = Scenario::routing_2d(10, &[4], 4);
+    sc.min_dist_frac = 1.5;
+    let err = run_scenario(&sc).unwrap_err();
+    assert!(err.to_string().contains("min_dist_frac"), "got: {err}");
+
+    let mut sc = Scenario::routing_2d(10, &[4], 4);
+    sc.dims = MeshDims::D2 {
+        width: 0,
+        height: 10,
+    };
+    let err = run_scenario(&sc).unwrap_err();
+    assert!(err.to_string().contains("2..=4096"), "got: {err}");
+
+    let mut sc = Scenario::routing_2d(10, &[4], 4);
+    sc.seed_end = sc.seed_start;
+    let err = run_scenario(&sc).unwrap_err();
+    assert!(err.to_string().contains("seeds"), "got: {err}");
+}
+
 /// A tiny 8×8 scenario produces bit-identical table rows for a fixed seed
 /// range, run after run — the determinism contract of the runner.
 #[test]

@@ -63,7 +63,7 @@ impl Boundary2 {
     /// Run the boundary construction on top of a completed identification.
     pub fn run(mesh: &Mesh2D, ident: &Ident2) -> Boundary2 {
         let (w, h) = (mesh.width(), mesh.height());
-        let topo = Grid2::new(w, h);
+        let topo = Grid2::from_space(mesh.space());
         let space = topo.space();
         let mut net: SimNet<Grid2, BoundState, BoundMsg> =
             SimNet::new(topo, |_| BoundState::default());

@@ -48,7 +48,7 @@ pub struct DistComponents2 {
 impl DistComponents2 {
     /// Run the gossip until component ids converge.
     pub fn run(mesh: &Mesh2D, lab: &DistLabelling2) -> DistComponents2 {
-        let topo = Grid2::new(mesh.width(), mesh.height());
+        let topo = Grid2::from_space(mesh.space());
         let space = topo.space();
         let mut net: SimNet<Grid2, CompState, Msg> = SimNet::new(topo, |_| CompState::default());
         // Seed statuses from the labelling phase.
@@ -61,6 +61,17 @@ impl DistComponents2 {
             state.view.insert(c, (st, state.comp_id));
         }
         let max_rounds = ((mesh.width() + mesh.height()) as usize) * 6 + 12;
+        // Per-axis adjacency distance: |Δ| on a mesh, the shorter arc on a
+        // torus, so 8-adjacency works across the wrap seam too.
+        let axis_d = move |a: i32, b: i32, k: i32| {
+            let d = (a - b).abs();
+            if space.wraps() {
+                d.min(k - d)
+            } else {
+                d
+            }
+        };
+        let (gw, gh) = (mesh.width(), mesh.height());
         let stats = net.run(max_rounds, move |state, inbox, ctx| {
             let me_i = ctx.me();
             let me = space.coord(me_i);
@@ -93,8 +104,8 @@ impl DistComponents2 {
             if state.status.is_unsafe() {
                 let mut best = state.comp_id;
                 for (cell, (st, comp)) in state.view.iter() {
-                    let dx = (cell.x - me.x).abs();
-                    let dy = (cell.y - me.y).abs();
+                    let dx = axis_d(cell.x, me.x, gw);
+                    let dy = axis_d(cell.y, me.y, gh);
                     if dx <= 1 && dy <= 1 && *cell != me && st.is_unsafe() {
                         if let Some(c) = comp {
                             if best.map(|b| *c < b).unwrap_or(true) {
@@ -216,6 +227,38 @@ mod tests {
         for seed in 0..10u64 {
             let mut mesh = Mesh2D::new(14, 14);
             FaultSpec::uniform(20, seed).inject_2d(&mut mesh, &[]);
+            let frame = Frame2::identity(&mesh);
+            let lab = DistLabelling2::run(&mesh, frame);
+            let comps = DistComponents2::run(&mesh, &lab);
+            assert!(comps.stats.quiescent, "seed {seed}");
+            assert!(comps.matches(&mesh, frame), "seed {seed}: ids diverge");
+        }
+    }
+
+    #[test]
+    fn torus_components_join_across_the_seam() {
+        // (0,4) and (9,4) are wrap-linked: one component, one id. The
+        // diagonal wrap pair (0,0)/(9,9) is Chebyshev-1 through the
+        // corner seam: also one component.
+        let mut mesh = Mesh2D::torus(10, 10);
+        for c in [c2(0, 4), c2(9, 4), c2(0, 0), c2(9, 9)] {
+            mesh.inject_fault(c);
+        }
+        let frame = Frame2::identity(&mesh);
+        let lab = DistLabelling2::run(&mesh, frame);
+        let comps = DistComponents2::run(&mesh, &lab);
+        assert!(comps.stats.quiescent);
+        assert_eq!(comps.comp_id(c2(0, 4)), comps.comp_id(c2(9, 4)));
+        assert_eq!(comps.comp_id(c2(0, 0)), comps.comp_id(c2(9, 9)));
+        assert_ne!(comps.comp_id(c2(0, 4)), comps.comp_id(c2(0, 0)));
+        assert!(comps.matches(&mesh, frame), "ids diverge from centralized");
+    }
+
+    #[test]
+    fn torus_matches_centralized_on_random_instances() {
+        for seed in 0..8u64 {
+            let mut mesh = Mesh2D::torus(12, 12);
+            FaultSpec::uniform(18, seed).inject_2d(&mut mesh, &[]);
             let frame = Frame2::identity(&mesh);
             let lab = DistLabelling2::run(&mesh, frame);
             let comps = DistComponents2::run(&mesh, &lab);

@@ -80,7 +80,7 @@ pub fn detect_distributed_3d(
         lab.status(s).is_safe() && lab.status(d).is_safe(),
         "detection requires safe endpoints"
     );
-    let topo = Grid3::new(mesh.nx(), mesh.ny(), mesh.nz());
+    let topo = Grid3::from_space(mesh.space());
     let space = topo.space();
     let mut net: SimNet<Grid3, Detect3State, Detect3Msg> =
         SimNet::new(topo, |_| Detect3State::default());
@@ -248,6 +248,40 @@ mod tests {
                 ok,
                 semantic,
                 "seed {seed}: flood mismatch, faults={:?}",
+                mesh.faults()
+            );
+            checked += 1;
+        }
+        assert!(checked >= 10);
+    }
+
+    #[test]
+    fn torus_matches_semantic_walks_randomized() {
+        // On a torus the flood runs in the canonical RMP box exactly as on
+        // a mesh; the torus enters through the wrap-correct labelling and
+        // the pair frame. Pin agreement with the semantic condition.
+        use fault_model::{minimal_path_exists_3d, BorderPolicy, Existence3, Labelling3};
+        let mut checked = 0;
+        for seed in 0..25u64 {
+            let mut mesh = Mesh3D::torus_kary(6);
+            FaultSpec::uniform(12, seed).inject_3d(&mut mesh, &[]);
+            let (s, d) = (c3(5, 1, 4), c3(2, 4, 0));
+            if !mesh.is_healthy(s) || !mesh.is_healthy(d) {
+                continue;
+            }
+            let frame = Frame3::for_pair(&mesh, s, d);
+            let (cs, cd) = (frame.to_canon(s), frame.to_canon(d));
+            let sem_lab = Labelling3::compute(&mesh, frame, BorderPolicy::BorderSafe);
+            if !sem_lab.is_safe(cs) || !sem_lab.is_safe(cd) {
+                continue;
+            }
+            let dist_lab = DistLabelling3::run(&mesh, frame);
+            let (ok, _) = detect_distributed_3d(&mesh, &dist_lab, cs, cd);
+            let semantic = minimal_path_exists_3d(&sem_lab, cs, cd) == Existence3::Exists;
+            assert_eq!(
+                ok,
+                semantic,
+                "seed {seed}: torus flood mismatch, faults={:?}",
                 mesh.faults()
             );
             checked += 1;

@@ -131,7 +131,7 @@ impl Ident2 {
     /// Run the identification walks on top of a converged component phase.
     pub fn run(mesh: &Mesh2D, comps: &DistComponents2) -> Ident2 {
         let (w, h) = (mesh.width(), mesh.height());
-        let topo = Grid2::new(w, h);
+        let topo = Grid2::from_space(mesh.space());
         let space = topo.space();
         let mut net: SimNet<Grid2, IdentState, IdentMsg> =
             SimNet::new(topo, |_| IdentState::default());

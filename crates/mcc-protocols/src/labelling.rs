@@ -59,7 +59,7 @@ pub struct DistLabelling3 {
 impl DistLabelling2 {
     /// Run the protocol for `mesh` under `frame`.
     pub fn run(mesh: &Mesh2D, frame: Frame2) -> DistLabelling2 {
-        let topo = Grid2::new(mesh.width(), mesh.height());
+        let topo = Grid2::from_space(mesh.space());
         let space = topo.space();
         let mut net: SimNet<Grid2, LabelState, LabelMsg> =
             SimNet::new(topo, |_| LabelState::default());
@@ -68,16 +68,28 @@ impl DistLabelling2 {
         }
         let max_rounds = (mesh.width() + mesh.height()) as usize * 4 + 8;
         let w = mesh.width() as usize;
+        let wrap = space.wraps();
         let stats = net.run(max_rounds, move |state, inbox, ctx| {
             let me = ctx.me();
             // Absorb announcements: the sender is a neighbor (engine
-            // invariant), so its direction is exactly its index offset
-            // (+1/-1 along x, +w/-w along y) — no coordinate math. The
-            // y-stride is tested first: in a width-1 mesh +1 == +w, and
-            // the only neighbors that exist there are y-steps.
+            // invariant). On a mesh its direction is exactly its index
+            // offset (+1/-1 along x, +w/-w along y) — no coordinate math;
+            // the y-stride is tested first: in a width-1 mesh +1 == +w,
+            // and the only neighbors that exist there are y-steps. On a
+            // torus wrap links break the offset rule; the four wrapped
+            // neighbor indices are decoded once per dispatch (not per
+            // message) and matched against (k ≥ 3 per axis keeps them
+            // distinct).
+            let wrapped = wrap.then(|| Dir2::ALL.map(|d| space.step(me, d)));
             for &(from, blocks) in inbox {
                 let from = from as usize;
-                let dir = if from == me + w {
+                let dir = if let Some(nbrs) = &wrapped {
+                    let k = nbrs
+                        .iter()
+                        .position(|&n| n == Some(from))
+                        .expect("sender is a neighbor");
+                    Dir2::ALL[k]
+                } else if from == me + w {
                     Dir2::Yp
                 } else if from + w == me {
                     Dir2::Ym
@@ -140,7 +152,7 @@ impl DistLabelling2 {
 impl DistLabelling3 {
     /// Run the protocol for `mesh` under `frame`.
     pub fn run(mesh: &Mesh3D, frame: Frame3) -> DistLabelling3 {
-        let topo = Grid3::new(mesh.nx(), mesh.ny(), mesh.nz());
+        let topo = Grid3::from_space(mesh.space());
         let space = topo.space();
         let mut net: SimNet<Grid3, LabelState, LabelMsg> =
             SimNet::new(topo, |_| LabelState::default());
@@ -150,14 +162,25 @@ impl DistLabelling3 {
         let max_rounds = (mesh.nx() + mesh.ny() + mesh.nz()) as usize * 4 + 8;
         let nx = mesh.nx() as usize;
         let nxy = nx * mesh.ny() as usize;
+        let wrap = space.wraps();
         let stats = net.run(max_rounds, move |state, inbox, ctx| {
             let me = ctx.me();
             // Sender direction from the index offset, as in 2-D: larger
             // strides first, so dimension-1 meshes (where +1 == +nx or
             // +nx == +nx·ny) resolve to the only step that exists there.
+            // Torus wrap links break the offset rule; the six wrapped
+            // neighbor indices are decoded once per dispatch and matched
+            // against (see the 2-D decode).
+            let wrapped = wrap.then(|| Dir3::ALL.map(|d| space.step(me, d)));
             for &(from, blocks) in inbox {
                 let from = from as usize;
-                let dir = if from == me + nxy {
+                let dir = if let Some(nbrs) = &wrapped {
+                    let k = nbrs
+                        .iter()
+                        .position(|&n| n == Some(from))
+                        .expect("sender is a neighbor");
+                    Dir3::ALL[k]
+                } else if from == me + nxy {
                     Dir3::Zp
                 } else if from + nxy == me {
                     Dir3::Zm
@@ -266,6 +289,56 @@ mod tests {
             assert!(dist.stats.quiescent);
             assert!(dist.matches(&reference), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn torus_converges_to_centralized_fixpoint_2d() {
+        // The wrap decode and the wrapped announcements must reproduce the
+        // centralized torus closure for every reflection frame and for a
+        // rotated pair frame.
+        for seed in 0..8u64 {
+            let mut mesh = Mesh2D::torus(11, 9);
+            FaultSpec::uniform(14, seed).inject_2d(&mut mesh, &[]);
+            let mut frames = Frame2::all(&mesh).to_vec();
+            frames.push(Frame2::for_pair(&mesh, c2(9, 7), c2(2, 1)));
+            for frame in frames {
+                let reference = Labelling2::compute(&mesh, frame, BorderPolicy::BorderSafe);
+                let dist = DistLabelling2::run(&mesh, frame);
+                assert!(dist.stats.quiescent, "seed {seed}: did not converge");
+                assert!(dist.matches(&reference), "seed {seed} frame {frame:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_converges_to_centralized_fixpoint_3d() {
+        for seed in 0..4u64 {
+            let mut mesh = Mesh3D::torus(5, 6, 4);
+            FaultSpec::uniform(18, seed).inject_3d(&mut mesh, &[]);
+            for frame in [
+                Frame3::identity(&mesh),
+                Frame3::for_pair(&mesh, c3(4, 5, 3), c3(1, 1, 1)),
+            ] {
+                let reference = Labelling3::compute(&mesh, frame, BorderPolicy::BorderSafe);
+                let dist = DistLabelling3::run(&mesh, frame);
+                assert!(dist.stats.quiescent, "seed {seed}");
+                assert!(dist.matches(&reference), "seed {seed} frame {frame:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_seam_cascade_propagates() {
+        // The same seam cascade the centralized closure pins: (7,2)
+        // becomes useless only through its wrap link to (0,2).
+        let mut torus = Mesh2D::torus(8, 5);
+        for c in [c2(1, 2), c2(0, 3), c2(7, 3)] {
+            torus.inject_fault(c);
+        }
+        let dist = DistLabelling2::run(&torus, Frame2::identity(&torus));
+        assert!(dist.stats.quiescent);
+        assert!(dist.status(c2(0, 2)).is_useless());
+        assert!(dist.status(c2(7, 2)).is_useless(), "label must cross seam");
     }
 
     #[test]

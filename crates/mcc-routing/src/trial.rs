@@ -272,4 +272,82 @@ mod tests {
         assert!(t.oracle_ok && t.mcc_ok && t.rfb_ok && t.greedy_ok && t.mcc_delivered);
         assert_eq!(t.mcc_hops, 14);
     }
+
+    #[test]
+    fn fault_free_torus_routes_the_shorter_arcs() {
+        // On the torus the corner pair is two wrap hops away, not 14.
+        let mesh = Mesh2D::torus(8, 8);
+        let t = run_trial_2d(&mesh, c2(7, 7), c2(0, 0), 1);
+        assert!(t.oracle_ok && t.mcc_ok && t.rfb_ok && t.greedy_ok && t.mcc_delivered);
+        assert_eq!(t.mcc_hops as u32, mesh.dist(c2(7, 7), c2(0, 0)));
+        assert_eq!(t.mcc_hops, 2);
+    }
+
+    #[test]
+    fn trial_orderings_hold_on_torus_2d() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        let mut delivered = 0;
+        for seed in 0..60u64 {
+            let mut mesh = Mesh2D::torus(12, 12);
+            FaultSpec::uniform(12, seed).inject_2d(&mut mesh, &[]);
+            let s = c2(rng.gen_range(0..12), rng.gen_range(0..12));
+            let mut d = c2(rng.gen_range(0..12), rng.gen_range(0..12));
+            if d == s {
+                d = c2((s.x + 1) % 12, s.y);
+            }
+            if !mesh.is_healthy(s) || !mesh.is_healthy(d) {
+                continue;
+            }
+            let t = run_trial_2d(&mesh, s, d, seed);
+            // MCC condition stays exact on the torus.
+            assert_eq!(t.mcc_ok, t.oracle_ok, "seed {seed}");
+            // The block model stays conservative.
+            assert!(!t.rfb_ok || t.oracle_ok, "seed {seed}");
+            // Greedy delivery implies a minimal path existed.
+            assert!(!t.greedy_ok || t.oracle_ok, "seed {seed}");
+            if t.endpoints_safe && t.oracle_ok {
+                assert!(t.mcc_delivered, "seed {seed}");
+                // Delivered routes take the Lee-distance number of hops.
+                assert_eq!(t.mcc_hops as u32, mesh.dist(s, d), "seed {seed}");
+                delivered += 1;
+            }
+        }
+        assert!(delivered > 20, "delivered only {delivered}");
+    }
+
+    #[test]
+    fn trial_orderings_hold_on_torus_3d() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        let mut delivered = 0;
+        for seed in 0..30u64 {
+            let mut mesh = Mesh3D::torus_kary(6);
+            FaultSpec::uniform(16, seed).inject_3d(&mut mesh, &[]);
+            let s = c3(
+                rng.gen_range(0..6),
+                rng.gen_range(0..6),
+                rng.gen_range(0..6),
+            );
+            let mut d = c3(
+                rng.gen_range(0..6),
+                rng.gen_range(0..6),
+                rng.gen_range(0..6),
+            );
+            if d == s {
+                d = c3((s.x + 1) % 6, s.y, s.z);
+            }
+            if !mesh.is_healthy(s) || !mesh.is_healthy(d) {
+                continue;
+            }
+            let t = run_trial_3d(&mesh, s, d, seed);
+            assert_eq!(t.mcc_ok, t.oracle_ok, "seed {seed}");
+            assert!(!t.rfb_ok || t.oracle_ok, "seed {seed}");
+            assert!(!t.greedy_ok || t.oracle_ok, "seed {seed}");
+            if t.endpoints_safe && t.oracle_ok {
+                assert!(t.mcc_delivered, "seed {seed}");
+                assert_eq!(t.mcc_hops as u32, mesh.dist(s, d), "seed {seed}");
+                delivered += 1;
+            }
+        }
+        assert!(delivered > 10, "delivered only {delivered}");
+    }
 }

@@ -8,9 +8,22 @@
 //! reflection: an involutive mesh automorphism that maps the pair into the
 //! canonical orientation.
 //!
-//! Labelling (and therefore the MCC decomposition) depends only on the frame,
-//! not on the concrete `s`/`d`, so per-mesh results can be cached per frame
-//! (4 frames in 2-D, 8 in 3-D).
+//! On a **torus** ([`Mesh2D::torus`]) the frame additionally carries a
+//! per-axis rotation (translation modulo the extent — also a torus
+//! automorphism): [`Frame2::for_pair`] picks, per axis, the shorter arc
+//! from source to destination (reflecting when the `-` arc is strictly
+//! shorter) and rotates the axis so the canonical source lands on the
+//! origin and the canonical destination on the Lee-distance vector. The
+//! whole canonical pipeline — labelling, conditions, routers — then keeps
+//! its "destination dominates source" worldview, and the wrap-around seam
+//! sits *behind* the source where the Region of Minimal Paths never
+//! touches it. Mesh frames carry no rotation, so mesh behavior is
+//! untouched.
+//!
+//! Labelling (and therefore the MCC decomposition) depends only on the
+//! frame, not on the concrete `s`/`d`, so per-mesh results can be cached
+//! per frame (4 reflections in 2-D, 8 in 3-D; on a torus the rotation is
+//! part of the cache key — see `fault_model::models`).
 
 use serde::{Deserialize, Serialize};
 
@@ -18,7 +31,20 @@ use crate::coord::{C2, C3};
 use crate::dir::{Dir2, Dir3};
 use crate::mesh::{Mesh2D, Mesh3D};
 
-/// A per-axis reflection of a 2-D mesh (one of the 4 quadrant orientations).
+/// Pick reflection + rotation for one torus axis: reflect when the `-` arc
+/// is strictly shorter, then rotate the (possibly reflected) source onto 0.
+/// Returns `(flip, offset)`.
+fn torus_axis(s: i32, d: i32, k: i32) -> (bool, i32) {
+    let fwd = (d - s).rem_euclid(k);
+    let bwd = (s - d).rem_euclid(k);
+    let flip = bwd < fwd;
+    let rs = if flip { k - 1 - s } else { s };
+    (flip, (-rs).rem_euclid(k))
+}
+
+/// A per-axis reflection of a 2-D mesh (one of the 4 quadrant
+/// orientations), optionally composed with a per-axis rotation on a torus
+/// (see the module docs).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub struct Frame2 {
     /// Reflect the X axis (`x ↦ width-1-x`).
@@ -27,9 +53,15 @@ pub struct Frame2 {
     pub flip_y: bool,
     width: i32,
     height: i32,
+    /// Rotation added after reflection, modulo the extent (torus only).
+    off_x: i32,
+    off_y: i32,
+    /// Apply the rotation modulo the extents (torus frames only).
+    wrap: bool,
 }
 
-/// A per-axis reflection of a 3-D mesh (one of the 8 octant orientations).
+/// A per-axis reflection of a 3-D mesh (one of the 8 octant orientations),
+/// optionally composed with a per-axis rotation on a torus.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub struct Frame3 {
     /// Reflect the X axis.
@@ -41,31 +73,70 @@ pub struct Frame3 {
     nx: i32,
     ny: i32,
     nz: i32,
+    off_x: i32,
+    off_y: i32,
+    off_z: i32,
+    wrap: bool,
 }
 
 impl Frame2 {
-    /// The identity frame for `mesh` (no reflection).
+    /// The identity frame for `mesh` (no reflection, no rotation).
     pub fn identity(mesh: &Mesh2D) -> Frame2 {
         Frame2 {
             flip_x: false,
             flip_y: false,
             width: mesh.width(),
             height: mesh.height(),
+            off_x: 0,
+            off_y: 0,
+            wrap: false,
         }
     }
 
     /// The frame that maps `(s, d)` into canonical orientation
     /// (`to_canon(s) ≤ to_canon(d)` componentwise).
+    ///
+    /// On a mesh this is the pure reflection frame of the paper. On a
+    /// torus it composes the per-axis shorter-arc reflection with a
+    /// rotation, so that `to_canon(s)` is the origin and `to_canon(d)` the
+    /// Lee-distance vector (see [`Frame2::for_pair_torus`]).
     pub fn for_pair(mesh: &Mesh2D, s: C2, d: C2) -> Frame2 {
+        if mesh.wraps() {
+            return Frame2::for_pair_torus(mesh, s, d);
+        }
         Frame2 {
             flip_x: d.x < s.x,
             flip_y: d.y < s.y,
             width: mesh.width(),
             height: mesh.height(),
+            off_x: 0,
+            off_y: 0,
+            wrap: false,
         }
     }
 
-    /// All four quadrant frames for `mesh`.
+    /// The torus frame for `(s, d)`: per axis, reflect when the `-` arc is
+    /// strictly shorter (ties keep the `+` arc), then rotate the axis so
+    /// the canonical source is `(0, 0)` and the canonical destination the
+    /// Lee-distance vector. Both pieces are torus automorphisms, so the
+    /// fault set seen through the frame is an exact relabelling.
+    pub fn for_pair_torus(mesh: &Mesh2D, s: C2, d: C2) -> Frame2 {
+        let (width, height) = (mesh.width(), mesh.height());
+        let (flip_x, off_x) = torus_axis(s.x, d.x, width);
+        let (flip_y, off_y) = torus_axis(s.y, d.y, height);
+        Frame2 {
+            flip_x,
+            flip_y,
+            width,
+            height,
+            off_x,
+            off_y,
+            wrap: true,
+        }
+    }
+
+    /// All four quadrant frames for `mesh` (reflections only; rotations
+    /// are pair-specific).
     pub fn all(mesh: &Mesh2D) -> [Frame2; 4] {
         let (width, height) = (mesh.width(), mesh.height());
         [(false, false), (true, false), (false, true), (true, true)].map(|(flip_x, flip_y)| {
@@ -74,37 +145,59 @@ impl Frame2 {
                 flip_y,
                 width,
                 height,
+                off_x: 0,
+                off_y: 0,
+                wrap: false,
             }
         })
     }
 
-    /// A compact index in `0..4` identifying the frame orientation.
+    /// A compact index in `0..4` identifying the **reflection** part of the
+    /// frame. Torus frames with different rotations share an index; cache
+    /// layers that key on it must compare the full frame for equality.
     pub fn index(&self) -> usize {
         (self.flip_x as usize) | ((self.flip_y as usize) << 1)
     }
 
-    /// Map a mesh coordinate into the canonical frame. Involutive:
-    /// `to_canon(to_canon(c)) == c`.
+    /// Map a mesh coordinate into the canonical frame. Involutive for
+    /// reflection-only frames; torus frames invert through
+    /// [`Frame2::from_canon`]. On a torus, out-of-range inputs are reduced
+    /// modulo the extents.
     #[inline]
     pub fn to_canon(&self, c: C2) -> C2 {
-        C2 {
-            x: if self.flip_x {
-                self.width - 1 - c.x
-            } else {
-                c.x
-            },
-            y: if self.flip_y {
-                self.height - 1 - c.y
-            } else {
-                c.y
-            },
+        let x = if self.flip_x {
+            self.width - 1 - c.x
+        } else {
+            c.x
+        };
+        let y = if self.flip_y {
+            self.height - 1 - c.y
+        } else {
+            c.y
+        };
+        if self.wrap {
+            C2 {
+                x: (x + self.off_x).rem_euclid(self.width),
+                y: (y + self.off_y).rem_euclid(self.height),
+            }
+        } else {
+            C2 { x, y }
         }
     }
 
-    /// Map a canonical-frame coordinate back to mesh coordinates.
+    /// Map a canonical-frame coordinate back to mesh coordinates (the
+    /// exact inverse of [`Frame2::to_canon`]).
     #[inline]
     pub fn from_canon(&self, c: C2) -> C2 {
-        self.to_canon(c) // reflections are involutions
+        if !self.wrap {
+            return self.to_canon(c); // reflections are involutions
+        }
+        let x = (c.x - self.off_x).rem_euclid(self.width);
+        let y = (c.y - self.off_y).rem_euclid(self.height);
+        C2 {
+            x: if self.flip_x { self.width - 1 - x } else { x },
+            y: if self.flip_y { self.height - 1 - y } else { y },
+        }
     }
 
     /// Map a direction into the canonical frame.
@@ -125,7 +218,7 @@ impl Frame2 {
 }
 
 impl Frame3 {
-    /// The identity frame for `mesh` (no reflection).
+    /// The identity frame for `mesh` (no reflection, no rotation).
     pub fn identity(mesh: &Mesh3D) -> Frame3 {
         Frame3 {
             flip_x: false,
@@ -134,11 +227,20 @@ impl Frame3 {
             nx: mesh.nx(),
             ny: mesh.ny(),
             nz: mesh.nz(),
+            off_x: 0,
+            off_y: 0,
+            off_z: 0,
+            wrap: false,
         }
     }
 
-    /// The frame that maps `(s, d)` into canonical orientation.
+    /// The frame that maps `(s, d)` into canonical orientation. On a torus
+    /// this is the shorter-arc reflection + rotation frame (see
+    /// [`Frame2::for_pair`]).
     pub fn for_pair(mesh: &Mesh3D, s: C3, d: C3) -> Frame3 {
+        if mesh.wraps() {
+            return Frame3::for_pair_torus(mesh, s, d);
+        }
         Frame3 {
             flip_x: d.x < s.x,
             flip_y: d.y < s.y,
@@ -146,10 +248,36 @@ impl Frame3 {
             nx: mesh.nx(),
             ny: mesh.ny(),
             nz: mesh.nz(),
+            off_x: 0,
+            off_y: 0,
+            off_z: 0,
+            wrap: false,
         }
     }
 
-    /// All eight octant frames for `mesh`.
+    /// The torus frame for `(s, d)` (see [`Frame2::for_pair_torus`]):
+    /// canonical source at the origin, canonical destination on the
+    /// Lee-distance vector.
+    pub fn for_pair_torus(mesh: &Mesh3D, s: C3, d: C3) -> Frame3 {
+        let (nx, ny, nz) = (mesh.nx(), mesh.ny(), mesh.nz());
+        let (flip_x, off_x) = torus_axis(s.x, d.x, nx);
+        let (flip_y, off_y) = torus_axis(s.y, d.y, ny);
+        let (flip_z, off_z) = torus_axis(s.z, d.z, nz);
+        Frame3 {
+            flip_x,
+            flip_y,
+            flip_z,
+            nx,
+            ny,
+            nz,
+            off_x,
+            off_y,
+            off_z,
+            wrap: true,
+        }
+    }
+
+    /// All eight octant frames for `mesh` (reflections only).
     pub fn all(mesh: &Mesh3D) -> [Frame3; 8] {
         let (nx, ny, nz) = (mesh.nx(), mesh.ny(), mesh.nz());
         core::array::from_fn(|i| Frame3 {
@@ -159,28 +287,53 @@ impl Frame3 {
             nx,
             ny,
             nz,
+            off_x: 0,
+            off_y: 0,
+            off_z: 0,
+            wrap: false,
         })
     }
 
-    /// A compact index in `0..8` identifying the frame orientation.
+    /// A compact index in `0..8` identifying the **reflection** part of the
+    /// frame (see [`Frame2::index`]).
     pub fn index(&self) -> usize {
         (self.flip_x as usize) | ((self.flip_y as usize) << 1) | ((self.flip_z as usize) << 2)
     }
 
-    /// Map a mesh coordinate into the canonical frame. Involutive.
+    /// Map a mesh coordinate into the canonical frame. Involutive for
+    /// reflection-only frames; torus frames invert through
+    /// [`Frame3::from_canon`].
     #[inline]
     pub fn to_canon(&self, c: C3) -> C3 {
-        C3 {
-            x: if self.flip_x { self.nx - 1 - c.x } else { c.x },
-            y: if self.flip_y { self.ny - 1 - c.y } else { c.y },
-            z: if self.flip_z { self.nz - 1 - c.z } else { c.z },
+        let x = if self.flip_x { self.nx - 1 - c.x } else { c.x };
+        let y = if self.flip_y { self.ny - 1 - c.y } else { c.y };
+        let z = if self.flip_z { self.nz - 1 - c.z } else { c.z };
+        if self.wrap {
+            C3 {
+                x: (x + self.off_x).rem_euclid(self.nx),
+                y: (y + self.off_y).rem_euclid(self.ny),
+                z: (z + self.off_z).rem_euclid(self.nz),
+            }
+        } else {
+            C3 { x, y, z }
         }
     }
 
-    /// Map a canonical-frame coordinate back to mesh coordinates.
+    /// Map a canonical-frame coordinate back to mesh coordinates (the
+    /// exact inverse of [`Frame3::to_canon`]).
     #[inline]
     pub fn from_canon(&self, c: C3) -> C3 {
-        self.to_canon(c)
+        if !self.wrap {
+            return self.to_canon(c);
+        }
+        let x = (c.x - self.off_x).rem_euclid(self.nx);
+        let y = (c.y - self.off_y).rem_euclid(self.ny);
+        let z = (c.z - self.off_z).rem_euclid(self.nz);
+        C3 {
+            x: if self.flip_x { self.nx - 1 - x } else { x },
+            y: if self.flip_y { self.ny - 1 - y } else { y },
+            z: if self.flip_z { self.nz - 1 - z } else { z },
+        }
     }
 
     /// Map a direction into the canonical frame.
@@ -280,6 +433,66 @@ mod tests {
             seen[f.index()] = true;
         }
         assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn torus_frame_puts_source_at_origin_and_dest_on_lee_vector() {
+        let mesh = Mesh2D::torus(8, 6);
+        let pairs = [
+            (c2(1, 1), c2(6, 4)),
+            (c2(6, 4), c2(1, 1)),
+            (c2(7, 0), c2(0, 5)),
+            (c2(3, 3), c2(3, 3)),
+            (c2(0, 0), c2(4, 3)), // per-axis tie: keep the + arc
+        ];
+        for (s, d) in pairs {
+            let f = Frame2::for_pair(&mesh, s, d);
+            let (cs, cd) = (f.to_canon(s), f.to_canon(d));
+            assert_eq!(cs, C2::ORIGIN, "{s:?}->{d:?}");
+            assert_eq!(
+                cd.x as u32 + cd.y as u32,
+                mesh.dist(s, d),
+                "{s:?}->{d:?}: canonical destination must sit on the Lee vector"
+            );
+            assert!(cs.dominated_by(cd));
+            // The frame is an exact bijection of the torus.
+            assert_eq!(f.from_canon(cs), s);
+            assert_eq!(f.from_canon(cd), d);
+            for c in mesh.nodes() {
+                assert_eq!(f.from_canon(f.to_canon(c)), c, "{s:?}->{d:?} at {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_frame3_roundtrips_and_hits_lee_vector() {
+        let mesh = Mesh3D::torus(5, 4, 6);
+        let s = c3(4, 1, 5);
+        for d in [c3(1, 3, 0), c3(0, 0, 0), c3(4, 1, 5), c3(2, 3, 2)] {
+            let f = Frame3::for_pair(&mesh, s, d);
+            let (cs, cd) = (f.to_canon(s), f.to_canon(d));
+            assert_eq!(cs, C3::ORIGIN);
+            assert_eq!(cd.x as u32 + cd.y as u32 + cd.z as u32, mesh.dist(s, d));
+            for c in mesh.nodes() {
+                assert_eq!(f.from_canon(f.to_canon(c)), c);
+            }
+        }
+    }
+
+    #[test]
+    fn torus_frame_maps_wrapped_steps_consistently() {
+        // Stepping in mesh coordinates (mod k) then mapping equals mapping
+        // then stepping the mapped direction (mod k).
+        let mesh = Mesh2D::torus(7, 5);
+        let space = mesh.space();
+        let f = Frame2::for_pair(&mesh, c2(5, 4), c2(1, 1));
+        for c in mesh.nodes() {
+            for d in Dir2::ALL {
+                let lhs = f.to_canon(space.wrap_coord(c.step(d)));
+                let rhs = space.wrap_coord(f.to_canon(c).step(f.dir_to_canon(d)));
+                assert_eq!(lhs, rhs, "{c:?} {d:?}");
+            }
+        }
     }
 
     #[test]

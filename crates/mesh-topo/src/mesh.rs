@@ -1,8 +1,11 @@
 //! The mesh networks themselves: bounds, links and fault sets.
 //!
 //! A k-ary n-dimensional mesh connects nodes along each dimension as a linear
-//! array (no wrap-around). Node faults are the unit of failure; link faults
-//! are modelled, as in the paper, by disabling the adjacent nodes.
+//! array (no wrap-around); the torus variants ([`Mesh2D::torus`],
+//! [`Mesh3D::torus`]) close every axis on itself, so wrap links exist and
+//! every node has the full neighborhood. Node faults are the unit of
+//! failure; link faults are modelled, as in the paper, by disabling the
+//! adjacent nodes.
 //!
 //! Fault membership is a packed [`NodeSet`] over the mesh's linear
 //! [`NodeSpace2`]/[`NodeSpace3`] index space — `is_faulty` is a shift and
@@ -48,6 +51,44 @@ impl Mesh2D {
     /// A `k × k` mesh (the paper's "k-ary 2-dimensional mesh").
     pub fn kary(k: i32) -> Self {
         Mesh2D::new(k, k)
+    }
+
+    /// A fault-free `width × height` torus: the wrap-around variant of the
+    /// mesh, every axis closing on itself.
+    ///
+    /// # Panics
+    /// If either dimension is smaller than 3 (see [`NodeSpace2::torus`]).
+    pub fn torus(width: i32, height: i32) -> Self {
+        let space = NodeSpace2::torus(width, height);
+        Mesh2D {
+            space,
+            faulty: NodeSet::new(space.len()),
+            fault_list: Vec::new(),
+        }
+    }
+
+    /// A `k × k` torus (the "k-ary 2-cube" of the routing literature).
+    pub fn torus_kary(k: i32) -> Self {
+        Mesh2D::torus(k, k)
+    }
+
+    /// True if this network wraps around (it is a torus).
+    #[inline]
+    pub fn wraps(&self) -> bool {
+        self.space.wraps()
+    }
+
+    /// Topology-aware distance between two nodes: Manhattan on a mesh, Lee
+    /// distance (per-axis shorter arc) on a torus.
+    #[inline]
+    pub fn dist(&self, a: C2, b: C2) -> u32 {
+        self.space.dist(a, b)
+    }
+
+    /// True if both coordinates address nodes of this network and the nodes
+    /// share a link (wrap links included on a torus).
+    pub fn are_neighbors(&self, a: C2, b: C2) -> bool {
+        self.contains(a) && self.contains(b) && self.space.dist(a, b) == 1
     }
 
     /// Width (extent along X).
@@ -138,11 +179,19 @@ impl Mesh2D {
         self.fault_list.len()
     }
 
-    /// In-mesh neighbors of `c` (2, 3 or 4 of them), in [`Dir2::ALL`] order.
+    /// Neighbors of `c`, in [`Dir2::ALL`] order: 2–4 of them on a mesh
+    /// (border nodes lose probes), always 4 on a torus (steps wrap).
     pub fn neighbors(&self, c: C2) -> impl Iterator<Item = C2> + '_ {
+        let space = self.space;
         Dir2::ALL
             .into_iter()
-            .map(move |d| c.step(d))
+            .map(move |d| {
+                if space.wraps() {
+                    space.wrap_coord(c.step(d))
+                } else {
+                    c.step(d)
+                }
+            })
             .filter(|&n| self.contains(n))
     }
 
@@ -175,6 +224,44 @@ impl Mesh3D {
     /// A `k × k × k` mesh (the paper's "k-ary 3-dimensional mesh").
     pub fn kary(k: i32) -> Self {
         Mesh3D::new(k, k, k)
+    }
+
+    /// A fault-free `nx × ny × nz` torus: the wrap-around variant of the
+    /// mesh, every axis closing on itself.
+    ///
+    /// # Panics
+    /// If any dimension is smaller than 3 (see [`NodeSpace3::torus`]).
+    pub fn torus(nx: i32, ny: i32, nz: i32) -> Self {
+        let space = NodeSpace3::torus(nx, ny, nz);
+        Mesh3D {
+            space,
+            faulty: NodeSet::new(space.len()),
+            fault_list: Vec::new(),
+        }
+    }
+
+    /// A `k × k × k` torus (the "k-ary 3-cube" of the routing literature).
+    pub fn torus_kary(k: i32) -> Self {
+        Mesh3D::torus(k, k, k)
+    }
+
+    /// True if this network wraps around (it is a torus).
+    #[inline]
+    pub fn wraps(&self) -> bool {
+        self.space.wraps()
+    }
+
+    /// Topology-aware distance between two nodes: Manhattan on a mesh, Lee
+    /// distance (per-axis shorter arc) on a torus.
+    #[inline]
+    pub fn dist(&self, a: C3, b: C3) -> u32 {
+        self.space.dist(a, b)
+    }
+
+    /// True if both coordinates address nodes of this network and the nodes
+    /// share a link (wrap links included on a torus).
+    pub fn are_neighbors(&self, a: C3, b: C3) -> bool {
+        self.contains(a) && self.contains(b) && self.space.dist(a, b) == 1
     }
 
     /// Extent along X.
@@ -273,11 +360,19 @@ impl Mesh3D {
         self.fault_list.len()
     }
 
-    /// In-mesh neighbors of `c` (3 to 6 of them), in [`Dir3::ALL`] order.
+    /// Neighbors of `c`, in [`Dir3::ALL`] order: 3–6 of them on a mesh
+    /// (border nodes lose probes), always 6 on a torus (steps wrap).
     pub fn neighbors(&self, c: C3) -> impl Iterator<Item = C3> + '_ {
+        let space = self.space;
         Dir3::ALL
             .into_iter()
-            .map(move |d| c.step(d))
+            .map(move |d| {
+                if space.wraps() {
+                    space.wrap_coord(c.step(d))
+                } else {
+                    c.step(d)
+                }
+            })
             .filter(|&n| self.contains(n))
     }
 
@@ -357,6 +452,31 @@ mod tests {
         let mut from_list = m.faults().to_vec();
         from_list.sort();
         assert_eq!(from_set, from_list); // bitset iterates in index order
+    }
+
+    #[test]
+    fn torus_meshes_have_full_degree_and_wrap_links() {
+        let t = Mesh2D::torus(4, 3);
+        assert!(t.wraps());
+        for c in t.nodes() {
+            assert_eq!(t.neighbors(c).count(), 4, "{c}");
+        }
+        assert!(t.are_neighbors(c2(0, 0), c2(3, 0)));
+        assert!(t.are_neighbors(c2(0, 0), c2(0, 2)));
+        assert!(!t.are_neighbors(c2(0, 0), c2(2, 0)));
+        assert_eq!(t.dist(c2(0, 0), c2(3, 2)), 2);
+
+        let t3 = Mesh3D::torus_kary(3);
+        assert!(t3.wraps());
+        for c in t3.nodes() {
+            assert_eq!(t3.neighbors(c).count(), 6, "{c}");
+        }
+        assert!(t3.are_neighbors(c3(0, 0, 0), c3(0, 0, 2)));
+
+        let m = Mesh2D::new(4, 3);
+        assert!(!m.wraps());
+        assert!(!m.are_neighbors(c2(0, 0), c2(3, 0)));
+        assert_eq!(m.dist(c2(0, 0), c2(3, 2)), 5);
     }
 
     #[test]

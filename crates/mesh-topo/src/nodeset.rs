@@ -35,23 +35,47 @@
 use crate::coord::{C2, C3};
 use crate::dir::{Dir2, Dir3};
 
+/// Wrap `v` into `0..k` (the per-axis index math of torus spaces).
+#[inline]
+fn wrap_i(v: i32, k: i32) -> i32 {
+    v.rem_euclid(k)
+}
+
+/// Per-axis Lee distance on a `k`-cycle: the shorter of the two arcs.
+#[inline]
+fn axis_lee(a: i32, b: i32, k: i32) -> u32 {
+    let d = a.abs_diff(b);
+    d.min(k as u32 - d)
+}
+
 /// Linearization of a `width × height` 2-D node lattice.
 ///
 /// Row-major, matching [`crate::grid::Grid2`]: `i = y·width + x`.
+///
+/// A space is either a **mesh** (no wrap-around; neighbor probes past a
+/// border simply do not exist) or a **torus** ([`NodeSpace2::torus`]): every
+/// axis wraps modulo its extent, so every node has the full neighborhood.
+/// The wrap mode is part of the space's identity (it participates in
+/// equality) and is honored by [`NodeSpace2::step`] and every
+/// `for_neighbors*` enumerator.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct NodeSpace2 {
     width: i32,
     height: i32,
+    wrap: bool,
 }
 
 /// Linearization of an `nx × ny × nz` 3-D node lattice.
 ///
-/// Matches [`crate::grid::Grid3`]: `i = (z·ny + y)·nx + x`.
+/// Matches [`crate::grid::Grid3`]: `i = (z·ny + y)·nx + x`. Like
+/// [`NodeSpace2`], the space is either a mesh or (via [`NodeSpace3::torus`])
+/// a wrap-around torus.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct NodeSpace3 {
     nx: i32,
     ny: i32,
     nz: i32,
+    wrap: bool,
 }
 
 impl NodeSpace2 {
@@ -64,7 +88,59 @@ impl NodeSpace2 {
             width > 0 && height > 0,
             "node space dimensions must be positive"
         );
-        NodeSpace2 { width, height }
+        NodeSpace2 {
+            width,
+            height,
+            wrap: false,
+        }
+    }
+
+    /// The space of a `width × height` torus: every axis wraps modulo its
+    /// extent.
+    ///
+    /// # Panics
+    /// If either dimension is smaller than 3 — with an extent of 1 a node
+    /// would be its own neighbor and with 2 its `+` and `-` neighbors
+    /// coincide, so the torus neighbor math (and the routing model on top)
+    /// requires `k ≥ 3` per axis.
+    pub fn torus(width: i32, height: i32) -> NodeSpace2 {
+        assert!(
+            width >= 3 && height >= 3,
+            "torus dimensions must be at least 3 (distinct +/- neighbors)"
+        );
+        NodeSpace2 {
+            width,
+            height,
+            wrap: true,
+        }
+    }
+
+    /// True if this space wraps around (it is a torus).
+    #[inline]
+    pub fn wraps(self) -> bool {
+        self.wrap
+    }
+
+    /// Reduce an arbitrary integer coordinate into the space modulo the
+    /// extents. The identity for in-space coordinates; meaningful for
+    /// out-of-range probes only on a torus.
+    #[inline]
+    pub fn wrap_coord(self, c: C2) -> C2 {
+        C2 {
+            x: wrap_i(c.x, self.width),
+            y: wrap_i(c.y, self.height),
+        }
+    }
+
+    /// Topology-aware distance between two in-space nodes: Manhattan on a
+    /// mesh, Lee distance (per-axis shorter arc) on a torus.
+    #[inline]
+    pub fn dist(self, a: C2, b: C2) -> u32 {
+        if self.wrap {
+            axis_lee(a.x, b.x, self.width) + axis_lee(a.y, b.y, self.height)
+        } else {
+            a.dist(b)
+        }
     }
 
     /// Extent along X.
@@ -133,34 +209,92 @@ impl NodeSpace2 {
         }
     }
 
-    /// The index one step along `dir` from `i`, or `None` at the border.
+    /// The coordinate one step along `dir` from `c`. `None` at a mesh
+    /// border; on a torus every step exists and the result is reduced
+    /// modulo the extents.
+    #[inline]
+    pub fn step_c(self, c: C2, dir: Dir2) -> Option<C2> {
+        let n = c.step(dir);
+        if self.wrap {
+            Some(self.wrap_coord(n))
+        } else if self.contains(n) {
+            Some(n)
+        } else {
+            None
+        }
+    }
+
+    /// The index one step along `dir` from `i`. `None` at a mesh border;
+    /// on a torus every step exists (it wraps).
     #[inline]
     pub fn step(self, i: usize, dir: Dir2) -> Option<usize> {
         let w = self.width as usize;
+        let h = self.height as usize;
         let (x, y) = (i % w, i / w);
+        if self.wrap {
+            return Some(match dir {
+                Dir2::Xp => {
+                    if x + 1 < w {
+                        i + 1
+                    } else {
+                        i + 1 - w
+                    }
+                }
+                Dir2::Xm => {
+                    if x > 0 {
+                        i - 1
+                    } else {
+                        i + w - 1
+                    }
+                }
+                Dir2::Yp => {
+                    if y + 1 < h {
+                        i + w
+                    } else {
+                        i + w - w * h
+                    }
+                }
+                Dir2::Ym => {
+                    if y > 0 {
+                        i - w
+                    } else {
+                        i + w * h - w
+                    }
+                }
+            });
+        }
         match dir {
             Dir2::Xp => (x + 1 < w).then(|| i + 1),
             Dir2::Xm => (x > 0).then(|| i - 1),
-            Dir2::Yp => (y + 1 < self.height as usize).then(|| i + w),
+            Dir2::Yp => (y + 1 < h).then(|| i + w),
             Dir2::Ym => (y > 0).then(|| i - w),
         }
     }
 
     /// Call `f` with the index of every in-space node of the 4-neighborhood
-    /// of `i`, in [`Dir2::ALL`] order.
+    /// of `i`, in [`Dir2::ALL`] order. On a torus all four probes wrap and
+    /// every node has exactly four (distinct) neighbors.
     #[inline]
     pub fn for_neighbors4(self, i: usize, mut f: impl FnMut(usize)) {
         // One coordinate decomposition for all four probes (this runs in
         // the per-message hot loop of the protocol engine).
         let w = self.width as usize;
+        let h = self.height as usize;
         let (x, y) = (i % w, i / w);
+        if self.wrap {
+            f(if x + 1 < w { i + 1 } else { i + 1 - w });
+            f(if x > 0 { i - 1 } else { i + w - 1 });
+            f(if y + 1 < h { i + w } else { i + w - w * h });
+            f(if y > 0 { i - w } else { i + w * h - w });
+            return;
+        }
         if x + 1 < w {
             f(i + 1);
         }
         if x > 0 {
             f(i - 1);
         }
-        if y + 1 < self.height as usize {
+        if y + 1 < h {
             f(i + w);
         }
         if y > 0 {
@@ -186,6 +320,14 @@ impl NodeSpace2 {
         ];
         let w = self.width as usize;
         let (x, y) = ((i % w) as i32, (i / w) as i32);
+        if self.wrap {
+            for (dx, dy) in OFFS {
+                let nx = wrap_i(x + dx, self.width);
+                let ny = wrap_i(y + dy, self.height);
+                f((ny as usize) * w + (nx as usize));
+            }
+            return;
+        }
         for (dx, dy) in OFFS {
             let (nx, ny) = (x + dx, y + dy);
             if nx >= 0 && ny >= 0 && nx < self.width && ny < self.height {
@@ -211,7 +353,58 @@ impl NodeSpace3 {
             nx > 0 && ny > 0 && nz > 0,
             "node space dimensions must be positive"
         );
-        NodeSpace3 { nx, ny, nz }
+        NodeSpace3 {
+            nx,
+            ny,
+            nz,
+            wrap: false,
+        }
+    }
+
+    /// The space of an `nx × ny × nz` torus: every axis wraps modulo its
+    /// extent.
+    ///
+    /// # Panics
+    /// If any dimension is smaller than 3 (see [`NodeSpace2::torus`]).
+    pub fn torus(nx: i32, ny: i32, nz: i32) -> NodeSpace3 {
+        assert!(
+            nx >= 3 && ny >= 3 && nz >= 3,
+            "torus dimensions must be at least 3 (distinct +/- neighbors)"
+        );
+        NodeSpace3 {
+            nx,
+            ny,
+            nz,
+            wrap: true,
+        }
+    }
+
+    /// True if this space wraps around (it is a torus).
+    #[inline]
+    pub fn wraps(self) -> bool {
+        self.wrap
+    }
+
+    /// Reduce an arbitrary integer coordinate into the space modulo the
+    /// extents (see [`NodeSpace2::wrap_coord`]).
+    #[inline]
+    pub fn wrap_coord(self, c: C3) -> C3 {
+        C3 {
+            x: wrap_i(c.x, self.nx),
+            y: wrap_i(c.y, self.ny),
+            z: wrap_i(c.z, self.nz),
+        }
+    }
+
+    /// Topology-aware distance between two in-space nodes: Manhattan on a
+    /// mesh, Lee distance (per-axis shorter arc) on a torus.
+    #[inline]
+    pub fn dist(self, a: C3, b: C3) -> u32 {
+        if self.wrap {
+            axis_lee(a.x, b.x, self.nx) + axis_lee(a.y, b.y, self.ny) + axis_lee(a.z, b.z, self.nz)
+        } else {
+            a.dist(b)
+        }
     }
 
     /// Extent along X.
@@ -292,33 +485,116 @@ impl NodeSpace3 {
         }
     }
 
-    /// The index one step along `dir` from `i`, or `None` at the border.
+    /// The coordinate one step along `dir` from `c` (see
+    /// [`NodeSpace2::step_c`]).
+    #[inline]
+    pub fn step_c(self, c: C3, dir: Dir3) -> Option<C3> {
+        let n = c.step(dir);
+        if self.wrap {
+            Some(self.wrap_coord(n))
+        } else if self.contains(n) {
+            Some(n)
+        } else {
+            None
+        }
+    }
+
+    /// The index one step along `dir` from `i`. `None` at a mesh border;
+    /// on a torus every step exists (it wraps).
     #[inline]
     pub fn step(self, i: usize, dir: Dir3) -> Option<usize> {
         let nx = self.nx as usize;
         let ny = self.ny as usize;
+        let nz = self.nz as usize;
+        let plane = nx * ny;
         let (x, yz) = (i % nx, i / nx);
         let (y, z) = (yz % ny, yz / ny);
+        if self.wrap {
+            return Some(match dir {
+                Dir3::Xp => {
+                    if x + 1 < nx {
+                        i + 1
+                    } else {
+                        i + 1 - nx
+                    }
+                }
+                Dir3::Xm => {
+                    if x > 0 {
+                        i - 1
+                    } else {
+                        i + nx - 1
+                    }
+                }
+                Dir3::Yp => {
+                    if y + 1 < ny {
+                        i + nx
+                    } else {
+                        i + nx - plane
+                    }
+                }
+                Dir3::Ym => {
+                    if y > 0 {
+                        i - nx
+                    } else {
+                        i + plane - nx
+                    }
+                }
+                Dir3::Zp => {
+                    if z + 1 < nz {
+                        i + plane
+                    } else {
+                        i + plane - plane * nz
+                    }
+                }
+                Dir3::Zm => {
+                    if z > 0 {
+                        i - plane
+                    } else {
+                        i + plane * nz - plane
+                    }
+                }
+            });
+        }
         match dir {
             Dir3::Xp => (x + 1 < nx).then(|| i + 1),
             Dir3::Xm => (x > 0).then(|| i - 1),
             Dir3::Yp => (y + 1 < ny).then(|| i + nx),
             Dir3::Ym => (y > 0).then(|| i - nx),
-            Dir3::Zp => (z + 1 < self.nz as usize).then(|| i + nx * ny),
-            Dir3::Zm => (z > 0).then(|| i - nx * ny),
+            Dir3::Zp => (z + 1 < nz).then(|| i + plane),
+            Dir3::Zm => (z > 0).then(|| i - plane),
         }
     }
 
     /// Call `f` with the index of every in-space node of the 6-neighborhood
-    /// of `i`, in [`Dir3::ALL`] order.
+    /// of `i`, in [`Dir3::ALL`] order. On a torus all six probes wrap and
+    /// every node has exactly six (distinct) neighbors.
     #[inline]
     pub fn for_neighbors6(self, i: usize, mut f: impl FnMut(usize)) {
         // One coordinate decomposition for all six probes (hot loop of the
         // protocol engine).
         let nx = self.nx as usize;
         let ny = self.ny as usize;
+        let nz = self.nz as usize;
+        let plane = nx * ny;
         let (x, yz) = (i % nx, i / nx);
         let (y, z) = (yz % ny, yz / ny);
+        if self.wrap {
+            f(if x + 1 < nx { i + 1 } else { i + 1 - nx });
+            f(if x > 0 { i - 1 } else { i + nx - 1 });
+            f(if y + 1 < ny { i + nx } else { i + nx - plane });
+            f(if y > 0 { i - nx } else { i + plane - nx });
+            f(if z + 1 < nz {
+                i + plane
+            } else {
+                i + plane - plane * nz
+            });
+            f(if z > 0 {
+                i - plane
+            } else {
+                i + plane * nz - plane
+            });
+            return;
+        }
         if x + 1 < nx {
             f(i + 1);
         }
@@ -331,11 +607,11 @@ impl NodeSpace3 {
         if y > 0 {
             f(i - nx);
         }
-        if z + 1 < self.nz as usize {
-            f(i + nx * ny);
+        if z + 1 < nz {
+            f(i + plane);
         }
         if z > 0 {
-            f(i - nx * ny);
+            f(i - plane);
         }
     }
 
@@ -368,6 +644,15 @@ impl NodeSpace3 {
         let ny = self.ny as usize;
         let (x, yz) = (i % nx, i / nx);
         let (x, y, z) = (x as i32, (yz % ny) as i32, (yz / ny) as i32);
+        if self.wrap {
+            for (dx, dy, dz) in OFFS {
+                let cx = wrap_i(x + dx, self.nx);
+                let cy = wrap_i(y + dy, self.ny);
+                let cz = wrap_i(z + dz, self.nz);
+                f(((cz as usize) * ny + (cy as usize)) * nx + (cx as usize));
+            }
+            return;
+        }
         for (dx, dy, dz) in OFFS {
             let (cx, cy, cz) = (x + dx, y + dy, z + dz);
             if cx >= 0 && cy >= 0 && cz >= 0 && cx < self.nx && cy < self.ny && cz < self.nz {
@@ -764,6 +1049,80 @@ mod tests {
         assert_eq!(corner.len(), 6); // 3 faces + 3 planar diagonals
         assert!(corner.contains(&c3(1, 1, 0)));
         assert!(!corner.contains(&c3(1, 1, 1))); // space diagonal excluded
+    }
+
+    #[test]
+    fn torus2_neighbors_wrap_and_stay_distinct() {
+        let s = NodeSpace2::torus(5, 3);
+        assert!(s.wraps());
+        assert!(!NodeSpace2::new(5, 3).wraps());
+        // Every node has exactly 4 distinct face neighbors and 8 distinct
+        // 8-neighbors.
+        for i in 0..s.len() {
+            let mut n4 = Vec::new();
+            s.for_neighbors4(i, |j| n4.push(j));
+            n4.sort_unstable();
+            n4.dedup();
+            assert_eq!(n4.len(), 4, "node {i}");
+            let mut n8 = Vec::new();
+            s.for_neighbors8(i, |j| n8.push(j));
+            n8.sort_unstable();
+            n8.dedup();
+            assert_eq!(n8.len(), 8, "node {i}");
+        }
+        // A corner wraps to the opposite edges.
+        let corner = s.index(c2(0, 0));
+        let mut got = Vec::new();
+        s.for_neighbors4(corner, |j| got.push(s.coord(j)));
+        assert_eq!(got, vec![c2(1, 0), c2(4, 0), c2(0, 1), c2(0, 2)]);
+    }
+
+    #[test]
+    fn torus3_step_wraps_every_direction() {
+        let s = NodeSpace3::torus(3, 4, 5);
+        for i in 0..s.len() {
+            let c = s.coord(i);
+            for d in Dir3::ALL {
+                let j = s.step(i, d).expect("torus steps always exist");
+                assert_eq!(s.coord(j), s.wrap_coord(c.step(d)), "{c:?} {d:?}");
+            }
+            let mut n6 = Vec::new();
+            s.for_neighbors6(i, |j| n6.push(j));
+            n6.sort_unstable();
+            n6.dedup();
+            assert_eq!(n6.len(), 6, "node {i}");
+            let mut n18 = Vec::new();
+            s.for_neighbors18(i, |j| n18.push(j));
+            n18.sort_unstable();
+            n18.dedup();
+            assert_eq!(n18.len(), 18, "node {i}");
+        }
+    }
+
+    #[test]
+    fn torus_distances_take_the_shorter_arc() {
+        let s = NodeSpace2::torus(8, 8);
+        assert_eq!(s.dist(c2(0, 0), c2(7, 0)), 1);
+        assert_eq!(s.dist(c2(0, 0), c2(4, 4)), 8);
+        assert_eq!(s.dist(c2(1, 1), c2(6, 7)), 3 + 2);
+        let m = NodeSpace2::new(8, 8);
+        assert_eq!(m.dist(c2(0, 0), c2(7, 0)), 7);
+        let t3 = NodeSpace3::torus(6, 6, 6);
+        assert_eq!(t3.dist(c3(0, 0, 0), c3(5, 3, 4)), 1 + 3 + 2);
+    }
+
+    #[test]
+    fn wrap_coord_normalizes() {
+        let s = NodeSpace2::torus(5, 4);
+        assert_eq!(s.wrap_coord(c2(-1, 4)), c2(4, 0));
+        assert_eq!(s.wrap_coord(c2(7, -5)), c2(2, 3));
+        assert_eq!(s.wrap_coord(c2(3, 2)), c2(3, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_torus_rejected() {
+        NodeSpace2::torus(2, 8);
     }
 
     #[test]

@@ -54,8 +54,8 @@ impl Path2 {
         self.nodes.last().copied()
     }
 
-    /// True if consecutive nodes are mesh neighbors and all nodes lie in
-    /// `mesh` and are healthy.
+    /// True if consecutive nodes are linked in `mesh` (wrap links count on
+    /// a torus) and all nodes lie in `mesh` and are healthy.
     pub fn is_valid(&self, mesh: &Mesh2D) -> bool {
         if self.nodes.is_empty() {
             return false;
@@ -63,16 +63,19 @@ impl Path2 {
         if !self.nodes.iter().all(|&c| mesh.is_healthy(c)) {
             return false;
         }
-        self.nodes.windows(2).all(|w| w[0].is_neighbor(w[1]))
+        self.nodes
+            .windows(2)
+            .all(|w| mesh.are_neighbors(w[0], w[1]))
     }
 
     /// True if this is a complete **minimal** route from `s` to `d`: valid,
-    /// starts at `s`, ends at `d`, and takes exactly `D(s, d)` hops.
+    /// starts at `s`, ends at `d`, and takes exactly `D(s, d)` hops (the
+    /// topology-aware distance: Manhattan on a mesh, Lee on a torus).
     pub fn is_minimal(&self, mesh: &Mesh2D, s: C2, d: C2) -> bool {
         self.is_valid(mesh)
             && self.nodes.first() == Some(&s)
             && self.nodes.last() == Some(&d)
-            && self.hops() as u32 == s.dist(d)
+            && self.hops() as u32 == mesh.dist(s, d)
     }
 }
 
@@ -107,8 +110,8 @@ impl Path3 {
         self.nodes.last().copied()
     }
 
-    /// True if consecutive nodes are mesh neighbors and all nodes lie in
-    /// `mesh` and are healthy.
+    /// True if consecutive nodes are linked in `mesh` (wrap links count on
+    /// a torus) and all nodes lie in `mesh` and are healthy.
     pub fn is_valid(&self, mesh: &Mesh3D) -> bool {
         if self.nodes.is_empty() {
             return false;
@@ -116,15 +119,18 @@ impl Path3 {
         if !self.nodes.iter().all(|&c| mesh.is_healthy(c)) {
             return false;
         }
-        self.nodes.windows(2).all(|w| w[0].is_neighbor(w[1]))
+        self.nodes
+            .windows(2)
+            .all(|w| mesh.are_neighbors(w[0], w[1]))
     }
 
-    /// True if this is a complete **minimal** route from `s` to `d`.
+    /// True if this is a complete **minimal** route from `s` to `d` under
+    /// the topology-aware distance.
     pub fn is_minimal(&self, mesh: &Mesh3D, s: C3, d: C3) -> bool {
         self.is_valid(mesh)
             && self.nodes.first() == Some(&s)
             && self.nodes.last() == Some(&d)
-            && self.hops() as u32 == s.dist(d)
+            && self.hops() as u32 == mesh.dist(s, d)
     }
 }
 

@@ -1,0 +1,174 @@
+//! Property battery pinning the torus neighbor math against brute-force
+//! modular arithmetic.
+//!
+//! The wrap-aware enumerators in `mesh_topo::nodeset` compute neighbor
+//! indices with branchy in-place offset math (no division in the hot
+//! loop). These tests re-derive every neighborhood from the definition —
+//! `(x ± 1) mod k` per axis — and require exact agreement, for every node
+//! of randomly drawn torus extents, across:
+//!
+//! * `step` / `step_c` (single probes, index- and coordinate-level),
+//! * `for_neighbors4` / `for_neighbors6` (face neighborhoods),
+//! * `for_neighbors8` / `for_neighbors18` (region-connectivity
+//!   neighborhoods),
+//! * `dist` (per-axis Lee distance) and `wrap_coord` (reduction).
+
+use mesh_topo::coord::{c2, c3};
+use mesh_topo::{Dir2, Dir3, Mesh2D, Mesh3D, NodeSpace2, NodeSpace3, C2, C3};
+use proptest::prelude::*;
+
+/// The definition: wrap one axis value into `0..k`.
+fn modk(v: i32, k: i32) -> i32 {
+    ((v % k) + k) % k
+}
+
+/// Brute-force oracle for the 2-D face neighborhood of `(x, y)`.
+fn oracle4(x: i32, y: i32, w: i32, h: i32) -> Vec<C2> {
+    // Dir2::ALL order: Xp, Xm, Yp, Ym.
+    vec![
+        c2(modk(x + 1, w), y),
+        c2(modk(x - 1, w), y),
+        c2(x, modk(y + 1, h)),
+        c2(x, modk(y - 1, h)),
+    ]
+}
+
+/// Brute-force oracle for the 3-D face neighborhood.
+fn oracle6(c: C3, nx: i32, ny: i32, nz: i32) -> Vec<C3> {
+    // Dir3::ALL order: Xp, Xm, Yp, Ym, Zp, Zm.
+    vec![
+        c3(modk(c.x + 1, nx), c.y, c.z),
+        c3(modk(c.x - 1, nx), c.y, c.z),
+        c3(c.x, modk(c.y + 1, ny), c.z),
+        c3(c.x, modk(c.y - 1, ny), c.z),
+        c3(c.x, c.y, modk(c.z + 1, nz)),
+        c3(c.x, c.y, modk(c.z - 1, nz)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn torus2_neighbors_match_modular_oracle(w in 3i32..12, h in 3i32..12) {
+        let s = NodeSpace2::torus(w, h);
+        for i in 0..s.len() {
+            let c = s.coord(i);
+            let expect = oracle4(c.x, c.y, w, h);
+            // Single-step probes, index- and coordinate-level.
+            for (dir, want) in Dir2::ALL.into_iter().zip(expect.iter()) {
+                prop_assert_eq!(s.coord(s.step(i, dir).unwrap()), *want);
+                prop_assert_eq!(s.step_c(c, dir), Some(*want));
+            }
+            // Face enumerator, exact order.
+            let mut got = Vec::new();
+            s.for_neighbors4(i, |j| got.push(s.coord(j)));
+            prop_assert_eq!(&got, &expect);
+            // 8-neighborhood equals the set difference of the 3x3 modular
+            // box around c and c itself.
+            let mut got8 = Vec::new();
+            s.for_neighbors8(i, |j| got8.push(s.coord(j)));
+            got8.sort_unstable_by_key(|c| (c.y, c.x));
+            let mut want8: Vec<C2> = (-1..=1)
+                .flat_map(|dy| (-1..=1).map(move |dx| (dx, dy)))
+                .filter(|&(dx, dy)| (dx, dy) != (0, 0))
+                .map(|(dx, dy)| c2(modk(c.x + dx, w), modk(c.y + dy, h)))
+                .collect();
+            want8.sort_unstable_by_key(|c| (c.y, c.x));
+            want8.dedup();
+            prop_assert_eq!(got8, want8);
+        }
+    }
+
+    #[test]
+    fn torus3_neighbors_match_modular_oracle(
+        nx in 3i32..7,
+        ny in 3i32..7,
+        nz in 3i32..7,
+    ) {
+        let s = NodeSpace3::torus(nx, ny, nz);
+        for i in 0..s.len() {
+            let c = s.coord(i);
+            let expect = oracle6(c, nx, ny, nz);
+            for (dir, want) in Dir3::ALL.into_iter().zip(expect.iter()) {
+                prop_assert_eq!(s.coord(s.step(i, dir).unwrap()), *want);
+                prop_assert_eq!(s.step_c(c, dir), Some(*want));
+            }
+            let mut got = Vec::new();
+            s.for_neighbors6(i, |j| got.push(s.coord(j)));
+            prop_assert_eq!(&got, &expect);
+            // 18-neighborhood: all cells at most one step off per axis with
+            // at most two axes differing (no space diagonals).
+            let mut got18 = Vec::new();
+            s.for_neighbors18(i, |j| got18.push(s.coord(j)));
+            got18.sort_unstable_by_key(|c| (c.z, c.y, c.x));
+            let mut want18: Vec<C3> = (-1..=1)
+                .flat_map(|dz| {
+                    (-1..=1).flat_map(move |dy| (-1..=1).map(move |dx| (dx, dy, dz)))
+                })
+                .filter(|&(dx, dy, dz)| {
+                    let moved = (dx != 0) as u32 + (dy != 0) as u32 + (dz != 0) as u32;
+                    moved == 1 || moved == 2
+                })
+                .map(|(dx, dy, dz)| {
+                    c3(modk(c.x + dx, nx), modk(c.y + dy, ny), modk(c.z + dz, nz))
+                })
+                .collect();
+            want18.sort_unstable_by_key(|c| (c.z, c.y, c.x));
+            want18.dedup();
+            prop_assert_eq!(got18, want18);
+        }
+    }
+
+    #[test]
+    fn torus_distance_is_min_arc_sum(
+        w in 3i32..12,
+        h in 3i32..12,
+        ax in 0i32..12, ay in 0i32..12,
+        bx in 0i32..12, by in 0i32..12,
+    ) {
+        let s = NodeSpace2::torus(w, h);
+        let a = c2(ax % w, ay % h);
+        let b = c2(bx % w, by % h);
+        let arc = |p: i32, q: i32, k: i32| {
+            let d = (p - q).abs();
+            d.min(k - d) as u32
+        };
+        prop_assert_eq!(s.dist(a, b), arc(a.x, b.x, w) + arc(a.y, b.y, h));
+        prop_assert_eq!(s.dist(a, b), s.dist(b, a));
+        // The wrapped mesh agrees with its space.
+        let mesh = Mesh2D::torus(w, h);
+        prop_assert_eq!(mesh.dist(a, b), s.dist(a, b));
+    }
+
+    #[test]
+    fn torus_wrap_coord_is_modular_reduction(
+        w in 3i32..10,
+        h in 3i32..10,
+        x in -40i32..40,
+        y in -40i32..40,
+    ) {
+        let s = NodeSpace2::torus(w, h);
+        prop_assert_eq!(s.wrap_coord(c2(x, y)), c2(modk(x, w), modk(y, h)));
+    }
+
+    #[test]
+    fn mesh3_and_torus3_neighbors_differ_only_at_borders(k in 3i32..6) {
+        let mesh = Mesh3D::kary(k);
+        let torus = Mesh3D::torus_kary(k);
+        for c in mesh.nodes() {
+            let m: Vec<C3> = mesh.neighbors(c).collect();
+            let t: Vec<C3> = torus.neighbors(c).collect();
+            prop_assert_eq!(t.len(), 6);
+            let interior = c.x > 0 && c.y > 0 && c.z > 0
+                && c.x < k - 1 && c.y < k - 1 && c.z < k - 1;
+            if interior {
+                prop_assert_eq!(&m, &t);
+            } else {
+                // Every mesh neighbor survives on the torus, in order.
+                let mut it = t.iter();
+                for n in &m {
+                    prop_assert!(it.any(|x| x == n), "{n} lost at {c}");
+                }
+            }
+        }
+    }
+}

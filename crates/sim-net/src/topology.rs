@@ -46,7 +46,7 @@ pub trait Topology: Copy {
     fn for_neighbors(&self, i: usize, f: impl FnMut(usize));
 }
 
-/// A full `width × height` 2-D mesh with 4-neighbor links.
+/// A full `width × height` 2-D mesh (or torus) with 4-neighbor links.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Grid2 {
     space: NodeSpace2,
@@ -61,6 +61,24 @@ impl Grid2 {
         Grid2 {
             space: NodeSpace2::new(width, height),
         }
+    }
+
+    /// The topology of a `width × height` torus: every axis wraps, every
+    /// node has exactly four links.
+    ///
+    /// # Panics
+    /// If either dimension is smaller than 3 (see
+    /// [`mesh_topo::NodeSpace2::torus`]).
+    pub fn torus(width: i32, height: i32) -> Grid2 {
+        Grid2 {
+            space: NodeSpace2::torus(width, height),
+        }
+    }
+
+    /// The topology over an existing linearization — the handle protocol
+    /// layers use so a mesh's wrap mode carries over unchanged.
+    pub fn from_space(space: NodeSpace2) -> Grid2 {
+        Grid2 { space }
     }
 
     /// The underlying linearization (copy it into handlers for
@@ -93,7 +111,7 @@ impl Topology for Grid2 {
     fn linked(&self, a: usize, b: usize) -> bool {
         a < self.space.len()
             && b < self.space.len()
-            && self.space.coord(a).dist(self.space.coord(b)) == 1
+            && self.space.dist(self.space.coord(a), self.space.coord(b)) == 1
     }
 
     #[inline]
@@ -102,7 +120,7 @@ impl Topology for Grid2 {
     }
 }
 
-/// A full `nx × ny × nz` 3-D mesh with 6-neighbor links.
+/// A full `nx × ny × nz` 3-D mesh (or torus) with 6-neighbor links.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Grid3 {
     space: NodeSpace3,
@@ -117,6 +135,22 @@ impl Grid3 {
         Grid3 {
             space: NodeSpace3::new(nx, ny, nz),
         }
+    }
+
+    /// The topology of an `nx × ny × nz` torus (see [`Grid2::torus`]).
+    ///
+    /// # Panics
+    /// If any dimension is smaller than 3.
+    pub fn torus(nx: i32, ny: i32, nz: i32) -> Grid3 {
+        Grid3 {
+            space: NodeSpace3::torus(nx, ny, nz),
+        }
+    }
+
+    /// The topology over an existing linearization (see
+    /// [`Grid2::from_space`]).
+    pub fn from_space(space: NodeSpace3) -> Grid3 {
+        Grid3 { space }
     }
 
     /// The underlying linearization.
@@ -148,7 +182,7 @@ impl Topology for Grid3 {
     fn linked(&self, a: usize, b: usize) -> bool {
         a < self.space.len()
             && b < self.space.len()
-            && self.space.coord(a).dist(self.space.coord(b)) == 1
+            && self.space.dist(self.space.coord(a), self.space.coord(b)) == 1
     }
 
     #[inline]
@@ -182,6 +216,38 @@ mod tests {
         let mut seen = Vec::new();
         g.for_neighbors(g.index_of(c2(0, 0)).unwrap(), |j| seen.push(g.coord_of(j)));
         assert_eq!(seen, vec![c2(1, 0), c2(0, 1)]);
+    }
+
+    #[test]
+    fn torus_grids_link_across_the_seam() {
+        let g = Grid2::torus(5, 4);
+        assert!(g.space().wraps());
+        let a = g.index_of(c2(0, 2)).unwrap();
+        let b = g.index_of(c2(4, 2)).unwrap();
+        assert!(g.linked(a, b), "x wrap link");
+        assert!(g.linked(g.index_of(c2(3, 0)).unwrap(), g.index_of(c2(3, 3)).unwrap()));
+        assert!(!g.linked(a, g.index_of(c2(2, 2)).unwrap()));
+        // Every node has exactly four links, and for_neighbors agrees
+        // with linked().
+        for i in 0..g.len() {
+            let mut n = Vec::new();
+            g.for_neighbors(i, |j| n.push(j));
+            assert_eq!(n.len(), 4);
+            for j in n {
+                assert!(g.linked(i, j));
+            }
+        }
+
+        let g3 = Grid3::torus(3, 4, 5);
+        let a = g3.index_of(c3(0, 0, 0)).unwrap();
+        for b in [c3(2, 0, 0), c3(0, 3, 0), c3(0, 0, 4)] {
+            assert!(g3.linked(a, g3.index_of(b).unwrap()), "{b:?}");
+        }
+        let mut n = 0;
+        g3.for_neighbors(a, |_| n += 1);
+        assert_eq!(n, 6);
+        // from_space preserves the wrap mode.
+        assert_eq!(Grid3::from_space(g3.space()), g3);
     }
 
     #[test]
