@@ -27,8 +27,9 @@
 //! fixpoint is property-tested equal to the definitional worklist closure
 //! over the wrapped neighbor relation (`tests/properties.rs`).
 
-use mesh_topo::{Frame2, Mesh2D, NodeGrid, NodeSet, NodeSpace2, C2};
+use mesh_topo::{par, Frame2, Mesh2D, NodeGrid, NodeSet, NodeSpace2, Parallelism, C2};
 
+use crate::par::{unsafe_set_par, wavefront, SweepDir, PAR_MIN_NODES, TILES_PER_THREAD};
 use crate::status::{BorderPolicy, NodeStatus};
 
 /// The fixpoint of Algorithm 1 for one quadrant orientation of a mesh.
@@ -175,6 +176,56 @@ impl Labelling2 {
         }
     }
 
+    /// Run the labelling closure with a thread budget: the raster sweeps
+    /// run as a tiled wavefront over contiguous row bands (see
+    /// `crate::par` and DESIGN.md §11), **bit-for-bit equal** to
+    /// [`Labelling2::compute`] for every thread count. Falls back to the
+    /// sequential sweeps when the budget resolves to one thread, the mesh
+    /// is small, or there are not at least two row bands.
+    pub fn compute_par(
+        mesh: &Mesh2D,
+        frame: Frame2,
+        policy: BorderPolicy,
+        parallelism: Parallelism,
+    ) -> Labelling2 {
+        let space = mesh.space();
+        let threads = parallelism.resolve();
+        let h = space.height() as usize;
+        let bands = par::bands(h, threads * TILES_PER_THREAD);
+        if threads <= 1 || space.len() < PAR_MIN_NODES || bands.len() < 2 {
+            return Labelling2::compute(mesh, frame, policy);
+        }
+
+        let mut status = NodeGrid::new(space.len(), NodeStatus::SAFE);
+        for &f in mesh.faults() {
+            status[space.index(frame.to_canon(f))] = NodeStatus::FAULT;
+        }
+        let border_blocks = matches!(policy, BorderPolicy::BorderBlocked);
+        let w = space.width() as usize;
+        let wraps = space.wraps();
+        let s = status.as_mut_slice();
+
+        wavefront(s, w, &bands, threads, wraps, SweepDir::Decreasing, {
+            |band: &mut [NodeStatus], halo: Option<&[NodeStatus]>| {
+                sweep_useless_band(band, w, wraps, border_blocks, halo)
+            }
+        });
+        wavefront(s, w, &bands, threads, wraps, SweepDir::Increasing, {
+            |band: &mut [NodeStatus], halo: Option<&[NodeStatus]>| {
+                sweep_cant_reach_band(band, w, wraps, border_blocks, halo)
+            }
+        });
+
+        let unsafe_set = unsafe_set_par(status.as_slice(), threads);
+        Labelling2 {
+            frame,
+            policy,
+            space,
+            status,
+            unsafe_set,
+        }
+    }
+
     /// Run the labelling for the canonical pair `(s, d)` in mesh coordinates:
     /// picks the quadrant frame for the pair and computes the closure.
     pub fn for_pair(mesh: &Mesh2D, s: C2, d: C2, policy: BorderPolicy) -> Labelling2 {
@@ -276,6 +327,115 @@ impl Labelling2 {
             .coords()
             .zip(self.status.as_slice().iter().copied())
     }
+}
+
+/// One tile's useless sweep to the tile-local fixpoint. `halo` is the
+/// frozen copy of the row the tile's top row reads through `+Y` (`None`
+/// only on the mesh border, where the border policy applies). Mirrors the
+/// sequential sweep exactly: one decreasing-`(y, x)` pass suffices on a
+/// mesh (all `+X`/`+Y` dependencies inside the tile are already final),
+/// while the torus in-row `x`-ring needs the loop-until-quiescent.
+/// Returns whether the tile's first row (the row the tile below reads)
+/// gained a label.
+fn sweep_useless_band(
+    band: &mut [NodeStatus],
+    w: usize,
+    wraps: bool,
+    border_blocks: bool,
+    halo: Option<&[NodeStatus]>,
+) -> bool {
+    let rows = band.len() / w;
+    let mut boundary_changed = false;
+    loop {
+        let mut changed = false;
+        for y in (0..rows).rev() {
+            let row = y * w;
+            for x in (0..w).rev() {
+                let i = row + x;
+                if band[i].blocks_forward() {
+                    continue;
+                }
+                let xp = if x + 1 < w {
+                    band[i + 1].blocks_forward()
+                } else if wraps {
+                    band[row].blocks_forward()
+                } else {
+                    border_blocks
+                };
+                let yp = if y + 1 < rows {
+                    band[i + w].blocks_forward()
+                } else {
+                    match halo {
+                        Some(h) => h[x].blocks_forward(),
+                        None => border_blocks,
+                    }
+                };
+                if xp && yp {
+                    band[i].mark_useless();
+                    changed = true;
+                    if y == 0 {
+                        boundary_changed = true;
+                    }
+                }
+            }
+        }
+        if !(wraps && changed) {
+            break;
+        }
+    }
+    boundary_changed
+}
+
+/// The can't-reach mirror of [`sweep_useless_band`]: increasing order,
+/// `-X`/`-Y` reads, `halo` is the row below the tile's first row. Returns
+/// whether the tile's last row (read by the tile above) gained a label.
+fn sweep_cant_reach_band(
+    band: &mut [NodeStatus],
+    w: usize,
+    wraps: bool,
+    border_blocks: bool,
+    halo: Option<&[NodeStatus]>,
+) -> bool {
+    let rows = band.len() / w;
+    let mut boundary_changed = false;
+    loop {
+        let mut changed = false;
+        for y in 0..rows {
+            let row = y * w;
+            for x in 0..w {
+                let i = row + x;
+                if band[i].blocks_backward() {
+                    continue;
+                }
+                let xm = if x > 0 {
+                    band[i - 1].blocks_backward()
+                } else if wraps {
+                    band[row + w - 1].blocks_backward()
+                } else {
+                    border_blocks
+                };
+                let ym = if y > 0 {
+                    band[i - w].blocks_backward()
+                } else {
+                    match halo {
+                        Some(h) => h[x].blocks_backward(),
+                        None => border_blocks,
+                    }
+                };
+                if xm && ym {
+                    band[i].mark_cant_reach();
+                    changed = true;
+                    if y == rows - 1 {
+                        boundary_changed = true;
+                    }
+                }
+            }
+        }
+        if !(wraps && changed) {
+            break;
+        }
+    }
+    boundary_changed
 }
 
 #[cfg(test)]

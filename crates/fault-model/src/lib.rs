@@ -83,6 +83,7 @@ pub mod mcc2;
 pub mod mcc3;
 pub mod models;
 pub mod oracle;
+mod par;
 pub mod reference;
 pub mod rfb2;
 pub mod rfb3;

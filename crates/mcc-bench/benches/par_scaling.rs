@@ -1,0 +1,89 @@
+//! Intra-mesh parallel scaling: the tiled wavefront labelling
+//! (`compute_par`) at thread budgets 1/2/4/8 against the sequential
+//! raster sweeps, on 256²/512² and 48³/64³ meshes at 20% uniform faults.
+//!
+//! The `bench_par` binary runs the full-size cases (1024² and 128³),
+//! verifies the parallel output bit-for-bit against sequential, and
+//! snapshots the results to `BENCH_par_scaling.json` at the workspace
+//! root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fault_model::{BorderPolicy, Labelling2, Labelling3};
+use mesh_topo::{FaultSpec, Frame2, Frame3, Mesh2D, Mesh3D, Parallelism};
+
+const FAULT_FRACTION: f64 = 0.20;
+const SEED: u64 = 42;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn mesh2(width: i32) -> Mesh2D {
+    let mut mesh = Mesh2D::kary(width);
+    let faults = (mesh.node_count() as f64 * FAULT_FRACTION) as usize;
+    FaultSpec::uniform(faults, SEED).inject_2d(&mut mesh, &[]);
+    mesh
+}
+
+fn mesh3(k: i32) -> Mesh3D {
+    let mut mesh = Mesh3D::kary(k);
+    let faults = (mesh.node_count() as f64 * FAULT_FRACTION) as usize;
+    FaultSpec::uniform(faults, SEED).inject_3d(&mut mesh, &[]);
+    mesh
+}
+
+fn bench_par_2d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("par_scaling_2d_20pct");
+    for width in [256i32, 512] {
+        let mesh = mesh2(width);
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("seq", width), &mesh, |b, m| {
+            b.iter(|| {
+                Labelling2::compute(m, Frame2::identity(m), BorderPolicy::BorderSafe).unsafe_count()
+            })
+        });
+        for t in THREADS {
+            let id = BenchmarkId::new(format!("par{t}"), width);
+            g.bench_with_input(id, &mesh, |b, m| {
+                b.iter(|| {
+                    Labelling2::compute_par(
+                        m,
+                        Frame2::identity(m),
+                        BorderPolicy::BorderSafe,
+                        Parallelism::new(t),
+                    )
+                    .unsafe_count()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_par_3d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("par_scaling_3d_20pct");
+    for k in [48i32, 64] {
+        let mesh = mesh3(k);
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("seq", k), &mesh, |b, m| {
+            b.iter(|| {
+                Labelling3::compute(m, Frame3::identity(m), BorderPolicy::BorderSafe).unsafe_count()
+            })
+        });
+        for t in THREADS {
+            let id = BenchmarkId::new(format!("par{t}"), k);
+            g.bench_with_input(id, &mesh, |b, m| {
+                b.iter(|| {
+                    Labelling3::compute_par(
+                        m,
+                        Frame3::identity(m),
+                        BorderPolicy::BorderSafe,
+                        Parallelism::new(t),
+                    )
+                    .unsafe_count()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_par_2d, bench_par_3d);
+criterion_main!(benches);

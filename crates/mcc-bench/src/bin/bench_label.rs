@@ -111,6 +111,13 @@ fn main() {
          time\",\n",
     );
     json.push_str("  \"units\": \"nanoseconds\",\n");
+    // Both pipelines here are the sequential kernels; the core count makes
+    // snapshots from different machines comparable at a glance.
+    json.push_str("  \"threads\": 1,\n");
+    json.push_str(&format!(
+        "  \"detected_cores\": {},\n",
+        mesh_topo::detected_cores()
+    ));
     json.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         let speedup = c.hash_ns as f64 / c.flat_ns as f64;

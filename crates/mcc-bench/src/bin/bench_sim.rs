@@ -114,6 +114,13 @@ fn main() {
          wall time\",\n",
     );
     json.push_str("  \"units\": \"nanoseconds\",\n");
+    // Both engines run their sequential round dispatch here; the core
+    // count makes snapshots from different machines comparable.
+    json.push_str("  \"threads\": 1,\n");
+    json.push_str(&format!(
+        "  \"detected_cores\": {},\n",
+        mesh_topo::detected_cores()
+    ));
     json.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         let speedup = c.hash_ns as f64 / c.flat_ns as f64;

@@ -267,6 +267,13 @@ fn main() {
          wall time over the whole ramp\",\n",
     );
     json.push_str("  \"units\": \"nanoseconds\",\n");
+    // Both pipelines run sequentially here; the core count makes
+    // snapshots from different machines comparable.
+    json.push_str("  \"threads\": 1,\n");
+    json.push_str(&format!(
+        "  \"detected_cores\": {},\n",
+        mesh_topo::detected_cores()
+    ));
     json.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         json.push_str(&format!(

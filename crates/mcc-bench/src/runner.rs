@@ -1,11 +1,22 @@
 //! Seed-parallel execution of [`Scenario`]s.
 //!
 //! [`run_scenario`] fans the scenario's seed range out over std scoped
-//! threads ([`std::thread::scope`]), one chunk per available core, runs the
-//! per-seed kernel for every fault count, and aggregates into the row types
-//! of the crate root. Results are deterministic: each seed's work depends
-//! only on the seed value, and rows are assembled in seed order regardless
-//! of thread interleaving.
+//! threads ([`std::thread::scope`]): workers pull seed indices off a shared
+//! atomic counter (work-stealing, so one slow seed no longer idles the
+//! rest of the pool), run the per-seed kernel for every fault count, and
+//! aggregate into the row types of the crate root. Results are
+//! deterministic: each seed's work depends only on the seed value, and
+//! rows are scattered back by seed index regardless of thread
+//! interleaving.
+//!
+//! The thread budget comes from the scenario's `threads` knob (after the
+//! `MCC_THREADS` environment override, see [`mesh_topo::Parallelism`]) and
+//! is split between the two parallelism levels: seeds soak up threads
+//! first — independent trials parallelize perfectly — and whatever the
+//! seed range cannot use spills into the per-seed kernels as intra-mesh
+//! parallelism (tiled labelling sweeps, sharded protocol rounds). Both
+//! levels are pinned bit-for-bit equal to sequential execution, so the
+//! budget is a pure performance knob.
 //!
 //! Routing kernels run on the amortized pipeline of
 //! [`mcc_routing::prepared`]: one `PreparedMesh` per seed's fault
@@ -19,11 +30,12 @@ use mcc_protocols::labelling::{DistLabelling2, DistLabelling3};
 use mcc_routing::prepared::{PreparedMesh2, PreparedMesh3};
 use mcc_routing::trial::{TrialOptions, TrialResult};
 use mesh_topo::coord::{c2, c3};
-use mesh_topo::{FaultPattern, Frame2, Frame3, Mesh2D, Mesh3D, C2, C3};
+use mesh_topo::{FaultPattern, Frame2, Frame3, Mesh2D, Mesh3D, Parallelism, C2, C3};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use sim_net::RunStats;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::scenario::{MeshDims, Scenario, ScenarioError, TableKind};
 use crate::{LabellingRow, OverheadRow, RegionRow, RoutingRow};
@@ -50,36 +62,69 @@ pub struct ScenarioReport {
     pub rows: TableRows,
 }
 
-/// Map every seed in `[start, end)` through `f` on scoped threads,
-/// returning results in seed order.
-pub(crate) fn parallel_seeds<T: Send>(
+/// Work-stealing seed sweep: `threads` workers pull the next unclaimed
+/// seed index off a shared atomic counter, so one expensive seed (a dense
+/// fault configuration spinning the pair sampler, say) no longer idles
+/// every other worker the way the old static chunking did — a straggler
+/// costs one worker, not the whole tail of its chunk. Results are
+/// scattered back by seed index, so the output is in seed order no matter
+/// which worker ran which seed.
+pub(crate) fn parallel_seeds_with<T: Send>(
     seeds: std::ops::Range<u64>,
+    threads: usize,
     f: impl Fn(u64) -> T + Sync,
 ) -> Vec<T> {
     let seeds: Vec<u64> = seeds.collect();
     if seeds.is_empty() {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(seeds.len());
-    let chunk = seeds.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .chunks(chunk)
-            .map(|chunk| {
-                let f = &f;
-                scope.spawn(move || chunk.iter().map(|&seed| f(seed)).collect::<Vec<T>>())
+    let workers = threads.clamp(1, seeds.len());
+    if workers == 1 {
+        return seeds.into_iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (f, next, seeds) = (&f, &next, &seeds);
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&seed) = seeds.get(i) else {
+                            return out;
+                        };
+                        out.push((i, f(seed)));
+                    }
+                })
             })
             .collect();
-        // Chunks are spawned and joined in seed order, so the flattened
-        // result is ordered no matter how the threads interleave.
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("sweep thread panicked"))
+            .map(|h| h.join().expect("sweep thread panicked"))
             .collect()
-    })
+    });
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(seeds.len());
+    slots.resize_with(seeds.len(), || None);
+    for (i, value) in parts.into_iter().flatten() {
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("the atomic counter visits every seed index once"))
+        .collect()
+}
+
+/// Split the scenario's thread budget (after the `MCC_THREADS` override)
+/// between the seed sweep and the per-seed kernels. Seeds soak up the
+/// budget first; only when the seed range is narrower than the budget
+/// (large meshes swept over a handful of seeds) does the surplus spill
+/// into intra-mesh parallelism.
+fn thread_split(sc: &Scenario) -> (usize, Parallelism) {
+    let budget = Parallelism::new(sc.threads).from_env().resolve();
+    let outer = budget.min((sc.seed_count().max(1)) as usize);
+    let intra = (budget / outer).max(1);
+    (outer, Parallelism::new(intra))
 }
 
 /// Construct the scenario's 2-D network (mesh or torus).
@@ -119,10 +164,11 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
 }
 
 fn run_regions(sc: &Scenario) -> Vec<RegionRow> {
+    let (outer, _) = thread_split(sc);
     sc.fault_counts
         .iter()
         .map(|&n| {
-            let stats = parallel_seeds(sc.seed_start..sc.seed_end, |seed| {
+            let stats = parallel_seeds_with(sc.seed_start..sc.seed_end, outer, |seed| {
                 let spec = sc.fault_spec(n, seed ^ ((n as u64) << 32));
                 match sc.dims {
                     MeshDims::D2 { width, height } => {
@@ -241,10 +287,11 @@ fn run_routing(sc: &Scenario) -> Vec<RoutingRow> {
         eval_greedy: sc.router.wants_greedy(),
     };
     let min_dist = (sc.dims.max_extent() as f64 * sc.min_dist_frac).round() as u32;
+    let (outer, intra) = thread_split(sc);
     sc.fault_counts
         .iter()
         .map(|&n| {
-            let results = parallel_seeds(sc.seed_start..sc.seed_end, |seed| {
+            let results = parallel_seeds_with(sc.seed_start..sc.seed_end, outer, |seed| {
                 let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9) ^ n as u64);
                 match sc.dims {
                     MeshDims::D2 { width, height } => {
@@ -257,7 +304,7 @@ fn run_routing(sc: &Scenario) -> Vec<RoutingRow> {
                             sc.fault_spec(n, rng.gen()).inject_2d(&mut mesh, &[]);
                             None
                         };
-                        let mut pm = PreparedMesh2::new(&mesh, opts);
+                        let mut pm = PreparedMesh2::with_parallelism(&mesh, opts, intra);
                         (0..sc.pairs_per_seed)
                             .map(|_| {
                                 let (s, d) = legacy_pair.unwrap_or_else(|| {
@@ -277,7 +324,7 @@ fn run_routing(sc: &Scenario) -> Vec<RoutingRow> {
                             sc.fault_spec(n, rng.gen()).inject_3d(&mut mesh, &[]);
                             None
                         };
-                        let mut pm = PreparedMesh3::new(&mesh, opts);
+                        let mut pm = PreparedMesh3::with_parallelism(&mesh, opts, intra);
                         (0..sc.pairs_per_seed)
                             .map(|_| {
                                 let (s, d) = legacy_pair.unwrap_or_else(|| {
@@ -364,11 +411,12 @@ fn run_overhead_2d(
              interior ({interior} nodes); fault count {n} does not fit"
         )));
     }
+    let (outer, _) = thread_split(sc);
     Ok(sc
         .fault_counts
         .iter()
         .map(|&n| {
-            let stats = parallel_seeds(sc.seed_start..sc.seed_end, |seed| {
+            let stats = parallel_seeds_with(sc.seed_start..sc.seed_end, outer, |seed| {
                 let mut mesh = Mesh2D::new(width, height);
                 // Interior faults only: the identification walks assume
                 // regions that stay off the mesh border (see DESIGN.md).
@@ -420,24 +468,26 @@ fn run_overhead_2d(
 /// anywhere in the mesh — labelling has no interior-fault assumption —
 /// so the protocol layer can be swept at the paper's full fault ramps.
 fn run_labelling(sc: &Scenario) -> Vec<LabellingRow> {
+    let (outer, intra) = thread_split(sc);
     sc.fault_counts
         .iter()
         .map(|&n| {
-            let stats: Vec<RunStats> = parallel_seeds(sc.seed_start..sc.seed_end, |seed| {
-                let spec = sc.fault_spec(n, seed ^ ((n as u64) << 24));
-                match sc.dims {
-                    MeshDims::D2 { width, height } => {
-                        let mut mesh = build_mesh_2d(sc, width, height);
-                        spec.inject_2d(&mut mesh, &[]);
-                        DistLabelling2::run(&mesh, Frame2::identity(&mesh)).stats
+            let stats: Vec<RunStats> =
+                parallel_seeds_with(sc.seed_start..sc.seed_end, outer, |seed| {
+                    let spec = sc.fault_spec(n, seed ^ ((n as u64) << 24));
+                    match sc.dims {
+                        MeshDims::D2 { width, height } => {
+                            let mut mesh = build_mesh_2d(sc, width, height);
+                            spec.inject_2d(&mut mesh, &[]);
+                            DistLabelling2::run_par(&mesh, Frame2::identity(&mesh), intra).stats
+                        }
+                        MeshDims::D3 { x, y, z } => {
+                            let mut mesh = build_mesh_3d(sc, x, y, z);
+                            spec.inject_3d(&mut mesh, &[]);
+                            DistLabelling3::run_par(&mesh, Frame3::identity(&mesh), intra).stats
+                        }
                     }
-                    MeshDims::D3 { x, y, z } => {
-                        let mut mesh = build_mesh_3d(sc, x, y, z);
-                        spec.inject_3d(&mut mesh, &[]);
-                        DistLabelling3::run(&mesh, Frame3::identity(&mesh)).stats
-                    }
-                }
-            });
+                });
             let k = stats.len() as f64;
             LabellingRow {
                 faults: n,
@@ -452,14 +502,15 @@ fn run_labelling(sc: &Scenario) -> Vec<LabellingRow> {
 
 fn run_overhead_3d(sc: &Scenario, x: i32, y: i32, z: i32) -> Vec<OverheadRow> {
     let (near, far) = (c3(0, 0, 0), c3(x - 1, y - 1, z - 1));
+    let (outer, intra) = thread_split(sc);
     sc.fault_counts
         .iter()
         .map(|&n| {
-            let stats = parallel_seeds(sc.seed_start..sc.seed_end, |seed| {
+            let stats = parallel_seeds_with(sc.seed_start..sc.seed_end, outer, |seed| {
                 let mut mesh = Mesh3D::new(x, y, z);
                 sc.fault_spec(n, seed ^ ((n as u64) << 24))
                     .inject_3d(&mut mesh, &[near, far]);
-                let lab = DistLabelling3::run(&mesh, Frame3::identity(&mesh));
+                let lab = DistLabelling3::run_par(&mesh, Frame3::identity(&mesh), intra);
                 let lab_stats = lab.stats;
                 let detect = if lab.status(near).is_safe() && lab.status(far).is_safe() {
                     let (_, st) =
@@ -600,10 +651,52 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parallel_seeds_is_ordered_and_complete() {
-        let out = parallel_seeds(5..40, |s| s * 2);
-        assert_eq!(out, (5..40).map(|s| s * 2).collect::<Vec<_>>());
-        assert!(parallel_seeds(3..3, |s| s).is_empty());
+    fn work_stealing_sweep_is_ordered_for_every_pool_size() {
+        // More workers than seeds, fewer workers than seeds, one worker
+        // (the short-circuit) and zero (clamped to one) must all produce
+        // the identical, seed-ordered vector.
+        for threads in [0, 1, 2, 3, 7, 64] {
+            let out = parallel_seeds_with(5..40, threads, |s| s * 3);
+            assert_eq!(
+                out,
+                (5..40).map(|s| s * 3).collect::<Vec<_>>(),
+                "pool of {threads}"
+            );
+        }
+        assert!(parallel_seeds_with(3..3, 4, |s| s).is_empty());
+    }
+
+    #[test]
+    fn work_stealing_sweep_handles_uneven_seed_costs() {
+        // Skewed per-seed cost (the work-stealing motivation): early seeds
+        // are ~1000x slower than late ones, so a static chunker's first
+        // chunk would dominate. Results must still come back in order.
+        let out = parallel_seeds_with(0..24, 4, |s| {
+            let spin = if s < 4 { 200_000 } else { 200 };
+            (0..spin).fold(s, |acc, _| std::hint::black_box(acc) | s)
+        });
+        assert_eq!(out, (0..24).collect::<Vec<_>>());
+    }
+
+    /// The thread budget is a pure performance knob: the same scenario run
+    /// with 1, 2 and 4 threads must produce byte-identical rows, across
+    /// both parallelism levels (seed sweep and intra-mesh kernels).
+    #[test]
+    fn table_rows_are_identical_for_every_thread_count() {
+        let routing = Scenario::routing_2d(10, &[4, 10], 6);
+        let labelling = Scenario::labelling_2d(12, &[5, 15], 4);
+        for sc in [routing, labelling] {
+            let rows: Vec<String> = [1usize, 2, 4]
+                .into_iter()
+                .map(|threads| {
+                    let mut sc = sc.clone();
+                    sc.threads = threads;
+                    format!("{:?}", run_scenario(&sc).unwrap().rows)
+                })
+                .collect();
+            assert_eq!(rows[0], rows[1], "{}: 1 vs 2 threads", sc.name);
+            assert_eq!(rows[0], rows[2], "{}: 1 vs 4 threads", sc.name);
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! router = "all"               # all | mcc | rfb | greedy (routing tables)
 //! min_dist_frac = 0.5          # min endpoint separation / largest dim
 //! pairs_per_seed = 1           # routing pairs batched per fault config
+//! threads = 0                  # worker threads (0 = all cores)
 //! ```
 //!
 //! `pairs_per_seed` (routing tables only) batches that many
@@ -208,6 +209,11 @@ pub struct Scenario {
     /// Source/destination pairs evaluated per seed against one fault
     /// configuration (routing tables only; see the module docs).
     pub pairs_per_seed: u64,
+    /// Worker-thread budget for the runner: `0` (the default) uses every
+    /// detected core, any other value caps the pool. The `MCC_THREADS`
+    /// environment variable overrides this knob at run time.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 /// Why a scenario failed to load.
@@ -458,6 +464,15 @@ impl Scenario {
                     .map_err(|_| invalid("`run.pairs_per_seed` must be non-negative"))?
             }
         };
+        let threads = match run.get("threads") {
+            None => 0,
+            Some(v) => {
+                let t = v
+                    .as_int()
+                    .ok_or_else(|| invalid("`run.threads` must be an integer"))?;
+                usize::try_from(t).map_err(|_| invalid("`run.threads` must be non-negative"))?
+            }
+        };
 
         let scenario = Scenario {
             name,
@@ -472,6 +487,7 @@ impl Scenario {
             seed_end,
             min_dist_frac,
             pairs_per_seed,
+            threads,
         };
         scenario.validate()?;
         Ok(scenario)
@@ -555,6 +571,17 @@ impl Scenario {
                  produce empty rows)",
             ));
         }
+        // `0` means "all detected cores"; anything else is a literal pool
+        // size. A four-digit cap catches unit mix-ups (e.g. a nanosecond
+        // or node count pasted into the wrong knob) before the runner
+        // tries to spawn thousands of OS threads.
+        if self.threads > 1024 {
+            return Err(invalid(format!(
+                "`run.threads` must be 0 (all cores) or a pool size up to 1024, \
+                 got {}",
+                self.threads
+            )));
+        }
         if self.table == TableKind::Routing {
             let min_dist = (self.dims.max_extent() as f64 * self.min_dist_frac).round() as u32;
             let diameter = self.dims.diameter(self.wrap);
@@ -631,6 +658,11 @@ impl Scenario {
             "pairs_per_seed".into(),
             Value::Int(self.pairs_per_seed as i64),
         );
+        // Emitted only when set: the default (0 = all cores) stays
+        // implicit so pre-existing scenario files round-trip byte-for-byte.
+        if self.threads != 0 {
+            run.insert("threads".into(), Value::Int(self.threads as i64));
+        }
         doc.sections.insert("run".into(), run);
 
         doc.render()
@@ -658,6 +690,7 @@ impl Scenario {
             seed_end: seeds,
             min_dist_frac: 0.5,
             pairs_per_seed: 1,
+            threads: 0,
         }
     }
 
@@ -820,6 +853,7 @@ mod tests {
         assert_eq!(s.router, RouterChoice::All);
         assert_eq!(s.min_dist_frac, 0.5);
         assert_eq!(s.pairs_per_seed, 1);
+        assert_eq!(s.threads, 0, "threads defaults to 0 = all cores");
     }
 
     #[test]
@@ -832,6 +866,23 @@ mod tests {
         assert_eq!(back.pairs_per_seed, 16, "pairs_per_seed must round-trip");
         assert!(Scenario::from_toml(&format!("{base}pairs_per_seed = 0\n")).is_err());
         assert!(Scenario::from_toml(&format!("{base}pairs_per_seed = -3\n")).is_err());
+    }
+
+    #[test]
+    fn threads_parses_validates_and_round_trips() {
+        let base = "name = \"d\"\ntable = \"routing\"\n[mesh]\ndims = [8, 8]\n\
+             [faults]\ncounts = [4]\n[run]\nseeds = [0, 2]\n";
+        let s = Scenario::from_toml(&format!("{base}threads = 4\n")).unwrap();
+        assert_eq!(s.threads, 4);
+        let back = Scenario::from_toml(&s.to_toml()).unwrap();
+        assert_eq!(back.threads, 4, "threads must round-trip");
+        // 0 (all cores) is the default and stays implicit in the TOML so
+        // pre-existing scenario files keep rendering byte-for-byte.
+        let default = Scenario::from_toml(base).unwrap();
+        assert_eq!(default.threads, 0);
+        assert!(!default.to_toml().contains("threads"));
+        assert!(Scenario::from_toml(&format!("{base}threads = -2\n")).is_err());
+        assert!(Scenario::from_toml(&format!("{base}threads = 5000\n")).is_err());
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod frame;
 pub mod grid;
 pub mod mesh;
 pub mod nodeset;
+pub mod par;
 pub mod path;
 pub mod region;
 
@@ -69,5 +70,6 @@ pub use frame::{Frame2, Frame3};
 pub use grid::{Grid2, Grid3};
 pub use mesh::{Mesh2D, Mesh3D};
 pub use nodeset::{NodeGrid, NodeSet, NodeSpace2, NodeSpace3};
+pub use par::{detected_cores, Parallelism};
 pub use path::{Path2, Path3};
 pub use region::{Box3, Rect};

@@ -32,6 +32,8 @@
 //! assert_eq!(coords, vec![c2(3, 4), c2(7, 7)]);
 //! ```
 
+use std::ops::Range;
+
 use crate::coord::{C2, C3};
 use crate::dir::{Dir2, Dir3};
 
@@ -859,6 +861,73 @@ impl NodeSet {
         &self.words
     }
 
+    /// Build a set over `nbits` nodes directly from its backing words —
+    /// the assembly half of word-chunk-parallel set construction: threads
+    /// fill disjoint `&mut [u64]` chunks of one `Vec` (word `w` covers
+    /// indices `64·w .. 64·w + 64`, so chunks never share a node), and this
+    /// constructor adopts the buffer, masks the tail bits above `nbits`
+    /// (restoring the all-bits-above-capacity-are-zero invariant) and
+    /// counts the members.
+    ///
+    /// # Panics
+    /// If `words.len() != nbits.div_ceil(64)`.
+    pub fn from_raw_words(nbits: usize, mut words: Vec<u64>) -> NodeSet {
+        assert_eq!(
+            words.len(),
+            nbits.div_ceil(64),
+            "word count must match the node space"
+        );
+        if !nbits.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (nbits % 64)) - 1;
+            }
+        }
+        let mut set = NodeSet {
+            nbits,
+            ones: 0,
+            words,
+        };
+        set.recount();
+        set
+    }
+
+    /// Iterate member indices in `range` in increasing order — the shard
+    /// view of the set: a contiguous index range dispatched on its own
+    /// thread sees exactly the members a full iteration would visit there,
+    /// in the same order. Only the (at most) two boundary words are
+    /// bit-masked; interior words scan at full word speed.
+    ///
+    /// # Panics
+    /// If `range.end` exceeds the capacity.
+    pub fn iter_range(&self, range: Range<usize>) -> impl Iterator<Item = usize> + '_ {
+        assert!(range.end <= self.nbits, "range end out of capacity");
+        let (lo, hi) = (range.start, range.end);
+        let first_word = lo / 64;
+        let last_word = hi.div_ceil(64);
+        self.words[first_word..last_word]
+            .iter()
+            .enumerate()
+            .flat_map(move |(k, &word)| {
+                let wi = first_word + k;
+                let mut bits = word;
+                if wi == lo / 64 {
+                    bits &= !0u64 << (lo % 64);
+                }
+                if hi % 64 != 0 && wi == hi / 64 {
+                    bits &= (1u64 << (hi % 64)) - 1;
+                }
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        None
+                    } else {
+                        let tz = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        Some(wi * 64 + tz)
+                    }
+                })
+            })
+    }
+
     fn recount(&mut self) {
         self.ones = self.words.iter().map(|w| w.count_ones() as usize).sum();
     }
@@ -953,6 +1022,48 @@ impl<T> core::ops::IndexMut<usize> for NodeGrid<T> {
 mod tests {
     use super::*;
     use crate::coord::{c2, c3};
+
+    #[test]
+    fn from_raw_words_masks_tail_and_counts() {
+        // 70 bits -> 2 words; the second word's bits above 70 - 64 = 6 must
+        // be dropped, and membership must equal an insert-built set.
+        let words = vec![0b1011u64, u64::MAX];
+        let set = NodeSet::from_raw_words(70, words);
+        let expect = NodeSet::from_indices(70, (64..70).chain([0, 1, 3]));
+        assert_eq!(set, expect);
+        assert_eq!(set.len(), 9);
+        assert!(!set.contains(63));
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_raw_words_rejects_wrong_word_count() {
+        NodeSet::from_raw_words(70, vec![0u64]);
+    }
+
+    #[test]
+    fn iter_range_matches_filtered_full_iteration() {
+        let members = [0usize, 3, 63, 64, 65, 127, 128, 199];
+        let set = NodeSet::from_indices(200, members);
+        for (lo, hi) in [(0, 200), (1, 64), (63, 65), (64, 128), (65, 65), (100, 199)] {
+            let ranged: Vec<usize> = set.iter_range(lo..hi).collect();
+            let filtered: Vec<usize> = set.iter().filter(|&i| (lo..hi).contains(&i)).collect();
+            assert_eq!(ranged, filtered, "range {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn iter_range_bands_partition_full_iteration() {
+        // Shard contract: contiguous bands concatenated in order must
+        // reproduce a full iteration exactly.
+        let set = NodeSet::from_indices(333, (0..333).filter(|i| i % 7 == 0 || i % 11 == 3));
+        let all: Vec<usize> = set.iter().collect();
+        let mut merged = Vec::new();
+        for band in crate::par::bands(333, 5) {
+            merged.extend(set.iter_range(band));
+        }
+        assert_eq!(merged, all);
+    }
 
     #[test]
     fn reset_redimensions_and_preserves_equality() {
