@@ -61,6 +61,20 @@ pub const NEIGHBORS_18: [(i32, i32, i32); 18] = [
     (0, -1, -1),
 ];
 
+/// Provenance of one component after an incremental repair
+/// ([`Components2::repair`] / [`Components3::repair`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompSource {
+    /// Fresh DFS re-discovery: membership or cell order may have changed.
+    Rebuilt,
+    /// Carried over intact from the pre-repair decomposition, where it was
+    /// component `old` (only its id can have shifted).
+    Carried {
+        /// Index of this component before the repair.
+        old: usize,
+    },
+}
+
 /// Component decomposition of the unsafe set of a 2-D labelling.
 #[derive(Clone, Debug)]
 pub struct Components2 {
@@ -127,6 +141,134 @@ impl Components2 {
             _ => None,
         }
     }
+
+    /// Incrementally repair the decomposition after a labelling repair:
+    /// `lab` is the repaired labelling and `changed` the sorted dirty
+    /// region [`Labelling2::repair`] returned. Components touched by a
+    /// membership flip — they lost a cell, or gained or became adjacent to
+    /// one — are re-discovered with [`Components2::compute`]'s exact DFS;
+    /// the rest are carried over, renumbered into the same min-cell-index
+    /// order `compute` emits. Ids, component order and per-component cell
+    /// order end up **bit-for-bit identical** to a from-scratch
+    /// `Components2::compute(lab)` (see DESIGN.md §12).
+    ///
+    /// Returns the provenance of every post-repair component — the input
+    /// MCC repair needs to decide which shapes to re-extract.
+    pub fn repair(&mut self, lab: &Labelling2, changed: &[usize]) -> Vec<CompSource> {
+        let space = self.space;
+        let unsafe_set = lab.unsafe_set();
+        let id = &mut self.id;
+        let cells = &mut self.cells;
+        let mut affected: Vec<u32> = Vec::new();
+        let mut added: Vec<usize> = Vec::new();
+        for &i in changed {
+            let now = unsafe_set.contains(i);
+            let was = id[i] != NO_COMPONENT;
+            if now && !was {
+                added.push(i);
+                space.for_neighbors8(i, |v| {
+                    if id[v] != NO_COMPONENT {
+                        affected.push(id[v]);
+                    }
+                });
+            } else if !now && was {
+                affected.push(id[i]);
+            }
+        }
+        if added.is_empty() && affected.is_empty() {
+            return (0..cells.len())
+                .map(|old| CompSource::Carried { old })
+                .collect();
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        // Clear the affected components and collect the rebuild seeds:
+        // their still-unsafe cells plus the newly unsafe nodes, ascending.
+        let mut seeds = added;
+        for &a in &affected {
+            for &c in &cells[a as usize] {
+                let i = space.index(c);
+                id[i] = NO_COMPONENT;
+                if unsafe_set.contains(i) {
+                    seeds.push(i);
+                }
+            }
+        }
+        seeds.sort_unstable();
+        seeds.dedup();
+        // Re-discover inside the cleared region with compute()'s DFS. A
+        // surviving component is never adjacent to the region: any bridge
+        // runs through an added node, whose neighbor components were all
+        // marked affected above — so the `id[v] == NO_COMPONENT` guard
+        // confines the walk exactly as in a full compute.
+        let mut rebuilt: Vec<Vec<C2>> = Vec::new();
+        let mut queue: Vec<usize> = Vec::new();
+        for &start in &seeds {
+            if id[start] != NO_COMPONENT {
+                continue;
+            }
+            let mark = (cells.len() + rebuilt.len()) as u32;
+            let mut comp_cells = Vec::new();
+            queue.clear();
+            queue.push(start);
+            id[start] = mark;
+            while let Some(u) = queue.pop() {
+                comp_cells.push(space.coord(u));
+                space.for_neighbors8(u, |v| {
+                    if unsafe_set.contains(v) && id[v] == NO_COMPONENT {
+                        id[v] = mark;
+                        queue.push(v);
+                    }
+                });
+            }
+            rebuilt.push(comp_cells);
+        }
+        // Merge survivors and rebuilds in min-cell-index order — the order
+        // compute() discovers components in (each seed above, like each
+        // compute() seed, is its component's smallest index) — rewriting
+        // ids only where they differ from the pre-repair value.
+        let mut affected_mask = vec![false; cells.len()];
+        for &a in &affected {
+            affected_mask[a as usize] = true;
+        }
+        let survivors: Vec<(usize, Vec<C2>)> = std::mem::take(cells)
+            .into_iter()
+            .enumerate()
+            .filter(|&(o, _)| !affected_mask[o])
+            .collect();
+        let mut out: Vec<Vec<C2>> = Vec::with_capacity(survivors.len() + rebuilt.len());
+        let mut sources: Vec<CompSource> = Vec::with_capacity(survivors.len() + rebuilt.len());
+        let mut sv = survivors.into_iter().peekable();
+        let mut rb = rebuilt.into_iter().peekable();
+        loop {
+            let take_survivor = match (sv.peek(), rb.peek()) {
+                (Some((_, sc)), Some(rc)) => space.index(sc[0]) < space.index(rc[0]),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let new_id = out.len() as u32;
+            if take_survivor {
+                let (old, comp_cells) = sv.next().expect("peeked");
+                if old as u32 != new_id {
+                    for &c in &comp_cells {
+                        id[space.index(c)] = new_id;
+                    }
+                }
+                sources.push(CompSource::Carried { old });
+                out.push(comp_cells);
+            } else {
+                let comp_cells = rb.next().expect("peeked");
+                for &c in &comp_cells {
+                    id[space.index(c)] = new_id;
+                }
+                sources.push(CompSource::Rebuilt);
+                out.push(comp_cells);
+            }
+        }
+        *cells = out;
+        sources
+    }
 }
 
 impl Components3 {
@@ -176,6 +318,115 @@ impl Components3 {
             Some(i) if i != NO_COMPONENT => Some(i),
             _ => None,
         }
+    }
+
+    /// Incrementally repair the decomposition — the 3-D twin of
+    /// [`Components2::repair`], over 18-connectivity. Same contract:
+    /// bit-for-bit identical to `Components3::compute(lab)`, returns the
+    /// per-component provenance.
+    pub fn repair(&mut self, lab: &Labelling3, changed: &[usize]) -> Vec<CompSource> {
+        let space = self.space;
+        let unsafe_set = lab.unsafe_set();
+        let id = &mut self.id;
+        let cells = &mut self.cells;
+        let mut affected: Vec<u32> = Vec::new();
+        let mut added: Vec<usize> = Vec::new();
+        for &i in changed {
+            let now = unsafe_set.contains(i);
+            let was = id[i] != NO_COMPONENT;
+            if now && !was {
+                added.push(i);
+                space.for_neighbors18(i, |v| {
+                    if id[v] != NO_COMPONENT {
+                        affected.push(id[v]);
+                    }
+                });
+            } else if !now && was {
+                affected.push(id[i]);
+            }
+        }
+        if added.is_empty() && affected.is_empty() {
+            return (0..cells.len())
+                .map(|old| CompSource::Carried { old })
+                .collect();
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        let mut seeds = added;
+        for &a in &affected {
+            for &c in &cells[a as usize] {
+                let i = space.index(c);
+                id[i] = NO_COMPONENT;
+                if unsafe_set.contains(i) {
+                    seeds.push(i);
+                }
+            }
+        }
+        seeds.sort_unstable();
+        seeds.dedup();
+        let mut rebuilt: Vec<Vec<C3>> = Vec::new();
+        let mut queue: Vec<usize> = Vec::new();
+        for &start in &seeds {
+            if id[start] != NO_COMPONENT {
+                continue;
+            }
+            let mark = (cells.len() + rebuilt.len()) as u32;
+            let mut comp_cells = Vec::new();
+            queue.clear();
+            queue.push(start);
+            id[start] = mark;
+            while let Some(u) = queue.pop() {
+                comp_cells.push(space.coord(u));
+                space.for_neighbors18(u, |v| {
+                    if unsafe_set.contains(v) && id[v] == NO_COMPONENT {
+                        id[v] = mark;
+                        queue.push(v);
+                    }
+                });
+            }
+            rebuilt.push(comp_cells);
+        }
+        let mut affected_mask = vec![false; cells.len()];
+        for &a in &affected {
+            affected_mask[a as usize] = true;
+        }
+        let survivors: Vec<(usize, Vec<C3>)> = std::mem::take(cells)
+            .into_iter()
+            .enumerate()
+            .filter(|&(o, _)| !affected_mask[o])
+            .collect();
+        let mut out: Vec<Vec<C3>> = Vec::with_capacity(survivors.len() + rebuilt.len());
+        let mut sources: Vec<CompSource> = Vec::with_capacity(survivors.len() + rebuilt.len());
+        let mut sv = survivors.into_iter().peekable();
+        let mut rb = rebuilt.into_iter().peekable();
+        loop {
+            let take_survivor = match (sv.peek(), rb.peek()) {
+                (Some((_, sc)), Some(rc)) => space.index(sc[0]) < space.index(rc[0]),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let new_id = out.len() as u32;
+            if take_survivor {
+                let (old, comp_cells) = sv.next().expect("peeked");
+                if old as u32 != new_id {
+                    for &c in &comp_cells {
+                        id[space.index(c)] = new_id;
+                    }
+                }
+                sources.push(CompSource::Carried { old });
+                out.push(comp_cells);
+            } else {
+                let comp_cells = rb.next().expect("peeked");
+                for &c in &comp_cells {
+                    id[space.index(c)] = new_id;
+                }
+                sources.push(CompSource::Rebuilt);
+                out.push(comp_cells);
+            }
+        }
+        *cells = out;
+        sources
     }
 }
 
@@ -259,5 +510,155 @@ mod tests {
         let mesh = Mesh3D::kary(4);
         let lab = Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
         assert!(Components3::compute(&lab).is_empty());
+    }
+
+    use mesh_topo::Parallelism;
+
+    fn churn_and_repair(
+        mesh: &mut Mesh2D,
+        lab: &mut Labelling2,
+        comps: &mut Components2,
+        injected: &[C2],
+        healed: &[C2],
+    ) -> Vec<CompSource> {
+        for &c in injected {
+            assert!(mesh.inject_fault(c));
+        }
+        for &c in healed {
+            assert!(mesh.heal_fault(c));
+        }
+        let changed = lab.repair(injected, healed, Parallelism::SEQ);
+        comps.repair(lab, &changed)
+    }
+
+    fn assert_comps_match(lab: &Labelling2, comps: &Components2) {
+        let fresh = Components2::compute(lab);
+        assert_eq!(comps.cells, fresh.cells, "cells/order diverged");
+        assert_eq!(comps.id, fresh.id, "id grid diverged");
+    }
+
+    #[test]
+    fn component_split_then_remerge_tracks_compute() {
+        // A 3-cell bar at y=4: healing the middle cell splits the region in
+        // two; re-injecting it merges them back. Ids, component order and
+        // cell order must track a from-scratch compute at every step.
+        let mut mesh = Mesh2D::new(12, 12);
+        for c in [c2(3, 4), c2(4, 4), c2(5, 4), c2(9, 9)] {
+            mesh.inject_fault(c);
+        }
+        let mut lab = Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+        let mut comps = Components2::compute(&lab);
+        assert_eq!(comps.len(), 2);
+
+        let sources = churn_and_repair(&mut mesh, &mut lab, &mut comps, &[], &[c2(4, 4)]);
+        assert_eq!(comps.len(), 3, "split must produce two bar components");
+        assert_comps_match(&lab, &comps);
+        // The far (9,9) singleton survived the split untouched.
+        assert!(sources.contains(&CompSource::Carried { old: 1 }));
+
+        let sources = churn_and_repair(&mut mesh, &mut lab, &mut comps, &[c2(4, 4)], &[]);
+        assert_eq!(comps.len(), 2, "re-injection must remerge the bars");
+        assert_comps_match(&lab, &comps);
+        assert_eq!(
+            sources,
+            vec![CompSource::Rebuilt, CompSource::Carried { old: 2 }]
+        );
+    }
+
+    #[test]
+    fn repair_matches_compute_on_random_churn() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for torus in [false, true] {
+            let (w, h) = (11, 8);
+            let mut mesh = if torus {
+                Mesh2D::torus(w, h)
+            } else {
+                Mesh2D::new(w, h)
+            };
+            let mut rng = SmallRng::seed_from_u64(29 + torus as u64);
+            for _ in 0..14 {
+                mesh.inject_fault(c2(rng.gen_range(0..w), rng.gen_range(0..h)));
+            }
+            let mut lab =
+                Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+            let mut comps = Components2::compute(&lab);
+            for _ in 0..40 {
+                let mut injected = Vec::new();
+                let mut healed = Vec::new();
+                for _ in 0..rng.gen_range(0..3) {
+                    let c = c2(rng.gen_range(0..w), rng.gen_range(0..h));
+                    if mesh.is_healthy(c) && !injected.contains(&c) {
+                        injected.push(c);
+                    }
+                }
+                let faults = mesh.faults().to_vec();
+                for _ in 0..rng.gen_range(0..3) {
+                    let c = faults[rng.gen_range(0..faults.len())];
+                    if !healed.contains(&c) {
+                        healed.push(c);
+                    }
+                }
+                churn_and_repair(&mut mesh, &mut lab, &mut comps, &injected, &healed);
+                assert_comps_match(&lab, &comps);
+            }
+        }
+    }
+
+    #[test]
+    fn repair_matches_compute_on_random_churn_3d() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for torus in [false, true] {
+            let k = 6;
+            let mut mesh = if torus {
+                Mesh3D::torus_kary(k)
+            } else {
+                Mesh3D::kary(k)
+            };
+            let mut rng = SmallRng::seed_from_u64(53 + torus as u64);
+            for _ in 0..18 {
+                mesh.inject_fault(c3(
+                    rng.gen_range(0..k),
+                    rng.gen_range(0..k),
+                    rng.gen_range(0..k),
+                ));
+            }
+            let mut lab =
+                Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
+            let mut comps = Components3::compute(&lab);
+            for _ in 0..25 {
+                let mut injected = Vec::new();
+                let mut healed = Vec::new();
+                for _ in 0..rng.gen_range(0..3) {
+                    let c = c3(
+                        rng.gen_range(0..k),
+                        rng.gen_range(0..k),
+                        rng.gen_range(0..k),
+                    );
+                    if mesh.is_healthy(c) && !injected.contains(&c) {
+                        injected.push(c);
+                    }
+                }
+                let faults = mesh.faults().to_vec();
+                for _ in 0..rng.gen_range(0..3) {
+                    let c = faults[rng.gen_range(0..faults.len())];
+                    if !healed.contains(&c) {
+                        healed.push(c);
+                    }
+                }
+                for &c in &injected {
+                    assert!(mesh.inject_fault(c));
+                }
+                for &c in &healed {
+                    assert!(mesh.heal_fault(c));
+                }
+                let changed = lab.repair(&injected, &healed, Parallelism::SEQ);
+                comps.repair(&lab, &changed);
+                let fresh = Components3::compute(&lab);
+                assert_eq!(comps.cells, fresh.cells);
+                assert_eq!(comps.id, fresh.id);
+            }
+        }
     }
 }

@@ -1,0 +1,726 @@
+//! Incrementally maintained model caches under fault churn.
+//!
+//! [`ModelCache2`](crate::ModelCache2) memoizes the models of one *frozen*
+//! fault configuration — it borrows the mesh, so any churn forces the caller
+//! to throw the whole cache away. [`IncrementalModels2`] /
+//! [`IncrementalModels3`] instead **own** their mesh and keep the full model
+//! stack alive across batched fault injections and heals:
+//!
+//! * the labelling of each orientation is patched in place by
+//!   [`Labelling2::repair`] (dirty-region worklist or bulk re-sweep),
+//! * the component decomposition by [`Components2::repair`] (localized
+//!   merge/split with carried-component provenance),
+//! * the MCC shapes by [`MccSet2::repair`] (only rebuilt or status-touched
+//!   components are re-extracted),
+//! * the orientation-free block model is invalidated wholesale and lazily
+//!   recomputed — it is cheap relative to the labelling family and has no
+//!   per-orientation structure to exploit.
+//!
+//! Synchronization is **per orientation slot and lazy**: [`apply`] only
+//! records the delta in a generation log; a slot replays the log entries it
+//! has not seen the next time [`models`] asks for its orientation. A heal
+//! whose effect never reaches a slot's orientation still replays there, but
+//! the replay touches only the perturbation's closure cone — update cost
+//! scales with the batch, not the mesh (`BENCH_churn.json`). The log is
+//! compacted once every live slot has advanced past an entry, and a slot
+//! left behind by more than [`LOG_CAP`] generations is dropped and rebuilt
+//! from scratch on next use, bounding both memory and replay time.
+//!
+//! Every repaired model is **bit-for-bit equal** to recomputing from
+//! scratch on the churned mesh — statuses, unsafe sets, component ids and
+//! cell order, MCC shapes, and therefore every routing decision made on
+//! top. The equivalence battery in `tests/churn_equiv.rs` pins this after
+//! every step of random inject/heal traces (DESIGN.md §12).
+//!
+//! [`apply`]: IncrementalModels2::apply
+//! [`models`]: IncrementalModels2::models
+//!
+//! # Examples
+//!
+//! ```
+//! use fault_model::incremental::IncrementalModels2;
+//! use fault_model::BorderPolicy;
+//! use mesh_topo::coord::c2;
+//! use mesh_topo::{Frame2, Mesh2D};
+//!
+//! let mut mesh = Mesh2D::new(8, 8);
+//! mesh.inject_fault(c2(4, 4));
+//! let mut inc = IncrementalModels2::new(mesh, BorderPolicy::BorderSafe);
+//!
+//! let frame = Frame2::identity(inc.mesh());
+//! assert_eq!(inc.models(frame).mccs.len(), 1);
+//!
+//! // Churn: one heal, one injection — models are patched, not rebuilt.
+//! inc.apply(&[c2(2, 2)], &[c2(4, 4)]);
+//! let m = inc.models(frame);
+//! assert!(m.lab.is_safe(c2(4, 4)));
+//! assert_eq!(m.mccs.len(), 1);
+//! ```
+
+use mesh_topo::{Frame2, Frame3, Mesh2D, Mesh3D, NodeSet, Parallelism, C2, C3};
+
+use crate::components::{Components2, Components3};
+use crate::mcc2::MccSet2;
+use crate::mcc3::MccSet3;
+use crate::rfb2::FaultBlocks2;
+use crate::rfb3::FaultBlocks3;
+use crate::status::BorderPolicy;
+use crate::{Labelling2, Labelling3};
+
+/// Maximum number of generations a slot may lag behind before it is
+/// dropped and rebuilt from scratch instead of replayed. Also bounds the
+/// retained delta log.
+pub const LOG_CAP: u64 = 32;
+
+/// One recorded churn batch.
+#[derive(Clone, Debug)]
+struct LogEntry<C> {
+    /// The generation this batch produced.
+    gen: u64,
+    injected: Vec<C>,
+    healed: Vec<C>,
+}
+
+/// The incrementally maintained models of one orientation.
+#[derive(Clone, Debug)]
+struct IncSlot2 {
+    /// Generation the models below reflect.
+    synced: u64,
+    lab: Labelling2,
+    comps: Components2,
+    mccs: MccSet2,
+}
+
+/// Borrowed views of one orientation's incrementally maintained models.
+#[derive(Clone, Copy, Debug)]
+pub struct IncModelsRef2<'a> {
+    /// The labelling of the requested orientation.
+    pub lab: &'a Labelling2,
+    /// Its component decomposition.
+    pub comps: &'a Components2,
+    /// Its MCC shapes.
+    pub mccs: &'a MccSet2,
+}
+
+/// Owned, churn-capable model cache over a 2-D mesh (see the module docs).
+#[derive(Clone, Debug)]
+pub struct IncrementalModels2 {
+    mesh: Mesh2D,
+    border: BorderPolicy,
+    parallelism: Parallelism,
+    /// Bumped by every [`IncrementalModels2::apply`].
+    generation: u64,
+    /// Churn batches not yet replayed by every live slot, ascending `gen`.
+    log: Vec<LogEntry<C2>>,
+    slots: [Option<IncSlot2>; 4],
+    blocks: Option<FaultBlocks2>,
+    /// Generation `blocks` reflects (meaningless while `blocks` is `None`).
+    blocks_synced: u64,
+    /// Total statuses changed by slot replays — the incremental work done.
+    repaired_statuses: usize,
+}
+
+impl IncrementalModels2 {
+    /// Take ownership of `mesh`; nothing is computed until requested.
+    pub fn new(mesh: Mesh2D, border: BorderPolicy) -> IncrementalModels2 {
+        IncrementalModels2::with_parallelism(mesh, border, Parallelism::SEQ)
+    }
+
+    /// Like [`IncrementalModels2::new`] with a thread budget for the
+    /// labelling computations and bulk repairs (repaired models are
+    /// bit-for-bit independent of the budget).
+    pub fn with_parallelism(
+        mesh: Mesh2D,
+        border: BorderPolicy,
+        parallelism: Parallelism,
+    ) -> IncrementalModels2 {
+        IncrementalModels2 {
+            mesh,
+            border,
+            parallelism,
+            generation: 0,
+            log: Vec::new(),
+            slots: [None, None, None, None],
+            blocks: None,
+            blocks_synced: 0,
+            repaired_statuses: 0,
+        }
+    }
+
+    /// The current (churned) mesh.
+    pub fn mesh(&self) -> &Mesh2D {
+        &self.mesh
+    }
+
+    /// The border policy every maintained labelling uses.
+    pub fn border(&self) -> BorderPolicy {
+        self.border
+    }
+
+    /// Number of churn batches applied so far.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Total node statuses changed across all slot replays — grows with the
+    /// perturbation sizes, not with mesh size or churn count.
+    pub fn statuses_repaired(&self) -> usize {
+        self.repaired_statuses
+    }
+
+    /// True if the slot holding `frame`'s orientation exists and already
+    /// reflects the current generation (a [`models`] call would neither
+    /// rebuild nor replay).
+    ///
+    /// [`models`]: IncrementalModels2::models
+    pub fn slot_current(&self, frame: Frame2) -> bool {
+        matches!(
+            &self.slots[frame.index()],
+            Some(sl) if sl.lab.frame() == frame && sl.synced == self.generation
+        )
+    }
+
+    /// True if the block model exists and reflects the current generation.
+    pub fn blocks_current(&self) -> bool {
+        self.blocks.is_some() && self.blocks_synced == self.generation
+    }
+
+    /// Apply one churn batch: inject every fault in `injected`, heal every
+    /// fault in `healed`, and record the delta for lazy slot replay.
+    ///
+    /// The two sets must be disjoint, `injected` all healthy and `healed`
+    /// all faulty — batches are *deltas*, not wishes; an overlapping or
+    /// already-satisfied entry is a caller bug and panics.
+    pub fn apply(&mut self, injected: &[C2], healed: &[C2]) {
+        let space = self.mesh.space();
+        let mut inj = NodeSet::new(space.len());
+        for &c in injected {
+            inj.insert(space.index(c));
+        }
+        let mut heal = NodeSet::new(space.len());
+        for &c in healed {
+            heal.insert(space.index(c));
+        }
+        assert_eq!(inj.len(), injected.len(), "duplicate injected node");
+        assert_eq!(heal.len(), healed.len(), "duplicate healed node");
+        assert!(inj.is_disjoint(&heal), "inject/heal sets overlap");
+        assert!(
+            inj.is_disjoint(self.mesh.fault_set()),
+            "injected node already faulty"
+        );
+        assert_eq!(
+            heal.difference_iter(self.mesh.fault_set()).count(),
+            0,
+            "healed node not faulty"
+        );
+        let flipped = self.mesh.inject_fault_set(&inj) + self.mesh.heal_fault_set(&heal);
+        debug_assert_eq!(flipped, injected.len() + healed.len());
+        self.generation += 1;
+        self.log.push(LogEntry {
+            gen: self.generation,
+            injected: injected.to_vec(),
+            healed: healed.to_vec(),
+        });
+        self.compact();
+    }
+
+    /// Drop slots too stale to replay and log entries every live slot has
+    /// already consumed.
+    fn compact(&mut self) {
+        let cutoff = self.generation.saturating_sub(LOG_CAP);
+        for slot in &mut self.slots {
+            if matches!(slot, Some(sl) if sl.synced < cutoff) {
+                *slot = None;
+            }
+        }
+        let keep_after = self
+            .slots
+            .iter()
+            .flatten()
+            .map(|sl| sl.synced)
+            .min()
+            .unwrap_or(self.generation);
+        self.log.retain(|e| e.gen > keep_after);
+    }
+
+    /// Fetch the maintained models for `frame`'s orientation, bringing its
+    /// slot up to the current generation first: an empty (or, on a torus,
+    /// differently-rotated) slot is built from scratch; a lagging slot
+    /// replays only the churn batches it has not seen, repairing labelling,
+    /// components and MCCs in place.
+    pub fn models(&mut self, frame: Frame2) -> IncModelsRef2<'_> {
+        let idx = frame.index();
+        let rebuild = !matches!(&self.slots[idx], Some(sl) if sl.lab.frame() == frame);
+        if rebuild {
+            let lab = Labelling2::compute_par(&self.mesh, frame, self.border, self.parallelism);
+            let comps = Components2::compute(&lab);
+            let mccs = MccSet2::compute(&lab);
+            self.slots[idx] = Some(IncSlot2 {
+                synced: self.generation,
+                lab,
+                comps,
+                mccs,
+            });
+        }
+        let slot = self.slots[idx].as_mut().expect("just filled");
+        if slot.synced < self.generation {
+            for e in self.log.iter().filter(|e| e.gen > slot.synced) {
+                let changed = slot.lab.repair(&e.injected, &e.healed, self.parallelism);
+                let sources = slot.comps.repair(&slot.lab, &changed);
+                slot.mccs.repair(&slot.lab, &slot.comps, &sources, &changed);
+                self.repaired_statuses += changed.len();
+            }
+            slot.synced = self.generation;
+        }
+        let slot = self.slots[idx].as_ref().expect("just filled");
+        IncModelsRef2 {
+            lab: &slot.lab,
+            comps: &slot.comps,
+            mccs: &slot.mccs,
+        }
+    }
+
+    /// The orientation-free block model of the current mesh, recomputed
+    /// lazily after churn (any applied batch invalidates it wholesale).
+    pub fn blocks(&mut self) -> &FaultBlocks2 {
+        if !self.blocks_current() {
+            self.blocks = Some(FaultBlocks2::compute(&self.mesh));
+            self.blocks_synced = self.generation;
+        }
+        self.blocks.as_ref().expect("just filled")
+    }
+}
+
+/// The incrementally maintained models of one 3-D orientation.
+#[derive(Clone, Debug)]
+struct IncSlot3 {
+    synced: u64,
+    lab: Labelling3,
+    comps: Components3,
+    mccs: MccSet3,
+}
+
+/// Borrowed views of one 3-D orientation's models (see [`IncModelsRef2`]).
+#[derive(Clone, Copy, Debug)]
+pub struct IncModelsRef3<'a> {
+    /// The labelling of the requested orientation.
+    pub lab: &'a Labelling3,
+    /// Its component decomposition.
+    pub comps: &'a Components3,
+    /// Its MCC shapes.
+    pub mccs: &'a MccSet3,
+}
+
+/// Owned, churn-capable model cache over a 3-D mesh — the twin of
+/// [`IncrementalModels2`] with eight orientation slots.
+#[derive(Clone, Debug)]
+pub struct IncrementalModels3 {
+    mesh: Mesh3D,
+    border: BorderPolicy,
+    parallelism: Parallelism,
+    generation: u64,
+    log: Vec<LogEntry<C3>>,
+    slots: [Option<IncSlot3>; 8],
+    blocks: Option<FaultBlocks3>,
+    blocks_synced: u64,
+    repaired_statuses: usize,
+}
+
+impl IncrementalModels3 {
+    /// Take ownership of `mesh`; nothing is computed until requested.
+    pub fn new(mesh: Mesh3D, border: BorderPolicy) -> IncrementalModels3 {
+        IncrementalModels3::with_parallelism(mesh, border, Parallelism::SEQ)
+    }
+
+    /// Like [`IncrementalModels3::new`] with a thread budget (repaired
+    /// models are bit-for-bit independent of the budget).
+    pub fn with_parallelism(
+        mesh: Mesh3D,
+        border: BorderPolicy,
+        parallelism: Parallelism,
+    ) -> IncrementalModels3 {
+        IncrementalModels3 {
+            mesh,
+            border,
+            parallelism,
+            generation: 0,
+            log: Vec::new(),
+            slots: [None, None, None, None, None, None, None, None],
+            blocks: None,
+            blocks_synced: 0,
+            repaired_statuses: 0,
+        }
+    }
+
+    /// The current (churned) mesh.
+    pub fn mesh(&self) -> &Mesh3D {
+        &self.mesh
+    }
+
+    /// The border policy every maintained labelling uses.
+    pub fn border(&self) -> BorderPolicy {
+        self.border
+    }
+
+    /// Number of churn batches applied so far.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Total node statuses changed across all slot replays.
+    pub fn statuses_repaired(&self) -> usize {
+        self.repaired_statuses
+    }
+
+    /// True if `frame`'s slot exists and reflects the current generation.
+    pub fn slot_current(&self, frame: Frame3) -> bool {
+        matches!(
+            &self.slots[frame.index()],
+            Some(sl) if sl.lab.frame() == frame && sl.synced == self.generation
+        )
+    }
+
+    /// True if the block model exists and reflects the current generation.
+    pub fn blocks_current(&self) -> bool {
+        self.blocks.is_some() && self.blocks_synced == self.generation
+    }
+
+    /// Apply one churn batch (see [`IncrementalModels2::apply`]).
+    pub fn apply(&mut self, injected: &[C3], healed: &[C3]) {
+        let space = self.mesh.space();
+        let mut inj = NodeSet::new(space.len());
+        for &c in injected {
+            inj.insert(space.index(c));
+        }
+        let mut heal = NodeSet::new(space.len());
+        for &c in healed {
+            heal.insert(space.index(c));
+        }
+        assert_eq!(inj.len(), injected.len(), "duplicate injected node");
+        assert_eq!(heal.len(), healed.len(), "duplicate healed node");
+        assert!(inj.is_disjoint(&heal), "inject/heal sets overlap");
+        assert!(
+            inj.is_disjoint(self.mesh.fault_set()),
+            "injected node already faulty"
+        );
+        assert_eq!(
+            heal.difference_iter(self.mesh.fault_set()).count(),
+            0,
+            "healed node not faulty"
+        );
+        let flipped = self.mesh.inject_fault_set(&inj) + self.mesh.heal_fault_set(&heal);
+        debug_assert_eq!(flipped, injected.len() + healed.len());
+        self.generation += 1;
+        self.log.push(LogEntry {
+            gen: self.generation,
+            injected: injected.to_vec(),
+            healed: healed.to_vec(),
+        });
+        self.compact();
+    }
+
+    fn compact(&mut self) {
+        let cutoff = self.generation.saturating_sub(LOG_CAP);
+        for slot in &mut self.slots {
+            if matches!(slot, Some(sl) if sl.synced < cutoff) {
+                *slot = None;
+            }
+        }
+        let keep_after = self
+            .slots
+            .iter()
+            .flatten()
+            .map(|sl| sl.synced)
+            .min()
+            .unwrap_or(self.generation);
+        self.log.retain(|e| e.gen > keep_after);
+    }
+
+    /// Fetch the maintained models for `frame`'s orientation (see
+    /// [`IncrementalModels2::models`]).
+    pub fn models(&mut self, frame: Frame3) -> IncModelsRef3<'_> {
+        let idx = frame.index();
+        let rebuild = !matches!(&self.slots[idx], Some(sl) if sl.lab.frame() == frame);
+        if rebuild {
+            let lab = Labelling3::compute_par(&self.mesh, frame, self.border, self.parallelism);
+            let comps = Components3::compute(&lab);
+            let mccs = MccSet3::compute(&lab);
+            self.slots[idx] = Some(IncSlot3 {
+                synced: self.generation,
+                lab,
+                comps,
+                mccs,
+            });
+        }
+        let slot = self.slots[idx].as_mut().expect("just filled");
+        if slot.synced < self.generation {
+            for e in self.log.iter().filter(|e| e.gen > slot.synced) {
+                let changed = slot.lab.repair(&e.injected, &e.healed, self.parallelism);
+                let sources = slot.comps.repair(&slot.lab, &changed);
+                slot.mccs.repair(&slot.lab, &slot.comps, &sources, &changed);
+                self.repaired_statuses += changed.len();
+            }
+            slot.synced = self.generation;
+        }
+        let slot = self.slots[idx].as_ref().expect("just filled");
+        IncModelsRef3 {
+            lab: &slot.lab,
+            comps: &slot.comps,
+            mccs: &slot.mccs,
+        }
+    }
+
+    /// The orientation-free block model of the current mesh, recomputed
+    /// lazily after churn.
+    pub fn blocks(&mut self) -> &FaultBlocks3 {
+        if !self.blocks_current() {
+            self.blocks = Some(FaultBlocks3::compute(&self.mesh));
+            self.blocks_synced = self.generation;
+        }
+        self.blocks.as_ref().expect("just filled")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_topo::coord::{c2, c3};
+
+    fn assert_slot_matches_fresh(inc: &mut IncrementalModels2, frame: Frame2) {
+        let mesh = inc.mesh().clone();
+        let border = inc.border();
+        let m = inc.models(frame);
+        let lab = Labelling2::compute(&mesh, frame, border);
+        for ((c, a), (_, b)) in m.lab.iter().zip(lab.iter()) {
+            assert_eq!(a, b, "status diverged at {c} for {frame:?}");
+        }
+        assert_eq!(m.lab.unsafe_set(), lab.unsafe_set());
+        let comps = Components2::compute(&lab);
+        assert_eq!(m.comps.cells, comps.cells);
+        let mccs = MccSet2::compute(&lab);
+        assert_eq!(m.mccs.mccs, mccs.mccs);
+    }
+
+    #[test]
+    fn maintained_models_match_fresh_across_churn_and_orientations() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let (w, h) = (10, 9);
+        let mut mesh = Mesh2D::new(w, h);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10 {
+            mesh.inject_fault(c2(rng.gen_range(0..w), rng.gen_range(0..h)));
+        }
+        let mut inc = IncrementalModels2::new(mesh, BorderPolicy::BorderSafe);
+        let frames = Frame2::all(inc.mesh());
+        for step in 0..20 {
+            let mut injected = Vec::new();
+            let mut healed = Vec::new();
+            for _ in 0..rng.gen_range(0..3) {
+                let c = c2(rng.gen_range(0..w), rng.gen_range(0..h));
+                if inc.mesh().is_healthy(c) && !injected.contains(&c) {
+                    injected.push(c);
+                }
+            }
+            let faults = inc.mesh().faults().to_vec();
+            if !faults.is_empty() {
+                for _ in 0..rng.gen_range(0..3) {
+                    let c = faults[rng.gen_range(0..faults.len())];
+                    if !healed.contains(&c) {
+                        healed.push(c);
+                    }
+                }
+            }
+            inc.apply(&injected, &healed);
+            // Interleave sync patterns: some steps sync every orientation,
+            // some only one, so slots lag by varying amounts.
+            for &frame in frames.iter().take(if step % 3 == 0 { 4 } else { 1 }) {
+                assert_slot_matches_fresh(&mut inc, frame);
+            }
+        }
+        for frame in frames {
+            assert_slot_matches_fresh(&mut inc, frame);
+        }
+        assert!(inc.statuses_repaired() > 0, "replays must have done work");
+    }
+
+    #[test]
+    fn churn_flips_a_slot_from_valid_to_stale() {
+        let mut mesh = Mesh2D::new(8, 8);
+        mesh.inject_fault(c2(3, 3));
+        let mut inc = IncrementalModels2::new(mesh, BorderPolicy::BorderSafe);
+        let frame = Frame2::identity(inc.mesh());
+        assert!(!inc.slot_current(frame), "nothing computed yet");
+        inc.models(frame);
+        assert!(inc.slot_current(frame));
+        // A heal far outside the cached labelling's unsafe region still
+        // invalidates the slot — staleness is generation-based, and the
+        // replay (not the validity test) is what localizes the work.
+        inc.apply(&[], &[c2(3, 3)]);
+        assert!(!inc.slot_current(frame), "churn must stale the slot");
+        inc.models(frame);
+        assert!(inc.slot_current(frame), "models() re-syncs the slot");
+    }
+
+    #[test]
+    fn heal_that_ungrounds_a_fault_block_forces_block_recompute() {
+        // Two fault pairs close enough for the rectangle closure to disable
+        // the healthy nodes between them; healing one fault shrinks the
+        // block and must re-enable them.
+        let mut mesh = Mesh2D::new(10, 10);
+        for c in [c2(4, 4), c2(4, 6), c2(5, 5)] {
+            mesh.inject_fault(c);
+        }
+        let mut inc = IncrementalModels2::new(mesh, BorderPolicy::BorderSafe);
+        assert!(!inc.blocks_current());
+        assert!(inc.blocks().is_disabled(c2(4, 5)), "interior is blocked");
+        assert!(inc.blocks_current());
+        inc.apply(&[], &[c2(4, 4)]);
+        assert!(!inc.blocks_current(), "churn must stale the block model");
+        let fresh = FaultBlocks2::compute(inc.mesh());
+        let blocks = inc.blocks();
+        assert_eq!(blocks.sacrificed_count(), fresh.sacrificed_count());
+        assert_eq!(blocks.blocks, fresh.blocks);
+        assert!(
+            !blocks.is_disabled(c2(4, 4)),
+            "healed node must leave the block"
+        );
+    }
+
+    #[test]
+    fn lagging_slot_is_dropped_and_rebuilt_after_log_cap() {
+        let mut mesh = Mesh2D::new(9, 9);
+        mesh.inject_fault(c2(4, 4));
+        let mut inc = IncrementalModels2::new(mesh, BorderPolicy::BorderSafe);
+        let frames = Frame2::all(inc.mesh());
+        inc.models(frames[0]);
+        inc.models(frames[1]);
+        // Churn far past LOG_CAP, keeping only frames[0] in sync.
+        for i in 0..(LOG_CAP + 10) {
+            let c = c2((i % 7) as i32, (i / 7 % 7) as i32 + 1);
+            if inc.mesh().is_healthy(c) {
+                inc.apply(&[c], &[]);
+            } else {
+                inc.apply(&[], &[c]);
+            }
+            inc.models(frames[0]);
+        }
+        assert!(
+            inc.log.len() <= LOG_CAP as usize + 1,
+            "log must stay bounded, got {}",
+            inc.log.len()
+        );
+        assert!(inc.slots[frames[1].index()].is_none(), "stale slot dropped");
+        // The rebuilt slot still matches a from-scratch computation.
+        assert_slot_matches_fresh(&mut inc, frames[1]);
+        assert_slot_matches_fresh(&mut inc, frames[0]);
+    }
+
+    #[test]
+    fn maintained_models_match_fresh_3d() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let k = 6;
+        let mut mesh = Mesh3D::torus(k, k, k);
+        let mut rng = SmallRng::seed_from_u64(17);
+        for _ in 0..12 {
+            mesh.inject_fault(c3(
+                rng.gen_range(0..k),
+                rng.gen_range(0..k),
+                rng.gen_range(0..k),
+            ));
+        }
+        let mut inc = IncrementalModels3::new(mesh, BorderPolicy::BorderSafe);
+        let frame = Frame3::identity(inc.mesh());
+        for _ in 0..12 {
+            let mut injected = Vec::new();
+            let mut healed = Vec::new();
+            for _ in 0..rng.gen_range(0..3) {
+                let c = c3(
+                    rng.gen_range(0..k),
+                    rng.gen_range(0..k),
+                    rng.gen_range(0..k),
+                );
+                if inc.mesh().is_healthy(c) && !injected.contains(&c) {
+                    injected.push(c);
+                }
+            }
+            let faults = inc.mesh().faults().to_vec();
+            if !faults.is_empty() {
+                healed.push(faults[rng.gen_range(0..faults.len())]);
+            }
+            inc.apply(&injected, &healed);
+            let mesh = inc.mesh().clone();
+            let m = inc.models(frame);
+            let lab = Labelling3::compute(&mesh, frame, BorderPolicy::BorderSafe);
+            for ((c, a), (_, b)) in m.lab.iter().zip(lab.iter()) {
+                assert_eq!(a, b, "status diverged at {c}");
+            }
+            assert_eq!(m.comps.cells, Components3::compute(&lab).cells);
+            assert_eq!(m.mccs.mccs, MccSet3::compute(&lab).mccs);
+            assert!(inc.blocks_current() || inc.generation() > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "healed node not faulty")]
+    fn healing_a_healthy_node_panics() {
+        let mesh = Mesh2D::new(6, 6);
+        let mut inc = IncrementalModels2::new(mesh, BorderPolicy::BorderSafe);
+        inc.apply(&[], &[c2(2, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inject/heal sets overlap")]
+    fn overlapping_batch_panics() {
+        let mut mesh = Mesh2D::new(6, 6);
+        mesh.inject_fault(c2(2, 2));
+        let mut inc = IncrementalModels2::new(mesh, BorderPolicy::BorderSafe);
+        inc.apply(&[c2(2, 2)], &[c2(2, 2)]);
+    }
+
+    /// The mutation-style negative test: with the heal-retraction path of
+    /// the labelling repair deliberately skipped, the equivalence check the
+    /// battery relies on must FAIL — proving the battery would catch a
+    /// missing invalidation path, not silently pass.
+    #[test]
+    fn skipping_heal_retraction_breaks_equivalence() {
+        use crate::labelling2::mutation::SKIP_HEAL_RETRACTION;
+
+        struct Reset;
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                SKIP_HEAL_RETRACTION.with(|f| f.set(false));
+            }
+        }
+        let _reset = Reset;
+
+        // The seam-crossing scenario on a torus large enough that a
+        // one-node heal stays below the bulk-tier cut-over (the bulk tier
+        // recomputes from scratch and is immune to the skipped path):
+        // healing (1,2) must retract the useless label of (0,2) and,
+        // across the wrap seam, (11,2).
+        let mut torus = Mesh2D::torus(12, 5);
+        for c in [c2(1, 2), c2(0, 3), c2(11, 3)] {
+            torus.inject_fault(c);
+        }
+        let mut inc = IncrementalModels2::new(torus, BorderPolicy::BorderSafe);
+        let frame = Frame2::identity(inc.mesh());
+        assert!(inc.models(frame).lab.status(c2(11, 2)).is_useless());
+
+        SKIP_HEAL_RETRACTION.with(|f| f.set(true));
+        inc.apply(&[], &[c2(1, 2)]);
+        let mesh = inc.mesh().clone();
+        let stale = inc.models(frame).lab.status(c2(11, 2));
+        let fresh = Labelling2::compute(&mesh, frame, BorderPolicy::BorderSafe);
+        assert!(
+            fresh.status(c2(11, 2)).is_safe(),
+            "ground truth: the label must retract"
+        );
+        assert!(
+            stale.is_useless(),
+            "mutated repair must leave the stale label the battery would flag"
+        );
+        assert_ne!(stale, fresh.status(c2(11, 2)), "equivalence check fails");
+    }
+}

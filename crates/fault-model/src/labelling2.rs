@@ -57,109 +57,11 @@ impl Labelling2 {
         let border_blocks = matches!(policy, BorderPolicy::BorderBlocked);
         let w = space.width() as usize;
         let h = space.height() as usize;
+        let wraps = space.wraps();
         let s = status.as_mut_slice();
 
-        if space.wraps() {
-            // Torus: both rules read the wrapped +/- neighbors, so the
-            // dependency graph has ring cycles and one sweep is no longer
-            // guaranteed to finalize every dependency. Each extra sweep
-            // only matters when a label chain crosses the wrap seam, so
-            // the loop almost always runs twice (once to converge, once to
-            // observe quiescence); the border policy is irrelevant (a
-            // torus has no border).
-            loop {
-                let mut changed = false;
-                for y in (0..h).rev() {
-                    let row = y * w;
-                    for x in (0..w).rev() {
-                        let i = row + x;
-                        if s[i].blocks_forward() {
-                            continue;
-                        }
-                        let xp = s[if x + 1 < w { i + 1 } else { row }].blocks_forward();
-                        let yp = s[if y + 1 < h { i + w } else { x }].blocks_forward();
-                        if xp && yp {
-                            s[i].mark_useless();
-                            changed = true;
-                        }
-                    }
-                }
-                if !changed {
-                    break;
-                }
-            }
-            loop {
-                let mut changed = false;
-                for y in 0..h {
-                    let row = y * w;
-                    for x in 0..w {
-                        let i = row + x;
-                        if s[i].blocks_backward() {
-                            continue;
-                        }
-                        let xm = s[if x > 0 { i - 1 } else { row + w - 1 }].blocks_backward();
-                        let ym = s[if y > 0 { i - w } else { x + w * (h - 1) }].blocks_backward();
-                        if xm && ym {
-                            s[i].mark_cant_reach();
-                            changed = true;
-                        }
-                    }
-                }
-                if !changed {
-                    break;
-                }
-            }
-        } else {
-            // Rule 2 (useless) depends only on the +X / +Y neighbors, which
-            // a decreasing-(y, x) sweep has already finalized: one pass
-            // reaches the worklist fixpoint.
-            for y in (0..h).rev() {
-                let row = y * w;
-                for x in (0..w).rev() {
-                    let i = row + x;
-                    if s[i].blocks_forward() {
-                        continue;
-                    }
-                    let xp = if x + 1 < w {
-                        s[i + 1].blocks_forward()
-                    } else {
-                        border_blocks
-                    };
-                    let yp = if y + 1 < h {
-                        s[i + w].blocks_forward()
-                    } else {
-                        border_blocks
-                    };
-                    if xp && yp {
-                        s[i].mark_useless();
-                    }
-                }
-            }
-            // Rule 3 (can't-reach) is the mirror image: -X / -Y
-            // dependencies, increasing-(y, x) sweep.
-            for y in 0..h {
-                let row = y * w;
-                for x in 0..w {
-                    let i = row + x;
-                    if s[i].blocks_backward() {
-                        continue;
-                    }
-                    let xm = if x > 0 {
-                        s[i - 1].blocks_backward()
-                    } else {
-                        border_blocks
-                    };
-                    let ym = if y > 0 {
-                        s[i - w].blocks_backward()
-                    } else {
-                        border_blocks
-                    };
-                    if xm && ym {
-                        s[i].mark_cant_reach();
-                    }
-                }
-            }
-        }
+        useless_fixpoint(s, w, h, wraps, border_blocks);
+        cant_reach_fixpoint(s, w, h, wraps, border_blocks);
 
         let mut unsafe_set = NodeSet::new(space.len());
         for (i, st) in status.iter() {
@@ -326,6 +228,410 @@ impl Labelling2 {
         self.space
             .coords()
             .zip(self.status.as_slice().iter().copied())
+    }
+
+    /// Incrementally repair this labelling after a fault-churn batch on the
+    /// underlying mesh: `injected` went healthy→faulty and `healed`
+    /// faulty→healthy (both in **mesh** coordinates, like
+    /// [`Mesh2D::faults`]; the lists must be disjoint and duplicate-free).
+    /// Afterwards every status, and the unsafe set, is **bit-for-bit
+    /// equal** to a from-scratch [`Labelling2::compute`] on the churned
+    /// mesh — see DESIGN.md §12 for the least-fixpoint argument.
+    ///
+    /// Small perturbations run a node-granular worklist: labels whose
+    /// justification may depend on a healed node are retracted by a flood
+    /// over the label's reader direction, then both closures re-propagate
+    /// from the perturbed seeds only — O(perturbation + retraction cone),
+    /// independent of mesh size. Once the batch is a sizeable fraction of
+    /// the mesh (`1/`[`BULK_REPAIR_FANOUT`]) the worklist's per-node
+    /// overhead loses to the raster sweeps and the repair falls back to
+    /// relabelling via the same tiled wavefront `compute_par` uses, under
+    /// `parallelism`. Both tiers return the same statuses and the same
+    /// changed list; the tier cut-over is a pure function of batch and
+    /// mesh size, never of the thread budget.
+    ///
+    /// Returns the canonical indices whose status byte changed, sorted
+    /// ascending — the dirty region that drives component and MCC repair.
+    pub fn repair(
+        &mut self,
+        injected: &[C2],
+        healed: &[C2],
+        parallelism: Parallelism,
+    ) -> Vec<usize> {
+        let space = self.space;
+        let frame = self.frame;
+        let inj: Vec<usize> = injected
+            .iter()
+            .map(|&c| space.index(frame.to_canon(c)))
+            .collect();
+        let heal: Vec<usize> = healed
+            .iter()
+            .map(|&c| space.index(frame.to_canon(c)))
+            .collect();
+        if inj.is_empty() && heal.is_empty() {
+            return Vec::new();
+        }
+        let mut changed = if (inj.len() + heal.len()) * BULK_REPAIR_FANOUT >= space.len() {
+            self.repair_bulk(&inj, &heal, parallelism)
+        } else {
+            self.repair_worklist(&inj, &heal)
+        };
+        changed.sort_unstable();
+        for &i in &changed {
+            if self.status[i].is_unsafe() {
+                self.unsafe_set.insert(i);
+            } else {
+                self.unsafe_set.remove(i);
+            }
+        }
+        changed
+    }
+
+    /// Node-granular repair tier. Returns the changed indices, unsorted.
+    fn repair_worklist(&mut self, inj: &[usize], heal: &[usize]) -> Vec<usize> {
+        let w = self.space.width() as usize;
+        let h = self.space.height() as usize;
+        let wraps = self.space.wraps();
+        let border_blocks = matches!(self.policy, BorderPolicy::BorderBlocked);
+        let s = self.status.as_mut_slice();
+
+        #[cfg(test)]
+        let skip_retraction = mutation::SKIP_HEAL_RETRACTION.with(|c| c.get());
+        #[cfg(not(test))]
+        let skip_retraction = false;
+
+        // `(index, status at first touch)`: every mutation below pushes the
+        // node's pre-mutation status first, so after a stable sort the first
+        // entry per index holds the true pre-churn status and the rest are
+        // intermediate states the dedup drops.
+        let mut touched: Vec<(usize, NodeStatus)> = Vec::new();
+        for &i in heal {
+            debug_assert!(s[i].is_faulty(), "healed node was not faulty");
+            touched.push((i, s[i]));
+            s[i] = NodeStatus::SAFE;
+        }
+        for &i in inj {
+            debug_assert!(!s[i].is_faulty(), "injected node was already faulty");
+            touched.push((i, s[i]));
+            s[i] = NodeStatus::FAULT;
+        }
+
+        // Readers of node `i` per closure: the nodes whose rule input
+        // includes `i` — the wrapped `-X`/`-Y` neighbors for useless
+        // (rule 2 reads `+X`/`+Y`), the wrapped `+X`/`+Y` neighbors for
+        // can't-reach. Mirrors the sweep formulas exactly.
+        let readers_useless = |i: usize, f: &mut dyn FnMut(usize)| {
+            let (x, y) = (i % w, i / w);
+            if x > 0 {
+                f(i - 1);
+            } else if wraps {
+                f(i + w - 1);
+            }
+            if y > 0 {
+                f(i - w);
+            } else if wraps {
+                f(x + w * (h - 1));
+            }
+        };
+        let readers_cant_reach = |i: usize, f: &mut dyn FnMut(usize)| {
+            let (x, y) = (i % w, i / w);
+            if x + 1 < w {
+                f(i + 1);
+            } else if wraps {
+                f(i - x);
+            }
+            if y + 1 < h {
+                f(i + w);
+            } else if wraps {
+                f(x);
+            }
+        };
+        let useless_fires = |s: &[NodeStatus], i: usize| {
+            let (x, y) = (i % w, i / w);
+            let row = i - x;
+            let xp = if x + 1 < w {
+                s[i + 1].blocks_forward()
+            } else if wraps {
+                s[row].blocks_forward()
+            } else {
+                border_blocks
+            };
+            let yp = if y + 1 < h {
+                s[i + w].blocks_forward()
+            } else if wraps {
+                s[x].blocks_forward()
+            } else {
+                border_blocks
+            };
+            xp && yp
+        };
+        let cant_reach_fires = |s: &[NodeStatus], i: usize| {
+            let (x, y) = (i % w, i / w);
+            let row = i - x;
+            let xm = if x > 0 {
+                s[i - 1].blocks_backward()
+            } else if wraps {
+                s[row + w - 1].blocks_backward()
+            } else {
+                border_blocks
+            };
+            let ym = if y > 0 {
+                s[i - w].blocks_backward()
+            } else if wraps {
+                s[x + w * (h - 1)].blocks_backward()
+            } else {
+                border_blocks
+            };
+            xm && ym
+        };
+
+        // Useless closure: retract the reader cone of every healed node
+        // (clearing doubles as the visited mark), then re-propagate from
+        // the cleared nodes, the healed nodes themselves, and the readers
+        // of injected nodes. Injection is monotone (a faulty node still
+        // blocks both closures), so it never needs retraction.
+        let mut stack: Vec<usize> = Vec::new();
+        let mut work: Vec<usize> = Vec::new();
+        if !skip_retraction {
+            for &i in heal {
+                readers_useless(i, &mut |j| {
+                    if s[j].is_useless() {
+                        stack.push(j);
+                    }
+                });
+            }
+            while let Some(i) = stack.pop() {
+                if !s[i].is_useless() {
+                    continue;
+                }
+                touched.push((i, s[i]));
+                s[i].clear_useless();
+                work.push(i);
+                readers_useless(i, &mut |j| {
+                    if s[j].is_useless() {
+                        stack.push(j);
+                    }
+                });
+            }
+        }
+        work.extend_from_slice(heal);
+        for &i in inj {
+            readers_useless(i, &mut |j| work.push(j));
+        }
+        while let Some(i) = work.pop() {
+            if s[i].blocks_forward() {
+                continue;
+            }
+            if useless_fires(s, i) {
+                touched.push((i, s[i]));
+                s[i].mark_useless();
+                readers_useless(i, &mut |j| work.push(j));
+            }
+        }
+
+        // Can't-reach closure: the independent mirror image.
+        debug_assert!(stack.is_empty() && work.is_empty());
+        for &i in heal {
+            readers_cant_reach(i, &mut |j| {
+                if s[j].is_cant_reach() {
+                    stack.push(j);
+                }
+            });
+        }
+        while let Some(i) = stack.pop() {
+            if !s[i].is_cant_reach() {
+                continue;
+            }
+            touched.push((i, s[i]));
+            s[i].clear_cant_reach();
+            work.push(i);
+            readers_cant_reach(i, &mut |j| {
+                if s[j].is_cant_reach() {
+                    stack.push(j);
+                }
+            });
+        }
+        work.extend_from_slice(heal);
+        for &i in inj {
+            readers_cant_reach(i, &mut |j| work.push(j));
+        }
+        while let Some(i) = work.pop() {
+            if s[i].blocks_backward() {
+                continue;
+            }
+            if cant_reach_fires(s, i) {
+                touched.push((i, s[i]));
+                s[i].mark_cant_reach();
+                readers_cant_reach(i, &mut |j| work.push(j));
+            }
+        }
+
+        touched.sort_by_key(|&(i, _)| i);
+        touched.dedup_by_key(|&mut (i, _)| i);
+        touched
+            .into_iter()
+            .filter(|&(i, old)| s[i] != old)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Bulk repair tier: reset every label bit and rerun the closures over
+    /// the whole grid — sequentially, or via the same tiled wavefront as
+    /// [`Labelling2::compute_par`] when the budget and mesh warrant it.
+    /// The changed list comes from diffing a pre-churn snapshot.
+    fn repair_bulk(
+        &mut self,
+        inj: &[usize],
+        heal: &[usize],
+        parallelism: Parallelism,
+    ) -> Vec<usize> {
+        let w = self.space.width() as usize;
+        let h = self.space.height() as usize;
+        let wraps = self.space.wraps();
+        let border_blocks = matches!(self.policy, BorderPolicy::BorderBlocked);
+        let snapshot = self.status.as_slice().to_vec();
+        let s = self.status.as_mut_slice();
+        for &i in heal {
+            debug_assert!(s[i].is_faulty(), "healed node was not faulty");
+            s[i] = NodeStatus::SAFE;
+        }
+        for &i in inj {
+            debug_assert!(!s[i].is_faulty(), "injected node was already faulty");
+            s[i] = NodeStatus::FAULT;
+        }
+        for st in s.iter_mut() {
+            *st = if st.is_faulty() {
+                NodeStatus::FAULT
+            } else {
+                NodeStatus::SAFE
+            };
+        }
+        let threads = parallelism.resolve();
+        let bands = par::bands(h, threads * TILES_PER_THREAD);
+        if threads <= 1 || s.len() < PAR_MIN_NODES || bands.len() < 2 {
+            useless_fixpoint(s, w, h, wraps, border_blocks);
+            cant_reach_fixpoint(s, w, h, wraps, border_blocks);
+        } else {
+            wavefront(s, w, &bands, threads, wraps, SweepDir::Decreasing, {
+                |band: &mut [NodeStatus], halo: Option<&[NodeStatus]>| {
+                    sweep_useless_band(band, w, wraps, border_blocks, halo)
+                }
+            });
+            wavefront(s, w, &bands, threads, wraps, SweepDir::Increasing, {
+                |band: &mut [NodeStatus], halo: Option<&[NodeStatus]>| {
+                    sweep_cant_reach_band(band, w, wraps, border_blocks, halo)
+                }
+            });
+        }
+        snapshot
+            .iter()
+            .enumerate()
+            .filter(|&(i, &old)| s[i] != old)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Perturbation-size fanout above which [`Labelling2::repair`] (and its
+/// 3-D twin) abandons the node-granular worklist for a full relabel:
+/// batches of `≥ nodes / BULK_REPAIR_FANOUT` flips re-sweep the grid. A
+/// pure function of batch and mesh size — never thread count — so the
+/// repair path taken is identical under every parallelism budget.
+pub const BULK_REPAIR_FANOUT: usize = 48;
+
+/// Test-only fault injection for the mutation-style negative tests: prove
+/// the churn equivalence gates actually bite by disabling one invalidation
+/// path and watching them fail (see `crate::incremental` unit tests).
+#[cfg(test)]
+pub(crate) mod mutation {
+    use std::cell::Cell;
+    thread_local! {
+        /// When set on the calling thread, [`super::Labelling2::repair`]
+        /// skips the heal-retraction flood of the useless closure — exactly
+        /// the silent-staleness bug the equivalence battery must catch.
+        pub static SKIP_HEAL_RETRACTION: Cell<bool> = const { Cell::new(false) };
+    }
+}
+
+/// The useless closure over the whole grid, sequential. On a mesh
+/// (`wraps == false`) rule 2 depends only on the `+X`/`+Y` neighbors,
+/// which a decreasing-`(y, x)` sweep has already finalized, so the loop
+/// runs exactly one pass. On a torus the rules read the wrapped
+/// neighbors, whose ring cycles defeat the single-pass argument: the
+/// sweep iterates until quiescent (extra passes only when a label chain
+/// crosses the wrap seam), and the border policy is irrelevant (a torus
+/// has no border, so `border_blocks` is never read).
+fn useless_fixpoint(s: &mut [NodeStatus], w: usize, h: usize, wraps: bool, border_blocks: bool) {
+    loop {
+        let mut changed = false;
+        for y in (0..h).rev() {
+            let row = y * w;
+            for x in (0..w).rev() {
+                let i = row + x;
+                if s[i].blocks_forward() {
+                    continue;
+                }
+                let xp = if x + 1 < w {
+                    s[i + 1].blocks_forward()
+                } else if wraps {
+                    s[row].blocks_forward()
+                } else {
+                    border_blocks
+                };
+                let yp = if y + 1 < h {
+                    s[i + w].blocks_forward()
+                } else if wraps {
+                    s[x].blocks_forward()
+                } else {
+                    border_blocks
+                };
+                if xp && yp {
+                    s[i].mark_useless();
+                    changed = true;
+                }
+            }
+        }
+        if !(wraps && changed) {
+            break;
+        }
+    }
+}
+
+/// The can't-reach mirror of [`useless_fixpoint`]: `-X`/`-Y`
+/// dependencies, increasing-`(y, x)` sweep.
+fn cant_reach_fixpoint(s: &mut [NodeStatus], w: usize, h: usize, wraps: bool, border_blocks: bool) {
+    loop {
+        let mut changed = false;
+        for y in 0..h {
+            let row = y * w;
+            for x in 0..w {
+                let i = row + x;
+                if s[i].blocks_backward() {
+                    continue;
+                }
+                let xm = if x > 0 {
+                    s[i - 1].blocks_backward()
+                } else if wraps {
+                    s[row + w - 1].blocks_backward()
+                } else {
+                    border_blocks
+                };
+                let ym = if y > 0 {
+                    s[i - w].blocks_backward()
+                } else if wraps {
+                    s[x + w * (h - 1)].blocks_backward()
+                } else {
+                    border_blocks
+                };
+                if xm && ym {
+                    s[i].mark_cant_reach();
+                    changed = true;
+                }
+            }
+        }
+        if !(wraps && changed) {
+            break;
+        }
     }
 }
 
@@ -635,6 +941,142 @@ mod tests {
                     "{c} missed can't-reach"
                 );
             }
+        }
+    }
+
+    fn churn_once(
+        mesh: &mut Mesh2D,
+        lab: &mut Labelling2,
+        injected: &[C2],
+        healed: &[C2],
+    ) -> Vec<usize> {
+        for &c in injected {
+            assert!(mesh.inject_fault(c));
+        }
+        for &c in healed {
+            assert!(mesh.heal_fault(c));
+        }
+        lab.repair(injected, healed, Parallelism::SEQ)
+    }
+
+    fn assert_matches_recompute(mesh: &Mesh2D, lab: &Labelling2) {
+        let fresh = Labelling2::compute(mesh, lab.frame(), lab.policy());
+        for ((c, a), (_, b)) in lab.iter().zip(fresh.iter()) {
+            assert_eq!(a, b, "status diverged at {c}");
+        }
+        assert_eq!(lab.unsafe_set(), fresh.unsafe_set());
+    }
+
+    #[test]
+    fn repair_reverses_the_seam_crossing_label() {
+        // The torus_labels_wrap_across_the_seam scenario, then heal (1,2):
+        // (0,2) loses useless, and the retraction must cross the wrap seam
+        // backwards to also clear (7,2), whose +X neighbor is (0,2).
+        let mut torus = Mesh2D::torus(8, 5);
+        for c in [c2(1, 2), c2(0, 3), c2(7, 3)] {
+            torus.inject_fault(c);
+        }
+        let mut l = lab(&torus);
+        assert!(l.status(c2(7, 2)).is_useless());
+        let changed = churn_once(&mut torus, &mut l, &[], &[c2(1, 2)]);
+        assert!(l.status(c2(0, 2)).is_safe());
+        assert!(
+            l.status(c2(7, 2)).is_safe(),
+            "retraction must cross the seam"
+        );
+        assert!(changed.contains(&l.space().index(c2(7, 2))));
+        assert_matches_recompute(&torus, &l);
+    }
+
+    #[test]
+    fn repair_changed_list_is_exact() {
+        let mut mesh = Mesh2D::new(10, 10);
+        for c in [c2(6, 5), c2(6, 4), c2(5, 6), c2(4, 6)] {
+            mesh.inject_fault(c);
+        }
+        let mut l = lab(&mesh);
+        let before: Vec<NodeStatus> = l.iter().map(|(_, s)| s).collect();
+        let changed = churn_once(&mut mesh, &mut l, &[c2(2, 2)], &[c2(6, 5)]);
+        assert_matches_recompute(&mesh, &l);
+        let diff: Vec<usize> = l
+            .iter()
+            .enumerate()
+            .filter(|&(i, (_, s))| s != before[i])
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(changed, diff);
+        assert!(changed.windows(2).all(|p| p[0] < p[1]), "sorted ascending");
+    }
+
+    #[test]
+    fn repair_matches_recompute_on_random_churn() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for torus in [false, true] {
+            for policy in [BorderPolicy::BorderSafe, BorderPolicy::BorderBlocked] {
+                let (w, h) = (12, 9);
+                let mut mesh = if torus {
+                    Mesh2D::torus(w, h)
+                } else {
+                    Mesh2D::new(w, h)
+                };
+                let mut rng = SmallRng::seed_from_u64(torus as u64 * 2 + 11);
+                for _ in 0..16 {
+                    mesh.inject_fault(c2(rng.gen_range(0..w), rng.gen_range(0..h)));
+                }
+                let mut l = Labelling2::compute(&mesh, Frame2::identity(&mesh), policy);
+                for _ in 0..50 {
+                    let mut injected = Vec::new();
+                    let mut healed = Vec::new();
+                    for _ in 0..rng.gen_range(0..4) {
+                        let c = c2(rng.gen_range(0..w), rng.gen_range(0..h));
+                        if mesh.is_healthy(c) && !injected.contains(&c) {
+                            injected.push(c);
+                        }
+                    }
+                    let faults = mesh.faults().to_vec();
+                    for _ in 0..rng.gen_range(0..4) {
+                        let c = faults[rng.gen_range(0..faults.len())];
+                        if !healed.contains(&c) {
+                            healed.push(c);
+                        }
+                    }
+                    churn_once(&mut mesh, &mut l, &injected, &healed);
+                    assert_matches_recompute(&mesh, &l);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_repair_tier_matches_worklist_tier() {
+        // A batch big enough to trip the BULK_REPAIR_FANOUT cut-over on an
+        // 8×8 grid (64 nodes: >= 2 flips), exercised against recompute on
+        // both topologies and both tiers' parallel fallbacks.
+        for torus in [false, true] {
+            let mut mesh = if torus {
+                Mesh2D::torus(8, 8)
+            } else {
+                Mesh2D::new(8, 8)
+            };
+            for x in 0..8 {
+                mesh.inject_fault(c2(x, 3));
+            }
+            let mut l = lab(&mesh);
+            let injected: Vec<C2> = (0..8)
+                .map(|y| c2(5, y))
+                .filter(|&c| mesh.is_healthy(c))
+                .collect();
+            let healed = vec![c2(1, 3), c2(2, 3)];
+            for &c in &injected {
+                mesh.inject_fault(c);
+            }
+            for &c in &healed {
+                mesh.heal_fault(c);
+            }
+            let changed = l.repair(&injected, &healed, Parallelism::new(4));
+            assert_matches_recompute(&mesh, &l);
+            assert!(changed.windows(2).all(|p| p[0] < p[1]));
         }
     }
 

@@ -43,137 +43,11 @@ impl Labelling3 {
         let nx = space.nx() as usize;
         let ny = space.ny() as usize;
         let nz = space.nz() as usize;
-        let plane = nx * ny;
+        let wraps = space.wraps();
         let s = status.as_mut_slice();
 
-        if space.wraps() {
-            // Torus: the rules read the wrapped +/- neighbors; the ring
-            // cycles mean the sweeps iterate to a fixpoint (extra passes
-            // only when a label chain crosses a wrap seam — see the 2-D
-            // closure). No border exists, so the policy is irrelevant.
-            loop {
-                let mut changed = false;
-                for z in (0..nz).rev() {
-                    for y in (0..ny).rev() {
-                        let row = z * plane + y * nx;
-                        for x in (0..nx).rev() {
-                            let i = row + x;
-                            if s[i].blocks_forward() {
-                                continue;
-                            }
-                            let xp = s[if x + 1 < nx { i + 1 } else { row }].blocks_forward();
-                            let yp =
-                                s[if y + 1 < ny { i + nx } else { z * plane + x }].blocks_forward();
-                            let zp =
-                                s[if z + 1 < nz { i + plane } else { y * nx + x }].blocks_forward();
-                            if xp && yp && zp {
-                                s[i].mark_useless();
-                                changed = true;
-                            }
-                        }
-                    }
-                }
-                if !changed {
-                    break;
-                }
-            }
-            loop {
-                let mut changed = false;
-                for z in 0..nz {
-                    for y in 0..ny {
-                        let row = z * plane + y * nx;
-                        for x in 0..nx {
-                            let i = row + x;
-                            if s[i].blocks_backward() {
-                                continue;
-                            }
-                            let xm = s[if x > 0 { i - 1 } else { row + nx - 1 }].blocks_backward();
-                            let ym = s[if y > 0 {
-                                i - nx
-                            } else {
-                                z * plane + (ny - 1) * nx + x
-                            }]
-                            .blocks_backward();
-                            let zm = s[if z > 0 {
-                                i - plane
-                            } else {
-                                (nz - 1) * plane + y * nx + x
-                            }]
-                            .blocks_backward();
-                            if xm && ym && zm {
-                                s[i].mark_cant_reach();
-                                changed = true;
-                            }
-                        }
-                    }
-                }
-                if !changed {
-                    break;
-                }
-            }
-        } else {
-            // Useless closure: dependencies point to +X/+Y/+Z only, so one
-            // decreasing-(z, y, x) sweep reaches the fixpoint.
-            for z in (0..nz).rev() {
-                for y in (0..ny).rev() {
-                    let row = z * plane + y * nx;
-                    for x in (0..nx).rev() {
-                        let i = row + x;
-                        if s[i].blocks_forward() {
-                            continue;
-                        }
-                        let xp = if x + 1 < nx {
-                            s[i + 1].blocks_forward()
-                        } else {
-                            border_blocks
-                        };
-                        let yp = if y + 1 < ny {
-                            s[i + nx].blocks_forward()
-                        } else {
-                            border_blocks
-                        };
-                        let zp = if z + 1 < nz {
-                            s[i + plane].blocks_forward()
-                        } else {
-                            border_blocks
-                        };
-                        if xp && yp && zp {
-                            s[i].mark_useless();
-                        }
-                    }
-                }
-            }
-            // Can't-reach closure: the increasing mirror image.
-            for z in 0..nz {
-                for y in 0..ny {
-                    let row = z * plane + y * nx;
-                    for x in 0..nx {
-                        let i = row + x;
-                        if s[i].blocks_backward() {
-                            continue;
-                        }
-                        let xm = if x > 0 {
-                            s[i - 1].blocks_backward()
-                        } else {
-                            border_blocks
-                        };
-                        let ym = if y > 0 {
-                            s[i - nx].blocks_backward()
-                        } else {
-                            border_blocks
-                        };
-                        let zm = if z > 0 {
-                            s[i - plane].blocks_backward()
-                        } else {
-                            border_blocks
-                        };
-                        if xm && ym && zm {
-                            s[i].mark_cant_reach();
-                        }
-                    }
-                }
-            }
-        }
+        useless_fixpoint3(s, nx, ny, nz, wraps, border_blocks);
+        cant_reach_fixpoint3(s, nx, ny, nz, wraps, border_blocks);
 
         let mut unsafe_set = NodeSet::new(space.len());
         for (i, st) in status.iter() {
@@ -348,6 +222,429 @@ impl Labelling3 {
         self.space
             .coords()
             .zip(self.status.as_slice().iter().copied())
+    }
+
+    /// Incrementally repair this labelling after a fault-churn batch —
+    /// the 3-D twin of [`crate::Labelling2::repair`], with the same
+    /// contract: `injected`/`healed` in mesh coordinates, disjoint and
+    /// duplicate-free; afterwards statuses and the unsafe set are
+    /// bit-for-bit equal to a from-scratch [`Labelling3::compute`] on the
+    /// churned mesh; returns the changed canonical indices, sorted
+    /// ascending. Small batches run the node-granular worklist, batches
+    /// over `nodes /` [`crate::labelling2::BULK_REPAIR_FANOUT`] fall back
+    /// to a full relabel under `parallelism`.
+    pub fn repair(
+        &mut self,
+        injected: &[C3],
+        healed: &[C3],
+        parallelism: Parallelism,
+    ) -> Vec<usize> {
+        let space = self.space;
+        let frame = self.frame;
+        let inj: Vec<usize> = injected
+            .iter()
+            .map(|&c| space.index(frame.to_canon(c)))
+            .collect();
+        let heal: Vec<usize> = healed
+            .iter()
+            .map(|&c| space.index(frame.to_canon(c)))
+            .collect();
+        if inj.is_empty() && heal.is_empty() {
+            return Vec::new();
+        }
+        let bulk = (inj.len() + heal.len()) * crate::labelling2::BULK_REPAIR_FANOUT >= space.len();
+        let mut changed = if bulk {
+            self.repair_bulk(&inj, &heal, parallelism)
+        } else {
+            self.repair_worklist(&inj, &heal)
+        };
+        changed.sort_unstable();
+        for &i in &changed {
+            if self.status[i].is_unsafe() {
+                self.unsafe_set.insert(i);
+            } else {
+                self.unsafe_set.remove(i);
+            }
+        }
+        changed
+    }
+
+    /// Node-granular repair tier. Returns the changed indices, unsorted.
+    fn repair_worklist(&mut self, inj: &[usize], heal: &[usize]) -> Vec<usize> {
+        let nx = self.space.nx() as usize;
+        let ny = self.space.ny() as usize;
+        let nz = self.space.nz() as usize;
+        let plane = nx * ny;
+        let wraps = self.space.wraps();
+        let border_blocks = matches!(self.policy, BorderPolicy::BorderBlocked);
+        let s = self.status.as_mut_slice();
+
+        // `(index, status at first touch)` — see the 2-D twin for the
+        // dedup argument.
+        let mut touched: Vec<(usize, NodeStatus)> = Vec::new();
+        for &i in heal {
+            debug_assert!(s[i].is_faulty(), "healed node was not faulty");
+            touched.push((i, s[i]));
+            s[i] = NodeStatus::SAFE;
+        }
+        for &i in inj {
+            debug_assert!(!s[i].is_faulty(), "injected node was already faulty");
+            touched.push((i, s[i]));
+            s[i] = NodeStatus::FAULT;
+        }
+
+        // Readers per closure: the wrapped -X/-Y/-Z neighbors for useless
+        // (the rule reads +X/+Y/+Z), the positive mirror for can't-reach.
+        let readers_useless = |i: usize, f: &mut dyn FnMut(usize)| {
+            let x = i % nx;
+            let y = (i / nx) % ny;
+            let z = i / plane;
+            if x > 0 {
+                f(i - 1);
+            } else if wraps {
+                f(i + nx - 1);
+            }
+            if y > 0 {
+                f(i - nx);
+            } else if wraps {
+                f(z * plane + (ny - 1) * nx + x);
+            }
+            if z > 0 {
+                f(i - plane);
+            } else if wraps {
+                f((nz - 1) * plane + y * nx + x);
+            }
+        };
+        let readers_cant_reach = |i: usize, f: &mut dyn FnMut(usize)| {
+            let x = i % nx;
+            let y = (i / nx) % ny;
+            let z = i / plane;
+            if x + 1 < nx {
+                f(i + 1);
+            } else if wraps {
+                f(i - x);
+            }
+            if y + 1 < ny {
+                f(i + nx);
+            } else if wraps {
+                f(z * plane + x);
+            }
+            if z + 1 < nz {
+                f(i + plane);
+            } else if wraps {
+                f(y * nx + x);
+            }
+        };
+        let useless_fires = |s: &[NodeStatus], i: usize| {
+            let x = i % nx;
+            let y = (i / nx) % ny;
+            let z = i / plane;
+            let row = i - x;
+            let xp = if x + 1 < nx {
+                s[i + 1].blocks_forward()
+            } else if wraps {
+                s[row].blocks_forward()
+            } else {
+                border_blocks
+            };
+            let yp = if y + 1 < ny {
+                s[i + nx].blocks_forward()
+            } else if wraps {
+                s[z * plane + x].blocks_forward()
+            } else {
+                border_blocks
+            };
+            let zp = if z + 1 < nz {
+                s[i + plane].blocks_forward()
+            } else if wraps {
+                s[y * nx + x].blocks_forward()
+            } else {
+                border_blocks
+            };
+            xp && yp && zp
+        };
+        let cant_reach_fires = |s: &[NodeStatus], i: usize| {
+            let x = i % nx;
+            let y = (i / nx) % ny;
+            let z = i / plane;
+            let row = i - x;
+            let xm = if x > 0 {
+                s[i - 1].blocks_backward()
+            } else if wraps {
+                s[row + nx - 1].blocks_backward()
+            } else {
+                border_blocks
+            };
+            let ym = if y > 0 {
+                s[i - nx].blocks_backward()
+            } else if wraps {
+                s[z * plane + (ny - 1) * nx + x].blocks_backward()
+            } else {
+                border_blocks
+            };
+            let zm = if z > 0 {
+                s[i - plane].blocks_backward()
+            } else if wraps {
+                s[(nz - 1) * plane + y * nx + x].blocks_backward()
+            } else {
+                border_blocks
+            };
+            xm && ym && zm
+        };
+
+        // Useless closure: retract the reader cone of the healed nodes,
+        // then re-propagate from the perturbed seeds (see the 2-D twin).
+        let mut stack: Vec<usize> = Vec::new();
+        let mut work: Vec<usize> = Vec::new();
+        for &i in heal {
+            readers_useless(i, &mut |j| {
+                if s[j].is_useless() {
+                    stack.push(j);
+                }
+            });
+        }
+        while let Some(i) = stack.pop() {
+            if !s[i].is_useless() {
+                continue;
+            }
+            touched.push((i, s[i]));
+            s[i].clear_useless();
+            work.push(i);
+            readers_useless(i, &mut |j| {
+                if s[j].is_useless() {
+                    stack.push(j);
+                }
+            });
+        }
+        work.extend_from_slice(heal);
+        for &i in inj {
+            readers_useless(i, &mut |j| work.push(j));
+        }
+        while let Some(i) = work.pop() {
+            if s[i].blocks_forward() {
+                continue;
+            }
+            if useless_fires(s, i) {
+                touched.push((i, s[i]));
+                s[i].mark_useless();
+                readers_useless(i, &mut |j| work.push(j));
+            }
+        }
+
+        // Can't-reach closure: the independent mirror image.
+        debug_assert!(stack.is_empty() && work.is_empty());
+        for &i in heal {
+            readers_cant_reach(i, &mut |j| {
+                if s[j].is_cant_reach() {
+                    stack.push(j);
+                }
+            });
+        }
+        while let Some(i) = stack.pop() {
+            if !s[i].is_cant_reach() {
+                continue;
+            }
+            touched.push((i, s[i]));
+            s[i].clear_cant_reach();
+            work.push(i);
+            readers_cant_reach(i, &mut |j| {
+                if s[j].is_cant_reach() {
+                    stack.push(j);
+                }
+            });
+        }
+        work.extend_from_slice(heal);
+        for &i in inj {
+            readers_cant_reach(i, &mut |j| work.push(j));
+        }
+        while let Some(i) = work.pop() {
+            if s[i].blocks_backward() {
+                continue;
+            }
+            if cant_reach_fires(s, i) {
+                touched.push((i, s[i]));
+                s[i].mark_cant_reach();
+                readers_cant_reach(i, &mut |j| work.push(j));
+            }
+        }
+
+        touched.sort_by_key(|&(i, _)| i);
+        touched.dedup_by_key(|&mut (i, _)| i);
+        touched
+            .into_iter()
+            .filter(|&(i, old)| s[i] != old)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Bulk repair tier: reset every label bit and rerun the closures over
+    /// the whole grid, sequentially or via the tiled wavefront.
+    fn repair_bulk(
+        &mut self,
+        inj: &[usize],
+        heal: &[usize],
+        parallelism: Parallelism,
+    ) -> Vec<usize> {
+        let nx = self.space.nx() as usize;
+        let ny = self.space.ny() as usize;
+        let nz = self.space.nz() as usize;
+        let plane = nx * ny;
+        let wraps = self.space.wraps();
+        let border_blocks = matches!(self.policy, BorderPolicy::BorderBlocked);
+        let snapshot = self.status.as_slice().to_vec();
+        let s = self.status.as_mut_slice();
+        for &i in heal {
+            debug_assert!(s[i].is_faulty(), "healed node was not faulty");
+            s[i] = NodeStatus::SAFE;
+        }
+        for &i in inj {
+            debug_assert!(!s[i].is_faulty(), "injected node was already faulty");
+            s[i] = NodeStatus::FAULT;
+        }
+        for st in s.iter_mut() {
+            *st = if st.is_faulty() {
+                NodeStatus::FAULT
+            } else {
+                NodeStatus::SAFE
+            };
+        }
+        let threads = parallelism.resolve();
+        let bands = par::bands(nz, threads * TILES_PER_THREAD);
+        if threads <= 1 || s.len() < PAR_MIN_NODES || bands.len() < 2 {
+            useless_fixpoint3(s, nx, ny, nz, wraps, border_blocks);
+            cant_reach_fixpoint3(s, nx, ny, nz, wraps, border_blocks);
+        } else {
+            wavefront(s, plane, &bands, threads, wraps, SweepDir::Decreasing, {
+                |band: &mut [NodeStatus], halo: Option<&[NodeStatus]>| {
+                    sweep_useless_band3(band, nx, ny, wraps, border_blocks, halo)
+                }
+            });
+            wavefront(s, plane, &bands, threads, wraps, SweepDir::Increasing, {
+                |band: &mut [NodeStatus], halo: Option<&[NodeStatus]>| {
+                    sweep_cant_reach_band3(band, nx, ny, wraps, border_blocks, halo)
+                }
+            });
+        }
+        snapshot
+            .iter()
+            .enumerate()
+            .filter(|&(i, &old)| s[i] != old)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// The useless closure over the whole 3-D grid, sequential. On a mesh the
+/// dependencies point to `+X`/`+Y`/`+Z` only, so one decreasing-
+/// `(z, y, x)` sweep reaches the fixpoint and the loop runs once. On a
+/// torus the rules read the wrapped neighbors; the ring cycles mean the
+/// sweep iterates until quiescent, and the border policy is irrelevant
+/// (no border exists, `border_blocks` is never read).
+fn useless_fixpoint3(
+    s: &mut [NodeStatus],
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    wraps: bool,
+    border_blocks: bool,
+) {
+    let plane = nx * ny;
+    loop {
+        let mut changed = false;
+        for z in (0..nz).rev() {
+            for y in (0..ny).rev() {
+                let row = z * plane + y * nx;
+                for x in (0..nx).rev() {
+                    let i = row + x;
+                    if s[i].blocks_forward() {
+                        continue;
+                    }
+                    let xp = if x + 1 < nx {
+                        s[i + 1].blocks_forward()
+                    } else if wraps {
+                        s[row].blocks_forward()
+                    } else {
+                        border_blocks
+                    };
+                    let yp = if y + 1 < ny {
+                        s[i + nx].blocks_forward()
+                    } else if wraps {
+                        s[z * plane + x].blocks_forward()
+                    } else {
+                        border_blocks
+                    };
+                    let zp = if z + 1 < nz {
+                        s[i + plane].blocks_forward()
+                    } else if wraps {
+                        s[y * nx + x].blocks_forward()
+                    } else {
+                        border_blocks
+                    };
+                    if xp && yp && zp {
+                        s[i].mark_useless();
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !(wraps && changed) {
+            break;
+        }
+    }
+}
+
+/// The can't-reach mirror of [`useless_fixpoint3`]: `-X`/`-Y`/`-Z`
+/// dependencies, increasing-`(z, y, x)` sweep.
+fn cant_reach_fixpoint3(
+    s: &mut [NodeStatus],
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    wraps: bool,
+    border_blocks: bool,
+) {
+    let plane = nx * ny;
+    loop {
+        let mut changed = false;
+        for z in 0..nz {
+            for y in 0..ny {
+                let row = z * plane + y * nx;
+                for x in 0..nx {
+                    let i = row + x;
+                    if s[i].blocks_backward() {
+                        continue;
+                    }
+                    let xm = if x > 0 {
+                        s[i - 1].blocks_backward()
+                    } else if wraps {
+                        s[row + nx - 1].blocks_backward()
+                    } else {
+                        border_blocks
+                    };
+                    let ym = if y > 0 {
+                        s[i - nx].blocks_backward()
+                    } else if wraps {
+                        s[z * plane + (ny - 1) * nx + x].blocks_backward()
+                    } else {
+                        border_blocks
+                    };
+                    let zm = if z > 0 {
+                        s[i - plane].blocks_backward()
+                    } else if wraps {
+                        s[(nz - 1) * plane + y * nx + x].blocks_backward()
+                    } else {
+                        border_blocks
+                    };
+                    if xm && ym && zm {
+                        s[i].mark_cant_reach();
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !(wraps && changed) {
+            break;
+        }
     }
 }
 
@@ -617,6 +914,64 @@ mod tests {
         let f = Frame3::for_pair(&mesh, c3(7, 7, 7), c3(0, 0, 0));
         let l = Labelling3::compute(&mesh, f, BorderPolicy::BorderSafe);
         assert!(l.status_mesh(c3(4, 4, 4)).is_cant_reach());
+    }
+
+    #[test]
+    fn repair_matches_recompute_on_random_churn_3d() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for torus in [false, true] {
+            for policy in [BorderPolicy::BorderSafe, BorderPolicy::BorderBlocked] {
+                let k = 6;
+                let mut mesh = if torus {
+                    Mesh3D::torus_kary(k)
+                } else {
+                    Mesh3D::kary(k)
+                };
+                let mut rng = SmallRng::seed_from_u64(torus as u64 * 2 + 3);
+                for _ in 0..20 {
+                    mesh.inject_fault(c3(
+                        rng.gen_range(0..k),
+                        rng.gen_range(0..k),
+                        rng.gen_range(0..k),
+                    ));
+                }
+                let mut l = Labelling3::compute(&mesh, Frame3::identity(&mesh), policy);
+                for _ in 0..30 {
+                    let mut injected = Vec::new();
+                    let mut healed = Vec::new();
+                    for _ in 0..rng.gen_range(0..4) {
+                        let c = c3(
+                            rng.gen_range(0..k),
+                            rng.gen_range(0..k),
+                            rng.gen_range(0..k),
+                        );
+                        if mesh.is_healthy(c) && !injected.contains(&c) {
+                            injected.push(c);
+                        }
+                    }
+                    let faults = mesh.faults().to_vec();
+                    for _ in 0..rng.gen_range(0..4) {
+                        let c = faults[rng.gen_range(0..faults.len())];
+                        if !healed.contains(&c) {
+                            healed.push(c);
+                        }
+                    }
+                    for &c in &injected {
+                        assert!(mesh.inject_fault(c));
+                    }
+                    for &c in &healed {
+                        assert!(mesh.heal_fault(c));
+                    }
+                    l.repair(&injected, &healed, Parallelism::SEQ);
+                    let fresh = Labelling3::compute(&mesh, l.frame(), policy);
+                    for ((c, a), (_, b)) in l.iter().zip(fresh.iter()) {
+                        assert_eq!(a, b, "status diverged at {c}");
+                    }
+                    assert_eq!(l.unsafe_set(), fresh.unsafe_set());
+                }
+            }
+        }
     }
 
     #[test]

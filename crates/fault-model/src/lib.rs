@@ -77,6 +77,7 @@
 pub mod components;
 pub mod condition2;
 pub mod condition3;
+pub mod incremental;
 pub mod labelling2;
 pub mod labelling3;
 pub mod mcc2;
@@ -90,8 +91,10 @@ pub mod rfb3;
 pub mod stats;
 pub mod status;
 
+pub use components::CompSource;
 pub use condition2::{minimal_path_exists_2d, minimal_path_exists_2d_in, Existence2};
 pub use condition3::{minimal_path_exists_3d, minimal_path_exists_3d_in, Existence3};
+pub use incremental::{IncrementalModels2, IncrementalModels3};
 pub use labelling2::Labelling2;
 pub use labelling3::Labelling3;
 pub use mcc2::Mcc2;

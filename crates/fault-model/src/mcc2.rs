@@ -23,7 +23,7 @@
 use mesh_topo::{Rect, C2};
 use serde::{Deserialize, Serialize};
 
-use crate::components::Components2;
+use crate::components::{CompSource, Components2};
 use crate::labelling2::Labelling2;
 
 /// The axis a forbidden/critical region pair refers to.
@@ -67,7 +67,7 @@ pub struct MccSet2 {
 }
 
 impl Mcc2 {
-    fn from_cells(id: u32, cells: Vec<C2>, lab: &Labelling2) -> Mcc2 {
+    pub(crate) fn from_cells(id: u32, cells: Vec<C2>, lab: &Labelling2) -> Mcc2 {
         debug_assert!(!cells.is_empty());
         let mut bounds = Rect::point(cells[0]);
         for &c in &cells[1..] {
@@ -312,6 +312,47 @@ impl MccSet2 {
     pub fn total_sacrificed(&self) -> usize {
         self.mccs.iter().map(|m| m.sacrificed_count).sum()
     }
+
+    /// Incrementally repair the MCC shapes after a component repair:
+    /// `comps` is the repaired decomposition, `sources` its per-component
+    /// provenance, and `changed` the same dirty region the labelling
+    /// repair produced. A rebuilt component is re-extracted; so is a
+    /// carried component holding **any** status-changed cell — a cell can
+    /// flip useless→faulty without a membership change, which moves the
+    /// fault/sacrificed split even though the shape is untouched. Every
+    /// other MCC is reused with only its id renumbered, making the result
+    /// bit-for-bit equal to `MccSet2::compute(lab)` (DESIGN.md §12).
+    pub fn repair(
+        &mut self,
+        lab: &Labelling2,
+        comps: &Components2,
+        sources: &[CompSource],
+        changed: &[usize],
+    ) {
+        let space = lab.space();
+        let mut dirty = vec![false; comps.len()];
+        for &i in changed {
+            if let Some(id) = comps.component_of(space.coord(i)) {
+                dirty[id as usize] = true;
+            }
+        }
+        let mut old: Vec<Option<Mcc2>> = std::mem::take(&mut self.mccs)
+            .into_iter()
+            .map(Some)
+            .collect();
+        self.mccs = sources
+            .iter()
+            .enumerate()
+            .map(|(j, src)| match *src {
+                CompSource::Carried { old: o } if !dirty[j] => {
+                    let mut m = old[o].take().expect("component carried twice");
+                    m.id = j as u32;
+                    m
+                }
+                _ => Mcc2::from_cells(j as u32, comps.cells[j].clone(), lab),
+            })
+            .collect();
+    }
 }
 
 #[cfg(test)]
@@ -439,6 +480,58 @@ mod tests {
                 assert!(m.contains(c));
             }
             assert!(m.is_hv_convex());
+        }
+    }
+
+    #[test]
+    fn repair_matches_compute_on_random_churn() {
+        use crate::components::Components2;
+        use mesh_topo::Parallelism;
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for torus in [false, true] {
+            let (w, h) = (11, 8);
+            let mut mesh = if torus {
+                Mesh2D::torus(w, h)
+            } else {
+                Mesh2D::new(w, h)
+            };
+            let mut rng = SmallRng::seed_from_u64(torus as u64 + 23);
+            for _ in 0..14 {
+                mesh.inject_fault(c2(rng.gen_range(0..w), rng.gen_range(0..h)));
+            }
+            let mut l =
+                Labelling2::compute(&mesh, Frame2::identity(&mesh), BorderPolicy::BorderSafe);
+            let mut comps = Components2::compute(&l);
+            let mut set = MccSet2::compute(&l);
+            for _ in 0..40 {
+                let mut injected = Vec::new();
+                let mut healed = Vec::new();
+                for _ in 0..rng.gen_range(0..4) {
+                    let c = c2(rng.gen_range(0..w), rng.gen_range(0..h));
+                    if mesh.is_healthy(c) && !injected.contains(&c) {
+                        injected.push(c);
+                    }
+                }
+                let faults = mesh.faults().to_vec();
+                for _ in 0..rng.gen_range(0..4) {
+                    let c = faults[rng.gen_range(0..faults.len())];
+                    if !healed.contains(&c) {
+                        healed.push(c);
+                    }
+                }
+                for &c in &injected {
+                    mesh.inject_fault(c);
+                }
+                for &c in &healed {
+                    mesh.heal_fault(c);
+                }
+                let changed = l.repair(&injected, &healed, Parallelism::SEQ);
+                let sources = comps.repair(&l, &changed);
+                set.repair(&l, &comps, &sources, &changed);
+                let fresh = MccSet2::compute(&l);
+                assert_eq!(set.mccs, fresh.mccs);
+            }
         }
     }
 }

@@ -27,14 +27,14 @@
 use mesh_topo::{Axis3, Box3, NodeSet, NodeSpace3, C2, C3};
 use serde::{Deserialize, Serialize};
 
-use crate::components::Components3;
+use crate::components::{CompSource, Components3};
 use crate::labelling3::Labelling3;
 
 /// Sentinel line extent meaning "the component does not touch this line".
 const NO_LINE: (i32, i32) = (i32::MAX, i32::MIN);
 
 /// One Minimal Connected Component of a 3-D labelling (canonical coords).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Mcc3 {
     /// Component id (index into the owning [`MccSet3`]).
     pub id: u32,
@@ -66,7 +66,7 @@ pub struct MccSet3 {
 }
 
 impl Mcc3 {
-    fn from_cells(id: u32, cells: Vec<C3>, lab: &Labelling3) -> Mcc3 {
+    pub(crate) fn from_cells(id: u32, cells: Vec<C3>, lab: &Labelling3) -> Mcc3 {
         debug_assert!(!cells.is_empty());
         let mut bounds = Box3::point(cells[0]);
         for &c in &cells[1..] {
@@ -239,6 +239,42 @@ impl MccSet3 {
     pub fn component_containing(&self, c: C3) -> Option<&Mcc3> {
         self.mccs.iter().find(|m| m.contains(c))
     }
+
+    /// Incrementally repair the MCC shapes after a component repair — the
+    /// 3-D twin of [`MccSet2::repair`](crate::mcc2::MccSet2::repair), with the same contract: rebuilt or
+    /// status-touched components are re-extracted, the rest reused with
+    /// renumbered ids, bit-for-bit equal to `MccSet3::compute(lab)`.
+    pub fn repair(
+        &mut self,
+        lab: &Labelling3,
+        comps: &Components3,
+        sources: &[CompSource],
+        changed: &[usize],
+    ) {
+        let space = lab.space();
+        let mut dirty = vec![false; comps.len()];
+        for &i in changed {
+            if let Some(id) = comps.component_of(space.coord(i)) {
+                dirty[id as usize] = true;
+            }
+        }
+        let mut old: Vec<Option<Mcc3>> = std::mem::take(&mut self.mccs)
+            .into_iter()
+            .map(Some)
+            .collect();
+        self.mccs = sources
+            .iter()
+            .enumerate()
+            .map(|(j, src)| match *src {
+                CompSource::Carried { old: o } if !dirty[j] => {
+                    let mut m = old[o].take().expect("component carried twice");
+                    m.id = j as u32;
+                    m
+                }
+                _ => Mcc3::from_cells(j as u32, comps.cells[j].clone(), lab),
+            })
+            .collect();
+    }
 }
 
 #[cfg(test)]
@@ -341,5 +377,65 @@ mod tests {
         let (_, set) = figure5();
         assert!(set.component_containing(c3(0, 0, 0)).is_none());
         assert_eq!(set.component_containing(c3(7, 8, 4)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn repair_matches_compute_on_random_churn_3d() {
+        use crate::components::Components3;
+        use mesh_topo::Parallelism;
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for torus in [false, true] {
+            let k = 6;
+            let mut mesh = if torus {
+                Mesh3D::torus(k, k, k)
+            } else {
+                Mesh3D::kary(k)
+            };
+            let mut rng = SmallRng::seed_from_u64(torus as u64 + 31);
+            for _ in 0..18 {
+                mesh.inject_fault(c3(
+                    rng.gen_range(0..k),
+                    rng.gen_range(0..k),
+                    rng.gen_range(0..k),
+                ));
+            }
+            let mut l =
+                Labelling3::compute(&mesh, Frame3::identity(&mesh), BorderPolicy::BorderSafe);
+            let mut comps = Components3::compute(&l);
+            let mut set = MccSet3::compute(&l);
+            for _ in 0..25 {
+                let mut injected = Vec::new();
+                let mut healed = Vec::new();
+                for _ in 0..rng.gen_range(0..4) {
+                    let c = c3(
+                        rng.gen_range(0..k),
+                        rng.gen_range(0..k),
+                        rng.gen_range(0..k),
+                    );
+                    if mesh.is_healthy(c) && !injected.contains(&c) {
+                        injected.push(c);
+                    }
+                }
+                let faults = mesh.faults().to_vec();
+                for _ in 0..rng.gen_range(0..4) {
+                    let c = faults[rng.gen_range(0..faults.len())];
+                    if !healed.contains(&c) {
+                        healed.push(c);
+                    }
+                }
+                for &c in &injected {
+                    mesh.inject_fault(c);
+                }
+                for &c in &healed {
+                    mesh.heal_fault(c);
+                }
+                let changed = l.repair(&injected, &healed, Parallelism::SEQ);
+                let sources = comps.repair(&l, &changed);
+                set.repair(&l, &comps, &sources, &changed);
+                let fresh = MccSet3::compute(&l);
+                assert_eq!(set.mccs, fresh.mccs);
+            }
+        }
     }
 }

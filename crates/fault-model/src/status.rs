@@ -82,6 +82,19 @@ impl NodeStatus {
     pub fn mark_cant_reach(&mut self) {
         self.0 |= Self::CANT_REACH;
     }
+
+    /// Remove the useless label — the retraction half of incremental
+    /// labelling repair. Other bits are untouched.
+    #[inline]
+    pub fn clear_useless(&mut self) {
+        self.0 &= !Self::USELESS;
+    }
+
+    /// Remove the can't-reach label. Other bits are untouched.
+    #[inline]
+    pub fn clear_cant_reach(&mut self) {
+        self.0 &= !Self::CANT_REACH;
+    }
 }
 
 impl core::fmt::Debug for NodeStatus {

@@ -115,6 +115,34 @@ pub struct OverheadRow {
     pub total_msgs: f64,
 }
 
+/// One row of the incremental-maintenance churn tables (E12).
+///
+/// Every column is a deterministic count — no timings — so churn rows are
+/// golden-snapshot stable across machines and thread counts.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct ChurnRow {
+    /// Fault population (held stable by pairing each heal with an inject).
+    pub faults: usize,
+    /// Churn rounds applied per seed.
+    pub rounds: usize,
+    /// Mean faults injected per seed across the whole trace.
+    pub injected: f64,
+    /// Mean faults healed per seed across the whole trace.
+    pub healed: f64,
+    /// Mean node statuses touched by the incremental repairs per seed —
+    /// the work actually done; scales with perturbation size, not mesh
+    /// size.
+    pub statuses_repaired: f64,
+    /// Mean unsafe-node count after the final round.
+    pub unsafe_end: f64,
+    /// Mean MCC count after the final round.
+    pub mccs_end: f64,
+    /// Fraction of per-round equivalence checks (incremental vs
+    /// from-scratch) that matched. The runner refuses to report anything
+    /// but `1.0`.
+    pub verified: f64,
+}
+
 /// One row of the labelling-convergence tables (E7, protocol layer only).
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 pub struct LabellingRow {

@@ -24,7 +24,11 @@
 //! MCC sets and fault blocks are built per orientation instead of per
 //! pair (and table rows stay bit-identical — see `run_routing`).
 
+use fault_model::incremental::{IncrementalModels2, IncrementalModels3};
+use fault_model::mcc2::MccSet2;
+use fault_model::mcc3::MccSet3;
 use fault_model::stats::{region_stats_2d, region_stats_3d};
+use fault_model::{Labelling2, Labelling3};
 use mcc_protocols::boundary2::build_pipeline_2d;
 use mcc_protocols::labelling::{DistLabelling2, DistLabelling3};
 use mcc_routing::prepared::{PreparedMesh2, PreparedMesh3};
@@ -38,7 +42,7 @@ use sim_net::RunStats;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::scenario::{MeshDims, Scenario, ScenarioError, TableKind};
-use crate::{LabellingRow, OverheadRow, RegionRow, RoutingRow};
+use crate::{ChurnRow, LabellingRow, OverheadRow, RegionRow, RoutingRow};
 
 /// Rows produced by one scenario, tagged by table family.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -51,6 +55,8 @@ pub enum TableRows {
     Overhead(Vec<OverheadRow>),
     /// Labelling-convergence rows (E7-style, 2-D or 3-D).
     Labelling(Vec<LabellingRow>),
+    /// Incremental-maintenance churn rows (E12-style).
+    Churn(Vec<ChurnRow>),
 }
 
 /// The outcome of running one scenario.
@@ -156,6 +162,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
         TableKind::Routing => TableRows::Routing(run_routing(scenario)),
         TableKind::Overhead => TableRows::Overhead(run_overhead(scenario)?),
         TableKind::Labelling => TableRows::Labelling(run_labelling(scenario)),
+        TableKind::Churn => TableRows::Churn(run_churn(scenario)),
     };
     Ok(ScenarioReport {
         scenario: scenario.clone(),
@@ -500,6 +507,191 @@ fn run_labelling(sc: &Scenario) -> Vec<LabellingRow> {
         .collect()
 }
 
+/// Per-seed tallies of one churn trace (see [`run_churn`]).
+struct ChurnSeed {
+    injected: usize,
+    healed: usize,
+    repaired: usize,
+    unsafe_end: usize,
+    mccs_end: usize,
+    checks: usize,
+    matched: usize,
+}
+
+/// Flips per churn round: `max(1, round(rate × faults))`, clamped so a
+/// dense configuration never asks for more heals than there are faults or
+/// more injections than there are healthy nodes.
+fn churn_flips(rate: f64, faults: usize, healthy: usize) -> usize {
+    ((rate * faults as f64).round() as usize)
+        .max(1)
+        .min(faults)
+        .min(healthy)
+}
+
+/// E12-style churn tables: each seed owns one fault configuration wrapped
+/// in [`IncrementalModels2`]/[`IncrementalModels3`] and drives
+/// `churn_rounds` rounds of paired heal+inject churn through it (the
+/// fault population stays at the row's nominal count). After **every**
+/// round the maintained identity-orientation models are checked against a
+/// from-scratch recomputation; the runner refuses (panics) to aggregate a
+/// row unless every check of every seed matched, so a churn table is
+/// itself an equivalence certificate. `statuses_repaired` counts the node
+/// statuses the incremental repairs actually touched — the quantity that
+/// scales with perturbation size rather than mesh size.
+fn run_churn(sc: &Scenario) -> Vec<ChurnRow> {
+    let (outer, intra) = thread_split(sc);
+    sc.fault_counts
+        .iter()
+        .map(|&n| {
+            let seeds = parallel_seeds_with(sc.seed_start..sc.seed_end, outer, |seed| {
+                let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9) ^ n as u64);
+                match sc.dims {
+                    MeshDims::D2 { width, height } => {
+                        let mut mesh = build_mesh_2d(sc, width, height);
+                        sc.fault_spec(n, seed ^ ((n as u64) << 32))
+                            .inject_2d(&mut mesh, &[]);
+                        churn_seed_2d(sc, mesh, intra, &mut rng)
+                    }
+                    MeshDims::D3 { x, y, z } => {
+                        let mut mesh = build_mesh_3d(sc, x, y, z);
+                        sc.fault_spec(n, seed ^ ((n as u64) << 32))
+                            .inject_3d(&mut mesh, &[]);
+                        churn_seed_3d(sc, mesh, intra, &mut rng)
+                    }
+                }
+            });
+            let k = seeds.len() as f64;
+            let checks: usize = seeds.iter().map(|s| s.checks).sum();
+            let matched: usize = seeds.iter().map(|s| s.matched).sum();
+            assert_eq!(
+                matched, checks,
+                "churn equivalence violated at {n} faults: incremental models \
+                 diverged from from-scratch recomputation"
+            );
+            ChurnRow {
+                faults: n,
+                rounds: sc.churn_rounds,
+                injected: seeds.iter().map(|s| s.injected as f64).sum::<f64>() / k,
+                healed: seeds.iter().map(|s| s.healed as f64).sum::<f64>() / k,
+                statuses_repaired: seeds.iter().map(|s| s.repaired as f64).sum::<f64>() / k,
+                unsafe_end: seeds.iter().map(|s| s.unsafe_end as f64).sum::<f64>() / k,
+                mccs_end: seeds.iter().map(|s| s.mccs_end as f64).sum::<f64>() / k,
+                verified: matched as f64 / checks as f64,
+            }
+        })
+        .collect()
+}
+
+fn churn_seed_2d(sc: &Scenario, mesh: Mesh2D, intra: Parallelism, rng: &mut SmallRng) -> ChurnSeed {
+    let (w, h) = (mesh.width(), mesh.height());
+    let nodes = (w * h) as usize;
+    let mut inc = IncrementalModels2::with_parallelism(mesh, sc.border, intra);
+    let mut out = ChurnSeed {
+        injected: 0,
+        healed: 0,
+        repaired: 0,
+        unsafe_end: 0,
+        mccs_end: 0,
+        checks: 0,
+        matched: 0,
+    };
+    for _ in 0..sc.churn_rounds {
+        let faults = inc.mesh().faults().to_vec();
+        let flips = churn_flips(sc.churn_rate, faults.len(), nodes - faults.len());
+        let mut healed: Vec<C2> = Vec::new();
+        while healed.len() < flips {
+            let c = faults[rng.gen_range(0..faults.len())];
+            if !healed.contains(&c) {
+                healed.push(c);
+            }
+        }
+        let mut injected: Vec<C2> = Vec::new();
+        while injected.len() < flips {
+            let c = c2(rng.gen_range(0..w), rng.gen_range(0..h));
+            if inc.mesh().is_healthy(c) && !injected.contains(&c) {
+                injected.push(c);
+            }
+        }
+        inc.apply(&injected, &healed);
+        out.injected += injected.len();
+        out.healed += healed.len();
+
+        let mesh = inc.mesh().clone();
+        let frame = Frame2::identity(&mesh);
+        let m = inc.models(frame);
+        let lab = Labelling2::compute(&mesh, frame, sc.border);
+        let mccs = MccSet2::compute(&lab);
+        out.checks += 1;
+        let ok = m.lab.iter().zip(lab.iter()).all(|((_, a), (_, b))| a == b)
+            && m.lab.unsafe_set() == lab.unsafe_set()
+            && m.mccs.mccs == mccs.mccs;
+        if ok {
+            out.matched += 1;
+        }
+        out.unsafe_end = lab.unsafe_set().len();
+        out.mccs_end = mccs.mccs.len();
+    }
+    out.repaired = inc.statuses_repaired();
+    out
+}
+
+fn churn_seed_3d(sc: &Scenario, mesh: Mesh3D, intra: Parallelism, rng: &mut SmallRng) -> ChurnSeed {
+    let (nx, ny, nz) = (mesh.nx(), mesh.ny(), mesh.nz());
+    let nodes = (nx * ny * nz) as usize;
+    let mut inc = IncrementalModels3::with_parallelism(mesh, sc.border, intra);
+    let mut out = ChurnSeed {
+        injected: 0,
+        healed: 0,
+        repaired: 0,
+        unsafe_end: 0,
+        mccs_end: 0,
+        checks: 0,
+        matched: 0,
+    };
+    for _ in 0..sc.churn_rounds {
+        let faults = inc.mesh().faults().to_vec();
+        let flips = churn_flips(sc.churn_rate, faults.len(), nodes - faults.len());
+        let mut healed: Vec<C3> = Vec::new();
+        while healed.len() < flips {
+            let c = faults[rng.gen_range(0..faults.len())];
+            if !healed.contains(&c) {
+                healed.push(c);
+            }
+        }
+        let mut injected: Vec<C3> = Vec::new();
+        while injected.len() < flips {
+            let c = c3(
+                rng.gen_range(0..nx),
+                rng.gen_range(0..ny),
+                rng.gen_range(0..nz),
+            );
+            if inc.mesh().is_healthy(c) && !injected.contains(&c) {
+                injected.push(c);
+            }
+        }
+        inc.apply(&injected, &healed);
+        out.injected += injected.len();
+        out.healed += healed.len();
+
+        let mesh = inc.mesh().clone();
+        let frame = Frame3::identity(&mesh);
+        let m = inc.models(frame);
+        let lab = Labelling3::compute(&mesh, frame, sc.border);
+        let mccs = MccSet3::compute(&lab);
+        out.checks += 1;
+        let ok = m.lab.iter().zip(lab.iter()).all(|((_, a), (_, b))| a == b)
+            && m.lab.unsafe_set() == lab.unsafe_set()
+            && m.mccs.mccs == mccs.mccs;
+        if ok {
+            out.matched += 1;
+        }
+        out.unsafe_end = lab.unsafe_set().len();
+        out.mccs_end = mccs.mccs.len();
+    }
+    out.repaired = inc.statuses_repaired();
+    out
+}
+
 fn run_overhead_3d(sc: &Scenario, x: i32, y: i32, z: i32) -> Vec<OverheadRow> {
     let (near, far) = (c3(0, 0, 0), c3(x - 1, y - 1, z - 1));
     let (outer, intra) = thread_split(sc);
@@ -621,6 +813,34 @@ impl ScenarioReport {
                     );
                 }
             }
+            TableRows::Churn(rows) => {
+                let _ = writeln!(
+                    out,
+                    "{:>7} {:>7} {:>9} {:>8} {:>9} {:>11} {:>7} {:>9}",
+                    "faults",
+                    "rounds",
+                    "injected",
+                    "healed",
+                    "repaired",
+                    "unsafe-end",
+                    "#MCC",
+                    "verified"
+                );
+                for r in rows {
+                    let _ = writeln!(
+                        out,
+                        "{:>7} {:>7} {:>9.1} {:>8.1} {:>9.1} {:>11.2} {:>7.2} {:>9.2}",
+                        r.faults,
+                        r.rounds,
+                        r.injected,
+                        r.healed,
+                        r.statuses_repaired,
+                        r.unsafe_end,
+                        r.mccs_end,
+                        r.verified
+                    );
+                }
+            }
             TableRows::Overhead(rows) => {
                 let _ = writeln!(
                     out,
@@ -685,7 +905,8 @@ mod tests {
     fn table_rows_are_identical_for_every_thread_count() {
         let routing = Scenario::routing_2d(10, &[4, 10], 6);
         let labelling = Scenario::labelling_2d(12, &[5, 15], 4);
-        for sc in [routing, labelling] {
+        let churn = Scenario::churn_2d(10, &[4, 9], 4, 5);
+        for sc in [routing, labelling, churn] {
             let rows: Vec<String> = [1usize, 2, 4]
                 .into_iter()
                 .map(|threads| {
@@ -730,6 +951,34 @@ mod tests {
         let sc = Scenario::overhead_2d(10, &[90], 2);
         let err = run_scenario(&sc).unwrap_err();
         assert!(err.to_string().contains("interior"), "got: {err}");
+    }
+
+    #[test]
+    fn churn_rows_stay_at_nominal_population_and_verify() {
+        // 2-D torus and 3-D mesh churn: every round flips churn_rate × n
+        // faults, so injected == healed == rounds × flips per seed, the
+        // verified column is pinned at 1.0 (the runner panics otherwise),
+        // and the repaired-status count is nonzero (repairs really ran).
+        let mut sc2 = Scenario::churn_2d(12, &[8], 3, 6);
+        sc2.wrap = true;
+        let sc3 = Scenario::churn_3d(6, &[10], 2, 4);
+        for sc in [sc2, sc3] {
+            let report = run_scenario(&sc).unwrap();
+            match &report.rows {
+                TableRows::Churn(rows) => {
+                    assert_eq!(rows.len(), 1);
+                    let r = &rows[0];
+                    let flips = ((0.25f64 * r.faults as f64).round() as usize).max(1);
+                    assert_eq!(r.injected, (sc.churn_rounds * flips) as f64, "{}", sc.name);
+                    assert_eq!(r.healed, r.injected, "{}", sc.name);
+                    assert_eq!(r.verified, 1.0, "{}", sc.name);
+                    assert!(r.statuses_repaired >= 0.0);
+                }
+                _ => panic!("wrong table kind"),
+            }
+            let rendered = report.render();
+            assert!(rendered.contains("verified"), "got: {rendered}");
+        }
     }
 
     #[test]

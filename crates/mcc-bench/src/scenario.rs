@@ -58,6 +58,11 @@ pub enum TableKind {
     Overhead,
     /// Distributed labelling convergence alone (E7-style, any dims).
     Labelling,
+    /// Incremental model maintenance under fault churn (E12-style): each
+    /// seed runs an inject/heal trace through
+    /// [`fault_model::incremental::IncrementalModels2`] (or the 3-D twin)
+    /// and verifies every repaired model against from-scratch recomputation.
+    Churn,
 }
 
 impl TableKind {
@@ -67,6 +72,7 @@ impl TableKind {
             TableKind::Routing => "routing",
             TableKind::Overhead => "overhead",
             TableKind::Labelling => "labelling",
+            TableKind::Churn => "churn",
         }
     }
 }
@@ -214,6 +220,20 @@ pub struct Scenario {
     /// environment variable overrides this knob at run time.
     #[serde(default)]
     pub threads: usize,
+    /// Churn rounds per seed (churn tables only; `[churn] rounds`). Each
+    /// round heals and re-injects `max(1, round(churn_rate × faults))`
+    /// faults, keeping the fault population stable.
+    #[serde(default)]
+    pub churn_rounds: usize,
+    /// Fraction of the fault population perturbed per churn round
+    /// (`[churn] rate`, in `(0, 1)`).
+    #[serde(default = "default_churn_rate")]
+    pub churn_rate: f64,
+}
+
+/// The serde/schema default for [`Scenario::churn_rate`].
+fn default_churn_rate() -> f64 {
+    0.25
 }
 
 /// Why a scenario failed to load.
@@ -343,10 +363,11 @@ impl Scenario {
             Some("routing") => TableKind::Routing,
             Some("overhead") => TableKind::Overhead,
             Some("labelling") => TableKind::Labelling,
+            Some("churn") => TableKind::Churn,
             other => {
                 return Err(invalid(format!(
-                    "`table` must be \"regions\", \"routing\", \"overhead\" or \
-                     \"labelling\", got {other:?}"
+                    "`table` must be \"regions\", \"routing\", \"overhead\", \
+                     \"labelling\" or \"churn\", got {other:?}"
                 )))
             }
         };
@@ -474,6 +495,32 @@ impl Scenario {
             }
         };
 
+        let (churn_rounds, churn_rate) = match doc.sections.get("churn") {
+            None => (0, default_churn_rate()),
+            Some(churn) => {
+                if table != TableKind::Churn {
+                    return Err(invalid(
+                        "a [churn] section is only meaningful with `table = \"churn\"`",
+                    ));
+                }
+                let rounds = require(churn, "churn", "rounds")?
+                    .as_int()
+                    .ok_or_else(|| invalid("`churn.rounds` must be an integer"))?;
+                let rounds = usize::try_from(rounds)
+                    .map_err(|_| invalid("`churn.rounds` must be non-negative"))?;
+                let rate = match churn.get("rate") {
+                    None => default_churn_rate(),
+                    Some(v) => v
+                        .as_float()
+                        .ok_or_else(|| invalid("`churn.rate` must be a number"))?,
+                };
+                (rounds, rate)
+            }
+        };
+        if table == TableKind::Churn && !doc.sections.contains_key("churn") {
+            return Err(invalid("churn scenarios need a [churn] section"));
+        }
+
         let scenario = Scenario {
             name,
             table,
@@ -488,6 +535,8 @@ impl Scenario {
             min_dist_frac,
             pairs_per_seed,
             threads,
+            churn_rounds,
+            churn_rate,
         };
         scenario.validate()?;
         Ok(scenario)
@@ -582,6 +631,27 @@ impl Scenario {
                 self.threads
             )));
         }
+        if self.table == TableKind::Churn {
+            if self.churn_rounds < 1 {
+                return Err(invalid(
+                    "`churn.rounds` must be at least 1 (zero rounds would churn \
+                     nothing and verify nothing)",
+                ));
+            }
+            if !(self.churn_rate.is_finite() && 0.0 < self.churn_rate && self.churn_rate < 1.0) {
+                return Err(invalid(format!(
+                    "`churn.rate` must be a finite fraction in (0, 1) of the fault \
+                     population perturbed per round, got {}",
+                    self.churn_rate
+                )));
+            }
+            if let Some(&n) = self.fault_counts.iter().find(|&&n| n == 0) {
+                return Err(invalid(format!(
+                    "churn scenarios need at least one fault to heal per round; \
+                     fault count {n} leaves the heal half of every batch empty"
+                )));
+            }
+        }
         if self.table == TableKind::Routing {
             let min_dist = (self.dims.max_extent() as f64 * self.min_dist_frac).round() as u32;
             let diameter = self.dims.diameter(self.wrap);
@@ -665,6 +735,16 @@ impl Scenario {
         }
         doc.sections.insert("run".into(), run);
 
+        // Emitted only for churn tables, mirroring the parse-time rule that
+        // a [churn] section on any other table kind is rejected; non-churn
+        // scenario files keep round-tripping byte-for-byte.
+        if self.table == TableKind::Churn {
+            let mut churn = Table::new();
+            churn.insert("rounds".into(), Value::Int(self.churn_rounds as i64));
+            churn.insert("rate".into(), Value::Float(self.churn_rate));
+            doc.sections.insert("churn".into(), churn);
+        }
+
         doc.render()
     }
 
@@ -691,7 +771,39 @@ impl Scenario {
             min_dist_frac: 0.5,
             pairs_per_seed: 1,
             threads: 0,
+            churn_rounds: 0,
+            churn_rate: default_churn_rate(),
         }
+    }
+
+    /// E12-style churn sweep over a square 2-D mesh: `rounds` inject/heal
+    /// batches per seed, verified against from-scratch recomputation.
+    pub fn churn_2d(width: i32, counts: &[usize], seeds: u64, rounds: usize) -> Scenario {
+        let mut s = Scenario::base(
+            "churn 2-D",
+            TableKind::Churn,
+            MeshDims::D2 {
+                width,
+                height: width,
+            },
+            counts,
+            seeds,
+        );
+        s.churn_rounds = rounds;
+        s
+    }
+
+    /// E12-style churn sweep over a k-ary 3-D mesh.
+    pub fn churn_3d(k: i32, counts: &[usize], seeds: u64, rounds: usize) -> Scenario {
+        let mut s = Scenario::base(
+            "churn 3-D",
+            TableKind::Churn,
+            MeshDims::D3 { x: k, y: k, z: k },
+            counts,
+            seeds,
+        );
+        s.churn_rounds = rounds;
+        s
     }
 
     /// E1-style region sweep over a square 2-D mesh.
@@ -916,6 +1028,61 @@ mod tests {
         let s = Scenario::from_toml(EXAMPLE).unwrap();
         let back = Scenario::from_toml(&s.to_toml()).unwrap();
         assert_eq!(s, back);
+    }
+
+    const CHURN_BASE: &str = "name = \"c\"\ntable = \"churn\"\n[mesh]\ndims = [16, 16]\n\
+         [faults]\ncounts = [8, 16]\n[run]\nseeds = [0, 4]\n";
+
+    #[test]
+    fn churn_schema_parses_and_round_trips() {
+        let text = format!("{CHURN_BASE}[churn]\nrounds = 12\nrate = 0.25\n");
+        let s = Scenario::from_toml(&text).unwrap();
+        assert_eq!(s.table, TableKind::Churn);
+        assert_eq!(s.churn_rounds, 12);
+        assert_eq!(s.churn_rate, 0.25);
+        let back = Scenario::from_toml(&s.to_toml()).unwrap();
+        assert_eq!(s, back, "churn knobs must round-trip");
+        // `rate` is optional and defaults to 0.25.
+        let defaulted = Scenario::from_toml(&format!("{CHURN_BASE}[churn]\nrounds = 3\n")).unwrap();
+        assert_eq!(defaulted.churn_rate, 0.25);
+    }
+
+    #[test]
+    fn churn_rejects_zero_rounds() {
+        let err = Scenario::from_toml(&format!("{CHURN_BASE}[churn]\nrounds = 0\n")).unwrap_err();
+        assert!(err.to_string().contains("rounds"), "got: {err}");
+    }
+
+    #[test]
+    fn churn_rejects_rate_at_or_beyond_one() {
+        for rate in ["1.0", "1.5", "0.0", "-0.25", "nan"] {
+            let text = format!("{CHURN_BASE}[churn]\nrounds = 4\nrate = {rate}\n");
+            let err = Scenario::from_toml(&text).unwrap_err();
+            assert!(
+                err.to_string().contains("rate") || err.line().is_some(),
+                "rate {rate} must be rejected, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn churn_rejects_fault_free_ramp_entries() {
+        // Every round must heal something, so a 0-fault mesh cannot churn.
+        let text = "name = \"c\"\ntable = \"churn\"\n[mesh]\ndims = [16, 16]\n\
+             [faults]\ncounts = [0, 8]\n[run]\nseeds = [0, 4]\n[churn]\nrounds = 4\n";
+        let err = Scenario::from_toml(text).unwrap_err();
+        assert!(err.to_string().contains("heal"), "got: {err}");
+    }
+
+    #[test]
+    fn churn_section_requires_churn_table() {
+        let text = "name = \"x\"\ntable = \"regions\"\n[mesh]\ndims = [8, 8]\n\
+             [faults]\ncounts = [4]\n[run]\nseeds = [0, 2]\n[churn]\nrounds = 4\n";
+        let err = Scenario::from_toml(text).unwrap_err();
+        assert!(err.to_string().contains("[churn]"), "got: {err}");
+        // And the converse: a churn table without its section is rejected.
+        let err = Scenario::from_toml(CHURN_BASE).unwrap_err();
+        assert!(err.to_string().contains("churn"), "got: {err}");
     }
 
     #[test]

@@ -49,3 +49,13 @@ fn e10_torus_quick_table_matches_golden_snapshot() {
 fn e11_torus_quick_table_matches_golden_snapshot() {
     assert_quick_matches_golden("e11_torus_3d.toml", "e11_torus_3d_quick.txt");
 }
+
+#[test]
+fn e12_churn_quick_table_matches_golden_snapshot() {
+    // Beyond renderer determinism this pins the incremental-maintenance
+    // path end-to-end: the runner refuses to produce churn rows at all
+    // unless every per-round equivalence check against from-scratch
+    // recomputation passed, so a drift here means the repair pipeline
+    // (or its RNG consumption) changed.
+    assert_quick_matches_golden("e12_churn_2d.toml", "e12_churn_2d_quick.txt");
+}

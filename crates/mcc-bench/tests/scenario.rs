@@ -82,6 +82,19 @@ fn named_scenarios_have_expected_shape() {
             height: 32
         }
     );
+
+    // The incremental-maintenance churn scenario (E12).
+    let e12 = Scenario::load(format!("{root}/e12_churn_2d.toml")).unwrap();
+    assert_eq!(e12.table, TableKind::Churn);
+    assert_eq!(
+        e12.dims,
+        MeshDims::D2 {
+            width: 16,
+            height: 16
+        }
+    );
+    assert_eq!(e12.churn_rounds, 12);
+    assert_eq!(e12.churn_rate, 0.25);
 }
 
 /// A small labelling scenario runs the protocol layer through the runner

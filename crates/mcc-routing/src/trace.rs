@@ -18,7 +18,7 @@ pub enum RouteResult {
 }
 
 /// Full record of one 2-D routing attempt.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RouteOutcome2 {
     /// How the attempt ended.
     pub result: RouteResult,
@@ -32,7 +32,7 @@ pub struct RouteOutcome2 {
 }
 
 /// Full record of one 3-D routing attempt.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RouteOutcome3 {
     /// How the attempt ended.
     pub result: RouteResult,

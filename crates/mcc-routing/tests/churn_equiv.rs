@@ -1,0 +1,162 @@
+//! Routing half of the churn equivalence battery (DESIGN.md §12).
+//!
+//! The fault-model battery pins the maintained *models* bit-for-bit; this
+//! one pins the **decisions made on top of them**: after every step of a
+//! random inject/heal trace, routing over [`IncrementalModels2`] /
+//! [`IncrementalModels3`] — full [`Policy::suite`] per pair, on mesh and
+//! torus — must produce [`RouteOutcome2`]/[`RouteOutcome3`] records equal
+//! field-for-field (result, full path, adaptivity sum, detection cost) to
+//! a router running on freshly recomputed models of the churned mesh.
+
+use fault_model::incremental::{IncrementalModels2, IncrementalModels3};
+use fault_model::mcc2::MccSet2;
+use fault_model::mcc3::MccSet3;
+use fault_model::{BorderPolicy, Labelling2, Labelling3};
+use mcc_routing::policy::Policy;
+use mcc_routing::router2::Router2;
+use mcc_routing::router3::Router3;
+use mesh_topo::coord::{c2, c3};
+use mesh_topo::{Frame2, Frame3, Mesh2D, Mesh3D, C2, C3};
+use proptest::prelude::*;
+
+fn step_2d(mesh: &Mesh2D, raw: &(Vec<(i32, i32)>, Vec<u8>)) -> (Vec<C2>, Vec<C2>) {
+    let (w, h) = (mesh.width(), mesh.height());
+    let mut injected = Vec::new();
+    for &(x, y) in &raw.0 {
+        let c = c2(x.rem_euclid(w), y.rem_euclid(h));
+        if mesh.is_healthy(c) && !injected.contains(&c) {
+            injected.push(c);
+        }
+    }
+    let faults = mesh.faults();
+    let mut healed = Vec::new();
+    for &pick in &raw.1 {
+        if faults.is_empty() {
+            break;
+        }
+        let c = faults[pick as usize % faults.len()];
+        if !healed.contains(&c) {
+            healed.push(c);
+        }
+    }
+    (injected, healed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// 2-D: every policy of the suite routes identically over maintained
+    /// and fresh models, after every churn step.
+    #[test]
+    fn routing_over_incremental_models_equals_fresh_2d(
+        dims in (7..12i32, 7..12i32),
+        torus in any::<bool>(),
+        init in proptest::collection::vec((0..12i32, 0..12i32), 0..14),
+        trace in proptest::collection::vec(
+            (proptest::collection::vec((0..12i32, 0..12i32), 0..3),
+             proptest::collection::vec(any::<u8>(), 0..3)),
+            1..7),
+        pairs in proptest::collection::vec((0..12i32, 0..12i32, 0..12i32, 0..12i32), 1..5),
+        seed in any::<u64>(),
+    ) {
+        let (w, h) = dims;
+        let mut mesh = if torus { Mesh2D::torus(w, h) } else { Mesh2D::new(w, h) };
+        for (x, y) in init {
+            let c = c2(x % w, y % h);
+            if mesh.is_healthy(c) {
+                mesh.inject_fault(c);
+            }
+        }
+        let mut inc = IncrementalModels2::new(mesh, BorderPolicy::BorderSafe);
+        for raw in &trace {
+            let (injected, healed) = step_2d(inc.mesh(), raw);
+            inc.apply(&injected, &healed);
+            for &(sx, sy, dx, dy) in &pairs {
+                let s = c2(sx % w, sy % h);
+                let d = c2(dx % w, dy % h);
+                let mesh = inc.mesh().clone();
+                if !mesh.is_healthy(s) || !mesh.is_healthy(d) {
+                    continue;
+                }
+                let frame = Frame2::for_pair(&mesh, s, d);
+                let (cs, cd) = (frame.to_canon(s), frame.to_canon(d));
+                let m = inc.models(frame);
+                let fresh_lab = Labelling2::compute(&mesh, frame, BorderPolicy::BorderSafe);
+                let fresh_mccs = MccSet2::compute(&fresh_lab);
+                let maintained = Router2::new(m.lab, m.mccs);
+                let fresh = Router2::new(&fresh_lab, &fresh_mccs);
+                for policy in Policy::suite(seed) {
+                    let got = maintained.route(cs, cd, &mut policy.clone());
+                    let want = fresh.route(cs, cd, &mut policy.clone());
+                    prop_assert_eq!(&got, &want, "routing diverged for {}->{}", s, d);
+                }
+            }
+        }
+    }
+
+    /// 3-D twin, identity-octant pairs on k-ary meshes and tori.
+    #[test]
+    fn routing_over_incremental_models_equals_fresh_3d(
+        k in 5..7i32,
+        torus in any::<bool>(),
+        init in proptest::collection::vec((0..7i32, 0..7i32, 0..7i32), 0..12),
+        trace in proptest::collection::vec(
+            (proptest::collection::vec((0..7i32, 0..7i32, 0..7i32), 0..3),
+             proptest::collection::vec(any::<u8>(), 0..2)),
+            1..5),
+        pairs in proptest::collection::vec(
+            (0..7i32, 0..7i32, 0..7i32, 0..7i32, 0..7i32, 0..7i32), 1..4),
+        seed in any::<u64>(),
+    ) {
+        let mut mesh = if torus { Mesh3D::torus(k, k, k) } else { Mesh3D::kary(k) };
+        for (x, y, z) in init {
+            let c = c3(x % k, y % k, z % k);
+            if mesh.is_healthy(c) {
+                mesh.inject_fault(c);
+            }
+        }
+        let mut inc = IncrementalModels3::new(mesh, BorderPolicy::BorderSafe);
+        for raw in &trace {
+            let (nx, ny, nz) = (k, k, k);
+            let mut injected: Vec<C3> = Vec::new();
+            for &(x, y, z) in &raw.0 {
+                let c = c3(x.rem_euclid(nx), y.rem_euclid(ny), z.rem_euclid(nz));
+                if inc.mesh().is_healthy(c) && !injected.contains(&c) {
+                    injected.push(c);
+                }
+            }
+            let faults = inc.mesh().faults().to_vec();
+            let mut healed: Vec<C3> = Vec::new();
+            for &pick in &raw.1 {
+                if faults.is_empty() {
+                    break;
+                }
+                let c = faults[pick as usize % faults.len()];
+                if !healed.contains(&c) {
+                    healed.push(c);
+                }
+            }
+            inc.apply(&injected, &healed);
+            for &(sx, sy, sz, dx, dy, dz) in &pairs {
+                let s = c3(sx % k, sy % k, sz % k);
+                let d = c3(dx % k, dy % k, dz % k);
+                let mesh = inc.mesh().clone();
+                if !mesh.is_healthy(s) || !mesh.is_healthy(d) {
+                    continue;
+                }
+                let frame = Frame3::for_pair(&mesh, s, d);
+                let (cs, cd) = (frame.to_canon(s), frame.to_canon(d));
+                let m = inc.models(frame);
+                let fresh_lab = Labelling3::compute(&mesh, frame, BorderPolicy::BorderSafe);
+                let fresh_mccs = MccSet3::compute(&fresh_lab);
+                let maintained = Router3::new(m.lab, m.mccs);
+                let fresh = Router3::new(&fresh_lab, &fresh_mccs);
+                for policy in Policy::suite(seed) {
+                    let got = maintained.route(cs, cd, &mut policy.clone());
+                    let want = fresh.route(cs, cd, &mut policy.clone());
+                    prop_assert_eq!(&got, &want, "routing diverged for {}->{}", s, d);
+                }
+            }
+        }
+    }
+}

@@ -145,6 +145,63 @@ impl Mesh2D {
         }
     }
 
+    /// Return `c` to healthy. Returns `true` if the node was previously
+    /// faulty. The fault list keeps the injection order of the survivors.
+    ///
+    /// # Panics
+    /// If `c` is outside the mesh.
+    pub fn heal_fault(&mut self, c: C2) -> bool {
+        assert!(self.contains(c), "fault healed outside mesh: {c:?}");
+        if self.faulty.remove(self.space.index(c)) {
+            self.fault_list.retain(|&f| f != c);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Batch-inject every node of `delta` (a bitset over [`Mesh2D::space`]).
+    /// Already-faulty nodes are left untouched; new faults are appended to
+    /// the fault list in index order. Returns how many nodes flipped.
+    ///
+    /// # Panics
+    /// If `delta` is not sized for this mesh's node space.
+    pub fn inject_fault_set(&mut self, delta: &NodeSet) -> usize {
+        assert_eq!(
+            delta.capacity(),
+            self.space.len(),
+            "delta/mesh size mismatch"
+        );
+        let mut flipped = 0;
+        for i in delta.iter() {
+            if self.faulty.insert(i) {
+                self.fault_list.push(self.space.coord(i));
+                flipped += 1;
+            }
+        }
+        flipped
+    }
+
+    /// Batch-heal every node of `delta` (a bitset over [`Mesh2D::space`])
+    /// in one pass over the fault list (injection order of the survivors is
+    /// preserved). Healthy members of `delta` are ignored. Returns how many
+    /// nodes flipped.
+    ///
+    /// # Panics
+    /// If `delta` is not sized for this mesh's node space.
+    pub fn heal_fault_set(&mut self, delta: &NodeSet) -> usize {
+        assert_eq!(
+            delta.capacity(),
+            self.space.len(),
+            "delta/mesh size mismatch"
+        );
+        let before = self.fault_list.len();
+        let space = self.space;
+        self.fault_list.retain(|&f| !delta.contains(space.index(f)));
+        self.faulty.difference_with(delta);
+        before - self.fault_list.len()
+    }
+
     /// True if the node exists and is faulty.
     #[inline]
     pub fn is_faulty(&self, c: C2) -> bool {
@@ -326,6 +383,63 @@ impl Mesh3D {
         }
     }
 
+    /// Return `c` to healthy. Returns `true` if the node was previously
+    /// faulty. The fault list keeps the injection order of the survivors.
+    ///
+    /// # Panics
+    /// If `c` is outside the mesh.
+    pub fn heal_fault(&mut self, c: C3) -> bool {
+        assert!(self.contains(c), "fault healed outside mesh: {c:?}");
+        if self.faulty.remove(self.space.index(c)) {
+            self.fault_list.retain(|&f| f != c);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Batch-inject every node of `delta` (a bitset over [`Mesh3D::space`]).
+    /// Already-faulty nodes are left untouched; new faults are appended to
+    /// the fault list in index order. Returns how many nodes flipped.
+    ///
+    /// # Panics
+    /// If `delta` is not sized for this mesh's node space.
+    pub fn inject_fault_set(&mut self, delta: &NodeSet) -> usize {
+        assert_eq!(
+            delta.capacity(),
+            self.space.len(),
+            "delta/mesh size mismatch"
+        );
+        let mut flipped = 0;
+        for i in delta.iter() {
+            if self.faulty.insert(i) {
+                self.fault_list.push(self.space.coord(i));
+                flipped += 1;
+            }
+        }
+        flipped
+    }
+
+    /// Batch-heal every node of `delta` (a bitset over [`Mesh3D::space`])
+    /// in one pass over the fault list (injection order of the survivors is
+    /// preserved). Healthy members of `delta` are ignored. Returns how many
+    /// nodes flipped.
+    ///
+    /// # Panics
+    /// If `delta` is not sized for this mesh's node space.
+    pub fn heal_fault_set(&mut self, delta: &NodeSet) -> usize {
+        assert_eq!(
+            delta.capacity(),
+            self.space.len(),
+            "delta/mesh size mismatch"
+        );
+        let before = self.fault_list.len();
+        let space = self.space;
+        self.fault_list.retain(|&f| !delta.contains(space.index(f)));
+        self.faulty.difference_with(delta);
+        before - self.fault_list.len()
+    }
+
     /// True if the node exists and is faulty.
     #[inline]
     pub fn is_faulty(&self, c: C3) -> bool {
@@ -477,6 +591,64 @@ mod tests {
         assert!(!m.wraps());
         assert!(!m.are_neighbors(c2(0, 0), c2(3, 0)));
         assert_eq!(m.dist(c2(0, 0), c2(3, 2)), 5);
+    }
+
+    #[test]
+    fn heal_fault_reverses_injection_and_keeps_order() {
+        let mut m = Mesh2D::new(6, 6);
+        for c in [c2(1, 1), c2(4, 2), c2(3, 3)] {
+            m.inject_fault(c);
+        }
+        assert!(m.heal_fault(c2(4, 2)));
+        assert!(!m.heal_fault(c2(4, 2))); // idempotent
+        assert!(m.is_healthy(c2(4, 2)));
+        assert_eq!(m.faults(), &[c2(1, 1), c2(3, 3)]); // injection order kept
+        assert_eq!(m.fault_set().len(), 2);
+    }
+
+    #[test]
+    fn batch_churn_matches_node_by_node() {
+        let mut a = Mesh2D::new(8, 8);
+        let mut b = Mesh2D::new(8, 8);
+        for c in [c2(0, 0), c2(3, 4), c2(7, 7), c2(2, 2)] {
+            a.inject_fault(c);
+            b.inject_fault(c);
+        }
+        let space = a.space();
+        let inject = NodeSet::from_indices(
+            space.len(),
+            [space.index(c2(5, 5)), space.index(c2(2, 2))], // one already faulty
+        );
+        let heal = NodeSet::from_indices(
+            space.len(),
+            [space.index(c2(3, 4)), space.index(c2(6, 6))], // one already healthy
+        );
+        assert_eq!(a.inject_fault_set(&inject), 1);
+        assert_eq!(a.heal_fault_set(&heal), 1);
+        b.inject_fault(c2(5, 5));
+        b.heal_fault(c2(3, 4));
+        assert_eq!(a.fault_set(), b.fault_set());
+        assert_eq!(a.faults(), b.faults());
+    }
+
+    #[test]
+    fn mesh3_heal_and_batch_churn() {
+        let mut m = Mesh3D::kary(4);
+        for c in [c3(0, 0, 0), c3(3, 3, 3), c3(1, 2, 3)] {
+            m.inject_fault(c);
+        }
+        assert!(m.heal_fault(c3(3, 3, 3)));
+        assert_eq!(m.faults(), &[c3(0, 0, 0), c3(1, 2, 3)]);
+        let space = m.space();
+        let inject = NodeSet::from_indices(space.len(), [space.index(c3(2, 2, 2))]);
+        assert_eq!(m.inject_fault_set(&inject), 1);
+        let heal = NodeSet::from_indices(
+            space.len(),
+            [space.index(c3(0, 0, 0)), space.index(c3(1, 2, 3))],
+        );
+        assert_eq!(m.heal_fault_set(&heal), 2);
+        assert_eq!(m.faults(), &[c3(2, 2, 2)]);
+        assert_eq!(m.fault_set().len(), 1);
     }
 
     #[test]

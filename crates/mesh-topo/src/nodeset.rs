@@ -829,6 +829,33 @@ impl NodeSet {
         self.recount();
     }
 
+    /// Iterate the members of `self ∖ other` in increasing order without
+    /// materializing the difference — the dirty-region view of a churn
+    /// delta: `after.difference_iter(before)` walks exactly the nodes that
+    /// flipped on, one masked word at a time.
+    ///
+    /// # Panics
+    /// If the sets cover differently sized spaces.
+    pub fn difference_iter<'a>(&'a self, other: &'a NodeSet) -> impl Iterator<Item = usize> + 'a {
+        assert_eq!(self.nbits, other.nbits, "node set size mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .enumerate()
+            .flat_map(|(wi, (&a, &b))| {
+                let mut bits = a & !b;
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        None
+                    } else {
+                        let tz = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        Some(wi * 64 + tz)
+                    }
+                })
+            })
+    }
+
     /// True if the sets share no member.
     ///
     /// # Panics
@@ -1039,6 +1066,19 @@ mod tests {
     #[should_panic]
     fn from_raw_words_rejects_wrong_word_count() {
         NodeSet::from_raw_words(70, vec![0u64]);
+    }
+
+    #[test]
+    fn difference_iter_matches_materialized_difference() {
+        let a = NodeSet::from_indices(200, [0, 1, 63, 64, 65, 130, 199]);
+        let b = NodeSet::from_indices(200, [1, 64, 130, 140]);
+        let lazy: Vec<usize> = a.difference_iter(&b).collect();
+        let mut diff = a.clone();
+        diff.difference_with(&b);
+        let materialized: Vec<usize> = diff.iter().collect();
+        assert_eq!(lazy, materialized);
+        assert_eq!(lazy, vec![0, 63, 65, 199]);
+        assert!(b.difference_iter(&a).eq([140]));
     }
 
     #[test]
