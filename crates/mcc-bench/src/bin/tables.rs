@@ -10,17 +10,46 @@
 //! run every `*.toml` under `scenarios/`. `--quick` shrinks each scenario's
 //! seed range to a tenth for a fast smoke run. The experiment → scenario
 //! map lives in `EXPERIMENTS.md`.
+//!
+//! The resolved file list is deduplicated by canonical path, so passing
+//! the same scenario twice — or combining `--all` with an explicit path it
+//! already covers — runs it once. `table = "load"` scenarios are not row
+//! tables: explicitly naming one is an error pointing at the `loadgen`
+//! binary, and `--all` skips them with a note.
 
+use std::collections::HashSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use mcc_bench::runner::run_scenario;
-use mcc_bench::scenario::Scenario;
+use mcc_bench::scenario::{Scenario, TableKind};
 
 const SCENARIO_DIR: &str = "scenarios";
 
 fn usage() -> &'static str {
     "usage: tables [--quick] <scenario.toml>... | tables [--quick] --all"
+}
+
+/// Merge explicitly named paths with `--all` discoveries into one run
+/// list, first occurrence wins, deduplicated by canonical path (so
+/// `scenarios/e1.toml` and `./scenarios/../scenarios/e1.toml` collapse).
+/// The flag records whether the surviving occurrence was named
+/// explicitly — discovered load scenarios are skipped, explicit ones are
+/// an error.
+fn resolve_paths(explicit: &[PathBuf], discovered: &[PathBuf]) -> Vec<(PathBuf, bool)> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    let tagged = explicit
+        .iter()
+        .map(|p| (p, true))
+        .chain(discovered.iter().map(|p| (p, false)));
+    for (path, is_explicit) in tagged {
+        let key = std::fs::canonicalize(path).unwrap_or_else(|_| path.clone());
+        if seen.insert(key) {
+            out.push((path.clone(), is_explicit));
+        }
+    }
+    out
 }
 
 fn main() -> ExitCode {
@@ -34,27 +63,30 @@ fn main() -> ExitCode {
     }
     let quick = args.iter().any(|a| a == "--quick");
     let all = args.iter().any(|a| a == "--all");
-    let mut paths: Vec<PathBuf> = args
+    let explicit: Vec<PathBuf> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(PathBuf::from)
         .collect();
 
-    if all {
+    let discovered = if all {
         match scenario_dir_files() {
-            Ok(found) => paths.extend(found),
+            Ok(found) => found,
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         }
-    }
+    } else {
+        Vec::new()
+    };
+    let paths = resolve_paths(&explicit, &discovered);
     if paths.is_empty() {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     }
 
-    for path in &paths {
+    for (path, is_explicit) in &paths {
         let scenario = match Scenario::load(path) {
             Ok(s) => s,
             Err(e) => {
@@ -62,6 +94,18 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        if scenario.table == TableKind::Load {
+            if *is_explicit {
+                eprintln!(
+                    "error: {}: load scenarios are open-loop ramps, not row tables; \
+                     run them with the `loadgen` binary",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!("skipping load scenario {} (use `loadgen`)", path.display());
+            continue;
+        }
         let scenario = if quick { scenario.quick() } else { scenario };
         match run_scenario(&scenario) {
             Ok(report) => println!("{}", report.render()),
@@ -86,4 +130,46 @@ fn scenario_dir_files() -> Result<Vec<PathBuf>, String> {
         return Err(format!("no .toml scenarios found in {SCENARIO_DIR}/"));
     }
     Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: the same scenario named twice — or once explicitly and
+    /// once via `--all` discovery, possibly through a different spelling
+    /// of the same file — must survive resolution exactly once, with the
+    /// explicit occurrence winning.
+    #[test]
+    fn resolve_paths_dedupes_explicit_and_discovered() {
+        let dir = std::env::temp_dir().join(format!("mcc-tables-dedupe-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.toml");
+        let b = dir.join("b.toml");
+        std::fs::write(&a, "x").unwrap();
+        std::fs::write(&b, "x").unwrap();
+        // A relative-style respelling of `a` that canonicalizes equal.
+        let a_respelled = dir.join(".").join("a.toml");
+
+        let resolved = resolve_paths(
+            &[a.clone(), a.clone(), a_respelled],
+            &[a.clone(), b.clone()],
+        );
+        assert_eq!(
+            resolved,
+            vec![(a, true), (b, false)],
+            "one run per file; explicit occurrence first"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resolve_paths_keeps_missing_files_for_the_loader_to_report() {
+        // Canonicalization fails on nonexistent paths; they must still
+        // pass through (deduped textually) so `Scenario::load` can print
+        // its error instead of the path silently vanishing.
+        let ghost = PathBuf::from("no/such/scenario.toml");
+        let resolved = resolve_paths(&[ghost.clone(), ghost.clone()], &[]);
+        assert_eq!(resolved, vec![(ghost, true)]);
+    }
 }

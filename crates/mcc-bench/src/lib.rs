@@ -21,6 +21,11 @@
 //! speedup to `BENCH_mcc_label.json` (see DESIGN.md §6); the criterion
 //! benches under `benches/` time the other kernels.
 //!
+//! The `loadgen` binary drives `table = "load"` scenarios: open-loop
+//! saturation ramps over a pool of prepared meshes mixing routing,
+//! labelling and churn ops, with per-step latency percentiles from the
+//! log-bucketed [`hist::LatencyHist`] (see [`loadgen`] and DESIGN.md §13).
+//!
 //! # Examples
 //!
 //! Build a scenario programmatically, run it, and read the table rows
@@ -43,6 +48,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hist;
+pub mod loadgen;
 pub mod runner;
 pub mod scenario;
 pub mod toml_lite;

@@ -121,6 +121,19 @@ pub(crate) fn parallel_seeds_with<T: Send>(
         .collect()
 }
 
+/// Split a resolved thread budget between an outer sweep of at most
+/// `outer_cap` independent units and the per-unit kernels. The outer
+/// level soaks up the budget first — independent units parallelize
+/// perfectly — and only when the unit count is narrower than the budget
+/// does the surplus spill inward as intra-mesh parallelism. Shared by the
+/// seed sweep here and the slot pool in [`crate::loadgen`].
+pub(crate) fn split_budget(budget: usize, outer_cap: usize) -> (usize, Parallelism) {
+    let budget = budget.max(1);
+    let outer = budget.min(outer_cap.max(1));
+    let intra = (budget / outer).max(1);
+    (outer, Parallelism::new(intra))
+}
+
 /// Split the scenario's thread budget (after the `MCC_THREADS` override)
 /// between the seed sweep and the per-seed kernels. Seeds soak up the
 /// budget first; only when the seed range is narrower than the budget
@@ -128,9 +141,45 @@ pub(crate) fn parallel_seeds_with<T: Send>(
 /// into intra-mesh parallelism.
 fn thread_split(sc: &Scenario) -> (usize, Parallelism) {
     let budget = Parallelism::new(sc.threads).from_env().resolve();
-    let outer = budget.min((sc.seed_count().max(1)) as usize);
-    let intra = (budget / outer).max(1);
-    (outer, Parallelism::new(intra))
+    split_budget(budget, sc.seed_count().max(1) as usize)
+}
+
+// --- Per-kind seed-mixing streams ---------------------------------------
+//
+// Every table family derives its per-seed randomness from the scenario
+// seed through one of three fixed mixing functions, chosen so the streams
+// are decorrelated from each other (a fault population drawn at seed s
+// must not echo the trial RNG at seed s) while staying bit-for-bit stable
+// across releases — every published table depends on these exact
+// constants:
+//
+// * [`mix_fault_seed`]   — `seed ^ (n << 32)`: fault-population draws for
+//   the regions and churn tables. The fault count lands in the high half
+//   of the seed, far from SmallRng's low-word sensitivity.
+// * [`mix_interior_seed`] — `seed ^ (n << 24)`: interior fault placement
+//   for the overhead tables and the labelling table's populations. A
+//   distinct shift keeps E5/E7-style rows decorrelated from E1/E12-style
+//   rows at equal (seed, n).
+// * [`mix_trial_seed`]   — `seed · 0x9e37_79b9 ^ n`: the per-seed trial
+//   RNG (pair sampling, policy seeds, churn flips). The odd golden-ratio
+//   multiplier whitens consecutive seeds before the count is folded in.
+//
+// Changing any of these silently regenerates different tables from the
+// same scenario file; `seed_mixing_streams_are_pinned` below fails first.
+
+/// Fault-population stream: `seed ^ (n << 32)` (regions, churn inject).
+pub(crate) fn mix_fault_seed(seed: u64, n: usize) -> u64 {
+    seed ^ ((n as u64) << 32)
+}
+
+/// Interior/labelling population stream: `seed ^ (n << 24)`.
+pub(crate) fn mix_interior_seed(seed: u64, n: usize) -> u64 {
+    seed ^ ((n as u64) << 24)
+}
+
+/// Trial-RNG stream: `seed · 0x9e37_79b9 ^ n` (routing pairs, churn flips).
+pub(crate) fn mix_trial_seed(seed: u64, n: usize) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9) ^ n as u64
 }
 
 /// Construct the scenario's 2-D network (mesh or torus).
@@ -163,6 +212,12 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
         TableKind::Overhead => TableRows::Overhead(run_overhead(scenario)?),
         TableKind::Labelling => TableRows::Labelling(run_labelling(scenario)),
         TableKind::Churn => TableRows::Churn(run_churn(scenario)),
+        TableKind::Load => {
+            return Err(ScenarioError::new(
+                "load scenarios are open-loop ramps, not row tables; \
+                 run them with the `loadgen` binary",
+            ));
+        }
     };
     Ok(ScenarioReport {
         scenario: scenario.clone(),
@@ -176,7 +231,7 @@ fn run_regions(sc: &Scenario) -> Vec<RegionRow> {
         .iter()
         .map(|&n| {
             let stats = parallel_seeds_with(sc.seed_start..sc.seed_end, outer, |seed| {
-                let spec = sc.fault_spec(n, seed ^ ((n as u64) << 32));
+                let spec = sc.fault_spec(n, mix_fault_seed(seed, n));
                 match sc.dims {
                     MeshDims::D2 { width, height } => {
                         let mut mesh = build_mesh_2d(sc, width, height);
@@ -254,7 +309,7 @@ const PAIR_SAMPLE_ATTEMPTS: usize = 100_000;
 /// Sample a healthy pair at least `min_dist` apart on a faulty mesh
 /// (the batched path injects faults first, so endpoints are rejected
 /// rather than protected).
-fn random_healthy_pair_2d(rng: &mut SmallRng, mesh: &Mesh2D, min_dist: u32) -> (C2, C2) {
+pub(crate) fn random_healthy_pair_2d(rng: &mut SmallRng, mesh: &Mesh2D, min_dist: u32) -> (C2, C2) {
     for _ in 0..PAIR_SAMPLE_ATTEMPTS {
         let (s, d) = random_pair_2d(rng, mesh, min_dist);
         if mesh.is_healthy(s) && mesh.is_healthy(d) {
@@ -265,7 +320,7 @@ fn random_healthy_pair_2d(rng: &mut SmallRng, mesh: &Mesh2D, min_dist: u32) -> (
 }
 
 /// 3-D twin of [`random_healthy_pair_2d`].
-fn random_healthy_pair_3d(rng: &mut SmallRng, mesh: &Mesh3D, min_dist: u32) -> (C3, C3) {
+pub(crate) fn random_healthy_pair_3d(rng: &mut SmallRng, mesh: &Mesh3D, min_dist: u32) -> (C3, C3) {
     for _ in 0..PAIR_SAMPLE_ATTEMPTS {
         let (s, d) = random_pair_3d(rng, mesh, min_dist);
         if mesh.is_healthy(s) && mesh.is_healthy(d) {
@@ -299,7 +354,7 @@ fn run_routing(sc: &Scenario) -> Vec<RoutingRow> {
         .iter()
         .map(|&n| {
             let results = parallel_seeds_with(sc.seed_start..sc.seed_end, outer, |seed| {
-                let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9) ^ n as u64);
+                let mut rng = SmallRng::seed_from_u64(mix_trial_seed(seed, n));
                 match sc.dims {
                     MeshDims::D2 { width, height } => {
                         let mut mesh = build_mesh_2d(sc, width, height);
@@ -427,7 +482,7 @@ fn run_overhead_2d(
                 let mut mesh = Mesh2D::new(width, height);
                 // Interior faults only: the identification walks assume
                 // regions that stay off the mesh border (see DESIGN.md).
-                let mut rng = SmallRng::seed_from_u64(seed ^ ((n as u64) << 24));
+                let mut rng = SmallRng::seed_from_u64(mix_interior_seed(seed, n));
                 let mut placed = 0;
                 while placed < n {
                     let c = c2(rng.gen_range(1..width - 1), rng.gen_range(1..height - 1));
@@ -481,7 +536,7 @@ fn run_labelling(sc: &Scenario) -> Vec<LabellingRow> {
         .map(|&n| {
             let stats: Vec<RunStats> =
                 parallel_seeds_with(sc.seed_start..sc.seed_end, outer, |seed| {
-                    let spec = sc.fault_spec(n, seed ^ ((n as u64) << 24));
+                    let spec = sc.fault_spec(n, mix_interior_seed(seed, n));
                     match sc.dims {
                         MeshDims::D2 { width, height } => {
                             let mut mesh = build_mesh_2d(sc, width, height);
@@ -544,17 +599,17 @@ fn run_churn(sc: &Scenario) -> Vec<ChurnRow> {
         .iter()
         .map(|&n| {
             let seeds = parallel_seeds_with(sc.seed_start..sc.seed_end, outer, |seed| {
-                let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9) ^ n as u64);
+                let mut rng = SmallRng::seed_from_u64(mix_trial_seed(seed, n));
                 match sc.dims {
                     MeshDims::D2 { width, height } => {
                         let mut mesh = build_mesh_2d(sc, width, height);
-                        sc.fault_spec(n, seed ^ ((n as u64) << 32))
+                        sc.fault_spec(n, mix_fault_seed(seed, n))
                             .inject_2d(&mut mesh, &[]);
                         churn_seed_2d(sc, mesh, intra, &mut rng)
                     }
                     MeshDims::D3 { x, y, z } => {
                         let mut mesh = build_mesh_3d(sc, x, y, z);
-                        sc.fault_spec(n, seed ^ ((n as u64) << 32))
+                        sc.fault_spec(n, mix_fault_seed(seed, n))
                             .inject_3d(&mut mesh, &[]);
                         churn_seed_3d(sc, mesh, intra, &mut rng)
                     }
@@ -869,6 +924,41 @@ impl ScenarioReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Pin the three per-kind seed-mixing streams against their exact
+    /// historical values (see the comment block by the definitions): any
+    /// change here regenerates different tables from the same scenarios.
+    #[test]
+    fn seed_mixing_streams_are_pinned() {
+        assert_eq!(mix_fault_seed(3, 5), 21_474_836_483);
+        assert_eq!(mix_interior_seed(3, 5), 83_886_083);
+        assert_eq!(mix_trial_seed(7, 9), 18_581_050_374);
+        assert_eq!(mix_fault_seed(0xdead_beef, 17), 76_750_372_591);
+        assert_eq!(mix_interior_seed(0xdead_beef, 17), 3_484_270_319);
+        assert_eq!(mix_trial_seed(12_345, 40), 32_769_009_568_281);
+        // The streams must disagree with each other at equal inputs —
+        // that decorrelation is the reason three variants exist.
+        for (seed, n) in [(0u64, 1usize), (1, 1), (42, 8), (u64::MAX, 4096)] {
+            let (a, b, c) = (
+                mix_fault_seed(seed, n),
+                mix_interior_seed(seed, n),
+                mix_trial_seed(seed, n),
+            );
+            assert!(a != b && b != c && a != c, "collision at ({seed}, {n})");
+        }
+    }
+
+    #[test]
+    fn split_budget_soaks_outer_first() {
+        // Budget narrower than the outer cap: all of it goes outward.
+        assert_eq!(split_budget(4, 100).0, 4);
+        assert_eq!(split_budget(4, 100).1.resolve(), 1);
+        // Outer cap narrower than the budget: surplus spills inward.
+        let (outer, intra) = split_budget(8, 2);
+        assert_eq!((outer, intra.resolve()), (2, 4));
+        // Degenerate inputs clamp instead of dividing by zero.
+        assert_eq!(split_budget(0, 0).0, 1);
+    }
 
     #[test]
     fn work_stealing_sweep_is_ordered_for_every_pool_size() {

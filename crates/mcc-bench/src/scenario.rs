@@ -12,6 +12,7 @@
 //! ```toml
 //! name = "E1 — healthy nodes captured by fault regions (2-D)"
 //! table = "regions"            # regions | routing | overhead
+//!                              # | labelling | churn | load
 //!
 //! [mesh]
 //! dims = [32, 32]              # two entries for 2-D, three for 3-D
@@ -29,6 +30,22 @@
 //! min_dist_frac = 0.5          # min endpoint separation / largest dim
 //! pairs_per_seed = 1           # routing pairs batched per fault config
 //! threads = 0                  # worker threads (0 = all cores)
+//! ```
+//!
+//! Load scenarios (`table = "load"`) add a `[load]` section describing an
+//! open-loop saturation ramp (see [`LoadProfile`] and [`crate::loadgen`]):
+//!
+//! ```toml
+//! [load]
+//! initial_rps = 100            # offered rate of the first step
+//! increment_rps = 100          # rate increase per step
+//! max_rps = 500                # rate ceiling (ramp stops here)
+//! step_secs = 0.5              # wall-clock seconds per step
+//! mix = [0.6, 0.3, 0.1]        # routing / labelling / churn proportions
+//! pool = 4                     # mesh instances per geometry
+//! alt_dims = [8, 8, 8]         # optional second geometry (mixed 2-D/3-D)
+//! p99_limit_ms = 50.0          # saturation threshold on step p99
+//! fail_limit = 0.05            # saturation threshold on failure rate
 //! ```
 //!
 //! `pairs_per_seed` (routing tables only) batches that many
@@ -63,16 +80,25 @@ pub enum TableKind {
     /// [`fault_model::incremental::IncrementalModels2`] (or the 3-D twin)
     /// and verifies every repaired model against from-scratch recomputation.
     Churn,
+    /// Saturation-style load generation (E13/E14-style): an open-loop
+    /// request stream over a long-lived pool of prepared meshes and
+    /// incremental-churn models, ramping the offered rate until latency or
+    /// failure rate saturates. Driven by the `loadgen` binary through
+    /// [`crate::loadgen::run_load`] — the `tables` runner rejects it
+    /// because step reports carry wall-clock timings.
+    Load,
 }
 
 impl TableKind {
-    fn as_str(self) -> &'static str {
+    /// The table name as it appears in scenario files.
+    pub fn as_str(self) -> &'static str {
         match self {
             TableKind::Regions => "regions",
             TableKind::Routing => "routing",
             TableKind::Overhead => "overhead",
             TableKind::Labelling => "labelling",
             TableKind::Churn => "churn",
+            TableKind::Load => "load",
         }
     }
 }
@@ -137,6 +163,73 @@ impl MeshDims {
             MeshDims::D2 { width, height } => axis(width) + axis(height),
             MeshDims::D3 { x, y, z } => axis(x) + axis(y) + axis(z),
         }
+    }
+}
+
+/// Open-loop ramp description for `table = "load"` scenarios (the
+/// `[load]` TOML section).
+///
+/// The loadgen harness offers `initial_rps` requests per second for
+/// `step_secs`, then raises the rate by `increment_rps` per step until
+/// either `max_rps` is reached or a step saturates (its p99 latency
+/// crosses `p99_limit_ms` or its failure rate crosses `fail_limit`).
+/// Each step's requests are drawn from three operation classes — routing
+/// trials, labelling-convergence runs and fault-churn batches — in the
+/// proportions of `mix`, interleaved deterministically (see
+/// [`crate::loadgen`]). The pool holds `pool` long-lived mesh instances
+/// per geometry; `alt_dims` adds a second geometry so one scenario can
+/// drive a mixed 2-D/3-D pool.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LoadProfile {
+    /// Offered request rate of the first step (requests/second).
+    pub initial_rps: u32,
+    /// Rate increase per step. May be 0 only when `max_rps == initial_rps`
+    /// (a single fixed-rate step) — the ramp must terminate.
+    pub increment_rps: u32,
+    /// Rate ceiling: the ramp stops after the step that reaches it.
+    pub max_rps: u32,
+    /// Wall-clock seconds per step; with the offered rate it fixes the
+    /// (deterministic) request count of each step.
+    pub step_secs: f64,
+    /// Workload-mix weight of routing trials.
+    pub mix_routing: f64,
+    /// Workload-mix weight of labelling-convergence operations.
+    pub mix_labelling: f64,
+    /// Workload-mix weight of fault-churn operations.
+    pub mix_churn: f64,
+    /// Long-lived mesh instances per geometry.
+    pub pool: usize,
+    /// Optional second mesh geometry (2 or 3 extents): the pool then holds
+    /// `pool` instances of **both**, and requests spread across all of
+    /// them round-robin — a mixed-dimensionality workload in one scenario.
+    pub alt_dims: Option<MeshDims>,
+    /// Saturation threshold on a step's p99 latency, in milliseconds.
+    pub p99_limit_ms: f64,
+    /// Saturation threshold on a step's failure rate, in `(0, 1]`.
+    pub fail_limit: f64,
+}
+
+/// Schema defaults for the optional `[load]` keys.
+impl LoadProfile {
+    /// Default pool size per geometry.
+    pub const DEFAULT_POOL: usize = 2;
+    /// Default p99 saturation threshold (milliseconds).
+    pub const DEFAULT_P99_LIMIT_MS: f64 = 50.0;
+    /// Default failure-rate saturation threshold.
+    pub const DEFAULT_FAIL_LIMIT: f64 = 0.05;
+
+    /// Mix weights in class order (routing, labelling, churn).
+    pub fn mix(&self) -> [f64; 3] {
+        [self.mix_routing, self.mix_labelling, self.mix_churn]
+    }
+
+    /// Number of ramp steps the profile can run before hitting `max_rps`
+    /// (saturation may stop it earlier).
+    pub fn max_steps(&self) -> usize {
+        if self.increment_rps == 0 {
+            return 1;
+        }
+        1 + (self.max_rps.saturating_sub(self.initial_rps)).div_ceil(self.increment_rps) as usize
     }
 }
 
@@ -229,6 +322,11 @@ pub struct Scenario {
     /// (`[churn] rate`, in `(0, 1)`).
     #[serde(default = "default_churn_rate")]
     pub churn_rate: f64,
+    /// Open-loop ramp description (`[load]` section; load tables only).
+    /// For load scenarios `seed_start` doubles as the master seed of the
+    /// deterministic request schedule.
+    #[serde(default)]
+    pub load: Option<LoadProfile>,
 }
 
 /// The serde/schema default for [`Scenario::churn_rate`].
@@ -312,6 +410,32 @@ fn int_list(value: &Value, what: &str) -> Result<Vec<i64>, ScenarioError> {
         .collect()
 }
 
+/// Parse a 2- or 3-entry integer array into [`MeshDims`] (range rules
+/// live in [`Scenario::validate`], one source of truth).
+fn parse_dims(value: &Value, what: &str) -> Result<MeshDims, ScenarioError> {
+    let raw: Vec<i32> = int_list(value, what)?
+        .into_iter()
+        .map(|d| {
+            i32::try_from(d).map_err(|_| invalid(format!("`{what}` entries are out of range")))
+        })
+        .collect::<Result<_, _>>()?;
+    match raw.as_slice() {
+        [w, h] => Ok(MeshDims::D2 {
+            width: *w,
+            height: *h,
+        }),
+        [x, y, z] => Ok(MeshDims::D3 {
+            x: *x,
+            y: *y,
+            z: *z,
+        }),
+        other => Err(invalid(format!(
+            "`{what}` needs 2 or 3 entries, got {}",
+            other.len()
+        ))),
+    }
+}
+
 impl Scenario {
     /// Number of seeds/trials per fault count.
     pub fn seed_count(&self) -> u64 {
@@ -327,11 +451,24 @@ impl Scenario {
         }
     }
 
-    /// A copy with the seed range shrunk to roughly a tenth (at least one
-    /// seed), for `--quick` smoke runs.
+    /// A copy with the seed range shrunk to roughly a tenth, for `--quick`
+    /// smoke runs. The shrunk range is clamped to at least one seed, so a
+    /// scenario with fewer than 10 seeds never collapses to the empty
+    /// range [`Scenario::validate`] rejects (pinned by
+    /// `quick_never_empties_small_seed_ranges` below).
+    ///
+    /// Load scenarios additionally shrink their ramp: steps get a tenth of
+    /// the wall-clock (clamped to 50 ms) and the rate ceiling is clamped
+    /// to three steps, so `loadgen --quick` is a sub-second smoke run.
     pub fn quick(&self) -> Scenario {
         let mut s = self.clone();
         s.seed_end = s.seed_start + (self.seed_count() / 10).max(1);
+        if let Some(load) = &mut s.load {
+            load.step_secs = (load.step_secs / 10.0).max(0.05);
+            load.max_rps = load
+                .max_rps
+                .min(load.initial_rps.saturating_add(2 * load.increment_rps));
+        }
         s
     }
 
@@ -364,10 +501,11 @@ impl Scenario {
             Some("overhead") => TableKind::Overhead,
             Some("labelling") => TableKind::Labelling,
             Some("churn") => TableKind::Churn,
+            Some("load") => TableKind::Load,
             other => {
                 return Err(invalid(format!(
                     "`table` must be \"regions\", \"routing\", \"overhead\", \
-                     \"labelling\" or \"churn\", got {other:?}"
+                     \"labelling\", \"churn\" or \"load\", got {other:?}"
                 )))
             }
         };
@@ -379,27 +517,7 @@ impl Scenario {
         // Only a conversion guard here; the 2..=4096 range rule lives in
         // `Scenario::validate` (one source of truth for load-time and
         // programmatic scenarios alike).
-        let dims_raw: Vec<i32> = int_list(require(mesh, "mesh", "dims")?, "mesh.dims")?
-            .into_iter()
-            .map(|d| i32::try_from(d).map_err(|_| invalid("`mesh.dims` entries are out of range")))
-            .collect::<Result<_, _>>()?;
-        let dims = match dims_raw.as_slice() {
-            [w, h] => MeshDims::D2 {
-                width: *w,
-                height: *h,
-            },
-            [x, y, z] => MeshDims::D3 {
-                x: *x,
-                y: *y,
-                z: *z,
-            },
-            other => {
-                return Err(invalid(format!(
-                    "`mesh.dims` needs 2 or 3 entries, got {}",
-                    other.len()
-                )))
-            }
-        };
+        let dims = parse_dims(require(mesh, "mesh", "dims")?, "mesh.dims")?;
         let wrap = match mesh.get("wrap") {
             None => false,
             Some(v) => v
@@ -521,6 +639,83 @@ impl Scenario {
             return Err(invalid("churn scenarios need a [churn] section"));
         }
 
+        let load = match doc.sections.get("load") {
+            None => None,
+            Some(load) => {
+                if table != TableKind::Load {
+                    return Err(invalid(
+                        "a [load] section is only meaningful with `table = \"load\"`",
+                    ));
+                }
+                let int_knob = |key: &str| -> Result<u32, ScenarioError> {
+                    let v = require(load, "load", key)?
+                        .as_int()
+                        .ok_or_else(|| invalid(format!("`load.{key}` must be an integer")))?;
+                    u32::try_from(v).map_err(|_| invalid(format!("`load.{key}` is out of range")))
+                };
+                let float_knob = |key: &str, default: f64| -> Result<f64, ScenarioError> {
+                    match load.get(key) {
+                        None => Ok(default),
+                        Some(v) => v
+                            .as_float()
+                            .ok_or_else(|| invalid(format!("`load.{key}` must be a number"))),
+                    }
+                };
+                let step_secs = require(load, "load", "step_secs")?
+                    .as_float()
+                    .ok_or_else(|| invalid("`load.step_secs` must be a number"))?;
+                let mix: Vec<f64> = require(load, "load", "mix")?
+                    .as_array()
+                    .ok_or_else(|| invalid("`load.mix` must be an array"))?
+                    .iter()
+                    .map(|v| {
+                        v.as_float()
+                            .ok_or_else(|| invalid("`load.mix` must hold numbers"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let [mix_routing, mix_labelling, mix_churn] = match mix.as_slice() {
+                    [r, l, c] => [*r, *l, *c],
+                    other => {
+                        return Err(invalid(format!(
+                            "`load.mix` needs exactly 3 entries \
+                             (routing, labelling, churn weights), got {}",
+                            other.len()
+                        )))
+                    }
+                };
+                let pool = match load.get("pool") {
+                    None => LoadProfile::DEFAULT_POOL,
+                    Some(v) => {
+                        let p = v
+                            .as_int()
+                            .ok_or_else(|| invalid("`load.pool` must be an integer"))?;
+                        usize::try_from(p)
+                            .map_err(|_| invalid("`load.pool` must be non-negative"))?
+                    }
+                };
+                let alt_dims = match load.get("alt_dims") {
+                    None => None,
+                    Some(v) => Some(parse_dims(v, "load.alt_dims")?),
+                };
+                Some(LoadProfile {
+                    initial_rps: int_knob("initial_rps")?,
+                    increment_rps: int_knob("increment_rps")?,
+                    max_rps: int_knob("max_rps")?,
+                    step_secs,
+                    mix_routing,
+                    mix_labelling,
+                    mix_churn,
+                    pool,
+                    alt_dims,
+                    p99_limit_ms: float_knob("p99_limit_ms", LoadProfile::DEFAULT_P99_LIMIT_MS)?,
+                    fail_limit: float_knob("fail_limit", LoadProfile::DEFAULT_FAIL_LIMIT)?,
+                })
+            }
+        };
+        if table == TableKind::Load && load.is_none() {
+            return Err(invalid("load scenarios need a [load] section"));
+        }
+
         let scenario = Scenario {
             name,
             table,
@@ -537,6 +732,7 @@ impl Scenario {
             threads,
             churn_rounds,
             churn_rate,
+            load,
         };
         scenario.validate()?;
         Ok(scenario)
@@ -664,6 +860,125 @@ impl Scenario {
                 )));
             }
         }
+        match (&self.load, self.table) {
+            (None, TableKind::Load) => {
+                return Err(invalid("load scenarios need a [load] section"));
+            }
+            (Some(_), t) if t != TableKind::Load => {
+                return Err(invalid(
+                    "a [load] section is only meaningful with `table = \"load\"`",
+                ));
+            }
+            (Some(load), TableKind::Load) => self.validate_load(load)?,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Load-profile knob rules (split out of [`Scenario::validate`] for
+    /// readability; only called for `table = "load"` scenarios).
+    fn validate_load(&self, load: &LoadProfile) -> Result<(), ScenarioError> {
+        if load.initial_rps < 1 {
+            return Err(invalid("`load.initial_rps` must be at least 1"));
+        }
+        if load.max_rps < load.initial_rps {
+            return Err(invalid(format!(
+                "`load.max_rps` ({}) must be at least `load.initial_rps` ({})",
+                load.max_rps, load.initial_rps
+            )));
+        }
+        if load.increment_rps == 0 && load.max_rps > load.initial_rps {
+            return Err(invalid(
+                "`load.increment_rps` must be positive when `max_rps` exceeds \
+                 `initial_rps` (a zero increment could never finish the ramp)",
+            ));
+        }
+        if load.initial_rps > 1_000_000 || load.max_rps > 1_000_000 {
+            return Err(invalid(
+                "`load` rates beyond 1,000,000 rps look like a unit mix-up",
+            ));
+        }
+        if !(load.step_secs.is_finite() && 0.0 < load.step_secs && load.step_secs <= 60.0) {
+            return Err(invalid(format!(
+                "`load.step_secs` must be a finite duration in (0, 60], got {}",
+                load.step_secs
+            )));
+        }
+        let mix = load.mix();
+        if mix.iter().any(|w| !w.is_finite() || *w < 0.0) || mix.iter().sum::<f64>() <= 0.0 {
+            return Err(invalid(format!(
+                "`load.mix` weights must be finite, non-negative and not all \
+                 zero, got {mix:?}"
+            )));
+        }
+        if !(1..=256).contains(&load.pool) {
+            return Err(invalid(format!(
+                "`load.pool` must be in 1..=256 instances per geometry, got {}",
+                load.pool
+            )));
+        }
+        if !(load.p99_limit_ms.is_finite() && load.p99_limit_ms > 0.0) {
+            return Err(invalid(format!(
+                "`load.p99_limit_ms` must be a positive duration, got {}",
+                load.p99_limit_ms
+            )));
+        }
+        if !(load.fail_limit.is_finite() && 0.0 < load.fail_limit && load.fail_limit <= 1.0) {
+            return Err(invalid(format!(
+                "`load.fail_limit` must be a fraction in (0, 1], got {}",
+                load.fail_limit
+            )));
+        }
+        if self.fault_counts.len() != 1 {
+            return Err(invalid(format!(
+                "load scenarios hold the fault population fixed per instance; \
+                 `faults.counts` must have exactly 1 entry, got {}",
+                self.fault_counts.len()
+            )));
+        }
+        let count = self.fault_counts[0];
+        if load.mix_churn > 0.0 && count == 0 {
+            return Err(invalid(
+                "a churn mix weight needs at least one fault to heal per batch",
+            ));
+        }
+        // Every geometry in the pool must obey the same shape rules as the
+        // primary mesh, keep two healthy routing endpoints, and admit the
+        // endpoint-separation requirement.
+        for dims in std::iter::once(self.dims).chain(load.alt_dims) {
+            let extents = match dims {
+                MeshDims::D2 { width, height } => vec![width, height],
+                MeshDims::D3 { x, y, z } => vec![x, y, z],
+            };
+            if extents.iter().any(|&d| !(2..=4096).contains(&d)) {
+                return Err(invalid(format!(
+                    "every load-pool mesh dimension must be in 2..=4096, got {extents:?}"
+                )));
+            }
+            if self.wrap && dims.min_extent() < 3 {
+                return Err(invalid(format!(
+                    "a torus needs every dimension >= 3, got {extents:?} in the load pool"
+                )));
+            }
+            if count + 2 > dims.nodes() {
+                return Err(invalid(format!(
+                    "fault count {count} leaves the {}-node load-pool mesh no \
+                     room for two healthy routing endpoints",
+                    dims.nodes()
+                )));
+            }
+            if load.mix_routing > 0.0 {
+                let min_dist = (dims.max_extent() as f64 * self.min_dist_frac).round() as u32;
+                let diameter = dims.diameter(self.wrap);
+                if min_dist > diameter {
+                    return Err(invalid(format!(
+                        "`run.min_dist_frac` asks for routing pairs at least \
+                         {min_dist} hops apart, but a load-pool geometry's \
+                         diameter is only {diameter}"
+                    )));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -745,6 +1060,41 @@ impl Scenario {
             doc.sections.insert("churn".into(), churn);
         }
 
+        // Same rule for the load profile: only load tables carry one.
+        if let Some(load) = &self.load {
+            let mut sec = Table::new();
+            sec.insert("initial_rps".into(), Value::Int(load.initial_rps as i64));
+            sec.insert(
+                "increment_rps".into(),
+                Value::Int(load.increment_rps as i64),
+            );
+            sec.insert("max_rps".into(), Value::Int(load.max_rps as i64));
+            sec.insert("step_secs".into(), Value::Float(load.step_secs));
+            sec.insert(
+                "mix".into(),
+                Value::Array(load.mix().into_iter().map(Value::Float).collect()),
+            );
+            sec.insert("pool".into(), Value::Int(load.pool as i64));
+            if let Some(alt) = load.alt_dims {
+                let alt_extents = match alt {
+                    MeshDims::D2 { width, height } => vec![width, height],
+                    MeshDims::D3 { x, y, z } => vec![x, y, z],
+                };
+                sec.insert(
+                    "alt_dims".into(),
+                    Value::Array(
+                        alt_extents
+                            .into_iter()
+                            .map(|d| Value::Int(d as i64))
+                            .collect(),
+                    ),
+                );
+            }
+            sec.insert("p99_limit_ms".into(), Value::Float(load.p99_limit_ms));
+            sec.insert("fail_limit".into(), Value::Float(load.fail_limit));
+            doc.sections.insert("load".into(), sec);
+        }
+
         doc.render()
     }
 
@@ -773,7 +1123,29 @@ impl Scenario {
             threads: 0,
             churn_rounds: 0,
             churn_rate: default_churn_rate(),
+            load: None,
         }
+    }
+
+    /// E13/E14-style load scenario: an open-loop ramp over a pool of 2-D
+    /// meshes (add `alt_dims` to the profile for a mixed 2-D/3-D pool).
+    /// `seed` becomes the master seed of the deterministic request
+    /// schedule.
+    pub fn load_2d(width: i32, faults: usize, seed: u64, profile: LoadProfile) -> Scenario {
+        let mut s = Scenario::base(
+            "load 2-D",
+            TableKind::Load,
+            MeshDims::D2 {
+                width,
+                height: width,
+            },
+            &[faults],
+            1,
+        );
+        s.seed_start = seed;
+        s.seed_end = seed + 1;
+        s.load = Some(profile);
+        s
     }
 
     /// E12-style churn sweep over a square 2-D mesh: `rounds` inject/heal
@@ -1091,5 +1463,143 @@ mod tests {
         assert_eq!(s.quick().seed_count(), 40);
         s.seed_end = 5;
         assert_eq!(s.quick().seed_count(), 1);
+    }
+
+    /// Regression: `--quick` on a scenario with fewer than 10 seeds must
+    /// clamp to one seed, never to the empty range `validate` rejects —
+    /// for every sub-10 range width and also when the range does not
+    /// start at 0.
+    #[test]
+    fn quick_never_empties_small_seed_ranges() {
+        for width in 1..10u64 {
+            for start in [0u64, 7, 123] {
+                let mut s = Scenario::regions_2d(8, &[2], 1);
+                s.seed_start = start;
+                s.seed_end = start + width;
+                let q = s.quick();
+                assert_eq!(q.seed_count(), 1, "range [{start}, {})", start + width);
+                assert_eq!(q.seed_start, start, "quick must not move the start");
+                q.validate()
+                    .expect("a quick-shrunk valid scenario stays valid");
+            }
+        }
+    }
+
+    fn demo_profile() -> LoadProfile {
+        LoadProfile {
+            initial_rps: 100,
+            increment_rps: 100,
+            max_rps: 500,
+            step_secs: 0.5,
+            mix_routing: 0.6,
+            mix_labelling: 0.3,
+            mix_churn: 0.1,
+            pool: 2,
+            alt_dims: None,
+            p99_limit_ms: 50.0,
+            fail_limit: 0.05,
+        }
+    }
+
+    const LOAD_BASE: &str = "name = \"l\"\ntable = \"load\"\n[mesh]\ndims = [16, 16]\n\
+         [faults]\ncounts = [12]\n[run]\nseeds = [0, 1]\n";
+
+    #[test]
+    fn load_schema_parses_and_round_trips() {
+        let text = format!(
+            "{LOAD_BASE}[load]\ninitial_rps = 100\nincrement_rps = 100\nmax_rps = 500\n\
+             step_secs = 0.5\nmix = [0.6, 0.3, 0.1]\npool = 4\nalt_dims = [6, 6, 6]\n"
+        );
+        let s = Scenario::from_toml(&text).unwrap();
+        assert_eq!(s.table, TableKind::Load);
+        let load = s.load.as_ref().unwrap();
+        assert_eq!(
+            (load.initial_rps, load.increment_rps, load.max_rps),
+            (100, 100, 500)
+        );
+        assert_eq!(load.step_secs, 0.5);
+        assert_eq!(load.mix(), [0.6, 0.3, 0.1]);
+        assert_eq!(load.pool, 4);
+        assert_eq!(load.alt_dims, Some(MeshDims::D3 { x: 6, y: 6, z: 6 }));
+        // Optional thresholds default.
+        assert_eq!(load.p99_limit_ms, LoadProfile::DEFAULT_P99_LIMIT_MS);
+        assert_eq!(load.fail_limit, LoadProfile::DEFAULT_FAIL_LIMIT);
+        assert_eq!(load.max_steps(), 5);
+        let back = Scenario::from_toml(&s.to_toml()).unwrap();
+        assert_eq!(s, back, "load knobs must round-trip");
+    }
+
+    #[test]
+    fn load_rejects_bad_knobs() {
+        for (extra, why) in [
+            ("", "missing [load] section"),
+            (
+                "[load]\ninitial_rps = 0\nincrement_rps = 1\nmax_rps = 5\nstep_secs = 0.5\nmix = [1.0, 0.0, 0.0]\n",
+                "zero initial rate",
+            ),
+            (
+                "[load]\ninitial_rps = 10\nincrement_rps = 1\nmax_rps = 5\nstep_secs = 0.5\nmix = [1.0, 0.0, 0.0]\n",
+                "ceiling below start",
+            ),
+            (
+                "[load]\ninitial_rps = 10\nincrement_rps = 0\nmax_rps = 50\nstep_secs = 0.5\nmix = [1.0, 0.0, 0.0]\n",
+                "zero increment with an unreachable ceiling",
+            ),
+            (
+                "[load]\ninitial_rps = 10\nincrement_rps = 5\nmax_rps = 50\nstep_secs = 0.0\nmix = [1.0, 0.0, 0.0]\n",
+                "zero step duration",
+            ),
+            (
+                "[load]\ninitial_rps = 10\nincrement_rps = 5\nmax_rps = 50\nstep_secs = 0.5\nmix = [0.0, 0.0, 0.0]\n",
+                "all-zero mix",
+            ),
+            (
+                "[load]\ninitial_rps = 10\nincrement_rps = 5\nmax_rps = 50\nstep_secs = 0.5\nmix = [1.0, 0.0]\n",
+                "two-entry mix",
+            ),
+            (
+                "[load]\ninitial_rps = 10\nincrement_rps = 5\nmax_rps = 50\nstep_secs = 0.5\nmix = [1.0, 0.0, 0.0]\npool = 0\n",
+                "empty pool",
+            ),
+        ] {
+            let text = format!("{LOAD_BASE}{extra}");
+            assert!(Scenario::from_toml(&text).is_err(), "should reject: {why}");
+        }
+        // A [load] section on a non-load table is rejected, like [churn].
+        let text = "name = \"x\"\ntable = \"regions\"\n[mesh]\ndims = [8, 8]\n\
+             [faults]\ncounts = [4]\n[run]\nseeds = [0, 2]\n\
+             [load]\ninitial_rps = 10\nincrement_rps = 5\nmax_rps = 50\n\
+             step_secs = 0.5\nmix = [1.0, 0.0, 0.0]\n";
+        let err = Scenario::from_toml(text).unwrap_err();
+        assert!(err.to_string().contains("[load]"), "got: {err}");
+        // Churn weight needs faults to heal, and the ramp must hold one
+        // fixed fault population.
+        let mut sc = Scenario::load_2d(16, 0, 0, demo_profile());
+        let err = sc.validate().unwrap_err();
+        assert!(err.to_string().contains("churn mix"), "got: {err}");
+        sc.fault_counts = vec![4, 8];
+        let err = sc.validate().unwrap_err();
+        assert!(err.to_string().contains("exactly 1"), "got: {err}");
+    }
+
+    #[test]
+    fn load_alt_geometry_is_validated_too() {
+        let mut profile = demo_profile();
+        profile.alt_dims = Some(MeshDims::D3 { x: 2, y: 2, z: 2 });
+        // 12 faults + 2 endpoints don't fit an 8-node alt mesh.
+        let sc = Scenario::load_2d(16, 12, 0, profile);
+        let err = sc.validate().unwrap_err();
+        assert!(err.to_string().contains("load-pool"), "got: {err}");
+    }
+
+    #[test]
+    fn quick_shrinks_load_ramp_to_a_smoke_run() {
+        let sc = Scenario::load_2d(16, 12, 0, demo_profile());
+        let q = sc.quick();
+        let load = q.load.as_ref().unwrap();
+        assert_eq!(load.step_secs, 0.05, "a tenth, clamped to 50 ms");
+        assert_eq!(load.max_rps, 300, "ramp clamped to three steps");
+        assert_eq!(load.max_steps(), 3);
+        q.validate().expect("quick load scenario stays valid");
     }
 }

@@ -1,0 +1,76 @@
+//! Property battery for the log-bucketed latency histogram.
+//!
+//! Three invariants the loadgen harness leans on (see
+//! `mcc_bench::hist` and DESIGN.md §13), checked over arbitrary `u64`
+//! sample sets spanning the full value range:
+//!
+//! * percentiles are monotone in the quantile (p50 ≤ p99 ≤ p999) and
+//!   bounded by the recorded extremes,
+//! * every sample's bucket brackets it, with relative bucket width
+//!   bounded by `1 / 2^SUB_BITS`,
+//! * recording through any sharding and merging is indistinguishable
+//!   from single-histogram recording (what the per-worker histograms in
+//!   the loadgen rely on).
+
+use mcc_bench::hist::{LatencyHist, SUB_BITS};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn percentiles_are_monotone_and_bounded(samples in vec(any::<u64>(), 1..200)) {
+        let mut h = LatencyHist::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let p50 = h.percentile(0.50);
+        let p99 = h.percentile(0.99);
+        let p999 = h.percentile(0.999);
+        prop_assert!(p50 <= p99);
+        prop_assert!(p99 <= p999);
+        prop_assert!(p999 <= h.max());
+        // The p50 report is some occupied bucket's upper bound, which is
+        // at least the sample that occupies it, so never below the min.
+        prop_assert!(h.min() <= p50);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_every_sample(samples in vec(any::<u64>(), 1..200)) {
+        for &s in &samples {
+            let index = LatencyHist::bucket_index(s);
+            let (lo, hi) = LatencyHist::bucket_bounds(index);
+            prop_assert!(lo <= s, "bucket {} lower bound {} above sample {}", index, lo, s);
+            prop_assert!(s <= hi, "bucket {} upper bound {} below sample {}", index, hi, s);
+            // Relative quantization error stays under 1/2^SUB_BITS.
+            if s > 0 {
+                let width = (hi - lo) as f64;
+                prop_assert!(width / s as f64 <= 1.0 / (1u64 << SUB_BITS) as f64 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_of_shards_equals_single_recording(
+        samples in vec(any::<u64>(), 0..300),
+        shards in 1usize..8,
+    ) {
+        let mut whole = LatencyHist::new();
+        let mut parts = vec![LatencyHist::new(); shards];
+        for (i, &s) in samples.iter().enumerate() {
+            whole.record(s);
+            parts[i % shards].record(s);
+        }
+        let mut merged = LatencyHist::new();
+        for part in &parts {
+            merged.merge(part);
+        }
+        prop_assert_eq!(&merged, &whole);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(merged.percentile(q), whole.percentile(q));
+        }
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        prop_assert_eq!(merged.mean(), whole.mean());
+    }
+}

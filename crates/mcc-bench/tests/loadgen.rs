@@ -1,0 +1,190 @@
+//! Integration battery for the saturation loadgen: the determinism
+//! contract (two runs of the same scenario execute the identical request
+//! sequence and failure counts — only wall-clock fields vary), the
+//! monotone ramp, the JSON summary's required fields, and the CLI
+//! surfaces of the `loadgen` and `tables` binaries.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use mcc_bench::loadgen::{run_load, LoadReport};
+use mcc_bench::run_scenario;
+use mcc_bench::scenario::{LoadProfile, MeshDims, Scenario};
+
+/// A sub-second ramp: 3 steps × 50 ms over a four-slot mixed 2-D/3-D
+/// pool, all three classes in the mix.
+fn mixed_scenario() -> Scenario {
+    Scenario::load_2d(
+        12,
+        8,
+        7,
+        LoadProfile {
+            initial_rps: 100,
+            increment_rps: 100,
+            max_rps: 300,
+            step_secs: 0.05,
+            mix_routing: 0.5,
+            mix_labelling: 0.3,
+            mix_churn: 0.2,
+            pool: 2,
+            alt_dims: Some(MeshDims::D3 { x: 6, y: 6, z: 6 }),
+            p99_limit_ms: LoadProfile::DEFAULT_P99_LIMIT_MS,
+            fail_limit: LoadProfile::DEFAULT_FAIL_LIMIT,
+        },
+    )
+}
+
+/// The deterministic projection of a report: everything except the
+/// wall-clock fields.
+fn deterministic_view(report: &LoadReport) -> Vec<(usize, u32, u64, u64, u64, u64, u64)> {
+    report
+        .steps
+        .iter()
+        .map(|s| {
+            (
+                s.step,
+                s.offered_rps,
+                s.ops,
+                s.ops_routing,
+                s.ops_labelling,
+                s.ops_churn,
+                s.failures,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn ramp_is_monotone_and_deterministic_across_runs() {
+    let sc = mixed_scenario();
+    let a = run_load(&sc).expect("mixed load scenario runs");
+    let b = run_load(&sc).expect("mixed load scenario runs twice");
+
+    // Monotone ramp with the planned op counts per step.
+    assert_eq!(a.steps.len(), 3);
+    assert!(a
+        .steps
+        .windows(2)
+        .all(|w| w[0].offered_rps < w[1].offered_rps));
+    for (i, s) in a.steps.iter().enumerate() {
+        assert_eq!(s.offered_rps, 100 * (i as u32 + 1));
+        assert_eq!(s.ops, (s.offered_rps as f64 * 0.05).round() as u64);
+        assert_eq!(s.ops_routing + s.ops_labelling + s.ops_churn, s.ops);
+        assert!(s.ops_routing > 0 && s.ops_labelling > 0);
+        assert_eq!(s.fail_rate, s.failures as f64 / s.ops as f64);
+        // Wall-clock fields exist and are sane, whatever their values.
+        assert!(s.elapsed_ms > 0.0 && s.achieved_rps > 0.0);
+        assert!(s.p50_us <= s.p99_us && s.p99_us <= s.p999_us);
+    }
+    assert_eq!(a.pool_slots, 4);
+    assert_eq!(a.geometries, vec!["12x12".to_string(), "6x6x6".to_string()]);
+
+    // Determinism: identical request sequence and failure counts.
+    assert_eq!(deterministic_view(&a), deterministic_view(&b));
+}
+
+#[test]
+fn json_summary_carries_every_required_field() {
+    let report = run_load(&mixed_scenario()).expect("runs");
+    let json = report.to_json();
+    for key in [
+        "\"bench\": \"loadgen\"",
+        "\"scenario\"",
+        "\"seed\": 7",
+        "\"threads\"",
+        "\"detected_cores\"",
+        "\"pool_slots\": 4",
+        "\"geometries\": [\"12x12\", \"6x6x6\"]",
+        "\"mix\": [0.5, 0.3, 0.2]",
+        "\"steps\"",
+        "\"step\"",
+        "\"offered_rps\"",
+        "\"ops\"",
+        "\"ops_routing\"",
+        "\"ops_labelling\"",
+        "\"ops_churn\"",
+        "\"failures\"",
+        "\"fail_rate\"",
+        "\"achieved_rps\"",
+        "\"elapsed_ms\"",
+        "\"p50_us\"",
+        "\"p99_us\"",
+        "\"p999_us\"",
+        "\"saturated\"",
+        "\"saturated_at_rps\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+}
+
+#[test]
+fn run_scenario_refuses_load_tables() {
+    let err = run_scenario(&mixed_scenario()).unwrap_err();
+    assert!(err.to_string().contains("loadgen"), "got: {err}");
+}
+
+/// Write a scenario to a fresh temp file and return its path.
+fn write_scenario(sc: &Scenario, name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mcc-loadgen-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, sc.to_toml()).expect("write scenario");
+    path
+}
+
+#[test]
+fn loadgen_binary_writes_the_summary() {
+    let path = write_scenario(&mixed_scenario(), "lg.toml");
+    let out = path.with_extension("json");
+    let run = Command::new(env!("CARGO_BIN_EXE_loadgen"))
+        .args(["--quick", "--out"])
+        .arg(&out)
+        .arg(&path)
+        .output()
+        .expect("run loadgen");
+    assert!(
+        run.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(stdout.contains("p99us"), "got: {stdout}");
+    let json = std::fs::read_to_string(&out).expect("summary written");
+    assert!(json.contains("\"bench\": \"loadgen\""), "got: {json}");
+}
+
+#[test]
+fn tables_binary_runs_a_repeated_path_once_and_rejects_load_scenarios() {
+    // The same scenario passed twice (second time via a respelled path)
+    // must print exactly one table.
+    let sc = Scenario::regions_2d(8, &[2], 2);
+    let path = write_scenario(&sc, "dedupe.toml");
+    let respelled = path.parent().unwrap().join(".").join("dedupe.toml");
+    let run = Command::new(env!("CARGO_BIN_EXE_tables"))
+        .arg(&path)
+        .arg(&path)
+        .arg(&respelled)
+        .output()
+        .expect("run tables");
+    assert!(
+        run.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert_eq!(
+        stdout.matches("== ").count(),
+        1,
+        "deduped run prints one table: {stdout}"
+    );
+
+    // Explicitly passing a load scenario is an error that names loadgen.
+    let load_path = write_scenario(&mixed_scenario(), "load.toml");
+    let run = Command::new(env!("CARGO_BIN_EXE_tables"))
+        .arg(&load_path)
+        .output()
+        .expect("run tables on load scenario");
+    assert!(!run.status.success());
+    let stderr = String::from_utf8_lossy(&run.stderr);
+    assert!(stderr.contains("loadgen"), "got: {stderr}");
+}
