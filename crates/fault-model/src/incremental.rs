@@ -72,6 +72,48 @@ use crate::{Labelling2, Labelling3};
 /// retained delta log.
 pub const LOG_CAP: u64 = 32;
 
+/// A churn batch rejected by validation — the mesh and every maintained
+/// model are untouched (validation runs strictly before any mutation).
+///
+/// Batches are *deltas*, not wishes: each set must name distinct in-bounds
+/// nodes, the sets must be disjoint, every injected node must currently be
+/// healthy and every healed node currently faulty. The [`Display`] messages
+/// keep the exact phrases the panicking [`apply`] path has always used, so
+/// `#[should_panic(expected = ...)]` pins stay valid.
+///
+/// [`Display`]: std::fmt::Display
+/// [`apply`]: IncrementalModels2::apply
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnError<C> {
+    /// A named node lies outside the mesh.
+    OutOfBounds(C),
+    /// The same node appears twice in the injected set.
+    DuplicateInjected(C),
+    /// The same node appears twice in the healed set.
+    DuplicateHealed(C),
+    /// A node appears in both the injected and the healed set.
+    Overlap(C),
+    /// An injected node is already faulty.
+    AlreadyFaulty(C),
+    /// A healed node is not faulty.
+    NotFaulty(C),
+}
+
+impl<C: std::fmt::Display> std::fmt::Display for ChurnError<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChurnError::OutOfBounds(c) => write!(f, "churn node out of bounds: {c}"),
+            ChurnError::DuplicateInjected(c) => write!(f, "duplicate injected node {c}"),
+            ChurnError::DuplicateHealed(c) => write!(f, "duplicate healed node {c}"),
+            ChurnError::Overlap(c) => write!(f, "inject/heal sets overlap at {c}"),
+            ChurnError::AlreadyFaulty(c) => write!(f, "injected node already faulty: {c}"),
+            ChurnError::NotFaulty(c) => write!(f, "healed node not faulty: {c}"),
+        }
+    }
+}
+
+impl<C: std::fmt::Display + std::fmt::Debug> std::error::Error for ChurnError<C> {}
+
 /// One recorded churn batch.
 #[derive(Clone, Debug)]
 struct LogEntry<C> {
@@ -190,29 +232,24 @@ impl IncrementalModels2 {
     ///
     /// The two sets must be disjoint, `injected` all healthy and `healed`
     /// all faulty — batches are *deltas*, not wishes; an overlapping or
-    /// already-satisfied entry is a caller bug and panics.
+    /// already-satisfied entry is a caller bug and panics. Long-lived
+    /// callers fed untrusted batches use [`try_apply`] instead.
+    ///
+    /// [`try_apply`]: IncrementalModels2::try_apply
     pub fn apply(&mut self, injected: &[C2], healed: &[C2]) {
-        let space = self.mesh.space();
-        let mut inj = NodeSet::new(space.len());
-        for &c in injected {
-            inj.insert(space.index(c));
+        if let Err(e) = self.try_apply(injected, healed) {
+            panic!("{e}");
         }
-        let mut heal = NodeSet::new(space.len());
-        for &c in healed {
-            heal.insert(space.index(c));
-        }
-        assert_eq!(inj.len(), injected.len(), "duplicate injected node");
-        assert_eq!(heal.len(), healed.len(), "duplicate healed node");
-        assert!(inj.is_disjoint(&heal), "inject/heal sets overlap");
-        assert!(
-            inj.is_disjoint(self.mesh.fault_set()),
-            "injected node already faulty"
-        );
-        assert_eq!(
-            heal.difference_iter(self.mesh.fault_set()).count(),
-            0,
-            "healed node not faulty"
-        );
+    }
+
+    /// Fallible twin of [`apply`]: validate the batch first and return a
+    /// typed [`ChurnError`] instead of panicking. On `Err` the mesh, the
+    /// generation counter and every maintained model are untouched, so a
+    /// resident service can reject a malformed request and keep serving.
+    ///
+    /// [`apply`]: IncrementalModels2::apply
+    pub fn try_apply(&mut self, injected: &[C2], healed: &[C2]) -> Result<(), ChurnError<C2>> {
+        let (inj, heal) = self.validated_sets(injected, healed)?;
         let flipped = self.mesh.inject_fault_set(&inj) + self.mesh.heal_fault_set(&heal);
         debug_assert_eq!(flipped, injected.len() + healed.len());
         self.generation += 1;
@@ -222,6 +259,62 @@ impl IncrementalModels2 {
             healed: healed.to_vec(),
         });
         self.compact();
+        Ok(())
+    }
+
+    /// Validate a churn batch without applying it — exactly the checks
+    /// [`try_apply`] runs before mutating anything. A write-ahead-logging
+    /// caller validates first, journals the batch, and only then applies
+    /// it, so the apply step cannot fail after the log record is durable.
+    ///
+    /// [`try_apply`]: IncrementalModels2::try_apply
+    pub fn check(&self, injected: &[C2], healed: &[C2]) -> Result<(), ChurnError<C2>> {
+        self.validated_sets(injected, healed).map(|_| ())
+    }
+
+    /// The shared validation pass behind [`check`] and [`try_apply`]:
+    /// check order matches the historical assert order (duplicates,
+    /// overlap, already-faulty, not-faulty) so which error a multiply
+    /// malformed batch reports stays stable.
+    ///
+    /// [`check`]: IncrementalModels2::check
+    /// [`try_apply`]: IncrementalModels2::try_apply
+    fn validated_sets(
+        &self,
+        injected: &[C2],
+        healed: &[C2],
+    ) -> Result<(NodeSet, NodeSet), ChurnError<C2>> {
+        let space = self.mesh.space();
+        let mut inj = NodeSet::new(space.len());
+        for &c in injected {
+            let i = space.index_checked(c).ok_or(ChurnError::OutOfBounds(c))?;
+            if !inj.insert(i) {
+                return Err(ChurnError::DuplicateInjected(c));
+            }
+        }
+        let mut heal = NodeSet::new(space.len());
+        for &c in healed {
+            let i = space.index_checked(c).ok_or(ChurnError::OutOfBounds(c))?;
+            if !heal.insert(i) {
+                return Err(ChurnError::DuplicateHealed(c));
+            }
+        }
+        for &c in healed {
+            if inj.contains(space.index(c)) {
+                return Err(ChurnError::Overlap(c));
+            }
+        }
+        for &c in injected {
+            if self.mesh.fault_set().contains(space.index(c)) {
+                return Err(ChurnError::AlreadyFaulty(c));
+            }
+        }
+        for &c in healed {
+            if !self.mesh.fault_set().contains(space.index(c)) {
+                return Err(ChurnError::NotFaulty(c));
+            }
+        }
+        Ok((inj, heal))
     }
 
     /// Drop slots too stale to replay and log entries every live slot has
@@ -387,27 +480,16 @@ impl IncrementalModels3 {
 
     /// Apply one churn batch (see [`IncrementalModels2::apply`]).
     pub fn apply(&mut self, injected: &[C3], healed: &[C3]) {
-        let space = self.mesh.space();
-        let mut inj = NodeSet::new(space.len());
-        for &c in injected {
-            inj.insert(space.index(c));
+        if let Err(e) = self.try_apply(injected, healed) {
+            panic!("{e}");
         }
-        let mut heal = NodeSet::new(space.len());
-        for &c in healed {
-            heal.insert(space.index(c));
-        }
-        assert_eq!(inj.len(), injected.len(), "duplicate injected node");
-        assert_eq!(heal.len(), healed.len(), "duplicate healed node");
-        assert!(inj.is_disjoint(&heal), "inject/heal sets overlap");
-        assert!(
-            inj.is_disjoint(self.mesh.fault_set()),
-            "injected node already faulty"
-        );
-        assert_eq!(
-            heal.difference_iter(self.mesh.fault_set()).count(),
-            0,
-            "healed node not faulty"
-        );
+    }
+
+    /// Fallible twin of [`apply`] (see [`IncrementalModels2::try_apply`]).
+    ///
+    /// [`apply`]: IncrementalModels3::apply
+    pub fn try_apply(&mut self, injected: &[C3], healed: &[C3]) -> Result<(), ChurnError<C3>> {
+        let (inj, heal) = self.validated_sets(injected, healed)?;
         let flipped = self.mesh.inject_fault_set(&inj) + self.mesh.heal_fault_set(&heal);
         debug_assert_eq!(flipped, injected.len() + healed.len());
         self.generation += 1;
@@ -417,6 +499,57 @@ impl IncrementalModels3 {
             healed: healed.to_vec(),
         });
         self.compact();
+        Ok(())
+    }
+
+    /// Validate a churn batch without applying it (see
+    /// [`IncrementalModels2::check`]).
+    pub fn check(&self, injected: &[C3], healed: &[C3]) -> Result<(), ChurnError<C3>> {
+        self.validated_sets(injected, healed).map(|_| ())
+    }
+
+    /// Shared validation pass behind [`check`] and [`try_apply`]; check
+    /// order matches the historical assert order (see
+    /// [`IncrementalModels2`]'s twin for the rationale).
+    ///
+    /// [`check`]: IncrementalModels3::check
+    /// [`try_apply`]: IncrementalModels3::try_apply
+    fn validated_sets(
+        &self,
+        injected: &[C3],
+        healed: &[C3],
+    ) -> Result<(NodeSet, NodeSet), ChurnError<C3>> {
+        let space = self.mesh.space();
+        let mut inj = NodeSet::new(space.len());
+        for &c in injected {
+            let i = space.index_checked(c).ok_or(ChurnError::OutOfBounds(c))?;
+            if !inj.insert(i) {
+                return Err(ChurnError::DuplicateInjected(c));
+            }
+        }
+        let mut heal = NodeSet::new(space.len());
+        for &c in healed {
+            let i = space.index_checked(c).ok_or(ChurnError::OutOfBounds(c))?;
+            if !heal.insert(i) {
+                return Err(ChurnError::DuplicateHealed(c));
+            }
+        }
+        for &c in healed {
+            if inj.contains(space.index(c)) {
+                return Err(ChurnError::Overlap(c));
+            }
+        }
+        for &c in injected {
+            if self.mesh.fault_set().contains(space.index(c)) {
+                return Err(ChurnError::AlreadyFaulty(c));
+            }
+        }
+        for &c in healed {
+            if !self.mesh.fault_set().contains(space.index(c)) {
+                return Err(ChurnError::NotFaulty(c));
+            }
+        }
+        Ok((inj, heal))
     }
 
     fn compact(&mut self) {
@@ -677,6 +810,70 @@ mod tests {
         mesh.inject_fault(c2(2, 2));
         let mut inc = IncrementalModels2::new(mesh, BorderPolicy::BorderSafe);
         inc.apply(&[c2(2, 2)], &[c2(2, 2)]);
+    }
+
+    #[test]
+    fn try_apply_rejects_without_mutating() {
+        let mut mesh = Mesh2D::new(6, 6);
+        mesh.inject_fault(c2(2, 2));
+        let mut inc = IncrementalModels2::new(mesh, BorderPolicy::BorderSafe);
+        let frame = Frame2::identity(inc.mesh());
+        inc.models(frame);
+        let before_faults = inc.mesh().fault_set().clone();
+
+        let cases: Vec<(Vec<C2>, Vec<C2>, ChurnError<C2>)> = vec![
+            (vec![c2(9, 0)], vec![], ChurnError::OutOfBounds(c2(9, 0))),
+            (
+                vec![c2(1, 1), c2(1, 1)],
+                vec![],
+                ChurnError::DuplicateInjected(c2(1, 1)),
+            ),
+            (
+                vec![],
+                vec![c2(2, 2), c2(2, 2)],
+                ChurnError::DuplicateHealed(c2(2, 2)),
+            ),
+            (
+                vec![c2(2, 2)],
+                vec![c2(2, 2)],
+                ChurnError::Overlap(c2(2, 2)),
+            ),
+            (vec![c2(2, 2)], vec![], ChurnError::AlreadyFaulty(c2(2, 2))),
+            (vec![], vec![c2(3, 3)], ChurnError::NotFaulty(c2(3, 3))),
+        ];
+        for (injected, healed, want) in cases {
+            assert_eq!(inc.try_apply(&injected, &healed), Err(want));
+            assert_eq!(inc.generation(), 0, "rejected batch must not bump gen");
+            assert_eq!(inc.mesh().fault_set(), &before_faults);
+            assert!(inc.slot_current(frame), "rejected batch must not stale");
+        }
+
+        // A valid batch after the rejections still applies cleanly.
+        assert_eq!(inc.try_apply(&[c2(4, 4)], &[c2(2, 2)]), Ok(()));
+        assert_eq!(inc.generation(), 1);
+        assert!(inc.mesh().is_healthy(c2(2, 2)));
+    }
+
+    #[test]
+    fn try_apply_rejects_without_mutating_3d() {
+        let mut mesh = Mesh3D::new(5, 5, 5);
+        mesh.inject_fault(c3(1, 1, 1));
+        let mut inc = IncrementalModels3::new(mesh, BorderPolicy::BorderSafe);
+        assert_eq!(
+            inc.try_apply(&[c3(1, 1, 1)], &[]),
+            Err(ChurnError::AlreadyFaulty(c3(1, 1, 1)))
+        );
+        assert_eq!(
+            inc.try_apply(&[], &[c3(0, 0, 0)]),
+            Err(ChurnError::NotFaulty(c3(0, 0, 0)))
+        );
+        assert_eq!(
+            inc.try_apply(&[c3(5, 0, 0)], &[]),
+            Err(ChurnError::OutOfBounds(c3(5, 0, 0)))
+        );
+        assert_eq!(inc.generation(), 0);
+        assert_eq!(inc.try_apply(&[c3(2, 2, 2)], &[c3(1, 1, 1)]), Ok(()));
+        assert_eq!(inc.generation(), 1);
     }
 
     /// The mutation-style negative test: with the heal-retraction path of

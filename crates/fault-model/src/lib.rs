@@ -94,7 +94,7 @@ pub mod status;
 pub use components::CompSource;
 pub use condition2::{minimal_path_exists_2d, minimal_path_exists_2d_in, Existence2};
 pub use condition3::{minimal_path_exists_3d, minimal_path_exists_3d_in, Existence3};
-pub use incremental::{IncrementalModels2, IncrementalModels3};
+pub use incremental::{ChurnError, IncrementalModels2, IncrementalModels3};
 pub use labelling2::Labelling2;
 pub use labelling3::Labelling3;
 pub use mcc2::Mcc2;

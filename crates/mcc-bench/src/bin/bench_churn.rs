@@ -189,6 +189,5 @@ fn main() {
         );
         std::process::exit(1);
     }
-    std::fs::write(&out_path, json).expect("write benchmark snapshot");
-    println!("wrote {out_path}");
+    mcc_bench::report::write_snapshot_or_exit(&out_path, &json);
 }

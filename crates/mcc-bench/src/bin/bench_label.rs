@@ -140,6 +140,5 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
-    std::fs::write(&out_path, json).expect("write benchmark snapshot");
-    println!("wrote {out_path}");
+    mcc_bench::report::write_snapshot_or_exit(&out_path, &json);
 }

@@ -201,6 +201,5 @@ fn main() {
              bar cannot be demonstrated here and is recorded as unenforced"
         );
     }
-    std::fs::write(&out_path, json).expect("write benchmark snapshot");
-    println!("wrote {out_path}");
+    mcc_bench::report::write_snapshot_or_exit(&out_path, &json);
 }

@@ -1,8 +1,12 @@
-//! Saturation loadgen: open-loop ramps over `table = "load"` scenarios.
+//! Saturation loadgen: open-loop ramps over `table = "load"` scenarios,
+//! and the same ramps against the crash-safe resident service for
+//! `table = "service"` scenarios (see `mcc_bench::service_load` and
+//! DESIGN.md §14).
 //!
 //! ```text
 //! cargo run -p mcc-bench --release --bin loadgen -- scenarios/e13_loadgen_2d.toml
 //! cargo run -p mcc-bench --release --bin loadgen -- --quick --out /tmp/lg.json scenarios/e14_loadgen_mixed.toml
+//! cargo run -p mcc-bench --release --bin loadgen -- --quick scenarios/e15_service.toml
 //! ```
 //!
 //! Each scenario's ramp (see `mcc_bench::loadgen` and DESIGN.md §13)
@@ -19,7 +23,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use mcc_bench::loadgen::run_load;
-use mcc_bench::scenario::Scenario;
+use mcc_bench::scenario::{Scenario, TableKind};
+use mcc_bench::service_load::run_service_load;
 
 fn usage() -> &'static str {
     "usage: loadgen [--quick] [--out FILE] <scenario.toml>..."
@@ -73,14 +78,24 @@ fn main() -> ExitCode {
             }
         };
         let scenario = if quick { scenario.quick() } else { scenario };
-        let report = match run_load(&scenario) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("error: {}: {e}", path.display());
-                return ExitCode::FAILURE;
+        let (rendered, json) = if scenario.table == TableKind::Service {
+            match run_service_load(&scenario) {
+                Ok(r) => (r.render(), r.to_json()),
+                Err(e) => {
+                    eprintln!("error: {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            match run_load(&scenario) {
+                Ok(r) => (r.render(), r.to_json()),
+                Err(e) => {
+                    eprintln!("error: {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
             }
         };
-        println!("{}", report.render());
+        println!("{rendered}");
         let out_path = out.clone().unwrap_or_else(|| {
             let stem = path
                 .file_stem()
@@ -88,8 +103,8 @@ fn main() -> ExitCode {
                 .unwrap_or_else(|| "scenario".to_string());
             PathBuf::from(format!("BENCH_loadgen_{stem}.json"))
         });
-        if let Err(e) = std::fs::write(&out_path, report.to_json()) {
-            eprintln!("error: cannot write {}: {e}", out_path.display());
+        if let Err(e) = mcc_bench::report::write_snapshot(&out_path.to_string_lossy(), &json) {
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
         println!("wrote {}", out_path.display());

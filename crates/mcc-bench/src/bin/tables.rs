@@ -94,16 +94,21 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        if scenario.table == TableKind::Load {
+        if matches!(scenario.table, TableKind::Load | TableKind::Service) {
             if *is_explicit {
                 eprintln!(
-                    "error: {}: load scenarios are open-loop ramps, not row tables; \
+                    "error: {}: {} scenarios are open-loop ramps, not row tables; \
                      run them with the `loadgen` binary",
-                    path.display()
+                    path.display(),
+                    scenario.table.as_str()
                 );
                 return ExitCode::FAILURE;
             }
-            eprintln!("skipping load scenario {} (use `loadgen`)", path.display());
+            eprintln!(
+                "skipping {} scenario {} (use `loadgen`)",
+                scenario.table.as_str(),
+                path.display()
+            );
             continue;
         }
         let scenario = if quick { scenario.quick() } else { scenario };

@@ -50,8 +50,10 @@
 
 pub mod hist;
 pub mod loadgen;
+pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod service_load;
 pub mod toml_lite;
 
 use serde::{Deserialize, Serialize};

@@ -231,7 +231,7 @@ enum Ctx<'a> {
 /// Decorrelated fault-population seeds for a slot's three meshes: the
 /// same master seed must not hand the routing, labelling and churn
 /// meshes identical fault sets (they would fail in lockstep).
-fn slot_seed(master: u64, geometry: usize, slot: usize, purpose: u64) -> u64 {
+pub(crate) fn slot_seed(master: u64, geometry: usize, slot: usize, purpose: u64) -> u64 {
     master
         .wrapping_mul(0x9e37_79b9)
         .wrapping_add(((geometry as u64) << 40) ^ ((slot as u64) << 8) ^ purpose)

@@ -1,0 +1,45 @@
+//! Snapshot-file writing shared by the `bench_*` / `loadgen` binaries.
+//!
+//! The binaries' only I/O failure mode is writing their `BENCH_*.json`
+//! snapshot; a bare `expect` there dies with a panic backtrace that does
+//! not even name the file. [`write_snapshot`] turns the failure into an
+//! error message carrying the offending path, so every binary can print
+//! `error: cannot write <path>: <why>` and exit nonzero (pinned by the
+//! CLI exit-path tests in `tests/loadgen.rs`).
+
+/// Write `contents` to `path`; on failure the error names the path.
+pub fn write_snapshot(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// [`write_snapshot`], then either confirm the file on stdout or print
+/// `error: …` and exit 1 — the shared tail of every `bench_*` binary.
+pub fn write_snapshot_or_exit(path: &str, contents: &str) {
+    if let Err(e) = write_snapshot(path, contents) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::write_snapshot;
+
+    #[test]
+    fn failure_names_the_offending_path() {
+        let path = "/nonexistent-dir-for-mcc-bench-tests/snap.json";
+        let err = write_snapshot(path, "{}").unwrap_err();
+        assert!(err.contains(path), "error must name the path: {err}");
+        assert!(err.starts_with("cannot write"), "got: {err}");
+    }
+
+    #[test]
+    fn success_writes_the_contents() {
+        let path = std::env::temp_dir().join(format!("mcc-report-{}.json", std::process::id()));
+        let path_str = path.to_string_lossy().into_owned();
+        write_snapshot(&path_str, "{\"ok\": true}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\": true}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

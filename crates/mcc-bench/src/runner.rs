@@ -212,10 +212,10 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
         TableKind::Overhead => TableRows::Overhead(run_overhead(scenario)?),
         TableKind::Labelling => TableRows::Labelling(run_labelling(scenario)),
         TableKind::Churn => TableRows::Churn(run_churn(scenario)),
-        TableKind::Load => {
+        TableKind::Load | TableKind::Service => {
             return Err(ScenarioError::new(
-                "load scenarios are open-loop ramps, not row tables; \
-                 run them with the `loadgen` binary",
+                "load and service scenarios are open-loop ramps, not row \
+                 tables; run them with the `loadgen` binary",
             ));
         }
     };

@@ -87,6 +87,13 @@ pub enum TableKind {
     /// [`crate::loadgen::run_load`] — the `tables` runner rejects it
     /// because step reports carry wall-clock timings.
     Load,
+    /// Resident-service saturation ramp (E15-style): the same open-loop
+    /// `[load]` ramp, but offered to a journaled `mesh-service` instance —
+    /// requests pass each shard's bounded admission queue and are shed
+    /// with typed errors beyond saturation. Needs both a `[load]` and a
+    /// `[service]` section; driven by the `loadgen` binary through
+    /// [`crate::service_load::run_service_load`].
+    Service,
 }
 
 impl TableKind {
@@ -99,6 +106,7 @@ impl TableKind {
             TableKind::Labelling => "labelling",
             TableKind::Churn => "churn",
             TableKind::Load => "load",
+            TableKind::Service => "service",
         }
     }
 }
@@ -233,6 +241,40 @@ impl LoadProfile {
     }
 }
 
+/// Admission/durability knobs for `table = "service"` scenarios (the
+/// `[service]` TOML section), layered on top of the `[load]` ramp.
+///
+/// The loadgen `service` driver turns every planned op into a request
+/// against a resident `mesh-service` instance. Each shard fronts a
+/// bounded deterministic virtual-time queue: `queue_cap` bounds its
+/// depth, `deadline_ms` bounds the simulated wait a request may incur
+/// before it is shed, and `cost_us` assigns each op class (route, query,
+/// churn — in that order) its virtual service time. `snapshot_every`
+/// sets the shard's auto-snapshot cadence in churn generations (0 never
+/// snapshots, leaving the whole history in the WAL).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServiceProfile {
+    /// Bound on each shard's virtual admission-queue depth.
+    pub queue_cap: usize,
+    /// Bound on the simulated wait before a request is shed, milliseconds.
+    pub deadline_ms: f64,
+    /// Virtual service time per op class (route, query, churn), µs.
+    pub cost_us: [u64; 3],
+    /// Auto-snapshot cadence in churn generations (0 = never).
+    pub snapshot_every: u64,
+}
+
+impl Default for ServiceProfile {
+    fn default() -> ServiceProfile {
+        ServiceProfile {
+            queue_cap: 64,
+            deadline_ms: 50.0,
+            cost_us: [200, 100, 400],
+            snapshot_every: 32,
+        }
+    }
+}
+
 /// Which router's columns the report keeps (routing tables).
 ///
 /// Every trial still computes the labelling and the oracle (ground
@@ -322,11 +364,15 @@ pub struct Scenario {
     /// (`[churn] rate`, in `(0, 1)`).
     #[serde(default = "default_churn_rate")]
     pub churn_rate: f64,
-    /// Open-loop ramp description (`[load]` section; load tables only).
-    /// For load scenarios `seed_start` doubles as the master seed of the
-    /// deterministic request schedule.
+    /// Open-loop ramp description (`[load]` section; load and service
+    /// tables). For these scenarios `seed_start` doubles as the master
+    /// seed of the deterministic request schedule.
     #[serde(default)]
     pub load: Option<LoadProfile>,
+    /// Admission/durability knobs (`[service]` section; service tables
+    /// only).
+    #[serde(default)]
+    pub service: Option<ServiceProfile>,
 }
 
 /// The serde/schema default for [`Scenario::churn_rate`].
@@ -502,10 +548,11 @@ impl Scenario {
             Some("labelling") => TableKind::Labelling,
             Some("churn") => TableKind::Churn,
             Some("load") => TableKind::Load,
+            Some("service") => TableKind::Service,
             other => {
                 return Err(invalid(format!(
                     "`table` must be \"regions\", \"routing\", \"overhead\", \
-                     \"labelling\", \"churn\" or \"load\", got {other:?}"
+                     \"labelling\", \"churn\", \"load\" or \"service\", got {other:?}"
                 )))
             }
         };
@@ -642,9 +689,10 @@ impl Scenario {
         let load = match doc.sections.get("load") {
             None => None,
             Some(load) => {
-                if table != TableKind::Load {
+                if table != TableKind::Load && table != TableKind::Service {
                     return Err(invalid(
-                        "a [load] section is only meaningful with `table = \"load\"`",
+                        "a [load] section is only meaningful with `table = \"load\"` \
+                         or `table = \"service\"`",
                     ));
                 }
                 let int_knob = |key: &str| -> Result<u32, ScenarioError> {
@@ -716,6 +764,84 @@ impl Scenario {
             return Err(invalid("load scenarios need a [load] section"));
         }
 
+        let service = match doc.sections.get("service") {
+            None => None,
+            Some(sec) => {
+                if table != TableKind::Service {
+                    return Err(invalid(
+                        "a [service] section is only meaningful with `table = \"service\"`",
+                    ));
+                }
+                let defaults = ServiceProfile::default();
+                let queue_cap = match sec.get("queue_cap") {
+                    None => defaults.queue_cap,
+                    Some(v) => {
+                        let q = v
+                            .as_int()
+                            .ok_or_else(|| invalid("`service.queue_cap` must be an integer"))?;
+                        usize::try_from(q)
+                            .map_err(|_| invalid("`service.queue_cap` must be non-negative"))?
+                    }
+                };
+                let deadline_ms = match sec.get("deadline_ms") {
+                    None => defaults.deadline_ms,
+                    Some(v) => v
+                        .as_float()
+                        .ok_or_else(|| invalid("`service.deadline_ms` must be a number"))?,
+                };
+                let cost_us = match sec.get("cost_us") {
+                    None => defaults.cost_us,
+                    Some(v) => {
+                        let raw = int_list(v, "service.cost_us")?;
+                        let raw: Vec<u64> = raw
+                            .into_iter()
+                            .map(|c| {
+                                u64::try_from(c).map_err(|_| {
+                                    invalid("`service.cost_us` must hold non-negative entries")
+                                })
+                            })
+                            .collect::<Result<_, _>>()?;
+                        match raw.as_slice() {
+                            [r, q, c] => [*r, *q, *c],
+                            other => {
+                                return Err(invalid(format!(
+                                    "`service.cost_us` needs exactly 3 entries \
+                                     (route, query, churn costs), got {}",
+                                    other.len()
+                                )))
+                            }
+                        }
+                    }
+                };
+                let snapshot_every = match sec.get("snapshot_every") {
+                    None => defaults.snapshot_every,
+                    Some(v) => {
+                        let s = v.as_int().ok_or_else(|| {
+                            invalid("`service.snapshot_every` must be an integer")
+                        })?;
+                        u64::try_from(s)
+                            .map_err(|_| invalid("`service.snapshot_every` must be non-negative"))?
+                    }
+                };
+                Some(ServiceProfile {
+                    queue_cap,
+                    deadline_ms,
+                    cost_us,
+                    snapshot_every,
+                })
+            }
+        };
+        if table == TableKind::Service {
+            if load.is_none() {
+                return Err(invalid(
+                    "service scenarios need a [load] section (the ramp)",
+                ));
+            }
+            if service.is_none() {
+                return Err(invalid("service scenarios need a [service] section"));
+            }
+        }
+
         let scenario = Scenario {
             name,
             table,
@@ -733,6 +859,7 @@ impl Scenario {
             churn_rounds,
             churn_rate,
             load,
+            service,
         };
         scenario.validate()?;
         Ok(scenario)
@@ -864,13 +991,55 @@ impl Scenario {
             (None, TableKind::Load) => {
                 return Err(invalid("load scenarios need a [load] section"));
             }
-            (Some(_), t) if t != TableKind::Load => {
+            (None, TableKind::Service) => {
                 return Err(invalid(
-                    "a [load] section is only meaningful with `table = \"load\"`",
+                    "service scenarios need a [load] section (the ramp)",
                 ));
             }
-            (Some(load), TableKind::Load) => self.validate_load(load)?,
+            (Some(_), t) if t != TableKind::Load && t != TableKind::Service => {
+                return Err(invalid(
+                    "a [load] section is only meaningful with `table = \"load\"` \
+                     or `table = \"service\"`",
+                ));
+            }
+            (Some(load), _) => self.validate_load(load)?,
             _ => {}
+        }
+        match (&self.service, self.table) {
+            (None, TableKind::Service) => {
+                return Err(invalid("service scenarios need a [service] section"));
+            }
+            (Some(_), t) if t != TableKind::Service => {
+                return Err(invalid(
+                    "a [service] section is only meaningful with `table = \"service\"`",
+                ));
+            }
+            (Some(service), TableKind::Service) => self.validate_service(service)?,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Service-profile knob rules (only called for `table = "service"`
+    /// scenarios, after the shared `[load]` ramp rules).
+    fn validate_service(&self, service: &ServiceProfile) -> Result<(), ScenarioError> {
+        if !(1..=65_536).contains(&service.queue_cap) {
+            return Err(invalid(format!(
+                "`service.queue_cap` must be in 1..=65536, got {}",
+                service.queue_cap
+            )));
+        }
+        if !(service.deadline_ms.is_finite() && service.deadline_ms > 0.0) {
+            return Err(invalid(format!(
+                "`service.deadline_ms` must be a positive duration, got {}",
+                service.deadline_ms
+            )));
+        }
+        if service.cost_us.iter().any(|&c| c == 0 || c > 60_000_000) {
+            return Err(invalid(format!(
+                "`service.cost_us` entries must be in 1..=60,000,000 µs, got {:?}",
+                service.cost_us
+            )));
         }
         Ok(())
     }
@@ -1095,6 +1264,28 @@ impl Scenario {
             doc.sections.insert("load".into(), sec);
         }
 
+        // And only service tables carry a [service] section.
+        if let Some(service) = &self.service {
+            let mut sec = Table::new();
+            sec.insert("queue_cap".into(), Value::Int(service.queue_cap as i64));
+            sec.insert("deadline_ms".into(), Value::Float(service.deadline_ms));
+            sec.insert(
+                "cost_us".into(),
+                Value::Array(
+                    service
+                        .cost_us
+                        .iter()
+                        .map(|&c| Value::Int(c as i64))
+                        .collect(),
+                ),
+            );
+            sec.insert(
+                "snapshot_every".into(),
+                Value::Int(service.snapshot_every as i64),
+            );
+            doc.sections.insert("service".into(), sec);
+        }
+
         doc.render()
     }
 
@@ -1124,7 +1315,25 @@ impl Scenario {
             churn_rounds: 0,
             churn_rate: default_churn_rate(),
             load: None,
+            service: None,
         }
+    }
+
+    /// E15-style resident-service ramp: the `[load]` ramp of
+    /// [`Scenario::load_2d`] offered to a journaled `mesh-service`
+    /// instance with the given admission/durability profile.
+    pub fn service_2d(
+        width: i32,
+        faults: usize,
+        seed: u64,
+        profile: LoadProfile,
+        service: ServiceProfile,
+    ) -> Scenario {
+        let mut s = Scenario::load_2d(width, faults, seed, profile);
+        s.name = "service 2-D".into();
+        s.table = TableKind::Service;
+        s.service = Some(service);
+        s
     }
 
     /// E13/E14-style load scenario: an open-loop ramp over a pool of 2-D
@@ -1590,6 +1799,61 @@ mod tests {
         let sc = Scenario::load_2d(16, 12, 0, profile);
         let err = sc.validate().unwrap_err();
         assert!(err.to_string().contains("load-pool"), "got: {err}");
+    }
+
+    const SERVICE_BASE: &str = "name = \"s\"\ntable = \"service\"\n[mesh]\ndims = [12, 12]\n\
+         [faults]\ncounts = [10]\n[run]\nseeds = [0, 1]\n\
+         [load]\ninitial_rps = 100\nincrement_rps = 100\nmax_rps = 300\n\
+         step_secs = 0.5\nmix = [0.5, 0.3, 0.2]\npool = 2\n";
+
+    #[test]
+    fn service_schema_parses_and_round_trips() {
+        let text = format!(
+            "{SERVICE_BASE}[service]\nqueue_cap = 8\ndeadline_ms = 12.0\n\
+             cost_us = [12000, 6000, 24000]\nsnapshot_every = 8\n"
+        );
+        let s = Scenario::from_toml(&text).unwrap();
+        assert_eq!(s.table, TableKind::Service);
+        assert!(s.load.is_some(), "service tables carry the ramp too");
+        let service = s.service.as_ref().unwrap();
+        assert_eq!(service.queue_cap, 8);
+        assert_eq!(service.deadline_ms, 12.0);
+        assert_eq!(service.cost_us, [12_000, 6_000, 24_000]);
+        assert_eq!(service.snapshot_every, 8);
+        let back = Scenario::from_toml(&s.to_toml()).unwrap();
+        assert_eq!(s, back, "service knobs must round-trip");
+        // Every [service] key is optional; omissions fall back to defaults.
+        let s = Scenario::from_toml(&format!("{SERVICE_BASE}[service]\nqueue_cap = 4\n")).unwrap();
+        let service = s.service.as_ref().unwrap();
+        assert_eq!(service.queue_cap, 4);
+        assert_eq!(service.deadline_ms, ServiceProfile::default().deadline_ms);
+        assert_eq!(service.cost_us, ServiceProfile::default().cost_us);
+    }
+
+    #[test]
+    fn service_rejects_bad_knobs() {
+        // The section itself is mandatory, as is the ramp it throttles.
+        let err = Scenario::from_toml(SERVICE_BASE).unwrap_err();
+        assert!(err.to_string().contains("[service]"), "got: {err}");
+        let no_ramp = "name = \"s\"\ntable = \"service\"\n[mesh]\ndims = [12, 12]\n\
+             [faults]\ncounts = [10]\n[run]\nseeds = [0, 1]\n[service]\n";
+        let err = Scenario::from_toml(no_ramp).unwrap_err();
+        assert!(err.to_string().contains("[load]"), "got: {err}");
+        for (extra, why) in [
+            ("[service]\nqueue_cap = 0\n", "zero queue capacity"),
+            ("[service]\nqueue_cap = 100000\n", "absurd queue capacity"),
+            ("[service]\ndeadline_ms = 0.0\n", "zero deadline"),
+            ("[service]\ncost_us = [1, 2]\n", "two-entry cost table"),
+            ("[service]\ncost_us = [1, 0, 2]\n", "zero op cost"),
+        ] {
+            let text = format!("{SERVICE_BASE}{extra}");
+            assert!(Scenario::from_toml(&text).is_err(), "should reject: {why}");
+        }
+        // A [service] section on a non-service table is rejected.
+        let text = "name = \"x\"\ntable = \"regions\"\n[mesh]\ndims = [8, 8]\n\
+             [faults]\ncounts = [4]\n[run]\nseeds = [0, 2]\n[service]\nqueue_cap = 4\n";
+        let err = Scenario::from_toml(text).unwrap_err();
+        assert!(err.to_string().contains("[service]"), "got: {err}");
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Integration battery for the service saturation driver: the overload
+//! smoke (typed shed errors, a deterministic admit/shed sequence for a
+//! fixed profile+seed, accepted-op p99 under the scenario limit), the
+//! JSON summary's required fields, and the CLI surfaces — including the
+//! snapshot-write failure path that must name the offending file.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use mcc_bench::scenario::{LoadProfile, MeshDims, Scenario, ServiceProfile};
+use mcc_bench::service_load::{run_service_load, ServiceLoadReport};
+
+/// A sub-second service ramp over a mixed 2-D/3-D shard pool, costed so
+/// the top step is far beyond the shards' virtual service capacity.
+fn service_scenario() -> Scenario {
+    Scenario::service_2d(
+        12,
+        8,
+        7,
+        LoadProfile {
+            initial_rps: 100,
+            increment_rps: 100,
+            max_rps: 300,
+            step_secs: 0.05,
+            mix_routing: 0.5,
+            mix_labelling: 0.3,
+            mix_churn: 0.2,
+            pool: 2,
+            alt_dims: Some(MeshDims::D3 { x: 6, y: 6, z: 6 }),
+            p99_limit_ms: LoadProfile::DEFAULT_P99_LIMIT_MS,
+            // Let the whole ramp run: this battery inspects the full shed
+            // curve rather than stopping at first saturation.
+            fail_limit: 0.95,
+        },
+        ServiceProfile {
+            queue_cap: 8,
+            deadline_ms: 4.0,
+            cost_us: [12_000, 6_000, 24_000],
+            snapshot_every: 4,
+        },
+    )
+}
+
+/// One step of [`deterministic_view`]: (step, rps, ops, admitted,
+/// shed_overloaded, shed_deadline, rejected, undelivered, saturated).
+type StepView = (usize, u32, u64, u64, u64, u64, u64, u64, bool);
+
+/// The deterministic projection of a service report: everything except
+/// the wall-clock fields.
+fn deterministic_view(report: &ServiceLoadReport) -> Vec<StepView> {
+    report
+        .steps
+        .iter()
+        .map(|s| {
+            (
+                s.step,
+                s.offered_rps,
+                s.ops,
+                s.admitted,
+                s.shed_overloaded,
+                s.shed_deadline,
+                s.rejected,
+                s.undelivered,
+                s.saturated,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn overload_smoke_sheds_deterministically_with_p99_under_the_limit() {
+    let sc = service_scenario();
+    let a = run_service_load(&sc).expect("service scenario runs");
+    let b = run_service_load(&sc).expect("service scenario runs twice");
+
+    assert_eq!(a.steps.len(), 3);
+    assert_eq!(a.shards, 4);
+    assert_eq!(a.geometries, vec!["12x12".to_string(), "6x6x6".to_string()]);
+    for s in &a.steps {
+        // Every planned op is accounted for by exactly one outcome.
+        assert_eq!(
+            s.admitted + s.shed_overloaded + s.shed_deadline + s.rejected,
+            s.ops
+        );
+        assert_eq!(
+            s.shed_rate,
+            (s.shed_overloaded + s.shed_deadline) as f64 / s.ops as f64
+        );
+        // Accepted-op latency stays under the scenario's p99 limit: the
+        // admission layer sheds the excess instead of queueing it.
+        assert!(
+            (s.p99_us as f64) / 1_000.0 <= sc.load.as_ref().unwrap().p99_limit_ms,
+            "step {} p99 {}µs breaches the limit",
+            s.step,
+            s.p99_us
+        );
+    }
+    // Past saturation the service sheds (with typed errors — anything
+    // else panics inside the driver) and the curve rises with the rate.
+    let shed: Vec<u64> = a
+        .steps
+        .iter()
+        .map(|s| s.shed_overloaded + s.shed_deadline)
+        .collect();
+    assert!(*shed.last().unwrap() > 0, "top step must shed: {shed:?}");
+    assert!(shed.last() >= shed.first(), "shed curve fell: {shed:?}");
+
+    // A healthy run never trips the supervisor, and every shard ends on
+    // its journaled generation: the bootstrap batch plus admitted churns.
+    assert_eq!(a.recoveries, 0);
+    assert_eq!(a.final_gens.len(), 4);
+    assert!(a.final_gens.iter().all(|&g| g >= 1));
+
+    // Determinism: identical admit/shed sequence and final generations.
+    assert_eq!(deterministic_view(&a), deterministic_view(&b));
+    assert_eq!(a.final_gens, b.final_gens);
+    assert_eq!(a.render(), b.render(), "rendered table must be byte-equal");
+}
+
+#[test]
+fn json_summary_carries_every_required_field() {
+    let report = run_service_load(&service_scenario()).expect("runs");
+    let json = report.to_json();
+    for key in [
+        "\"bench\": \"service\"",
+        "\"scenario\"",
+        "\"seed\": 7",
+        "\"threads\"",
+        "\"detected_cores\"",
+        "\"shards\": 4",
+        "\"geometries\": [\"12x12\", \"6x6x6\"]",
+        "\"queue_cap\": 8",
+        "\"deadline_ms\"",
+        "\"cost_us\": [12000, 6000, 24000]",
+        "\"snapshot_every\": 4",
+        "\"steps\"",
+        "\"admitted\"",
+        "\"shed_overloaded\"",
+        "\"shed_deadline\"",
+        "\"rejected\"",
+        "\"undelivered\"",
+        "\"shed_rate\"",
+        "\"achieved_rps\"",
+        "\"p99_us\"",
+        "\"saturated_at_rps\"",
+        "\"final_gens\"",
+        "\"recoveries\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+}
+
+#[test]
+fn run_service_load_refuses_other_tables() {
+    let err = run_service_load(&Scenario::regions_2d(8, &[2], 2)).unwrap_err();
+    assert!(err.to_string().contains("service"), "got: {err}");
+}
+
+/// Write a scenario to a fresh temp file and return its path.
+fn write_scenario(sc: &Scenario, name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mcc-service-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, sc.to_toml()).expect("write scenario");
+    path
+}
+
+#[test]
+fn loadgen_binary_routes_service_scenarios_to_the_service_driver() {
+    let path = write_scenario(&service_scenario(), "svc.toml");
+    let out = path.with_extension("json");
+    let run = Command::new(env!("CARGO_BIN_EXE_loadgen"))
+        .args(["--quick", "--out"])
+        .arg(&out)
+        .arg(&path)
+        .output()
+        .expect("run loadgen");
+    assert!(
+        run.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(stdout.contains("shed%"), "got: {stdout}");
+    let json = std::fs::read_to_string(&out).expect("summary written");
+    assert!(json.contains("\"bench\": \"service\""), "got: {json}");
+}
+
+#[test]
+fn loadgen_binary_names_the_unwritable_summary_path() {
+    let path = write_scenario(&service_scenario(), "unwritable.toml");
+    let run = Command::new(env!("CARGO_BIN_EXE_loadgen"))
+        .args(["--quick", "--out", "/nonexistent-dir-zzz/out.json"])
+        .arg(&path)
+        .output()
+        .expect("run loadgen");
+    assert!(!run.status.success(), "must exit nonzero on write failure");
+    let stderr = String::from_utf8_lossy(&run.stderr);
+    assert!(
+        stderr.contains("cannot write /nonexistent-dir-zzz/out.json"),
+        "error must name the path: {stderr}"
+    );
+}
+
+#[test]
+fn tables_binary_rejects_explicit_service_scenarios() {
+    let path = write_scenario(&service_scenario(), "svc-tables.toml");
+    let run = Command::new(env!("CARGO_BIN_EXE_tables"))
+        .arg(&path)
+        .output()
+        .expect("run tables on service scenario");
+    assert!(!run.status.success());
+    let stderr = String::from_utf8_lossy(&run.stderr);
+    assert!(stderr.contains("loadgen"), "got: {stderr}");
+    assert!(stderr.contains("service"), "got: {stderr}");
+}

@@ -1,0 +1,174 @@
+//! Crash-point fault injection for the durability path.
+//!
+//! Every boundary at which a real process could die mid-update — before a
+//! WAL append, after a partial append, after a complete append, after the
+//! snapshot temp file is written, after it is renamed into place, after the
+//! WAL is truncated — is threaded through a [`CrashPoint`] hook. In
+//! production the hook is inert ([`CrashPoint::none`]); the battery arms it
+//! with [`CrashPoint::after`] to kill the shard at exactly the `n`-th site
+//! it reaches, then restarts from the journal and pins the recovered state
+//! against an uninterrupted reference run. [`CrashPoint::counting`] never
+//! fires and is used to enumerate how many sites a trace passes through.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One durability boundary the shard can die at.
+///
+/// The `Append*` sites bracket a WAL record write (with `AppendPartial`
+/// leaving a torn record on disk); the `Snapshot*` and `WalTruncate` sites
+/// bracket the three steps of a snapshot cycle (write temp file, rename
+/// over the old snapshot, truncate the WAL).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashSite {
+    /// Before any byte of a WAL record reaches the file.
+    AppendStart,
+    /// After a strict prefix of a WAL record reached the file (a torn
+    /// record — recovery must discard it).
+    AppendPartial,
+    /// After a WAL record is fully written.
+    AppendEnd,
+    /// After the snapshot temp file is fully written, before the rename.
+    SnapshotTmp,
+    /// After the temp file is renamed over the snapshot, before the WAL is
+    /// truncated (the WAL still holds records the snapshot already covers).
+    SnapshotRename,
+    /// After the WAL is truncated — the snapshot cycle is complete.
+    WalTruncate,
+}
+
+impl std::fmt::Display for CrashSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CrashSite::AppendStart => "append-start",
+            CrashSite::AppendPartial => "append-partial",
+            CrashSite::AppendEnd => "append-end",
+            CrashSite::SnapshotTmp => "snapshot-tmp",
+            CrashSite::SnapshotRename => "snapshot-rename",
+            CrashSite::WalTruncate => "wal-truncate",
+        };
+        f.write_str(s)
+    }
+}
+
+struct CrashInner {
+    /// Sites remaining before the hook fires; stays at zero once fired.
+    countdown: AtomicU64,
+    /// Total sites passed through (including the firing one).
+    seen: AtomicU64,
+}
+
+/// A shared, thread-safe crash trigger (see the module docs).
+///
+/// Clones share state, so the service, its shards and the test harness all
+/// observe one countdown.
+#[derive(Clone, Default)]
+pub struct CrashPoint {
+    inner: Option<Arc<CrashInner>>,
+}
+
+impl CrashPoint {
+    /// An inert hook: every site passes.
+    pub fn none() -> CrashPoint {
+        CrashPoint { inner: None }
+    }
+
+    /// A hook that fires at the `n`-th site reached (0-based) and at every
+    /// site after it — once the simulated process is dead it stays dead.
+    pub fn after(n: u64) -> CrashPoint {
+        CrashPoint {
+            inner: Some(Arc::new(CrashInner {
+                countdown: AtomicU64::new(n),
+                seen: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// A hook that never fires but still counts sites — pass one through a
+    /// full run to learn how many kill sites [`after`] can target.
+    ///
+    /// [`after`]: CrashPoint::after
+    pub fn counting() -> CrashPoint {
+        CrashPoint::after(u64::MAX)
+    }
+
+    /// Sites passed through so far (0 for an inert hook).
+    pub fn sites_seen(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.seen.load(Ordering::SeqCst))
+    }
+
+    /// Pass through one site: `Ok` to continue, `Err` if the simulated
+    /// crash fires here.
+    pub fn hit(&self, site: CrashSite) -> Result<(), CrashSite> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        inner.seen.fetch_add(1, Ordering::SeqCst);
+        let fired = inner
+            .countdown
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_err();
+        if fired {
+            Err(site)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl std::fmt::Debug for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("CrashPoint::none"),
+            Some(i) => f
+                .debug_struct("CrashPoint")
+                .field("countdown", &i.countdown.load(Ordering::SeqCst))
+                .field("seen", &i.seen.load(Ordering::SeqCst))
+                .finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fires() {
+        let cp = CrashPoint::none();
+        for _ in 0..100 {
+            assert!(cp.hit(CrashSite::AppendStart).is_ok());
+        }
+        assert_eq!(cp.sites_seen(), 0);
+    }
+
+    #[test]
+    fn after_fires_at_exact_site_and_stays_fired() {
+        let cp = CrashPoint::after(2);
+        assert!(cp.hit(CrashSite::AppendStart).is_ok());
+        assert!(cp.hit(CrashSite::AppendEnd).is_ok());
+        assert_eq!(cp.hit(CrashSite::SnapshotTmp), Err(CrashSite::SnapshotTmp));
+        // Dead stays dead.
+        assert_eq!(cp.hit(CrashSite::AppendStart), Err(CrashSite::AppendStart));
+        assert_eq!(cp.sites_seen(), 4);
+    }
+
+    #[test]
+    fn counting_counts_without_firing() {
+        let cp = CrashPoint::counting();
+        for _ in 0..10 {
+            assert!(cp.hit(CrashSite::WalTruncate).is_ok());
+        }
+        assert_eq!(cp.sites_seen(), 10);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let cp = CrashPoint::after(1);
+        let other = cp.clone();
+        assert!(cp.hit(CrashSite::AppendStart).is_ok());
+        assert!(other.hit(CrashSite::AppendStart).is_err());
+    }
+}

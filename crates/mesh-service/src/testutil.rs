@@ -1,0 +1,43 @@
+//! Self-cleaning temp directories for journal tests (the workspace has no
+//! `tempfile` dependency; this is the few lines of it the tests need).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A unique directory under the system temp dir, removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create `mcc-service-<tag>-<pid>-<n>` under the system temp dir.
+    ///
+    /// # Panics
+    /// If the directory cannot be created (tests have no graceful path).
+    pub fn new(tag: &str) -> TempDir {
+        let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+        let path =
+            std::env::temp_dir().join(format!("mcc-service-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path inside the directory.
+    pub fn join(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

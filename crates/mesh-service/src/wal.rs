@@ -1,0 +1,246 @@
+//! The per-shard write-ahead log.
+//!
+//! # Record format
+//!
+//! ```text
+//! [len: u32 LE] [seq: u64 LE] [payload: len bytes] [check: u64 LE]
+//! ```
+//!
+//! `check` is FNV-1a over everything before it (length, sequence and
+//! payload), so a flip of any single covered byte is caught (see
+//! [`crate::wire`]) and a damaged length prefix cannot smuggle a phantom
+//! record past the checksum: the checksum is read from wherever the
+//! corrupted length points, and it would have to match a digest that covers
+//! the corrupted length itself.
+//!
+//! # Torn tails
+//!
+//! The log is an append-only stream of records. A crash mid-append leaves a
+//! torn suffix; [`decode_records`] stops at the first record that is
+//! incomplete or fails its checksum and reports the clean prefix length, and
+//! [`Wal::open_at`] truncates the file back to that prefix. Committed
+//! records are never reinterpreted: decoding is sequential from offset 0,
+//! so damage at byte `t` can only affect records at or after `t`.
+//!
+//! # Sync policy
+//!
+//! [`SyncPolicy::Always`] issues `sync_data` after every append (real
+//! durability); [`SyncPolicy::Never`] is the fsync-free test mode — the
+//! crash battery simulates process death, not power loss, so the page cache
+//! survives and fsync would only slow the battery down.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crash::{CrashPoint, CrashSite};
+use crate::error::ServiceError;
+use crate::wire::{fnv1a64, put_u32, put_u64, Reader};
+
+/// Fixed overhead of one record: length + sequence + checksum.
+pub const RECORD_OVERHEAD: usize = 4 + 8 + 8;
+
+/// Upper bound on a record payload — a structural sanity check so a torn
+/// length prefix cannot ask the decoder to skip gigabytes.
+pub const MAX_PAYLOAD: usize = 1 << 24;
+
+/// When appends reach the disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `sync_data` after every append and snapshot write.
+    Always,
+    /// No explicit syncs (test mode; see the module docs).
+    Never,
+}
+
+/// Encode one record (see the module docs for the layout).
+pub fn encode_record(seq: u64, payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_PAYLOAD, "payload exceeds MAX_PAYLOAD");
+    let mut out = Vec::with_capacity(RECORD_OVERHEAD + payload.len());
+    put_u32(&mut out, payload.len() as u32);
+    put_u64(&mut out, seq);
+    out.extend_from_slice(payload);
+    let check = fnv1a64(&out);
+    put_u64(&mut out, check);
+    out
+}
+
+/// Decode the clean prefix of a record stream.
+///
+/// Returns the `(seq, payload)` of every intact record in order, plus the
+/// byte length of the clean prefix they occupy. Decoding never fails: a
+/// short, oversized or checksum-damaged record simply ends the prefix (a
+/// torn tail is data, not an error).
+pub fn decode_records(buf: &[u8]) -> (Vec<(u64, Vec<u8>)>, usize) {
+    let mut records = Vec::new();
+    let mut r = Reader::new(buf);
+    let mut clean = 0usize;
+    loop {
+        let start = r.pos();
+        let Some(len) = r.take_u32() else { break };
+        if len as usize > MAX_PAYLOAD {
+            break;
+        }
+        let Some(seq) = r.take_u64() else { break };
+        let Some(payload) = r.take(len as usize) else {
+            break;
+        };
+        let Some(check) = r.take_u64() else { break };
+        if fnv1a64(&buf[start..start + 12 + len as usize]) != check {
+            break;
+        }
+        records.push((seq, payload.to_vec()));
+        clean = r.pos();
+    }
+    (records, clean)
+}
+
+/// An open write-ahead log file positioned at its clean end.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    sync: SyncPolicy,
+    len: u64,
+}
+
+impl Wal {
+    /// Open (creating if absent) the log at `path`, truncating it to
+    /// `clean_len` — the clean-prefix length a prior [`decode_records`]
+    /// pass reported — and positioning for appends.
+    pub fn open_at(path: &Path, clean_len: u64, sync: SyncPolicy) -> Result<Wal, ServiceError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| ServiceError::io(path, e))?;
+        file.set_len(clean_len)
+            .map_err(|e| ServiceError::io(path, e))?;
+        let mut wal = Wal {
+            path: path.to_path_buf(),
+            file,
+            sync,
+            len: clean_len,
+        };
+        wal.file
+            .seek(SeekFrom::Start(clean_len))
+            .map_err(|e| ServiceError::io(&wal.path, e))?;
+        Ok(wal)
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current log length in bytes (committed records only).
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Append one record, passing through the three append crash sites.
+    ///
+    /// On [`CrashSite::AppendPartial`] a strict prefix of the record is
+    /// written before the error returns — the torn record the recovery path
+    /// must discard.
+    pub fn append(
+        &mut self,
+        seq: u64,
+        payload: &[u8],
+        crash: &CrashPoint,
+    ) -> Result<(), ServiceError> {
+        crash
+            .hit(CrashSite::AppendStart)
+            .map_err(ServiceError::Injected)?;
+        let rec = encode_record(seq, payload);
+        if let Err(site) = crash.hit(CrashSite::AppendPartial) {
+            // Simulated death mid-write: leave a torn record behind. The
+            // cut lands inside the trailing checksum field (records are at
+            // least RECORD_OVERHEAD bytes), so the tail can never validate.
+            let _ = self.file.write_all(&rec[..rec.len() - 5]);
+            let _ = self.file.flush();
+            return Err(ServiceError::Injected(site));
+        }
+        self.file
+            .write_all(&rec)
+            .map_err(|e| ServiceError::io(&self.path, e))?;
+        if self.sync == SyncPolicy::Always {
+            self.file
+                .sync_data()
+                .map_err(|e| ServiceError::io(&self.path, e))?;
+        }
+        self.len += rec.len() as u64;
+        crash
+            .hit(CrashSite::AppendEnd)
+            .map_err(ServiceError::Injected)?;
+        Ok(())
+    }
+
+    /// Empty the log (after a successful snapshot made its records
+    /// redundant), passing through the truncate crash site.
+    pub fn truncate_all(&mut self, crash: &CrashPoint) -> Result<(), ServiceError> {
+        self.file
+            .set_len(0)
+            .map_err(|e| ServiceError::io(&self.path, e))?;
+        self.file
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| ServiceError::io(&self.path, e))?;
+        if self.sync == SyncPolicy::Always {
+            self.file
+                .sync_data()
+                .map_err(|e| ServiceError::io(&self.path, e))?;
+        }
+        self.len = 0;
+        crash
+            .hit(CrashSite::WalTruncate)
+            .map_err(ServiceError::Injected)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_stream() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&encode_record(1, b"alpha"));
+        buf.extend_from_slice(&encode_record(2, b""));
+        buf.extend_from_slice(&encode_record(3, b"gamma"));
+        let (recs, clean) = decode_records(&buf);
+        assert_eq!(clean, buf.len());
+        assert_eq!(
+            recs,
+            vec![
+                (1, b"alpha".to_vec()),
+                (2, Vec::new()),
+                (3, b"gamma".to_vec())
+            ]
+        );
+    }
+
+    #[test]
+    fn torn_tail_yields_clean_prefix() {
+        let first = encode_record(1, b"alpha");
+        let mut buf = first.clone();
+        buf.extend_from_slice(&encode_record(2, b"beta")[..7]);
+        let (recs, clean) = decode_records(&buf);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(clean, first.len());
+    }
+
+    #[test]
+    fn flipped_byte_ends_prefix() {
+        let rec = encode_record(9, b"payload");
+        for i in 0..rec.len() {
+            let mut buf = rec.clone();
+            buf[i] ^= 0x40;
+            let (recs, clean) = decode_records(&buf);
+            assert!(recs.is_empty(), "flip at {i} produced a record");
+            assert_eq!(clean, 0);
+        }
+    }
+}

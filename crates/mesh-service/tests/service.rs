@@ -1,0 +1,206 @@
+//! Service-level behaviour: supervision (panicked shards restart from the
+//! journal), overload shedding with typed errors and a deterministic shed
+//! sequence, restart-resume over the same root, and the retry helper.
+
+use std::fs;
+use std::time::Duration;
+
+use mesh_service::prelude::*;
+use mesh_service::shard::ShardStats;
+use mesh_topo::coord::c2;
+
+fn spec_8x8() -> ShardSpec {
+    ShardSpec::new(
+        Geometry::M2 {
+            width: 8,
+            height: 8,
+            wrap: false,
+        },
+        4,
+    )
+}
+
+fn stats(svc: &MeshService, shard: usize) -> ShardStats {
+    match svc.call(shard, Request::Stats, 0) {
+        Ok(Response::Stats(s)) => s,
+        other => panic!("stats: {other:?}"),
+    }
+}
+
+#[test]
+fn panicked_shard_recovers_from_its_journal() {
+    let root = TempDir::new("supervise");
+    let svc = MeshService::start(ServiceConfig::new(root.path()), &[spec_8x8()]).unwrap();
+
+    let r = svc.call(
+        0,
+        Request::Churn2 {
+            injected: vec![c2(3, 3), c2(5, 5)],
+            healed: vec![],
+        },
+        0,
+    );
+    assert_eq!(r, Ok(Response::Churn { gen: 1 }));
+
+    // Kill the shard mid-flight; the caller sees a typed error...
+    assert_eq!(
+        svc.call(0, Request::Panic, 0),
+        Err(ServiceError::ShardPanicked)
+    );
+
+    // ...and the next request sees the journaled state, not a blank shard.
+    let s = stats(&svc, 0);
+    assert_eq!((s.gen, s.faults, s.recoveries), (1, 2, 1));
+    match svc.call(0, Request::Query2(c2(3, 3)), 0) {
+        Ok(Response::Region { status, .. }) => assert!(status.contains("faulty"), "{status}"),
+        other => panic!("query: {other:?}"),
+    }
+
+    // Supervision is not one-shot.
+    assert_eq!(
+        svc.call(0, Request::Panic, 0),
+        Err(ServiceError::ShardPanicked)
+    );
+    assert_eq!(stats(&svc, 0).recoveries, 2);
+
+    assert_eq!(
+        svc.call(9, Request::Stats, 0),
+        Err(ServiceError::UnknownShard { shard: 9 })
+    );
+}
+
+/// A burst beyond the queue bound sheds with `Overloaded`; the admit/shed
+/// sequence is a pure function of the schedule, so two identical services
+/// produce it byte-for-byte.
+#[test]
+fn overload_sheds_deterministically() {
+    let run = |tag: &str| -> Vec<String> {
+        let root = TempDir::new(tag);
+        let mut cfg = ServiceConfig::new(root.path());
+        cfg.admission.queue_cap = 4;
+        cfg.admission.deadline_ns = u64::MAX; // isolate the depth bound
+        let svc = MeshService::start(cfg, &[spec_8x8()]).unwrap();
+        (0..12u64)
+            .map(|i| {
+                let r = svc.call(
+                    0,
+                    Request::Route2 {
+                        s: c2(0, 0),
+                        d: c2(7, 7),
+                        seed: i,
+                    },
+                    0, // every request arrives at the same instant
+                );
+                match r {
+                    Ok(Response::Route { delivered, hops }) => format!("ok:{delivered}:{hops}"),
+                    Err(ServiceError::Overloaded { depth }) => format!("overloaded:{depth}"),
+                    other => panic!("burst: {other:?}"),
+                }
+            })
+            .collect()
+    };
+    let a = run("burst-a");
+    assert_eq!(a.iter().filter(|s| s.starts_with("ok")).count(), 4);
+    assert_eq!(a.iter().filter(|s| s.starts_with("overloaded")).count(), 8);
+    assert_eq!(a, run("burst-b"), "shed sequence is not deterministic");
+}
+
+/// With a tight deadline and a draining queue, the typed error switches to
+/// `Deadline` — the request would have waited too long, not queued too deep.
+#[test]
+fn deadline_shedding_yields_typed_waits() {
+    let root = TempDir::new("deadline");
+    let mut cfg = ServiceConfig::new(root.path());
+    cfg.admission.queue_cap = 1024;
+    cfg.admission.deadline_ns = 1_000_000; // 1 ms
+    cfg.admission.cost_ns = [600_000, 600_000, 600_000];
+    let svc = MeshService::start(cfg, &[spec_8x8()]).unwrap();
+
+    let outcome = |r: Result<Response, ServiceError>| match r {
+        Ok(_) => "ok",
+        Err(e) if e.is_shed() => "shed",
+        other => panic!("deadline burst: {other:?}"),
+    };
+    let burst: Vec<_> = (0..4u64)
+        .map(|i| outcome(svc.call(0, Request::QueryRandom { seed: i }, 0)))
+        .collect();
+    // arrivals at t=0 with 600 µs service: waits 0, 600 µs, 1.2 ms, 1.2 ms.
+    assert_eq!(burst, ["ok", "ok", "shed", "shed"]);
+    assert_eq!(
+        svc.call(0, Request::QueryRandom { seed: 9 }, 0),
+        Err(ServiceError::Deadline { wait_ns: 1_200_000 })
+    );
+    // Later arrivals find the queue drained.
+    assert_eq!(
+        outcome(svc.call(0, Request::QueryRandom { seed: 5 }, 2_000_000)),
+        "ok"
+    );
+}
+
+#[test]
+fn retry_helper_bounds_attempts_and_passes_successes_through() {
+    let root = TempDir::new("retry");
+    let mut cfg = ServiceConfig::new(root.path());
+    cfg.admission.queue_cap = 1;
+    cfg.admission.deadline_ns = u64::MAX;
+    let svc = MeshService::start(cfg, &[spec_8x8()]).unwrap();
+
+    // Fill the single-slot queue at t=0.
+    assert!(svc.call(0, Request::QueryRandom { seed: 1 }, 0).is_ok());
+    // Virtual time never advances across retries, so every attempt sheds.
+    let r = svc.call_with_retry(
+        0,
+        Request::QueryRandom { seed: 2 },
+        0,
+        3,
+        Duration::from_millis(1),
+    );
+    assert_eq!(r, Err(ServiceError::Overloaded { depth: 1 }));
+    // A request that admits succeeds on the first attempt.
+    let r = svc.call_with_retry(
+        0,
+        Request::QueryRandom { seed: 3 },
+        1_000_000_000,
+        3,
+        Duration::from_millis(1),
+    );
+    assert!(r.is_ok(), "{r:?}");
+}
+
+#[test]
+fn shutdown_then_restart_resumes_from_the_journal() {
+    let root = TempDir::new("resume");
+    {
+        let svc = MeshService::start(ServiceConfig::new(root.path()), &[spec_8x8()]).unwrap();
+        for seed in 0..5u64 {
+            assert!(svc.call(0, Request::ChurnRandom { seed }, 0).is_ok());
+        }
+        assert_eq!(stats(&svc, 0).gen, 5);
+        svc.shutdown();
+    }
+    let svc = MeshService::start(ServiceConfig::new(root.path()), &[spec_8x8()]).unwrap();
+    let s = stats(&svc, 0);
+    assert_eq!(s.gen, 5);
+    // snapshot_every = 4 → one auto-snapshot happened; the WAL holds the rest.
+    assert_eq!(s.snapshot_gen, 4);
+    assert!(svc.call(0, Request::ChurnRandom { seed: 99 }, 0).is_ok());
+}
+
+#[test]
+fn startup_surfaces_snapshot_corruption() {
+    let root = TempDir::new("corrupt");
+    {
+        let svc = MeshService::start(ServiceConfig::new(root.path()), &[spec_8x8()]).unwrap();
+        for seed in 0..4u64 {
+            assert!(svc.call(0, Request::ChurnRandom { seed }, 0).is_ok());
+        }
+        svc.shutdown();
+    }
+    let snap = root.path().join("shard-0000").join("snapshot.bin");
+    fs::write(&snap, b"not a snapshot").unwrap();
+    match MeshService::start(ServiceConfig::new(root.path()), &[spec_8x8()]) {
+        Err(ServiceError::Corrupt { path, .. }) => assert_eq!(path, snap),
+        Err(other) => panic!("start over damaged snapshot: {other:?}"),
+        Ok(_) => panic!("start over damaged snapshot succeeded"),
+    }
+}

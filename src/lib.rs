@@ -30,6 +30,7 @@
 pub use fault_model;
 pub use mcc_protocols;
 pub use mcc_routing;
+pub use mesh_service;
 pub use mesh_topo;
 pub use sim_net;
 
