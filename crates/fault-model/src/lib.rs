@@ -86,6 +86,7 @@ pub mod models;
 pub mod oracle;
 mod par;
 pub mod reference;
+pub mod regime;
 pub mod rfb2;
 pub mod rfb3;
 pub mod stats;
@@ -100,6 +101,7 @@ pub use labelling3::Labelling3;
 pub use mcc2::Mcc2;
 pub use mcc3::Mcc3;
 pub use models::{ModelCache2, ModelCache3};
+pub use regime::{AdversarialReport, FaultRegime, Schedule};
 pub use rfb2::FaultBlocks2;
 pub use rfb3::FaultBlocks3;
 pub use status::{BorderPolicy, NodeStatus};

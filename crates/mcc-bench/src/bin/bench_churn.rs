@@ -148,6 +148,7 @@ fn main() {
          writing\",\n",
     );
     json.push_str("  \"units\": \"nanoseconds\",\n");
+    json.push_str(&mcc_bench::report::fault_regime_field("uniform"));
     json.push_str(&format!("  \"faults\": {FAULTS},\n"));
     json.push_str(&format!(
         "  \"churn\": {{\"rounds\": {ROUNDS}, \"heal_per_round\": {HEAL_PER_ROUND}, \

@@ -111,6 +111,7 @@ fn main() {
          time\",\n",
     );
     json.push_str("  \"units\": \"nanoseconds\",\n");
+    json.push_str(&mcc_bench::report::fault_regime_field("uniform"));
     // Both pipelines here are the sequential kernels; the core count makes
     // snapshots from different machines comparable at a glance.
     json.push_str("  \"threads\": 1,\n");

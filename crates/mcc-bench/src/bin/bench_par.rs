@@ -151,6 +151,7 @@ fn main() {
          equal to sequential before timing\",\n",
     );
     json.push_str("  \"units\": \"nanoseconds\",\n");
+    json.push_str(&mcc_bench::report::fault_regime_field("uniform"));
     json.push_str(&format!("  \"detected_cores\": {cores},\n"));
     json.push_str(&format!(
         "  \"bar\": {{\"threads\": {BAR_THREADS}, \"min_speedup\": {SPEEDUP_BAR:.1}, \

@@ -158,6 +158,7 @@ fn main() {
          open-loop ramp driven past saturation (deterministic virtual-time admission)\",\n",
     );
     json.push_str("  \"units\": \"nanoseconds\",\n");
+    json.push_str(&mcc_bench::report::fault_regime_field("uniform"));
     json.push_str(&format!(
         "  \"gate\": {{\"digest_equivalence\": true, \"reps\": {REPS}}},\n"
     ));

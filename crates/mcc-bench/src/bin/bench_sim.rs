@@ -114,6 +114,7 @@ fn main() {
          wall time\",\n",
     );
     json.push_str("  \"units\": \"nanoseconds\",\n");
+    json.push_str(&mcc_bench::report::fault_regime_field("uniform"));
     // Both engines run their sequential round dispatch here; the core
     // count makes snapshots from different machines comparable.
     json.push_str("  \"threads\": 1,\n");

@@ -267,6 +267,7 @@ fn main() {
          wall time over the whole ramp\",\n",
     );
     json.push_str("  \"units\": \"nanoseconds\",\n");
+    json.push_str(&mcc_bench::report::fault_regime_field("uniform"));
     // Both pipelines run sequentially here; the core count makes
     // snapshots from different machines comparable.
     json.push_str("  \"threads\": 1,\n");

@@ -261,7 +261,7 @@ pub fn region_sweep_2d_clustered(
     seeds: u64,
 ) -> Vec<RegionRow> {
     let mut sc = Scenario::regions_2d(width, fault_counts, seeds);
-    sc.pattern = mesh_topo::FaultPattern::Clustered { clusters };
+    sc.regime = fault_model::FaultRegime::Clustered { clusters };
     expect_regions(sc)
 }
 
@@ -273,7 +273,7 @@ pub fn routing_sweep_3d_clustered(
     trials: u64,
 ) -> Vec<RoutingRow> {
     let mut sc = Scenario::routing_3d(k, fault_counts, trials);
-    sc.pattern = mesh_topo::FaultPattern::Clustered { clusters };
+    sc.regime = fault_model::FaultRegime::Clustered { clusters };
     expect_routing(sc)
 }
 

@@ -255,8 +255,7 @@ fn build_slot(
                 } else {
                     Mesh2D::new(width, height)
                 };
-                sc.fault_spec(count, seed(purpose))
-                    .inject_2d(&mut mesh, &[]);
+                sc.inject_2d(&mut mesh, count, seed(purpose), &[]);
                 mesh
             };
             Slot::D2 {
@@ -273,8 +272,7 @@ fn build_slot(
                 } else {
                     Mesh3D::new(x, y, z)
                 };
-                sc.fault_spec(count, seed(purpose))
-                    .inject_3d(&mut mesh, &[]);
+                sc.inject_3d(&mut mesh, count, seed(purpose), &[]);
                 mesh
             };
             Slot::D3 {
@@ -545,6 +543,7 @@ impl LoadReport {
         json.push_str("{\n");
         json.push_str("  \"bench\": \"loadgen\",\n");
         json.push_str(&format!("  \"scenario\": \"{}\",\n", sc.name));
+        json.push_str(&crate::report::fault_regime_field(sc.regime.name()));
         json.push_str(&format!("  \"seed\": {},\n", sc.seed_start));
         json.push_str(&format!("  \"threads\": {},\n", self.threads));
         json.push_str(&format!("  \"detected_cores\": {},\n", self.detected_cores));

@@ -7,6 +7,15 @@
 //! `error: cannot write <path>: <why>` and exit nonzero (pinned by the
 //! CLI exit-path tests in `tests/loadgen.rs`).
 
+/// Render the `"fault_regime"` snapshot field. Every `BENCH_*.json`
+/// names the sampling law its fault populations were drawn from (the
+/// fixed-workload benches all use `"uniform"`; the loadgen/service
+/// drivers take it from the scenario's regime), so snapshots measured
+/// under different regimes are never compared by accident.
+pub fn fault_regime_field(regime: &str) -> String {
+    format!("  \"fault_regime\": \"{regime}\",\n")
+}
+
 /// Write `contents` to `path`; on failure the error names the path.
 pub fn write_snapshot(path: &str, contents: &str) -> Result<(), String> {
     std::fs::write(path, contents).map_err(|e| format!("cannot write {path}: {e}"))

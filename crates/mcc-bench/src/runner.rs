@@ -28,13 +28,13 @@ use fault_model::incremental::{IncrementalModels2, IncrementalModels3};
 use fault_model::mcc2::MccSet2;
 use fault_model::mcc3::MccSet3;
 use fault_model::stats::{region_stats_2d, region_stats_3d};
-use fault_model::{Labelling2, Labelling3};
+use fault_model::{FaultRegime, Labelling2, Labelling3, Schedule};
 use mcc_protocols::boundary2::build_pipeline_2d;
 use mcc_protocols::labelling::{DistLabelling2, DistLabelling3};
 use mcc_routing::prepared::{PreparedMesh2, PreparedMesh3};
 use mcc_routing::trial::{TrialOptions, TrialResult};
 use mesh_topo::coord::{c2, c3};
-use mesh_topo::{FaultPattern, Frame2, Frame3, Mesh2D, Mesh3D, Parallelism, C2, C3};
+use mesh_topo::{Frame2, Frame3, Mesh2D, Mesh3D, Parallelism, C2, C3};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -231,16 +231,16 @@ fn run_regions(sc: &Scenario) -> Vec<RegionRow> {
         .iter()
         .map(|&n| {
             let stats = parallel_seeds_with(sc.seed_start..sc.seed_end, outer, |seed| {
-                let spec = sc.fault_spec(n, mix_fault_seed(seed, n));
+                let fseed = mix_fault_seed(seed, n);
                 match sc.dims {
                     MeshDims::D2 { width, height } => {
                         let mut mesh = build_mesh_2d(sc, width, height);
-                        spec.inject_2d(&mut mesh, &[]);
+                        sc.inject_2d(&mut mesh, n, fseed, &[]);
                         region_stats_2d(&mesh, sc.border)
                     }
                     MeshDims::D3 { x, y, z } => {
                         let mut mesh = build_mesh_3d(sc, x, y, z);
-                        spec.inject_3d(&mut mesh, &[]);
+                        sc.inject_3d(&mut mesh, n, fseed, &[]);
                         region_stats_3d(&mesh, sc.border)
                     }
                 }
@@ -360,10 +360,10 @@ fn run_routing(sc: &Scenario) -> Vec<RoutingRow> {
                         let mut mesh = build_mesh_2d(sc, width, height);
                         let legacy_pair = if sc.pairs_per_seed == 1 {
                             let (s, d) = random_pair_2d(&mut rng, &mesh, min_dist);
-                            sc.fault_spec(n, rng.gen()).inject_2d(&mut mesh, &[s, d]);
+                            sc.inject_2d(&mut mesh, n, rng.gen(), &[s, d]);
                             Some((s, d))
                         } else {
-                            sc.fault_spec(n, rng.gen()).inject_2d(&mut mesh, &[]);
+                            sc.inject_2d(&mut mesh, n, rng.gen(), &[]);
                             None
                         };
                         let mut pm = PreparedMesh2::with_parallelism(&mesh, opts, intra);
@@ -380,10 +380,10 @@ fn run_routing(sc: &Scenario) -> Vec<RoutingRow> {
                         let mut mesh = build_mesh_3d(sc, x, y, z);
                         let legacy_pair = if sc.pairs_per_seed == 1 {
                             let (s, d) = random_pair_3d(&mut rng, &mesh, min_dist);
-                            sc.fault_spec(n, rng.gen()).inject_3d(&mut mesh, &[s, d]);
+                            sc.inject_3d(&mut mesh, n, rng.gen(), &[s, d]);
                             Some((s, d))
                         } else {
-                            sc.fault_spec(n, rng.gen()).inject_3d(&mut mesh, &[]);
+                            sc.inject_3d(&mut mesh, n, rng.gen(), &[]);
                             None
                         };
                         let mut pm = PreparedMesh3::with_parallelism(&mesh, opts, intra);
@@ -452,11 +452,12 @@ fn run_overhead_2d(
     width: i32,
     height: i32,
 ) -> Result<Vec<OverheadRow>, ScenarioError> {
-    if sc.pattern != FaultPattern::Uniform {
+    if sc.regime != FaultRegime::Uniform {
         // The identification walks assume regions do not touch the mesh
-        // border (see DESIGN.md); clustered growth routinely reaches it.
+        // border (see DESIGN.md); clustered growth, correlated fronts and
+        // sweeping planes all routinely reach it.
         return Err(ScenarioError::new(
-            "2-D overhead scenarios support only the uniform fault pattern",
+            "2-D overhead scenarios support only the uniform fault regime",
         ));
     }
     if width < 3 || height < 3 {
@@ -536,16 +537,16 @@ fn run_labelling(sc: &Scenario) -> Vec<LabellingRow> {
         .map(|&n| {
             let stats: Vec<RunStats> =
                 parallel_seeds_with(sc.seed_start..sc.seed_end, outer, |seed| {
-                    let spec = sc.fault_spec(n, mix_interior_seed(seed, n));
+                    let fseed = mix_interior_seed(seed, n);
                     match sc.dims {
                         MeshDims::D2 { width, height } => {
                             let mut mesh = build_mesh_2d(sc, width, height);
-                            spec.inject_2d(&mut mesh, &[]);
+                            sc.inject_2d(&mut mesh, n, fseed, &[]);
                             DistLabelling2::run_par(&mesh, Frame2::identity(&mesh), intra).stats
                         }
                         MeshDims::D3 { x, y, z } => {
                             let mut mesh = build_mesh_3d(sc, x, y, z);
-                            spec.inject_3d(&mut mesh, &[]);
+                            sc.inject_3d(&mut mesh, n, fseed, &[]);
                             DistLabelling3::run_par(&mesh, Frame3::identity(&mesh), intra).stats
                         }
                     }
@@ -600,18 +601,44 @@ fn run_churn(sc: &Scenario) -> Vec<ChurnRow> {
         .map(|&n| {
             let seeds = parallel_seeds_with(sc.seed_start..sc.seed_end, outer, |seed| {
                 let mut rng = SmallRng::seed_from_u64(mix_trial_seed(seed, n));
+                let fseed = mix_fault_seed(seed, n);
                 match sc.dims {
                     MeshDims::D2 { width, height } => {
                         let mut mesh = build_mesh_2d(sc, width, height);
-                        sc.fault_spec(n, mix_fault_seed(seed, n))
-                            .inject_2d(&mut mesh, &[]);
-                        churn_seed_2d(sc, mesh, intra, &mut rng)
+                        // Scheduled regimes (sweeping plane, transient)
+                        // replace the random flip draws with their own
+                        // churn law; `initial_faults` matches what
+                        // `Scenario::inject_2d` would place, so round 0
+                        // starts from the same population either way.
+                        let schedule = sc.regime.schedule_2d(&mesh, n, fseed, &[]);
+                        match schedule {
+                            Some(schedule) => {
+                                for c in schedule.initial_faults() {
+                                    mesh.inject_fault(c);
+                                }
+                                churn_seed_2d(sc, mesh, intra, &mut rng, Some(schedule))
+                            }
+                            None => {
+                                sc.inject_2d(&mut mesh, n, fseed, &[]);
+                                churn_seed_2d(sc, mesh, intra, &mut rng, None)
+                            }
+                        }
                     }
                     MeshDims::D3 { x, y, z } => {
                         let mut mesh = build_mesh_3d(sc, x, y, z);
-                        sc.fault_spec(n, mix_fault_seed(seed, n))
-                            .inject_3d(&mut mesh, &[]);
-                        churn_seed_3d(sc, mesh, intra, &mut rng)
+                        let schedule = sc.regime.schedule_3d(&mesh, n, fseed, &[]);
+                        match schedule {
+                            Some(schedule) => {
+                                for c in schedule.initial_faults() {
+                                    mesh.inject_fault(c);
+                                }
+                                churn_seed_3d(sc, mesh, intra, &mut rng, Some(schedule))
+                            }
+                            None => {
+                                sc.inject_3d(&mut mesh, n, fseed, &[]);
+                                churn_seed_3d(sc, mesh, intra, &mut rng, None)
+                            }
+                        }
                     }
                 }
             });
@@ -637,7 +664,13 @@ fn run_churn(sc: &Scenario) -> Vec<ChurnRow> {
         .collect()
 }
 
-fn churn_seed_2d(sc: &Scenario, mesh: Mesh2D, intra: Parallelism, rng: &mut SmallRng) -> ChurnSeed {
+fn churn_seed_2d(
+    sc: &Scenario,
+    mesh: Mesh2D,
+    intra: Parallelism,
+    rng: &mut SmallRng,
+    mut schedule: Option<Schedule<C2>>,
+) -> ChurnSeed {
     let (w, h) = (mesh.width(), mesh.height());
     let nodes = (w * h) as usize;
     let mut inc = IncrementalModels2::with_parallelism(mesh, sc.border, intra);
@@ -651,22 +684,29 @@ fn churn_seed_2d(sc: &Scenario, mesh: Mesh2D, intra: Parallelism, rng: &mut Smal
         matched: 0,
     };
     for _ in 0..sc.churn_rounds {
-        let faults = inc.mesh().faults().to_vec();
-        let flips = churn_flips(sc.churn_rate, faults.len(), nodes - faults.len());
-        let mut healed: Vec<C2> = Vec::new();
-        while healed.len() < flips {
-            let c = faults[rng.gen_range(0..faults.len())];
-            if !healed.contains(&c) {
-                healed.push(c);
+        let (injected, healed) = if let Some(sched) = schedule.as_mut() {
+            let faults = inc.mesh().faults().len();
+            let flips = churn_flips(sc.churn_rate, faults, nodes - faults);
+            sched.step(flips)
+        } else {
+            let faults = inc.mesh().faults().to_vec();
+            let flips = churn_flips(sc.churn_rate, faults.len(), nodes - faults.len());
+            let mut healed: Vec<C2> = Vec::new();
+            while healed.len() < flips {
+                let c = faults[rng.gen_range(0..faults.len())];
+                if !healed.contains(&c) {
+                    healed.push(c);
+                }
             }
-        }
-        let mut injected: Vec<C2> = Vec::new();
-        while injected.len() < flips {
-            let c = c2(rng.gen_range(0..w), rng.gen_range(0..h));
-            if inc.mesh().is_healthy(c) && !injected.contains(&c) {
-                injected.push(c);
+            let mut injected: Vec<C2> = Vec::new();
+            while injected.len() < flips {
+                let c = c2(rng.gen_range(0..w), rng.gen_range(0..h));
+                if inc.mesh().is_healthy(c) && !injected.contains(&c) {
+                    injected.push(c);
+                }
             }
-        }
+            (injected, healed)
+        };
         inc.apply(&injected, &healed);
         out.injected += injected.len();
         out.healed += healed.len();
@@ -690,7 +730,13 @@ fn churn_seed_2d(sc: &Scenario, mesh: Mesh2D, intra: Parallelism, rng: &mut Smal
     out
 }
 
-fn churn_seed_3d(sc: &Scenario, mesh: Mesh3D, intra: Parallelism, rng: &mut SmallRng) -> ChurnSeed {
+fn churn_seed_3d(
+    sc: &Scenario,
+    mesh: Mesh3D,
+    intra: Parallelism,
+    rng: &mut SmallRng,
+    mut schedule: Option<Schedule<C3>>,
+) -> ChurnSeed {
     let (nx, ny, nz) = (mesh.nx(), mesh.ny(), mesh.nz());
     let nodes = (nx * ny * nz) as usize;
     let mut inc = IncrementalModels3::with_parallelism(mesh, sc.border, intra);
@@ -704,26 +750,33 @@ fn churn_seed_3d(sc: &Scenario, mesh: Mesh3D, intra: Parallelism, rng: &mut Smal
         matched: 0,
     };
     for _ in 0..sc.churn_rounds {
-        let faults = inc.mesh().faults().to_vec();
-        let flips = churn_flips(sc.churn_rate, faults.len(), nodes - faults.len());
-        let mut healed: Vec<C3> = Vec::new();
-        while healed.len() < flips {
-            let c = faults[rng.gen_range(0..faults.len())];
-            if !healed.contains(&c) {
-                healed.push(c);
+        let (injected, healed) = if let Some(sched) = schedule.as_mut() {
+            let faults = inc.mesh().faults().len();
+            let flips = churn_flips(sc.churn_rate, faults, nodes - faults);
+            sched.step(flips)
+        } else {
+            let faults = inc.mesh().faults().to_vec();
+            let flips = churn_flips(sc.churn_rate, faults.len(), nodes - faults.len());
+            let mut healed: Vec<C3> = Vec::new();
+            while healed.len() < flips {
+                let c = faults[rng.gen_range(0..faults.len())];
+                if !healed.contains(&c) {
+                    healed.push(c);
+                }
             }
-        }
-        let mut injected: Vec<C3> = Vec::new();
-        while injected.len() < flips {
-            let c = c3(
-                rng.gen_range(0..nx),
-                rng.gen_range(0..ny),
-                rng.gen_range(0..nz),
-            );
-            if inc.mesh().is_healthy(c) && !injected.contains(&c) {
-                injected.push(c);
+            let mut injected: Vec<C3> = Vec::new();
+            while injected.len() < flips {
+                let c = c3(
+                    rng.gen_range(0..nx),
+                    rng.gen_range(0..ny),
+                    rng.gen_range(0..nz),
+                );
+                if inc.mesh().is_healthy(c) && !injected.contains(&c) {
+                    injected.push(c);
+                }
             }
-        }
+            (injected, healed)
+        };
         inc.apply(&injected, &healed);
         out.injected += injected.len();
         out.healed += healed.len();
@@ -755,8 +808,7 @@ fn run_overhead_3d(sc: &Scenario, x: i32, y: i32, z: i32) -> Vec<OverheadRow> {
         .map(|&n| {
             let stats = parallel_seeds_with(sc.seed_start..sc.seed_end, outer, |seed| {
                 let mut mesh = Mesh3D::new(x, y, z);
-                sc.fault_spec(n, seed ^ ((n as u64) << 24))
-                    .inject_3d(&mut mesh, &[near, far]);
+                sc.inject_3d(&mut mesh, n, seed ^ ((n as u64) << 24), &[near, far]);
                 let lab = DistLabelling3::run_par(&mesh, Frame3::identity(&mesh), intra);
                 let lab_stats = lab.stats;
                 let detect = if lab.status(near).is_safe() && lab.status(far).is_safe() {
@@ -1030,7 +1082,7 @@ mod tests {
     #[test]
     fn overhead_2d_rejects_clustered() {
         let mut sc = Scenario::overhead_2d(10, &[3], 2);
-        sc.pattern = FaultPattern::Clustered { clusters: 2 };
+        sc.regime = FaultRegime::Clustered { clusters: 2 };
         assert!(run_scenario(&sc).is_err());
     }
 

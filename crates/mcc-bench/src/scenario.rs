@@ -20,9 +20,18 @@
 //!
 //! [faults]
 //! counts = [5, 10, 20, 40]    # the fault-count ramp
-//! pattern = "uniform"          # uniform | clustered
+//! pattern = "uniform"          # uniform | clustered (legacy shorthand)
 //! clusters = 3                 # cluster count (clustered pattern only)
 //! border = "safe"              # safe | blocked
+//!
+//! [faults.regime]              # extended fault regimes — exclusive with
+//! kind = "front"               # `pattern`; kind = uniform | clustered |
+//! fronts = 2                   # front | plane | transient | adversarial.
+//! # clusters = 3               # clustered: cluster seed points
+//! # axis = "x"                 # plane: sweep axis (x | y | z)
+//! # period = 6                 # transient: rounds per on/off cycle
+//! # duty = 0.5                 # transient: faulty fraction of the period
+//! # restarts = 8               # adversarial: hill-climb restarts
 //!
 //! [run]
 //! seeds = [0, 400]             # half-open seed range [start, end)
@@ -58,8 +67,8 @@
 
 use std::fmt;
 
-use fault_model::BorderPolicy;
-use mesh_topo::{FaultPattern, FaultSpec};
+use fault_model::{BorderPolicy, FaultRegime};
+use mesh_topo::{Mesh2D, Mesh3D, C2, C3};
 use serde::{Deserialize, Serialize};
 
 use crate::toml_lite::{Doc, ParseError, Table, Value};
@@ -334,8 +343,11 @@ pub struct Scenario {
     pub wrap: bool,
     /// Fault-count ramp (one table row per entry).
     pub fault_counts: Vec<usize>,
-    /// Spatial fault pattern.
-    pub pattern: FaultPattern,
+    /// How faults come into being (spatial law and, for schedule-bearing
+    /// regimes, temporal law). The legacy `pattern = "uniform"/"clustered"`
+    /// keys map onto [`FaultRegime::Uniform`]/[`FaultRegime::Clustered`];
+    /// the extended regimes live in the `[faults.regime]` section.
+    pub regime: FaultRegime,
     /// Labelling border policy.
     pub border: BorderPolicy,
     /// Router/model selection for routing tables.
@@ -482,19 +494,129 @@ fn parse_dims(value: &Value, what: &str) -> Result<MeshDims, ScenarioError> {
     }
 }
 
+/// Parse the typed `[faults.regime]` table. Every kind has its own key
+/// whitelist, so a knob belonging to a different regime (or a typo) is a
+/// hard error rather than silently ignored; range rules that need the
+/// rest of the scenario (axis vs. dimensionality, table compatibility)
+/// live in [`Scenario::validate`].
+fn parse_regime(reg: &Table) -> Result<FaultRegime, ScenarioError> {
+    let kind = require(reg, "faults.regime", "kind")?
+        .as_str()
+        .ok_or_else(|| invalid("`faults.regime.kind` must be a string"))?;
+    let allowed: &[&str] = match kind {
+        "uniform" => &["kind"],
+        "clustered" => &["kind", "clusters"],
+        "front" => &["kind", "fronts"],
+        "plane" => &["kind", "axis"],
+        "transient" => &["kind", "period", "duty"],
+        "adversarial" => &["kind", "restarts"],
+        other => {
+            return Err(invalid(format!(
+                "`faults.regime.kind` must be \"uniform\", \"clustered\", \
+                 \"front\", \"plane\", \"transient\" or \"adversarial\", \
+                 got {other:?}"
+            )))
+        }
+    };
+    if let Some(k) = reg.keys().find(|k| !allowed.contains(&k.as_str())) {
+        return Err(invalid(format!(
+            "unknown key `{k}` in [faults.regime] for kind \"{kind}\" \
+             (allowed: {})",
+            allowed.join(", ")
+        )));
+    }
+    let int_knob = |key: &str, default: i64| -> Result<i64, ScenarioError> {
+        match reg.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_int()
+                .ok_or_else(|| invalid(format!("`faults.regime.{key}` must be an integer"))),
+        }
+    };
+    Ok(match kind {
+        "uniform" => FaultRegime::Uniform,
+        "clustered" => {
+            let clusters = int_knob("clusters", 3)?;
+            if clusters < 1 {
+                return Err(invalid("`faults.regime.clusters` must be at least 1"));
+            }
+            FaultRegime::Clustered {
+                clusters: clusters as usize,
+            }
+        }
+        "front" => {
+            let fronts = int_knob("fronts", 3)?;
+            if fronts < 1 {
+                return Err(invalid("`faults.regime.fronts` must be at least 1"));
+            }
+            FaultRegime::CorrelatedFront {
+                fronts: fronts as usize,
+            }
+        }
+        "plane" => {
+            let axis = match reg.get("axis").map(|v| v.as_str()) {
+                None | Some(Some("x")) => 0,
+                Some(Some("y")) => 1,
+                Some(Some("z")) => 2,
+                other => {
+                    return Err(invalid(format!(
+                        "`faults.regime.axis` must be \"x\", \"y\" or \"z\", got {other:?}"
+                    )))
+                }
+            };
+            FaultRegime::SweepingPlane { axis }
+        }
+        "transient" => {
+            let period = int_knob("period", 4)?;
+            if period < 2 {
+                return Err(invalid(
+                    "`faults.regime.period` must be at least 2 rounds (a site \
+                     needs both an on and an off phase)",
+                ));
+            }
+            let duty = match reg.get("duty") {
+                None => 0.5,
+                Some(v) => v
+                    .as_float()
+                    .ok_or_else(|| invalid("`faults.regime.duty` must be a number"))?,
+            };
+            FaultRegime::TransientSchedule {
+                period: period as usize,
+                duty,
+            }
+        }
+        "adversarial" => {
+            let restarts = int_knob("restarts", 8)?;
+            if restarts < 1 {
+                return Err(invalid("`faults.regime.restarts` must be at least 1"));
+            }
+            FaultRegime::AdversarialBoundary {
+                restarts: restarts as usize,
+            }
+        }
+        _ => unreachable!("kind already matched"),
+    })
+}
+
 impl Scenario {
     /// Number of seeds/trials per fault count.
     pub fn seed_count(&self) -> u64 {
         self.seed_end - self.seed_start
     }
 
-    /// The injection spec for one `(fault count, seed)` cell.
-    pub fn fault_spec(&self, count: usize, seed: u64) -> FaultSpec {
-        FaultSpec {
-            count,
-            pattern: self.pattern,
-            seed,
-        }
+    /// Inject one `(fault count, seed)` cell into a 2-D mesh through the
+    /// active fault regime, never touching `protected` nodes. Returns the
+    /// number of faults injected. For the legacy regimes this reproduces
+    /// the historical `FaultSpec` RNG sequence bit-for-bit.
+    pub fn inject_2d(&self, mesh: &mut Mesh2D, count: usize, seed: u64, protected: &[C2]) -> usize {
+        self.regime
+            .inject_2d(mesh, count, seed, protected, self.border)
+    }
+
+    /// 3-D twin of [`Scenario::inject_2d`].
+    pub fn inject_3d(&self, mesh: &mut Mesh3D, count: usize, seed: u64, protected: &[C3]) -> usize {
+        self.regime
+            .inject_3d(mesh, count, seed, protected, self.border)
     }
 
     /// A copy with the seed range shrunk to roughly a tenth, for `--quick`
@@ -583,22 +705,52 @@ impl Scenario {
                     usize::try_from(v).map_err(|_| invalid("`faults.counts` must be non-negative"))
                 })
                 .collect::<Result<_, _>>()?;
-        let pattern = match faults.get("pattern").map(|v| v.as_str()) {
-            None | Some(Some("uniform")) => FaultPattern::Uniform,
-            Some(Some("clustered")) => {
-                let clusters = faults.get("clusters").and_then(Value::as_int).unwrap_or(3);
-                if clusters < 1 {
-                    return Err(invalid("`faults.clusters` must be at least 1"));
+        // Satellite rule: `[faults]` rejects unknown keys outright (a
+        // typo'd or misplaced knob — e.g. `clusters` under `pattern =
+        // "uniform"` — used to be silently ignored).
+        const FAULTS_KEYS: [&str; 4] = ["counts", "pattern", "clusters", "border"];
+        if let Some(k) = faults.keys().find(|k| !FAULTS_KEYS.contains(&k.as_str())) {
+            return Err(invalid(format!(
+                "unknown key `{k}` in [faults] (allowed: counts, pattern, \
+                 clusters, border; extended regimes go in [faults.regime])"
+            )));
+        }
+        let regime = match doc.sections.get("faults.regime") {
+            Some(reg) => {
+                if faults.contains_key("pattern") || faults.contains_key("clusters") {
+                    return Err(invalid(
+                        "`faults.pattern`/`faults.clusters` and a [faults.regime] \
+                         section are mutually exclusive — the regime table already \
+                         names the sampling law",
+                    ));
                 }
-                FaultPattern::Clustered {
-                    clusters: clusters as usize,
+                parse_regime(reg)?
+            }
+            None => match faults.get("pattern").map(|v| v.as_str()) {
+                None | Some(Some("uniform")) => {
+                    if faults.contains_key("clusters") {
+                        return Err(invalid(
+                            "`faults.clusters` is only meaningful with `pattern = \
+                             \"clustered\"` (it would be silently ignored here)",
+                        ));
+                    }
+                    FaultRegime::Uniform
                 }
-            }
-            other => {
-                return Err(invalid(format!(
-                    "`faults.pattern` must be \"uniform\" or \"clustered\", got {other:?}"
-                )))
-            }
+                Some(Some("clustered")) => {
+                    let clusters = faults.get("clusters").and_then(Value::as_int).unwrap_or(3);
+                    if clusters < 1 {
+                        return Err(invalid("`faults.clusters` must be at least 1"));
+                    }
+                    FaultRegime::Clustered {
+                        clusters: clusters as usize,
+                    }
+                }
+                other => {
+                    return Err(invalid(format!(
+                        "`faults.pattern` must be \"uniform\" or \"clustered\", got {other:?}"
+                    )))
+                }
+            },
         };
         let border = match faults.get("border").map(|v| v.as_str()) {
             None | Some(Some("safe")) => BorderPolicy::BorderSafe,
@@ -848,7 +1000,7 @@ impl Scenario {
             dims,
             wrap,
             fault_counts,
-            pattern,
+            regime,
             border,
             router,
             seed_start,
@@ -975,6 +1127,7 @@ impl Scenario {
                 )));
             }
         }
+        self.validate_regime()?;
         if self.table == TableKind::Routing {
             let min_dist = (self.dims.max_extent() as f64 * self.min_dist_frac).round() as u32;
             let diameter = self.dims.diameter(self.wrap);
@@ -1015,6 +1168,92 @@ impl Scenario {
                 ));
             }
             (Some(service), TableKind::Service) => self.validate_service(service)?,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Regime knob ranges plus regime/table compatibility (split out of
+    /// [`Scenario::validate`] for readability).
+    ///
+    /// The schedule-bearing regimes only make sense where their schedule
+    /// can actually run: the sweeping plane and transient regimes churn
+    /// through `IncrementalModels*::try_apply` (churn tables), but also
+    /// provide a static round-0 sample any table can use; the adversarial
+    /// regime targets one source/destination pair per fault
+    /// configuration, so it needs a routing table with `pairs_per_seed =
+    /// 1` on a non-wrapping mesh (its violation predicate is defined over
+    /// the pair's canonical monotone frame). Request-driven churn
+    /// (load/service tables) would fight a regime-prescribed schedule, so
+    /// those tables reject the transient regime.
+    fn validate_regime(&self) -> Result<(), ScenarioError> {
+        match self.regime {
+            FaultRegime::Clustered { clusters } if clusters < 1 => {
+                return Err(invalid("the clustered regime needs at least 1 cluster"));
+            }
+            FaultRegime::CorrelatedFront { fronts } if fronts < 1 => {
+                return Err(invalid("the front regime needs at least 1 epicenter"));
+            }
+            FaultRegime::SweepingPlane { axis } => {
+                let axes = match self.dims {
+                    MeshDims::D2 { .. } => 2,
+                    MeshDims::D3 { .. } => 3,
+                };
+                if axis >= axes {
+                    return Err(invalid(format!(
+                        "`faults.regime.axis` \"{}\" needs a 3-D mesh, but \
+                         `mesh.dims` is {axes}-dimensional",
+                        ["x", "y", "z"].get(axis).copied().unwrap_or("?")
+                    )));
+                }
+            }
+            FaultRegime::TransientSchedule { period, duty } => {
+                if !(2..=1024).contains(&period) {
+                    return Err(invalid(format!(
+                        "`faults.regime.period` must be in 2..=1024 churn rounds, \
+                         got {period}"
+                    )));
+                }
+                if !(duty.is_finite() && 0.0 < duty && duty < 1.0) {
+                    return Err(invalid(format!(
+                        "`faults.regime.duty` must be a fraction in (0, 1) of the \
+                         period a site spends faulty, got {duty}"
+                    )));
+                }
+                if self.table == TableKind::Load || self.table == TableKind::Service {
+                    return Err(invalid(
+                        "the transient regime prescribes its own inject/heal \
+                         schedule; load/service tables churn per request and \
+                         would fight it — use uniform, clustered, front or plane",
+                    ));
+                }
+            }
+            FaultRegime::AdversarialBoundary { restarts } => {
+                if !(1..=10_000).contains(&restarts) {
+                    return Err(invalid(format!(
+                        "`faults.regime.restarts` must be in 1..=10000, got {restarts}"
+                    )));
+                }
+                if self.table != TableKind::Routing {
+                    return Err(invalid(
+                        "the adversarial regime searches against one routing pair; \
+                         it only makes sense with `table = \"routing\"`",
+                    ));
+                }
+                if self.wrap {
+                    return Err(invalid(
+                        "the adversarial regime's violation predicate needs the \
+                         canonical monotone frame of a non-wrapping mesh; drop \
+                         `mesh.wrap` or pick another regime",
+                    ));
+                }
+                if self.pairs_per_seed != 1 {
+                    return Err(invalid(
+                        "the adversarial regime targets the trial pair it is \
+                         injected against; `run.pairs_per_seed` must be 1",
+                    ));
+                }
+            }
             _ => {}
         }
         Ok(())
@@ -1182,14 +1421,19 @@ impl Scenario {
                     .collect(),
             ),
         );
-        match self.pattern {
-            FaultPattern::Uniform => {
+        // The legacy regimes keep emitting the legacy `pattern` keys so
+        // every pre-regime scenario file round-trips byte-for-byte; the
+        // extended regimes render as a typed [faults.regime] section
+        // (which the BTreeMap section order places right after [faults]).
+        match self.regime {
+            FaultRegime::Uniform => {
                 faults.insert("pattern".into(), Value::Str("uniform".into()));
             }
-            FaultPattern::Clustered { clusters } => {
+            FaultRegime::Clustered { clusters } => {
                 faults.insert("pattern".into(), Value::Str("clustered".into()));
                 faults.insert("clusters".into(), Value::Int(clusters as i64));
             }
+            _ => {}
         }
         let border = match self.border {
             BorderPolicy::BorderSafe => "safe",
@@ -1197,6 +1441,31 @@ impl Scenario {
         };
         faults.insert("border".into(), Value::Str(border.into()));
         doc.sections.insert("faults".into(), faults);
+
+        if !self.regime.is_legacy() {
+            let mut reg = Table::new();
+            reg.insert("kind".into(), Value::Str(self.regime.name().into()));
+            match self.regime {
+                FaultRegime::CorrelatedFront { fronts } => {
+                    reg.insert("fronts".into(), Value::Int(fronts as i64));
+                }
+                FaultRegime::SweepingPlane { axis } => {
+                    reg.insert(
+                        "axis".into(),
+                        Value::Str(["x", "y", "z"][axis.min(2)].into()),
+                    );
+                }
+                FaultRegime::TransientSchedule { period, duty } => {
+                    reg.insert("period".into(), Value::Int(period as i64));
+                    reg.insert("duty".into(), Value::Float(duty));
+                }
+                FaultRegime::AdversarialBoundary { restarts } => {
+                    reg.insert("restarts".into(), Value::Int(restarts as i64));
+                }
+                FaultRegime::Uniform | FaultRegime::Clustered { .. } => {}
+            }
+            doc.sections.insert("faults.regime".into(), reg);
+        }
 
         let mut run = Table::new();
         run.insert(
@@ -1304,7 +1573,7 @@ impl Scenario {
             dims,
             wrap: false,
             fault_counts: counts.to_vec(),
-            pattern: FaultPattern::Uniform,
+            regime: FaultRegime::Uniform,
             border: BorderPolicy::BorderSafe,
             router: RouterChoice::All,
             seed_start: 0,
@@ -1527,7 +1796,7 @@ mod tests {
             }
         );
         assert_eq!(s.fault_counts, vec![10, 20]);
-        assert_eq!(s.pattern, FaultPattern::Clustered { clusters: 4 });
+        assert_eq!(s.regime, FaultRegime::Clustered { clusters: 4 });
         assert_eq!(s.border, BorderPolicy::BorderSafe);
         assert_eq!(s.router, RouterChoice::Mcc);
         assert_eq!((s.seed_start, s.seed_end), (0, 50));
@@ -1541,7 +1810,7 @@ mod tests {
              [faults]\ncounts = [4]\n[run]\nseeds = [0, 2]\n",
         )
         .unwrap();
-        assert_eq!(s.pattern, FaultPattern::Uniform);
+        assert_eq!(s.regime, FaultRegime::Uniform);
         assert_eq!(s.border, BorderPolicy::BorderSafe);
         assert_eq!(s.router, RouterChoice::All);
         assert_eq!(s.min_dist_frac, 0.5);
@@ -1865,5 +2134,152 @@ mod tests {
         assert_eq!(load.max_rps, 300, "ramp clamped to three steps");
         assert_eq!(load.max_steps(), 3);
         q.validate().expect("quick load scenario stays valid");
+    }
+
+    const REGIME_BASE: &str = "name = \"r\"\ntable = \"routing\"\n[mesh]\ndims = [16, 16]\n\
+         [faults]\ncounts = [8]\n[run]\nseeds = [0, 4]\n";
+
+    /// Satellite: unknown keys anywhere in `[faults]` are a typed error,
+    /// not a silent no-op — the canonical foot-gun being `clusters` left
+    /// behind after switching `pattern` back to `"uniform"`.
+    #[test]
+    fn faults_rejects_unknown_and_orphaned_keys() {
+        let err = Scenario::from_toml(
+            "name = \"r\"\ntable = \"routing\"\n[mesh]\ndims = [16, 16]\n\
+             [faults]\ncounts = [8]\nclusterz = 3\n[run]\nseeds = [0, 4]\n",
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("unknown key `clusterz`"),
+            "got: {err}"
+        );
+        let err = Scenario::from_toml(
+            "name = \"r\"\ntable = \"routing\"\n[mesh]\ndims = [16, 16]\n\
+             [faults]\ncounts = [8]\npattern = \"uniform\"\nclusters = 3\n\
+             [run]\nseeds = [0, 4]\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("clusters"), "got: {err}");
+        assert!(err.to_string().contains("ignored"), "got: {err}");
+    }
+
+    #[test]
+    fn regime_section_parses_every_kind_and_round_trips() {
+        for (section, want) in [
+            (
+                "[faults.regime]\nkind = \"front\"\nfronts = 2\n",
+                FaultRegime::CorrelatedFront { fronts: 2 },
+            ),
+            (
+                "[faults.regime]\nkind = \"front\"\n",
+                FaultRegime::CorrelatedFront { fronts: 3 },
+            ),
+            (
+                "[faults.regime]\nkind = \"plane\"\naxis = \"y\"\n",
+                FaultRegime::SweepingPlane { axis: 1 },
+            ),
+            (
+                "[faults.regime]\nkind = \"transient\"\nperiod = 6\nduty = 0.25\n",
+                FaultRegime::TransientSchedule {
+                    period: 6,
+                    duty: 0.25,
+                },
+            ),
+            (
+                "[faults.regime]\nkind = \"adversarial\"\nrestarts = 4\n",
+                FaultRegime::AdversarialBoundary { restarts: 4 },
+            ),
+            (
+                "[faults.regime]\nkind = \"uniform\"\n",
+                FaultRegime::Uniform,
+            ),
+            (
+                "[faults.regime]\nkind = \"clustered\"\nclusters = 5\n",
+                FaultRegime::Clustered { clusters: 5 },
+            ),
+        ] {
+            let s = Scenario::from_toml(&format!("{REGIME_BASE}{section}")).unwrap();
+            assert_eq!(s.regime, want, "section: {section}");
+            let back = Scenario::from_toml(&s.to_toml()).unwrap();
+            assert_eq!(s, back, "regime must round-trip: {section}");
+        }
+    }
+
+    #[test]
+    fn regime_section_excludes_legacy_pattern_keys() {
+        let text = "name = \"r\"\ntable = \"routing\"\n[mesh]\ndims = [16, 16]\n\
+             [faults]\ncounts = [8]\npattern = \"uniform\"\n[run]\nseeds = [0, 4]\n\
+             [faults.regime]\nkind = \"front\"\n";
+        let err = Scenario::from_toml(text).unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "got: {err}");
+    }
+
+    #[test]
+    fn regime_section_rejects_unknown_and_misplaced_keys() {
+        // A knob belonging to a different kind is named in the error.
+        let err = Scenario::from_toml(&format!(
+            "{REGIME_BASE}[faults.regime]\nkind = \"plane\"\nfronts = 2\n"
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("fronts"), "got: {err}");
+        assert!(err.to_string().contains("plane"), "got: {err}");
+        for (section, why) in [
+            ("[faults.regime]\nfronts = 2\n", "missing kind"),
+            ("[faults.regime]\nkind = \"blob\"\n", "unknown kind"),
+            (
+                "[faults.regime]\nkind = \"front\"\nfronts = 0\n",
+                "zero fronts",
+            ),
+            (
+                "[faults.regime]\nkind = \"plane\"\naxis = \"w\"\n",
+                "bad axis",
+            ),
+            (
+                "[faults.regime]\nkind = \"transient\"\nperiod = 1\n",
+                "degenerate period",
+            ),
+            (
+                "[faults.regime]\nkind = \"transient\"\nduty = 1.5\n",
+                "duty beyond 1",
+            ),
+            (
+                "[faults.regime]\nkind = \"adversarial\"\nrestarts = 0\n",
+                "zero restarts",
+            ),
+        ] {
+            let text = format!("{REGIME_BASE}{section}");
+            assert!(Scenario::from_toml(&text).is_err(), "should reject: {why}");
+        }
+    }
+
+    #[test]
+    fn regime_validation_gates_tables_and_dimensionality() {
+        // A z-plane needs a 3-D mesh.
+        let err = Scenario::from_toml(&format!(
+            "{REGIME_BASE}[faults.regime]\nkind = \"plane\"\naxis = \"z\"\n"
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("3-D"), "got: {err}");
+        // Transient schedules drive churn rounds, not request-driven load.
+        let text = format!(
+            "{LOAD_BASE}[load]\ninitial_rps = 10\nincrement_rps = 5\nmax_rps = 20\n\
+             step_secs = 0.5\nmix = [1.0, 0.0, 0.0]\n\
+             [faults.regime]\nkind = \"transient\"\n"
+        );
+        let err = Scenario::from_toml(&text).unwrap_err();
+        assert!(err.to_string().contains("transient"), "got: {err}");
+        // Adversarial search targets one routing pair per seed.
+        let err = Scenario::from_toml(&format!(
+            "{REGIME_BASE}pairs_per_seed = 4\n[faults.regime]\nkind = \"adversarial\"\n"
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("pairs_per_seed"), "got: {err}");
+        let err = Scenario::from_toml(
+            "name = \"r\"\ntable = \"regions\"\n[mesh]\ndims = [16, 16]\n\
+             [faults]\ncounts = [8]\n[run]\nseeds = [0, 4]\n\
+             [faults.regime]\nkind = \"adversarial\"\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("routing"), "got: {err}");
     }
 }

@@ -162,7 +162,7 @@ fn bootstrap_shard(
             } else {
                 Mesh2D::new(width, height)
             };
-            sc.fault_spec(count, seed).inject_2d(&mut mesh, &[]);
+            sc.inject_2d(&mut mesh, count, seed, &[]);
             Request::Churn2 {
                 injected: mesh.faults().to_vec(),
                 healed: vec![],
@@ -174,7 +174,7 @@ fn bootstrap_shard(
             } else {
                 Mesh3D::new(x, y, z)
             };
-            sc.fault_spec(count, seed).inject_3d(&mut mesh, &[]);
+            sc.inject_3d(&mut mesh, count, seed, &[]);
             Request::Churn3 {
                 injected: mesh.faults().to_vec(),
                 healed: vec![],
@@ -411,6 +411,7 @@ impl ServiceLoadReport {
         json.push_str("{\n");
         json.push_str("  \"bench\": \"service\",\n");
         json.push_str(&format!("  \"scenario\": \"{}\",\n", sc.name));
+        json.push_str(&crate::report::fault_regime_field(sc.regime.name()));
         json.push_str(&format!("  \"seed\": {},\n", sc.seed_start));
         json.push_str(&format!("  \"threads\": {},\n", self.threads));
         json.push_str(&format!("  \"detected_cores\": {},\n", self.detected_cores));

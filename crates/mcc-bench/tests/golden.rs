@@ -80,6 +80,47 @@ fn e15_service_quick_ramp_matches_golden_snapshot() {
 }
 
 #[test]
+fn e16_front_quick_table_matches_golden_snapshot() {
+    // Pins the correlated-front regime end to end: epicenter seeding,
+    // the bounded flood growth, and the resulting routing table.
+    assert_quick_matches_golden("e16_front_2d.toml", "e16_front_2d_quick.txt");
+}
+
+#[test]
+fn e17_plane_quick_table_matches_golden_snapshot() {
+    // Pins the sweeping-plane regime's slab order (axis + seed-drawn
+    // direction) through the 3-D routing path.
+    assert_quick_matches_golden("e17_plane_3d.toml", "e17_plane_3d_quick.txt");
+}
+
+#[test]
+fn e18_transient_quick_table_matches_golden_snapshot() {
+    // Pins the transient regime's round-0 active-set sampling (site
+    // draw + per-site phases) through the routing path.
+    assert_quick_matches_golden("e18_transient_2d.toml", "e18_transient_2d_quick.txt");
+}
+
+#[test]
+fn e18_transient_churn_quick_table_matches_golden_snapshot() {
+    // The churn twin drives the same schedules through the incremental
+    // models; like E12 the runner refuses to aggregate unless every
+    // per-round equivalence check against recomputation passed, so this
+    // golden certifies Schedule::step deltas are consistent histories.
+    assert_quick_matches_golden(
+        "e18_transient_churn_2d.toml",
+        "e18_transient_churn_2d_quick.txt",
+    );
+}
+
+#[test]
+fn e19_adversarial_quick_table_matches_golden_snapshot() {
+    // Pins the adversarial boundary search (annealed restarts + greedy
+    // 1-minimal pruning) and the endpoint-safety collapse it charts:
+    // the golden's `safe-ep` column is far below its `oracle` column.
+    assert_quick_matches_golden("e19_adversarial_2d.toml", "e19_adversarial_2d_quick.txt");
+}
+
+#[test]
 fn e12_churn_quick_table_matches_golden_snapshot() {
     // Beyond renderer determinism this pins the incremental-maintenance
     // path end-to-end: the runner refuses to produce churn rows at all

@@ -90,6 +90,7 @@ fn json_summary_carries_every_required_field() {
     for key in [
         "\"bench\": \"loadgen\"",
         "\"scenario\"",
+        "\"fault_regime\": \"uniform\"",
         "\"seed\": 7",
         "\"threads\"",
         "\"detected_cores\"",

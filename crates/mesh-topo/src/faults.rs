@@ -18,6 +18,13 @@
 //! sequence is unchanged, so a given `(seed, pattern)` produces the same
 //! fault set the hash-based sampler produced — the determinism regression
 //! test below pins that equivalence.
+//!
+//! The samplers themselves ([`sample_uniform`], [`sample_clustered`]) and
+//! the eligible-candidate construction ([`eligible_indices_2d`],
+//! [`eligible_indices_3d`]) are public: the fault-regime layer in the
+//! `fault-model` crate reuses them verbatim so its `Uniform`/`Clustered`
+//! regimes stay RNG-sequence-identical with [`FaultSpec`], which is now a
+//! thin adapter over these building blocks.
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -77,14 +84,10 @@ impl FaultSpec {
     pub fn inject_2d(&self, mesh: &mut Mesh2D, protected: &[C2]) -> usize {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let space = mesh.space();
-        let eligible: Vec<usize> = mesh
-            .nodes()
-            .filter(|c| !protected.contains(c) && mesh.is_healthy(*c))
-            .map(|c| space.index(c))
-            .collect();
+        let eligible = eligible_indices_2d(mesh, protected);
         let chosen = match self.pattern {
-            FaultPattern::Uniform => choose_uniform(&eligible, self.count, &mut rng),
-            FaultPattern::Clustered { clusters } => choose_clustered(
+            FaultPattern::Uniform => sample_uniform(&eligible, self.count, &mut rng),
+            FaultPattern::Clustered { clusters } => sample_clustered(
                 space.len(),
                 &eligible,
                 self.count,
@@ -106,14 +109,10 @@ impl FaultSpec {
     pub fn inject_3d(&self, mesh: &mut Mesh3D, protected: &[C3]) -> usize {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let space = mesh.space();
-        let eligible: Vec<usize> = mesh
-            .nodes()
-            .filter(|c| !protected.contains(c) && mesh.is_healthy(*c))
-            .map(|c| space.index(c))
-            .collect();
+        let eligible = eligible_indices_3d(mesh, protected);
         let chosen = match self.pattern {
-            FaultPattern::Uniform => choose_uniform(&eligible, self.count, &mut rng),
-            FaultPattern::Clustered { clusters } => choose_clustered(
+            FaultPattern::Uniform => sample_uniform(&eligible, self.count, &mut rng),
+            FaultPattern::Clustered { clusters } => sample_clustered(
                 space.len(),
                 &eligible,
                 self.count,
@@ -130,7 +129,30 @@ impl FaultSpec {
     }
 }
 
-fn choose_uniform(eligible: &[usize], count: usize, rng: &mut SmallRng) -> Vec<usize> {
+/// Linear indices of the 2-D nodes eligible for injection: healthy and
+/// not in `protected`, in node-iteration order. The order is part of the
+/// reproducible RNG draw sequence, so every sampler caller must build its
+/// candidate list through here (or reproduce this order exactly).
+pub fn eligible_indices_2d(mesh: &Mesh2D, protected: &[C2]) -> Vec<usize> {
+    let space = mesh.space();
+    mesh.nodes()
+        .filter(|c| !protected.contains(c) && mesh.is_healthy(*c))
+        .map(|c| space.index(c))
+        .collect()
+}
+
+/// 3-D twin of [`eligible_indices_2d`].
+pub fn eligible_indices_3d(mesh: &Mesh3D, protected: &[C3]) -> Vec<usize> {
+    let space = mesh.space();
+    mesh.nodes()
+        .filter(|c| !protected.contains(c) && mesh.is_healthy(*c))
+        .map(|c| space.index(c))
+        .collect()
+}
+
+/// Choose `count` distinct indices uniformly at random from `eligible`
+/// (shuffle-and-truncate, preserving the historical draw sequence).
+pub fn sample_uniform(eligible: &[usize], count: usize, rng: &mut SmallRng) -> Vec<usize> {
     let mut pool: Vec<usize> = eligible.to_vec();
     pool.shuffle(rng);
     pool.truncate(count.min(pool.len()));
@@ -143,7 +165,7 @@ fn choose_uniform(eligible: &[usize], count: usize, rng: &mut SmallRng) -> Vec<u
 /// `space_len` is the size of the node index space; `neighbors_of` pushes
 /// the in-mesh neighbor indices of a node in fixed direction order (the
 /// order matters: it is part of the reproducible RNG draw sequence).
-fn choose_clustered(
+pub fn sample_clustered(
     space_len: usize,
     eligible: &[usize],
     count: usize,
